@@ -1,0 +1,58 @@
+"""Experiment F2 — Figure 2: prioritized cleaning recovers accuracy.
+
+Paper artifact: "Accuracy with data errors: 0.76." ... "Cleaning some
+records improved accuracy from 0.76 to 0.79."
+
+Regenerates the snippet: 10-12% label flips on the recommendation
+letters, KNN-Shapley ranking, oracle-clean the bottom tuples, report the
+accuracy pair. Shape to reproduce: dirty < cleaned, gap of a few points.
+"""
+
+import numpy as np
+
+import repro as nde
+from repro.cleaning import CleaningOracle
+
+from .conftest import write_result
+
+
+def run_figure2(seed: int = 0, n: int = 400, fraction: float = 0.12,
+                n_clean: int = 48):
+    train_df, valid_df, _ = nde.load_recommendation_letters(n, seed=seed)
+    dirty, report = nde.inject_labelerrors(train_df, fraction=fraction,
+                                           seed=seed + 100)
+    acc_dirty = nde.evaluate_model(dirty, validation=valid_df)
+    importances = nde.knn_shapley_values(dirty, validation=valid_df, k=10)
+    lowest = dirty.row_ids[np.argsort(importances)[:n_clean]]
+    cleaned = CleaningOracle(train_df).clean(dirty, lowest)
+    acc_cleaned = nde.evaluate_model(cleaned, validation=valid_df)
+    detection = report.detection_scores(lowest)
+    return {"acc_dirty": acc_dirty, "acc_cleaned": acc_cleaned,
+            "recall": detection["recall"]}
+
+
+def test_fig2_prioritized_cleaning(benchmark, results_dir):
+    outcome = benchmark.pedantic(run_figure2, rounds=1, iterations=1)
+
+    # Multi-seed series for the report (shape robustness).
+    rows = ["seed  acc_dirty  acc_cleaned  detection_recall",
+            "-" * 48]
+    deltas = []
+    for seed in range(5):
+        r = run_figure2(seed=seed)
+        deltas.append(r["acc_cleaned"] - r["acc_dirty"])
+        rows.append(f"{seed:<6}{r['acc_dirty']:<11.3f}"
+                    f"{r['acc_cleaned']:<13.3f}{r['recall']:.2f}")
+    rows.append("")
+    rows.append(f"paper reports: dirty 0.76 -> cleaned 0.79 (delta +0.03)")
+    rows.append(f"seed-0 run:    dirty {outcome['acc_dirty']:.3f} -> "
+                f"cleaned {outcome['acc_cleaned']:.3f} "
+                f"(delta {outcome['acc_cleaned'] - outcome['acc_dirty']:+.3f})")
+    rows.append(f"mean delta over 5 seeds: {np.mean(deltas):+.3f}")
+    write_result(results_dir, "fig2_prioritized_cleaning", rows)
+
+    benchmark.extra_info.update(outcome)
+    # Shape assertions: cleaning does not hurt on the headline seed and
+    # helps on average.
+    assert outcome["acc_cleaned"] >= outcome["acc_dirty"]
+    assert np.mean(deltas) > 0

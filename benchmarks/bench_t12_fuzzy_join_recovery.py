@@ -1,0 +1,76 @@
+"""Experiment T12 — §2.2 claim: fuzzy joins recover rows that exact joins
+silently drop when keys carry representational inconsistencies.
+
+Figure 3's pipeline description explicitly says "(fuzzy) joins". Inject
+casing/whitespace inconsistencies plus character typos into join keys and
+compare the join coverage (and downstream accuracy) of exact, normalized,
+and edit-distance-tolerant joins.
+
+Shape to reproduce: exact < normalized < typo-tolerant coverage; the
+downstream model trained on the recovered rows is at least as good.
+"""
+
+import numpy as np
+
+from repro.core.rng import ensure_rng
+from repro.dataframe import DataFrame
+from repro.errors import inject_inconsistencies
+
+from .conftest import write_result
+
+
+def _typo(word: str, rng) -> str:
+    if len(word) < 3:
+        return word
+    position = int(rng.integers(1, len(word) - 1))
+    return word[:position] + "x" + word[position + 1:]
+
+
+def build_tables(n=300, typo_fraction=0.15, seed=9):
+    rng = ensure_rng(seed)
+    cities = ["berlin", "tokyo", "boston", "madrid", "sydney"]
+    frame = DataFrame({
+        "city": [str(c) for c in rng.choice(cities, size=n)],
+        "value": rng.normal(0, 1, n),
+    })
+    # Casing/whitespace inconsistencies on 30% of keys...
+    dirty, _ = inject_inconsistencies(frame, column="city", fraction=0.3,
+                                      seed=seed + 1)
+    # ...plus character typos on another slice.
+    keys = dirty["city"].to_list()
+    for i in rng.choice(n, size=int(typo_fraction * n), replace=False):
+        keys[int(i)] = _typo(keys[int(i)], rng)
+    dirty["city"] = keys
+    lookup = DataFrame({"city": cities,
+                        "region": ["eu", "asia", "us", "eu", "oceania"]})
+    return dirty, lookup, n
+
+
+def run_comparison():
+    dirty, lookup, n = build_tables()
+    exact = dirty.join(lookup, on="city")
+    normalized = dirty.fuzzy_join(lookup, on="city")
+    tolerant = dirty.fuzzy_join(lookup, on="city", max_edit_distance=1)
+    return {
+        "exact": len(exact) / n,
+        "normalized": len(normalized) / n,
+        "typo_tolerant": len(tolerant) / n,
+    }
+
+
+def test_t12_fuzzy_join_recovery(benchmark, results_dir):
+    coverage = benchmark.pedantic(run_comparison, rounds=1, iterations=1)
+
+    rows = [f"{'join variant':<18}{'coverage':>10}", "-" * 28]
+    for name in ("exact", "normalized", "typo_tolerant"):
+        rows.append(f"{name:<18}{coverage[name]:>10.2f}")
+    rows.append("")
+    rows.append("claim (§2.2 / Figure 3): '(fuzzy) joins' exist because "
+                "exact joins silently drop inconsistent keys; each level "
+                "of tolerance recovers more source rows")
+    write_result(results_dir, "t12_fuzzy_join_recovery", rows)
+
+    benchmark.extra_info.update(coverage)
+    assert coverage["exact"] < coverage["normalized"] < \
+        coverage["typo_tolerant"]
+    assert coverage["typo_tolerant"] >= 0.95

@@ -1,0 +1,65 @@
+"""Experiment T7 — Gopher claim (ref [66]): removing a small responsible
+training subset substantially improves fairness at little accuracy cost.
+
+Regenerated table: top removal-based explanations with bias before/after,
+accuracy before/after, and responsibility.
+
+Shape to reproduce: the best explanation removes a minority of the data,
+cuts the equalized-odds gap by a large fraction, and costs only a few
+accuracy points.
+"""
+
+import numpy as np
+
+from repro.datasets import make_census
+from repro.fairness import GopherExplainer, equalized_odds_difference
+from repro.ml import ColumnTransformer, LogisticRegression, OneHotEncoder
+
+from .conftest import write_result
+
+
+def run_gopher(seed=13, n=600):
+    df, _ = make_census(n, bias_fraction=0.5, seed=seed)
+    train, valid = df.split([0.7, 0.3], seed=seed + 1)
+    encoder = ColumnTransformer([
+        ("num", "passthrough", ["age", "education_years", "hours_per_week"]),
+        ("grp", OneHotEncoder(), "group"),
+    ])
+    X_train = encoder.fit_transform(train)
+    X_valid = encoder.transform(valid)
+    explainer = GopherExplainer(LogisticRegression(max_iter=60),
+                                equalized_odds_difference,
+                                max_depth=2, min_support=0.02, n_bins=2)
+    return explainer.explain(
+        train, feature_matrix=X_train, label_column="income",
+        group_column="group", X_valid=X_valid,
+        y_valid=np.array(valid["income"].to_list()),
+        groups_valid=np.array(valid["group"].to_list()), top_k=5), len(train)
+
+
+def test_t7_fairness_debugging(benchmark, results_dir):
+    explanations, n_train = benchmark.pedantic(run_gopher, rounds=1,
+                                               iterations=1)
+
+    rows = [f"{'rank':<6}{'removed':>8}{'bias_before':>13}{'bias_after':>12}"
+            f"{'acc_before':>12}{'acc_after':>11}{'resp':>7}", "-" * 69]
+    for rank, e in enumerate(explanations, start=1):
+        rows.append(f"{rank:<6}{e.n_removed:>8}{e.bias_before:>13.3f}"
+                    f"{e.bias_after:>12.3f}{e.accuracy_before:>12.3f}"
+                    f"{e.accuracy_after:>11.3f}{e.responsibility:>7.0%}")
+    rows.append("")
+    for rank, e in enumerate(explanations[:3], start=1):
+        rows.append(f"{rank}. {e.describe()}")
+    rows.append("")
+    rows.append("claim: a compact subset explains most of the bias; its "
+                "removal trades little accuracy for a large fairness gain")
+    write_result(results_dir, "t7_fairness_debugging", rows)
+
+    best = explanations[0]
+    benchmark.extra_info.update({
+        "bias_before": best.bias_before, "bias_after": best.bias_after,
+        "accuracy_cost": best.accuracy_before - best.accuracy_after,
+    })
+    assert best.responsibility >= 0.5        # removes most of the bias
+    assert best.n_removed <= n_train * 0.5   # with a minority of the data
+    assert best.accuracy_before - best.accuracy_after <= 0.15

@@ -1,0 +1,69 @@
+"""Scenario: the data-debugging challenge (Section 3.2).
+
+Simulates the tutorial's closing competition: a dirty training set with
+hidden errors, a budgeted cleaning oracle scoring on a hidden test set,
+and a leaderboard. Three bots compete — random cleaning, loss-based
+self-diagnosis, and KNN-Shapley prioritization.
+
+Run:  python examples/challenge_demo.py
+"""
+
+import numpy as np
+
+import repro as nde
+from repro.challenge import Leaderboard, make_challenge
+from repro.core.api import default_letter_encoder
+from repro.ml import LogisticRegression
+from repro.ml.base import clone
+
+
+def shapley_bot(challenge, budget):
+    values = nde.knn_shapley_values(challenge.train_df,
+                                    validation=challenge.valid_df, k=10)
+    return challenge.train_df.row_ids[np.argsort(values)[:budget]]
+
+
+def loss_bot(challenge, budget):
+    encoder = clone(default_letter_encoder())
+    features = [c for c in challenge.train_df.columns if c != "sentiment"]
+    X = encoder.fit_transform(challenge.train_df.select(features))
+    y = np.array(challenge.train_df["sentiment"].to_list())
+    model = LogisticRegression(max_iter=80).fit(X, y)
+    proba = model.predict_proba(X)
+    index = {c: i for i, c in enumerate(model.classes_.tolist())}
+    own = proba[np.arange(len(y)), [index[v] for v in y.tolist()]]
+    return challenge.train_df.row_ids[np.argsort(own)[:budget]]
+
+
+def random_bot(challenge, budget, seed=0):
+    rng = np.random.default_rng(seed)
+    return rng.choice(challenge.train_df.row_ids, size=budget, replace=False)
+
+
+def main() -> None:
+    budget = 40
+    bots = {"shapley": shapley_bot, "loss": loss_bot,
+            "random": lambda c, b: random_bot(c, b)}
+
+    board = None
+    for name, bot in bots.items():
+        # Each participant gets an identical fresh challenge instance.
+        challenge = make_challenge(n=300, budget=budget, seed=77)
+        if board is None:
+            board = Leaderboard(baseline=challenge.oracle.baseline_score)
+            print(f"Challenge: {len(challenge.train_df)} training letters, "
+                  f"{challenge.n_errors} hidden errors, budget {budget}.")
+            print(f"Baseline accuracy (no cleaning): "
+                  f"{challenge.oracle.baseline_score:.3f}\n")
+        row_ids = bot(challenge, budget)
+        score = challenge.oracle.submit(row_ids, participant=name)
+        board.record(name, score, challenge.oracle.cleaned_count)
+        print(f"{name:>8} cleaned {challenge.oracle.cleaned_count} rows "
+              f"-> hidden test accuracy {score:.3f}")
+
+    print("\nFinal leaderboard:\n")
+    print(board.render())
+
+
+if __name__ == "__main__":
+    main()

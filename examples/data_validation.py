@@ -1,0 +1,85 @@
+"""Scenario: rule-based screening before any model gets involved.
+
+The Figure-1 oncology registry carries the classic error taxonomy —
+missing cells, wrong codes, invalid values, biased coverage. This example
+shows the model-free first line of defence: schema validation against a
+trusted reference batch, rule-based detectors for each error type, and
+consistent-range fairness certification that accounts for the coverage
+bias the detectors cannot repair.
+
+Run:  python examples/data_validation.py
+"""
+
+import numpy as np
+
+from repro.datasets import make_cancer_registry
+from repro.errors import (
+    detect_invalid_categories,
+    detect_missing,
+    detect_out_of_range,
+)
+from repro.fairness import certify, demographic_parity_range
+from repro.pipelines import infer_schema, validate_frame
+
+
+def main() -> None:
+    reference, _ = make_cancer_registry(400, error_fraction=0.0, seed=1)
+    batch, error_log = make_cancer_registry(400, error_fraction=0.12, seed=2)
+    seeded = {kind for _, _, kind in error_log}
+    print(f"Fresh registry batch: {len(batch)} rows; seeded error kinds: "
+          f"{sorted(seeded)}.\n")
+
+    # 1. Schema validation against the trusted reference.
+    schema = infer_schema(reference, range_slack=0.0)
+    anomalies = validate_frame(batch, schema)
+    print("Schema validation:")
+    for anomaly in anomalies:
+        print(f"  [{anomaly.kind:>16}] {anomaly.column}: {anomaly.detail}")
+
+    # 2. Rule-based detectors pin down the exact rows.
+    missing_sex = detect_missing(batch, ["sex"])
+    invalid_ages = detect_out_of_range(batch, column="age", low=0, high=120)
+    wrong_codes = detect_invalid_categories(
+        batch, column="diagnosis", domain={"SKCM", "BRCA", "CRC", "LUAD"})
+    print(f"\nDetectors flagged {len(missing_sex)} missing-sex rows, "
+          f"{len(invalid_ages)} invalid ages, {len(wrong_codes)} unknown "
+          "diagnosis codes.")
+
+    truth = {
+        "missing": {r for r, _, k in error_log if k == "missing"},
+        "invalid_age": {r for r, _, k in error_log if k == "invalid_age"},
+        "wrong_code": {r for r, _, k in error_log if k == "wrong_code"},
+    }
+    print("Detector recall vs ground truth: "
+          f"missing {len(missing_sex & truth['missing'])}/"
+          f"{len(truth['missing'])}, "
+          f"ages {len(invalid_ages & truth['invalid_age'])}/"
+          f"{len(truth['invalid_age'])}, "
+          f"codes {len(wrong_codes & truth['wrong_code'])}/"
+          f"{len(truth['wrong_code'])}.")
+
+    # 3. The bias detectors cannot fix: race coverage. CRA quantifies how
+    # much the under-coverage could hide.
+    survived = np.array([1 if s == "yes" else 0
+                         for s in batch["survived"].to_list()])
+    race = np.array(["black" if r == "black" else "non-black"
+                     for r in batch["race"].to_list()])
+    n_black = int(np.sum(race == "black"))
+    print(f"\nCoverage bias: only {n_black} of {len(batch)} records are "
+          "from black patients.")
+    for budget in (0, n_black, 4 * n_black):
+        result = demographic_parity_range(survived, race,
+                                          max_missing={"black": budget})
+        verdict = certify(result, threshold=0.1)
+        print(f"  admitting up to {budget:>3} unobserved black patients: "
+              f"survival-rate gap in [{result['gap_lo']:.3f}, "
+              f"{result['gap_hi']:.3f}] -> {verdict}")
+
+    print("\nTake-away: rules catch the cell-level errors exactly; the "
+          "representation bias needs range reasoning — a dataset that "
+          "looks fair point-wise may be impossible to certify once "
+          "plausible under-coverage is admitted.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,119 @@
+"""Scenario: debugging an end-to-end ML pipeline (Figure 3).
+
+Builds the tutorial's multi-table pipeline — letters joined with job
+details and social-media side data, filtered to one sector, encoded with
+text embeddings — runs it with fine-grained provenance, screens it with
+mlinspect-style inspections, and uses Datascope to trace importance back
+to *source* rows that a practitioner could actually fix.
+
+Run:  python examples/pipeline_debugging.py
+"""
+
+import numpy as np
+
+from repro.datasets import make_hiring_tables
+from repro.errors import inject_label_errors
+from repro.ml import (
+    ColumnTransformer,
+    LogisticRegression,
+    OneHotEncoder,
+    Pipeline,
+    SimpleImputer,
+    StandardScaler,
+)
+from repro.pipelines import (
+    DataLeakageInspection,
+    DataPipeline,
+    JoinCoverageInspection,
+    LabelDistributionInspection,
+    MissingnessInspection,
+    WhatIfAnalysis,
+    datascope_importance,
+    remove_and_evaluate,
+    run_inspections,
+    show_query_plan,
+    source,
+)
+from repro.pipelines.datascope import rank_source_rows
+from repro.text import SentenceEmbedder
+
+
+def build_pipeline():
+    """def pipeline(train_df, jobdetail_df, social_df): ...  (Figure 3)"""
+    feature_encoder = ColumnTransformer([
+        ("letter", SentenceEmbedder(dim=32), "letter_text"),
+        ("numeric", Pipeline([("imputer", SimpleImputer()),
+                              ("scaler", StandardScaler())]),
+         ["years_experience", "employer_rating"]),
+        ("degree", OneHotEncoder(), "degree"),
+        ("social", "passthrough", "has_twitter"),
+    ])
+    plan = (source("train_df")
+            .join(source("jobdetail_df"), on="job_id")
+            .join(source("social_df"), on="person_id")
+            .map_column("has_twitter",
+                        lambda r: 1.0 if r["twitter"] is not None else 0.0)
+            .drop(["person_id", "job_id", "twitter", "sector", "seniority",
+                   "salary_band", "followers", "linkedin_connections"])
+            .encode(feature_encoder, label="sentiment"))
+    return DataPipeline(plan)
+
+
+def main() -> None:
+    letters, jobdetail_df, social_df = make_hiring_tables(320, seed=5)
+    train_df, valid_df = letters.split([0.75, 0.25], seed=6)
+    train_df_err, report = inject_label_errors(train_df, column="sentiment",
+                                               fraction=0.15, seed=7)
+
+    pipeline = build_pipeline()
+    print("Pipeline query plan:\n")
+    print(show_query_plan(pipeline.plan))
+
+    sources = {"train_df": train_df_err, "jobdetail_df": jobdetail_df,
+               "social_df": social_df}
+    result = pipeline.run(sources, provenance=True)
+    print(f"\nEncoded training data: X {result.X.shape}, "
+          f"{len(result.provenance)} provenance witnesses.")
+
+    # Screen the pipeline for structural issues.
+    print("\nPipeline inspections:")
+    for inspection in run_inspections(
+            pipeline, sources, result,
+            [JoinCoverageInspection(), LabelDistributionInspection(),
+             MissingnessInspection(warn_above=0.05),
+             DataLeakageInspection(valid_df, train_source="train_df")]):
+        status = "PASS" if inspection.passed else inspection.severity.upper()
+        detail = f" — {inspection.findings[0]}" if inspection.findings else ""
+        print(f"  [{status:7}] {inspection.name}{detail}")
+
+    # Datascope: importance of *source* rows through provenance.
+    X_valid, y_valid = result.apply(dict(sources, train_df=valid_df))
+    importances = datascope_importance(result, source="train_df",
+                                       X_valid=X_valid, y_valid=y_valid,
+                                       k=20)
+    lowest = rank_source_rows(importances, 25)
+    flipped = report.row_ids()
+    print(f"\nOf the 25 worst source rows, "
+          f"{len(set(lowest) & flipped)} carry injected label errors "
+          f"(base rate would find ~{round(25 * 0.15)}).")
+
+    outcome = remove_and_evaluate(pipeline, sources, source="train_df",
+                                  row_ids=lowest,
+                                  model=LogisticRegression(max_iter=100),
+                                  valid_frame=valid_df)
+    print(f"Removal changed accuracy by {outcome['delta']:+.3f} "
+          f"({outcome['before']:.3f} -> {outcome['after']:.3f}).")
+
+    # What-if analysis with operator caching.
+    analysis = WhatIfAnalysis(pipeline, sources,
+                              LogisticRegression(max_iter=100), valid_df,
+                              train_source="train_df")
+    scenario = analysis.drop_rows_scenario(
+        "jobdetail_df", jobdetail_df.row_ids[:5])
+    print(f"\nWhat-if: dropping 5 jobdetail rows shifts accuracy by "
+          f"{scenario['delta']:+.3f} "
+          f"(cache reused {analysis.cache_hits} operator outputs).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,101 @@
+"""Scenario: learning from imperfect data with Zorro (Figure 4).
+
+Injects rising levels of MNAR missingness into ``employer_rating``,
+encodes the data symbolically, and reports the certified maximum
+worst-case loss per level — plus the comparison between the
+uncertainty-aware model and a naively imputed baseline that the tutorial
+assigns as an attendee task.
+
+Run:  python examples/uncertainty_zorro.py
+"""
+
+import numpy as np
+
+from repro.datasets import make_hiring_tables
+from repro.errors import inject_missing
+from repro.ml import LinearRegression
+from repro.uncertain import (
+    PossibleWorldsEnsemble,
+    ZorroLinearModel,
+    encode_symbolic,
+    estimate_worst_case_loss,
+)
+
+
+def ascii_bar_chart(values: dict, width: int = 40) -> str:
+    peak = max(values.values())
+    lines = []
+    for key, value in values.items():
+        bar = "#" * max(1, int(width * value / peak))
+        lines.append(f"{key:>4}%  {bar} {value:.3f}")
+    return "\n".join(lines)
+
+
+def main() -> None:
+    letters, _, _ = make_hiring_tables(300, seed=9)
+    train_df, test_df = letters.split([0.8, 0.2], seed=10)
+    feature = "employer_rating"
+
+    def with_target(frame):
+        return frame.with_column(
+            "target", lambda r: 1.0 if r["sentiment"] == "positive" else 0.0)
+
+    train_df = with_target(train_df)
+    test_df = with_target(test_df)
+    X_test = test_df.select([feature, "years_experience"]).to_numpy()
+    y_test = test_df["target"].cast(float).to_numpy()
+
+    max_losses = {}
+    for percentage in (5, 10, 15, 20, 25):
+        train_symb, _ = inject_missing(
+            train_df, column=feature, fraction=percentage / 100.0,
+            mechanism="MNAR", seed=11)
+        table = encode_symbolic(
+            train_symb, feature_columns=[feature, "years_experience"],
+            label_column="target")
+        print(f"Evaluating {percentage}% of missing values in {feature}...")
+        outcome = estimate_worst_case_loss(table, X_test, y_test)
+        max_losses[percentage] = outcome["train_worst_case_mse"]
+
+    print("\nMaximum worst-case loss (certified upper bound):\n")
+    print(ascii_bar_chart(max_losses))
+
+    # Attendee task: Zorro ranges vs a simple-imputation baseline.
+    train_symb, _ = inject_missing(train_df, column=feature, fraction=0.2,
+                                   mechanism="MNAR", seed=12)
+    table = encode_symbolic(train_symb,
+                            feature_columns=[feature, "years_experience"],
+                            label_column="target")
+
+    zorro = ZorroLinearModel(n_iter=200).fit(table)
+    ranges = zorro.predict_range(table.X)
+
+    baseline = LinearRegression()
+    baseline.fit(table.impute_midpoint(), table.y)
+
+    ensemble = PossibleWorldsEnsemble(LinearRegression(), n_worlds=25,
+                                      sampler="uniform", seed=0)
+    # The ensemble works on NaN-holed matrices:
+    X_holes = table.impute_midpoint()
+    X_holes[table.missing_mask] = np.nan
+    ensemble.fit(X_holes, table.y)
+    lo, hi = ensemble.prediction_interval(table.impute_midpoint()[:5])
+
+    print("\nPrediction variability for the first 5 training points:")
+    print(f"{'point':<7}{'zorro range':<24}{'worlds range':<24}{'imputed':<8}")
+    imputed_preds = baseline.predict(table.impute_midpoint()[:5])
+    for i in range(5):
+        zorro_range = f"[{ranges.lo[i]:+.2f}, {ranges.hi[i]:+.2f}]"
+        worlds_range = f"[{lo[i]:+.2f}, {hi[i]:+.2f}]"
+        print(f"{i:<7}{zorro_range:<24}{worlds_range:<24}"
+              f"{imputed_preds[i]:+.2f}")
+
+    print("\nTake-away: the imputed model gives one number per point; the "
+          "uncertainty-aware analyses expose how much that number could "
+          "move under other, equally plausible completions — narrow ranges "
+          "mean imputation is safe, wide ranges mean the missing cells "
+          "actually matter.")
+
+
+if __name__ == "__main__":
+    main()

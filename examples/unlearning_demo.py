@@ -1,0 +1,90 @@
+"""Scenario: debug, then forget — data debugging meets machine unlearning.
+
+The survey's open-challenges section (§2.4) connects the two: debugging
+techniques find the harmful points; unlearning removes their influence at
+interactive latency, without a full retrain. This demo runs the loop:
+KNN-Shapley identifies poisoned training labels, then three deletion
+mechanisms race to forget them — full retraining, SISA-style sharded
+retraining (exact), and a one-step Newton influence update (approximate,
+with a fidelity certificate).
+
+Run:  python examples/unlearning_demo.py
+"""
+
+import time
+
+import numpy as np
+
+from repro.datasets import make_blobs
+from repro.errors import inject_label_errors_array
+from repro.importance import knn_shapley
+from repro.ml import LogisticRegression
+from repro.unlearning import InfluenceUnlearner, ShardedUnlearner
+
+
+def main() -> None:
+    X, y_clean = make_blobs(2200, n_features=20, centers=2,
+                            cluster_std=2.2, seed=11)
+    X_train, y_train_clean = X[:2000], y_clean[:2000]
+    X_test, y_test = X[2000:], y_clean[2000:]
+    y_train, poisoned = inject_label_errors_array(y_train_clean,
+                                                  fraction=0.05, seed=12)
+    print(f"Training set: {len(X_train)} points, "
+          f"{len(poisoned)} with poisoned labels.\n")
+
+    # Debug: rank by importance, flag the bottom 100.
+    values = knn_shapley(X_train, y_train, X_test, y_test, k=5)
+    flagged = np.argsort(values)[:100]
+    hits = len(set(flagged.tolist()) & set(poisoned.tolist()))
+    print(f"KNN-Shapley flags 100 suspects; {hits} of the "
+          f"{len(poisoned)} poisoned points are among them.")
+
+    dirty_accuracy = LogisticRegression(max_iter=100).fit(
+        X_train, y_train).score(X_test, y_test)
+    print(f"Accuracy before forgetting: {dirty_accuracy:.3f}\n")
+
+    print(f"{'mechanism':<22}{'latency':>10}{'accuracy':>10}")
+    print("-" * 42)
+
+    # Mechanism 1: retrain from scratch after each deletion request.
+    started = time.perf_counter()
+    alive = np.ones(len(X_train), dtype=bool)
+    for victim in flagged:
+        alive[victim] = False
+        model = LogisticRegression(max_iter=100).fit(X_train[alive],
+                                                     y_train[alive])
+    elapsed = time.perf_counter() - started
+    print(f"{'full retraining':<22}{elapsed:>9.3f}s"
+          f"{model.score(X_test, y_test):>10.3f}")
+
+    # Mechanism 2: sharded exact unlearning.
+    sharded = ShardedUnlearner(LogisticRegression(max_iter=100),
+                               n_shards=10, seed=0).fit(X_train, y_train)
+    started = time.perf_counter()
+    for victim in flagged:
+        sharded.unlearn([victim])
+    elapsed = time.perf_counter() - started
+    print(f"{'sharded (exact)':<22}{elapsed:>9.3f}s"
+          f"{sharded.score(X_test, y_test):>10.3f}")
+
+    # Mechanism 3: Newton influence update.
+    newton = InfluenceUnlearner().fit(X_train, y_train)
+    started = time.perf_counter()
+    for victim in flagged:
+        newton.unlearn([victim])
+    elapsed = time.perf_counter() - started
+    fidelity = newton.fidelity(y_train)
+    print(f"{'newton (approximate)':<22}{elapsed:>9.3f}s"
+          f"{newton.score(X_test, y_test):>10.3f}")
+
+    print(f"\nNewton fidelity vs exact retrain: "
+          f"{fidelity['prediction_agreement']:.1%} prediction agreement, "
+          f"parameter distance {fidelity['parameter_distance']:.4f}.")
+    print("\nTake-away: once debugging has named the harmful points, "
+          "forgetting them need not cost a retrain — sharding gives exact "
+          "deletion at a fraction of the latency, and the influence "
+          "update is near-free with a measurable fidelity certificate.")
+
+
+if __name__ == "__main__":
+    main()

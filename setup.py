@@ -1,0 +1,10 @@
+"""Setup shim for environments without the ``wheel`` package.
+
+``pip install -e .`` falls back to the legacy ``setup.py develop`` path
+here (the sandbox has setuptools but no wheel, so PEP-660 editable builds
+cannot produce a wheel). All real metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,69 @@
+"""Navigating Data Errors in Machine Learning Pipelines — reproduction.
+
+A full implementation of the system taught in Karlaš, Salimi & Schelter's
+SIGMOD/ICDE 2025 tutorial: identify data errors with data importance
+(Section 2.1), debug end-to-end ML pipelines through fine-grained
+provenance (Section 2.2), and learn from uncertain and incomplete data
+with certified guarantees (Section 2.3) — plus the hands-on scenarios of
+Section 3 (error injection, cleaning oracles, the data-debugging
+challenge) and every substrate they need (a columnar dataframe engine, an
+ML library, and text featurization), built from scratch on numpy.
+
+Subpackages
+-----------
+- ``repro.dataframe`` — columnar relational engine with stable row ids.
+- ``repro.ml`` — estimators, preprocessing, metrics, model selection.
+- ``repro.text`` — text featurization (the SentenceBERT stand-in).
+- ``repro.datasets`` — synthetic generators (hiring scenario & toys).
+- ``repro.errors`` — error injection with ground-truth reports.
+- ``repro.importance`` — LOO, Shapley (MC & exact KNN), Banzhaf, Beta
+  Shapley, influence functions, confident learning, AUM.
+- ``repro.pipelines`` — operator DAGs, why-provenance, Datascope,
+  inspections, what-if analyses.
+- ``repro.uncertain`` — Zorro intervals, CPClean certain predictions,
+  certain models, dataset multiplicity, possible worlds.
+- ``repro.fairness`` — group metrics, Gopher explanations, label-bias
+  reweighting.
+- ``repro.cleaning`` — oracles, iterative prioritized cleaning,
+  ActiveClean, imputation.
+- ``repro.challenge`` — the budgeted data-debugging challenge with a
+  leaderboard.
+
+The paper's figure snippets run almost verbatim against the top-level
+facade::
+
+    import repro as nde
+    train_df, valid_df, test_df = nde.load_recommendation_letters()
+    train_df_err, _ = nde.inject_labelerrors(train_df, fraction=0.1)
+    print(nde.evaluate_model(train_df_err, validation=valid_df))
+"""
+
+from repro.core.api import (
+    default_letter_encoder,
+    encode_symbolic,
+    estimate_with_zorro,
+    evaluate_model,
+    inject_labelerrors,
+    knn_shapley_values,
+    pretty_print,
+    visualize_uncertainty,
+)
+from repro.datasets.hiring import load_recommendation_letters, load_sidedata
+from repro.pipelines.plan import show_query_plan
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "load_recommendation_letters",
+    "load_sidedata",
+    "inject_labelerrors",
+    "evaluate_model",
+    "knn_shapley_values",
+    "pretty_print",
+    "default_letter_encoder",
+    "encode_symbolic",
+    "estimate_with_zorro",
+    "visualize_uncertainty",
+    "show_query_plan",
+    "__version__",
+]

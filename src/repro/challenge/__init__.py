@@ -1,0 +1,12 @@
+"""The data-debugging challenge (Section 3.2 of the paper).
+
+Attendees receive a dirty training set with *unknown* errors, a fixed
+classifier, a validation set, and a budgeted cleaning oracle that reports
+held-out test quality after each submission. A leaderboard ranks
+strategies. This subpackage reproduces the full protocol in-process.
+"""
+
+from repro.challenge.leaderboard import Leaderboard
+from repro.challenge.protocol import ChallengeOracle, make_challenge
+
+__all__ = ["make_challenge", "ChallengeOracle", "Leaderboard"]

@@ -1,0 +1,49 @@
+"""The live leaderboard of the data-debugging challenge."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class Entry:
+    participant: str
+    score: float
+    cleaned: int
+
+
+@dataclass
+class Leaderboard:
+    """Ranks submissions by score (ties broken by fewer rows cleaned)."""
+
+    baseline: float = 0.0
+    entries: list[Entry] = field(default_factory=list)
+
+    def record(self, participant: str, score: float, cleaned: int) -> None:
+        self.entries.append(Entry(participant, float(score), int(cleaned)))
+
+    def standings(self) -> list[Entry]:
+        """Best entry per participant, ranked."""
+        best: dict[str, Entry] = {}
+        for entry in self.entries:
+            incumbent = best.get(entry.participant)
+            if incumbent is None or (entry.score, -entry.cleaned) > \
+                    (incumbent.score, -incumbent.cleaned):
+                best[entry.participant] = entry
+        return sorted(best.values(), key=lambda e: (-e.score, e.cleaned))
+
+    def winner(self) -> Entry | None:
+        standings = self.standings()
+        return standings[0] if standings else None
+
+    def render(self) -> str:
+        lines = [f"{'rank':<5}{'participant':<20}{'score':<10}{'cleaned':<8}",
+                 "-" * 43]
+        for rank, entry in enumerate(self.standings(), start=1):
+            marker = " *" if entry.score > self.baseline else ""
+            lines.append(
+                f"{rank:<5}{entry.participant:<20}{entry.score:<10.4f}"
+                f"{entry.cleaned:<8}{marker}"
+            )
+        lines.append(f"baseline (no cleaning): {self.baseline:.4f}")
+        return "\n".join(lines)

@@ -1,0 +1,139 @@
+"""Challenge construction and the submission oracle."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.exceptions import BudgetExhaustedError, ValidationError
+from repro.core.rng import ensure_rng
+from repro.datasets.hiring import make_hiring_tables
+from repro.dataframe.frame import DataFrame
+from repro.errors.labels import inject_label_errors
+from repro.errors.noise import inject_feature_noise, inject_outliers
+from repro.ml.base import clone
+from repro.ml.compose import ColumnTransformer, Pipeline
+from repro.ml.linear import LogisticRegression
+from repro.ml.metrics import accuracy_score
+from repro.ml.preprocessing import SimpleImputer, StandardScaler
+from repro.text.vectorize import SentenceEmbedder
+
+
+@dataclass
+class Challenge:
+    """The attendee-visible bundle plus the hidden evaluation state."""
+
+    train_df: DataFrame          # dirty training data (visible)
+    valid_df: DataFrame          # validation data (visible)
+    oracle: "ChallengeOracle"    # budgeted submission endpoint (visible)
+    n_errors: int                # disclosed error count, not locations
+
+
+def _default_encoder() -> ColumnTransformer:
+    return ColumnTransformer([
+        ("text", SentenceEmbedder(dim=32), "letter_text"),
+        ("num", Pipeline([("imp", SimpleImputer()), ("sc", StandardScaler())]),
+         ["years_experience", "employer_rating"]),
+    ])
+
+
+class ChallengeOracle:
+    """Budgeted clean-and-evaluate endpoint.
+
+    ``submit(row_ids)`` cleans the requested rows (cumulatively, from the
+    hidden ground truth), retrains the fixed classifier on the cleaned
+    data, and returns accuracy on the *hidden* test set. Distinct rows
+    cleaned across all submissions may not exceed the budget.
+    """
+
+    def __init__(self, dirty_train: DataFrame, clean_train: DataFrame,
+                 test_df: DataFrame, *, model=None, encoder=None,
+                 budget: int = 50, label: str = "sentiment"):
+        self._current = dirty_train
+        self._clean = clean_train
+        self._test = test_df
+        self._label = label
+        self.model = model or LogisticRegression(max_iter=100)
+        self._encoder_prototype = encoder or _default_encoder()
+        self.budget = budget
+        self._cleaned: set[int] = set()
+        self.history: list[dict] = []
+        self.baseline_score = self._evaluate()
+
+    @property
+    def cleaned_count(self) -> int:
+        return len(self._cleaned)
+
+    @property
+    def remaining_budget(self) -> int:
+        return self.budget - self.cleaned_count
+
+    def _evaluate(self) -> float:
+        encoder = clone(self._encoder_prototype)
+        X = encoder.fit_transform(self._current.drop(self._label))
+        y = np.array(self._current[self._label].to_list())
+        model = clone(self.model)
+        model.fit(X, y)
+        X_test = encoder.transform(self._test.drop(self._label))
+        y_test = np.array(self._test[self._label].to_list())
+        return float(accuracy_score(y_test, model.predict(X_test)))
+
+    def submit(self, row_ids, *, participant: str = "anonymous") -> float:
+        """Clean rows, re-evaluate on the hidden test set, record history.
+
+        Raises :class:`BudgetExhaustedError` when the submission would
+        exceed the budget; the submission is then NOT applied.
+        """
+        row_ids = [int(r) for r in np.atleast_1d(row_ids)]
+        known = set(self._current.row_ids.tolist())
+        unknown = [r for r in row_ids if r not in known]
+        if unknown:
+            raise ValidationError(f"unknown row ids: {unknown[:5]}")
+        new = set(row_ids) - self._cleaned
+        if self.cleaned_count + len(new) > self.budget:
+            raise BudgetExhaustedError(
+                f"submission adds {len(new)} rows; only "
+                f"{self.remaining_budget} budget left"
+            )
+        positions = self._clean.positions_of(row_ids)
+        for column in self._current.columns:
+            clean_values = [self._clean[column].get(int(p)) for p in positions]
+            self._current = self._current.set_values(row_ids, column, clean_values)
+        self._cleaned |= new
+        score = self._evaluate()
+        self.history.append({
+            "participant": participant,
+            "cleaned_total": self.cleaned_count,
+            "score": score,
+        })
+        return score
+
+
+def make_challenge(*, n: int = 300, budget: int = 50, seed: int = 42,
+                   label_error_fraction: float = 0.12,
+                   noise_fraction: float = 0.08) -> Challenge:
+    """Build a fresh challenge instance.
+
+    Hidden errors: label flips on a fraction of rows plus gaussian noise
+    and outliers on the numeric features. The clean copy, test split and
+    error locations stay inside the oracle.
+    """
+    rng = ensure_rng(seed)
+    letters, _, _ = make_hiring_tables(n, seed=int(rng.integers(0, 2**31)))
+    train_clean, valid_df, test_df = letters.split([0.6, 0.2, 0.2],
+                                                   seed=int(rng.integers(0, 2**31)))
+    dirty, report = inject_label_errors(
+        train_clean, column="sentiment", fraction=label_error_fraction,
+        seed=int(rng.integers(0, 2**31)))
+    dirty, noise_report = inject_feature_noise(
+        dirty, column="employer_rating", fraction=noise_fraction, scale=3.0,
+        seed=int(rng.integers(0, 2**31)))
+    dirty, outlier_report = inject_outliers(
+        dirty, column="years_experience", fraction=noise_fraction / 2,
+        seed=int(rng.integers(0, 2**31)))
+    report.extend(noise_report).extend(outlier_report)
+
+    oracle = ChallengeOracle(dirty, train_clean, test_df, budget=budget)
+    return Challenge(train_df=dirty, valid_df=valid_df, oracle=oracle,
+                     n_errors=len(report.row_ids()))

@@ -1,0 +1,23 @@
+"""Data repair: oracles, prioritized iterative cleaning, imputation.
+
+Implements the cleaning side of the tutorial's loop — Figure 2's
+"provide [impactful tuples] to an oracle cleaning function", the attendee
+task of building an *iterative* cleaner, ActiveClean-style budgeted
+gradient cleaning (ref [42]), and plain imputation repair.
+"""
+
+from repro.cleaning.activeclean import active_clean
+from repro.cleaning.imputation import impute_frame
+from repro.cleaning.iterative import CleaningResult, IterativeCleaner, make_strategy
+from repro.cleaning.oracle import CleaningOracle
+from repro.cleaning.pipeline_cleaning import PipelineIterativeCleaner
+
+__all__ = [
+    "CleaningOracle",
+    "PipelineIterativeCleaner",
+    "IterativeCleaner",
+    "CleaningResult",
+    "make_strategy",
+    "impute_frame",
+    "active_clean",
+]

@@ -1,0 +1,87 @@
+"""ActiveClean: budgeted cleaning driven by gradients (Krishnan et al., [42]).
+
+ActiveClean interleaves cleaning with training: the model trained on the
+partially-clean data points at the dirty records whose *gradients* would
+move the parameters most, those get cleaned first, and the model is
+updated. Against uniform-random cleaning it converges to the clean-data
+model with a fraction of the cleaning effort.
+
+This implementation targets binary logistic regression: per-record
+gradient norms under the current parameters form the sampling
+distribution (detect-then-sample variant with importance weighting
+omitted — we retrain from scratch each step, which is affordable at
+tutorial scale and keeps the estimator unbiased).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.exceptions import ValidationError
+from repro.core.rng import ensure_rng
+from repro.core.validation import check_X_y
+from repro.ml.base import clone
+from repro.ml.linear import LogisticRegression
+from repro.ml.metrics import accuracy_score
+
+
+def active_clean(X_dirty, y_dirty, X_clean, y_clean, X_valid, y_valid, *,
+                 dirty_mask, budget: int, batch: int = 10, seed=0,
+                 model: LogisticRegression | None = None) -> dict:
+    """Run the ActiveClean loop (simulated with ground truth).
+
+    Parameters
+    ----------
+    X_dirty, y_dirty:
+        Corrupted training data.
+    X_clean, y_clean:
+        Ground truth (the simulated cleaning crowd).
+    dirty_mask:
+        Boolean marker of records that are actually dirty (the detector's
+        output; ActiveClean assumes a detector exists).
+    budget / batch:
+        Total records that may be cleaned, and per-iteration batch size.
+
+    Returns
+    -------
+    dict with ``accuracy`` trajectory (per iteration), ``cleaned`` index
+    order, and the final ``model``.
+    """
+    X, y = check_X_y(X_dirty, y_dirty)
+    X_clean = np.asarray(X_clean, dtype=float)
+    y_clean = np.asarray(y_clean)
+    dirty = np.asarray(dirty_mask, dtype=bool).copy()
+    if budget < 1 or batch < 1:
+        raise ValidationError("budget and batch must be >= 1")
+    rng = ensure_rng(seed)
+    model = model or LogisticRegression(max_iter=100)
+
+    X_current = X.copy()
+    y_current = y.copy()
+    cleaned: list[int] = []
+    accuracies = []
+
+    def evaluate():
+        fitted = clone(model)
+        fitted.fit(X_current, y_current)
+        accuracies.append(
+            accuracy_score(y_valid, fitted.predict(np.asarray(X_valid))))
+        return fitted
+
+    fitted = evaluate()
+    while len(cleaned) < budget and dirty.any():
+        # Gradient magnitude of each still-dirty record under current fit.
+        proba = fitted.predict_proba(X_current)[:, 1]
+        target = (y_current == fitted.classes_[1]).astype(float)
+        grad_norm = np.abs(proba - target) * np.linalg.norm(X_current, axis=1)
+        candidates = np.flatnonzero(dirty)
+        weights = grad_norm[candidates] + 1e-12
+        weights = weights / weights.sum()
+        take = min(batch, budget - len(cleaned), len(candidates))
+        chosen = rng.choice(candidates, size=take, replace=False, p=weights)
+        X_current[chosen] = X_clean[chosen]
+        y_current[chosen] = y_clean[chosen]
+        dirty[chosen] = False
+        cleaned.extend(int(c) for c in chosen)
+        fitted = evaluate()
+    return {"accuracy": accuracies, "cleaned": cleaned, "model": fitted}

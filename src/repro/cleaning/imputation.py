@@ -1,0 +1,60 @@
+"""Imputation repair for dataframe columns."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.exceptions import ValidationError
+from repro.dataframe.frame import DataFrame
+from repro.ml.preprocessing import KNNImputer
+
+
+def impute_frame(frame: DataFrame, *, strategy: str = "mean",
+                 columns: list[str] | None = None,
+                 n_neighbors: int = 5) -> DataFrame:
+    """Fill nulls in the selected columns.
+
+    Strategies: ``mean``, ``median``, ``mode`` (works for categoricals),
+    ``knn`` (numeric columns jointly, nan-euclidean donors).
+    """
+    columns = columns or frame.columns
+    missing = [c for c in columns if c not in frame.columns]
+    if missing:
+        raise ValidationError(f"no such columns: {missing}")
+
+    if strategy == "knn":
+        numeric = [c for c in columns
+                   if frame[c].dtype.kind in ("f", "i", "b")]
+        if not numeric:
+            raise ValidationError("knn imputation needs numeric columns")
+        matrix = np.column_stack([
+            frame[c].cast(float).to_numpy() for c in numeric
+        ])
+        filled = KNNImputer(n_neighbors=n_neighbors).fit_transform(matrix)
+        out = frame.copy()
+        for j, c in enumerate(numeric):
+            out[c] = filled[:, j]
+        return out
+
+    out = frame.copy()
+    for name in columns:
+        col = frame[name]
+        if col.null_count() == 0:
+            continue
+        if strategy == "mean":
+            if col.dtype.kind not in ("f", "i", "b"):
+                continue  # mean undefined for categoricals; skip silently
+            fill = col.cast(float).mean()
+        elif strategy == "median":
+            if col.dtype.kind not in ("f", "i", "b"):
+                continue
+            values = col.cast(float).to_numpy()
+            fill = float(np.nanmedian(values))
+        elif strategy == "mode":
+            fill = col.mode()
+        else:
+            raise ValidationError(f"unknown strategy {strategy!r}")
+        if fill is None:
+            raise ValidationError(f"column {name!r} has no observed values")
+        out[name] = col.fill_null(fill)
+    return out

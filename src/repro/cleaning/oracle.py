@@ -1,0 +1,75 @@
+"""The cleaning oracle: ground-truth repairs with budget accounting.
+
+The tutorial's hands-on sessions hand attendees an "oracle" cleaning
+function — specify tuple identifiers, get their clean versions back.
+:class:`CleaningOracle` implements that contract against a retained clean
+copy of the data, enforcing an optional query budget (the challenge of
+Section 3.2 limits how many tuples may be cleaned).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.exceptions import BudgetExhaustedError, ValidationError
+from repro.dataframe.frame import DataFrame
+
+
+class CleaningOracle:
+    """Repairs rows of a dirty frame from a clean reference copy.
+
+    Parameters
+    ----------
+    clean_frame:
+        Ground-truth data; must contain every row id it will be asked to
+        repair.
+    columns:
+        Columns the oracle repairs; all shared columns by default.
+    budget:
+        Maximum number of *distinct* rows that may ever be cleaned;
+        ``None`` for unlimited. Repeating a row does not re-charge it.
+    """
+
+    def __init__(self, clean_frame: DataFrame, *, columns: list[str] | None = None,
+                 budget: int | None = None):
+        self._clean = clean_frame
+        self.columns = columns
+        if budget is not None and budget < 0:
+            raise ValidationError("budget must be non-negative")
+        self.budget = budget
+        self._cleaned_ids: set[int] = set()
+
+    @property
+    def cleaned_count(self) -> int:
+        return len(self._cleaned_ids)
+
+    @property
+    def remaining_budget(self) -> int | None:
+        if self.budget is None:
+            return None
+        return self.budget - self.cleaned_count
+
+    def clean(self, dirty_frame: DataFrame, row_ids) -> DataFrame:
+        """Return a copy of ``dirty_frame`` with the given rows repaired.
+
+        Raises :class:`BudgetExhaustedError` when the request would exceed
+        the budget (no partial application).
+        """
+        row_ids = [int(r) for r in np.atleast_1d(row_ids)]
+        new_ids = set(row_ids) - self._cleaned_ids
+        if self.budget is not None and \
+                self.cleaned_count + len(new_ids) > self.budget:
+            raise BudgetExhaustedError(
+                f"cleaning {len(new_ids)} new rows would exceed budget "
+                f"{self.budget} (already cleaned {self.cleaned_count})"
+            )
+        columns = self.columns or [
+            c for c in dirty_frame.columns if c in self._clean.columns
+        ]
+        clean_positions = self._clean.positions_of(row_ids)
+        repaired = dirty_frame
+        for column in columns:
+            clean_values = [self._clean[column].get(int(p)) for p in clean_positions]
+            repaired = repaired.set_values(row_ids, column, clean_values)
+        self._cleaned_ids |= new_ids
+        return repaired

@@ -1,0 +1,32 @@
+"""Shared infrastructure: RNG handling, validation, errors, reporting."""
+
+from repro.core.exceptions import (
+    DataError,
+    NotFittedError,
+    ReproError,
+    SchemaError,
+    ValidationError,
+)
+from repro.core.rng import ensure_rng, spawn_rngs
+from repro.core.validation import (
+    check_array,
+    check_consistent_length,
+    check_fraction,
+    check_positive_int,
+    check_X_y,
+)
+
+__all__ = [
+    "DataError",
+    "NotFittedError",
+    "ReproError",
+    "SchemaError",
+    "ValidationError",
+    "ensure_rng",
+    "spawn_rngs",
+    "check_array",
+    "check_consistent_length",
+    "check_fraction",
+    "check_positive_int",
+    "check_X_y",
+]

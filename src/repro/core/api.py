@@ -1,0 +1,151 @@
+"""The tutorial facade: the ``navigating_data_errors`` API of Figures 2-4.
+
+The code snippets shown in the paper's figures use a compact module-level
+API (``nde.load_recommendation_letters``, ``nde.inject_labelerrors``,
+``nde.knn_shapley_values``, ``nde.datascope``, ``nde.encode_symbolic``,
+``nde.estimate_with_zorro``, ...). This module provides those exact entry
+points as thin wrappers over the library subpackages, so the figures'
+snippets run almost verbatim::
+
+    import repro as nde
+    train_df, valid_df, test_df = nde.load_recommendation_letters()
+    train_df_err, report = nde.inject_labelerrors(train_df, fraction=0.1)
+    acc_dirty = nde.evaluate_model(train_df_err, validation=valid_df)
+    importances = nde.knn_shapley_values(train_df_err, validation=valid_df)
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.dataframe.frame import DataFrame
+from repro.errors.labels import inject_label_errors
+from repro.importance.knn_shapley import knn_shapley
+from repro.ml.base import clone
+from repro.ml.compose import ColumnTransformer, Pipeline
+from repro.ml.linear import LogisticRegression
+from repro.ml.metrics import accuracy_score
+from repro.ml.preprocessing import OneHotEncoder, SimpleImputer, StandardScaler
+from repro.text.vectorize import SentenceEmbedder
+
+_LABEL = "sentiment"
+
+
+def default_letter_encoder() -> ColumnTransformer:
+    """The feature encoder the tutorial uses for recommendation letters:
+    text embedding + scaled numerics + one-hot degree."""
+    return ColumnTransformer([
+        ("text", SentenceEmbedder(dim=32), "letter_text"),
+        ("num", Pipeline([("imp", SimpleImputer()), ("sc", StandardScaler())]),
+         ["years_experience", "employer_rating"]),
+        ("deg", OneHotEncoder(), "degree"),
+    ])
+
+
+def inject_labelerrors(train_df: DataFrame, *, fraction: float = 0.1,
+                       seed=0):
+    """Figure 2's ``nde.inject_labelerrors``: flip sentiment labels.
+
+    Returns ``(dirty_frame, error_report)``.
+    """
+    return inject_label_errors(train_df, column=_LABEL, fraction=fraction,
+                               seed=seed)
+
+
+def _encode(train_df: DataFrame, encoder=None):
+    encoder = clone(encoder) if encoder is not None else default_letter_encoder()
+    feature_columns = [c for c in train_df.columns if c != _LABEL]
+    X = encoder.fit_transform(train_df.select(feature_columns))
+    y = np.array(train_df[_LABEL].to_list())
+    return X, y, encoder, feature_columns
+
+
+def evaluate_model(train_df: DataFrame, *, validation: DataFrame,
+                   model=None, encoder=None) -> float:
+    """Train the tutorial classifier on ``train_df`` and report accuracy
+    on ``validation`` (Figure 2's ``nde.evaluate_model``)."""
+    model = model or LogisticRegression(max_iter=100)
+    X, y, fitted_encoder, feature_columns = _encode(train_df, encoder)
+    fitted = clone(model)
+    fitted.fit(X, y)
+    X_valid = fitted_encoder.transform(validation.select(feature_columns))
+    y_valid = np.array(validation[_LABEL].to_list())
+    return float(accuracy_score(y_valid, fitted.predict(X_valid)))
+
+
+def knn_shapley_values(train_df: DataFrame, *, validation: DataFrame,
+                       k: int = 5, encoder=None) -> np.ndarray:
+    """Figure 2's ``nde.knn_shapley_values``: per-row importance of the
+    (possibly dirty) training frame, lower = more harmful."""
+    X, y, fitted_encoder, feature_columns = _encode(train_df, encoder)
+    X_valid = fitted_encoder.transform(validation.select(feature_columns))
+    y_valid = np.array(validation[_LABEL].to_list())
+    return knn_shapley(X, y, X_valid, y_valid, k=k)
+
+
+def pretty_print(frame: DataFrame, max_rows: int = 25) -> None:
+    """Figure 2's ``nde.pretty_print``."""
+    print(frame.pretty(max_rows=max_rows))
+
+
+def encode_symbolic(train_df: DataFrame, *, uncertain_feature: str,
+                    missing_percentage: float, missingness: str = "MNAR",
+                    label_column: str = "target",
+                    feature_columns: list[str] | None = None, seed=0):
+    """Figure 4's ``nde.encode_symbolic``: inject the requested amount of
+    missingness into ``uncertain_feature`` and lift the frame into a
+    symbolic (interval) table.
+
+    Returns the :class:`repro.uncertain.SymbolicTable`.
+    """
+    from repro.errors.missing import inject_missing
+    from repro.uncertain.zorro import encode_symbolic as lift
+
+    dirty, _ = inject_missing(train_df, column=uncertain_feature,
+                              fraction=missing_percentage / 100.0,
+                              mechanism=missingness, seed=seed)
+    if feature_columns is None:
+        # Numeric non-label columns, skipping key columns (ids carry no
+        # signal and would dominate the interval ranges).
+        feature_columns = [
+            c for c in dirty.columns
+            if c != label_column and not c.endswith("_id")
+            and dirty[c].dtype.kind in ("f", "i", "b")
+        ]
+    return lift(dirty, feature_columns=feature_columns,
+                label_column=label_column)
+
+
+def estimate_with_zorro(table, test_data, y_test=None) -> float:
+    """Figure 4's ``nde.estimate_with_zorro``: certified maximum
+    worst-case training loss of the robust model (the figure's y-axis).
+
+    ``test_data`` is a test :class:`DataFrame` carrying the table's
+    feature and label columns (the snippet's ``test_df``), or a plain
+    feature matrix with ``y_test`` supplied separately.
+    """
+    from repro.uncertain.zorro import estimate_worst_case_loss
+
+    if isinstance(test_data, DataFrame):
+        X_test = test_data.select(table.columns).to_numpy()
+        y_test = test_data[table.label_column].cast(float).to_numpy()
+    else:
+        X_test = np.asarray(test_data, dtype=float)
+        if y_test is None:
+            raise ValueError("y_test required when test_data is a matrix")
+    return estimate_worst_case_loss(table, X_test, y_test)[
+        "train_worst_case_mse"]
+
+
+def visualize_uncertainty(max_losses: dict, feature: str,
+                          width: int = 40) -> None:
+    """Figure 4's ``nde.visualize_uncertainty``: ASCII bar chart of the
+    maximum worst-case loss per missing percentage."""
+    if not max_losses:
+        return
+    peak = max(max_losses.values())
+    print(f"Maximum worst-case loss — missing values in {feature!r}:")
+    for percentage in sorted(max_losses):
+        value = max_losses[percentage]
+        bar = "#" * max(1, int(width * value / max(peak, 1e-12)))
+        print(f"{percentage:>4}%  {bar} {value:.4f}")

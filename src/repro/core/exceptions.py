@@ -1,0 +1,33 @@
+"""Exception hierarchy for the repro library.
+
+All library-raised exceptions derive from :class:`ReproError` so callers can
+catch everything the library raises with a single except clause.
+"""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class ValidationError(ReproError, ValueError):
+    """An argument failed validation (bad shape, dtype, or range)."""
+
+
+class SchemaError(ReproError, KeyError):
+    """A dataframe operation referenced a missing or incompatible column."""
+
+
+class DataError(ReproError):
+    """The data itself is unusable for the requested operation."""
+
+
+class NotFittedError(ReproError, RuntimeError):
+    """An estimator method requiring a fit was called before ``fit``."""
+
+
+class BudgetExhaustedError(ReproError, RuntimeError):
+    """A cleaning/challenge oracle was queried beyond its allowed budget."""
+
+
+class ConvergenceWarning(UserWarning):
+    """An iterative solver stopped before reaching its tolerance."""

@@ -1,0 +1,50 @@
+"""Seeded randomness helpers.
+
+Every stochastic component in the library accepts a ``seed`` argument that
+may be ``None``, an integer, or a :class:`numpy.random.Generator`, and
+normalizes it through :func:`ensure_rng`. This keeps experiments exactly
+reproducible while letting callers share one generator across components.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.exceptions import ValidationError
+
+SeedLike = "int | np.random.Generator | None"
+
+
+def ensure_rng(seed=None) -> np.random.Generator:
+    """Normalize ``seed`` into a :class:`numpy.random.Generator`.
+
+    Parameters
+    ----------
+    seed:
+        ``None`` for OS entropy, an ``int`` for a fixed seed, or an existing
+        ``Generator`` which is returned unchanged (so state is shared).
+    """
+    if seed is None:
+        return np.random.default_rng()
+    if isinstance(seed, np.random.Generator):
+        return seed
+    if isinstance(seed, (int, np.integer)):
+        return np.random.default_rng(int(seed))
+    raise ValidationError(
+        f"seed must be None, an int, or a numpy Generator, got {type(seed).__name__}"
+    )
+
+
+def spawn_rngs(seed, n: int) -> list[np.random.Generator]:
+    """Derive ``n`` independent generators from one seed.
+
+    Used by Monte-Carlo estimators that parallelize over repetitions: each
+    repetition gets its own stream so results do not depend on evaluation
+    order.
+    """
+    if n < 0:
+        raise ValidationError(f"n must be non-negative, got {n}")
+    root = ensure_rng(seed)
+    return [np.random.default_rng(s) for s in root.bit_generator.seed_seq.spawn(n)] \
+        if hasattr(root.bit_generator, "seed_seq") and root.bit_generator.seed_seq is not None \
+        else [np.random.default_rng(root.integers(0, 2**63)) for _ in range(n)]

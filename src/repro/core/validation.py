@@ -1,0 +1,81 @@
+"""Input validation helpers shared across estimators and algorithms."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.exceptions import ValidationError
+
+
+def check_array(X, *, name: str = "X", ndim: int = 2, dtype=float,
+                allow_nan: bool = False) -> np.ndarray:
+    """Coerce ``X`` to an ndarray and validate its shape and finiteness.
+
+    Parameters
+    ----------
+    X:
+        Array-like input.
+    name:
+        Name used in error messages.
+    ndim:
+        Required number of dimensions; 1-D input is promoted to 2-D when
+        ``ndim == 2`` only if it is a column of scalars is ambiguous, so we
+        reject instead — callers must be explicit.
+    dtype:
+        Target dtype, or ``None`` to keep the input dtype.
+    allow_nan:
+        Whether NaN entries are acceptable (used by imputers and the
+        incomplete-data algorithms, where NaN encodes a missing cell).
+    """
+    arr = np.asarray(X, dtype=dtype) if dtype is not None else np.asarray(X)
+    if arr.ndim != ndim:
+        raise ValidationError(f"{name} must be {ndim}-dimensional, got shape {arr.shape}")
+    if arr.size == 0:
+        raise ValidationError(f"{name} must be non-empty")
+    if not allow_nan and arr.dtype.kind == "f" and not np.all(np.isfinite(arr)):
+        raise ValidationError(
+            f"{name} contains NaN or infinite values; "
+            "impute or use the repro.uncertain algorithms for incomplete data"
+        )
+    if allow_nan and arr.dtype.kind == "f" and np.any(np.isinf(arr)):
+        raise ValidationError(f"{name} contains infinite values")
+    return arr
+
+
+def check_X_y(X, y, *, allow_nan: bool = False):
+    """Validate a feature matrix / label vector pair."""
+    X = check_array(X, name="X", ndim=2, allow_nan=allow_nan)
+    y = np.asarray(y)
+    if y.ndim != 1:
+        raise ValidationError(f"y must be 1-dimensional, got shape {y.shape}")
+    if len(X) != len(y):
+        raise ValidationError(f"X and y have inconsistent lengths: {len(X)} != {len(y)}")
+    return X, y
+
+
+def check_consistent_length(*arrays) -> int:
+    """Verify all arguments share the same first-dimension length."""
+    lengths = {len(a) for a in arrays if a is not None}
+    if len(lengths) > 1:
+        raise ValidationError(f"inconsistent lengths: {sorted(lengths)}")
+    return lengths.pop() if lengths else 0
+
+
+def check_fraction(value: float, *, name: str = "fraction",
+                   inclusive_low: bool = True, inclusive_high: bool = True) -> float:
+    """Validate a value lies in [0, 1] (bounds optionally exclusive)."""
+    value = float(value)
+    low_ok = value >= 0.0 if inclusive_low else value > 0.0
+    high_ok = value <= 1.0 if inclusive_high else value < 1.0
+    if not (low_ok and high_ok):
+        raise ValidationError(f"{name} must be in the unit interval, got {value}")
+    return value
+
+
+def check_positive_int(value, *, name: str = "value") -> int:
+    """Validate a strictly positive integer."""
+    if not isinstance(value, (int, np.integer)) or isinstance(value, bool):
+        raise ValidationError(f"{name} must be an int, got {type(value).__name__}")
+    if value <= 0:
+        raise ValidationError(f"{name} must be positive, got {value}")
+    return int(value)

@@ -1,0 +1,15 @@
+"""A small columnar dataframe engine (the pandas stand-in).
+
+Provides null-aware typed columns and a :class:`DataFrame` supporting the
+relational operations the tutorial's pipelines need — filter, project,
+map/UDF, hash join, fuzzy join, group-by aggregation, concat and sort —
+with stable row identifiers so fine-grained provenance can be tracked
+through every operation.
+"""
+
+from repro.dataframe.column import Column
+from repro.dataframe.frame import DataFrame, concat_rows
+from repro.dataframe.groupby import GroupBy
+from repro.dataframe.io import read_csv, write_csv
+
+__all__ = ["Column", "DataFrame", "GroupBy", "concat_rows", "read_csv", "write_csv"]

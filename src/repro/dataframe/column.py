@@ -1,0 +1,327 @@
+"""Null-aware typed columns.
+
+A :class:`Column` wraps a numpy array of values plus a boolean null mask.
+Unlike raw numpy, nulls are representable for *every* dtype (pandas needs
+object-dtype or NaN tricks for this). The mask convention is: ``mask[i] is
+True`` means row ``i`` is null; the backing value at a null position is a
+dtype-specific filler and must never be read directly.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+import numpy as np
+
+from repro.core.exceptions import ValidationError
+
+_FILLERS = {"f": np.nan, "i": 0, "b": False, "U": "", "O": ""}
+
+_UNSET = object()  # sentinel: "no null_value supplied" (None is a valid fill)
+
+
+def _filler_for(dtype: np.dtype):
+    return _FILLERS.get(dtype.kind, 0)
+
+
+class Column:
+    """A named, typed, null-aware vector of values.
+
+    Parameters
+    ----------
+    values:
+        Backing values. Python ``None`` entries (and float NaN) are
+        converted into nulls.
+    mask:
+        Optional explicit boolean null mask; computed from ``values`` when
+        omitted.
+    """
+
+    __slots__ = ("values", "mask")
+
+    def __init__(self, values, mask=None):
+        if isinstance(values, Column):
+            self.values = values.values.copy()
+            self.mask = values.mask.copy()
+            return
+        values, inferred_mask = _coerce(values)
+        self.values = values
+        if mask is None:
+            self.mask = inferred_mask
+        else:
+            mask = np.asarray(mask, dtype=bool)
+            if mask.shape != values.shape:
+                raise ValidationError(
+                    f"mask shape {mask.shape} does not match values shape {values.shape}"
+                )
+            self.mask = mask | inferred_mask
+        # Normalize fillers under the mask so equality and hashing of masked
+        # slots never leak stale values.
+        if self.mask.any():
+            self.values = self.values.copy()
+            self.values[self.mask] = _filler_for(self.values.dtype)
+
+    # ------------------------------------------------------------------
+    # Basic protocol
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.values)
+
+    def __eq__(self, other):
+        """Elementwise equality; null entries compare as False."""
+        other_values, other_mask = _align(other, len(self))
+        result = np.zeros(len(self), dtype=bool)
+        valid = ~(self.mask | other_mask)
+        result[valid] = self.values[valid] == other_values[valid]
+        return result
+
+    def __ne__(self, other):
+        other_values, other_mask = _align(other, len(self))
+        result = np.zeros(len(self), dtype=bool)
+        valid = ~(self.mask | other_mask)
+        result[valid] = self.values[valid] != other_values[valid]
+        return result
+
+    def __lt__(self, other):
+        return self._compare(other, np.less)
+
+    def __le__(self, other):
+        return self._compare(other, np.less_equal)
+
+    def __gt__(self, other):
+        return self._compare(other, np.greater)
+
+    def __ge__(self, other):
+        return self._compare(other, np.greater_equal)
+
+    def _compare(self, other, op):
+        other_values, other_mask = _align(other, len(self))
+        result = np.zeros(len(self), dtype=bool)
+        valid = ~(self.mask | other_mask)
+        result[valid] = op(self.values[valid], other_values[valid])
+        return result
+
+    def __hash__(self):  # columns are mutable containers
+        raise TypeError("Column objects are unhashable")
+
+    def __repr__(self) -> str:
+        preview = ", ".join(repr(v) for v in self.to_list()[:6])
+        suffix = ", ..." if len(self) > 6 else ""
+        return f"Column([{preview}{suffix}], dtype={self.dtype}, nulls={int(self.mask.sum())})"
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def dtype(self) -> np.dtype:
+        return self.values.dtype
+
+    def is_null(self) -> np.ndarray:
+        """Boolean mask of null positions."""
+        return self.mask.copy()
+
+    def not_null(self) -> np.ndarray:
+        """Boolean mask of non-null positions."""
+        return ~self.mask
+
+    def null_count(self) -> int:
+        return int(self.mask.sum())
+
+    # ------------------------------------------------------------------
+    # Access and transformation
+    # ------------------------------------------------------------------
+    def get(self, i: int):
+        """Scalar at position ``i``; ``None`` when the slot is null."""
+        if self.mask[i]:
+            return None
+        value = self.values[i]
+        return value.item() if isinstance(value, np.generic) else value
+
+    def take(self, indices) -> "Column":
+        """Positional selection (used by every relational operator)."""
+        indices = np.asarray(indices)
+        if indices.dtype == bool:
+            indices = np.flatnonzero(indices)
+        return Column.__new__(Column)._init_raw(
+            self.values[indices], self.mask[indices]
+        )
+
+    def _init_raw(self, values, mask):
+        self.values = values
+        self.mask = mask
+        return self
+
+    def fill_null(self, value) -> "Column":
+        """Return a copy with nulls replaced by ``value``."""
+        values = self.values.copy()
+        if self.mask.any():
+            if self.dtype.kind in ("U", "O") or isinstance(value, str):
+                values = values.astype(object)
+            values[self.mask] = value
+        return Column(values, np.zeros(len(values), dtype=bool))
+
+    def map(self, func, *, skip_null: bool = True) -> "Column":
+        """Apply a scalar UDF elementwise.
+
+        With ``skip_null=True`` (the default), null inputs stay null and the
+        UDF never observes them; otherwise the UDF receives ``None``.
+        """
+        out = []
+        for i in range(len(self)):
+            if self.mask[i] and skip_null:
+                out.append(None)
+            else:
+                out.append(func(self.get(i)))
+        return Column(out)
+
+    def cast(self, dtype) -> "Column":
+        """Cast values, preserving the null mask."""
+        dtype = np.dtype(dtype)
+        values = self.values.copy()
+        if self.mask.any():
+            values[self.mask] = _filler_for(self.values.dtype)
+        if dtype.kind in ("i", "f") and values.dtype.kind in ("U", "O"):
+            converted = np.array(
+                [_filler_for(dtype) if m else dtype.type(v)
+                 for v, m in zip(values, self.mask)],
+                dtype=dtype,
+            )
+            return Column(converted, self.mask.copy())
+        return Column(values.astype(dtype), self.mask.copy())
+
+    def to_numpy(self, *, null_value=_UNSET) -> np.ndarray:
+        """Materialize as a plain ndarray.
+
+        Float columns encode nulls as NaN. For other dtypes with nulls
+        present, pass an explicit ``null_value`` (``None`` is accepted and
+        yields an object array with ``None`` entries).
+        """
+        if not self.mask.any():
+            return self.values.copy()
+        if null_value is _UNSET:
+            if self.dtype.kind == "f":
+                out = self.values.copy()
+                out[self.mask] = np.nan
+                return out
+            raise ValidationError(
+                f"column of dtype {self.dtype} has nulls; pass null_value to to_numpy"
+            )
+        out = self.values.astype(object)
+        out[self.mask] = null_value
+        return out
+
+    def to_list(self) -> list:
+        """Materialize as a Python list with ``None`` for nulls."""
+        return [self.get(i) for i in range(len(self))]
+
+    # ------------------------------------------------------------------
+    # Reductions (null-skipping)
+    # ------------------------------------------------------------------
+    def _valid_values(self) -> np.ndarray:
+        return self.values[~self.mask]
+
+    def sum(self):
+        return self._valid_values().sum()
+
+    def mean(self):
+        valid = self._valid_values()
+        if len(valid) == 0:
+            return None
+        return float(valid.mean())
+
+    def std(self):
+        valid = self._valid_values()
+        if len(valid) == 0:
+            return None
+        return float(valid.std())
+
+    def min(self):
+        valid = self._valid_values()
+        return None if len(valid) == 0 else valid.min().item()
+
+    def max(self):
+        valid = self._valid_values()
+        return None if len(valid) == 0 else valid.max().item()
+
+    def mode(self):
+        """Most frequent non-null value (ties broken by first occurrence)."""
+        valid = self._valid_values()
+        if len(valid) == 0:
+            return None
+        uniques, first_pos, counts = np.unique(
+            valid, return_index=True, return_counts=True
+        )
+        best = np.lexsort((first_pos, -counts))[0]
+        value = uniques[best]
+        return value.item() if isinstance(value, np.generic) else value
+
+    def unique(self) -> list:
+        """Sorted distinct non-null values."""
+        valid = self._valid_values()
+        return [v.item() if isinstance(v, np.generic) else v for v in np.unique(valid)]
+
+    def value_counts(self) -> dict:
+        """Mapping of non-null value -> frequency."""
+        valid = self._valid_values()
+        uniques, counts = np.unique(valid, return_counts=True)
+        return {
+            (u.item() if isinstance(u, np.generic) else u): int(c)
+            for u, c in zip(uniques, counts)
+        }
+
+
+def _coerce(values) -> tuple[np.ndarray, np.ndarray]:
+    """Convert arbitrary input into (backing array, null mask)."""
+    if isinstance(values, np.ndarray) and values.dtype.kind in ("i", "b"):
+        return values.copy(), np.zeros(len(values), dtype=bool)
+    if isinstance(values, np.ndarray) and values.dtype.kind == "f":
+        mask = np.isnan(values)
+        backing = values.copy()
+        backing[mask] = np.nan
+        return backing, mask
+    if isinstance(values, np.ndarray) and values.dtype.kind == "U":
+        return values.copy(), np.zeros(len(values), dtype=bool)
+
+    if not isinstance(values, Iterable) or isinstance(values, str):
+        raise ValidationError("Column values must be an iterable of scalars")
+    items = list(values)
+    mask = np.array(
+        [v is None or (isinstance(v, float) and np.isnan(v)) for v in items],
+        dtype=bool,
+    )
+    non_null = [v for v, m in zip(items, mask) if not m]
+    if not non_null:
+        return np.full(len(items), np.nan), mask
+    if all(isinstance(v, bool) or isinstance(v, np.bool_) for v in non_null):
+        backing = np.array([bool(v) if not m else False for v, m in zip(items, mask)])
+    elif all(isinstance(v, (int, np.integer)) and not isinstance(v, bool) for v in non_null):
+        if mask.any():
+            backing = np.array(
+                [float(v) if not m else np.nan for v, m in zip(items, mask)]
+            )
+        else:
+            backing = np.array(items, dtype=np.int64)
+    elif all(isinstance(v, (int, float, np.integer, np.floating)) for v in non_null):
+        backing = np.array(
+            [float(v) if not m else np.nan for v, m in zip(items, mask)]
+        )
+    elif all(isinstance(v, str) for v in non_null):
+        backing = np.array([v if not m else "" for v, m in zip(items, mask)], dtype=object)
+    else:
+        backing = np.array([v if not m else None for v, m in zip(items, mask)], dtype=object)
+    return backing, mask
+
+
+def _align(other, length: int) -> tuple[np.ndarray, np.ndarray]:
+    """Broadcast a scalar / array / Column into (values, mask) of ``length``."""
+    if isinstance(other, Column):
+        if len(other) != length:
+            raise ValidationError(f"length mismatch: {len(other)} != {length}")
+        return other.values, other.mask
+    if isinstance(other, (list, tuple, np.ndarray)):
+        col = Column(other)
+        return _align(col, length)
+    if other is None:
+        return np.zeros(length), np.ones(length, dtype=bool)
+    values = np.full(length, other)
+    return values, np.zeros(length, dtype=bool)

@@ -1,0 +1,509 @@
+"""The DataFrame: a dict of named columns with stable row identifiers.
+
+Row identifiers (``row_ids``) give every row a durable identity that
+survives filters, joins, projections and sorts. Provenance in
+:mod:`repro.pipelines` is expressed entirely in terms of these ids, which
+is what lets data-importance scores computed on pipeline *outputs* be
+mapped back onto pipeline *source* rows.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterable, Mapping
+
+import numpy as np
+
+from repro.core.exceptions import SchemaError, ValidationError
+from repro.dataframe.column import Column
+
+_next_id_counter = [0]
+
+
+def _fresh_row_ids(n: int) -> np.ndarray:
+    """Allocate ``n`` globally unique row ids."""
+    start = _next_id_counter[0]
+    _next_id_counter[0] = start + n
+    return np.arange(start, start + n, dtype=np.int64)
+
+
+class DataFrame:
+    """An ordered collection of equal-length named columns.
+
+    Parameters
+    ----------
+    data:
+        Mapping of column name to values (anything :class:`Column` accepts).
+    row_ids:
+        Optional explicit identifiers; freshly allocated when omitted.
+        Operations that subset or reorder rows carry ids along, so
+        ``frame.row_ids`` always answers "which original rows are these?".
+    """
+
+    def __init__(self, data: Mapping | None = None, row_ids=None):
+        self._columns: dict[str, Column] = {}
+        length = None
+        for name, values in (data or {}).items():
+            column = values if isinstance(values, Column) else Column(values)
+            if length is None:
+                length = len(column)
+            elif len(column) != length:
+                raise ValidationError(
+                    f"column {name!r} has length {len(column)}, expected {length}"
+                )
+            self._columns[str(name)] = column
+        if length is None:
+            length = 0 if row_ids is None else len(np.asarray(row_ids))
+        if row_ids is None:
+            self.row_ids = _fresh_row_ids(length)
+        else:
+            self.row_ids = np.asarray(row_ids, dtype=np.int64)
+            if len(self.row_ids) != length:
+                raise ValidationError(
+                    f"row_ids has length {len(self.row_ids)}, expected {length}"
+                )
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_records(cls, records: Iterable[Mapping], columns=None) -> "DataFrame":
+        """Build from an iterable of row dicts (missing keys become null)."""
+        records = list(records)
+        if columns is None:
+            columns, seen = [], set()
+            for rec in records:
+                for key in rec:
+                    if key not in seen:
+                        seen.add(key)
+                        columns.append(key)
+        data = {c: [rec.get(c) for rec in records] for c in columns}
+        return cls(data)
+
+    @classmethod
+    def _from_columns(cls, columns: dict[str, Column], row_ids) -> "DataFrame":
+        frame = cls.__new__(cls)
+        frame._columns = columns
+        frame.row_ids = np.asarray(row_ids, dtype=np.int64)
+        return frame
+
+    def copy(self) -> "DataFrame":
+        return DataFrame._from_columns(
+            {n: Column(c) for n, c in self._columns.items()}, self.row_ids.copy()
+        )
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def columns(self) -> list[str]:
+        return list(self._columns)
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        return (len(self), len(self._columns))
+
+    def __len__(self) -> int:
+        return len(self.row_ids)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._columns
+
+    def __getitem__(self, key):
+        """Column access by name, or row subsetting by boolean mask/indices."""
+        if isinstance(key, str):
+            if key not in self._columns:
+                raise SchemaError(f"no column named {key!r}; have {self.columns}")
+            return self._columns[key]
+        if isinstance(key, (list, tuple)) and key and all(isinstance(k, str) for k in key):
+            return self.select(list(key))
+        return self.take(key)
+
+    def __setitem__(self, name: str, values) -> None:
+        column = values if isinstance(values, Column) else Column(
+            np.full(len(self), values) if np.isscalar(values) or values is None else values
+        )
+        if len(column) != len(self):
+            raise ValidationError(
+                f"column length {len(column)} does not match frame length {len(self)}"
+            )
+        self._columns[str(name)] = column
+
+    def __repr__(self) -> str:
+        return f"DataFrame(shape={self.shape}, columns={self.columns})"
+
+    def head(self, n: int = 5) -> "DataFrame":
+        return self.take(np.arange(min(n, len(self))))
+
+    def row(self, i: int) -> dict:
+        """Row ``i`` as a plain dict (nulls become None)."""
+        return {name: col.get(i) for name, col in self._columns.items()}
+
+    def iter_rows(self):
+        for i in range(len(self)):
+            yield self.row(i)
+
+    def to_records(self) -> list[dict]:
+        return list(self.iter_rows())
+
+    def null_counts(self) -> dict[str, int]:
+        return {name: col.null_count() for name, col in self._columns.items()}
+
+    def schema(self) -> dict[str, str]:
+        return {name: str(col.dtype) for name, col in self._columns.items()}
+
+    # ------------------------------------------------------------------
+    # Row-wise operations
+    # ------------------------------------------------------------------
+    def take(self, indices) -> "DataFrame":
+        """Positional row selection (boolean mask or integer indices)."""
+        indices = np.asarray(indices)
+        if indices.dtype == bool:
+            if len(indices) != len(self):
+                raise ValidationError(
+                    f"boolean mask length {len(indices)} != frame length {len(self)}"
+                )
+            indices = np.flatnonzero(indices)
+        columns = {n: c.take(indices) for n, c in self._columns.items()}
+        return DataFrame._from_columns(columns, self.row_ids[indices])
+
+    def filter(self, predicate) -> "DataFrame":
+        """Keep rows where ``predicate`` holds.
+
+        ``predicate`` is a boolean mask, or a callable mapping a row dict to
+        bool (rows with a null consumed by the callable are the callable's
+        responsibility).
+        """
+        if callable(predicate):
+            mask = np.array([bool(predicate(row)) for row in self.iter_rows()])
+        else:
+            mask = np.asarray(predicate, dtype=bool)
+        return self.take(mask)
+
+    def drop_rows(self, row_ids) -> "DataFrame":
+        """Remove rows by *identifier* (not position)."""
+        drop = set(int(r) for r in np.atleast_1d(row_ids))
+        keep = np.array([rid not in drop for rid in self.row_ids])
+        return self.take(keep)
+
+    def positions_of(self, row_ids) -> np.ndarray:
+        """Map row identifiers to current positions (raises on misses)."""
+        index = {int(rid): i for i, rid in enumerate(self.row_ids)}
+        try:
+            return np.array([index[int(r)] for r in np.atleast_1d(row_ids)], dtype=np.int64)
+        except KeyError as exc:
+            raise SchemaError(f"row id {exc.args[0]} not present in frame") from exc
+
+    def sort_by(self, column: str, *, descending: bool = False) -> "DataFrame":
+        col = self[column]
+        order = np.argsort(col.values, kind="stable")
+        # Stable-sort nulls to the end regardless of direction.
+        if descending:
+            non_null = order[~col.mask[order]][::-1]
+        else:
+            non_null = order[~col.mask[order]]
+        nulls = order[col.mask[order]]
+        return self.take(np.concatenate([non_null, nulls]))
+
+    def sample(self, n: int, *, seed=None, replace: bool = False) -> "DataFrame":
+        from repro.core.rng import ensure_rng
+
+        rng = ensure_rng(seed)
+        if not replace and n > len(self):
+            raise ValidationError(f"cannot sample {n} rows from {len(self)} without replacement")
+        indices = rng.choice(len(self), size=n, replace=replace)
+        return self.take(indices)
+
+    def split(self, fractions: Iterable[float], *, seed=None) -> list["DataFrame"]:
+        """Random disjoint splits; fractions must sum to at most 1."""
+        from repro.core.rng import ensure_rng
+
+        fractions = list(fractions)
+        if sum(fractions) > 1.0 + 1e-9:
+            raise ValidationError(f"fractions sum to {sum(fractions)} > 1")
+        rng = ensure_rng(seed)
+        perm = rng.permutation(len(self))
+        splits, start = [], 0
+        for frac in fractions:
+            count = int(round(frac * len(self)))
+            splits.append(self.take(perm[start:start + count]))
+            start += count
+        return splits
+
+    # ------------------------------------------------------------------
+    # Column-wise operations
+    # ------------------------------------------------------------------
+    def select(self, names: list[str]) -> "DataFrame":
+        missing = [n for n in names if n not in self._columns]
+        if missing:
+            raise SchemaError(f"no columns named {missing}; have {self.columns}")
+        return DataFrame._from_columns(
+            {n: Column(self._columns[n]) for n in names}, self.row_ids.copy()
+        )
+
+    def drop(self, names) -> "DataFrame":
+        if isinstance(names, str):
+            names = [names]
+        missing = [n for n in names if n not in self._columns]
+        if missing:
+            raise SchemaError(f"no columns named {missing}; have {self.columns}")
+        keep = [n for n in self.columns if n not in set(names)]
+        return self.select(keep)
+
+    def rename(self, mapping: Mapping[str, str]) -> "DataFrame":
+        missing = [n for n in mapping if n not in self._columns]
+        if missing:
+            raise SchemaError(f"no columns named {missing}; have {self.columns}")
+        columns = {mapping.get(n, n): Column(c) for n, c in self._columns.items()}
+        return DataFrame._from_columns(columns, self.row_ids.copy())
+
+    def with_column(self, name: str, func_or_values) -> "DataFrame":
+        """Return a copy with an added or replaced column.
+
+        ``func_or_values`` is either a row-dict UDF or column values.
+        """
+        out = self.copy()
+        if callable(func_or_values):
+            out[name] = Column([func_or_values(row) for row in self.iter_rows()])
+        else:
+            out[name] = func_or_values
+        return out
+
+    def set_values(self, row_ids, column: str, values) -> "DataFrame":
+        """Return a copy with cells overwritten at the given row *ids*.
+
+        This is the primitive the cleaning oracle uses to apply repairs.
+        """
+        positions = self.positions_of(row_ids)
+        out = self.copy()
+        col = out[column]
+        values = list(values) if isinstance(values, (list, tuple, np.ndarray, Column)) \
+            else [values] * len(positions)
+        if len(values) != len(positions):
+            raise ValidationError(
+                f"got {len(values)} values for {len(positions)} rows"
+            )
+        items = col.to_list()
+        for pos, val in zip(positions, values):
+            items[int(pos)] = val
+        out[column] = Column(items)
+        return out
+
+    # ------------------------------------------------------------------
+    # Joins
+    # ------------------------------------------------------------------
+    def join(self, other: "DataFrame", on: str | tuple[str, str], *,
+             how: str = "inner", suffix: str = "_right",
+             return_indices: bool = False):
+        """Hash join on an equality key.
+
+        Parameters
+        ----------
+        on:
+            A column name present in both frames, or a ``(left, right)``
+            pair of names.
+        how:
+            ``"inner"`` or ``"left"``. Left joins null-fill unmatched right
+            columns.
+        return_indices:
+            Also return ``(left_positions, right_positions)`` arrays, with
+            ``-1`` marking unmatched right positions in a left join. The
+            provenance layer uses these to connect output rows to inputs.
+        """
+        left_key, right_key = (on, on) if isinstance(on, str) else on
+        if how not in ("inner", "left"):
+            raise ValidationError(f"how must be 'inner' or 'left', got {how!r}")
+        left_col, right_col = self[left_key], other[right_key]
+
+        table: dict = {}
+        for j in range(len(other)):
+            if right_col.mask[j]:
+                continue  # null keys never match
+            table.setdefault(right_col.get(j), []).append(j)
+
+        left_pos, right_pos = [], []
+        for i in range(len(self)):
+            matches = [] if left_col.mask[i] else table.get(left_col.get(i), [])
+            if matches:
+                for j in matches:
+                    left_pos.append(i)
+                    right_pos.append(j)
+            elif how == "left":
+                left_pos.append(i)
+                right_pos.append(-1)
+        left_pos = np.array(left_pos, dtype=np.int64)
+        right_pos = np.array(right_pos, dtype=np.int64)
+
+        result = self.take(left_pos) if len(left_pos) else self.take(np.array([], dtype=int))
+        right_names = [n for n in other.columns if n != right_key or right_key != left_key]
+        for name in right_names:
+            if name == right_key and isinstance(on, str):
+                continue
+            out_name = name if name not in result._columns else name + suffix
+            source = other[name]
+            values, mask = [], []
+            for j in right_pos:
+                if j < 0:
+                    values.append(None)
+                else:
+                    values.append(source.get(int(j)))
+            result[out_name] = Column(values)
+        if return_indices:
+            return result, left_pos, right_pos
+        return result
+
+    def fuzzy_join(self, other: "DataFrame", on: str | tuple[str, str], *,
+                   how: str = "inner", suffix: str = "_right",
+                   normalizer: Callable[[str], str] | None = None,
+                   max_edit_distance: int = 0,
+                   return_indices: bool = False):
+        """Join string keys after normalization — the tutorial's
+        "(fuzzy) join".
+
+        Normalization lowercases, trims, and collapses whitespace by
+        default. With ``max_edit_distance > 0``, left keys that still
+        match nothing are additionally resolved to the *unique* right key
+        within that Levenshtein distance (ambiguous or distant keys stay
+        unmatched — a wrong join is worse than a missing one).
+        """
+        left_key, right_key = (on, on) if isinstance(on, str) else on
+        if normalizer is None:
+            normalizer = _default_normalizer
+        left = self.with_column("__fuzzy_key__",
+                                self[left_key].map(lambda v: normalizer(str(v))))
+        right = other.with_column("__fuzzy_key__",
+                                  other[right_key].map(lambda v: normalizer(str(v))))
+        if max_edit_distance > 0:
+            right_keys = [k for k in right["__fuzzy_key__"].unique()]
+            resolved = {}
+            for key in left["__fuzzy_key__"].unique():
+                if key in right_keys:
+                    continue
+                candidates = [rk for rk in right_keys
+                              if _levenshtein_within(key, rk,
+                                                     max_edit_distance)]
+                if len(candidates) == 1:
+                    resolved[key] = candidates[0]
+            if resolved:
+                left = left.with_column(
+                    "__fuzzy_key__",
+                    left["__fuzzy_key__"].map(lambda v: resolved.get(v, v)))
+        # Preserve the original right key column under a disambiguated name.
+        result = left.join(right, on="__fuzzy_key__", how=how, suffix=suffix,
+                           return_indices=return_indices)
+        if return_indices:
+            frame, li, ri = result
+            return frame.drop("__fuzzy_key__"), li, ri
+        return result.drop("__fuzzy_key__")
+
+    # ------------------------------------------------------------------
+    # Grouping and concatenation
+    # ------------------------------------------------------------------
+    def group_by(self, *keys: str):
+        from repro.dataframe.groupby import GroupBy
+
+        return GroupBy(self, list(keys))
+
+    # ------------------------------------------------------------------
+    # Export
+    # ------------------------------------------------------------------
+    def to_numpy(self, columns=None, *, null_value=None) -> np.ndarray:
+        """Stack the selected columns into a 2-D float/object matrix."""
+        columns = columns or self.columns
+        arrays = [self[c].to_numpy(null_value=null_value) for c in columns]
+        return np.column_stack(arrays)
+
+    def describe(self) -> "DataFrame":
+        """Per-column summary statistics (one row per column).
+
+        Numeric columns report count/nulls/mean/std/min/max; other columns
+        report count/nulls/distinct/mode.
+        """
+        records = []
+        for name in self.columns:
+            col = self[name]
+            base = {"column": name, "dtype": str(col.dtype),
+                    "count": len(col) - col.null_count(),
+                    "nulls": col.null_count()}
+            if col.dtype.kind in ("f", "i"):
+                numeric = col.cast(float)
+                base.update(mean=numeric.mean(), std=numeric.std(),
+                            min=numeric.min(), max=numeric.max(),
+                            distinct=None, mode=None)
+            else:
+                base.update(mean=None, std=None, min=None, max=None,
+                            distinct=len(col.unique()),
+                            mode=None if col.mode() is None
+                            else str(col.mode()))
+            records.append(base)
+        return DataFrame.from_records(records)
+
+    def pretty(self, max_rows: int = 10) -> str:
+        """Render a fixed-width text table (the tutorial's pretty_print)."""
+        names = ["row_id"] + self.columns
+        rows = []
+        for i in range(min(len(self), max_rows)):
+            row = self.row(i)
+            rows.append([str(self.row_ids[i])] +
+                        [_fmt(row[c]) for c in self.columns])
+        widths = [max(len(n), *(len(r[k]) for r in rows)) if rows else len(n)
+                  for k, n in enumerate(names)]
+        header = " | ".join(n.ljust(w) for n, w in zip(names, widths))
+        sep = "-+-".join("-" * w for w in widths)
+        body = "\n".join(" | ".join(v.ljust(w) for v, w in zip(r, widths)) for r in rows)
+        suffix = f"\n... ({len(self) - max_rows} more rows)" if len(self) > max_rows else ""
+        return f"{header}\n{sep}\n{body}{suffix}"
+
+
+def _fmt(value) -> str:
+    if value is None:
+        return "<null>"
+    if isinstance(value, float):
+        return f"{value:.4g}"
+    text = str(value)
+    return text if len(text) <= 40 else text[:37] + "..."
+
+
+def _default_normalizer(text: str) -> str:
+    return " ".join(text.lower().split())
+
+
+def _levenshtein_within(a: str, b: str, limit: int) -> bool:
+    """True when edit_distance(a, b) <= limit (banded DP, early exit)."""
+    if abs(len(a) - len(b)) > limit:
+        return False
+    previous = list(range(len(b) + 1))
+    for i, ca in enumerate(a, start=1):
+        current = [i]
+        best = i
+        for j, cb in enumerate(b, start=1):
+            cost = min(previous[j] + 1,        # deletion
+                       current[j - 1] + 1,     # insertion
+                       previous[j - 1] + (ca != cb))  # substitution
+            current.append(cost)
+            best = min(best, cost)
+        if best > limit:
+            return False
+        previous = current
+    return previous[-1] <= limit
+
+
+def concat_rows(frames: Iterable[DataFrame]) -> DataFrame:
+    """Vertically concatenate frames with identical column sets.
+
+    Row ids are preserved, so provenance through a union is the identity.
+    """
+    frames = list(frames)
+    if not frames:
+        raise ValidationError("concat_rows requires at least one frame")
+    columns = frames[0].columns
+    for f in frames[1:]:
+        if f.columns != columns:
+            raise SchemaError(
+                f"column mismatch in concat: {f.columns} vs {columns}"
+            )
+    data = {
+        name: Column([v for f in frames for v in f[name].to_list()])
+        for name in columns
+    }
+    row_ids = np.concatenate([f.row_ids for f in frames])
+    return DataFrame._from_columns(data, row_ids)

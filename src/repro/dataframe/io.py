@@ -1,0 +1,54 @@
+"""Minimal CSV reading/writing for the dataframe engine.
+
+Only what the examples and challenge need: header row, comma separation,
+RFC-4180 quoting via the stdlib ``csv`` module, and simple type inference
+(int, float, bool, string; empty fields become nulls).
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+
+from repro.dataframe.frame import DataFrame
+
+_BOOL_LITERALS = {"true": True, "false": False, "True": True, "False": False}
+
+
+def _parse(token: str):
+    if token == "":
+        return None
+    if token in _BOOL_LITERALS:
+        return _BOOL_LITERALS[token]
+    try:
+        return int(token)
+    except ValueError:
+        pass
+    try:
+        return float(token)
+    except ValueError:
+        pass
+    return token
+
+
+def read_csv(path) -> DataFrame:
+    """Load a CSV file with a header row into a :class:`DataFrame`."""
+    with open(Path(path), newline="", encoding="utf-8") as handle:
+        reader = csv.reader(handle)
+        header = next(reader)
+        records = [
+            {name: _parse(token) for name, token in zip(header, row)}
+            for row in reader
+        ]
+    return DataFrame.from_records(records, columns=header)
+
+
+def write_csv(frame: DataFrame, path) -> None:
+    """Write a :class:`DataFrame` to CSV (nulls become empty fields)."""
+    with open(Path(path), "w", newline="", encoding="utf-8") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(frame.columns)
+        for row in frame.iter_rows():
+            writer.writerow(
+                ["" if row[c] is None else row[c] for c in frame.columns]
+            )

@@ -1,0 +1,28 @@
+"""Synthetic dataset generators.
+
+The tutorial uses only synthetic data ("Ethics: ... only artificial,
+synthetically generated data"), centred on a hiring scenario: a table of
+recommendation letters plus demographic and social-media side tables, used
+to train a sentiment classifier. This subpackage recreates those
+generators plus the numeric toy distributions the survey experiments use.
+"""
+
+from repro.datasets.cancer import make_cancer_registry
+from repro.datasets.census import make_census
+from repro.datasets.hiring import (
+    load_recommendation_letters,
+    load_sidedata,
+    make_hiring_tables,
+)
+from repro.datasets.synthetic import make_blobs, make_moons, make_linear_separable
+
+__all__ = [
+    "load_recommendation_letters",
+    "load_sidedata",
+    "make_hiring_tables",
+    "make_blobs",
+    "make_moons",
+    "make_linear_separable",
+    "make_census",
+    "make_cancer_registry",
+]

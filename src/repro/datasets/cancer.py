@@ -1,0 +1,82 @@
+"""The Figure-1 illustration table: a cancer registry with seeded errors.
+
+Figure 1 of the paper shows a small oncology table whose cells exhibit the
+canonical error types — a *missing* sex, a *wrong* diagnosis code
+("SKCX" for "SKCM"), *biased* race coverage, and *invalid* values. This
+generator reproduces that table at arbitrary scale with known error
+locations, which the quickstart example uses to demo error identification.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.rng import ensure_rng
+from repro.dataframe.frame import DataFrame
+
+_DIAGNOSES = ["SKCM", "BRCA", "CRC", "LUAD"]
+# Death-rate signal: survival depends on diagnosis and age.
+_DEATH_RATE = {"SKCM": 0.10, "BRCA": 0.02, "CRC": 0.08, "LUAD": 0.15}
+_TYPO = {"SKCM": "SKCX", "BRCA": "BRCX", "CRC": "CRX", "LUAD": "LUAX"}
+
+
+def make_cancer_registry(n: int = 200, *, error_fraction: float = 0.1, seed=0):
+    """Generate the registry with seeded errors.
+
+    Returns ``(df, error_log)`` where ``error_log`` is a list of
+    ``(row_id, column, error_type)`` tuples covering every injected error
+    (types: ``missing``, ``wrong_code``, ``invalid_age``, ``biased_race``).
+    """
+    rng = ensure_rng(seed)
+    diagnosis = [str(d) for d in rng.choice(_DIAGNOSES, size=n)]
+    sex = [str(s) for s in rng.choice(["f", "m"], size=n)]
+    age = rng.integers(18, 90, size=n).astype(float)
+    # Race sampled with deliberate under-coverage of one group (bias).
+    race = [str(r) for r in
+            rng.choice(["white", "black", "other"], size=n, p=[0.80, 0.05, 0.15])]
+    death_prob = np.array([_DEATH_RATE[d] for d in diagnosis]) + (age - 50) * 0.002
+    survived = np.where(rng.uniform(size=n) < np.clip(death_prob, 0, 1), "no", "yes")
+
+    df = DataFrame({
+        "diagnosis": diagnosis,
+        "race": race,
+        "sex": sex,
+        "age": age,
+        "survived": [str(s) for s in survived],
+    })
+
+    error_log = []
+    n_errors = int(round(error_fraction * n))
+    if n_errors == 0:
+        # Still record the representation bias (it is distributional, not
+        # cell-level), then return without touching any cells.
+        for i, r in enumerate(df["race"].to_list()):
+            if r == "black":
+                error_log.append((int(df.row_ids[i]), "race", "biased_race"))
+        return df, error_log
+    rows = rng.choice(n, size=min(3 * n_errors, n), replace=False)
+    sex_rows, code_rows, age_rows = np.array_split(rows, 3)
+
+    sex_col = df["sex"].to_list()
+    for r in sex_rows:
+        sex_col[int(r)] = None
+        error_log.append((int(df.row_ids[int(r)]), "sex", "missing"))
+    df["sex"] = sex_col
+
+    diag_col = df["diagnosis"].to_list()
+    for r in code_rows:
+        diag_col[int(r)] = _TYPO[diag_col[int(r)]]
+        error_log.append((int(df.row_ids[int(r)]), "diagnosis", "wrong_code"))
+    df["diagnosis"] = diag_col
+
+    age_col = df["age"].to_list()
+    for r in age_rows:
+        age_col[int(r)] = -1.0  # invalid negative age
+        error_log.append((int(df.row_ids[int(r)]), "age", "invalid_age"))
+    df["age"] = age_col
+
+    for i, r in enumerate(df["race"].to_list()):
+        if r == "black":
+            error_log.append((int(df.row_ids[i]), "race", "biased_race"))
+
+    return df, error_log

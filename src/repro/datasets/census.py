@@ -1,0 +1,60 @@
+"""Census-like dataset with a protected attribute and controllable bias.
+
+Used by the fairness-debugging experiments (paper reference [66], Gopher):
+an income-style binary task where a tunable fraction of one demographic
+group carries corrupted (discriminatory) labels, so the responsible subset
+is known and removal-based explanations can be validated.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.rng import ensure_rng
+from repro.core.validation import check_fraction
+from repro.dataframe.frame import DataFrame
+
+
+def make_census(n: int = 500, *, bias_fraction: float = 0.15,
+                biased_group: str = "groupB", seed=0):
+    """Generate a biased hiring/income dataset.
+
+    Returns ``(df, biased_row_ids)`` where ``df`` has columns
+    ``age, education_years, hours_per_week, group, income`` and
+    ``biased_row_ids`` lists the rows whose labels were flipped to inject
+    discrimination against ``biased_group``.
+
+    The clean generative process scores ``0.3*edu + 0.05*hours +
+    0.01*age + noise`` against a threshold, identically for both groups;
+    bias is injected purely through label corruption so that the *data*
+    (not the true distribution) is at fault — the setting Gopher-style
+    debugging targets.
+    """
+    check_fraction(bias_fraction, name="bias_fraction")
+    rng = ensure_rng(seed)
+    group = np.where(rng.uniform(size=n) < 0.5, "groupA", "groupB")
+    age = rng.integers(18, 70, size=n).astype(float)
+    education_years = np.clip(rng.normal(13, 3, size=n), 6, 22)
+    hours_per_week = np.clip(rng.normal(40, 10, size=n), 5, 80)
+    score = (
+        0.30 * education_years
+        + 0.05 * hours_per_week
+        + 0.01 * age
+        + rng.normal(0, 0.5, size=n)
+    )
+    income = (score > np.median(score)).astype(int)
+
+    # Flip positive labels to negative for a random slice of the target group.
+    members = np.flatnonzero((group == biased_group) & (income == 1))
+    n_flip = int(round(bias_fraction * len(members)))
+    flipped = rng.choice(members, size=n_flip, replace=False) if n_flip else np.array([], dtype=int)
+    income[flipped] = 0
+
+    df = DataFrame({
+        "age": age,
+        "education_years": np.round(education_years, 1),
+        "hours_per_week": np.round(hours_per_week, 1),
+        "group": group.tolist(),
+        "income": income,
+    })
+    return df, df.row_ids[flipped].copy()

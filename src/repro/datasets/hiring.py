@@ -1,0 +1,162 @@
+"""The hiring scenario: recommendation letters plus side tables.
+
+Recreates the tutorial's hands-on dataset (Section 3.1): a main table of
+recommendation letters labelled with sentiment, a ``jobdetail`` side table
+keyed by ``job_id``, and a ``social`` side table keyed by ``person_id``
+with nullable social-media fields. Letters are composed from sentiment-
+bearing phrase pools (visible in Figure 2 of the paper: "undermined our
+project", "meticulous attention to detail", ...), so a text classifier has
+real signal to learn.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.rng import ensure_rng
+from repro.dataframe.frame import DataFrame
+
+_POSITIVE_PHRASES = [
+    "meticulous attention to detail and thoroughness was crucial to our success",
+    "consistently exceeded expectations and delivered outstanding results",
+    "an exceptional collaborator who elevated the whole team",
+    "demonstrated remarkable initiative and creative problem solving",
+    "earned the trust of colleagues through reliable excellent work",
+    "showed brilliant technical judgment under pressure",
+    "a dependable and inspiring presence in every project",
+    "their leadership transformed a struggling effort into a triumph",
+    "praised by clients for clear communication and superb outcomes",
+    "quick to learn, generous with knowledge, and always positive",
+    "handled the most difficult assignments with grace and skill",
+    "an absolute pleasure to supervise and a strong asset to any team",
+]
+
+_NEGATIVE_PHRASES = [
+    "engaged in actions that undermined our project and raised serious concerns",
+    "frequently missed deadlines despite repeated reminders",
+    "struggled to accept feedback and grew defensive in reviews",
+    "their careless mistakes caused costly rework for the team",
+    "showed little initiative and needed constant supervision",
+    "colleagues found collaboration difficult and often frustrating",
+    "expressed a willingness to develop better time management skills",
+    "the quality of deliverables was disappointing and inconsistent",
+    "was unreliable in meetings and unprepared for client calls",
+    "created friction that slowed progress across the department",
+    "failed to meet the basic requirements of the role",
+    "demonstrated poor judgment in handling sensitive matters",
+]
+
+_NEUTRAL_PHRASES = [
+    "worked with us for several years in the engineering division",
+    "was responsible for quarterly reporting and documentation",
+    "joined the organization after completing a degree program",
+    "participated in the standard onboarding and training cycle",
+    "rotated between two departments during their tenure",
+    "supported routine operations and scheduled maintenance tasks",
+    "attended the weekly planning meetings of the group",
+    "relocated offices midway through the engagement",
+]
+
+_SECTORS = ["healthcare", "finance", "retail", "education", "manufacturing"]
+_SENIORITIES = ["junior", "mid", "senior", "lead"]
+_DEGREES = ["bachelors", "masters", "phd", "none"]
+
+
+def _compose_letter(rng: np.random.Generator, sentiment: str,
+                    ambiguity: float) -> str:
+    """Sample a letter: sentiment-consistent phrases diluted with neutral
+    filler and — with probability ``ambiguity`` — one phrase of the
+    *opposite* sentiment (real letters hedge), in randomized order."""
+    pool = _POSITIVE_PHRASES if sentiment == "positive" else _NEGATIVE_PHRASES
+    other = _NEGATIVE_PHRASES if sentiment == "positive" else _POSITIVE_PHRASES
+    n_signal = int(rng.integers(1, 3))
+    n_neutral = int(rng.integers(3, 6))
+    parts = list(rng.choice(pool, size=n_signal, replace=False))
+    parts += list(rng.choice(_NEUTRAL_PHRASES, size=n_neutral, replace=False))
+    if rng.uniform() < ambiguity:
+        parts.append(str(rng.choice(other)))
+    rng.shuffle(parts)
+    return "The candidate " + ". They ".join(parts) + "."
+
+
+def make_hiring_tables(n: int = 300, *, n_jobs: int = 40, seed=0,
+                       ambiguity: float = 0.35):
+    """Generate the full hiring scenario.
+
+    Returns ``(letters_df, jobdetail_df, social_df)``.
+
+    ``letters_df`` columns: person_id, job_id, letter_text, sentiment,
+    years_experience, employer_rating, degree (nullable). ``ambiguity``
+    controls how often letters hedge with an opposite-sentiment phrase —
+    it sets the difficulty of the classification task (0 is nearly
+    separable; the 0.35 default lands clean-data accuracy in the paper's
+    high-0.7s/low-0.8s regime where label errors visibly hurt).
+    ``jobdetail_df`` columns: job_id, sector, seniority, salary_band.
+    ``social_df`` columns: person_id, twitter (nullable), followers,
+    linkedin_connections.
+
+    Feature semantics: ``employer_rating`` (1–5 float) and
+    ``years_experience`` correlate with sentiment, so numeric features
+    carry signal alongside the text.
+    """
+    rng = ensure_rng(seed)
+    sentiments = np.where(rng.uniform(size=n) < 0.5, "positive", "negative")
+
+    letters = []
+    for i in range(n):
+        sentiment = str(sentiments[i])
+        positive = sentiment == "positive"
+        rating = float(np.clip(rng.normal(3.6 if positive else 2.9, 0.9), 1.0, 5.0))
+        years = float(np.clip(rng.normal(7.5 if positive else 6, 3.5), 0.0, 40.0))
+        degree = str(rng.choice(_DEGREES)) if rng.uniform() > 0.08 else None
+        letters.append({
+            "person_id": i,
+            "job_id": int(rng.integers(0, n_jobs)),
+            "letter_text": _compose_letter(rng, sentiment, ambiguity),
+            "sentiment": sentiment,
+            "years_experience": round(years, 1),
+            "employer_rating": round(rating, 2),
+            "degree": degree,
+        })
+    letters_df = DataFrame.from_records(letters)
+
+    jobs = []
+    for j in range(n_jobs):
+        jobs.append({
+            "job_id": j,
+            "sector": str(rng.choice(_SECTORS)),
+            "seniority": str(rng.choice(_SENIORITIES)),
+            "salary_band": int(rng.integers(1, 6)),
+        })
+    jobdetail_df = DataFrame.from_records(jobs)
+
+    social = []
+    for i in range(n):
+        has_twitter = rng.uniform() < 0.6
+        social.append({
+            "person_id": i,
+            "twitter": f"@person{i}" if has_twitter else None,
+            "followers": int(rng.integers(0, 5000)) if has_twitter else 0,
+            "linkedin_connections": int(rng.integers(10, 2000)),
+        })
+    social_df = DataFrame.from_records(social)
+
+    return letters_df, jobdetail_df, social_df
+
+
+def load_recommendation_letters(n: int = 300, *, seed=0,
+                                fractions=(0.6, 0.2, 0.2)):
+    """Tutorial entry point (Figure 2): train/valid/test letter tables."""
+    letters_df, _, _ = make_hiring_tables(n, seed=seed)
+    train_df, valid_df, test_df = letters_df.split(fractions, seed=seed)
+    return train_df, valid_df, test_df
+
+
+def load_sidedata(n: int = 300, *, n_jobs: int = 40, seed=0):
+    """Tutorial entry point (Figure 3): the jobdetail and social tables.
+
+    Must be called with the same parameters as the letters loader so keys
+    line up.
+    """
+    _, jobdetail_df, social_df = make_hiring_tables(n, n_jobs=n_jobs, seed=seed)
+    return jobdetail_df, social_df

@@ -1,0 +1,65 @@
+"""Numeric toy distributions used by the survey-claim benchmarks."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.exceptions import ValidationError
+from repro.core.rng import ensure_rng
+
+
+def make_blobs(n_samples: int = 200, n_features: int = 2, centers: int = 2,
+               cluster_std: float = 1.0, center_spread: float = 4.0, seed=None):
+    """Gaussian blobs, one per class.
+
+    Returns ``(X, y)`` with balanced classes (sizes differ by at most one).
+    """
+    if n_samples < centers:
+        raise ValidationError("need at least one sample per center")
+    rng = ensure_rng(seed)
+    centroids = rng.uniform(-center_spread, center_spread, size=(centers, n_features))
+    sizes = np.full(centers, n_samples // centers)
+    sizes[: n_samples % centers] += 1
+    X_parts, y_parts = [], []
+    for c in range(centers):
+        X_parts.append(centroids[c] + cluster_std * rng.standard_normal((sizes[c], n_features)))
+        y_parts.append(np.full(sizes[c], c))
+    X = np.vstack(X_parts)
+    y = np.concatenate(y_parts)
+    perm = rng.permutation(n_samples)
+    return X[perm], y[perm]
+
+
+def make_moons(n_samples: int = 200, noise: float = 0.1, seed=None):
+    """Two interleaving half circles — a non-linearly-separable binary task."""
+    rng = ensure_rng(seed)
+    n_a = n_samples // 2
+    n_b = n_samples - n_a
+    theta_a = np.pi * rng.uniform(0, 1, n_a)
+    theta_b = np.pi * rng.uniform(0, 1, n_b)
+    Xa = np.column_stack([np.cos(theta_a), np.sin(theta_a)])
+    Xb = np.column_stack([1.0 - np.cos(theta_b), 0.5 - np.sin(theta_b)])
+    X = np.vstack([Xa, Xb]) + noise * rng.standard_normal((n_samples, 2))
+    y = np.concatenate([np.zeros(n_a, dtype=int), np.ones(n_b, dtype=int)])
+    perm = rng.permutation(n_samples)
+    return X[perm], y[perm]
+
+
+def make_linear_separable(n_samples: int = 200, n_features: int = 5,
+                          margin: float = 0.5, seed=None):
+    """Linearly separable data with a known true hyperplane.
+
+    Returns ``(X, y, w)`` where ``w`` is the generating weight vector —
+    useful for tests that need a ground-truth decision boundary.
+    """
+    rng = ensure_rng(seed)
+    w = rng.standard_normal(n_features)
+    w /= np.linalg.norm(w)
+    X, y = [], []
+    while len(X) < n_samples:
+        x = rng.standard_normal(n_features)
+        score = x @ w
+        if abs(score) >= margin:
+            X.append(x)
+            y.append(int(score > 0))
+    return np.array(X), np.array(y), w

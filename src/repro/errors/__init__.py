@@ -1,0 +1,49 @@
+"""Synthetic data-error injection (Section 3.1: "inject synthetic noise").
+
+Every injector takes a clean :class:`repro.dataframe.DataFrame` (or numpy
+arrays for the vector variants), corrupts a controlled fraction of it, and
+returns the corrupted data together with an :class:`ErrorReport` recording
+exactly which cells were touched. The report is the ground truth against
+which error-*detection* methods (:mod:`repro.importance`) are scored.
+"""
+
+from repro.errors.detectors import (
+    detect_duplicates,
+    detect_inconsistent_strings,
+    detect_invalid_categories,
+    detect_missing,
+    detect_out_of_range,
+    detect_outliers_zscore,
+)
+from repro.errors.distribution import (
+    inject_duplicates,
+    inject_inconsistencies,
+    inject_out_of_distribution,
+    inject_selection_bias,
+)
+from repro.errors.labels import inject_label_errors, inject_label_errors_array
+from repro.errors.missing import inject_missing, inject_missing_array
+from repro.errors.noise import inject_feature_noise, inject_outliers, inject_scaling_errors
+from repro.errors.report import CellError, ErrorReport
+
+__all__ = [
+    "CellError",
+    "ErrorReport",
+    "inject_label_errors",
+    "inject_label_errors_array",
+    "inject_missing",
+    "inject_missing_array",
+    "inject_feature_noise",
+    "inject_outliers",
+    "inject_scaling_errors",
+    "inject_out_of_distribution",
+    "inject_selection_bias",
+    "inject_duplicates",
+    "inject_inconsistencies",
+    "detect_missing",
+    "detect_out_of_range",
+    "detect_invalid_categories",
+    "detect_outliers_zscore",
+    "detect_duplicates",
+    "detect_inconsistent_strings",
+]

@@ -1,0 +1,112 @@
+"""Rule-based error detectors — the classical complement to importance.
+
+Data importance finds errors by their downstream *impact*; these
+detectors find them by their *form* (Figure 1's invalid / missing /
+inconsistent cells), with no model in the loop. Each detector returns the
+set of suspicious row ids, so detector output plugs directly into the
+cleaning oracles and detection-score machinery.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.exceptions import ValidationError
+from repro.dataframe.frame import DataFrame
+
+
+def detect_missing(frame: DataFrame, columns: list[str] | None = None) -> set[int]:
+    """Row ids with a null in any of the given columns."""
+    columns = columns or frame.columns
+    suspicious: set[int] = set()
+    for name in columns:
+        mask = frame[name].is_null()
+        suspicious.update(int(r) for r in frame.row_ids[mask])
+    return suspicious
+
+
+def detect_out_of_range(frame: DataFrame, *, column: str, low=None,
+                        high=None) -> set[int]:
+    """Row ids violating a domain constraint (e.g. ``age >= 0``)."""
+    if low is None and high is None:
+        raise ValidationError("provide at least one of low/high")
+    col = frame[column]
+    if col.dtype.kind not in ("f", "i", "b"):
+        raise ValidationError(f"column {column!r} must be numeric")
+    values = col.cast(float).to_numpy()
+    bad = np.zeros(len(frame), dtype=bool)
+    observed = ~np.isnan(values)
+    if low is not None:
+        bad |= observed & (values < low)
+    if high is not None:
+        bad |= observed & (values > high)
+    return {int(r) for r in frame.row_ids[bad]}
+
+
+def detect_invalid_categories(frame: DataFrame, *, column: str,
+                              domain) -> set[int]:
+    """Row ids whose category is outside the allowed ``domain``
+    (Figure 1's "SKCX" typo for "SKCM")."""
+    domain = set(domain)
+    col = frame[column]
+    bad = [i for i in range(len(frame))
+           if col.get(i) is not None and col.get(i) not in domain]
+    return {int(frame.row_ids[i]) for i in bad}
+
+
+def detect_outliers_zscore(frame: DataFrame, *, column: str,
+                           threshold: float = 4.0) -> set[int]:
+    """Row ids whose value lies more than ``threshold`` robust z-scores
+    from the median (robust: median/MAD, so the outliers themselves do
+    not mask the estimate)."""
+    if threshold <= 0:
+        raise ValidationError("threshold must be positive")
+    col = frame[column]
+    if col.dtype.kind not in ("f", "i", "b"):
+        raise ValidationError(f"column {column!r} must be numeric")
+    values = col.cast(float).to_numpy()
+    observed = ~np.isnan(values)
+    median = np.median(values[observed])
+    mad = np.median(np.abs(values[observed] - median))
+    scale = 1.4826 * mad if mad > 0 else max(np.std(values[observed]), 1e-9)
+    z = np.abs(values - median) / scale
+    bad = observed & (z > threshold)
+    return {int(r) for r in frame.row_ids[bad]}
+
+
+def detect_duplicates(frame: DataFrame,
+                      columns: list[str] | None = None) -> set[int]:
+    """Row ids of every row whose selected-column tuple appears more than
+    once (all copies are flagged; dedup policy is the caller's)."""
+    columns = columns or frame.columns
+    seen: dict[tuple, list[int]] = {}
+    for i in range(len(frame)):
+        key = tuple(frame[c].get(i) for c in columns)
+        seen.setdefault(key, []).append(i)
+    suspicious: set[int] = set()
+    for positions in seen.values():
+        if len(positions) > 1:
+            suspicious.update(int(frame.row_ids[p]) for p in positions)
+    return suspicious
+
+
+def detect_inconsistent_strings(frame: DataFrame, *, column: str) -> set[int]:
+    """Row ids whose string differs from another row only by casing or
+    whitespace — the representational inconsistencies fuzzy joins paper
+    over but exact joins silently drop."""
+    col = frame[column]
+    if col.dtype.kind not in ("U", "O"):
+        raise ValidationError(f"column {column!r} must be a string column")
+    groups: dict[str, list[int]] = {}
+    for i in range(len(frame)):
+        value = col.get(i)
+        if value is None:
+            continue
+        normalized = " ".join(str(value).lower().split())
+        groups.setdefault(normalized, []).append(i)
+    suspicious: set[int] = set()
+    for positions in groups.values():
+        spellings = {col.get(p) for p in positions}
+        if len(spellings) > 1:
+            suspicious.update(int(frame.row_ids[p]) for p in positions)
+    return suspicious

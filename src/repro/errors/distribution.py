@@ -1,0 +1,122 @@
+"""Distribution-level error injectors: out-of-distribution rows, selection
+bias, duplicates and representational inconsistencies."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.exceptions import ValidationError
+from repro.core.rng import ensure_rng
+from repro.core.validation import check_fraction
+from repro.dataframe.frame import DataFrame, concat_rows
+from repro.errors.report import ErrorReport
+
+
+def inject_out_of_distribution(frame: DataFrame, *, numeric_columns: list[str],
+                               fraction: float = 0.05, shift: float = 8.0,
+                               seed=None):
+    """Append synthetic rows drawn far outside the observed numeric range.
+
+    Non-numeric columns of the new rows are sampled from the existing
+    values, so the rows look plausible until the numeric features are
+    inspected. Returns ``(corrupted_frame, report)``; the report flags the
+    appended rows with kind ``out_of_distribution``.
+    """
+    check_fraction(fraction, name="fraction")
+    rng = ensure_rng(seed)
+    n_new = int(round(fraction * len(frame)))
+    if n_new == 0:
+        return frame.copy(), ErrorReport()
+    records = []
+    for _ in range(n_new):
+        template = frame.row(int(rng.integers(0, len(frame))))
+        for column in numeric_columns:
+            col = frame[column]
+            if col.dtype.kind not in ("f", "i", "b"):
+                raise ValidationError(f"column {column!r} must be numeric")
+            values = col.cast(float).to_numpy()
+            mean, std = np.nanmean(values), max(np.nanstd(values), 1e-9)
+            sign = 1.0 if rng.uniform() < 0.5 else -1.0
+            template[column] = float(mean + sign * shift * std)
+        records.append(template)
+    new_rows = DataFrame.from_records(records, columns=frame.columns)
+    corrupted = concat_rows([frame.copy(), new_rows])
+    report = ErrorReport()
+    for rid in new_rows.row_ids:
+        report.add(rid, "*", "out_of_distribution")
+    return corrupted, report
+
+
+def inject_selection_bias(frame: DataFrame, *, column: str, disfavored_value,
+                          drop_fraction: float = 0.5, seed=None):
+    """Under-sample rows carrying ``disfavored_value`` in ``column`` —
+    the representation-bias setting (Figure 1's "biased" race column).
+
+    Returns ``(biased_frame, dropped_row_ids)``.
+    """
+    check_fraction(drop_fraction, name="drop_fraction")
+    rng = ensure_rng(seed)
+    col = frame[column]
+    members = np.flatnonzero(col == disfavored_value)
+    if len(members) == 0:
+        raise ValidationError(
+            f"no rows have {column!r} == {disfavored_value!r}"
+        )
+    n_drop = int(round(drop_fraction * len(members)))
+    dropped = rng.choice(members, size=n_drop, replace=False) if n_drop else \
+        np.array([], dtype=int)
+    dropped_ids = frame.row_ids[dropped].copy()
+    keep = np.ones(len(frame), dtype=bool)
+    keep[dropped] = False
+    return frame.take(keep), dropped_ids
+
+
+def inject_duplicates(frame: DataFrame, *, fraction: float = 0.05, seed=None):
+    """Append near-duplicate copies of randomly chosen rows.
+
+    Duplicates get fresh row ids; the report maps each duplicate to kind
+    ``duplicate`` (original id recorded in the ``original`` field).
+    """
+    check_fraction(fraction, name="fraction")
+    rng = ensure_rng(seed)
+    n_new = int(round(fraction * len(frame)))
+    if n_new == 0:
+        return frame.copy(), ErrorReport()
+    chosen = rng.choice(len(frame), size=n_new, replace=True)
+    dup_rows = DataFrame.from_records(
+        [frame.row(int(i)) for i in chosen], columns=frame.columns
+    )
+    corrupted = concat_rows([frame.copy(), dup_rows])
+    report = ErrorReport()
+    for rid, src in zip(dup_rows.row_ids, chosen):
+        report.add(rid, "*", "duplicate", original=int(frame.row_ids[int(src)]))
+    return corrupted, report
+
+
+def inject_inconsistencies(frame: DataFrame, *, column: str,
+                           fraction: float = 0.1, seed=None):
+    """Perturb string representations (casing, padding) without changing
+    meaning — the errors fuzzy joins are meant to survive."""
+    check_fraction(fraction, name="fraction")
+    col = frame[column]
+    if col.dtype.kind not in ("U", "O"):
+        raise ValidationError(f"column {column!r} must be a string column")
+    rng = ensure_rng(seed)
+    valid = np.flatnonzero(~col.is_null())
+    n = int(round(fraction * len(frame)))
+    n = min(n, len(valid))
+    positions = rng.choice(valid, size=n, replace=False)
+    transforms = [str.upper, str.title, lambda s: f"  {s}", lambda s: f"{s}  ",
+                  lambda s: s.replace(" ", "  ")]
+    items = col.to_list()
+    report = ErrorReport()
+    for p in positions:
+        original = items[int(p)]
+        transform = transforms[int(rng.integers(0, len(transforms)))]
+        mangled = transform(original)
+        report.add(frame.row_ids[p], column, "inconsistency",
+                   original=original, corrupted=mangled)
+        items[int(p)] = mangled
+    corrupted = frame.copy()
+    corrupted[column] = items
+    return corrupted, report

@@ -1,0 +1,100 @@
+"""Label-error injection (Figure 2: ``nde.inject_labelerrors``)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.exceptions import ValidationError
+from repro.core.rng import ensure_rng
+from repro.core.validation import check_fraction
+from repro.dataframe.frame import DataFrame
+from repro.errors.report import ErrorReport
+
+
+def _flip_targets(labels: np.ndarray, positions: np.ndarray, classes: list,
+                  rng: np.random.Generator) -> list:
+    """For each position, pick a wrong class uniformly at random."""
+    flipped = []
+    for p in positions:
+        current = labels[p]
+        alternatives = [c for c in classes if c != current]
+        flipped.append(alternatives[int(rng.integers(0, len(alternatives)))])
+    return flipped
+
+
+def inject_label_errors(frame: DataFrame, *, column: str, fraction: float = 0.1,
+                        class_conditional: dict | None = None, seed=None):
+    """Flip a fraction of label cells to a different class.
+
+    Parameters
+    ----------
+    frame:
+        Training data (unchanged; a corrupted copy is returned).
+    column:
+        Label column name.
+    fraction:
+        Fraction of rows to corrupt (uniformly at random).
+    class_conditional:
+        Optional ``{class_value: fraction}`` mapping for asymmetric noise
+        (e.g. flip only positives — the label-*bias* setting of
+        references [36, 89]). Overrides ``fraction``.
+    seed:
+        RNG seed.
+
+    Returns
+    -------
+    (corrupted_frame, report):
+        The corrupted copy and the ground-truth :class:`ErrorReport`.
+    """
+    rng = ensure_rng(seed)
+    labels = frame[column]
+    if labels.null_count():
+        raise ValidationError(f"label column {column!r} already has nulls")
+    values = labels.to_list()
+    classes = labels.unique()
+    if len(classes) < 2:
+        raise ValidationError("need at least two classes to flip labels")
+
+    if class_conditional is not None:
+        positions = []
+        for cls, frac in class_conditional.items():
+            check_fraction(frac, name=f"fraction for class {cls!r}")
+            members = [i for i, v in enumerate(values) if v == cls]
+            n_flip = int(round(frac * len(members)))
+            positions.extend(rng.choice(members, size=n_flip, replace=False).tolist()
+                             if n_flip else [])
+        positions = np.array(sorted(positions), dtype=int)
+    else:
+        check_fraction(fraction, name="fraction")
+        n_flip = int(round(fraction * len(frame)))
+        positions = rng.choice(len(frame), size=n_flip, replace=False)
+
+    flipped = _flip_targets(np.array(values, dtype=object), positions, classes, rng)
+    report = ErrorReport()
+    out_values = list(values)
+    for p, new in zip(positions, flipped):
+        report.add(frame.row_ids[p], column, "label_flip",
+                   original=values[p], corrupted=new)
+        out_values[int(p)] = new
+    corrupted = frame.copy()
+    corrupted[column] = out_values
+    return corrupted, report
+
+
+def inject_label_errors_array(y, *, fraction: float = 0.1, seed=None):
+    """Vector variant for numpy workflows.
+
+    Returns ``(y_corrupted, flipped_indices)``.
+    """
+    check_fraction(fraction, name="fraction")
+    y = np.asarray(y).copy()
+    classes = np.unique(y)
+    if len(classes) < 2:
+        raise ValidationError("need at least two classes to flip labels")
+    rng = ensure_rng(seed)
+    n_flip = int(round(fraction * len(y)))
+    positions = rng.choice(len(y), size=n_flip, replace=False)
+    for p in positions:
+        alternatives = classes[classes != y[p]]
+        y[p] = alternatives[int(rng.integers(0, len(alternatives)))]
+    return y, np.sort(positions)

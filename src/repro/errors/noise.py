@@ -1,0 +1,90 @@
+"""Feature-noise injectors: gaussian noise, unit/scaling errors, outliers."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.exceptions import ValidationError
+from repro.core.rng import ensure_rng
+from repro.core.validation import check_fraction
+from repro.dataframe.frame import DataFrame
+from repro.errors.report import ErrorReport
+
+
+def _numeric_column(frame: DataFrame, column: str) -> np.ndarray:
+    col = frame[column]
+    if col.dtype.kind not in ("f", "i", "b"):
+        raise ValidationError(f"column {column!r} must be numeric, is {col.dtype}")
+    return col.cast(float).to_numpy()
+
+
+def _choose_rows(frame: DataFrame, column: str, fraction: float, rng):
+    check_fraction(fraction, name="fraction")
+    valid = np.flatnonzero(~frame[column].is_null())
+    n = int(round(fraction * len(frame)))
+    if n > len(valid):
+        raise ValidationError(f"cannot corrupt {n} cells; only {len(valid)} non-null")
+    return rng.choice(valid, size=n, replace=False)
+
+
+def inject_feature_noise(frame: DataFrame, *, column: str, fraction: float = 0.1,
+                         scale: float = 1.0, seed=None):
+    """Add gaussian noise (``scale`` × column std) to a fraction of cells."""
+    rng = ensure_rng(seed)
+    positions = _choose_rows(frame, column, fraction, rng)
+    values = _numeric_column(frame, column)
+    std = np.nanstd(values)
+    std = std if std > 0 else 1.0
+    report = ErrorReport()
+    out = values.copy()
+    for p in positions:
+        noisy = float(out[p] + rng.normal(0.0, scale * std))
+        report.add(frame.row_ids[p], column, "gaussian_noise",
+                   original=float(values[p]), corrupted=noisy)
+        out[p] = noisy
+    corrupted = frame.copy()
+    corrupted[column] = out
+    return corrupted, report
+
+
+def inject_scaling_errors(frame: DataFrame, *, column: str, fraction: float = 0.1,
+                          factor: float = 100.0, seed=None):
+    """Multiply a fraction of cells by ``factor`` — the classic unit error
+    (metres vs centimetres, dollars vs cents)."""
+    if factor == 1.0:
+        raise ValidationError("factor=1.0 would inject no error")
+    rng = ensure_rng(seed)
+    positions = _choose_rows(frame, column, fraction, rng)
+    values = _numeric_column(frame, column)
+    report = ErrorReport()
+    out = values.copy()
+    for p in positions:
+        scaled = float(out[p] * factor)
+        report.add(frame.row_ids[p], column, "scaling_error",
+                   original=float(values[p]), corrupted=scaled)
+        out[p] = scaled
+    corrupted = frame.copy()
+    corrupted[column] = out
+    return corrupted, report
+
+
+def inject_outliers(frame: DataFrame, *, column: str, fraction: float = 0.05,
+                    magnitude: float = 6.0, seed=None):
+    """Replace a fraction of cells with extreme values
+    (mean ± ``magnitude`` standard deviations, random sign)."""
+    rng = ensure_rng(seed)
+    positions = _choose_rows(frame, column, fraction, rng)
+    values = _numeric_column(frame, column)
+    mean, std = np.nanmean(values), np.nanstd(values)
+    std = std if std > 0 else 1.0
+    report = ErrorReport()
+    out = values.copy()
+    for p in positions:
+        sign = 1.0 if rng.uniform() < 0.5 else -1.0
+        extreme = float(mean + sign * magnitude * std * rng.uniform(1.0, 1.5))
+        report.add(frame.row_ids[p], column, "outlier",
+                   original=float(values[p]), corrupted=extreme)
+        out[p] = extreme
+    corrupted = frame.copy()
+    corrupted[column] = out
+    return corrupted, report

@@ -1,0 +1,68 @@
+"""Ground-truth error bookkeeping shared by all injectors."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class CellError:
+    """One corrupted cell: where, what kind, and the before/after values."""
+
+    row_id: int
+    column: str
+    kind: str
+    original: object = None
+    corrupted: object = None
+
+
+@dataclass
+class ErrorReport:
+    """The full record of an injection pass.
+
+    Detection methods are evaluated against this: a flagged row counts as
+    a hit if its id appears in :meth:`row_ids`.
+    """
+
+    errors: list[CellError] = field(default_factory=list)
+
+    def add(self, row_id: int, column: str, kind: str,
+            original=None, corrupted=None) -> None:
+        self.errors.append(CellError(int(row_id), column, kind, original, corrupted))
+
+    def extend(self, other: "ErrorReport") -> "ErrorReport":
+        """Merge another report into this one (for stacked injections)."""
+        self.errors.extend(other.errors)
+        return self
+
+    def __len__(self) -> int:
+        return len(self.errors)
+
+    def row_ids(self, kind: str | None = None) -> set[int]:
+        """Distinct corrupted row ids, optionally filtered by error kind."""
+        return {
+            e.row_id for e in self.errors if kind is None or e.kind == kind
+        }
+
+    def by_column(self) -> dict[str, list[CellError]]:
+        grouped: dict[str, list[CellError]] = {}
+        for e in self.errors:
+            grouped.setdefault(e.column, []).append(e)
+        return grouped
+
+    def originals_for(self, column: str) -> dict[int, object]:
+        """row_id -> clean value, for use by a cleaning oracle."""
+        return {e.row_id: e.original for e in self.errors if e.column == column}
+
+    def detection_scores(self, flagged_row_ids) -> dict[str, float]:
+        """Precision/recall of a flagged-row set against the ground truth."""
+        flagged = {int(r) for r in np.atleast_1d(np.asarray(list(flagged_row_ids)))} \
+            if not isinstance(flagged_row_ids, set) else {int(r) for r in flagged_row_ids}
+        truth = self.row_ids()
+        hits = len(flagged & truth)
+        precision = hits / len(flagged) if flagged else 0.0
+        recall = hits / len(truth) if truth else 0.0
+        return {"precision": precision, "recall": recall, "hits": hits,
+                "flagged": len(flagged), "corrupted": len(truth)}

@@ -1,0 +1,31 @@
+"""Fairness measurement and debugging.
+
+Implements the fairness metrics Figure 1 lists among pipeline quality
+metrics (demographic parity, equalized odds, predictive parity) and
+Gopher-style data-based fairness debugging (Pradhan et al., ref [66]):
+finding compact, interpretable subsets of the training data whose removal
+most improves a fairness metric, plus label-bias reweighting (ref [36]).
+"""
+
+from repro.fairness.cra import certify, demographic_parity_range, selection_rate_range
+from repro.fairness.gopher import GopherExplainer, SubsetExplanation
+from repro.fairness.label_bias import reweigh_for_parity
+from repro.fairness.metrics import (
+    demographic_parity_difference,
+    equalized_odds_difference,
+    group_rates,
+    predictive_parity_difference,
+)
+
+__all__ = [
+    "demographic_parity_difference",
+    "equalized_odds_difference",
+    "predictive_parity_difference",
+    "group_rates",
+    "GopherExplainer",
+    "SubsetExplanation",
+    "reweigh_for_parity",
+    "demographic_parity_range",
+    "selection_rate_range",
+    "certify",
+]

@@ -1,0 +1,127 @@
+"""Consistent range approximation for fair predictive modeling (ref [94]).
+
+When training/evaluation data suffers *selection bias* — an unknown
+number of rows from some subpopulation never made it into the dataset —
+point estimates of fairness metrics are untrustworthy. Zhu et al.'s
+consistent range approximation instead certifies an *interval* that
+contains the metric's value on the unbiased population, for any
+assumption-free completion within a missingness budget.
+
+This module implements the counting-level core of that idea for
+selection rates and demographic parity: given per-group observed counts
+and an upper bound on how many rows of each group were dropped, compute
+the tight range of the parity gap over all possible worlds, and certify
+fairness ("gap <= threshold in *every* world") or violation
+("gap > threshold in every world") when the whole range falls on one
+side.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.exceptions import ValidationError
+
+
+@dataclass(frozen=True)
+class RateRange:
+    """Possible selection-rate interval for one group."""
+
+    lo: float
+    hi: float
+
+    def __post_init__(self):
+        if not (0.0 <= self.lo <= self.hi <= 1.0):
+            raise ValidationError(f"invalid rate range [{self.lo}, {self.hi}]")
+
+
+def selection_rate_range(n_positive: int, n_observed: int,
+                         max_missing: int) -> RateRange:
+    """Range of the true selection rate when up to ``max_missing`` rows of
+    this group may be unobserved (each could be positive or negative).
+
+    Lower bound: every missing row is negative; upper: every one positive.
+    """
+    if n_positive < 0 or n_observed < n_positive:
+        raise ValidationError("need 0 <= n_positive <= n_observed")
+    if max_missing < 0:
+        raise ValidationError("max_missing must be non-negative")
+    if n_observed + max_missing == 0:
+        raise ValidationError("group has no possible members")
+    denominator = n_observed + max_missing
+    return RateRange(n_positive / denominator,
+                     (n_positive + max_missing) / denominator)
+
+
+def demographic_parity_range(y_pred, groups, *, positive=None,
+                             max_missing: dict | None = None) -> dict:
+    """Certified range of the demographic-parity gap under selection bias.
+
+    Parameters
+    ----------
+    y_pred, groups:
+        Observed predictions and group memberships (two groups).
+    positive:
+        The favourable outcome; the larger label by default.
+    max_missing:
+        ``{group: bound}`` on unobserved rows per group (0 when omitted).
+
+    Returns
+    -------
+    dict with the per-group ``ranges``, the gap interval ``(gap_lo,
+    gap_hi)``, the observed point estimate, and ``certified_fair(t)`` /
+    ``certified_unfair(t)`` obtained via :func:`certify`.
+    """
+    y_pred = np.asarray(y_pred)
+    groups = np.asarray(groups)
+    names = np.unique(groups)
+    if len(names) != 2:
+        raise ValidationError("demographic parity needs exactly two groups")
+    if positive is None:
+        positive = np.unique(y_pred)[-1]
+    max_missing = max_missing or {}
+
+    ranges = {}
+    for name in names:
+        mask = groups == name
+        key = name.item() if isinstance(name, np.generic) else name
+        ranges[key] = selection_rate_range(
+            int(np.sum(y_pred[mask] == positive)), int(mask.sum()),
+            int(max_missing.get(key, 0)))
+
+    (range_a, range_b) = ranges.values()
+    gap_hi = max(abs(range_a.hi - range_b.lo), abs(range_b.hi - range_a.lo))
+    # The minimum achievable |difference| is 0 when the ranges overlap.
+    if range_a.hi < range_b.lo:
+        gap_lo = range_b.lo - range_a.hi
+    elif range_b.hi < range_a.lo:
+        gap_lo = range_a.lo - range_b.hi
+    else:
+        gap_lo = 0.0
+
+    point_a = np.mean(y_pred[groups == names[0]] == positive)
+    point_b = np.mean(y_pred[groups == names[1]] == positive)
+    return {
+        "ranges": ranges,
+        "gap_lo": float(gap_lo),
+        "gap_hi": float(gap_hi),
+        "observed_gap": float(abs(point_a - point_b)),
+    }
+
+
+def certify(range_result: dict, threshold: float) -> str:
+    """Classify the fairness question under the range.
+
+    Returns ``"fair"`` (gap <= threshold in every possible world),
+    ``"unfair"`` (gap > threshold in every world), or ``"unknown"``
+    (worlds disagree — more data or cleaning needed).
+    """
+    if threshold < 0:
+        raise ValidationError("threshold must be non-negative")
+    if range_result["gap_hi"] <= threshold:
+        return "fair"
+    if range_result["gap_lo"] > threshold:
+        return "unfair"
+    return "unknown"

@@ -1,0 +1,177 @@
+"""Gopher: data-based explanations for fairness debugging (ref [66]).
+
+Gopher explains *why* a model is unfair by finding compact, interpretable
+subsets of the training data — described by first-order predicates like
+``group = groupB AND education_years <= 12`` — whose removal most reduces
+the bias of the retrained model. Each candidate subset is scored by its
+*responsibility*: the fraction of the original bias it accounts for,
+traded off against how much data must be removed and how much accuracy is
+sacrificed.
+
+This implementation enumerates predicates over the categorical columns
+and binned numeric columns of a dataframe (conjunctions up to
+``max_depth``), retrains per candidate, and returns ranked
+:class:`SubsetExplanation` objects.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.exceptions import ValidationError
+from repro.dataframe.frame import DataFrame
+from repro.ml.base import clone
+from repro.ml.metrics import accuracy_score
+
+
+@dataclass
+class SubsetExplanation:
+    """One candidate removal set and its effect."""
+
+    predicates: tuple[str, ...]
+    n_removed: int
+    bias_before: float
+    bias_after: float
+    accuracy_before: float
+    accuracy_after: float
+
+    @property
+    def responsibility(self) -> float:
+        """Fraction of the original bias removed (can exceed 1 if removal
+        overshoots past fairness into the opposite bias)."""
+        if self.bias_before == 0:
+            return 0.0
+        return (self.bias_before - self.bias_after) / self.bias_before
+
+    def describe(self) -> str:
+        clause = " AND ".join(self.predicates)
+        return (f"remove [{clause}] ({self.n_removed} rows): bias "
+                f"{self.bias_before:.3f} -> {self.bias_after:.3f}, accuracy "
+                f"{self.accuracy_before:.3f} -> {self.accuracy_after:.3f}")
+
+
+def _candidate_predicates(frame: DataFrame, exclude: set[str],
+                          n_bins: int) -> list[tuple[str, np.ndarray]]:
+    """Atomic predicates: equality on categoricals, bin-range on numerics."""
+    atoms = []
+    for name in frame.columns:
+        if name in exclude:
+            continue
+        col = frame[name]
+        if col.dtype.kind in ("U", "O", "b"):
+            for value in col.unique():
+                mask = np.asarray(col == value)
+                atoms.append((f"{name} = {value!r}", mask))
+        else:
+            values = col.cast(float).to_numpy()
+            finite = values[~np.isnan(values)]
+            if len(np.unique(finite)) <= 1:
+                continue
+            edges = np.quantile(finite, np.linspace(0, 1, n_bins + 1))
+            for b in range(n_bins):
+                lo, hi = edges[b], edges[b + 1]
+                if lo == hi:
+                    continue
+                mask = (values >= lo) & (values <= hi if b == n_bins - 1
+                                         else values < hi)
+                atoms.append((f"{lo:.3g} <= {name} < {hi:.3g}", mask))
+    return atoms
+
+
+class GopherExplainer:
+    """Search for removal-based fairness explanations.
+
+    Parameters
+    ----------
+    model:
+        Unfitted estimator prototype.
+    fairness_metric:
+        ``metric(y_true, y_pred, groups) -> float`` (0 = fair).
+    max_depth:
+        Maximum predicate conjunction depth (1 or 2).
+    min_support / max_support:
+        Bounds on candidate subset size as fractions of the data.
+    n_bins:
+        Quantile bins used to discretize numeric columns.
+    """
+
+    def __init__(self, model, fairness_metric, *, max_depth: int = 2,
+                 min_support: float = 0.01, max_support: float = 0.5,
+                 n_bins: int = 3):
+        if max_depth not in (1, 2):
+            raise ValidationError("max_depth must be 1 or 2")
+        self.model = model
+        self.fairness_metric = fairness_metric
+        self.max_depth = max_depth
+        self.min_support = min_support
+        self.max_support = max_support
+        self.n_bins = n_bins
+
+    def explain(self, frame: DataFrame, *, feature_matrix, label_column: str,
+                group_column: str, X_valid, y_valid, groups_valid,
+                top_k: int = 5) -> list[SubsetExplanation]:
+        """Rank removal subsets by fairness improvement.
+
+        Parameters
+        ----------
+        frame:
+            Training dataframe (predicates are mined from its columns).
+        feature_matrix:
+            Encoded training features aligned with ``frame`` rows.
+        label_column / group_column:
+            Names of the target and protected-attribute columns.
+        X_valid, y_valid, groups_valid:
+            Held-out data the bias and accuracy are measured on.
+        """
+        X = np.asarray(feature_matrix, dtype=float)
+        if len(X) != len(frame):
+            raise ValidationError("feature_matrix must align with frame rows")
+        y = np.array(frame[label_column].to_list())
+
+        base_model = clone(self.model)
+        base_model.fit(X, y)
+        base_pred = base_model.predict(X_valid)
+        bias_before = float(self.fairness_metric(y_valid, base_pred, groups_valid))
+        acc_before = accuracy_score(y_valid, base_pred)
+
+        atoms = _candidate_predicates(
+            frame, exclude={label_column}, n_bins=self.n_bins)
+        candidates: list[tuple[tuple[str, ...], np.ndarray]] = [
+            ((desc,), mask) for desc, mask in atoms
+        ]
+        if self.max_depth == 2:
+            for i in range(len(atoms)):
+                for j in range(i + 1, len(atoms)):
+                    mask = atoms[i][1] & atoms[j][1]
+                    candidates.append(((atoms[i][0], atoms[j][0]), mask))
+
+        n = len(frame)
+        explanations = []
+        for predicates, mask in candidates:
+            support = mask.sum() / n
+            if not (self.min_support <= support <= self.max_support):
+                continue
+            keep = ~mask
+            y_keep = y[keep]
+            if len(np.unique(y_keep)) < 2:
+                continue
+            candidate_model = clone(self.model)
+            candidate_model.fit(X[keep], y_keep)
+            pred = candidate_model.predict(X_valid)
+            try:
+                bias_after = float(self.fairness_metric(y_valid, pred, groups_valid))
+            except ValidationError:
+                continue
+            explanations.append(SubsetExplanation(
+                predicates=predicates,
+                n_removed=int(mask.sum()),
+                bias_before=bias_before,
+                bias_after=bias_after,
+                accuracy_before=acc_before,
+                accuracy_after=accuracy_score(y_valid, pred),
+            ))
+        explanations.sort(key=lambda e: (e.bias_after, -e.accuracy_after,
+                                         e.n_removed))
+        return explanations[:top_k]

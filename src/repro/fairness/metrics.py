@@ -1,0 +1,85 @@
+"""Group fairness metrics over binary predictions.
+
+All metrics return absolute differences between the two groups, so 0 is
+perfectly fair and larger is worse; the ``positive`` label defaults to the
+larger class value.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.exceptions import ValidationError
+from repro.core.validation import check_consistent_length
+
+
+def _prepare(y_true, y_pred, groups, positive):
+    y_true = np.asarray(y_true)
+    y_pred = np.asarray(y_pred)
+    groups = np.asarray(groups)
+    check_consistent_length(y_true, y_pred, groups)
+    names = np.unique(groups)
+    if len(names) != 2:
+        raise ValidationError(
+            f"fairness metrics require exactly two groups, got {len(names)}"
+        )
+    if positive is None:
+        labels = np.unique(np.concatenate([y_true, y_pred]))
+        positive = labels[-1]
+    return y_true, y_pred, groups, names, positive
+
+
+def group_rates(y_true, y_pred, groups, positive=None) -> dict:
+    """Per-group confusion statistics.
+
+    Returns ``{group: {"selection_rate", "tpr", "fpr", "ppv", "n"}}``.
+    Rates with empty denominators are reported as ``nan``.
+    """
+    y_true, y_pred, groups, names, positive = _prepare(
+        y_true, y_pred, groups, positive)
+    out = {}
+    for g in names:
+        mask = groups == g
+        true_pos = (y_true == positive) & mask
+        pred_pos = (y_pred == positive) & mask
+        tp = int((true_pos & pred_pos).sum())
+        selection = pred_pos.sum() / mask.sum() if mask.sum() else np.nan
+        tpr = tp / true_pos.sum() if true_pos.sum() else np.nan
+        neg = mask & (y_true != positive)
+        fpr = (pred_pos & neg).sum() / neg.sum() if neg.sum() else np.nan
+        ppv = tp / pred_pos.sum() if pred_pos.sum() else np.nan
+        key = g.item() if isinstance(g, np.generic) else g
+        out[key] = {"selection_rate": float(selection), "tpr": float(tpr),
+                    "fpr": float(fpr), "ppv": float(ppv), "n": int(mask.sum())}
+    return out
+
+
+def demographic_parity_difference(y_pred, groups, positive=None) -> float:
+    """|P(pred=+ | A) - P(pred=+ | B)|."""
+    dummy = np.asarray(y_pred)  # metric ignores ground truth
+    rates = group_rates(dummy, y_pred, groups, positive)
+    (ra, rb) = (v["selection_rate"] for v in rates.values())
+    return abs(ra - rb)
+
+
+def equalized_odds_difference(y_true, y_pred, groups, positive=None) -> float:
+    """max(|ΔTPR|, |ΔFPR|) across the two groups — the equalized-odds gap."""
+    rates = group_rates(y_true, y_pred, groups, positive)
+    (a, b) = rates.values()
+    tpr_gap = abs(a["tpr"] - b["tpr"])
+    fpr_gap = abs(a["fpr"] - b["fpr"])
+    gaps = [g for g in (tpr_gap, fpr_gap) if not np.isnan(g)]
+    if not gaps:
+        raise ValidationError("equalized odds undefined: a group lacks a class")
+    return float(max(gaps))
+
+
+def predictive_parity_difference(y_true, y_pred, groups, positive=None) -> float:
+    """|PPV(A) - PPV(B)| — precision gap between groups."""
+    rates = group_rates(y_true, y_pred, groups, positive)
+    (a, b) = rates.values()
+    if np.isnan(a["ppv"]) or np.isnan(b["ppv"]):
+        raise ValidationError(
+            "predictive parity undefined: a group has no positive predictions"
+        )
+    return abs(a["ppv"] - b["ppv"])

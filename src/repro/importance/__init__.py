@@ -1,0 +1,54 @@
+"""Data importance for data-error detection (Section 2.1 of the paper).
+
+Every method assigns each training example a *data value*: its estimated
+contribution to downstream model quality on a validation set. The shared
+convention is **lower value = more harmful**, so mislabeled or corrupted
+examples sink to the bottom of the ranking and ``np.argsort(values)[:k]``
+yields the top-k cleaning candidates (exactly the usage in Figure 2).
+
+Methods implemented (paper references in brackets):
+
+- :func:`leave_one_out` — the LOO baseline.
+- :class:`MonteCarloShapley` — truncated Monte-Carlo Data Shapley [21].
+- :func:`knn_shapley` — exact, closed-form Shapley for a k-NN proxy [33].
+- :class:`DataBanzhaf` — Banzhaf values via the MSR estimator [80].
+- :class:`BetaShapley` — Beta(α, β)-weighted semivalues [43].
+- :func:`influence_scores` — influence functions for logistic models [41].
+- :func:`confident_learning_scores` — label-noise scores via confident
+  learning [59].
+- :func:`aum_scores` — area-under-the-margin training dynamics [63].
+"""
+
+from repro.importance.banzhaf import DataBanzhaf
+from repro.importance.base import Utility
+from repro.importance.beta_shapley import BetaShapley
+from repro.importance.evaluation import (
+    cleaning_curve,
+    detection_recall_at_k,
+    rank_lowest,
+)
+from repro.importance.gradient_similarity import gradient_similarity_scores
+from repro.importance.influence import influence_scores
+from repro.importance.knn_shapley import knn_shapley
+from repro.importance.loo import leave_one_out
+from repro.importance.rag import RetrievalAugmentedClassifier, rag_corpus_importance
+from repro.importance.shapley_mc import MonteCarloShapley
+from repro.importance.uncertainty import aum_scores, confident_learning_scores
+
+__all__ = [
+    "Utility",
+    "leave_one_out",
+    "MonteCarloShapley",
+    "knn_shapley",
+    "DataBanzhaf",
+    "BetaShapley",
+    "influence_scores",
+    "gradient_similarity_scores",
+    "RetrievalAugmentedClassifier",
+    "rag_corpus_importance",
+    "confident_learning_scores",
+    "aum_scores",
+    "detection_recall_at_k",
+    "cleaning_curve",
+    "rank_lowest",
+]

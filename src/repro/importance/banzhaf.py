@@ -1,0 +1,60 @@
+"""Data Banzhaf values (Wang & Jia, paper ref [80]).
+
+The Banzhaf value weights every coalition equally (each other player is
+included independently with probability 1/2), which makes it provably the
+most *noise-robust* semivalue — rankings survive noisy utility evaluations
+better than Shapley's. Estimated with the Maximum-Sample-Reuse (MSR)
+estimator: every sampled coalition updates the estimate of *all* players::
+
+    φ_i ≈ mean(u(S) : i ∈ S) - mean(u(S) : i ∉ S)
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.exceptions import ValidationError
+from repro.core.rng import ensure_rng
+from repro.importance.base import Utility
+
+
+class DataBanzhaf:
+    """MSR estimator for Data Banzhaf values.
+
+    Parameters
+    ----------
+    n_samples:
+        Number of random coalitions to evaluate (each costs one training).
+    seed:
+        RNG seed.
+    """
+
+    def __init__(self, n_samples: int = 200, seed=None):
+        if n_samples < 2:
+            raise ValidationError("n_samples must be >= 2")
+        self.n_samples = n_samples
+        self.seed = seed
+
+    def score(self, utility: Utility) -> np.ndarray:
+        """Estimate Banzhaf values for every player of ``utility``."""
+        rng = ensure_rng(self.seed)
+        n = utility.n_players
+        sum_in = np.zeros(n)
+        count_in = np.zeros(n)
+        sum_out = np.zeros(n)
+        count_out = np.zeros(n)
+
+        for _ in range(self.n_samples):
+            membership = rng.uniform(size=n) < 0.5
+            value = utility(np.flatnonzero(membership))
+            sum_in[membership] += value
+            count_in[membership] += 1
+            sum_out[~membership] += value
+            count_out[~membership] += 1
+
+        # Players never sampled on one side get a 0 mean on that side; with
+        # n_samples >= ~30 this is vanishingly rare and only dampens the
+        # estimate rather than biasing its sign.
+        mean_in = np.divide(sum_in, count_in, out=np.zeros(n), where=count_in > 0)
+        mean_out = np.divide(sum_out, count_out, out=np.zeros(n), where=count_out > 0)
+        return mean_in - mean_out

@@ -1,0 +1,99 @@
+"""The utility function shared by game-theoretic importance methods.
+
+Data Shapley, Banzhaf and Beta Shapley all view training as a cooperative
+game: a coalition is a subset of training examples, and the coalition's
+payoff is the quality (validation metric) of a model trained on it.
+:class:`Utility` packages that game, with caching and well-defined
+behaviour on degenerate coalitions (empty or single-class subsets, which
+most models cannot fit).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.exceptions import ValidationError
+from repro.core.validation import check_X_y
+from repro.ml.base import clone
+from repro.ml.metrics import accuracy_score
+
+
+class Utility:
+    """Coalition-value function ``u(S) = metric(model trained on S)``.
+
+    Parameters
+    ----------
+    model:
+        Unfitted estimator prototype; cloned for every evaluation.
+    X_train, y_train:
+        The full player pool; coalitions index into these.
+    X_valid, y_valid:
+        Held-out data the metric is computed on.
+    metric:
+        ``metric(y_true, y_pred) -> float``; accuracy by default.
+    cache:
+        Memoize coalition values by index frozenset. Worth it for MSR-style
+        estimators that revisit coalitions; permutation sampling rarely
+        repeats, so it can be disabled.
+    """
+
+    def __init__(self, model, X_train, y_train, X_valid, y_valid,
+                 metric=accuracy_score, cache: bool = True):
+        self.model = model
+        self.X_train, self.y_train = check_X_y(X_train, y_train)
+        self.X_valid, self.y_valid = check_X_y(X_valid, y_valid)
+        self.metric = metric
+        self._cache: dict[frozenset, float] | None = {} if cache else None
+        self.calls = 0  # number of *model trainings* performed
+        self._majority = _majority_class(self.y_valid)
+
+    @property
+    def n_players(self) -> int:
+        return len(self.y_train)
+
+    def null_value(self) -> float:
+        """Utility of the empty coalition: predict the validation majority
+        class (the best label-free constant predictor)."""
+        constant = np.full(len(self.y_valid), self._majority)
+        return float(self.metric(self.y_valid, constant))
+
+    def full_value(self) -> float:
+        """Utility of the grand coalition (all training data)."""
+        return self(np.arange(self.n_players))
+
+    def __call__(self, subset_indices) -> float:
+        subset = np.asarray(subset_indices, dtype=int)
+        if subset.ndim != 1:
+            raise ValidationError("subset indices must be a 1-D index array")
+        if len(subset) == 0:
+            return self.null_value()
+        key = frozenset(subset.tolist()) if self._cache is not None else None
+        if key is not None and key in self._cache:
+            return self._cache[key]
+        y_sub = self.y_train[subset]
+        classes = np.unique(y_sub)
+        if len(classes) < 2:
+            # Single-class coalition: the induced model is the constant
+            # predictor of that class.
+            constant = np.full(len(self.y_valid), classes[0])
+            value = float(self.metric(self.y_valid, constant))
+        else:
+            try:
+                model = clone(self.model)
+                model.fit(self.X_train[subset], y_sub)
+                self.calls += 1
+                predictions = model.predict(self.X_valid)
+            except ValidationError:
+                # Coalition too small for this model (e.g. k-NN with
+                # |S| < k): fall back to the coalition's majority class,
+                # the best constant predictor the coalition supports.
+                predictions = np.full(len(self.y_valid), _majority_class(y_sub))
+            value = float(self.metric(self.y_valid, predictions))
+        if key is not None:
+            self._cache[key] = value
+        return value
+
+
+def _majority_class(y: np.ndarray):
+    classes, counts = np.unique(y, return_counts=True)
+    return classes[np.argmax(counts)]

@@ -1,0 +1,85 @@
+"""Beta Shapley semivalues (Kwon & Zou, paper ref [43]).
+
+Beta(α, β) Shapley generalizes the Shapley value by reweighting marginal
+contributions by coalition size. Shapley weights all sizes equally;
+Beta(α, β) with β > α emphasizes *small* coalitions, where the signal of a
+mislabeled point is strongest and the estimator's noise is lowest —
+Beta(16, 1) is the paper's recommended noise-reduced default for
+mislabeled-data detection. Beta(1, 1) recovers the Shapley value exactly.
+
+Estimation reuses permutation sampling: under a uniform random
+permutation each coalition size j ∈ {0..n-1} occurs with probability 1/n,
+so weighting the observed marginal at size j by ``n * p(j)`` — where
+``p(j)`` is the Beta semivalue's size distribution — yields an unbiased
+estimate of the semivalue.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.special import betaln, gammaln
+
+from repro.core.exceptions import ValidationError
+from repro.core.rng import ensure_rng
+from repro.importance.base import Utility
+
+
+def beta_size_weights(n: int, alpha: float, beta: float) -> np.ndarray:
+    """The probability that a Beta(α, β) semivalue draws coalition size j.
+
+    Derived from the semivalue representation: the weight of a specific
+    coalition S with |S| = j is ``w(j) = Beta(j+β, n-j-1+α) / Beta(α, β)``
+    and there are C(n-1, j) such coalitions, so
+    ``p(j) ∝ C(n-1, j) * Beta(j+β, n-j-1+α)``. For α = β = 1 this is the
+    uniform distribution over sizes (the Shapley value).
+    """
+    if alpha <= 0 or beta <= 0:
+        raise ValidationError("alpha and beta must be positive")
+    j = np.arange(n)
+    log_binom = gammaln(n) - gammaln(j + 1) - gammaln(n - j)
+    log_weight = log_binom + betaln(j + beta, n - 1 - j + alpha) - betaln(alpha, beta)
+    weight = np.exp(log_weight - log_weight.max())
+    return weight / weight.sum()
+
+
+class BetaShapley:
+    """Permutation-sampling estimator for Beta(α, β) semivalues.
+
+    Parameters
+    ----------
+    alpha, beta:
+        Semivalue shape; ``(1, 1)`` is Shapley, ``(16, 1)`` the
+        noise-reduced detection default.
+    n_permutations:
+        Sampled permutations (each walks the full prefix chain).
+    seed:
+        RNG seed.
+    """
+
+    def __init__(self, alpha: float = 16.0, beta: float = 1.0,
+                 n_permutations: int = 100, seed=None):
+        if n_permutations < 1:
+            raise ValidationError("n_permutations must be >= 1")
+        self.alpha = alpha
+        self.beta = beta
+        self.n_permutations = n_permutations
+        self.seed = seed
+
+    def score(self, utility: Utility) -> np.ndarray:
+        """Estimate Beta Shapley values for every player of ``utility``."""
+        rng = ensure_rng(self.seed)
+        n = utility.n_players
+        # Importance weight: marginal at size j appears w.p. 1/n under
+        # permutation sampling but should carry probability p(j).
+        size_weight = n * beta_size_weights(n, self.alpha, self.beta)
+        running = np.zeros(n)
+        null_value = utility.null_value()
+
+        for _ in range(self.n_permutations):
+            permutation = rng.permutation(n)
+            previous = null_value
+            for pos in range(n):
+                current = utility(permutation[: pos + 1])
+                running[permutation[pos]] += size_weight[pos] * (current - previous)
+                previous = current
+        return running / self.n_permutations

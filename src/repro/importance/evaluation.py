@@ -1,0 +1,81 @@
+"""Evaluating importance methods as error detectors.
+
+Two views, matching how the paper's hands-on session uses importance:
+
+- **Detection**: rank examples by value ascending; how many of the truly
+  corrupted examples appear in the bottom-k? (precision/recall@k)
+- **Cleaning curves**: repeatedly clean the bottom-k and retrain; how fast
+  does model quality recover compared to random cleaning? (Figure 2's
+  0.76 -> 0.79 is one point of such a curve.)
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.exceptions import ValidationError
+
+
+def rank_lowest(values, k: int | None = None) -> np.ndarray:
+    """Indices of the lowest-valued (most harmful) examples, ascending.
+
+    Ties are broken by index so rankings are deterministic.
+    """
+    values = np.asarray(values, dtype=float)
+    order = np.lexsort((np.arange(len(values)), values))
+    return order if k is None else order[:k]
+
+
+def detection_recall_at_k(values, corrupted_indices, k: int) -> float:
+    """Fraction of corrupted examples found in the bottom-k of ``values``."""
+    corrupted = set(int(i) for i in np.atleast_1d(corrupted_indices))
+    if not corrupted:
+        raise ValidationError("corrupted_indices is empty")
+    flagged = set(rank_lowest(values, k).tolist())
+    return len(flagged & corrupted) / len(corrupted)
+
+
+def detection_precision_at_k(values, corrupted_indices, k: int) -> float:
+    """Fraction of the bottom-k that is truly corrupted."""
+    corrupted = set(int(i) for i in np.atleast_1d(corrupted_indices))
+    flagged = set(rank_lowest(values, k).tolist())
+    return len(flagged & corrupted) / max(len(flagged), 1)
+
+
+def cleaning_curve(values, *, clean_step, evaluate, n_rounds: int,
+                   batch: int) -> list[float]:
+    """Simulate iterative prioritized cleaning.
+
+    Parameters
+    ----------
+    values:
+        Importance scores of the (dirty) training data; cleaned lowest
+        first, ``batch`` per round.
+    clean_step:
+        Callable ``clean_step(indices) -> None`` applying repairs in place
+        (e.g. restoring ground-truth labels).
+    evaluate:
+        Callable ``evaluate() -> float`` retraining and scoring the model
+        on the current data state.
+    n_rounds:
+        Number of cleaning rounds.
+    batch:
+        Examples cleaned per round.
+
+    Returns
+    -------
+    list of float
+        Quality after 0, 1, ..., n_rounds rounds (length n_rounds + 1).
+    """
+    if n_rounds < 1 or batch < 1:
+        raise ValidationError("n_rounds and batch must be >= 1")
+    order = rank_lowest(values)
+    curve = [float(evaluate())]
+    for round_idx in range(n_rounds):
+        chunk = order[round_idx * batch:(round_idx + 1) * batch]
+        if len(chunk) == 0:
+            curve.append(curve[-1])
+            continue
+        clean_step(chunk)
+        curve.append(float(evaluate()))
+    return curve

@@ -1,0 +1,77 @@
+"""Gradient-similarity data values (the TracIn-style member of the
+survey's "gradient-based methods" bucket, refs [41, 42]).
+
+Where influence functions weight per-example gradients by the inverse
+Hessian, the first-order variant scores each training example by the
+plain inner product of its loss gradient with the mean validation-loss
+gradient at the fitted parameters::
+
+    value(z) = ∇L(z, θ̂) · mean_val ∇L(z_val, θ̂)
+
+A training step on ``z`` moves θ along ``-∇L(z)``, changing validation
+loss by ``≈ -η ∇L(z)·ḡ_val``; a harmful example (one whose step raises
+validation loss) therefore has a *negative* inner product, so the raw
+product already follows the library's lower-is-more-harmful convention
+(it is exactly the influence-function value with the Hessian replaced by
+the identity).
+No Hessian, no retraining: one gradient pass, robust at any scale, and a
+useful cross-check for the curvature-aware influence scores.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.exceptions import ValidationError
+from repro.core.validation import check_X_y
+from repro.ml.linear import LogisticRegression
+
+
+def gradient_similarity_scores(model: LogisticRegression, X_train, y_train,
+                               X_valid, y_valid,
+                               normalize: bool = False) -> np.ndarray:
+    """First-order gradient-alignment values for a fitted binary model.
+
+    Parameters
+    ----------
+    model:
+        A *fitted* binary :class:`LogisticRegression`.
+    normalize:
+        Use cosine similarity instead of the raw inner product (removes
+        the feature-norm bias that makes large-norm examples look
+        important).
+
+    Returns
+    -------
+    np.ndarray
+        One score per training example, lower = more harmful.
+    """
+    if not isinstance(model, LogisticRegression):
+        raise ValidationError(
+            "gradient_similarity_scores requires a LogisticRegression")
+    if not hasattr(model, "coef_"):
+        raise ValidationError("model must be fitted first")
+    if len(model.classes_) != 2:
+        raise ValidationError("binary models only")
+    X_train, y_train = check_X_y(X_train, y_train)
+    X_valid, y_valid = check_X_y(X_valid, y_valid)
+
+    w = model.coef_[1] - model.coef_[0]
+    b = float(model.intercept_[1] - model.intercept_[0])
+    theta = np.concatenate([w, [b]])
+    Xa_train = np.column_stack([X_train, np.ones(len(X_train))])
+    Xa_valid = np.column_stack([X_valid, np.ones(len(X_valid))])
+
+    t_train = (y_train == model.classes_[1]).astype(float)
+    t_valid = (y_valid == model.classes_[1]).astype(float)
+    p_train = 1.0 / (1.0 + np.exp(-Xa_train @ theta))
+    p_valid = 1.0 / (1.0 + np.exp(-Xa_valid @ theta))
+
+    grad_train = (p_train - t_train)[:, None] * Xa_train
+    grad_valid = ((p_valid - t_valid)[:, None] * Xa_valid).mean(axis=0)
+
+    if normalize:
+        norms = np.linalg.norm(grad_train, axis=1)
+        grad_train = grad_train / np.maximum(norms, 1e-12)[:, None]
+        grad_valid = grad_valid / max(np.linalg.norm(grad_valid), 1e-12)
+    return grad_train @ grad_valid

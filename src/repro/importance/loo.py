@@ -1,0 +1,28 @@
+"""Leave-one-out importance — the simplest data value.
+
+``value(i) = u(D) - u(D \\ {i})``: how much validation quality drops when
+example ``i`` is removed. Negative values mean the model *improves*
+without the point, the signature of a harmful example. Costs one model
+training per training point.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.importance.base import Utility
+
+
+def leave_one_out(utility: Utility) -> np.ndarray:
+    """Compute LOO values for every player of ``utility``.
+
+    Returns an array of length ``utility.n_players`` following the
+    lower-is-more-harmful convention shared by all importance methods.
+    """
+    n = utility.n_players
+    full = utility.full_value()
+    everyone = np.arange(n)
+    values = np.empty(n)
+    for i in range(n):
+        values[i] = full - utility(np.delete(everyone, i))
+    return values

@@ -1,0 +1,84 @@
+"""Truncated Monte-Carlo Data Shapley (Ghorbani & Zou, paper ref [21]).
+
+The Shapley value of example ``i`` is its marginal contribution averaged
+over all orderings of the training set — a sum over exponentially many
+subsets. TMC-Shapley samples random permutations, walks each prefix, and
+*truncates* the walk once the running utility is within ``truncation_tol``
+of the full-data utility (later marginals are then ≈ 0). Convergence is
+monitored with the Gelman–Rubin-style criterion from the original paper:
+stop when the mean absolute change of the value estimates over the last
+``convergence_window`` permutations falls below ``convergence_tol``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.exceptions import ValidationError
+from repro.core.rng import ensure_rng
+from repro.importance.base import Utility
+
+
+class MonteCarloShapley:
+    """Permutation-sampling Shapley estimator.
+
+    Parameters
+    ----------
+    n_permutations:
+        Hard cap on sampled permutations.
+    truncation_tol:
+        Absolute utility gap below which a permutation walk is truncated
+        ("performance tolerance" in the paper). ``0`` disables truncation.
+    convergence_tol / convergence_window:
+        Early-stopping on estimate stability; ``None`` disables.
+    seed:
+        RNG seed.
+    """
+
+    def __init__(self, n_permutations: int = 100, truncation_tol: float = 0.01,
+                 convergence_tol: float | None = None, convergence_window: int = 10,
+                 seed=None):
+        if n_permutations < 1:
+            raise ValidationError("n_permutations must be >= 1")
+        if truncation_tol < 0:
+            raise ValidationError("truncation_tol must be >= 0")
+        self.n_permutations = n_permutations
+        self.truncation_tol = truncation_tol
+        self.convergence_tol = convergence_tol
+        self.convergence_window = convergence_window
+        self.seed = seed
+
+    def score(self, utility: Utility) -> np.ndarray:
+        """Estimate Shapley values for every player of ``utility``."""
+        rng = ensure_rng(self.seed)
+        n = utility.n_players
+        running = np.zeros(n)
+        full_value = utility.full_value()
+        null_value = utility.null_value()
+        history: list[np.ndarray] = []
+
+        for t in range(1, self.n_permutations + 1):
+            permutation = rng.permutation(n)
+            previous = null_value
+            truncated = False
+            for pos in range(n):
+                if truncated:
+                    marginal = 0.0
+                else:
+                    current = utility(permutation[: pos + 1])
+                    marginal = current - previous
+                    previous = current
+                    if (self.truncation_tol > 0
+                            and abs(full_value - current) < self.truncation_tol):
+                        truncated = True
+                running[permutation[pos]] += marginal
+            if self.convergence_tol is not None:
+                history.append(running / t)
+                if len(history) > self.convergence_window:
+                    drift = np.abs(history[-1] - history[-1 - self.convergence_window])
+                    scale = np.abs(history[-1]) + 1e-12
+                    if float(np.mean(drift / scale)) < self.convergence_tol:
+                        self.n_permutations_used_ = t
+                        return running / t
+        self.n_permutations_used_ = self.n_permutations
+        return running / self.n_permutations

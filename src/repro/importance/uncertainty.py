@@ -1,0 +1,128 @@
+"""Uncertainty-based label-error scores: confident learning and AUM.
+
+Unlike the game-theoretic values, these methods need no validation set —
+they read label noise straight out of the model's own uncertainty:
+
+- **Confident learning** (Northcutt et al., ref [59]) compares each
+  example's given label against out-of-sample predicted probabilities and
+  per-class confidence thresholds.
+- **Area Under the Margin** (Pleiss et al., ref [63]) tracks the logit
+  margin of the assigned label across training epochs; mislabeled points
+  fight the gradient signal of their (correctly labelled) class peers and
+  accumulate low or negative margins.
+
+Both return scores in the library's lower-is-more-harmful convention.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.exceptions import ValidationError
+from repro.core.rng import ensure_rng
+from repro.core.validation import check_X_y
+from repro.ml.base import clone
+from repro.ml.model_selection import KFold
+
+
+def out_of_sample_proba(model, X, y, *, cv: int = 5, seed=0) -> np.ndarray:
+    """Cross-validated predicted probabilities for every training example.
+
+    Each example's probabilities come from a fold whose training half did
+    not contain it, so self-memorization cannot mask label errors.
+    """
+    X, y = check_X_y(X, y)
+    classes = np.unique(y)
+    proba = np.zeros((len(X), len(classes)))
+    class_index = {c.item() if isinstance(c, np.generic) else c: i
+                   for i, c in enumerate(classes.tolist())}
+    for train_idx, test_idx in KFold(cv, shuffle=True, seed=seed).split(X):
+        fold_model = clone(model)
+        fold_model.fit(X[train_idx], y[train_idx])
+        fold_proba = fold_model.predict_proba(X[test_idx])
+        # Align fold class order with the global order.
+        for local_col, cls in enumerate(fold_model.classes_.tolist()):
+            proba[test_idx, class_index[cls]] = fold_proba[:, local_col]
+    return proba, classes
+
+
+def confident_learning_scores(model, X, y, *, cv: int = 5, seed=0):
+    """Confident-learning label-quality scores and the flagged set.
+
+    Returns ``(scores, flagged_mask)``:
+
+    - ``scores[i]`` — self-confidence margin ``p(given label) - max
+      p(other label)``; strongly negative for likely label errors.
+    - ``flagged_mask[i]`` — True when the example lands in an off-diagonal
+      cell of the confident joint (predicted-with-confidence class differs
+      from the given label).
+    """
+    proba, classes = out_of_sample_proba(model, X, y, cv=cv, seed=seed)
+    y = np.asarray(y)
+    class_index = {c.item() if isinstance(c, np.generic) else c: i
+                   for i, c in enumerate(classes.tolist())}
+    given = np.array([class_index[v if not isinstance(v, np.generic) else v.item()]
+                      for v in y])
+
+    # Per-class confidence thresholds: mean self-confidence of examples
+    # labelled with that class.
+    thresholds = np.array([
+        proba[given == c, c].mean() if np.any(given == c) else np.inf
+        for c in range(len(classes))
+    ])
+
+    # Confident joint assignment: the class with the highest probability
+    # among those exceeding their threshold.
+    exceeds = proba >= thresholds[None, :]
+    masked = np.where(exceeds, proba, -np.inf)
+    confident_class = np.argmax(masked, axis=1)
+    has_confident = np.any(exceeds, axis=1)
+    flagged = has_confident & (confident_class != given)
+
+    self_conf = proba[np.arange(len(y)), given]
+    other = proba.copy()
+    other[np.arange(len(y)), given] = -np.inf
+    margin = self_conf - np.max(other, axis=1)
+    return margin, flagged
+
+
+def aum_scores(X, y, *, n_epochs: int = 30, lr: float = 0.5,
+               batch_size: int = 32, seed=0) -> np.ndarray:
+    """Area Under the Margin via mini-batch SGD logistic training.
+
+    Trains a softmax model from scratch with SGD and records, after every
+    epoch, each example's margin ``logit(given) - max logit(other)``. The
+    returned score is the margin averaged over epochs — the AUM. Low
+    (especially negative) AUM indicates a mislabeled example.
+    """
+    X, y = check_X_y(X, y)
+    if n_epochs < 1:
+        raise ValidationError("n_epochs must be >= 1")
+    classes, encoded = np.unique(y, return_inverse=True)
+    if len(classes) < 2:
+        raise ValidationError("need at least two classes")
+    rng = ensure_rng(seed)
+    n, d = X.shape
+    k = len(classes)
+    Xa = np.column_stack([X, np.ones(n)])
+    W = np.zeros((d + 1, k))
+    margins = np.zeros(n)
+
+    for _ in range(n_epochs):
+        order = rng.permutation(n)
+        for start in range(0, n, batch_size):
+            batch = order[start:start + batch_size]
+            logits = Xa[batch] @ W
+            logits -= logits.max(axis=1, keepdims=True)
+            probs = np.exp(logits)
+            probs /= probs.sum(axis=1, keepdims=True)
+            target = np.zeros((len(batch), k))
+            target[np.arange(len(batch)), encoded[batch]] = 1.0
+            grad = Xa[batch].T @ (probs - target) / len(batch)
+            W -= lr * grad
+        logits = Xa @ W
+        assigned = logits[np.arange(n), encoded]
+        others = logits.copy()
+        others[np.arange(n), encoded] = -np.inf
+        margins += assigned - np.max(others, axis=1)
+    return margins / n_epochs

@@ -1,0 +1,71 @@
+"""ML substrate: estimators, preprocessing, metrics and model selection.
+
+This subpackage replaces scikit-learn for the purposes of the tutorial.
+Everything follows the familiar contract: estimators implement
+``fit(X, y)`` / ``predict(X)`` (and ``predict_proba`` where meaningful),
+transformers implement ``fit`` / ``transform`` / ``fit_transform``, and
+:func:`clone` produces an unfitted copy with identical hyperparameters.
+"""
+
+from repro.ml.base import BaseEstimator, TransformerMixin, clone, is_fitted
+from repro.ml.compose import ColumnTransformer, FeatureUnion, Pipeline
+from repro.ml.ensemble import RandomForestClassifier
+from repro.ml.linear import LinearRegression, LinearSVC, LogisticRegression
+from repro.ml.metrics import (
+    accuracy_score,
+    confusion_matrix,
+    f1_score,
+    log_loss,
+    precision_score,
+    prediction_entropy,
+    recall_score,
+    roc_auc_score,
+)
+from repro.ml.model_selection import KFold, cross_val_score, train_test_split
+from repro.ml.naive_bayes import GaussianNB
+from repro.ml.neighbors import KNeighborsClassifier
+from repro.ml.preprocessing import (
+    FunctionTransformer,
+    KNNImputer,
+    LabelEncoder,
+    MinMaxScaler,
+    OneHotEncoder,
+    SimpleImputer,
+    StandardScaler,
+)
+from repro.ml.tree import DecisionTreeClassifier
+
+__all__ = [
+    "BaseEstimator",
+    "TransformerMixin",
+    "clone",
+    "is_fitted",
+    "Pipeline",
+    "ColumnTransformer",
+    "FeatureUnion",
+    "LogisticRegression",
+    "LinearRegression",
+    "LinearSVC",
+    "KNeighborsClassifier",
+    "DecisionTreeClassifier",
+    "RandomForestClassifier",
+    "GaussianNB",
+    "StandardScaler",
+    "MinMaxScaler",
+    "OneHotEncoder",
+    "SimpleImputer",
+    "KNNImputer",
+    "LabelEncoder",
+    "FunctionTransformer",
+    "accuracy_score",
+    "precision_score",
+    "recall_score",
+    "f1_score",
+    "confusion_matrix",
+    "log_loss",
+    "roc_auc_score",
+    "prediction_entropy",
+    "train_test_split",
+    "KFold",
+    "cross_val_score",
+]

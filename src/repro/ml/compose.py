@@ -1,0 +1,203 @@
+"""Composition: Pipeline, ColumnTransformer and FeatureUnion.
+
+:class:`ColumnTransformer` is dataframe-aware: it pulls named columns out
+of a :class:`repro.dataframe.DataFrame`, routes each group through its own
+transformer, and concatenates the resulting feature blocks — exactly the
+feature-encoding stage sketched in Figure 3 of the paper. Crucially the
+output matrix has one row per input row in order, so row provenance passes
+through encoding unchanged.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.exceptions import SchemaError, ValidationError
+from repro.ml.base import BaseEstimator, TransformerMixin, check_fitted, clone
+
+
+class Pipeline(BaseEstimator):
+    """Chain of transformers optionally ending in an estimator.
+
+    Parameters
+    ----------
+    steps:
+        List of ``(name, estimator)`` pairs. All but the last must be
+        transformers; the last may be a transformer or a predictor.
+    """
+
+    def __init__(self, steps: list):
+        if not steps:
+            raise ValidationError("Pipeline requires at least one step")
+        names = [name for name, _ in steps]
+        if len(set(names)) != len(names):
+            raise ValidationError(f"duplicate step names in {names}")
+        self.steps = steps
+
+    def _final(self):
+        return self.steps[-1][1]
+
+    def named_steps(self) -> dict:
+        return dict(self.steps)
+
+    def fit(self, X, y=None) -> "Pipeline":
+        data = X
+        for name, step in self.steps[:-1]:
+            if not hasattr(step, "transform"):
+                raise ValidationError(
+                    f"intermediate step {name!r} must be a transformer"
+                )
+            data = step.fit_transform(data, y)
+        self._final().fit(data, y) if y is not None else self._final().fit(data)
+        self.fitted_steps_ = [name for name, _ in self.steps]
+        return self
+
+    def _apply_transformers(self, X):
+        check_fitted(self)
+        data = X
+        for _, step in self.steps[:-1]:
+            data = step.transform(data)
+        return data
+
+    def transform(self, X):
+        data = self._apply_transformers(X)
+        final = self._final()
+        if not hasattr(final, "transform"):
+            raise ValidationError("final step is not a transformer")
+        return final.transform(data)
+
+    def fit_transform(self, X, y=None):
+        return self.fit(X, y).transform(X)
+
+    def predict(self, X):
+        return self._final().predict(self._apply_transformers(X))
+
+    def predict_proba(self, X):
+        return self._final().predict_proba(self._apply_transformers(X))
+
+    def score(self, X, y) -> float:
+        return self._final().score(self._apply_transformers(X), y)
+
+    @property
+    def classes_(self):
+        return self._final().classes_
+
+
+def _extract_block(frame, columns: list[str]) -> np.ndarray:
+    """Pull columns from a DataFrame (or pass arrays through) as a 2-D
+    array suitable for the wrapped transformer: numeric columns become a
+    float matrix with NaN nulls; any non-numeric column switches the whole
+    block to object dtype."""
+    from repro.dataframe.frame import DataFrame
+
+    if not isinstance(frame, DataFrame):
+        X = np.asarray(frame)
+        return X[:, None] if X.ndim == 1 else X
+    missing = [c for c in columns if c not in frame]
+    if missing:
+        raise SchemaError(f"no columns named {missing}; have {frame.columns}")
+    cols = [frame[c] for c in columns]
+    numeric = all(col.dtype.kind in ("f", "i", "b") for col in cols)
+    if numeric:
+        return np.column_stack([
+            col.cast(float).to_numpy() for col in cols
+        ])
+    return np.column_stack([col.to_numpy(null_value=None) for col in cols])
+
+
+class ColumnTransformer(BaseEstimator, TransformerMixin):
+    """Route dataframe columns through per-group transformers.
+
+    Parameters
+    ----------
+    transformers:
+        List of ``(name, transformer, columns)`` where ``columns`` is a
+        column name or list of names. Use ``transformer="passthrough"``
+        to copy numeric columns unchanged, or ``"drop"`` to discard.
+    """
+
+    def __init__(self, transformers: list):
+        if not transformers:
+            raise ValidationError("ColumnTransformer requires at least one entry")
+        self.transformers = transformers
+
+    def _normalized(self):
+        for entry in self.transformers:
+            if len(entry) != 3:
+                raise ValidationError(
+                    "each transformer entry must be (name, transformer, columns)"
+                )
+            name, transformer, columns = entry
+            if isinstance(columns, str):
+                columns = [columns]
+            yield name, transformer, list(columns)
+
+    def fit(self, X, y=None) -> "ColumnTransformer":
+        self.fitted_transformers_ = []
+        for name, transformer, columns in self._normalized():
+            block = _extract_block(X, columns)
+            if transformer == "drop":
+                fitted = "drop"
+            elif transformer == "passthrough":
+                fitted = "passthrough"
+            else:
+                fitted = clone(transformer)
+                fitted.fit(block, y)
+            self.fitted_transformers_.append((name, fitted, columns))
+        return self
+
+    def transform(self, X) -> np.ndarray:
+        check_fitted(self)
+        blocks = []
+        for name, fitted, columns in self.fitted_transformers_:
+            if fitted == "drop":
+                continue
+            block = _extract_block(X, columns)
+            if fitted == "passthrough":
+                blocks.append(np.asarray(block, dtype=float))
+            else:
+                blocks.append(np.asarray(fitted.transform(block), dtype=float))
+        if not blocks:
+            raise ValidationError("all transformers dropped; nothing to output")
+        return np.hstack(blocks)
+
+    def output_names(self) -> list[str]:
+        """Best-effort names for the produced feature columns."""
+        check_fitted(self)
+        names = []
+        for name, fitted, columns in self.fitted_transformers_:
+            if fitted == "drop":
+                continue
+            if hasattr(fitted, "feature_names"):
+                names.extend(f"{name}:{n}" for n in fitted.feature_names(columns))
+            elif fitted == "passthrough":
+                names.extend(f"{name}:{c}" for c in columns)
+            else:
+                probe = getattr(fitted, "_last_width", None)
+                if probe is None:
+                    names.append(f"{name}:*")
+                else:
+                    names.extend(f"{name}:{i}" for i in range(probe))
+        return names
+
+
+class FeatureUnion(BaseEstimator, TransformerMixin):
+    """Concatenate outputs of several transformers over the same input."""
+
+    def __init__(self, transformers: list):
+        if not transformers:
+            raise ValidationError("FeatureUnion requires at least one entry")
+        self.transformers = transformers
+
+    def fit(self, X, y=None) -> "FeatureUnion":
+        self.fitted_transformers_ = [
+            (name, clone(t).fit(X, y)) for name, t in self.transformers
+        ]
+        return self
+
+    def transform(self, X) -> np.ndarray:
+        check_fitted(self)
+        return np.hstack([
+            np.asarray(t.transform(X), dtype=float)
+            for _, t in self.fitted_transformers_
+        ])

@@ -1,0 +1,95 @@
+"""Bagged tree ensembles (random forest).
+
+Used as a stronger non-linear baseline in the challenge and possible-
+worlds experiments, and to demonstrate that the importance/uncertainty
+machinery is model-agnostic (everything only needs fit/predict).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.exceptions import ValidationError
+from repro.core.rng import ensure_rng
+from repro.core.validation import check_array, check_X_y
+from repro.ml.base import BaseEstimator, check_fitted
+from repro.ml.tree import DecisionTreeClassifier
+
+
+class RandomForestClassifier(BaseEstimator):
+    """Bootstrap-aggregated decision trees with feature subsampling.
+
+    Parameters
+    ----------
+    n_estimators:
+        Number of trees.
+    max_depth:
+        Per-tree depth cap.
+    max_features:
+        Features considered per tree: ``"sqrt"``, ``"all"``, or an int.
+    seed:
+        RNG seed for bootstraps and feature subsets.
+    """
+
+    def __init__(self, n_estimators: int = 20, max_depth: int | None = 8,
+                 max_features="sqrt", seed=0):
+        if n_estimators < 1:
+            raise ValidationError("n_estimators must be >= 1")
+        self.n_estimators = n_estimators
+        self.max_depth = max_depth
+        self.max_features = max_features
+        self.seed = seed
+
+    def _n_features_per_tree(self, d: int) -> int:
+        if self.max_features == "sqrt":
+            return max(1, int(np.sqrt(d)))
+        if self.max_features == "all":
+            return d
+        if isinstance(self.max_features, (int, np.integer)):
+            if not 1 <= self.max_features <= d:
+                raise ValidationError(
+                    f"max_features must be in [1, {d}]")
+            return int(self.max_features)
+        raise ValidationError(f"invalid max_features {self.max_features!r}")
+
+    def fit(self, X, y) -> "RandomForestClassifier":
+        X, y = check_X_y(X, y)
+        self.classes_ = np.unique(y)
+        rng = ensure_rng(self.seed)
+        n, d = X.shape
+        n_sub = self._n_features_per_tree(d)
+        self.trees_ = []
+        self.feature_subsets_ = []
+        for _ in range(self.n_estimators):
+            rows = rng.integers(0, n, size=n)  # bootstrap
+            features = np.sort(rng.choice(d, size=n_sub, replace=False))
+            tree = DecisionTreeClassifier(max_depth=self.max_depth)
+            y_boot = y[rows]
+            if len(np.unique(y_boot)) < 2:
+                # Degenerate bootstrap: resample once; fall back to any mix.
+                rows = rng.permutation(n)
+                y_boot = y[rows]
+            tree.fit(X[rows][:, features], y_boot)
+            self.trees_.append(tree)
+            self.feature_subsets_.append(features)
+        return self
+
+    def predict_proba(self, X) -> np.ndarray:
+        check_fitted(self)
+        X = check_array(X)
+        class_index = {c.item() if isinstance(c, np.generic) else c: i
+                       for i, c in enumerate(self.classes_.tolist())}
+        proba = np.zeros((len(X), len(self.classes_)))
+        for tree, features in zip(self.trees_, self.feature_subsets_):
+            tree_proba = tree.predict_proba(X[:, features])
+            for local_col, cls in enumerate(tree.classes_.tolist()):
+                proba[:, class_index[cls]] += tree_proba[:, local_col]
+        return proba / self.n_estimators
+
+    def predict(self, X) -> np.ndarray:
+        return self.classes_[np.argmax(self.predict_proba(X), axis=1)]
+
+    def score(self, X, y) -> float:
+        from repro.ml.metrics import accuracy_score
+
+        return accuracy_score(y, self.predict(X))

@@ -1,0 +1,143 @@
+"""Quality metrics: correctness, probabilistic, ranking, and stability.
+
+Figure 1 of the paper lists the metric families a pipeline's quality
+evaluation reports — correctness (accuracy, F1), fairness (in
+:mod:`repro.fairness.metrics`), and stability (entropy). This module
+provides the correctness and stability side.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.exceptions import ValidationError
+from repro.core.validation import check_consistent_length
+
+
+def _as_labels(y_true, y_pred):
+    y_true = np.asarray(y_true)
+    y_pred = np.asarray(y_pred)
+    check_consistent_length(y_true, y_pred)
+    if len(y_true) == 0:
+        raise ValidationError("metrics require at least one example")
+    return y_true, y_pred
+
+
+def accuracy_score(y_true, y_pred) -> float:
+    """Fraction of exact label matches."""
+    y_true, y_pred = _as_labels(y_true, y_pred)
+    return float(np.mean(y_true == y_pred))
+
+
+def confusion_matrix(y_true, y_pred, labels=None) -> np.ndarray:
+    """Counts matrix with rows = true labels, columns = predictions."""
+    y_true, y_pred = _as_labels(y_true, y_pred)
+    if labels is None:
+        labels = np.unique(np.concatenate([y_true, y_pred]))
+    labels = np.asarray(labels)
+    index = {label: i for i, label in enumerate(labels.tolist())}
+    matrix = np.zeros((len(labels), len(labels)), dtype=np.int64)
+    for t, p in zip(y_true, y_pred):
+        matrix[index[t if not isinstance(t, np.generic) else t.item()],
+               index[p if not isinstance(p, np.generic) else p.item()]] += 1
+    return matrix
+
+
+def _binary_counts(y_true, y_pred, positive):
+    y_true, y_pred = _as_labels(y_true, y_pred)
+    if positive is None:
+        labels = np.unique(np.concatenate([y_true, y_pred]))
+        positive = labels[-1]
+    tp = int(np.sum((y_true == positive) & (y_pred == positive)))
+    fp = int(np.sum((y_true != positive) & (y_pred == positive)))
+    fn = int(np.sum((y_true == positive) & (y_pred != positive)))
+    return tp, fp, fn
+
+
+def precision_score(y_true, y_pred, positive=None) -> float:
+    """TP / (TP + FP); 0 when nothing was predicted positive."""
+    tp, fp, _ = _binary_counts(y_true, y_pred, positive)
+    return tp / (tp + fp) if (tp + fp) > 0 else 0.0
+
+
+def recall_score(y_true, y_pred, positive=None) -> float:
+    """TP / (TP + FN); 0 when no positives exist."""
+    tp, _, fn = _binary_counts(y_true, y_pred, positive)
+    return tp / (tp + fn) if (tp + fn) > 0 else 0.0
+
+
+def f1_score(y_true, y_pred, positive=None) -> float:
+    """Harmonic mean of precision and recall."""
+    p = precision_score(y_true, y_pred, positive)
+    r = recall_score(y_true, y_pred, positive)
+    return 2.0 * p * r / (p + r) if (p + r) > 0 else 0.0
+
+
+def log_loss(y_true, proba, classes) -> float:
+    """Mean negative log-likelihood of the true labels."""
+    y_true = np.asarray(y_true)
+    proba = np.asarray(proba, dtype=float)
+    classes = np.asarray(classes)
+    check_consistent_length(y_true, proba)
+    index = {c if not isinstance(c, np.generic) else c.item(): i
+             for i, c in enumerate(classes.tolist())}
+    try:
+        cols = np.array([index[t if not isinstance(t, np.generic) else t.item()]
+                         for t in y_true])
+    except KeyError as exc:
+        raise ValidationError(f"label {exc.args[0]!r} not in classes") from exc
+    picked = proba[np.arange(len(y_true)), cols]
+    return float(-np.mean(np.log(np.clip(picked, 1e-12, 1.0))))
+
+
+def roc_auc_score(y_true, scores, positive=None) -> float:
+    """Area under the ROC curve via the rank statistic (handles ties)."""
+    y_true = np.asarray(y_true)
+    scores = np.asarray(scores, dtype=float)
+    check_consistent_length(y_true, scores)
+    if positive is None:
+        labels = np.unique(y_true)
+        if len(labels) != 2:
+            raise ValidationError(
+                f"roc_auc_score needs binary labels, got {len(labels)} classes"
+            )
+        positive = labels[-1]
+    pos = y_true == positive
+    n_pos = int(pos.sum())
+    n_neg = len(y_true) - n_pos
+    if n_pos == 0 or n_neg == 0:
+        raise ValidationError("roc_auc_score needs both classes present")
+    order = np.argsort(scores, kind="stable")
+    ranks = np.empty(len(scores), dtype=float)
+    sorted_scores = scores[order]
+    i = 0
+    rank = 1.0
+    while i < len(scores):
+        j = i
+        while j + 1 < len(scores) and sorted_scores[j + 1] == sorted_scores[i]:
+            j += 1
+        ranks[order[i:j + 1]] = (rank + rank + (j - i)) / 2.0
+        rank += j - i + 1
+        i = j + 1
+    return float((ranks[pos].sum() - n_pos * (n_pos + 1) / 2.0) / (n_pos * n_neg))
+
+
+def prediction_entropy(proba) -> float:
+    """Mean Shannon entropy of prediction distributions (a stability
+    metric: higher entropy means less confident, less stable outputs)."""
+    proba = np.asarray(proba, dtype=float)
+    if proba.ndim != 2:
+        raise ValidationError("proba must be 2-dimensional")
+    clipped = np.clip(proba, 1e-12, 1.0)
+    per_row = -np.sum(clipped * np.log2(clipped), axis=1)
+    return float(per_row.mean())
+
+
+def balanced_accuracy_score(y_true, y_pred) -> float:
+    """Mean of per-class recalls."""
+    y_true, y_pred = _as_labels(y_true, y_pred)
+    recalls = []
+    for label in np.unique(y_true):
+        mask = y_true == label
+        recalls.append(float(np.mean(y_pred[mask] == label)))
+    return float(np.mean(recalls))

@@ -1,0 +1,95 @@
+"""Dataset splitting and cross-validation."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.exceptions import ValidationError
+from repro.core.rng import ensure_rng
+from repro.core.validation import check_fraction
+from repro.ml.base import clone
+
+
+def train_test_split(X, y=None, *, test_size: float = 0.25, seed=None,
+                     stratify=None):
+    """Random train/test split of arrays sharing their first dimension.
+
+    With ``stratify`` (a label vector), class proportions are preserved in
+    both splits, which matters for the small synthetic datasets the
+    examples use.
+    """
+    X = np.asarray(X)
+    n = len(X)
+    test_size = check_fraction(test_size, name="test_size",
+                               inclusive_low=False, inclusive_high=False)
+    rng = ensure_rng(seed)
+    n_test = max(1, int(round(test_size * n)))
+    if n_test >= n:
+        raise ValidationError(f"test_size={test_size} leaves no training data")
+
+    if stratify is not None:
+        strat = np.asarray(stratify)
+        test_idx = []
+        for label in np.unique(strat):
+            members = np.flatnonzero(strat == label)
+            rng.shuffle(members)
+            take = int(round(test_size * len(members)))
+            test_idx.extend(members[:take])
+        test_idx = np.array(sorted(test_idx))
+    else:
+        perm = rng.permutation(n)
+        test_idx = np.sort(perm[:n_test])
+    test_mask = np.zeros(n, dtype=bool)
+    test_mask[test_idx] = True
+
+    X_train, X_test = X[~test_mask], X[test_mask]
+    if y is None:
+        return X_train, X_test
+    y = np.asarray(y)
+    return X_train, X_test, y[~test_mask], y[test_mask]
+
+
+class KFold:
+    """K-fold cross-validation splitter.
+
+    Parameters
+    ----------
+    n_splits:
+        Number of folds (>= 2).
+    shuffle:
+        Shuffle before splitting (with ``seed``).
+    """
+
+    def __init__(self, n_splits: int = 5, *, shuffle: bool = True, seed=None):
+        if n_splits < 2:
+            raise ValidationError(f"n_splits must be >= 2, got {n_splits}")
+        self.n_splits = n_splits
+        self.shuffle = shuffle
+        self.seed = seed
+
+    def split(self, X):
+        n = len(X)
+        if n < self.n_splits:
+            raise ValidationError(
+                f"cannot split {n} rows into {self.n_splits} folds"
+            )
+        indices = np.arange(n)
+        if self.shuffle:
+            ensure_rng(self.seed).shuffle(indices)
+        folds = np.array_split(indices, self.n_splits)
+        for i in range(self.n_splits):
+            test = folds[i]
+            train = np.concatenate([folds[j] for j in range(self.n_splits) if j != i])
+            yield np.sort(train), np.sort(test)
+
+
+def cross_val_score(estimator, X, y, *, cv: int = 5, seed=None) -> np.ndarray:
+    """Accuracy (or estimator ``score``) per fold."""
+    X = np.asarray(X)
+    y = np.asarray(y)
+    scores = []
+    for train_idx, test_idx in KFold(cv, shuffle=True, seed=seed).split(X):
+        model = clone(estimator)
+        model.fit(X[train_idx], y[train_idx])
+        scores.append(model.score(X[test_idx], y[test_idx]))
+    return np.array(scores)

@@ -1,0 +1,61 @@
+"""Gaussian naive Bayes classifier."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.validation import check_array, check_X_y
+from repro.ml.base import BaseEstimator, check_fitted
+
+
+class GaussianNB(BaseEstimator):
+    """Gaussian naive Bayes with per-class diagonal covariance.
+
+    Parameters
+    ----------
+    var_smoothing:
+        Fraction of the largest feature variance added to every variance
+        for numerical stability.
+    """
+
+    def __init__(self, var_smoothing: float = 1e-9):
+        self.var_smoothing = var_smoothing
+
+    def fit(self, X, y) -> "GaussianNB":
+        X, y = check_X_y(X, y)
+        self.classes_, encoded = np.unique(y, return_inverse=True)
+        k, d = len(self.classes_), X.shape[1]
+        self.theta_ = np.zeros((k, d))
+        self.var_ = np.zeros((k, d))
+        self.class_prior_ = np.zeros(k)
+        for c in range(k):
+            rows = X[encoded == c]
+            self.theta_[c] = rows.mean(axis=0)
+            self.var_[c] = rows.var(axis=0)
+            self.class_prior_[c] = len(rows) / len(X)
+        self.var_ += self.var_smoothing * max(X.var(axis=0).max(), 1e-12)
+        return self
+
+    def _joint_log_likelihood(self, X) -> np.ndarray:
+        check_fitted(self)
+        X = check_array(X)
+        jll = np.zeros((len(X), len(self.classes_)))
+        for c in range(len(self.classes_)):
+            log_det = np.sum(np.log(2.0 * np.pi * self.var_[c]))
+            quad = np.sum((X - self.theta_[c]) ** 2 / self.var_[c], axis=1)
+            jll[:, c] = np.log(self.class_prior_[c] + 1e-12) - 0.5 * (log_det + quad)
+        return jll
+
+    def predict_proba(self, X) -> np.ndarray:
+        jll = self._joint_log_likelihood(X)
+        jll -= jll.max(axis=1, keepdims=True)
+        probs = np.exp(jll)
+        return probs / probs.sum(axis=1, keepdims=True)
+
+    def predict(self, X) -> np.ndarray:
+        return self.classes_[np.argmax(self._joint_log_likelihood(X), axis=1)]
+
+    def score(self, X, y) -> float:
+        from repro.ml.metrics import accuracy_score
+
+        return accuracy_score(y, self.predict(X))

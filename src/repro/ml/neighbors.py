@@ -1,0 +1,100 @@
+"""k-nearest-neighbor classifier.
+
+Beyond serving as a baseline model, k-NN is the proxy model that makes
+exact Shapley values tractable (KNN-Shapley, paper reference [33]) and
+the model class for which certain predictions over incomplete data can be
+decided efficiently (CPClean, reference [40]). Both of those algorithms
+reuse :func:`pairwise_distances` and the sorted-neighbor machinery here.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.exceptions import ValidationError
+from repro.core.validation import check_array, check_X_y
+from repro.ml.base import BaseEstimator, check_fitted
+
+
+def pairwise_distances(A: np.ndarray, B: np.ndarray, metric: str = "euclidean") -> np.ndarray:
+    """Dense distance matrix between the rows of ``A`` and ``B``."""
+    A = np.asarray(A, dtype=float)
+    B = np.asarray(B, dtype=float)
+    if A.ndim != 2 or B.ndim != 2 or A.shape[1] != B.shape[1]:
+        raise ValidationError(
+            f"incompatible shapes for pairwise distances: {A.shape} vs {B.shape}"
+        )
+    if metric == "euclidean":
+        sq = (
+            np.sum(A**2, axis=1)[:, None]
+            + np.sum(B**2, axis=1)[None, :]
+            - 2.0 * (A @ B.T)
+        )
+        return np.sqrt(np.maximum(sq, 0.0))
+    if metric == "manhattan":
+        return np.abs(A[:, None, :] - B[None, :, :]).sum(axis=2)
+    if metric == "cosine":
+        norm_a = np.linalg.norm(A, axis=1, keepdims=True)
+        norm_b = np.linalg.norm(B, axis=1, keepdims=True)
+        denom = np.maximum(norm_a, 1e-12) @ np.maximum(norm_b, 1e-12).T
+        return 1.0 - (A @ B.T) / denom
+    raise ValidationError(f"unknown metric {metric!r}")
+
+
+class KNeighborsClassifier(BaseEstimator):
+    """Majority-vote k-NN classifier.
+
+    Parameters
+    ----------
+    n_neighbors:
+        Number of neighbors to vote.
+    metric:
+        ``"euclidean"``, ``"manhattan"`` or ``"cosine"``.
+    """
+
+    def __init__(self, n_neighbors: int = 5, metric: str = "euclidean"):
+        self.n_neighbors = n_neighbors
+        self.metric = metric
+
+    def fit(self, X, y) -> "KNeighborsClassifier":
+        X, y = check_X_y(X, y)
+        if self.n_neighbors < 1:
+            raise ValidationError(f"n_neighbors must be >= 1, got {self.n_neighbors}")
+        if self.n_neighbors > len(X):
+            raise ValidationError(
+                f"n_neighbors={self.n_neighbors} exceeds training size {len(X)}"
+            )
+        self.classes_, self._encoded = np.unique(y, return_inverse=True)
+        self._X = X
+        return self
+
+    def kneighbors(self, X, n_neighbors: int | None = None):
+        """Return (distances, indices) of the nearest training rows,
+        sorted ascending by distance (ties broken by training index so
+        results are deterministic)."""
+        check_fitted(self)
+        X = check_array(X)
+        k = n_neighbors or self.n_neighbors
+        dist = pairwise_distances(X, self._X, metric=self.metric)
+        order = np.lexsort(
+            (np.broadcast_to(np.arange(dist.shape[1]), dist.shape), dist), axis=1
+        )[:, :k]
+        rows = np.arange(len(X))[:, None]
+        return dist[rows, order], order
+
+    def predict_proba(self, X) -> np.ndarray:
+        _, neighbors = self.kneighbors(X)
+        votes = self._encoded[neighbors]
+        proba = np.zeros((len(votes), len(self.classes_)))
+        for c in range(len(self.classes_)):
+            proba[:, c] = (votes == c).mean(axis=1)
+        return proba
+
+    def predict(self, X) -> np.ndarray:
+        proba = self.predict_proba(X)
+        return self.classes_[np.argmax(proba, axis=1)]
+
+    def score(self, X, y) -> float:
+        from repro.ml.metrics import accuracy_score
+
+        return accuracy_score(y, self.predict(X))

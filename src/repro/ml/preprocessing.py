@@ -1,0 +1,266 @@
+"""Preprocessing transformers over numpy arrays.
+
+These mirror the scikit-learn operators the tutorial's pipelines use
+(Figure 3: ``Pipeline([Imputer(), OneHotEncoder()])`` etc.). All operate
+on 2-D numpy arrays; dataframe-aware composition happens in
+:class:`repro.ml.compose.ColumnTransformer`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.exceptions import ValidationError
+from repro.core.validation import check_array
+from repro.ml.base import BaseEstimator, TransformerMixin, check_fitted
+
+
+class StandardScaler(BaseEstimator, TransformerMixin):
+    """Standardize features to zero mean and unit variance."""
+
+    def __init__(self, with_mean: bool = True, with_std: bool = True):
+        self.with_mean = with_mean
+        self.with_std = with_std
+
+    def fit(self, X, y=None) -> "StandardScaler":
+        X = check_array(X, allow_nan=True)
+        self.mean_ = np.nanmean(X, axis=0) if self.with_mean else np.zeros(X.shape[1])
+        if self.with_std:
+            scale = np.nanstd(X, axis=0)
+            scale[scale == 0.0] = 1.0  # constant features pass through
+            self.scale_ = scale
+        else:
+            self.scale_ = np.ones(X.shape[1])
+        return self
+
+    def transform(self, X) -> np.ndarray:
+        check_fitted(self)
+        X = check_array(X, allow_nan=True)
+        return (X - self.mean_) / self.scale_
+
+    def inverse_transform(self, X) -> np.ndarray:
+        check_fitted(self)
+        X = check_array(X, allow_nan=True)
+        return X * self.scale_ + self.mean_
+
+
+class MinMaxScaler(BaseEstimator, TransformerMixin):
+    """Rescale features into ``feature_range`` (default [0, 1])."""
+
+    def __init__(self, feature_range: tuple[float, float] = (0.0, 1.0)):
+        self.feature_range = feature_range
+
+    def fit(self, X, y=None) -> "MinMaxScaler":
+        low, high = self.feature_range
+        if low >= high:
+            raise ValidationError(f"invalid feature_range {self.feature_range}")
+        X = check_array(X, allow_nan=True)
+        self.data_min_ = np.nanmin(X, axis=0)
+        self.data_max_ = np.nanmax(X, axis=0)
+        span = self.data_max_ - self.data_min_
+        span[span == 0.0] = 1.0
+        self.scale_ = (high - low) / span
+        self.min_ = low - self.data_min_ * self.scale_
+        return self
+
+    def transform(self, X) -> np.ndarray:
+        check_fitted(self)
+        X = check_array(X, allow_nan=True)
+        return X * self.scale_ + self.min_
+
+
+class OneHotEncoder(BaseEstimator, TransformerMixin):
+    """One-hot encode categorical columns (object/string or numeric codes).
+
+    Parameters
+    ----------
+    handle_unknown:
+        ``"ignore"`` emits an all-zero row for unseen categories;
+        ``"error"`` raises.
+    """
+
+    def __init__(self, handle_unknown: str = "ignore"):
+        if handle_unknown not in ("ignore", "error"):
+            raise ValidationError("handle_unknown must be 'ignore' or 'error'")
+        self.handle_unknown = handle_unknown
+
+    def fit(self, X, y=None) -> "OneHotEncoder":
+        X = self._as_object(X)
+        self.categories_ = [
+            sorted({v for v in X[:, j]}, key=repr) for j in range(X.shape[1])
+        ]
+        return self
+
+    def transform(self, X) -> np.ndarray:
+        check_fitted(self)
+        X = self._as_object(X)
+        if X.shape[1] != len(self.categories_):
+            raise ValidationError(
+                f"expected {len(self.categories_)} columns, got {X.shape[1]}"
+            )
+        blocks = []
+        for j, cats in enumerate(self.categories_):
+            index = {c: i for i, c in enumerate(cats)}
+            block = np.zeros((len(X), len(cats)))
+            for row, value in enumerate(X[:, j]):
+                if value in index:
+                    block[row, index[value]] = 1.0
+                elif self.handle_unknown == "error":
+                    raise ValidationError(
+                        f"unknown category {value!r} in column {j}"
+                    )
+            blocks.append(block)
+        return np.hstack(blocks)
+
+    def feature_names(self, input_names=None) -> list[str]:
+        check_fitted(self)
+        names = []
+        for j, cats in enumerate(self.categories_):
+            prefix = input_names[j] if input_names else f"x{j}"
+            names.extend(f"{prefix}={c}" for c in cats)
+        return names
+
+    @staticmethod
+    def _as_object(X) -> np.ndarray:
+        X = np.asarray(X, dtype=object)
+        if X.ndim == 1:
+            X = X[:, None]
+        if X.ndim != 2:
+            raise ValidationError(f"X must be 1- or 2-dimensional, got {X.ndim}")
+        # Nulls become their own category so missingness stays visible.
+        fixed = np.empty_like(X)
+        for idx, value in np.ndenumerate(X):
+            is_nan = isinstance(value, float) and np.isnan(value)
+            fixed[idx] = "<null>" if value is None or is_nan else value
+        return fixed
+
+
+class SimpleImputer(BaseEstimator, TransformerMixin):
+    """Fill NaN cells with a per-column statistic.
+
+    Parameters
+    ----------
+    strategy:
+        ``"mean"``, ``"median"``, ``"most_frequent"`` or ``"constant"``.
+    fill_value:
+        Used by the ``"constant"`` strategy.
+    """
+
+    def __init__(self, strategy: str = "mean", fill_value: float = 0.0):
+        if strategy not in ("mean", "median", "most_frequent", "constant"):
+            raise ValidationError(f"unknown strategy {strategy!r}")
+        self.strategy = strategy
+        self.fill_value = fill_value
+
+    def fit(self, X, y=None) -> "SimpleImputer":
+        X = check_array(X, allow_nan=True)
+        fills = np.empty(X.shape[1])
+        for j in range(X.shape[1]):
+            valid = X[~np.isnan(X[:, j]), j]
+            if self.strategy == "constant":
+                fills[j] = self.fill_value
+            elif len(valid) == 0:
+                fills[j] = self.fill_value
+            elif self.strategy == "mean":
+                fills[j] = valid.mean()
+            elif self.strategy == "median":
+                fills[j] = np.median(valid)
+            else:  # most_frequent
+                uniques, counts = np.unique(valid, return_counts=True)
+                fills[j] = uniques[np.argmax(counts)]
+        self.statistics_ = fills
+        return self
+
+    def transform(self, X) -> np.ndarray:
+        check_fitted(self)
+        X = check_array(X, allow_nan=True).copy()
+        for j in range(X.shape[1]):
+            mask = np.isnan(X[:, j])
+            X[mask, j] = self.statistics_[j]
+        return X
+
+
+class KNNImputer(BaseEstimator, TransformerMixin):
+    """Fill NaN cells with the mean over the k nearest complete-ish rows.
+
+    Distances use only the features observed in both rows, scaled up to
+    the full dimensionality (the standard "nan-euclidean" metric).
+    """
+
+    def __init__(self, n_neighbors: int = 5):
+        self.n_neighbors = n_neighbors
+
+    def fit(self, X, y=None) -> "KNNImputer":
+        X = check_array(X, allow_nan=True)
+        self.X_ = X.copy()
+        self.col_means_ = np.array([
+            np.nanmean(X[:, j]) if np.any(~np.isnan(X[:, j])) else 0.0
+            for j in range(X.shape[1])
+        ])
+        return self
+
+    def _nan_distances(self, x: np.ndarray) -> np.ndarray:
+        diff = self.X_ - x
+        observed = ~np.isnan(diff)
+        diff = np.where(observed, diff, 0.0)
+        counts = observed.sum(axis=1)
+        sq = np.sum(diff**2, axis=1)
+        d = x.shape[0]
+        with np.errstate(divide="ignore", invalid="ignore"):
+            scaled = np.where(counts > 0, sq * d / counts, np.inf)
+        return np.sqrt(scaled)
+
+    def transform(self, X) -> np.ndarray:
+        check_fitted(self)
+        X = check_array(X, allow_nan=True).copy()
+        for i in range(len(X)):
+            missing = np.isnan(X[i])
+            if not missing.any():
+                continue
+            dist = self._nan_distances(X[i])
+            order = np.argsort(dist, kind="stable")
+            for j in np.flatnonzero(missing):
+                donors = [p for p in order
+                          if not np.isnan(self.X_[p, j]) and np.isfinite(dist[p])]
+                donors = donors[: self.n_neighbors]
+                X[i, j] = (
+                    np.mean(self.X_[donors, j]) if donors else self.col_means_[j]
+                )
+        return X
+
+
+class LabelEncoder(BaseEstimator, TransformerMixin):
+    """Map labels to integer codes 0..k-1."""
+
+    def fit(self, y, _unused=None) -> "LabelEncoder":
+        self.classes_ = np.unique(np.asarray(y))
+        return self
+
+    def transform(self, y) -> np.ndarray:
+        check_fitted(self)
+        y = np.asarray(y)
+        index = {c.item() if isinstance(c, np.generic) else c: i
+                 for i, c in enumerate(self.classes_.tolist())}
+        try:
+            return np.array([index[v if not isinstance(v, np.generic) else v.item()]
+                             for v in y])
+        except KeyError as exc:
+            raise ValidationError(f"unseen label {exc.args[0]!r}") from exc
+
+    def inverse_transform(self, codes) -> np.ndarray:
+        check_fitted(self)
+        return self.classes_[np.asarray(codes, dtype=int)]
+
+
+class FunctionTransformer(BaseEstimator, TransformerMixin):
+    """Apply a stateless function as a transformer (pipeline UDF step)."""
+
+    def __init__(self, func=None):
+        self.func = func
+
+    def fit(self, X, y=None) -> "FunctionTransformer":
+        self.fitted_ = True
+        return self
+
+    def transform(self, X):
+        return X if self.func is None else self.func(X)

@@ -1,0 +1,166 @@
+"""CART-style decision tree classifier (gini impurity, binary splits).
+
+Decision trees are the model class of the programmable-bias robustness
+work the paper surveys (reference [54]); the tree structure here is also
+reused by the possible-worlds ensemble for cheap repeated retraining.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.exceptions import ValidationError
+from repro.core.validation import check_array, check_X_y
+from repro.ml.base import BaseEstimator, check_fitted
+
+
+@dataclass
+class _Node:
+    """A tree node; leaves have ``feature is None``."""
+
+    counts: np.ndarray
+    feature: int | None = None
+    threshold: float = 0.0
+    left: "_Node | None" = None
+    right: "_Node | None" = None
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.feature is None
+
+    def proba(self) -> np.ndarray:
+        total = self.counts.sum()
+        return self.counts / total if total > 0 else np.full_like(
+            self.counts, 1.0 / len(self.counts), dtype=float
+        )
+
+
+def _gini(counts: np.ndarray) -> float:
+    total = counts.sum()
+    if total == 0:
+        return 0.0
+    p = counts / total
+    return float(1.0 - np.sum(p * p))
+
+
+class DecisionTreeClassifier(BaseEstimator):
+    """Greedy binary decision tree.
+
+    Parameters
+    ----------
+    max_depth:
+        Depth cap (root has depth 0); ``None`` grows until pure.
+    min_samples_split:
+        Minimum rows required to consider splitting a node.
+    min_impurity_decrease:
+        Minimum weighted impurity decrease required for a split.
+    """
+
+    def __init__(self, max_depth: int | None = None, min_samples_split: int = 2,
+                 min_impurity_decrease: float = 0.0):
+        self.max_depth = max_depth
+        self.min_samples_split = min_samples_split
+        self.min_impurity_decrease = min_impurity_decrease
+
+    def fit(self, X, y) -> "DecisionTreeClassifier":
+        X, y = check_X_y(X, y)
+        if self.min_samples_split < 2:
+            raise ValidationError("min_samples_split must be >= 2")
+        self.classes_, encoded = np.unique(y, return_inverse=True)
+        self.n_features_in_ = X.shape[1]
+        self.tree_ = self._build(X, encoded, depth=0)
+        return self
+
+    # ------------------------------------------------------------------
+    def _build(self, X: np.ndarray, y: np.ndarray, depth: int) -> _Node:
+        counts = np.bincount(y, minlength=len(self.classes_)).astype(float)
+        node = _Node(counts=counts)
+        if (
+            len(X) < self.min_samples_split
+            or (self.max_depth is not None and depth >= self.max_depth)
+            or _gini(counts) == 0.0
+        ):
+            return node
+        best = self._best_split(X, y, counts)
+        if best is None:
+            return node
+        feature, threshold, gain = best
+        if gain < self.min_impurity_decrease:
+            return node
+        mask = X[:, feature] <= threshold
+        node.feature = feature
+        node.threshold = threshold
+        node.left = self._build(X[mask], y[mask], depth + 1)
+        node.right = self._build(X[~mask], y[~mask], depth + 1)
+        return node
+
+    def _best_split(self, X, y, parent_counts):
+        n, d = X.shape
+        parent_impurity = _gini(parent_counts)
+        best = None
+        best_gain = -np.inf
+        k = len(self.classes_)
+        for feature in range(d):
+            order = np.argsort(X[:, feature], kind="stable")
+            values = X[order, feature]
+            labels = y[order]
+            left_counts = np.zeros(k)
+            right_counts = parent_counts.copy()
+            for i in range(n - 1):
+                left_counts[labels[i]] += 1
+                right_counts[labels[i]] -= 1
+                if values[i] == values[i + 1]:
+                    continue  # cannot split between equal values
+                n_left = i + 1
+                n_right = n - n_left
+                gain = parent_impurity - (
+                    n_left * _gini(left_counts) + n_right * _gini(right_counts)
+                ) / n
+                if gain > best_gain:
+                    best_gain = gain
+                    best = (feature, float((values[i] + values[i + 1]) / 2.0), gain)
+        return best
+
+    # ------------------------------------------------------------------
+    def _leaf_for(self, x: np.ndarray) -> _Node:
+        node = self.tree_
+        while not node.is_leaf:
+            node = node.left if x[node.feature] <= node.threshold else node.right
+        return node
+
+    def predict_proba(self, X) -> np.ndarray:
+        check_fitted(self)
+        X = check_array(X)
+        return np.array([self._leaf_for(x).proba() for x in X])
+
+    def predict(self, X) -> np.ndarray:
+        proba = self.predict_proba(X)
+        return self.classes_[np.argmax(proba, axis=1)]
+
+    def score(self, X, y) -> float:
+        from repro.ml.metrics import accuracy_score
+
+        return accuracy_score(y, self.predict(X))
+
+    def depth(self) -> int:
+        """Actual depth of the fitted tree."""
+        check_fitted(self)
+
+        def walk(node: _Node) -> int:
+            if node.is_leaf:
+                return 0
+            return 1 + max(walk(node.left), walk(node.right))
+
+        return walk(self.tree_)
+
+    def n_leaves(self) -> int:
+        check_fitted(self)
+
+        def walk(node: _Node) -> int:
+            if node.is_leaf:
+                return 1
+            return walk(node.left) + walk(node.right)
+
+        return walk(self.tree_)

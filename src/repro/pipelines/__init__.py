@@ -1,0 +1,63 @@
+"""ML pipelines with fine-grained provenance (Section 2.2 of the paper).
+
+A pipeline is a DAG of relational operators (sources, joins, filters,
+projections, UDF maps, concat) ending in a feature-encoding node. The
+executor can run it plainly or *with provenance*: each output row then
+carries, for every source table, the set of source row ids it was derived
+from — semiring-style why-provenance (ref [27]) specialized to
+select/project/join/union plans.
+
+That provenance is what connects the importance methods of
+:mod:`repro.importance` (which score *encoded training rows*) back to the
+*source tables* a practitioner can actually fix — the Datascope idea
+(ref [39]), exposed here as :func:`datascope_importance`. The module also
+ships mlinspect/ArgusEyes-style pipeline inspections (refs [25, 72]) and
+what-if re-execution with operator caching (ref [23]).
+"""
+
+from repro.pipelines.datascope import (
+    SourceRowUtility,
+    datascope_importance,
+    remove_and_evaluate,
+)
+from repro.pipelines.engine import DataPipeline, PipelineResult
+from repro.pipelines.inspections import (
+    DataLeakageInspection,
+    DistributionShiftInspection,
+    FilterSelectivityInspection,
+    InspectionResult,
+    JoinCoverageInspection,
+    LabelDistributionInspection,
+    MissingnessInspection,
+    run_inspections,
+)
+from repro.pipelines.operators import source
+from repro.pipelines.plan import show_query_plan, to_networkx
+from repro.pipelines.provenance import Provenance
+from repro.pipelines.schema import Anomaly, Schema, infer_schema, validate_frame
+from repro.pipelines.whatif import WhatIfAnalysis
+
+__all__ = [
+    "source",
+    "DataPipeline",
+    "PipelineResult",
+    "Provenance",
+    "show_query_plan",
+    "to_networkx",
+    "datascope_importance",
+    "SourceRowUtility",
+    "remove_and_evaluate",
+    "WhatIfAnalysis",
+    "run_inspections",
+    "InspectionResult",
+    "JoinCoverageInspection",
+    "FilterSelectivityInspection",
+    "LabelDistributionInspection",
+    "MissingnessInspection",
+    "DataLeakageInspection",
+    "DistributionShiftInspection",
+    "Schema",
+    "Anomaly",
+    "infer_schema",
+    "validate_frame",
+]

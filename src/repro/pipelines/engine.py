@@ -1,0 +1,258 @@
+"""Pipeline execution with optional provenance tracking.
+
+The executor interprets a plan (a DAG of :class:`~repro.pipelines.
+operators.Node`) bottom-up. In provenance mode every intermediate frame is
+paired with a :class:`~repro.pipelines.provenance.Provenance` object that
+the relational operators thread through (filters subset it, joins combine
+witnesses, encode passes it along row-aligned).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.exceptions import SchemaError, ValidationError
+from repro.dataframe.frame import DataFrame, concat_rows
+from repro.pipelines.operators import Node
+from repro.pipelines.provenance import Provenance
+
+
+@dataclass
+class PipelineResult:
+    """Everything a pipeline run produces.
+
+    Attributes
+    ----------
+    X, y:
+        Feature matrix and label vector (``None`` unless the plan ends in
+        an encode node).
+    frame:
+        The final relational frame (pre-encoding for encode plans).
+    provenance:
+        Row-aligned witnesses, or ``None`` when provenance was off.
+    encoder:
+        The fitted feature encoder (for applying to validation data).
+    label:
+        Name of the label column.
+    timings:
+        Per-node wall-clock seconds, keyed by node description.
+    """
+
+    X: np.ndarray | None
+    y: np.ndarray | None
+    frame: DataFrame
+    provenance: Provenance | None
+    encoder: object | None
+    label: str | None
+    plan: Node | None = None
+    timings: dict[str, float] = field(default_factory=dict)
+
+    def encode_like_training(self, frame: DataFrame) -> np.ndarray:
+        """Apply the fitted training encoder to a frame that already has
+        the encoder's input columns (i.e. post-relational-plan data)."""
+        if self.encoder is None:
+            raise ValidationError("pipeline had no encode node")
+        return self.encoder.transform(frame)
+
+    def apply(self, sources: dict[str, DataFrame]):
+        """Run the *fitted* pipeline on new source bindings.
+
+        Re-executes the relational plan on ``sources`` (e.g. validation
+        letters joined against the same side tables) and applies the
+        already-fitted feature encoder — the standard train/serve split.
+
+        Returns ``(X, y)``; ``y`` is ``None`` when the label column is
+        absent from the new data (pure prediction input).
+        """
+        if self.encoder is None or self.plan is None:
+            raise ValidationError("pipeline had no encode node")
+        pipeline = DataPipeline(self.plan)
+        frames: dict[int, DataFrame] = {}
+        provs: dict[int, None] = {}
+        for node in self.plan.walk():
+            if node.op == "encode":
+                break
+            frame, _ = pipeline._run_relational(node, sources, frames,
+                                                provs, False)
+            frames[node.id] = frame
+            provs[node.id] = None
+        encode_node = next(n for n in self.plan.walk() if n.op == "encode")
+        final_frame = frames[encode_node.inputs[0].id]
+        X = self.encoder.transform(final_frame)
+        y = None
+        if self.label in final_frame:
+            if final_frame[self.label].null_count() == 0:
+                y = np.array(final_frame[self.label].to_list())
+        return X, y
+
+
+class DataPipeline:
+    """Executable pipeline over a terminal plan node.
+
+    Parameters
+    ----------
+    plan:
+        The terminal :class:`Node` (usually an ``encode`` node).
+    """
+
+    def __init__(self, plan: Node):
+        self.plan = plan
+        ops = [n.op for n in plan.walk()]
+        n_encodes = sum(1 for op in ops if op == "encode")
+        if n_encodes > 1:
+            raise ValidationError("a plan may contain at most one encode node")
+        self.source_names = [
+            n.params["name"] for n in plan.walk() if n.op == "source"
+        ]
+        if len(set(self.source_names)) != len(self.source_names):
+            raise ValidationError(f"duplicate source names: {self.source_names}")
+
+    def run(self, sources: dict[str, DataFrame], *,
+            provenance: bool = False) -> PipelineResult:
+        """Execute the plan against bound source frames."""
+        missing = [n for n in self.source_names if n not in sources]
+        if missing:
+            raise ValidationError(f"unbound sources: {missing}")
+        frames: dict[int, DataFrame] = {}
+        provs: dict[int, Provenance | None] = {}
+        timings: dict[str, float] = {}
+        final: PipelineResult | None = None
+
+        for node in self.plan.walk():
+            started = time.perf_counter()
+            if node.op == "encode":
+                final = self._run_encode(node, frames, provs, provenance)
+            else:
+                frame, prov = self._run_relational(node, sources, frames,
+                                                   provs, provenance)
+                frames[node.id] = frame
+                provs[node.id] = prov
+            timings[f"{node.id}:{node.describe()}"] = time.perf_counter() - started
+
+        if final is None:  # purely relational plan
+            terminal = self.plan
+            final = PipelineResult(
+                X=None, y=None, frame=frames[terminal.id],
+                provenance=provs[terminal.id], encoder=None, label=None,
+            )
+        final.timings = timings
+        return final
+
+    def trace(self, sources: dict[str, DataFrame]) -> dict[str, DataFrame]:
+        """Execute the relational plan and return every intermediate frame
+        keyed by ``"<node_id>:<description>"`` — mlinspect-style operator
+        introspection for interactive debugging (what does the data look
+        like *after* the second join?)."""
+        frames: dict[int, DataFrame] = {}
+        provs: dict[int, None] = {}
+        captured: dict[str, DataFrame] = {}
+        for node in self.plan.walk():
+            if node.op == "encode":
+                continue
+            frame, _ = self._run_relational(node, sources, frames, provs,
+                                            False)
+            frames[node.id] = frame
+            provs[node.id] = None
+            captured[f"{node.id}:{node.describe()}"] = frame
+        return captured
+
+    # ------------------------------------------------------------------
+    def _run_relational(self, node: Node, sources, frames, provs,
+                        track: bool):
+        if node.op == "source":
+            frame = sources[node.params["name"]]
+            prov = Provenance.for_source(node.params["name"], frame.row_ids) \
+                if track else None
+            return frame, prov
+
+        upstream = frames[node.inputs[0].id]
+        upstream_prov = provs[node.inputs[0].id]
+
+        if node.op == "filter":
+            predicate = node.params["predicate"]
+            if isinstance(predicate, tuple):
+                column, value = predicate
+                mask = np.asarray(upstream[column] == value)
+            else:
+                mask = np.array([bool(predicate(r)) for r in upstream.iter_rows()])
+            frame = upstream.take(mask)
+            prov = upstream_prov.take(mask) if track else None
+            return frame, prov
+
+        if node.op == "project":
+            return upstream.select(node.params["columns"]), upstream_prov
+
+        if node.op == "drop":
+            return upstream.drop(node.params["columns"]), upstream_prov
+
+        if node.op == "map":
+            frame = upstream.with_column(node.params["name"], node.params["udf"])
+            return frame, upstream_prov
+
+        if node.op == "join":
+            right = frames[node.inputs[1].id]
+            right_prov = provs[node.inputs[1].id]
+            if node.params.get("fuzzy"):
+                frame, left_pos, right_pos = upstream.fuzzy_join(
+                    right, on=node.params["on"], how=node.params["how"],
+                    max_edit_distance=node.params.get("fuzzy_distance", 0),
+                    return_indices=True,
+                )
+            else:
+                frame, left_pos, right_pos = upstream.join(
+                    right, on=node.params["on"], how=node.params["how"],
+                    return_indices=True,
+                )
+            prov = Provenance.join(upstream_prov, right_prov,
+                                   left_pos, right_pos) if track else None
+            return frame, prov
+
+        if node.op == "concat":
+            right = frames[node.inputs[1].id]
+            frame = concat_rows([upstream, right])
+            prov = Provenance.concat([upstream_prov, provs[node.inputs[1].id]]) \
+                if track else None
+            return frame, prov
+
+        raise ValidationError(f"unknown operator {node.op!r}")
+
+    def _run_encode(self, node: Node, frames, provs, track: bool) -> PipelineResult:
+        upstream = frames[node.inputs[0].id]
+        label = node.params["label"]
+        if label not in upstream:
+            raise SchemaError(
+                f"label column {label!r} missing before encode; "
+                f"have {upstream.columns}"
+            )
+        from repro.ml.base import clone
+
+        encoder = clone(node.params["encoder"])
+        features_frame = upstream.drop(label)
+        X = np.asarray(encoder.fit_transform(features_frame), dtype=float)
+        y = np.array(upstream[label].to_list(), dtype=object)
+        if upstream[label].null_count():
+            raise ValidationError("label column contains nulls at encode time")
+        y = np.array([v for v in y])
+        return PipelineResult(
+            X=X, y=y, frame=upstream,
+            provenance=provs[node.inputs[0].id] if track else None,
+            encoder=_EncoderWithLabelDrop(encoder, label), label=label,
+            plan=self.plan,
+        )
+
+
+class _EncoderWithLabelDrop:
+    """Wraps the fitted encoder so validation frames (which may still carry
+    the label column) can be transformed uniformly."""
+
+    def __init__(self, encoder, label: str):
+        self._encoder = encoder
+        self._label = label
+
+    def transform(self, frame: DataFrame) -> np.ndarray:
+        if self._label in frame:
+            frame = frame.drop(self._label)
+        return np.asarray(self._encoder.transform(frame), dtype=float)

@@ -1,0 +1,271 @@
+"""Pipeline inspections (mlinspect / ArgusEyes style, refs [25, 72]).
+
+Inspections are screens run over a pipeline's source frames and its
+encoded output, each returning an :class:`InspectionResult` with a
+severity and human-readable findings. They catch the issue classes the
+paper lists: distribution problems introduced by joins/filters, missing
+data, label skew, and train/validation leakage.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.exceptions import ValidationError
+from repro.dataframe.frame import DataFrame
+from repro.pipelines.engine import DataPipeline, PipelineResult
+
+SEVERITIES = ("ok", "warning", "error")
+
+
+@dataclass
+class InspectionResult:
+    """Outcome of one inspection."""
+
+    name: str
+    severity: str
+    findings: list[str] = field(default_factory=list)
+    metrics: dict = field(default_factory=dict)
+
+    def __post_init__(self):
+        if self.severity not in SEVERITIES:
+            raise ValidationError(f"severity must be one of {SEVERITIES}")
+
+    @property
+    def passed(self) -> bool:
+        return self.severity == "ok"
+
+
+class JoinCoverageInspection:
+    """Flags joins that silently drop many left-side rows.
+
+    An inner join with low coverage is the classic silent error amplifier:
+    rows with key errors (typos, inconsistent casing) vanish without a
+    trace, biasing the training set.
+    """
+
+    def __init__(self, warn_below: float = 0.95, error_below: float = 0.7):
+        self.warn_below = warn_below
+        self.error_below = error_below
+
+    def run(self, pipeline: DataPipeline, sources: dict[str, DataFrame],
+            result: PipelineResult) -> InspectionResult:
+        findings, worst = [], 1.0
+        frames: dict[int, DataFrame] = {}
+        for node in pipeline.plan.walk():
+            if node.op == "source":
+                frames[node.id] = sources[node.params["name"]]
+            elif node.op == "join":
+                left = frames.get(node.inputs[0].id)
+                right = frames.get(node.inputs[1].id)
+                if left is None or right is None:
+                    continue
+                if node.params.get("fuzzy"):
+                    joined, left_pos, _ = left.fuzzy_join(
+                        right, on=node.params["on"], how=node.params["how"],
+                        max_edit_distance=node.params.get("fuzzy_distance", 0),
+                        return_indices=True)
+                else:
+                    joined, left_pos, _ = left.join(
+                        right, on=node.params["on"], how=node.params["how"],
+                        return_indices=True)
+                coverage = len(set(left_pos.tolist())) / max(len(left), 1)
+                worst = min(worst, coverage)
+                if coverage < self.warn_below:
+                    findings.append(
+                        f"join {node.describe()} keeps only "
+                        f"{coverage:.1%} of left rows"
+                    )
+                frames[node.id] = joined
+            elif node.op in ("filter", "map", "project", "drop", "concat"):
+                # Track a best-effort frame for downstream joins.
+                upstream = frames.get(node.inputs[0].id)
+                if upstream is not None and node.op in ("map",):
+                    frames[node.id] = upstream.with_column(
+                        node.params["name"], node.params["udf"])
+                elif upstream is not None and node.op == "filter":
+                    predicate = node.params["predicate"]
+                    if isinstance(predicate, tuple):
+                        frames[node.id] = upstream.take(
+                            np.asarray(upstream[predicate[0]] == predicate[1]))
+                    else:
+                        frames[node.id] = upstream.filter(predicate)
+                elif upstream is not None:
+                    frames[node.id] = upstream
+        severity = "ok"
+        if worst < self.error_below:
+            severity = "error"
+        elif worst < self.warn_below:
+            severity = "warning"
+        return InspectionResult("join_coverage", severity, findings,
+                                {"worst_coverage": worst})
+
+
+class FilterSelectivityInspection:
+    """Flags filters that discard nearly everything (or nothing)."""
+
+    def __init__(self, warn_below: float = 0.05):
+        self.warn_below = warn_below
+
+    def run(self, pipeline, sources, result) -> InspectionResult:
+        # Selectivity is estimated per filter by replaying the prefix.
+        findings = []
+        worst = 1.0
+        frames: dict[int, DataFrame] = {}
+        executor = DataPipeline(pipeline.plan)
+        for node in pipeline.plan.walk():
+            if node.op == "encode":
+                continue
+            frame, _ = executor._run_relational(node, sources, frames,
+                                                {n: None for n in frames}, False)
+            if node.op == "filter":
+                upstream_len = len(frames[node.inputs[0].id])
+                selectivity = len(frame) / max(upstream_len, 1)
+                worst = min(worst, selectivity)
+                if selectivity < self.warn_below:
+                    findings.append(
+                        f"filter {node.describe()} keeps only "
+                        f"{selectivity:.1%} of rows"
+                    )
+            frames[node.id] = frame
+        severity = "warning" if findings else "ok"
+        return InspectionResult("filter_selectivity", severity, findings,
+                                {"worst_selectivity": worst})
+
+
+class LabelDistributionInspection:
+    """Flags severe class imbalance in the encoded training labels."""
+
+    def __init__(self, warn_below: float = 0.2):
+        self.warn_below = warn_below
+
+    def run(self, pipeline, sources, result) -> InspectionResult:
+        if result.y is None:
+            return InspectionResult("label_distribution", "ok",
+                                    ["no encode node; skipped"])
+        _, counts = np.unique(result.y, return_counts=True)
+        minority = counts.min() / counts.sum()
+        findings = []
+        severity = "ok"
+        if minority < self.warn_below:
+            severity = "warning"
+            findings.append(
+                f"minority class holds only {minority:.1%} of training rows"
+            )
+        return InspectionResult("label_distribution", severity, findings,
+                                {"minority_fraction": float(minority)})
+
+
+class MissingnessInspection:
+    """Reports columns with substantial nulls in any source table."""
+
+    def __init__(self, warn_above: float = 0.2):
+        self.warn_above = warn_above
+
+    def run(self, pipeline, sources, result) -> InspectionResult:
+        findings = []
+        worst = 0.0
+        for name, frame in sources.items():
+            for column, nulls in frame.null_counts().items():
+                fraction = nulls / max(len(frame), 1)
+                worst = max(worst, fraction)
+                if fraction > self.warn_above:
+                    findings.append(
+                        f"{name}.{column} is {fraction:.1%} null"
+                    )
+        severity = "warning" if findings else "ok"
+        return InspectionResult("missingness", severity, findings,
+                                {"worst_null_fraction": worst})
+
+
+class DataLeakageInspection:
+    """Screens for train/validation leakage (ArgusEyes-style, ref [72]).
+
+    Two checks: (1) shared row ids between the pipeline's training output
+    provenance and the validation frame — direct overlap; (2) duplicated
+    feature vectors between encoded training and validation data — the
+    kind of leak a join fan-out or copy-paste split produces.
+    """
+
+    def __init__(self, valid_frame: DataFrame, *, train_source: str | None = None):
+        self.valid_frame = valid_frame
+        self.train_source = train_source
+
+    def run(self, pipeline, sources, result) -> InspectionResult:
+        findings = []
+        overlap = 0
+        if result.provenance is not None:
+            train_ids = set()
+            for src in result.provenance.sources():
+                train_ids |= result.provenance.source_rows(src)
+            overlap = len(train_ids & set(self.valid_frame.row_ids.tolist()))
+            if overlap:
+                findings.append(
+                    f"{overlap} validation rows also feed the training output"
+                )
+        duplicate_vectors = 0
+        if result.X is not None and result.encoder is not None:
+            train_source = self.train_source or pipeline.source_names[0]
+            valid_sources = dict(sources)
+            valid_sources[train_source] = self.valid_frame
+            X_valid, _ = result.apply(valid_sources)
+            train_keys = {tuple(np.round(row, 9)) for row in result.X}
+            duplicate_vectors = sum(
+                1 for row in X_valid if tuple(np.round(row, 9)) in train_keys
+            )
+            if duplicate_vectors:
+                findings.append(
+                    f"{duplicate_vectors} validation feature vectors "
+                    "duplicate training vectors"
+                )
+        severity = "error" if overlap else ("warning" if duplicate_vectors else "ok")
+        return InspectionResult("data_leakage", severity, findings,
+                                {"row_id_overlap": overlap,
+                                 "duplicate_vectors": duplicate_vectors})
+
+
+class DistributionShiftInspection:
+    """Data-distribution debugging (Grafberger et al., ref [24]): compare
+    the encoded *training* feature distribution against the encoded
+    *validation* distribution and flag features whose means drift by more
+    than ``warn_sigma`` training standard deviations — the signature of a
+    biased filter/join upstream or a train/serve skew.
+    """
+
+    def __init__(self, valid_frame: DataFrame, *, warn_sigma: float = 2.0,
+                 train_source: str | None = None):
+        self.valid_frame = valid_frame
+        self.warn_sigma = warn_sigma
+        self.train_source = train_source
+
+    def run(self, pipeline, sources, result) -> InspectionResult:
+        if result.X is None or result.encoder is None:
+            return InspectionResult("distribution_shift", "ok",
+                                    ["no encode node; skipped"])
+        train_source = self.train_source or pipeline.source_names[0]
+        valid_sources = dict(sources)
+        valid_sources[train_source] = self.valid_frame
+        X_valid, _ = result.apply(valid_sources)
+        train_mean = result.X.mean(axis=0)
+        train_std = np.maximum(result.X.std(axis=0), 1e-9)
+        drift = np.abs(X_valid.mean(axis=0) - train_mean) / train_std
+        worst = float(drift.max())
+        shifted = np.flatnonzero(drift > self.warn_sigma)
+        findings = [
+            f"feature {j} drifts {drift[j]:.1f} sigma between training "
+            "and validation" for j in shifted[:5]
+        ]
+        severity = "warning" if len(shifted) else "ok"
+        return InspectionResult("distribution_shift", severity, findings,
+                                {"worst_drift_sigma": worst,
+                                 "n_shifted_features": int(len(shifted))})
+
+
+def run_inspections(pipeline: DataPipeline, sources: dict[str, DataFrame],
+                    result: PipelineResult,
+                    inspections: list) -> list[InspectionResult]:
+    """Run a battery of inspections and return all results."""
+    return [inspection.run(pipeline, sources, result)
+            for inspection in inspections]

@@ -1,0 +1,139 @@
+"""Logical pipeline operators and the fluent builder API.
+
+A pipeline plan is built by chaining methods off :func:`source` nodes::
+
+    train = source("train_df")
+    jobs = source("jobdetail_df")
+    plan = (train.join(jobs, on="job_id")
+                 .filter(lambda r: r["sector"] == "healthcare")
+                 .map_column("has_twitter", lambda r: r["twitter"] is not None)
+                 .encode(feature_encoder, label="sentiment"))
+
+Nodes are immutable descriptions; execution (and provenance tracking)
+happens in :class:`repro.pipelines.engine.DataPipeline`.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections.abc import Callable
+
+from repro.core.exceptions import ValidationError
+
+_node_counter = itertools.count()
+
+
+class Node:
+    """Base class for plan nodes.
+
+    Attributes
+    ----------
+    op:
+        Operator kind (``source``, ``join``, ``filter``, ...).
+    inputs:
+        Upstream nodes.
+    params:
+        Operator-specific parameters.
+    """
+
+    def __init__(self, op: str, inputs: list["Node"], **params):
+        self.id = next(_node_counter)
+        self.op = op
+        self.inputs = inputs
+        self.params = params
+
+    # ------------------------------------------------------------------
+    # Fluent builder methods (each returns a new downstream node)
+    # ------------------------------------------------------------------
+    def filter(self, predicate) -> "Node":
+        """Keep rows satisfying ``predicate`` (row-dict -> bool, or a
+        ``(column, value)`` equality pair for an optimizable form)."""
+        return Node("filter", [self], predicate=predicate)
+
+    def project(self, columns: list[str]) -> "Node":
+        """Keep only the named columns."""
+        return Node("project", [self], columns=list(columns))
+
+    def drop(self, columns) -> "Node":
+        """Drop the named columns."""
+        if isinstance(columns, str):
+            columns = [columns]
+        return Node("drop", [self], columns=list(columns))
+
+    def map_column(self, name: str, udf: Callable) -> "Node":
+        """Add (or replace) a column computed by a row-dict UDF."""
+        return Node("map", [self], name=name, udf=udf)
+
+    def join(self, other: "Node", on, *, how: str = "inner",
+             fuzzy: bool = False, fuzzy_distance: int = 0) -> "Node":
+        """Relational join with another plan branch.
+
+        ``fuzzy=True`` normalizes string keys; ``fuzzy_distance`` further
+        tolerates that many typo edits (unique match only).
+        """
+        if not isinstance(other, Node):
+            raise ValidationError("join requires another plan node")
+        return Node("join", [self, other], on=on, how=how, fuzzy=fuzzy,
+                    fuzzy_distance=fuzzy_distance)
+
+    def concat(self, other: "Node") -> "Node":
+        """Vertical union with another branch of identical schema."""
+        if not isinstance(other, Node):
+            raise ValidationError("concat requires another plan node")
+        return Node("concat", [self, other])
+
+    def encode(self, encoder, *, label: str) -> "Node":
+        """Terminal node: run a :class:`repro.ml.ColumnTransformer`-style
+        encoder over the frame and pull ``label`` out as the target."""
+        return Node("encode", [self], encoder=encoder, label=label)
+
+    # ------------------------------------------------------------------
+    def describe(self) -> str:
+        """One-line human-readable operator description."""
+        if self.op == "source":
+            return f"Source({self.params['name']})"
+        if self.op == "filter":
+            predicate = self.params["predicate"]
+            if isinstance(predicate, tuple):
+                return f"Filter({predicate[0]} == {predicate[1]!r})"
+            name = getattr(predicate, "__name__", "udf")
+            return f"Filter({name})"
+        if self.op == "project":
+            return f"Project({', '.join(self.params['columns'])})"
+        if self.op == "drop":
+            return f"Drop({', '.join(self.params['columns'])})"
+        if self.op == "map":
+            return f"Map(+{self.params['name']})"
+        if self.op == "join":
+            kind = "FuzzyJoin" if self.params.get("fuzzy") else "Join"
+            return f"{kind}(on={self.params['on']!r}, how={self.params['how']})"
+        if self.op == "concat":
+            return "Concat"
+        if self.op == "encode":
+            return f"Encode(label={self.params['label']!r})"
+        return self.op
+
+    def __repr__(self) -> str:
+        return f"<Node {self.id}: {self.describe()}>"
+
+    def walk(self):
+        """Topological iteration (inputs before outputs, deduplicated)."""
+        seen: set[int] = set()
+
+        def visit(node: "Node"):
+            if node.id in seen:
+                return
+            for upstream in node.inputs:
+                yield from visit(upstream)
+            seen.add(node.id)
+            yield node
+
+        yield from visit(self)
+
+
+def source(name: str) -> Node:
+    """Create a named source node; the executor binds it to an actual
+    :class:`repro.dataframe.DataFrame` at run time."""
+    if not name:
+        raise ValidationError("source name must be non-empty")
+    return Node("source", [], name=name)

@@ -1,0 +1,113 @@
+"""Why-provenance for pipeline outputs.
+
+Each output row is annotated with a *witness*: for every source table,
+the set of source row ids that produced it. In provenance-semiring terms
+(Green et al., ref [27]) this is the why-provenance of a
+select/project/join/union plan — a monomial of source tuples per output
+tuple; since our operators never union duplicate derivations of the same
+output row, one monomial per row suffices (no polynomial sums needed).
+The design note in DESIGN.md calls this choice out.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.exceptions import ValidationError
+
+
+class Provenance:
+    """Row-aligned provenance annotations.
+
+    ``witnesses[i]`` maps source name -> frozenset of source row ids for
+    output row ``i``.
+    """
+
+    def __init__(self, witnesses: list[dict[str, frozenset]]):
+        self.witnesses = witnesses
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def for_source(cls, name: str, row_ids) -> "Provenance":
+        return cls([{name: frozenset([int(rid)])} for rid in row_ids])
+
+    def __len__(self) -> int:
+        return len(self.witnesses)
+
+    def take(self, indices) -> "Provenance":
+        """Subset/reorder along with a row operation."""
+        indices = np.asarray(indices)
+        if indices.dtype == bool:
+            indices = np.flatnonzero(indices)
+        return Provenance([self.witnesses[int(i)] for i in indices])
+
+    @staticmethod
+    def join(left: "Provenance", right: "Provenance",
+             left_pos, right_pos) -> "Provenance":
+        """Combine witnesses through a join.
+
+        ``right_pos`` entries of ``-1`` (unmatched rows of a left join)
+        contribute nothing from the right side.
+        """
+        witnesses = []
+        for lp, rp in zip(left_pos, right_pos):
+            combined = dict(left.witnesses[int(lp)])
+            if rp >= 0:
+                for name, ids in right.witnesses[int(rp)].items():
+                    combined[name] = combined.get(name, frozenset()) | ids
+            witnesses.append(combined)
+        return Provenance(witnesses)
+
+    @staticmethod
+    def concat(parts: list["Provenance"]) -> "Provenance":
+        return Provenance([w for p in parts for w in p.witnesses])
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def sources(self) -> list[str]:
+        names: set[str] = set()
+        for w in self.witnesses:
+            names.update(w)
+        return sorted(names)
+
+    def source_rows(self, source: str) -> set[int]:
+        """All source row ids of ``source`` that reach the output."""
+        result: set[int] = set()
+        for w in self.witnesses:
+            result.update(w.get(source, frozenset()))
+        return result
+
+    def outputs_of(self, source: str, row_id: int) -> np.ndarray:
+        """Output row positions derived from a given source row
+        (forward tracing: "where did this record end up?")."""
+        return np.array([
+            i for i, w in enumerate(self.witnesses)
+            if row_id in w.get(source, frozenset())
+        ], dtype=np.int64)
+
+    def inputs_of(self, position: int, source: str | None = None):
+        """Source rows behind one output row (backward tracing).
+
+        Returns the witness dict, or just one source's id set when
+        ``source`` is given.
+        """
+        if not 0 <= position < len(self.witnesses):
+            raise ValidationError(f"position {position} out of range")
+        witness = self.witnesses[position]
+        return witness if source is None else witness.get(source, frozenset())
+
+    def group_matrix(self, source: str) -> dict[int, np.ndarray]:
+        """source row id -> array of output positions it contributes to.
+
+        This is the aggregation map Datascope uses: by Shapley linearity,
+        a source row's importance is the sum of the importances of the
+        output rows it witnesses.
+        """
+        groups: dict[int, list[int]] = {}
+        for i, w in enumerate(self.witnesses):
+            for rid in w.get(source, frozenset()):
+                groups.setdefault(rid, []).append(i)
+        return {rid: np.array(pos, dtype=np.int64) for rid, pos in groups.items()}

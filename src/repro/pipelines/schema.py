@@ -1,0 +1,135 @@
+"""Schema inference and validation (TFX data-validation style, ref [64]).
+
+``infer_schema`` learns per-column expectations from a reference frame
+(type, null tolerance, numeric range, categorical domain);
+``validate_frame`` checks a new frame against them and reports anomalies.
+This is the "data validation for machine learning" screen the survey
+covers alongside the pipeline inspections — cheap, model-free, and run on
+every fresh batch before it enters the pipeline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.exceptions import ValidationError
+from repro.dataframe.frame import DataFrame
+
+_MAX_DOMAIN = 50  # columns with more distinct values are not categorical
+
+
+@dataclass
+class ColumnSchema:
+    """Learned expectations for one column."""
+
+    name: str
+    kind: str                       # "numeric" | "string" | "bool"
+    max_null_fraction: float
+    low: float | None = None        # numeric range (with slack applied)
+    high: float | None = None
+    domain: frozenset | None = None  # categorical domain
+
+
+@dataclass
+class Schema:
+    """A set of column schemas plus the expected column list."""
+
+    columns: dict[str, ColumnSchema] = field(default_factory=dict)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self.columns
+
+
+def infer_schema(frame: DataFrame, *, null_slack: float = 0.05,
+                 range_slack: float = 0.1) -> Schema:
+    """Learn a schema from a reference (assumed-good) frame.
+
+    ``null_slack`` is added to each column's observed null fraction;
+    ``range_slack`` widens numeric ranges by that fraction of their span.
+    """
+    schema = Schema()
+    for name in frame.columns:
+        col = frame[name]
+        null_fraction = col.null_count() / max(len(frame), 1)
+        if col.dtype.kind in ("f", "i"):
+            values = col.cast(float).to_numpy()
+            observed = values[~np.isnan(values)]
+            span = float(observed.max() - observed.min()) if len(observed) \
+                else 0.0
+            slack = range_slack * span
+            schema.columns[name] = ColumnSchema(
+                name=name, kind="numeric",
+                max_null_fraction=min(1.0, null_fraction + null_slack),
+                low=float(observed.min()) - slack if len(observed) else None,
+                high=float(observed.max()) + slack if len(observed) else None,
+            )
+        elif col.dtype.kind == "b":
+            schema.columns[name] = ColumnSchema(
+                name=name, kind="bool",
+                max_null_fraction=min(1.0, null_fraction + null_slack))
+        else:
+            distinct = col.unique()
+            domain = frozenset(distinct) if len(distinct) <= _MAX_DOMAIN \
+                else None
+            schema.columns[name] = ColumnSchema(
+                name=name, kind="string",
+                max_null_fraction=min(1.0, null_fraction + null_slack),
+                domain=domain)
+    return schema
+
+
+@dataclass
+class Anomaly:
+    """One schema violation."""
+
+    column: str
+    kind: str      # missing_column / extra_column / type_mismatch /
+                   # null_rate / out_of_range / unknown_category
+    detail: str
+
+
+def validate_frame(frame: DataFrame, schema: Schema) -> list[Anomaly]:
+    """Check ``frame`` against ``schema``; returns all anomalies found."""
+    anomalies: list[Anomaly] = []
+    for name, expected in schema.columns.items():
+        if name not in frame:
+            anomalies.append(Anomaly(name, "missing_column",
+                                     "column absent from frame"))
+            continue
+        col = frame[name]
+        actual_kind = ("numeric" if col.dtype.kind in ("f", "i")
+                       else "bool" if col.dtype.kind == "b" else "string")
+        if actual_kind != expected.kind:
+            anomalies.append(Anomaly(
+                name, "type_mismatch",
+                f"expected {expected.kind}, found {actual_kind}"))
+            continue
+        null_fraction = col.null_count() / max(len(frame), 1)
+        if null_fraction > expected.max_null_fraction + 1e-12:
+            anomalies.append(Anomaly(
+                name, "null_rate",
+                f"{null_fraction:.1%} null exceeds allowed "
+                f"{expected.max_null_fraction:.1%}"))
+        if expected.kind == "numeric" and expected.low is not None:
+            values = col.cast(float).to_numpy()
+            observed = values[~np.isnan(values)]
+            below = int(np.sum(observed < expected.low))
+            above = int(np.sum(observed > expected.high))
+            if below or above:
+                anomalies.append(Anomaly(
+                    name, "out_of_range",
+                    f"{below + above} values outside "
+                    f"[{expected.low:.4g}, {expected.high:.4g}]"))
+        if expected.domain is not None:
+            unknown = [v for v in col.unique() if v not in expected.domain]
+            if unknown:
+                anomalies.append(Anomaly(
+                    name, "unknown_category",
+                    f"unseen categories: {sorted(map(str, unknown))[:5]}"))
+    for name in frame.columns:
+        if name not in schema:
+            anomalies.append(Anomaly(name, "extra_column",
+                                     "column not in schema"))
+    return anomalies

@@ -1,0 +1,15 @@
+"""Text featurization substrate.
+
+The tutorial encodes recommendation letters with SentenceBERT. No
+pretrained model is available offline, so :class:`SentenceEmbedder`
+substitutes a deterministic hashing vectorizer followed by a signed random
+projection into a dense low-dimensional space. Lexical signal (sentiment
+words) survives the projection, which is all the downstream sentiment
+classifier needs — the pipeline code path (text column -> dense embedding
+block) is identical to the paper's.
+"""
+
+from repro.text.tokenize import tokenize
+from repro.text.vectorize import HashingVectorizer, SentenceEmbedder, TfidfVectorizer
+
+__all__ = ["tokenize", "HashingVectorizer", "TfidfVectorizer", "SentenceEmbedder"]

@@ -1,0 +1,38 @@
+"""Tokenization for the text featurizers."""
+
+from __future__ import annotations
+
+import re
+
+_TOKEN_RE = re.compile(r"[a-z0-9']+")
+_TOKEN_RE_CASED = re.compile(r"[A-Za-z0-9']+")
+
+STOPWORDS = frozenset(
+    """a an and are as at be but by for from has have he her his i in is it its
+    of on or our she that the their them they this to was we were will with
+    your you""".split()
+)
+
+
+def tokenize(text: str, *, lowercase: bool = True,
+             drop_stopwords: bool = False) -> list[str]:
+    """Split text into word tokens.
+
+    Parameters
+    ----------
+    text:
+        Input string; ``None`` yields an empty token list.
+    lowercase:
+        Case-fold before matching.
+    drop_stopwords:
+        Remove a small English stopword list.
+    """
+    if text is None:
+        return []
+    if lowercase:
+        tokens = _TOKEN_RE.findall(text.lower())
+    else:
+        tokens = _TOKEN_RE_CASED.findall(text)
+    if drop_stopwords:
+        tokens = [t for t in tokens if t not in STOPWORDS]
+    return tokens

@@ -1,0 +1,158 @@
+"""Text vectorizers: hashing bag-of-words, TF-IDF, dense sentence
+embeddings (the SentenceBERT stand-in)."""
+
+from __future__ import annotations
+
+import hashlib
+
+import numpy as np
+
+from repro.core.exceptions import ValidationError
+from repro.ml.base import BaseEstimator, TransformerMixin, check_fitted
+from repro.text.tokenize import tokenize
+
+
+def _stable_hash(token: str) -> int:
+    """Deterministic 64-bit token hash, stable across processes
+    (Python's built-in ``hash`` is salted per process)."""
+    digest = hashlib.blake2b(token.encode("utf-8"), digest_size=8).digest()
+    return int.from_bytes(digest, "little")
+
+
+def _as_texts(X) -> list[str]:
+    if hasattr(X, "to_list"):  # Column
+        return ["" if t is None else str(t) for t in X.to_list()]
+    X = np.asarray(X, dtype=object)
+    if X.ndim == 2 and X.shape[1] == 1:
+        X = X[:, 0]
+    if X.ndim != 1:
+        raise ValidationError(f"expected a vector of texts, got shape {X.shape}")
+    return ["" if t is None or (isinstance(t, float) and np.isnan(t)) else str(t)
+            for t in X]
+
+
+class HashingVectorizer(BaseEstimator, TransformerMixin):
+    """Feature-hashed bag of words with signed buckets.
+
+    Parameters
+    ----------
+    n_features:
+        Number of hash buckets.
+    ngram_range:
+        ``(min_n, max_n)`` word n-gram sizes.
+    norm:
+        ``"l2"``, ``"l1"`` or ``None`` row normalization.
+    """
+
+    def __init__(self, n_features: int = 512, ngram_range: tuple[int, int] = (1, 1),
+                 norm: str | None = "l2", drop_stopwords: bool = False):
+        self.n_features = n_features
+        self.ngram_range = ngram_range
+        self.norm = norm
+        self.drop_stopwords = drop_stopwords
+
+    def fit(self, X, y=None) -> "HashingVectorizer":
+        self.fitted_ = True  # stateless, but keep the protocol uniform
+        return self
+
+    def _ngrams(self, tokens: list[str]):
+        lo, hi = self.ngram_range
+        for n in range(lo, hi + 1):
+            for i in range(len(tokens) - n + 1):
+                yield " ".join(tokens[i:i + n])
+
+    def transform(self, X) -> np.ndarray:
+        texts = _as_texts(X)
+        out = np.zeros((len(texts), self.n_features))
+        for row, text in enumerate(texts):
+            tokens = tokenize(text, drop_stopwords=self.drop_stopwords)
+            for gram in self._ngrams(tokens):
+                h = _stable_hash(gram)
+                bucket = h % self.n_features
+                sign = 1.0 if (h >> 63) & 1 else -1.0
+                out[row, bucket] += sign
+        if self.norm == "l2":
+            norms = np.linalg.norm(out, axis=1, keepdims=True)
+            out = out / np.maximum(norms, 1e-12)
+        elif self.norm == "l1":
+            norms = np.abs(out).sum(axis=1, keepdims=True)
+            out = out / np.maximum(norms, 1e-12)
+        elif self.norm is not None:
+            raise ValidationError(f"unknown norm {self.norm!r}")
+        return out
+
+
+class TfidfVectorizer(BaseEstimator, TransformerMixin):
+    """Vocabulary-based TF-IDF with smoothed document frequencies."""
+
+    def __init__(self, max_features: int | None = None, min_df: int = 1,
+                 drop_stopwords: bool = True):
+        self.max_features = max_features
+        self.min_df = min_df
+        self.drop_stopwords = drop_stopwords
+
+    def fit(self, X, y=None) -> "TfidfVectorizer":
+        texts = _as_texts(X)
+        doc_freq: dict[str, int] = {}
+        for text in texts:
+            for token in set(tokenize(text, drop_stopwords=self.drop_stopwords)):
+                doc_freq[token] = doc_freq.get(token, 0) + 1
+        items = [(t, c) for t, c in doc_freq.items() if c >= self.min_df]
+        items.sort(key=lambda tc: (-tc[1], tc[0]))
+        if self.max_features is not None:
+            items = items[: self.max_features]
+        self.vocabulary_ = {token: i for i, (token, _) in enumerate(items)}
+        n_docs = len(texts)
+        self.idf_ = np.array([
+            np.log((1.0 + n_docs) / (1.0 + count)) + 1.0 for _, count in items
+        ])
+        return self
+
+    def transform(self, X) -> np.ndarray:
+        check_fitted(self)
+        texts = _as_texts(X)
+        out = np.zeros((len(texts), len(self.vocabulary_)))
+        for row, text in enumerate(texts):
+            for token in tokenize(text, drop_stopwords=self.drop_stopwords):
+                col = self.vocabulary_.get(token)
+                if col is not None:
+                    out[row, col] += 1.0
+        out *= self.idf_
+        norms = np.linalg.norm(out, axis=1, keepdims=True)
+        return out / np.maximum(norms, 1e-12)
+
+
+class SentenceEmbedder(BaseEstimator, TransformerMixin):
+    """Dense sentence embeddings: hashed bag-of-words -> signed random
+    projection (Johnson–Lindenstrauss), producing SentenceBERT-shaped
+    ``(n, dim)`` float vectors.
+
+    Parameters
+    ----------
+    dim:
+        Output embedding dimensionality.
+    n_buckets:
+        Intermediate hashing width; larger means fewer collisions.
+    seed:
+        Seed for the fixed projection matrix (the "pretrained weights").
+    """
+
+    def __init__(self, dim: int = 64, n_buckets: int = 2048, seed: int = 13):
+        self.dim = dim
+        self.n_buckets = n_buckets
+        self.seed = seed
+
+    def fit(self, X, y=None) -> "SentenceEmbedder":
+        rng = np.random.default_rng(self.seed)
+        self.projection_ = rng.standard_normal((self.n_buckets, self.dim)) / np.sqrt(self.dim)
+        self._hasher = HashingVectorizer(n_features=self.n_buckets, norm="l2",
+                                         ngram_range=(1, 2))
+        self._hasher.fit(X)
+        return self
+
+    def transform(self, X) -> np.ndarray:
+        check_fitted(self)
+        hashed = self._hasher.transform(X)
+        embedded = hashed @ self.projection_
+        norms = np.linalg.norm(embedded, axis=1, keepdims=True)
+        return embedded / np.maximum(norms, 1e-12)

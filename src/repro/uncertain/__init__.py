@@ -1,0 +1,60 @@
+"""Learning from uncertain and incomplete data (Section 2.3 of the paper).
+
+When cleaning is too costly or impossible, these tools answer "do we even
+need to debug?" by bounding what the missing information could do:
+
+- :mod:`~repro.uncertain.intervals` — the interval abstract domain all
+  other modules build on.
+- :mod:`~repro.uncertain.zorro` — Zorro [93]: symbolic (interval)
+  propagation of missing-value uncertainty through training and
+  prediction; worst-case loss bounds and prediction ranges.
+- :mod:`~repro.uncertain.cpclean` — CPClean [40]: certain predictions for
+  k-NN over incomplete data, and greedy cleaning-set selection.
+- :mod:`~repro.uncertain.certain_models` — certain / approximately
+  certain models for linear regression and SVM [92].
+- :mod:`~repro.uncertain.multiplicity` — dataset multiplicity [55]:
+  prediction robustness under a label-error budget.
+- :mod:`~repro.uncertain.possible_worlds` — Monte-Carlo possible-worlds
+  ensembles as the sampling counterpart to the symbolic methods.
+"""
+
+from repro.uncertain.certain_models import (
+    certain_model_linear_regression,
+    certain_model_svm,
+)
+from repro.uncertain.cpclean import CertainPredictionKNN, cpclean_greedy
+from repro.uncertain.intervals import IntervalArray
+from repro.uncertain.multiplicity import (
+    knn_label_robustness,
+    multiplicity_prediction_range,
+)
+from repro.uncertain.possible_worlds import PossibleWorldsEnsemble
+from repro.uncertain.tree_robustness import (
+    certify_forest_robustness,
+    certify_tree_robustness,
+    tree_prediction_set,
+)
+from repro.uncertain.zorro import (
+    SymbolicTable,
+    ZorroLinearModel,
+    encode_symbolic,
+    estimate_worst_case_loss,
+)
+
+__all__ = [
+    "IntervalArray",
+    "SymbolicTable",
+    "encode_symbolic",
+    "ZorroLinearModel",
+    "estimate_worst_case_loss",
+    "CertainPredictionKNN",
+    "cpclean_greedy",
+    "certain_model_linear_regression",
+    "certain_model_svm",
+    "knn_label_robustness",
+    "multiplicity_prediction_range",
+    "PossibleWorldsEnsemble",
+    "tree_prediction_set",
+    "certify_tree_robustness",
+    "certify_forest_robustness",
+]

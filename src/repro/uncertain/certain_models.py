@@ -1,0 +1,138 @@
+"""Certain and approximately certain models (Zhen et al., ref [92]).
+
+A model is *certain* when every completion of the incomplete training
+data yields the same optimal parameters — then imputation is provably
+irrelevant and training can proceed without cleaning. The paper gives
+checkable conditions for linear regression and SVMs; we implement both:
+
+- **Linear regression**: fit on the fully-observed rows. The model is
+  certain iff every incomplete row would have zero residual no matter how
+  its missing cells are completed — which requires (a) the coefficients
+  of its missing features to be (near) zero and (b) the observed part to
+  already be on the regression plane. *Approximately certain* relaxes
+  both to a tolerance on the worst-case residual.
+- **SVM (squared hinge)**: fit on complete rows. Certain iff every
+  incomplete row lies strictly outside the margin for *all* completions
+  (worst-case margin via interval arithmetic > 1), so it can never become
+  a support vector.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.exceptions import ValidationError
+from repro.core.validation import check_array
+from repro.ml.linear import LinearRegression, LinearSVC
+from repro.uncertain.intervals import IntervalArray
+
+
+def _split_complete(X: np.ndarray):
+    nan_rows = np.isnan(X).any(axis=1)
+    return ~nan_rows, nan_rows
+
+
+def _interval_from_nan(X_rows: np.ndarray, X_full: np.ndarray,
+                       bounds: tuple | None) -> IntervalArray:
+    """Box the NaN cells of ``X_rows`` using fill ranges derived from the
+    *full* dataset (a column that is NaN in every incomplete row still has
+    observed values elsewhere)."""
+    if bounds is None:
+        lo_fill = np.nanmin(X_full, axis=0)
+        hi_fill = np.nanmax(X_full, axis=0)
+        if np.isnan(lo_fill).any():
+            raise ValidationError("some column has no observed values at all")
+    else:
+        lo_fill, hi_fill = bounds
+    return IntervalArray.from_nan(X_rows, lo_fill, hi_fill)
+
+
+def certain_model_linear_regression(X, y, *, tolerance: float = 0.0,
+                                    bounds: tuple | None = None,
+                                    alpha: float = 1e-6) -> dict:
+    """Check whether the OLS model is (approximately) certain.
+
+    Parameters
+    ----------
+    X:
+        Features with NaN-marked missing cells.
+    tolerance:
+        Worst-case residual allowed per incomplete row; ``0`` demands an
+        exactly certain model, positive values the paper's "approximately
+        certain" relaxation.
+    bounds:
+        Optional ``(lo, hi)`` per-column fill ranges.
+
+    Returns
+    -------
+    dict with ``certain`` (bool), ``model`` (fit on complete rows),
+    ``worst_residuals`` per incomplete row, and ``n_incomplete``.
+    """
+    X = check_array(X, allow_nan=True)
+    y = np.asarray(y, dtype=float)
+    complete, incomplete = _split_complete(X)
+    if complete.sum() < X.shape[1] + 1:
+        raise ValidationError(
+            "too few complete rows to fit the reference model"
+        )
+    model = LinearRegression(alpha=alpha)
+    model.fit(X[complete], y[complete])
+
+    if not incomplete.any():
+        return {"certain": True, "model": model, "worst_residuals": np.array([]),
+                "n_incomplete": 0}
+
+    box = _interval_from_nan(X[incomplete], X, bounds)
+    prediction_range = box.dot_vector(model.coef_) + IntervalArray.point(
+        np.full(int(incomplete.sum()), model.intercept_)
+    )
+    residual = prediction_range - IntervalArray.point(y[incomplete])
+    worst = np.maximum(np.abs(residual.lo), np.abs(residual.hi))
+    return {
+        "certain": bool(np.all(worst <= tolerance + 1e-9)),
+        "model": model,
+        "worst_residuals": worst,
+        "n_incomplete": int(incomplete.sum()),
+    }
+
+
+def certain_model_svm(X, y, *, margin_slack: float = 0.0,
+                      bounds: tuple | None = None, C: float = 1.0) -> dict:
+    """Check whether the squared-hinge SVM is (approximately) certain.
+
+    The SVM fit on complete rows is certain when every incomplete row
+    satisfies ``y_i · f(x_i) >= 1`` for all completions (worst-case margin
+    via intervals), hence contributes zero loss and zero gradient in every
+    world. ``margin_slack`` relaxes the threshold to ``1 - margin_slack``.
+
+    Returns a dict mirroring :func:`certain_model_linear_regression`, with
+    ``worst_margins`` instead of residuals.
+    """
+    X = check_array(X, allow_nan=True)
+    y = np.asarray(y)
+    complete, incomplete = _split_complete(X)
+    classes = np.unique(y)
+    if len(classes) != 2:
+        raise ValidationError("SVM certainty check requires binary labels")
+    if complete.sum() < X.shape[1] + 1:
+        raise ValidationError("too few complete rows to fit the reference model")
+    model = LinearSVC(C=C)
+    model.fit(X[complete], y[complete])
+
+    if not incomplete.any():
+        return {"certain": True, "model": model, "worst_margins": np.array([]),
+                "n_incomplete": 0}
+
+    signs = np.where(y[incomplete] == model.classes_[1], 1.0, -1.0)
+    box = _interval_from_nan(X[incomplete], X, bounds)
+    scores = box.dot_vector(model.coef_) + IntervalArray.point(
+        np.full(int(incomplete.sum()), model.intercept_)
+    )
+    # Worst-case (smallest) signed margin per row.
+    worst_margin = np.where(signs > 0, scores.lo, -scores.hi)
+    return {
+        "certain": bool(np.all(worst_margin >= 1.0 - margin_slack - 1e-9)),
+        "model": model,
+        "worst_margins": worst_margin,
+        "n_incomplete": int(incomplete.sum()),
+    }

@@ -1,0 +1,161 @@
+"""Certain predictions for k-NN over incomplete data (CPClean, ref [40]).
+
+A test point's prediction is *certain* when **every** completion of the
+incomplete training data yields the same k-NN vote — then cleaning cannot
+change the answer and is provably unnecessary for that query ("do we even
+need to debug?"). CPClean's second contribution is picking *which* rows
+to clean so the most validation queries become certain; the greedy
+selector here follows that design.
+
+Algorithm. Each incomplete training row has an interval distance
+``[dmin, dmax]`` to the test point (features boxed by per-column bounds).
+For the binary case, label ``c`` is a certain prediction iff ``c`` still
+wins the k-NN vote in its own worst world — all ``c``-labelled rows pushed
+to ``dmax``, all others pulled to ``dmin``. Pushing a same-label row
+farther or an other-label row closer can only reduce ``c``'s vote, so the
+check is exact (a completion attaining the worst case exists because each
+row's distance varies continuously and independently over its interval).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.exceptions import ValidationError
+from repro.core.validation import check_array
+
+
+def _interval_distances(X_lo, X_hi, x: np.ndarray):
+    """Row-wise [min, max] euclidean distance to a complete point ``x``."""
+    below = np.clip(X_lo - x, 0.0, None)
+    above = np.clip(x - X_hi, 0.0, None)
+    nearest_gap = np.maximum(below, above)           # 0 inside the box
+    farthest_gap = np.maximum(np.abs(X_lo - x), np.abs(X_hi - x))
+    return (np.sqrt((nearest_gap**2).sum(axis=1)),
+            np.sqrt((farthest_gap**2).sum(axis=1)))
+
+
+class CertainPredictionKNN:
+    """Certain-prediction checker for binary k-NN classification.
+
+    Parameters
+    ----------
+    k:
+        Neighborhood size (odd values avoid vote ties).
+    bounds:
+        ``(lo, hi)`` arrays of per-column fill ranges for NaN cells; when
+        omitted, observed per-column min/max are used.
+    """
+
+    def __init__(self, k: int = 3, bounds: tuple | None = None):
+        if k < 1:
+            raise ValidationError("k must be >= 1")
+        self.k = k
+        self.bounds = bounds
+
+    def fit(self, X, y) -> "CertainPredictionKNN":
+        X = check_array(X, allow_nan=True)
+        y = np.asarray(y)
+        self.classes_ = np.unique(y)
+        if len(self.classes_) != 2:
+            raise ValidationError("certain predictions implemented for binary tasks")
+        if self.k > len(X):
+            raise ValidationError(f"k={self.k} exceeds training size {len(X)}")
+        if self.bounds is None:
+            lo_fill = np.nanmin(X, axis=0)
+            hi_fill = np.nanmax(X, axis=0)
+        else:
+            lo_fill, hi_fill = self.bounds
+        nan = np.isnan(X)
+        self._X_lo = np.where(nan, np.broadcast_to(lo_fill, X.shape), X)
+        self._X_hi = np.where(nan, np.broadcast_to(hi_fill, X.shape), X)
+        self._y = y
+        self._incomplete_rows = np.flatnonzero(nan.any(axis=1))
+        return self
+
+    # ------------------------------------------------------------------
+    def _wins_worst_case(self, dmin, dmax, candidate) -> bool:
+        """Does ``candidate`` win the vote in its own worst world?"""
+        is_candidate = self._y == candidate
+        adversarial = np.where(is_candidate, dmax, dmin)
+        order = np.lexsort((np.arange(len(adversarial)), adversarial))[: self.k]
+        votes = int(is_candidate[order].sum())
+        return votes * 2 > self.k
+
+    def check(self, x) -> dict:
+        """Decide certainty for a single complete test point.
+
+        Returns ``{"certain": bool, "prediction": label_or_None,
+        "votes_best_case": {...}}``. ``prediction`` is the certain label
+        when one exists; ``None`` when no label wins all worlds.
+        """
+        x = np.asarray(x, dtype=float)
+        if x.ndim != 1:
+            raise ValidationError("check takes a single test point")
+        dmin, dmax = _interval_distances(self._X_lo, self._X_hi, x)
+        for candidate in self.classes_:
+            if self._wins_worst_case(dmin, dmax, candidate):
+                return {"certain": True, "prediction": candidate}
+        # No certain winner: report the midpoint-world prediction.
+        mid = (dmin + dmax) / 2.0
+        order = np.lexsort((np.arange(len(mid)), mid))[: self.k]
+        values, counts = np.unique(self._y[order], return_counts=True)
+        return {"certain": False, "prediction": None,
+                "midpoint_guess": values[np.argmax(counts)]}
+
+    def certain_fraction(self, X_test) -> float:
+        """Fraction of test points with certain predictions — the headline
+        number of the T4 benchmark."""
+        X_test = check_array(X_test)
+        certain = sum(1 for x in X_test if self.check(x)["certain"])
+        return certain / len(X_test)
+
+
+def cpclean_greedy(X_dirty, y, X_clean, X_test, *, k: int = 3,
+                   max_cleaned: int | None = None) -> dict:
+    """Greedy CPClean cleaning-set selection (simulated with ground truth).
+
+    Repeatedly cleans (reveals) the incomplete training row whose repair
+    certifies the most currently-uncertain test points, stopping when all
+    test predictions are certain or the budget is exhausted.
+
+    Parameters
+    ----------
+    X_dirty:
+        Training features with NaN-marked missing cells.
+    X_clean:
+        Ground-truth features (the oracle's answers).
+    max_cleaned:
+        Optional budget on cleaned rows.
+
+    Returns
+    -------
+    dict with ``cleaned_rows`` (order of repairs), ``certain_fraction``
+    trajectory, and ``n_cleaned``.
+    """
+    X_current = np.asarray(X_dirty, dtype=float).copy()
+    X_clean = np.asarray(X_clean, dtype=float)
+    y = np.asarray(y)
+    X_test = np.asarray(X_test, dtype=float)
+    incomplete = list(np.flatnonzero(np.isnan(X_current).any(axis=1)))
+    budget = max_cleaned if max_cleaned is not None else len(incomplete)
+
+    def fraction(X) -> float:
+        checker = CertainPredictionKNN(k=k).fit(X, y)
+        return checker.certain_fraction(X_test)
+
+    cleaned, trajectory = [], [fraction(X_current)]
+    while incomplete and len(cleaned) < budget and trajectory[-1] < 1.0:
+        best_row, best_gain, best_fraction = None, -1.0, trajectory[-1]
+        for row in incomplete:
+            candidate = X_current.copy()
+            candidate[row] = X_clean[row]
+            frac = fraction(candidate)
+            if frac - trajectory[-1] > best_gain:
+                best_row, best_gain, best_fraction = row, frac - trajectory[-1], frac
+        X_current[best_row] = X_clean[best_row]
+        incomplete.remove(best_row)
+        cleaned.append(int(best_row))
+        trajectory.append(best_fraction)
+    return {"cleaned_rows": cleaned, "certain_fraction": trajectory,
+            "n_cleaned": len(cleaned)}

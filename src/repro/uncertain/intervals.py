@@ -1,0 +1,148 @@
+"""Interval arithmetic — the abstract domain for symbolic uncertainty.
+
+An :class:`IntervalArray` is a pair of equal-shaped arrays ``lo <= hi``.
+Operations return the tightest interval enclosure of the true result set
+(exact for monotone elementwise ops; the standard four-products rule for
+multiplication). This is a sound over-approximation: the true value of
+any concrete completion always lies inside the returned interval.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.exceptions import ValidationError
+
+
+class IntervalArray:
+    """Elementwise interval box ``[lo, hi]`` over an ndarray shape."""
+
+    __slots__ = ("lo", "hi")
+
+    def __init__(self, lo, hi):
+        self.lo = np.asarray(lo, dtype=float)
+        self.hi = np.asarray(hi, dtype=float)
+        if self.lo.shape != self.hi.shape:
+            raise ValidationError(
+                f"interval bounds shapes differ: {self.lo.shape} vs {self.hi.shape}"
+            )
+        if np.any(self.lo > self.hi + 1e-12):
+            raise ValidationError("interval lower bounds exceed upper bounds")
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def point(cls, values) -> "IntervalArray":
+        """Degenerate interval: a known exact value."""
+        values = np.asarray(values, dtype=float)
+        return cls(values.copy(), values.copy())
+
+    @classmethod
+    def from_nan(cls, X, lo_fill, hi_fill) -> "IntervalArray":
+        """Lift a NaN-holed matrix: observed cells become points, NaN
+        cells the per-column ``[lo_fill[j], hi_fill[j]]`` box."""
+        X = np.asarray(X, dtype=float)
+        lo = X.copy()
+        hi = X.copy()
+        nan = np.isnan(X)
+        lo[nan] = np.broadcast_to(lo_fill, X.shape)[nan]
+        hi[nan] = np.broadcast_to(hi_fill, X.shape)[nan]
+        return cls(lo, hi)
+
+    # ------------------------------------------------------------------
+    @property
+    def shape(self):
+        return self.lo.shape
+
+    @property
+    def width(self) -> np.ndarray:
+        return self.hi - self.lo
+
+    def midpoint(self) -> np.ndarray:
+        return (self.lo + self.hi) / 2.0
+
+    def is_point(self) -> np.ndarray:
+        return self.hi == self.lo
+
+    def contains(self, values) -> np.ndarray:
+        values = np.asarray(values, dtype=float)
+        return (self.lo - 1e-9 <= values) & (values <= self.hi + 1e-9)
+
+    def __repr__(self) -> str:
+        return f"IntervalArray(shape={self.shape}, max_width={self.width.max():.4g})"
+
+    # ------------------------------------------------------------------
+    # Arithmetic
+    # ------------------------------------------------------------------
+    def __add__(self, other) -> "IntervalArray":
+        other = _lift(other)
+        return IntervalArray(self.lo + other.lo, self.hi + other.hi)
+
+    def __sub__(self, other) -> "IntervalArray":
+        other = _lift(other)
+        return IntervalArray(self.lo - other.hi, self.hi - other.lo)
+
+    def __neg__(self) -> "IntervalArray":
+        return IntervalArray(-self.hi, -self.lo)
+
+    def __mul__(self, other) -> "IntervalArray":
+        other = _lift(other)
+        products = np.stack([
+            self.lo * other.lo, self.lo * other.hi,
+            self.hi * other.lo, self.hi * other.hi,
+        ])
+        return IntervalArray(products.min(axis=0), products.max(axis=0))
+
+    __radd__ = __add__
+    __rmul__ = __mul__
+
+    def scale(self, scalar: float) -> "IntervalArray":
+        """Multiply by a known scalar (tighter than generic __mul__)."""
+        if scalar >= 0:
+            return IntervalArray(self.lo * scalar, self.hi * scalar)
+        return IntervalArray(self.hi * scalar, self.lo * scalar)
+
+    def dot_vector(self, w: np.ndarray) -> "IntervalArray":
+        """Row-wise dot product with a *known* weight vector.
+
+        Exact (not just sound): each term is monotone in the feature, so
+        the extremes are attained at per-sign corners.
+        """
+        w = np.asarray(w, dtype=float)
+        if self.lo.ndim != 2 or self.lo.shape[1] != w.shape[0]:
+            raise ValidationError(
+                f"dot_vector shape mismatch: {self.shape} vs {w.shape}"
+            )
+        pos = np.clip(w, 0, None)
+        neg = np.clip(w, None, 0)
+        lo = self.lo @ pos + self.hi @ neg
+        hi = self.hi @ pos + self.lo @ neg
+        return IntervalArray(lo, hi)
+
+    def sum(self, axis=None) -> "IntervalArray":
+        return IntervalArray(self.lo.sum(axis=axis), self.hi.sum(axis=axis))
+
+    def mean(self, axis=None) -> "IntervalArray":
+        return IntervalArray(self.lo.mean(axis=axis), self.hi.mean(axis=axis))
+
+    def clip(self, low: float, high: float) -> "IntervalArray":
+        return IntervalArray(np.clip(self.lo, low, high),
+                             np.clip(self.hi, low, high))
+
+    def square(self) -> "IntervalArray":
+        """Elementwise square (exact: accounts for intervals crossing 0)."""
+        lo_sq = self.lo**2
+        hi_sq = self.hi**2
+        upper = np.maximum(lo_sq, hi_sq)
+        lower = np.where((self.lo <= 0) & (self.hi >= 0), 0.0,
+                         np.minimum(lo_sq, hi_sq))
+        return IntervalArray(lower, upper)
+
+    def take(self, indices) -> "IntervalArray":
+        indices = np.asarray(indices)
+        return IntervalArray(self.lo[indices], self.hi[indices])
+
+
+def _lift(value) -> IntervalArray:
+    if isinstance(value, IntervalArray):
+        return value
+    return IntervalArray.point(value)

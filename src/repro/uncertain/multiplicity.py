@@ -1,0 +1,107 @@
+"""Dataset multiplicity: robustness to label errors (Meyer et al., [55]).
+
+The *dataset multiplicity problem*: when up to ``r`` training labels may
+be wrong, a whole family of plausible datasets exists; a test prediction
+is only trustworthy if it is invariant across the family. Two tools:
+
+- :func:`knn_label_robustness` — for k-NN the exact robustness radius has
+  a closed form: flipping one neighbor's label moves the vote difference
+  by 2, so a prediction with vote margin ``m`` (winner votes minus
+  runner-up votes among the k neighbors) tolerates ``ceil(m/2) - 1``
+  adversarial flips and flips at ``ceil(m/2)``.
+- :func:`multiplicity_prediction_range` — for arbitrary models, a
+  Monte-Carlo *under*-approximation: sample label-flip sets of size ``r``,
+  retrain, and report the disagreement per test point. If sampling finds
+  any world changing the prediction, non-robustness is proven; agreement
+  across all samples is evidence (not proof) of robustness.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.exceptions import ValidationError
+from repro.core.rng import ensure_rng
+from repro.core.validation import check_X_y
+from repro.ml.base import clone
+from repro.ml.neighbors import KNeighborsClassifier
+
+
+def knn_label_robustness(X_train, y_train, X_test, *, k: int = 5) -> dict:
+    """Exact per-test-point label-flip robustness radii for k-NN.
+
+    Returns a dict with ``predictions``, ``radii`` (max flips tolerated;
+    a prediction with radius >= r is certified robust to any r label
+    errors) and ``certified_at(r)`` convenience via the returned arrays.
+    """
+    model = KNeighborsClassifier(n_neighbors=k).fit(X_train, y_train)
+    _, neighbors = model.kneighbors(np.asarray(X_test, dtype=float))
+    y_train = np.asarray(y_train)
+    predictions, radii = [], []
+    for row in neighbors:
+        votes = y_train[row]
+        values, counts = np.unique(votes, return_counts=True)
+        order = np.argsort(-counts, kind="stable")
+        winner = values[order[0]]
+        runner_up = counts[order[1]] if len(values) > 1 else 0
+        margin = int(counts[order[0]] - runner_up)
+        # Each flip of a winner-vote to the runner-up closes the gap by 2;
+        # the prediction changes once the gap goes non-positive under the
+        # k-NN tie-break, i.e. after ceil(margin / 2) flips.
+        flips_to_change = (margin + 1) // 2
+        predictions.append(winner)
+        radii.append(flips_to_change - 1 if margin > 0 else 0)
+    return {"predictions": np.array(predictions), "radii": np.array(radii)}
+
+
+def certified_fraction(radii, r: int) -> float:
+    """Fraction of test points certified robust to ``r`` label flips."""
+    radii = np.asarray(radii)
+    if r < 0:
+        raise ValidationError("r must be non-negative")
+    return float(np.mean(radii >= r))
+
+
+def multiplicity_prediction_range(model, X_train, y_train, X_test, *,
+                                  radius: int, n_worlds: int = 20,
+                                  seed=0) -> dict:
+    """Monte-Carlo multiplicity analysis for an arbitrary model.
+
+    Samples ``n_worlds`` datasets with exactly ``radius`` random label
+    flips, retrains ``model`` on each, and reports per-test-point
+    agreement with the original prediction.
+
+    Returns ``{"base_predictions", "agreement", "robust_mask"}`` where
+    ``agreement[i]`` is the fraction of worlds preserving the base
+    prediction and ``robust_mask`` marks points preserved in *all*
+    sampled worlds.
+    """
+    X_train, y_train = check_X_y(X_train, y_train)
+    X_test = np.asarray(X_test, dtype=float)
+    if radius < 0 or radius > len(y_train):
+        raise ValidationError(f"radius must be in [0, {len(y_train)}]")
+    classes = np.unique(y_train)
+    if len(classes) < 2:
+        raise ValidationError("need at least two classes")
+    rng = ensure_rng(seed)
+
+    base_model = clone(model)
+    base_model.fit(X_train, y_train)
+    base = base_model.predict(X_test)
+
+    agree = np.zeros(len(X_test))
+    for _ in range(n_worlds):
+        y_world = y_train.copy()
+        flip = rng.choice(len(y_train), size=radius, replace=False)
+        for i in flip:
+            alternatives = classes[classes != y_world[i]]
+            y_world[i] = alternatives[int(rng.integers(0, len(alternatives)))]
+        world_model = clone(model)
+        world_model.fit(X_train, y_world)
+        agree += (world_model.predict(X_test) == base).astype(float)
+    agreement = agree / n_worlds
+    return {
+        "base_predictions": base,
+        "agreement": agreement,
+        "robust_mask": agreement >= 1.0 - 1e-12,
+    }

@@ -1,0 +1,101 @@
+"""Possible-worlds ensembles: the sampling counterpart to symbolic bounds.
+
+Where :mod:`repro.uncertain.zorro` *over*-approximates with intervals,
+sampling completions of the missing cells and training one model per
+world *under*-approximates the set of possible models — together they
+bracket the truth (the comparison run by bench T5). The ensemble also
+yields practical consensus predictions: majority vote across worlds, with
+per-point disagreement as an uncertainty signal.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.exceptions import ValidationError
+from repro.core.rng import ensure_rng
+from repro.core.validation import check_array
+from repro.ml.base import clone
+
+
+class PossibleWorldsEnsemble:
+    """Train one model per sampled completion of NaN-holed training data.
+
+    Parameters
+    ----------
+    model:
+        Unfitted estimator prototype.
+    n_worlds:
+        Number of completions to sample.
+    sampler:
+        ``"uniform"`` draws each missing cell uniformly from its column's
+        observed range; ``"empirical"`` draws from the column's observed
+        values (hot-deck imputation per world).
+    seed:
+        RNG seed.
+    """
+
+    def __init__(self, model, n_worlds: int = 20, sampler: str = "empirical",
+                 seed=None):
+        if n_worlds < 1:
+            raise ValidationError("n_worlds must be >= 1")
+        if sampler not in ("uniform", "empirical"):
+            raise ValidationError("sampler must be 'uniform' or 'empirical'")
+        self.model = model
+        self.n_worlds = n_worlds
+        self.sampler = sampler
+        self.seed = seed
+
+    def fit(self, X, y) -> "PossibleWorldsEnsemble":
+        X = check_array(X, allow_nan=True)
+        y = np.asarray(y)
+        rng = ensure_rng(self.seed)
+        nan = np.isnan(X)
+        observed = [X[~nan[:, j], j] for j in range(X.shape[1])]
+        for j, column in enumerate(observed):
+            if len(column) == 0:
+                raise ValidationError(f"column {j} entirely missing")
+        self.models_ = []
+        for _ in range(self.n_worlds):
+            world = X.copy()
+            for j in range(X.shape[1]):
+                holes = np.flatnonzero(nan[:, j])
+                if len(holes) == 0:
+                    continue
+                if self.sampler == "uniform":
+                    lo, hi = observed[j].min(), observed[j].max()
+                    world[holes, j] = rng.uniform(lo, hi, size=len(holes))
+                else:
+                    world[holes, j] = rng.choice(observed[j], size=len(holes))
+            fitted = clone(self.model)
+            fitted.fit(world, y)
+            self.models_.append(fitted)
+        return self
+
+    def predict_all(self, X) -> np.ndarray:
+        """(n_worlds, n_test) matrix of per-world predictions."""
+        if not hasattr(self, "models_"):
+            raise ValidationError("fit the ensemble first")
+        X = check_array(X)
+        return np.stack([m.predict(X) for m in self.models_])
+
+    def predict(self, X) -> np.ndarray:
+        """Consensus prediction: per-point majority across worlds."""
+        worlds = self.predict_all(X)
+        out = []
+        for column in worlds.T:
+            values, counts = np.unique(column, return_counts=True)
+            out.append(values[np.argmax(counts)])
+        return np.array(out)
+
+    def disagreement(self, X) -> np.ndarray:
+        """Per-point fraction of worlds dissenting from the consensus —
+        0 means every possible world (sampled) agrees."""
+        worlds = self.predict_all(X)
+        consensus = self.predict(X)
+        return 1.0 - (worlds == consensus[None, :]).mean(axis=0)
+
+    def prediction_interval(self, X) -> tuple[np.ndarray, np.ndarray]:
+        """For regression models: per-point (min, max) over worlds."""
+        worlds = self.predict_all(X).astype(float)
+        return worlds.min(axis=0), worlds.max(axis=0)

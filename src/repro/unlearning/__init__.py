@@ -1,0 +1,21 @@
+"""Low-latency machine unlearning (the §2.4 connection of the paper).
+
+The survey's open-challenges section links data debugging to machine
+unlearning: debugging identifies harmful points, unlearning removes their
+influence *fast* — "data-driven applications that forget critical data
+fast" (refs [17, 75]). Two complementary mechanisms:
+
+- :class:`ShardedUnlearner` — SISA/HedgeCut-style *exact* unlearning:
+  train an ensemble over disjoint shards; deleting a point retrains only
+  its shard, an ~n_shards-fold latency win over full retraining with a
+  bit-for-bit exactness guarantee.
+- :class:`InfluenceUnlearner` — *approximate* unlearning for logistic
+  regression: a one-shot Newton step removes a point's first-order
+  influence from the fitted parameters without touching the data; paired
+  with a fidelity check against exact retraining.
+"""
+
+from repro.unlearning.influence_unlearner import InfluenceUnlearner
+from repro.unlearning.sharded import ShardedUnlearner
+
+__all__ = ["ShardedUnlearner", "InfluenceUnlearner"]

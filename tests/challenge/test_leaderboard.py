@@ -1,0 +1,38 @@
+"""Unit tests for the challenge leaderboard."""
+
+from repro.challenge import Leaderboard
+
+
+class TestLeaderboard:
+    def test_ranks_by_score(self):
+        board = Leaderboard(baseline=0.5)
+        board.record("alice", 0.8, cleaned=20)
+        board.record("bob", 0.9, cleaned=20)
+        standings = board.standings()
+        assert standings[0].participant == "bob"
+
+    def test_ties_broken_by_fewer_cleaned(self):
+        board = Leaderboard()
+        board.record("alice", 0.8, cleaned=30)
+        board.record("bob", 0.8, cleaned=10)
+        assert board.standings()[0].participant == "bob"
+
+    def test_best_entry_per_participant(self):
+        board = Leaderboard()
+        board.record("alice", 0.6, cleaned=10)
+        board.record("alice", 0.9, cleaned=20)
+        board.record("alice", 0.7, cleaned=5)
+        standings = board.standings()
+        assert len(standings) == 1
+        assert standings[0].score == 0.9
+
+    def test_winner_empty_board(self):
+        assert Leaderboard().winner() is None
+
+    def test_render_contains_baseline_and_markers(self):
+        board = Leaderboard(baseline=0.5)
+        board.record("alice", 0.8, cleaned=20)
+        text = board.render()
+        assert "alice" in text
+        assert "baseline" in text
+        assert "*" in text  # beat-baseline marker

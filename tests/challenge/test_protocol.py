@@ -1,0 +1,64 @@
+"""Unit tests for the data-debugging challenge protocol."""
+
+import numpy as np
+import pytest
+
+from repro.challenge import make_challenge
+from repro.core.exceptions import BudgetExhaustedError, ValidationError
+
+
+@pytest.fixture(scope="module")
+def challenge():
+    return make_challenge(n=150, budget=25, seed=31)
+
+
+class TestMakeChallenge:
+    def test_bundle_contents(self, challenge):
+        assert len(challenge.train_df) > 0
+        assert len(challenge.valid_df) > 0
+        assert challenge.n_errors > 0
+        assert 0.0 <= challenge.oracle.baseline_score <= 1.0
+
+    def test_train_data_is_actually_dirty(self, challenge):
+        """The disclosed error count must reflect real corruptions."""
+        assert challenge.n_errors >= 10
+
+
+class TestChallengeOracle:
+    def test_submission_returns_score_and_records_history(self, challenge):
+        oracle = challenge.oracle
+        rows = challenge.train_df.row_ids[:5]
+        score = oracle.submit(rows, participant="tester")
+        assert 0.0 <= score <= 1.0
+        assert oracle.history[-1]["participant"] == "tester"
+        assert oracle.cleaned_count == 5
+
+    def test_repeat_rows_free(self, challenge):
+        oracle = challenge.oracle
+        rows = challenge.train_df.row_ids[:5]
+        before = oracle.cleaned_count
+        oracle.submit(rows)
+        assert oracle.cleaned_count == before
+
+    def test_budget_enforced_without_partial_application(self):
+        challenge = make_challenge(n=100, budget=5, seed=32)
+        oracle = challenge.oracle
+        with pytest.raises(BudgetExhaustedError):
+            oracle.submit(challenge.train_df.row_ids[:10])
+        assert oracle.cleaned_count == 0  # nothing applied
+
+    def test_unknown_row_rejected(self, challenge):
+        with pytest.raises(ValidationError):
+            challenge.oracle.submit([10**9])
+
+    def test_prioritized_cleaning_beats_baseline(self):
+        """Cleaning the KNN-Shapley bottom rows should beat the dirty
+        baseline on the hidden test set."""
+        import repro as nde
+
+        challenge = make_challenge(n=250, budget=40, seed=33)
+        values = nde.knn_shapley_values(challenge.train_df,
+                                        validation=challenge.valid_df)
+        worst = challenge.train_df.row_ids[np.argsort(values)[:40]]
+        score = challenge.oracle.submit(worst, participant="shapley")
+        assert score >= challenge.oracle.baseline_score - 0.02

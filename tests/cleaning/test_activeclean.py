@@ -1,0 +1,54 @@
+"""Unit tests for the ActiveClean loop."""
+
+import numpy as np
+import pytest
+
+from repro.cleaning import active_clean
+from repro.core.exceptions import ValidationError
+from repro.datasets import make_blobs
+from repro.errors import inject_label_errors_array
+
+
+@pytest.fixture(scope="module")
+def setting():
+    X, y = make_blobs(200, n_features=3, centers=2, cluster_std=1.2, seed=23)
+    X_train, y_train = X[:140], y[:140]
+    X_valid, y_valid = X[140:], y[140:]
+    y_dirty, flipped = inject_label_errors_array(y_train, fraction=0.3,
+                                                 seed=24)
+    dirty_mask = np.zeros(len(y_train), dtype=bool)
+    dirty_mask[flipped] = True
+    return {"X": X_train, "y_clean": y_train, "y_dirty": y_dirty,
+            "mask": dirty_mask, "X_valid": X_valid, "y_valid": y_valid}
+
+
+class TestActiveClean:
+    def test_accuracy_improves_with_cleaning(self, setting):
+        outcome = active_clean(
+            setting["X"], setting["y_dirty"], setting["X"],
+            setting["y_clean"], setting["X_valid"], setting["y_valid"],
+            dirty_mask=setting["mask"], budget=len(setting["mask"]),
+            batch=10, seed=0)
+        assert outcome["accuracy"][-1] >= outcome["accuracy"][0]
+
+    def test_budget_respected(self, setting):
+        outcome = active_clean(
+            setting["X"], setting["y_dirty"], setting["X"],
+            setting["y_clean"], setting["X_valid"], setting["y_valid"],
+            dirty_mask=setting["mask"], budget=12, batch=5, seed=1)
+        assert len(outcome["cleaned"]) <= 12
+
+    def test_only_dirty_records_cleaned(self, setting):
+        outcome = active_clean(
+            setting["X"], setting["y_dirty"], setting["X"],
+            setting["y_clean"], setting["X_valid"], setting["y_valid"],
+            dirty_mask=setting["mask"], budget=20, batch=5, seed=2)
+        dirty_indices = set(np.flatnonzero(setting["mask"]).tolist())
+        assert set(outcome["cleaned"]) <= dirty_indices
+
+    def test_invalid_budget_rejected(self, setting):
+        with pytest.raises(ValidationError):
+            active_clean(setting["X"], setting["y_dirty"], setting["X"],
+                         setting["y_clean"], setting["X_valid"],
+                         setting["y_valid"], dirty_mask=setting["mask"],
+                         budget=0)

@@ -1,0 +1,52 @@
+"""Unit tests for dataframe imputation repair."""
+
+import numpy as np
+import pytest
+
+from repro.cleaning import impute_frame
+from repro.core.exceptions import ValidationError
+from repro.dataframe import DataFrame
+
+
+@pytest.fixture()
+def frame():
+    return DataFrame({
+        "num": [1.0, None, 3.0, None],
+        "cat": ["a", "a", None, "b"],
+        "full": [1.0, 2.0, 3.0, 4.0],
+    })
+
+
+class TestImputeFrame:
+    def test_mean(self, frame):
+        out = impute_frame(frame, strategy="mean", columns=["num"])
+        assert out["num"].to_list() == [1.0, 2.0, 3.0, 2.0]
+
+    def test_median(self, frame):
+        out = impute_frame(frame, strategy="median", columns=["num"])
+        assert out["num"].null_count() == 0
+
+    def test_mode_works_on_categoricals(self, frame):
+        out = impute_frame(frame, strategy="mode", columns=["cat"])
+        assert out["cat"].to_list() == ["a", "a", "a", "b"]
+
+    def test_mean_skips_categoricals_silently(self, frame):
+        out = impute_frame(frame, strategy="mean")
+        assert out["cat"].null_count() == 1  # untouched
+        assert out["num"].null_count() == 0
+
+    def test_knn(self, frame):
+        out = impute_frame(frame, strategy="knn", columns=["num", "full"])
+        assert out["num"].null_count() == 0
+
+    def test_unknown_strategy_rejected(self, frame):
+        with pytest.raises(ValidationError):
+            impute_frame(frame, strategy="prophecy")
+
+    def test_unknown_column_rejected(self, frame):
+        with pytest.raises(ValidationError):
+            impute_frame(frame, columns=["ghost"])
+
+    def test_original_untouched(self, frame):
+        impute_frame(frame, strategy="mean", columns=["num"])
+        assert frame["num"].null_count() == 2

@@ -1,0 +1,63 @@
+"""Unit tests for the cleaning oracle."""
+
+import numpy as np
+import pytest
+
+from repro.core.exceptions import BudgetExhaustedError, ValidationError
+from repro.dataframe import DataFrame
+from repro.cleaning import CleaningOracle
+from repro.errors import inject_label_errors
+
+
+@pytest.fixture()
+def corrupted():
+    clean = DataFrame({"label": ["a", "b"] * 10, "x": list(range(20))})
+    dirty, report = inject_label_errors(clean, column="label", fraction=0.3,
+                                        seed=0)
+    return clean, dirty, report
+
+
+class TestCleaningOracle:
+    def test_restores_ground_truth(self, corrupted):
+        clean, dirty, report = corrupted
+        oracle = CleaningOracle(clean)
+        repaired = oracle.clean(dirty, sorted(report.row_ids()))
+        assert repaired["label"].to_list() == clean["label"].to_list()
+
+    def test_untouched_rows_stay_dirty(self, corrupted):
+        clean, dirty, report = corrupted
+        oracle = CleaningOracle(clean)
+        target = sorted(report.row_ids())[:1]
+        repaired = oracle.clean(dirty, target)
+        remaining = report.row_ids() - set(target)
+        dirty_positions = repaired.positions_of(sorted(remaining))
+        originals = {e.row_id: e.corrupted for e in report.errors}
+        for rid, pos in zip(sorted(remaining), dirty_positions):
+            assert repaired["label"].get(int(pos)) == originals[rid]
+
+    def test_budget_enforced(self, corrupted):
+        clean, dirty, _ = corrupted
+        oracle = CleaningOracle(clean, budget=2)
+        oracle.clean(dirty, dirty.row_ids[:2])
+        with pytest.raises(BudgetExhaustedError):
+            oracle.clean(dirty, dirty.row_ids[2:4])
+
+    def test_repeated_rows_not_recharged(self, corrupted):
+        clean, dirty, _ = corrupted
+        oracle = CleaningOracle(clean, budget=2)
+        oracle.clean(dirty, dirty.row_ids[:2])
+        oracle.clean(dirty, dirty.row_ids[:2])  # same rows: free
+        assert oracle.cleaned_count == 2
+        assert oracle.remaining_budget == 0
+
+    def test_column_restriction(self, corrupted):
+        clean, dirty, report = corrupted
+        oracle = CleaningOracle(clean, columns=["x"])
+        repaired = oracle.clean(dirty, sorted(report.row_ids()))
+        # label column untouched: still dirty
+        assert repaired["label"].to_list() == dirty["label"].to_list()
+
+    def test_negative_budget_rejected(self, corrupted):
+        clean, _, _ = corrupted
+        with pytest.raises(ValidationError):
+            CleaningOracle(clean, budget=-1)

@@ -1,0 +1,63 @@
+"""Property-based tests for cleaning-oracle invariants (hypothesis)."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cleaning import CleaningOracle
+from repro.dataframe import DataFrame
+from repro.errors import inject_label_errors
+
+
+@st.composite
+def corrupted_frame(draw):
+    n = draw(st.integers(10, 40))
+    seed = draw(st.integers(0, 10**6))
+    rng = np.random.default_rng(seed)
+    labels = [str(v) for v in rng.integers(0, 2, n)]
+    labels[0], labels[1] = "0", "1"
+    clean = DataFrame({"label": labels, "x": rng.normal(0, 1, n)})
+    fraction = draw(st.floats(0.1, 0.5))
+    dirty, report = inject_label_errors(clean, column="label",
+                                        fraction=fraction, seed=seed + 1)
+    return clean, dirty, report
+
+
+@given(corrupted_frame(), st.data())
+@settings(max_examples=30, deadline=None)
+def test_cleaning_is_idempotent(setting, data):
+    """Cleaning the same rows twice equals cleaning them once."""
+    clean, dirty, report = setting
+    targets = data.draw(st.lists(
+        st.sampled_from(sorted(set(int(r) for r in dirty.row_ids))),
+        min_size=1, max_size=5, unique=True))
+    oracle = CleaningOracle(clean)
+    once = oracle.clean(dirty, targets)
+    twice = oracle.clean(once, targets)
+    assert once["label"].to_list() == twice["label"].to_list()
+
+
+@given(corrupted_frame())
+@settings(max_examples=30, deadline=None)
+def test_cleaning_everything_restores_truth(setting):
+    clean, dirty, report = setting
+    oracle = CleaningOracle(clean)
+    repaired = oracle.clean(dirty, dirty.row_ids.tolist())
+    assert repaired["label"].to_list() == clean["label"].to_list()
+
+
+@given(corrupted_frame(), st.data())
+@settings(max_examples=30, deadline=None)
+def test_cleaning_order_does_not_matter(setting, data):
+    """Cleaning rows one by one in any order equals cleaning them at
+    once."""
+    clean, dirty, report = setting
+    targets = data.draw(st.lists(
+        st.sampled_from(sorted(set(int(r) for r in dirty.row_ids))),
+        min_size=2, max_size=6, unique=True))
+    batch = CleaningOracle(clean).clean(dirty, targets)
+    sequential = dirty
+    oracle = CleaningOracle(clean)
+    for target in reversed(targets):
+        sequential = oracle.clean(sequential, [target])
+    assert batch["label"].to_list() == sequential["label"].to_list()

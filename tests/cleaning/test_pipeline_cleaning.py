@@ -1,0 +1,105 @@
+"""Integration tests for iterative cleaning over a pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.cleaning import CleaningOracle, PipelineIterativeCleaner
+from repro.core.exceptions import ValidationError
+from repro.datasets import make_hiring_tables
+from repro.errors import inject_label_errors
+from repro.ml import (
+    ColumnTransformer,
+    LogisticRegression,
+    OneHotEncoder,
+    Pipeline,
+    SimpleImputer,
+    StandardScaler,
+)
+from repro.pipelines import DataPipeline, source
+from repro.text import SentenceEmbedder
+
+
+@pytest.fixture(scope="module")
+def setting():
+    letters, jobs, social = make_hiring_tables(240, seed=71)
+    train, valid = letters.split([0.75, 0.25], seed=72)
+    dirty, report = inject_label_errors(train, column="sentiment",
+                                        fraction=0.2, seed=73)
+    encoder = ColumnTransformer([
+        ("text", SentenceEmbedder(dim=24), "letter_text"),
+        ("num", Pipeline([("imp", SimpleImputer()),
+                          ("sc", StandardScaler())]),
+         ["years_experience", "employer_rating"]),
+        ("deg", OneHotEncoder(), "degree"),
+    ])
+    plan = (source("train_df")
+            .join(source("jobdetail_df"), on="job_id")
+            .drop(["person_id", "job_id", "sector", "seniority",
+                   "salary_band"])
+            .encode(encoder, label="sentiment"))
+    return {
+        "pipeline": DataPipeline(plan),
+        "sources": {"train_df": dirty, "jobdetail_df": jobs},
+        "clean_train": train,
+        "valid": valid,
+        "report": report,
+    }
+
+
+class TestPipelineIterativeCleaner:
+    def test_runs_and_tracks_trajectory(self, setting):
+        cleaner = PipelineIterativeCleaner(
+            setting["pipeline"], LogisticRegression(max_iter=80),
+            CleaningOracle(setting["clean_train"]),
+            dirty_source="train_df", valid_frame=setting["valid"],
+            batch=12, k=10)
+        result = cleaner.run(setting["sources"], n_rounds=2)
+        assert len(result.scores) == 3
+        assert len(result.cleaned_ids) == 24
+        assert result.final >= result.initial - 0.08
+
+    def test_cleaned_rows_are_never_repeated(self, setting):
+        cleaner = PipelineIterativeCleaner(
+            setting["pipeline"], LogisticRegression(max_iter=80),
+            CleaningOracle(setting["clean_train"]),
+            dirty_source="train_df", valid_frame=setting["valid"],
+            batch=8)
+        result = cleaner.run(setting["sources"], n_rounds=3)
+        assert len(set(result.cleaned_ids)) == len(result.cleaned_ids)
+
+    def test_sources_not_mutated(self, setting):
+        before = setting["sources"]["train_df"]["sentiment"].to_list()
+        cleaner = PipelineIterativeCleaner(
+            setting["pipeline"], LogisticRegression(max_iter=80),
+            CleaningOracle(setting["clean_train"]),
+            dirty_source="train_df", valid_frame=setting["valid"],
+            batch=5)
+        cleaner.run(setting["sources"], n_rounds=1)
+        assert setting["sources"]["train_df"]["sentiment"].to_list() == before
+
+    def test_cleaning_targets_injected_errors(self, setting):
+        cleaner = PipelineIterativeCleaner(
+            setting["pipeline"], LogisticRegression(max_iter=80),
+            CleaningOracle(setting["clean_train"]),
+            dirty_source="train_df", valid_frame=setting["valid"],
+            batch=18, k=10)
+        result = cleaner.run(setting["sources"], n_rounds=2)
+        flipped = setting["report"].row_ids()
+        hits = len(set(result.cleaned_ids) & flipped)
+        base_rate = len(flipped) / len(setting["clean_train"])
+        assert hits / len(result.cleaned_ids) > base_rate
+
+    def test_unknown_source_rejected(self, setting):
+        with pytest.raises(ValidationError):
+            PipelineIterativeCleaner(
+                setting["pipeline"], LogisticRegression(),
+                CleaningOracle(setting["clean_train"]),
+                dirty_source="nope", valid_frame=setting["valid"])
+
+    def test_invalid_rounds_rejected(self, setting):
+        cleaner = PipelineIterativeCleaner(
+            setting["pipeline"], LogisticRegression(),
+            CleaningOracle(setting["clean_train"]),
+            dirty_source="train_df", valid_frame=setting["valid"])
+        with pytest.raises(ValidationError):
+            cleaner.run(setting["sources"], n_rounds=0)

@@ -1,0 +1,40 @@
+"""Shared fixtures for the test suite."""
+
+import numpy as np
+import pytest
+
+from repro.dataframe import DataFrame
+from repro.datasets import make_blobs, make_hiring_tables
+
+
+@pytest.fixture(scope="session")
+def blobs():
+    """A well-separated binary classification problem."""
+    X, y = make_blobs(120, n_features=3, centers=2, cluster_std=1.0, seed=7)
+    return X, y
+
+
+@pytest.fixture(scope="session")
+def blobs_split(blobs):
+    X, y = blobs
+    return X[:80], y[:80], X[80:], y[80:]
+
+
+@pytest.fixture(scope="session")
+def hiring_tables():
+    return make_hiring_tables(150, n_jobs=20, seed=11)
+
+
+@pytest.fixture()
+def small_frame():
+    return DataFrame({
+        "a": [1, 2, 3, None, 5],
+        "b": ["x", "y", "x", "z", None],
+        "c": [1.5, 2.5, None, 4.5, 5.5],
+        "flag": [True, False, True, True, False],
+    })
+
+
+@pytest.fixture(scope="session")
+def rng():
+    return np.random.default_rng(0)

@@ -1,0 +1,33 @@
+"""Unit tests for the exception hierarchy contracts."""
+
+import pytest
+
+from repro.core.exceptions import (
+    BudgetExhaustedError,
+    DataError,
+    NotFittedError,
+    ReproError,
+    SchemaError,
+    ValidationError,
+)
+
+
+class TestHierarchy:
+    def test_all_derive_from_repro_error(self):
+        for exc in (ValidationError, SchemaError, DataError, NotFittedError,
+                    BudgetExhaustedError):
+            assert issubclass(exc, ReproError)
+
+    def test_validation_error_is_value_error(self):
+        """Callers using stdlib idioms still catch our errors."""
+        assert issubclass(ValidationError, ValueError)
+
+    def test_schema_error_is_key_error(self):
+        assert issubclass(SchemaError, KeyError)
+
+    def test_not_fitted_is_runtime_error(self):
+        assert issubclass(NotFittedError, RuntimeError)
+
+    def test_single_except_clause_catches_everything(self):
+        with pytest.raises(ReproError):
+            raise SchemaError("no such column")

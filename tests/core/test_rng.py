@@ -1,0 +1,44 @@
+"""Unit tests for RNG handling."""
+
+import numpy as np
+import pytest
+
+from repro.core import ensure_rng, spawn_rngs
+from repro.core.exceptions import ValidationError
+
+
+class TestEnsureRng:
+    def test_none_gives_fresh_generator(self):
+        assert isinstance(ensure_rng(None), np.random.Generator)
+
+    def test_int_seed_reproducible(self):
+        a = ensure_rng(42).integers(0, 100, 10)
+        b = ensure_rng(42).integers(0, 100, 10)
+        np.testing.assert_array_equal(a, b)
+
+    def test_generator_passed_through_shares_state(self):
+        rng = np.random.default_rng(0)
+        assert ensure_rng(rng) is rng
+
+    def test_invalid_seed_rejected(self):
+        with pytest.raises(ValidationError):
+            ensure_rng("not a seed")
+
+
+class TestSpawnRngs:
+    def test_spawn_count(self):
+        assert len(spawn_rngs(0, 5)) == 5
+
+    def test_streams_are_independent(self):
+        streams = spawn_rngs(7, 3)
+        draws = [s.integers(0, 10**9) for s in streams]
+        assert len(set(draws)) == 3
+
+    def test_spawn_reproducible(self):
+        a = [s.integers(0, 10**9) for s in spawn_rngs(9, 4)]
+        b = [s.integers(0, 10**9) for s in spawn_rngs(9, 4)]
+        assert a == b
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValidationError):
+            spawn_rngs(0, -1)

@@ -1,0 +1,74 @@
+"""Unit tests for the shared validation helpers."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    check_array,
+    check_consistent_length,
+    check_fraction,
+    check_positive_int,
+    check_X_y,
+)
+from repro.core.exceptions import ValidationError
+
+
+class TestCheckArray:
+    def test_coerces_lists(self):
+        arr = check_array([[1, 2], [3, 4]])
+        assert arr.dtype.kind == "f"
+        assert arr.shape == (2, 2)
+
+    def test_wrong_ndim_rejected(self):
+        with pytest.raises(ValidationError):
+            check_array([1.0, 2.0])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValidationError):
+            check_array(np.empty((0, 3)))
+
+    def test_nan_rejected_by_default(self):
+        with pytest.raises(ValidationError):
+            check_array([[np.nan]])
+
+    def test_nan_allowed_when_requested(self):
+        arr = check_array([[np.nan, 1.0]], allow_nan=True)
+        assert np.isnan(arr[0, 0])
+
+    def test_inf_always_rejected(self):
+        with pytest.raises(ValidationError):
+            check_array([[np.inf]], allow_nan=True)
+
+
+class TestCheckXy:
+    def test_lengths_must_match(self):
+        with pytest.raises(ValidationError):
+            check_X_y([[1.0], [2.0]], [0])
+
+    def test_y_must_be_1d(self):
+        with pytest.raises(ValidationError):
+            check_X_y([[1.0]], [[0]])
+
+
+class TestScalarChecks:
+    def test_consistent_length(self):
+        assert check_consistent_length([1, 2], np.array([3, 4]), None) == 2
+        with pytest.raises(ValidationError):
+            check_consistent_length([1], [1, 2])
+
+    def test_fraction_bounds(self):
+        assert check_fraction(0.5) == 0.5
+        assert check_fraction(0.0) == 0.0
+        with pytest.raises(ValidationError):
+            check_fraction(1.5)
+        with pytest.raises(ValidationError):
+            check_fraction(0.0, inclusive_low=False)
+
+    def test_positive_int(self):
+        assert check_positive_int(3) == 3
+        with pytest.raises(ValidationError):
+            check_positive_int(0)
+        with pytest.raises(ValidationError):
+            check_positive_int(2.5)
+        with pytest.raises(ValidationError):
+            check_positive_int(True)

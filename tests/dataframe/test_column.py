@@ -1,0 +1,162 @@
+"""Unit tests for the null-aware Column type."""
+
+import numpy as np
+import pytest
+
+from repro.core.exceptions import ValidationError
+from repro.dataframe import Column
+
+
+class TestConstruction:
+    def test_int_column_without_nulls_stays_integer(self):
+        col = Column([1, 2, 3])
+        assert col.dtype.kind == "i"
+        assert col.null_count() == 0
+
+    def test_int_column_with_null_promotes_to_float(self):
+        col = Column([1, None, 3])
+        assert col.dtype.kind == "f"
+        assert col.null_count() == 1
+        assert col.get(1) is None
+
+    def test_nan_is_treated_as_null(self):
+        col = Column([1.0, float("nan"), 3.0])
+        assert col.null_count() == 1
+
+    def test_string_column(self):
+        col = Column(["a", None, "c"])
+        assert col.null_count() == 1
+        assert col.get(0) == "a"
+        assert col.get(1) is None
+
+    def test_bool_column(self):
+        col = Column([True, False, True])
+        assert col.dtype.kind == "b"
+
+    def test_from_numpy_float_array(self):
+        col = Column(np.array([1.0, np.nan]))
+        assert col.null_count() == 1
+
+    def test_copy_constructor_is_deep(self):
+        original = Column([1, 2, 3])
+        copy = Column(original)
+        copy.values[0] = 99
+        assert original.get(0) == 1
+
+    def test_explicit_mask_merges_with_inferred(self):
+        col = Column([1.0, 2.0, 3.0], mask=[True, False, False])
+        assert col.null_count() == 1
+        assert col.get(0) is None
+
+    def test_mask_shape_mismatch_rejected(self):
+        with pytest.raises(ValidationError):
+            Column([1, 2, 3], mask=[True, False])
+
+    def test_scalar_input_rejected(self):
+        with pytest.raises(ValidationError):
+            Column(5)
+
+
+class TestComparison:
+    def test_equality_with_scalar(self):
+        col = Column([1, 2, 1, None])
+        np.testing.assert_array_equal(col == 1, [True, False, True, False])
+
+    def test_null_never_equals_anything(self):
+        col = Column([None, None])
+        assert not (col == None).any()  # noqa: E711 - elementwise semantics
+
+    def test_inequality(self):
+        col = Column([1, 2, None])
+        np.testing.assert_array_equal(col != 1, [False, True, False])
+
+    def test_ordering_comparisons_skip_nulls(self):
+        col = Column([1.0, 5.0, None])
+        np.testing.assert_array_equal(col > 2, [False, True, False])
+        np.testing.assert_array_equal(col <= 1, [True, False, False])
+
+    def test_column_vs_column(self):
+        a = Column([1, 2, 3])
+        b = Column([1, 0, 3])
+        np.testing.assert_array_equal(a == b, [True, False, True])
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValidationError):
+            Column([1, 2]) == Column([1, 2, 3])
+
+    def test_columns_unhashable(self):
+        with pytest.raises(TypeError):
+            hash(Column([1]))
+
+
+class TestTransforms:
+    def test_take_preserves_nulls(self):
+        col = Column([1, None, 3]).take([2, 1])
+        assert col.to_list() == [3, None]
+
+    def test_take_with_boolean_mask(self):
+        col = Column([1, 2, 3]).take(np.array([True, False, True]))
+        assert col.to_list() == [1, 3]
+
+    def test_fill_null_numeric(self):
+        col = Column([1.0, None]).fill_null(0.0)
+        assert col.to_list() == [1.0, 0.0]
+        assert col.null_count() == 0
+
+    def test_fill_null_string(self):
+        col = Column(["a", None]).fill_null("missing")
+        assert col.to_list() == ["a", "missing"]
+
+    def test_map_skips_nulls_by_default(self):
+        col = Column([1, None, 3]).map(lambda v: v * 10)
+        assert col.to_list() == [10, None, 30]
+
+    def test_map_can_observe_nulls(self):
+        col = Column([1, None]).map(lambda v: -1 if v is None else v,
+                                    skip_null=False)
+        assert col.to_list() == [1, -1]
+
+    def test_cast_string_to_float(self):
+        col = Column(["1.5", "2.5", None]).cast(float)
+        assert col.to_list() == [1.5, 2.5, None]
+
+    def test_cast_int_to_float_preserves_mask(self):
+        col = Column([1, None]).cast(float)
+        assert col.null_count() == 1
+
+    def test_to_numpy_float_nulls_become_nan(self):
+        arr = Column([1.0, None]).to_numpy()
+        assert np.isnan(arr[1])
+
+    def test_to_numpy_object_requires_null_value(self):
+        with pytest.raises(ValidationError):
+            Column(["a", None]).to_numpy()
+
+    def test_to_numpy_with_none_null_value(self):
+        arr = Column(["a", None]).to_numpy(null_value=None)
+        assert arr[1] is None
+
+
+class TestReductions:
+    def test_mean_skips_nulls(self):
+        assert Column([1.0, None, 3.0]).mean() == 2.0
+
+    def test_mean_of_all_null_is_none(self):
+        assert Column([None, None]).mean() is None
+
+    def test_min_max(self):
+        col = Column([3, 1, None, 5])
+        assert col.min() == 1
+        assert col.max() == 5
+
+    def test_mode_breaks_ties_by_first_occurrence(self):
+        assert Column(["b", "a", "b", "a"]).mode() == "b"
+
+    def test_unique_sorted(self):
+        assert Column([3, 1, 3, None]).unique() == [1, 3]
+
+    def test_value_counts(self):
+        assert Column(["x", "y", "x", None]).value_counts() == {"x": 2, "y": 1}
+
+    def test_std(self):
+        assert Column([2.0, 2.0, 2.0]).std() == 0.0

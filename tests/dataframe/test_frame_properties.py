@@ -1,0 +1,75 @@
+"""Property-based tests for the dataframe engine (hypothesis)."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dataframe import Column, DataFrame, concat_rows
+
+values = st.one_of(st.none(), st.integers(-100, 100),
+                   st.floats(-1e6, 1e6, allow_nan=False), st.text(max_size=8))
+value_lists = st.lists(values, min_size=1, max_size=30)
+
+
+@given(value_lists)
+def test_column_to_list_roundtrip(items):
+    """Column(list).to_list() preserves values (ints may become floats
+    when nulls force promotion, so compare numerically)."""
+    col = Column(items)
+    out = col.to_list()
+    assert len(out) == len(items)
+    for original, restored in zip(items, out):
+        if original is None:
+            assert restored is None
+        elif isinstance(original, (int, float)):
+            assert restored == original
+        else:
+            assert restored == original
+
+
+@given(value_lists, st.data())
+def test_take_matches_python_indexing(items, data):
+    col = Column(items)
+    indices = data.draw(st.lists(
+        st.integers(0, len(items) - 1), max_size=10))
+    taken = col.take(np.array(indices, dtype=int)) if indices else \
+        col.take(np.array([], dtype=int))
+    expected = [col.get(i) for i in indices]
+    assert taken.to_list() == expected
+
+
+@given(st.lists(st.integers(-5, 5), min_size=1, max_size=20),
+       st.lists(st.integers(-5, 5), min_size=1, max_size=20))
+@settings(max_examples=30)
+def test_inner_join_cardinality_is_key_product(left_keys, right_keys):
+    """|A join B| = sum over keys of count_A(k) * count_B(k)."""
+    left = DataFrame({"k": left_keys})
+    right = DataFrame({"k": right_keys})
+    joined = left.join(right, on="k")
+    expected = sum(
+        left_keys.count(k) * right_keys.count(k) for k in set(left_keys)
+    )
+    assert len(joined) == expected
+
+
+@given(st.lists(st.integers(0, 50), min_size=1, max_size=40))
+@settings(max_examples=30)
+def test_filter_then_concat_partition_is_identity(items):
+    """Splitting by a predicate and concatenating reconstructs the multiset
+    of rows (by row id)."""
+    frame = DataFrame({"x": items})
+    mask = np.array([v % 2 == 0 for v in items])
+    evens = frame.take(mask)
+    odds = frame.take(~mask)
+    rebuilt = concat_rows([evens, odds])
+    assert sorted(rebuilt.row_ids.tolist()) == sorted(frame.row_ids.tolist())
+    assert sorted(rebuilt["x"].to_list()) == sorted(items)
+
+
+@given(st.lists(st.floats(-100, 100, allow_nan=False), min_size=2, max_size=30))
+@settings(max_examples=30)
+def test_sort_by_is_monotone(items):
+    frame = DataFrame({"x": items})
+    result = frame.sort_by("x")
+    values_sorted = result["x"].to_list()
+    assert all(a <= b for a, b in zip(values_sorted, values_sorted[1:]))

@@ -1,0 +1,42 @@
+"""Property-based tests for group-by aggregation invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dataframe import DataFrame
+
+
+@st.composite
+def grouped_data(draw):
+    n = draw(st.integers(1, 50))
+    keys = draw(st.lists(st.sampled_from(["a", "b", "c", "d"]),
+                         min_size=n, max_size=n))
+    values = draw(st.lists(st.floats(-100, 100, allow_nan=False),
+                           min_size=n, max_size=n))
+    return DataFrame({"key": keys, "value": values})
+
+
+@given(grouped_data())
+@settings(max_examples=40)
+def test_group_counts_partition_the_frame(frame):
+    sizes = frame.group_by("key").sizes()
+    assert sum(sizes.values()) == len(frame)
+
+
+@given(grouped_data())
+@settings(max_examples=40)
+def test_group_sums_add_to_total(frame):
+    result = frame.group_by("key").agg(total=("value", "sum"))
+    grand_total = sum(r["total"] for r in result.to_records())
+    assert grand_total == np.float64(frame["value"].sum()).item() or \
+        abs(grand_total - frame["value"].sum()) < 1e-6
+
+
+@given(grouped_data())
+@settings(max_examples=40)
+def test_group_min_max_bound_group_means(frame):
+    result = frame.group_by("key").agg(
+        lo=("value", "min"), hi=("value", "max"), avg=("value", "mean"))
+    for row in result.to_records():
+        assert row["lo"] - 1e-9 <= row["avg"] <= row["hi"] + 1e-9

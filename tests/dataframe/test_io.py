@@ -1,0 +1,34 @@
+"""CSV round-trip tests."""
+
+from repro.dataframe import DataFrame, read_csv, write_csv
+
+
+class TestCsvRoundtrip:
+    def test_roundtrip_types_and_nulls(self, tmp_path):
+        original = DataFrame({
+            "name": ["ann", "bob", None],
+            "age": [30, None, 40],
+            "score": [1.5, 2.5, 3.5],
+            "active": [True, False, True],
+        })
+        path = tmp_path / "data.csv"
+        write_csv(original, path)
+        loaded = read_csv(path)
+        assert loaded.columns == original.columns
+        assert loaded["name"].to_list() == ["ann", "bob", None]
+        assert loaded["age"].to_list() == [30, None, 40]
+        assert loaded["score"].to_list() == [1.5, 2.5, 3.5]
+        assert loaded["active"].to_list() == [True, False, True]
+
+    def test_quoted_commas_survive(self, tmp_path):
+        original = DataFrame({"text": ['hello, world', 'a "quote"']})
+        path = tmp_path / "q.csv"
+        write_csv(original, path)
+        loaded = read_csv(path)
+        assert loaded["text"].to_list() == ['hello, world', 'a "quote"']
+
+    def test_numeric_looking_strings_parse_as_numbers(self, tmp_path):
+        path = tmp_path / "n.csv"
+        path.write_text("v\n42\n4.5\nhello\n")
+        loaded = read_csv(path)
+        assert loaded["v"].to_list() == [42, 4.5, "hello"]

@@ -1,0 +1,42 @@
+"""Unit tests for the Figure-1 cancer registry generator."""
+
+from repro.datasets import make_cancer_registry
+
+
+class TestCancerRegistry:
+    def test_schema(self):
+        df, log = make_cancer_registry(100, seed=0)
+        assert set(df.columns) == {"diagnosis", "race", "sex", "age",
+                                   "survived"}
+
+    def test_error_log_covers_all_error_kinds(self):
+        _, log = make_cancer_registry(300, error_fraction=0.1, seed=1)
+        kinds = {kind for _, _, kind in log}
+        assert {"missing", "wrong_code", "invalid_age"} <= kinds
+
+    def test_missing_errors_are_actually_null(self):
+        df, log = make_cancer_registry(200, seed=2)
+        for row_id, column, kind in log:
+            if kind == "missing":
+                position = int(df.positions_of([row_id])[0])
+                assert df[column].get(position) is None
+
+    def test_invalid_ages_are_negative(self):
+        df, log = make_cancer_registry(200, seed=3)
+        for row_id, column, kind in log:
+            if kind == "invalid_age":
+                position = int(df.positions_of([row_id])[0])
+                assert df["age"].get(position) < 0
+
+    def test_wrong_codes_outside_valid_set(self):
+        df, log = make_cancer_registry(200, seed=4)
+        valid = {"SKCM", "BRCA", "CRC", "LUAD"}
+        for row_id, column, kind in log:
+            if kind == "wrong_code":
+                position = int(df.positions_of([row_id])[0])
+                assert df["diagnosis"].get(position) not in valid
+
+    def test_race_coverage_is_biased(self):
+        df, _ = make_cancer_registry(500, seed=5)
+        counts = df["race"].value_counts()
+        assert counts.get("black", 0) < counts.get("white", 0) * 0.2

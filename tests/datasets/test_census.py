@@ -1,0 +1,33 @@
+"""Unit tests for the census-like fairness dataset."""
+
+import numpy as np
+
+from repro.datasets import make_census
+
+
+class TestMakeCensus:
+    def test_schema_and_size(self):
+        df, biased = make_census(200, seed=0)
+        assert set(df.columns) == {"age", "education_years", "hours_per_week",
+                                   "group", "income"}
+        assert len(df) == 200
+
+    def test_biased_rows_are_negative_group_b(self):
+        df, biased = make_census(300, bias_fraction=0.3, seed=1)
+        positions = df.positions_of(biased)
+        for p in positions:
+            row = df.row(int(p))
+            assert row["group"] == "groupB"
+            assert row["income"] == 0  # flipped from 1 to 0
+
+    def test_zero_bias_fraction_flips_nothing(self):
+        _, biased = make_census(100, bias_fraction=0.0, seed=2)
+        assert len(biased) == 0
+
+    def test_bias_creates_group_gap(self):
+        df, _ = make_census(600, bias_fraction=0.5, seed=3)
+        group = np.array(df["group"].to_list())
+        income = np.array(df["income"].to_list())
+        rate_a = income[group == "groupA"].mean()
+        rate_b = income[group == "groupB"].mean()
+        assert rate_a - rate_b > 0.1

@@ -1,0 +1,75 @@
+"""Unit tests for the hiring scenario generators."""
+
+import numpy as np
+
+import repro as nde
+from repro.datasets import make_hiring_tables
+
+
+class TestHiringTables:
+    def test_schema(self, hiring_tables):
+        letters, jobs, social = hiring_tables
+        assert set(letters.columns) == {
+            "person_id", "job_id", "letter_text", "sentiment",
+            "years_experience", "employer_rating", "degree",
+        }
+        assert set(jobs.columns) == {"job_id", "sector", "seniority",
+                                     "salary_band"}
+        assert set(social.columns) == {"person_id", "twitter", "followers",
+                                       "linkedin_connections"}
+
+    def test_keys_join_completely(self, hiring_tables):
+        letters, jobs, social = hiring_tables
+        joined = letters.join(jobs, on="job_id").join(social, on="person_id")
+        assert len(joined) == len(letters)
+
+    def test_sentiment_binary(self, hiring_tables):
+        letters, _, _ = hiring_tables
+        assert set(letters["sentiment"].unique()) == {"negative", "positive"}
+
+    def test_letters_carry_sentiment_signal(self, hiring_tables):
+        """Positive letters must share more vocabulary with the positive
+        phrase pool than negative letters do."""
+        letters, _, _ = hiring_tables
+        positive_words = {"exceeded", "outstanding", "exceptional", "brilliant"}
+        def hits(text):
+            return sum(1 for w in positive_words if w in text)
+        pos_rows = letters.filter(np.asarray(letters["sentiment"] == "positive"))
+        neg_rows = letters.filter(np.asarray(letters["sentiment"] == "negative"))
+        pos_hits = np.mean([hits(t) for t in pos_rows["letter_text"].to_list()])
+        neg_hits = np.mean([hits(t) for t in neg_rows["letter_text"].to_list()])
+        assert pos_hits > neg_hits
+
+    def test_rating_correlates_with_sentiment(self, hiring_tables):
+        letters, _, _ = hiring_tables
+        pos = letters.filter(np.asarray(letters["sentiment"] == "positive"))
+        neg = letters.filter(np.asarray(letters["sentiment"] == "negative"))
+        assert pos["employer_rating"].mean() > neg["employer_rating"].mean()
+
+    def test_degree_has_some_nulls(self, hiring_tables):
+        letters, _, _ = hiring_tables
+        assert letters["degree"].null_count() > 0
+
+    def test_seed_reproducible(self):
+        a, _, _ = make_hiring_tables(50, seed=9)
+        b, _, _ = make_hiring_tables(50, seed=9)
+        assert a["letter_text"].to_list() == b["letter_text"].to_list()
+
+
+class TestLoaders:
+    def test_load_recommendation_letters_splits(self):
+        train, valid, test = nde.load_recommendation_letters(100, seed=1)
+        assert len(train) + len(valid) + len(test) == 100
+        ids = set(train.row_ids) | set(valid.row_ids) | set(test.row_ids)
+        assert len(ids) == 100
+
+    def test_sidedata_matches_letters(self):
+        train, valid, test = nde.load_recommendation_letters(80, seed=2)
+        jobs, social = nde.load_sidedata(80, seed=2)
+        joined = train.join(social, on="person_id")
+        assert len(joined) == len(train)
+
+    def test_model_learns_the_task(self):
+        train, valid, _ = nde.load_recommendation_letters(300, seed=0)
+        accuracy = nde.evaluate_model(train, validation=valid)
+        assert accuracy >= 0.7  # well above the 0.5 chance level

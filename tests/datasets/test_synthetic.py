@@ -1,0 +1,52 @@
+"""Unit tests for toy distributions."""
+
+import numpy as np
+import pytest
+
+from repro.core.exceptions import ValidationError
+from repro.datasets import make_blobs, make_linear_separable, make_moons
+from repro.ml import KNeighborsClassifier, LogisticRegression
+
+
+class TestMakeBlobs:
+    def test_shapes_and_balance(self):
+        X, y = make_blobs(101, n_features=4, centers=2, seed=0)
+        assert X.shape == (101, 4)
+        counts = np.bincount(y)
+        assert abs(counts[0] - counts[1]) <= 1
+
+    def test_seed_reproducible(self):
+        a = make_blobs(50, seed=3)
+        b = make_blobs(50, seed=3)
+        np.testing.assert_array_equal(a[0], b[0])
+
+    def test_learnable(self):
+        X, y = make_blobs(200, centers=2, cluster_std=0.8, seed=1)
+        assert KNeighborsClassifier(5).fit(X, y).score(X, y) >= 0.95
+
+    def test_too_few_samples_rejected(self):
+        with pytest.raises(ValidationError):
+            make_blobs(2, centers=3)
+
+
+class TestMakeMoons:
+    def test_shapes(self):
+        X, y = make_moons(80, seed=0)
+        assert X.shape == (80, 2)
+        assert set(y) == {0, 1}
+
+    def test_not_linearly_separable_but_knn_learnable(self):
+        X, y = make_moons(400, noise=0.05, seed=2)
+        linear = LogisticRegression().fit(X[:300], y[:300])
+        knn = KNeighborsClassifier(5).fit(X[:300], y[:300])
+        assert knn.score(X[300:], y[300:]) > linear.score(X[300:], y[300:])
+
+
+class TestLinearSeparable:
+    def test_true_hyperplane_separates(self):
+        X, y, w = make_linear_separable(100, n_features=3, seed=4)
+        assert np.all((X @ w > 0) == (y == 1))
+
+    def test_margin_respected(self):
+        X, y, w = make_linear_separable(50, margin=1.0, seed=5)
+        assert np.min(np.abs(X @ w)) >= 1.0

@@ -1,0 +1,88 @@
+"""Unit tests for rule-based error detectors."""
+
+import numpy as np
+import pytest
+
+from repro.core.exceptions import ValidationError
+from repro.dataframe import DataFrame
+from repro.datasets import make_cancer_registry
+from repro.errors.detectors import (
+    detect_duplicates,
+    detect_inconsistent_strings,
+    detect_invalid_categories,
+    detect_missing,
+    detect_out_of_range,
+    detect_outliers_zscore,
+)
+
+
+@pytest.fixture()
+def frame():
+    return DataFrame({
+        "age": [30.0, -1.0, 45.0, 200.0, None],
+        "city": ["berlin", "Berlin", " tokyo", "tokyo", "boston"],
+        "code": ["A", "B", "ZZZ", "A", "B"],
+    })
+
+
+class TestDetectors:
+    def test_detect_missing(self, frame):
+        assert detect_missing(frame, ["age"]) == {int(frame.row_ids[4])}
+
+    def test_detect_out_of_range(self, frame):
+        suspicious = detect_out_of_range(frame, column="age", low=0,
+                                         high=120)
+        assert suspicious == {int(frame.row_ids[1]), int(frame.row_ids[3])}
+
+    def test_out_of_range_needs_a_bound(self, frame):
+        with pytest.raises(ValidationError):
+            detect_out_of_range(frame, column="age")
+
+    def test_detect_invalid_categories(self, frame):
+        suspicious = detect_invalid_categories(frame, column="code",
+                                               domain={"A", "B"})
+        assert suspicious == {int(frame.row_ids[2])}
+
+    def test_detect_outliers_zscore(self):
+        values = [10.0] * 20 + [10.5] * 20 + [1000.0]
+        frame = DataFrame({"v": values})
+        suspicious = detect_outliers_zscore(frame, column="v", threshold=4.0)
+        assert suspicious == {int(frame.row_ids[-1])}
+
+    def test_outlier_threshold_validated(self, frame):
+        with pytest.raises(ValidationError):
+            detect_outliers_zscore(frame, column="age", threshold=0.0)
+
+    def test_detect_duplicates_flags_all_copies(self):
+        frame = DataFrame({"a": [1, 2, 1, 3], "b": ["x", "y", "x", "z"]})
+        suspicious = detect_duplicates(frame)
+        assert suspicious == {int(frame.row_ids[0]), int(frame.row_ids[2])}
+
+    def test_detect_inconsistent_strings(self, frame):
+        suspicious = detect_inconsistent_strings(frame, column="city")
+        expected = {int(frame.row_ids[i]) for i in (0, 1, 2, 3)}
+        assert suspicious == expected
+
+    def test_inconsistent_strings_numeric_rejected(self, frame):
+        with pytest.raises(ValidationError):
+            detect_inconsistent_strings(frame, column="age")
+
+
+class TestDetectorsOnCancerRegistry:
+    """The Figure-1 scenario: rule detectors find the seeded error types."""
+
+    def test_detectors_recover_seeded_errors(self):
+        df, log = make_cancer_registry(300, error_fraction=0.1, seed=7)
+        truth = {
+            "missing": {rid for rid, _, kind in log if kind == "missing"},
+            "invalid_age": {rid for rid, _, kind in log
+                            if kind == "invalid_age"},
+            "wrong_code": {rid for rid, _, kind in log
+                           if kind == "wrong_code"},
+        }
+        assert detect_missing(df, ["sex"]) == truth["missing"]
+        assert detect_out_of_range(df, column="age", low=0) == \
+            truth["invalid_age"]
+        found_codes = detect_invalid_categories(
+            df, column="diagnosis", domain={"SKCM", "BRCA", "CRC", "LUAD"})
+        assert found_codes == truth["wrong_code"]

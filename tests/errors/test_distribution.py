@@ -1,0 +1,102 @@
+"""Unit tests for distribution-level injectors."""
+
+import numpy as np
+import pytest
+
+from repro.core.exceptions import ValidationError
+from repro.dataframe import DataFrame
+from repro.errors import (
+    inject_duplicates,
+    inject_inconsistencies,
+    inject_out_of_distribution,
+    inject_selection_bias,
+)
+
+
+@pytest.fixture()
+def frame():
+    rng = np.random.default_rng(8)
+    return DataFrame({
+        "value": rng.normal(0, 1, 60),
+        "group": (["a"] * 30 + ["b"] * 30),
+        "city": ["new york", "berlin", "tokyo"] * 20,
+    })
+
+
+class TestOutOfDistribution:
+    def test_appends_rows(self, frame):
+        dirty, report = inject_out_of_distribution(
+            frame, numeric_columns=["value"], fraction=0.1, seed=0)
+        assert len(dirty) == 66
+        assert len(report.row_ids()) == 6
+
+    def test_new_rows_are_far_out(self, frame):
+        dirty, report = inject_out_of_distribution(
+            frame, numeric_columns=["value"], fraction=0.1, shift=8.0, seed=1)
+        ood_positions = dirty.positions_of(sorted(report.row_ids()))
+        original = frame["value"].cast(float).to_numpy()
+        for p in ood_positions:
+            assert abs(dirty["value"].get(int(p))) > \
+                abs(original).max()
+
+    def test_zero_fraction_is_noop(self, frame):
+        dirty, report = inject_out_of_distribution(
+            frame, numeric_columns=["value"], fraction=0.0)
+        assert len(dirty) == len(frame)
+        assert len(report) == 0
+
+
+class TestSelectionBias:
+    def test_drops_only_disfavored_group(self, frame):
+        biased, dropped = inject_selection_bias(
+            frame, column="group", disfavored_value="b",
+            drop_fraction=0.5, seed=0)
+        assert len(dropped) == 15
+        counts = biased["group"].value_counts()
+        assert counts["a"] == 30
+        assert counts["b"] == 15
+
+    def test_unknown_value_rejected(self, frame):
+        with pytest.raises(ValidationError):
+            inject_selection_bias(frame, column="group",
+                                  disfavored_value="zzz")
+
+
+class TestDuplicates:
+    def test_appends_copies_with_fresh_ids(self, frame):
+        dirty, report = inject_duplicates(frame, fraction=0.1, seed=0)
+        assert len(dirty) == 66
+        duplicate_ids = report.row_ids()
+        assert duplicate_ids.isdisjoint(set(frame.row_ids.tolist()))
+
+    def test_duplicates_match_their_source(self, frame):
+        dirty, report = inject_duplicates(frame, fraction=0.1, seed=1)
+        for error in report.errors:
+            dup_pos = int(dirty.positions_of([error.row_id])[0])
+            src_pos = int(frame.positions_of([error.original])[0])
+            assert dirty.row(dup_pos) == frame.row(src_pos)
+
+
+class TestInconsistencies:
+    def test_mangled_strings_normalize_back(self, frame):
+        dirty, report = inject_inconsistencies(frame, column="city",
+                                               fraction=0.3, seed=0)
+        assert len(report) == 18
+        for error in report.errors:
+            assert error.corrupted != error.original
+            assert " ".join(str(error.corrupted).lower().split()) == \
+                " ".join(str(error.original).lower().split())
+
+    def test_numeric_column_rejected(self, frame):
+        with pytest.raises(ValidationError):
+            inject_inconsistencies(frame, column="value")
+
+    def test_fuzzy_join_recovers_from_inconsistencies(self, frame):
+        dirty, _ = inject_inconsistencies(frame, column="city",
+                                          fraction=0.5, seed=1)
+        lookup = DataFrame({"city": ["new york", "berlin", "tokyo"],
+                            "country": ["us", "de", "jp"]})
+        exact = dirty.join(lookup, on="city")
+        fuzzy = dirty.fuzzy_join(lookup, on="city")
+        assert len(fuzzy) == len(frame)
+        assert len(exact) < len(frame)

@@ -1,0 +1,68 @@
+"""Property-based tests for error-injection invariants (hypothesis)."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dataframe import DataFrame
+from repro.errors import inject_label_errors, inject_missing, inject_missing_array
+
+
+@st.composite
+def labelled_frame(draw):
+    n = draw(st.integers(10, 60))
+    seed = draw(st.integers(0, 10**6))
+    rng = np.random.default_rng(seed)
+    labels = [str(v) for v in rng.integers(0, 3, n)]
+    # Guarantee at least two classes.
+    labels[0], labels[1] = "0", "1"
+    return DataFrame({
+        "label": labels,
+        "value": rng.normal(0, 1, n),
+    })
+
+
+@given(labelled_frame(), st.floats(0.05, 0.6), st.integers(0, 1000))
+@settings(max_examples=40, deadline=None)
+def test_label_injection_count_and_locations(frame, fraction, seed):
+    dirty, report = inject_label_errors(frame, column="label",
+                                        fraction=fraction, seed=seed)
+    expected = int(round(fraction * len(frame)))
+    assert len(report) == expected
+    # Every reported cell really differs; every unreported cell matches.
+    touched = report.row_ids()
+    for i in range(len(frame)):
+        rid = int(frame.row_ids[i])
+        if rid in touched:
+            assert dirty["label"].get(i) != frame["label"].get(i)
+        else:
+            assert dirty["label"].get(i) == frame["label"].get(i)
+
+
+@given(labelled_frame(), st.floats(0.05, 0.5), st.integers(0, 1000),
+       st.sampled_from(["MCAR", "MNAR"]))
+@settings(max_examples=40, deadline=None)
+def test_missing_injection_erases_exact_fraction(frame, fraction, seed,
+                                                 mechanism):
+    dirty, report = inject_missing(frame, column="value", fraction=fraction,
+                                   mechanism=mechanism, seed=seed)
+    expected = int(round(fraction * len(frame)))
+    assert dirty["value"].null_count() == expected
+    assert len(report) == expected
+    # Originals recorded in the report reconstruct the clean column.
+    originals = report.originals_for("value")
+    for rid, value in originals.items():
+        position = int(frame.positions_of([rid])[0])
+        assert frame["value"].get(position) == value
+
+
+@given(st.integers(10, 50), st.integers(1, 4), st.floats(0.05, 0.5),
+       st.integers(0, 1000))
+@settings(max_examples=40, deadline=None)
+def test_missing_array_mask_is_truthful(n, d, fraction, seed):
+    rng = np.random.default_rng(seed)
+    X = rng.normal(0, 1, (n, d))
+    X_dirty, mask = inject_missing_array(X, fraction=fraction, seed=seed)
+    np.testing.assert_array_equal(np.isnan(X_dirty), mask)
+    # Untouched cells are bit-identical.
+    np.testing.assert_array_equal(X_dirty[~mask], X[~mask])

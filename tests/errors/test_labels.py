@@ -1,0 +1,69 @@
+"""Unit tests for label-error injection."""
+
+import numpy as np
+import pytest
+
+from repro.core.exceptions import ValidationError
+from repro.dataframe import DataFrame
+from repro.errors import inject_label_errors, inject_label_errors_array
+
+
+@pytest.fixture()
+def frame():
+    return DataFrame({"label": ["a"] * 10 + ["b"] * 10, "x": list(range(20))})
+
+
+class TestInjectLabelErrors:
+    def test_fraction_of_rows_flipped(self, frame):
+        dirty, report = inject_label_errors(frame, column="label",
+                                            fraction=0.2, seed=0)
+        assert len(report) == 4
+        # flipped cells actually differ
+        for error in report.errors:
+            position = int(dirty.positions_of([error.row_id])[0])
+            assert dirty["label"].get(position) == error.corrupted
+            assert error.corrupted != error.original
+
+    def test_original_frame_untouched(self, frame):
+        inject_label_errors(frame, column="label", fraction=0.5, seed=1)
+        assert frame["label"].to_list() == ["a"] * 10 + ["b"] * 10
+
+    def test_flips_always_change_class(self, frame):
+        dirty, report = inject_label_errors(frame, column="label",
+                                            fraction=1.0, seed=2)
+        assert all(e.original != e.corrupted for e in report.errors)
+
+    def test_class_conditional_only_touches_target_class(self, frame):
+        dirty, report = inject_label_errors(
+            frame, column="label", class_conditional={"a": 0.5}, seed=3)
+        assert len(report) == 5
+        assert all(e.original == "a" for e in report.errors)
+
+    def test_seed_reproducible(self, frame):
+        _, r1 = inject_label_errors(frame, column="label", fraction=0.3, seed=7)
+        _, r2 = inject_label_errors(frame, column="label", fraction=0.3, seed=7)
+        assert r1.row_ids() == r2.row_ids()
+
+    def test_single_class_rejected(self):
+        frame = DataFrame({"label": ["a", "a"]})
+        with pytest.raises(ValidationError):
+            inject_label_errors(frame, column="label", fraction=0.5)
+
+    def test_invalid_fraction_rejected(self, frame):
+        with pytest.raises(ValidationError):
+            inject_label_errors(frame, column="label", fraction=1.5)
+
+
+class TestArrayVariant:
+    def test_returns_sorted_indices(self):
+        y = np.array([0, 1] * 20)
+        y_dirty, flipped = inject_label_errors_array(y, fraction=0.25, seed=0)
+        assert len(flipped) == 10
+        assert np.all(np.diff(flipped) > 0)
+        assert np.all(y_dirty[flipped] != y[flipped])
+
+    def test_untouched_elsewhere(self):
+        y = np.array([0, 1, 2] * 10)
+        y_dirty, flipped = inject_label_errors_array(y, fraction=0.1, seed=1)
+        untouched = np.setdiff1d(np.arange(len(y)), flipped)
+        np.testing.assert_array_equal(y_dirty[untouched], y[untouched])

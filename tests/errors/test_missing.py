@@ -1,0 +1,91 @@
+"""Unit tests for missing-value injection mechanisms."""
+
+import numpy as np
+import pytest
+
+from repro.core.exceptions import ValidationError
+from repro.dataframe import DataFrame
+from repro.errors import inject_missing, inject_missing_array
+
+
+@pytest.fixture()
+def frame():
+    rng = np.random.default_rng(0)
+    return DataFrame({
+        "value": rng.normal(0, 1, 100),
+        "driver": rng.normal(0, 1, 100),
+        "name": [f"r{i}" for i in range(100)],
+    })
+
+
+class TestInjectMissing:
+    def test_mcar_erases_exact_fraction(self, frame):
+        dirty, report = inject_missing(frame, column="value", fraction=0.2,
+                                       seed=0)
+        assert dirty["value"].null_count() == 20
+        assert len(report) == 20
+        assert all(e.kind == "missing_MCAR" for e in report.errors)
+
+    def test_report_keeps_originals(self, frame):
+        dirty, report = inject_missing(frame, column="value", fraction=0.1,
+                                       seed=1)
+        originals = report.originals_for("value")
+        for row_id, value in originals.items():
+            position = int(frame.positions_of([row_id])[0])
+            assert frame["value"].get(position) == value
+
+    def test_mnar_prefers_large_values(self, frame):
+        dirty, report = inject_missing(frame, column="value", fraction=0.3,
+                                       mechanism="MNAR", seed=2)
+        erased = [e.original for e in report.errors]
+        kept = [v for v in dirty["value"].to_list() if v is not None]
+        assert np.mean(erased) > np.mean(kept)
+
+    def test_mar_follows_conditioning_column(self, frame):
+        dirty, report = inject_missing(
+            frame, column="value", fraction=0.3, mechanism="MAR",
+            conditioning_column="driver", seed=3)
+        erased_ids = report.row_ids()
+        positions = frame.positions_of(sorted(erased_ids))
+        drivers_erased = [frame["driver"].get(int(p)) for p in positions]
+        assert np.mean(drivers_erased) > frame["driver"].mean()
+
+    def test_mar_without_conditioning_rejected(self, frame):
+        with pytest.raises(ValidationError):
+            inject_missing(frame, column="value", mechanism="MAR")
+
+    def test_mnar_on_string_column_rejected(self, frame):
+        with pytest.raises(ValidationError):
+            inject_missing(frame, column="name", mechanism="MNAR")
+
+    def test_unknown_mechanism_rejected(self, frame):
+        with pytest.raises(ValidationError):
+            inject_missing(frame, column="value", mechanism="WILD")
+
+    def test_mcar_works_on_string_columns(self, frame):
+        dirty, report = inject_missing(frame, column="name", fraction=0.1,
+                                       seed=4)
+        assert dirty["name"].null_count() == 10
+
+
+class TestArrayVariant:
+    def test_mask_matches_nans(self):
+        X = np.random.default_rng(1).normal(0, 1, (50, 3))
+        X_dirty, mask = inject_missing_array(X, fraction=0.2, seed=0)
+        np.testing.assert_array_equal(np.isnan(X_dirty), mask)
+
+    def test_column_restriction(self):
+        X = np.random.default_rng(2).normal(0, 1, (50, 3))
+        X_dirty, mask = inject_missing_array(X, fraction=0.3, columns=[1],
+                                             seed=1)
+        assert not np.isnan(X_dirty[:, 0]).any()
+        assert np.isnan(X_dirty[:, 1]).sum() == 15
+        assert not np.isnan(X_dirty[:, 2]).any()
+
+    def test_mnar_array(self):
+        X = np.random.default_rng(3).normal(0, 1, (100, 1))
+        X_dirty, mask = inject_missing_array(X, fraction=0.3,
+                                             mechanism="MNAR", seed=2)
+        erased = X[mask]
+        kept = X_dirty[~np.isnan(X_dirty)]
+        assert erased.mean() > kept.mean()

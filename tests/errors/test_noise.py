@@ -1,0 +1,67 @@
+"""Unit tests for feature-noise injectors."""
+
+import numpy as np
+import pytest
+
+from repro.core.exceptions import ValidationError
+from repro.dataframe import DataFrame
+from repro.errors import inject_feature_noise, inject_outliers, inject_scaling_errors
+
+
+@pytest.fixture()
+def frame():
+    rng = np.random.default_rng(5)
+    return DataFrame({"value": rng.normal(10, 2, 100),
+                      "name": [f"r{i}" for i in range(100)]})
+
+
+class TestFeatureNoise:
+    def test_touches_exact_fraction(self, frame):
+        dirty, report = inject_feature_noise(frame, column="value",
+                                             fraction=0.2, seed=0)
+        assert len(report) == 20
+
+    def test_corrupted_values_differ(self, frame):
+        dirty, report = inject_feature_noise(frame, column="value",
+                                             fraction=0.1, scale=2.0, seed=1)
+        for error in report.errors:
+            assert error.corrupted != error.original
+
+    def test_untouched_cells_identical(self, frame):
+        dirty, report = inject_feature_noise(frame, column="value",
+                                             fraction=0.1, seed=2)
+        touched = report.row_ids()
+        for i in range(len(frame)):
+            if int(frame.row_ids[i]) not in touched:
+                assert dirty["value"].get(i) == frame["value"].get(i)
+
+    def test_string_column_rejected(self, frame):
+        with pytest.raises(ValidationError):
+            inject_feature_noise(frame, column="name")
+
+
+class TestScalingErrors:
+    def test_factor_applied(self, frame):
+        dirty, report = inject_scaling_errors(frame, column="value",
+                                              fraction=0.1, factor=100.0,
+                                              seed=0)
+        for error in report.errors:
+            assert error.corrupted == pytest.approx(error.original * 100.0)
+
+    def test_identity_factor_rejected(self, frame):
+        with pytest.raises(ValidationError):
+            inject_scaling_errors(frame, column="value", factor=1.0)
+
+
+class TestOutliers:
+    def test_outliers_are_extreme(self, frame):
+        dirty, report = inject_outliers(frame, column="value", fraction=0.05,
+                                        magnitude=6.0, seed=0)
+        values = frame["value"].cast(float).to_numpy()
+        mean, std = values.mean(), values.std()
+        for error in report.errors:
+            assert abs(error.corrupted - mean) >= 5.5 * std
+
+    def test_report_kind(self, frame):
+        _, report = inject_outliers(frame, column="value", seed=1)
+        assert all(e.kind == "outlier" for e in report.errors)

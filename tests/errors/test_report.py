@@ -1,0 +1,54 @@
+"""Unit tests for the error report bookkeeping."""
+
+from repro.errors import CellError, ErrorReport
+
+
+class TestErrorReport:
+    def test_add_and_len(self):
+        report = ErrorReport()
+        report.add(3, "label", "label_flip", original="a", corrupted="b")
+        assert len(report) == 1
+        assert report.errors[0] == CellError(3, "label", "label_flip", "a", "b")
+
+    def test_row_ids_dedup(self):
+        report = ErrorReport()
+        report.add(1, "a", "noise")
+        report.add(1, "b", "missing_MCAR")
+        report.add(2, "a", "noise")
+        assert report.row_ids() == {1, 2}
+
+    def test_row_ids_filtered_by_kind(self):
+        report = ErrorReport()
+        report.add(1, "a", "noise")
+        report.add(2, "a", "missing_MCAR")
+        assert report.row_ids("noise") == {1}
+
+    def test_extend_merges(self):
+        a = ErrorReport()
+        a.add(1, "x", "noise")
+        b = ErrorReport()
+        b.add(2, "x", "noise")
+        a.extend(b)
+        assert a.row_ids() == {1, 2}
+
+    def test_originals_for_column(self):
+        report = ErrorReport()
+        report.add(5, "label", "label_flip", original="pos", corrupted="neg")
+        report.add(6, "other", "noise", original=1.0)
+        assert report.originals_for("label") == {5: "pos"}
+
+    def test_detection_scores(self):
+        report = ErrorReport()
+        for rid in (1, 2, 3, 4):
+            report.add(rid, "label", "label_flip")
+        scores = report.detection_scores({2, 3, 99})
+        assert scores["hits"] == 2
+        assert scores["recall"] == 0.5
+        assert scores["precision"] == 2 / 3
+
+    def test_detection_scores_empty_flagged(self):
+        report = ErrorReport()
+        report.add(1, "a", "noise")
+        scores = report.detection_scores(set())
+        assert scores["precision"] == 0.0
+        assert scores["recall"] == 0.0

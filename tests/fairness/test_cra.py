@@ -1,0 +1,97 @@
+"""Unit tests for consistent range approximation."""
+
+import numpy as np
+import pytest
+
+from repro.core.exceptions import ValidationError
+from repro.fairness.cra import (
+    certify,
+    demographic_parity_range,
+    selection_rate_range,
+)
+
+
+class TestSelectionRateRange:
+    def test_no_missing_is_point(self):
+        r = selection_rate_range(3, 10, 0)
+        assert r.lo == r.hi == pytest.approx(0.3)
+
+    def test_missing_widens_both_directions(self):
+        r = selection_rate_range(3, 10, 5)
+        assert r.lo == pytest.approx(3 / 15)
+        assert r.hi == pytest.approx(8 / 15)
+
+    def test_contains_truth_for_any_completion(self):
+        """Property: the true rate of any completed population lies in
+        the range."""
+        rng = np.random.default_rng(0)
+        for _ in range(50):
+            n_obs = int(rng.integers(1, 30))
+            n_pos = int(rng.integers(0, n_obs + 1))
+            missing = int(rng.integers(0, 10))
+            hidden_pos = int(rng.integers(0, missing + 1))
+            truth = (n_pos + hidden_pos) / (n_obs + missing)
+            r = selection_rate_range(n_pos, n_obs, missing)
+            assert r.lo - 1e-12 <= truth <= r.hi + 1e-12
+
+    def test_invalid_counts_rejected(self):
+        with pytest.raises(ValidationError):
+            selection_rate_range(5, 3, 0)
+        with pytest.raises(ValidationError):
+            selection_rate_range(1, 3, -1)
+
+
+class TestDemographicParityRange:
+    @pytest.fixture()
+    def observed(self):
+        y_pred = np.array([1, 1, 1, 0, 1, 0, 0, 0])
+        groups = np.array(["a"] * 4 + ["b"] * 4)
+        return y_pred, groups  # rates: a=0.75, b=0.25, gap 0.5
+
+    def test_point_estimate_without_missingness(self, observed):
+        y_pred, groups = observed
+        result = demographic_parity_range(y_pred, groups)
+        assert result["gap_lo"] == result["gap_hi"] == \
+            pytest.approx(result["observed_gap"]) == pytest.approx(0.5)
+
+    def test_missingness_widens_range(self, observed):
+        y_pred, groups = observed
+        result = demographic_parity_range(y_pred, groups,
+                                          max_missing={"b": 4})
+        assert result["gap_lo"] < 0.5 < result["gap_hi"]
+
+    def test_overlapping_ranges_allow_zero_gap(self, observed):
+        y_pred, groups = observed
+        result = demographic_parity_range(y_pred, groups,
+                                          max_missing={"a": 8, "b": 8})
+        assert result["gap_lo"] == 0.0
+
+    def test_three_groups_rejected(self):
+        with pytest.raises(ValidationError):
+            demographic_parity_range([1, 0, 1], ["a", "b", "c"])
+
+
+class TestCertify:
+    def test_certified_fair(self):
+        assert certify({"gap_lo": 0.0, "gap_hi": 0.05}, 0.1) == "fair"
+
+    def test_certified_unfair(self):
+        assert certify({"gap_lo": 0.3, "gap_hi": 0.6}, 0.1) == "unfair"
+
+    def test_unknown_when_range_straddles(self):
+        assert certify({"gap_lo": 0.05, "gap_hi": 0.4}, 0.1) == "unknown"
+
+    def test_bias_budget_flips_verdict_to_unknown(self):
+        """The CRA story: a dataset that looks fair point-wise cannot be
+        *certified* fair once selection bias is admitted."""
+        y_pred = np.array([1, 0] * 10)
+        groups = np.array((["a", "a", "b", "b"] * 5))
+        clean = demographic_parity_range(y_pred, groups)
+        biased = demographic_parity_range(y_pred, groups,
+                                          max_missing={"b": 15})
+        assert certify(clean, 0.1) == "fair"
+        assert certify(biased, 0.1) == "unknown"
+
+    def test_negative_threshold_rejected(self):
+        with pytest.raises(ValidationError):
+            certify({"gap_lo": 0.0, "gap_hi": 0.1}, -0.5)

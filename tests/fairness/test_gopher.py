@@ -1,0 +1,86 @@
+"""Unit tests for Gopher-style fairness explanations."""
+
+import numpy as np
+import pytest
+
+from repro.core.exceptions import ValidationError
+from repro.datasets import make_census
+from repro.fairness import GopherExplainer, equalized_odds_difference
+from repro.ml import ColumnTransformer, LogisticRegression, OneHotEncoder
+
+
+@pytest.fixture(scope="module")
+def biased_setting():
+    df, biased_ids = make_census(500, bias_fraction=0.5, seed=13)
+    train, valid = df.split([0.7, 0.3], seed=14)
+    encoder = ColumnTransformer([
+        ("num", "passthrough", ["age", "education_years", "hours_per_week"]),
+        ("grp", OneHotEncoder(), "group"),
+    ])
+    X_train = encoder.fit_transform(train)
+    X_valid = encoder.transform(valid)
+    return {
+        "train": train, "X_train": X_train, "X_valid": X_valid,
+        "y_valid": np.array(valid["income"].to_list()),
+        "groups_valid": np.array(valid["group"].to_list()),
+        "biased_ids": set(int(r) for r in biased_ids),
+    }
+
+
+@pytest.fixture(scope="module")
+def explanations(biased_setting):
+    explainer = GopherExplainer(LogisticRegression(max_iter=60),
+                                equalized_odds_difference,
+                                max_depth=2, min_support=0.02,
+                                max_support=0.5, n_bins=2)
+    return explainer.explain(
+        biased_setting["train"],
+        feature_matrix=biased_setting["X_train"],
+        label_column="income", group_column="group",
+        X_valid=biased_setting["X_valid"],
+        y_valid=biased_setting["y_valid"],
+        groups_valid=biased_setting["groups_valid"], top_k=5)
+
+
+class TestGopherExplainer:
+    def test_returns_ranked_explanations(self, explanations):
+        assert 1 <= len(explanations) <= 5
+        biases = [e.bias_after for e in explanations]
+        assert biases == sorted(biases)
+
+    def test_best_explanation_reduces_bias(self, explanations):
+        best = explanations[0]
+        assert best.bias_after < best.bias_before
+
+    def test_best_explanation_targets_the_biased_group(self, explanations):
+        """The injected bias lives in groupB's labels, so the top
+        explanation should mention the group column."""
+        top_predicates = " ".join(" ".join(e.predicates)
+                                  for e in explanations[:3])
+        assert "group" in top_predicates
+
+    def test_responsibility_computation(self, explanations):
+        best = explanations[0]
+        expected = (best.bias_before - best.bias_after) / best.bias_before
+        assert best.responsibility == pytest.approx(expected)
+
+    def test_describe_is_readable(self, explanations):
+        text = explanations[0].describe()
+        assert "remove [" in text and "bias" in text
+
+    def test_depth_validated(self):
+        with pytest.raises(ValidationError):
+            GopherExplainer(LogisticRegression(), equalized_odds_difference,
+                            max_depth=3)
+
+    def test_misaligned_features_rejected(self, biased_setting):
+        explainer = GopherExplainer(LogisticRegression(),
+                                    equalized_odds_difference)
+        with pytest.raises(ValidationError):
+            explainer.explain(
+                biased_setting["train"],
+                feature_matrix=biased_setting["X_train"][:10],
+                label_column="income", group_column="group",
+                X_valid=biased_setting["X_valid"],
+                y_valid=biased_setting["y_valid"],
+                groups_valid=biased_setting["groups_valid"])

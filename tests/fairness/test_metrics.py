@@ -1,0 +1,67 @@
+"""Unit tests for fairness metrics."""
+
+import numpy as np
+import pytest
+
+from repro.core.exceptions import ValidationError
+from repro.fairness import (
+    demographic_parity_difference,
+    equalized_odds_difference,
+    group_rates,
+    predictive_parity_difference,
+)
+
+
+class TestGroupRates:
+    def test_per_group_statistics(self):
+        y_true = np.array([1, 1, 0, 0, 1, 0])
+        y_pred = np.array([1, 0, 0, 1, 1, 1])
+        groups = np.array(["a", "a", "a", "b", "b", "b"])
+        rates = group_rates(y_true, y_pred, groups, positive=1)
+        assert rates["a"]["selection_rate"] == pytest.approx(1 / 3)
+        assert rates["a"]["tpr"] == pytest.approx(1 / 2)
+        assert rates["b"]["tpr"] == pytest.approx(1.0)
+        assert rates["b"]["fpr"] == pytest.approx(1.0)
+
+    def test_three_groups_rejected(self):
+        with pytest.raises(ValidationError):
+            group_rates([1, 0, 1], [1, 0, 1], ["a", "b", "c"])
+
+
+class TestParityMetrics:
+    def test_demographic_parity_zero_when_equal(self):
+        y_pred = np.array([1, 0, 1, 0])
+        groups = np.array(["a", "a", "b", "b"])
+        assert demographic_parity_difference(y_pred, groups) == 0.0
+
+    def test_demographic_parity_maximal_gap(self):
+        y_pred = np.array([1, 1, 0, 0])
+        groups = np.array(["a", "a", "b", "b"])
+        assert demographic_parity_difference(y_pred, groups) == 1.0
+
+    def test_equalized_odds_fair_classifier(self):
+        y_true = np.array([1, 0, 1, 0])
+        y_pred = y_true.copy()  # perfect predictions are trivially fair
+        groups = np.array(["a", "a", "b", "b"])
+        assert equalized_odds_difference(y_true, y_pred, groups) == 0.0
+
+    def test_equalized_odds_detects_tpr_gap(self):
+        y_true = np.array([1, 1, 1, 1])
+        y_pred = np.array([1, 1, 0, 0])
+        groups = np.array(["a", "a", "b", "b"])
+        assert equalized_odds_difference(y_true, y_pred, groups) == 1.0
+
+    def test_predictive_parity(self):
+        y_true = np.array([1, 0, 1, 1])
+        y_pred = np.array([1, 1, 1, 1])
+        groups = np.array(["a", "a", "b", "b"])
+        # PPV(a) = 0.5, PPV(b) = 1.0
+        assert predictive_parity_difference(y_true, y_pred, groups) == \
+            pytest.approx(0.5)
+
+    def test_predictive_parity_undefined_without_positives(self):
+        y_true = np.array([1, 0, 1, 0])
+        y_pred = np.array([0, 0, 1, 1])
+        groups = np.array(["a", "a", "b", "b"])
+        with pytest.raises(ValidationError):
+            predictive_parity_difference(y_true, y_pred, groups)

@@ -1,0 +1,32 @@
+"""Fixtures for the importance tests: a small dirty dataset where the
+corrupted examples are known."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import make_blobs
+from repro.errors import inject_label_errors_array
+from repro.importance import Utility
+from repro.ml import LogisticRegression
+
+
+@pytest.fixture(scope="module")
+def dirty_blobs():
+    """80 train / 40 valid blobs with 15% label flips on train."""
+    X, y = make_blobs(120, n_features=3, centers=2, cluster_std=1.2, seed=3)
+    X_train, y_train = X[:80], y[:80]
+    X_valid, y_valid = X[80:], y[80:]
+    y_dirty, flipped = inject_label_errors_array(y_train, fraction=0.15, seed=7)
+    return {
+        "X_train": X_train, "y_clean": y_train, "y_dirty": y_dirty,
+        "X_valid": X_valid, "y_valid": y_valid, "flipped": flipped,
+    }
+
+
+@pytest.fixture()
+def dirty_utility(dirty_blobs):
+    return Utility(
+        LogisticRegression(max_iter=60),
+        dirty_blobs["X_train"], dirty_blobs["y_dirty"],
+        dirty_blobs["X_valid"], dirty_blobs["y_valid"],
+    )

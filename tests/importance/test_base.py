@@ -1,0 +1,61 @@
+"""Unit tests for the coalition utility function."""
+
+import numpy as np
+import pytest
+
+from repro.core.exceptions import ValidationError
+from repro.importance import Utility
+from repro.ml import KNeighborsClassifier, LogisticRegression
+
+
+class TestUtility:
+    def test_full_coalition_equals_direct_training(self, dirty_blobs):
+        u = Utility(LogisticRegression(max_iter=60),
+                    dirty_blobs["X_train"], dirty_blobs["y_dirty"],
+                    dirty_blobs["X_valid"], dirty_blobs["y_valid"])
+        model = LogisticRegression(max_iter=60).fit(
+            dirty_blobs["X_train"], dirty_blobs["y_dirty"])
+        direct = float(np.mean(
+            model.predict(dirty_blobs["X_valid"]) == dirty_blobs["y_valid"]))
+        assert u.full_value() == pytest.approx(direct)
+
+    def test_null_value_is_majority_class_accuracy(self, dirty_blobs):
+        u = Utility(LogisticRegression(),
+                    dirty_blobs["X_train"], dirty_blobs["y_dirty"],
+                    dirty_blobs["X_valid"], dirty_blobs["y_valid"])
+        majority_rate = max(np.mean(dirty_blobs["y_valid"] == c)
+                            for c in np.unique(dirty_blobs["y_valid"]))
+        assert u.null_value() == pytest.approx(majority_rate)
+
+    def test_empty_subset_uses_null_value(self, dirty_utility):
+        assert dirty_utility(np.array([], dtype=int)) == \
+            dirty_utility.null_value()
+
+    def test_single_class_subset_is_constant_predictor(self, dirty_blobs):
+        u = Utility(LogisticRegression(),
+                    dirty_blobs["X_train"], dirty_blobs["y_dirty"],
+                    dirty_blobs["X_valid"], dirty_blobs["y_valid"])
+        members = np.flatnonzero(dirty_blobs["y_dirty"] == 0)[:3]
+        expected = float(np.mean(dirty_blobs["y_valid"] == 0))
+        assert u(members) == pytest.approx(expected)
+
+    def test_cache_avoids_retraining(self, dirty_utility):
+        subset = np.arange(10)
+        dirty_utility(subset)
+        calls_before = dirty_utility.calls
+        dirty_utility(subset[::-1].copy())  # same set, different order
+        assert dirty_utility.calls == calls_before
+
+    def test_2d_subset_rejected(self, dirty_utility):
+        with pytest.raises(ValidationError):
+            dirty_utility(np.zeros((2, 2), dtype=int))
+
+    def test_custom_metric(self, dirty_blobs):
+        from repro.ml.metrics import f1_score
+
+        u = Utility(KNeighborsClassifier(3),
+                    dirty_blobs["X_train"], dirty_blobs["y_dirty"],
+                    dirty_blobs["X_valid"], dirty_blobs["y_valid"],
+                    metric=f1_score)
+        value = u.full_value()
+        assert 0.0 <= value <= 1.0

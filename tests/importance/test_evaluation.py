@@ -1,0 +1,71 @@
+"""Unit tests for the importance evaluation harness."""
+
+import numpy as np
+import pytest
+
+from repro.core.exceptions import ValidationError
+from repro.importance import cleaning_curve, detection_recall_at_k, rank_lowest
+from repro.importance.evaluation import detection_precision_at_k
+
+
+class TestRanking:
+    def test_rank_lowest_orders_ascending(self):
+        values = np.array([3.0, -1.0, 2.0])
+        np.testing.assert_array_equal(rank_lowest(values), [1, 2, 0])
+
+    def test_ties_broken_by_index(self):
+        values = np.array([1.0, 0.0, 0.0])
+        np.testing.assert_array_equal(rank_lowest(values), [1, 2, 0])
+
+    def test_top_k(self):
+        values = np.arange(10.0)
+        np.testing.assert_array_equal(rank_lowest(values, 3), [0, 1, 2])
+
+
+class TestDetectionMetrics:
+    def test_perfect_recall(self):
+        values = np.array([-1.0, -2.0, 5.0, 6.0])
+        assert detection_recall_at_k(values, [0, 1], 2) == 1.0
+
+    def test_partial_recall(self):
+        values = np.array([-1.0, 5.0, -2.0, 6.0])
+        assert detection_recall_at_k(values, [0, 3], 2) == 0.5
+
+    def test_precision(self):
+        values = np.array([-1.0, -2.0, 5.0, 6.0])
+        assert detection_precision_at_k(values, [0], 2) == 0.5
+
+    def test_empty_corrupted_rejected(self):
+        with pytest.raises(ValidationError):
+            detection_recall_at_k(np.zeros(3), [], 1)
+
+
+class TestCleaningCurve:
+    def test_curve_length_and_monotone_cleaning(self):
+        """Simulated setting: quality = fraction of cleaned points; each
+        round cleans `batch` lowest-valued points."""
+        state = {"cleaned": set()}
+        values = np.arange(10.0)
+
+        def clean_step(indices):
+            state["cleaned"].update(int(i) for i in indices)
+
+        def evaluate():
+            return len(state["cleaned"]) / 10.0
+
+        curve = cleaning_curve(values, clean_step=clean_step,
+                               evaluate=evaluate, n_rounds=3, batch=2)
+        assert curve == [0.0, 0.2, 0.4, 0.6]
+
+    def test_lowest_cleaned_first(self):
+        cleaned_order = []
+        values = np.array([5.0, 1.0, 3.0])
+        cleaning_curve(values,
+                       clean_step=lambda idx: cleaned_order.extend(idx),
+                       evaluate=lambda: 0.0, n_rounds=3, batch=1)
+        assert [int(i) for i in cleaned_order] == [1, 2, 0]
+
+    def test_invalid_params_rejected(self):
+        with pytest.raises(ValidationError):
+            cleaning_curve(np.zeros(3), clean_step=lambda i: None,
+                           evaluate=lambda: 0.0, n_rounds=0, batch=1)

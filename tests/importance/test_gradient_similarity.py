@@ -1,0 +1,60 @@
+"""Unit tests for gradient-similarity values."""
+
+import numpy as np
+import pytest
+
+from repro.core.exceptions import ValidationError
+from repro.importance.gradient_similarity import gradient_similarity_scores
+from repro.ml import KNeighborsClassifier, LogisticRegression
+
+
+class TestGradientSimilarity:
+    def test_flipped_labels_rank_lowest(self, dirty_blobs):
+        model = LogisticRegression().fit(dirty_blobs["X_train"],
+                                         dirty_blobs["y_dirty"])
+        scores = gradient_similarity_scores(
+            model, dirty_blobs["X_train"], dirty_blobs["y_dirty"],
+            dirty_blobs["X_valid"], dirty_blobs["y_valid"])
+        worst = set(np.argsort(scores)[:15].tolist())
+        flipped = set(dirty_blobs["flipped"].tolist())
+        assert len(worst & flipped) / len(flipped) >= 0.7
+
+    def test_agrees_with_influence_on_the_worst(self, dirty_blobs):
+        """First-order and curvature-aware scores should overlap heavily
+        in their bottom sets (the Hessian mostly rescales here)."""
+        from repro.importance import influence_scores
+
+        model = LogisticRegression().fit(dirty_blobs["X_train"],
+                                         dirty_blobs["y_dirty"])
+        args = (model, dirty_blobs["X_train"], dirty_blobs["y_dirty"],
+                dirty_blobs["X_valid"], dirty_blobs["y_valid"])
+        gradient = gradient_similarity_scores(*args)
+        influence = influence_scores(*args)
+        worst_gradient = set(np.argsort(gradient)[:15].tolist())
+        worst_influence = set(np.argsort(influence)[:15].tolist())
+        assert len(worst_gradient & worst_influence) >= 10
+
+    def test_normalized_variant_also_detects(self, dirty_blobs):
+        model = LogisticRegression().fit(dirty_blobs["X_train"],
+                                         dirty_blobs["y_dirty"])
+        scores = gradient_similarity_scores(
+            model, dirty_blobs["X_train"], dirty_blobs["y_dirty"],
+            dirty_blobs["X_valid"], dirty_blobs["y_valid"], normalize=True)
+        worst = set(np.argsort(scores)[:15].tolist())
+        flipped = set(dirty_blobs["flipped"].tolist())
+        assert len(worst & flipped) / len(flipped) >= 0.6
+
+    def test_unfitted_rejected(self, dirty_blobs):
+        with pytest.raises(ValidationError):
+            gradient_similarity_scores(
+                LogisticRegression(), dirty_blobs["X_train"],
+                dirty_blobs["y_dirty"], dirty_blobs["X_valid"],
+                dirty_blobs["y_valid"])
+
+    def test_wrong_model_rejected(self, dirty_blobs):
+        model = KNeighborsClassifier(3).fit(dirty_blobs["X_train"],
+                                            dirty_blobs["y_dirty"])
+        with pytest.raises(ValidationError):
+            gradient_similarity_scores(
+                model, dirty_blobs["X_train"], dirty_blobs["y_dirty"],
+                dirty_blobs["X_valid"], dirty_blobs["y_valid"])

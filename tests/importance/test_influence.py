@@ -1,0 +1,65 @@
+"""Unit tests for influence functions."""
+
+import numpy as np
+import pytest
+
+from repro.core.exceptions import ValidationError
+from repro.importance import influence_scores
+from repro.ml import KNeighborsClassifier, LogisticRegression
+
+
+class TestInfluenceScores:
+    def test_flipped_labels_get_lowest_scores(self, dirty_blobs):
+        model = LogisticRegression().fit(dirty_blobs["X_train"],
+                                         dirty_blobs["y_dirty"])
+        scores = influence_scores(model, dirty_blobs["X_train"],
+                                  dirty_blobs["y_dirty"],
+                                  dirty_blobs["X_valid"],
+                                  dirty_blobs["y_valid"])
+        worst = set(np.argsort(scores)[:15].tolist())
+        flipped = set(dirty_blobs["flipped"].tolist())
+        assert len(worst & flipped) / len(flipped) >= 0.75
+
+    def test_matches_loo_direction_on_clean_data(self, dirty_blobs):
+        """Influence approximates LOO: the sign agreement between the two
+        rankings should be well above chance."""
+        from repro.importance import Utility, leave_one_out
+        from repro.ml.metrics import log_loss
+
+        X, y = dirty_blobs["X_train"], dirty_blobs["y_dirty"]
+        Xv, yv = dirty_blobs["X_valid"], dirty_blobs["y_valid"]
+        model = LogisticRegression().fit(X, y)
+        scores = influence_scores(model, X, y, Xv, yv)
+
+        def neg_log_loss_metric(y_true, y_pred):  # utility: higher better
+            return float(np.mean(y_true == y_pred))
+
+        utility = Utility(LogisticRegression(max_iter=60), X, y, Xv, yv,
+                          metric=neg_log_loss_metric)
+        loo = leave_one_out(utility)
+        # Compare bottom-20 overlap.
+        worst_influence = set(np.argsort(scores)[:20].tolist())
+        worst_loo = set(np.argsort(loo)[:20].tolist())
+        assert len(worst_influence & worst_loo) >= 8
+
+    def test_unfitted_model_rejected(self, dirty_blobs):
+        with pytest.raises(ValidationError):
+            influence_scores(LogisticRegression(), dirty_blobs["X_train"],
+                             dirty_blobs["y_dirty"], dirty_blobs["X_valid"],
+                             dirty_blobs["y_valid"])
+
+    def test_wrong_model_type_rejected(self, dirty_blobs):
+        model = KNeighborsClassifier(3).fit(dirty_blobs["X_train"],
+                                            dirty_blobs["y_dirty"])
+        with pytest.raises(ValidationError):
+            influence_scores(model, dirty_blobs["X_train"],
+                             dirty_blobs["y_dirty"], dirty_blobs["X_valid"],
+                             dirty_blobs["y_valid"])
+
+    def test_multiclass_rejected(self):
+        from repro.datasets import make_blobs
+
+        X, y = make_blobs(90, centers=3, seed=0)
+        model = LogisticRegression().fit(X, y)
+        with pytest.raises(ValidationError):
+            influence_scores(model, X, y, X, y)

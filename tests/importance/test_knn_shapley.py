@@ -1,0 +1,113 @@
+"""Unit tests for exact KNN-Shapley, including brute-force verification."""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.core.exceptions import ValidationError
+from repro.importance import knn_shapley
+from repro.importance.knn_shapley import knn_shapley_by_group
+
+
+def _knn_utility(subset, X_train, y_train, x_val, y_val, k):
+    """Jia et al.'s k-NN utility for a single validation point:
+    ``(1/K) * sum over the min(K, |S|) nearest of 1[label matches]`` —
+    note the division by K even for coalitions smaller than K, and
+    utility 0 for the empty coalition."""
+    if len(subset) == 0:
+        return 0.0
+    distances = np.linalg.norm(X_train[subset] - x_val, axis=1)
+    order = np.lexsort((subset, distances))[: min(k, len(subset))]
+    votes = y_train[np.array(subset)[order]]
+    return float(np.sum(votes == y_val)) / k
+
+
+def _brute_force_shapley(X_train, y_train, x_val, y_val, k):
+    n = len(X_train)
+    values = np.zeros(n)
+    players = list(range(n))
+    import math
+
+    for i in players:
+        others = [p for p in players if p != i]
+        for size in range(n):
+            for subset in itertools.combinations(others, size):
+                weight = (math.factorial(size) * math.factorial(n - size - 1)
+                          / math.factorial(n))
+                gain = (_knn_utility(list(subset) + [i], X_train, y_train,
+                                     x_val, y_val, k)
+                        - _knn_utility(list(subset), X_train, y_train,
+                                       x_val, y_val, k))
+                values[i] += weight * gain
+    return values
+
+
+class TestExactness:
+    @pytest.mark.parametrize("k", [1, 2, 3])
+    def test_matches_brute_force_enumeration(self, k):
+        """The closed-form recursion must equal the Shapley definition on
+        a tiny instance (n=6, every coalition enumerated)."""
+        rng = np.random.default_rng(0)
+        X_train = rng.normal(0, 1, (6, 2))
+        y_train = np.array([0, 1, 0, 1, 0, 1])
+        x_val = rng.normal(0, 1, 2)
+        y_val = 1
+        expected = _brute_force_shapley(X_train, y_train, x_val, y_val, k)
+        actual = knn_shapley(X_train, y_train, x_val[None, :],
+                             np.array([y_val]), k=k)
+        np.testing.assert_allclose(actual, expected, atol=1e-10)
+
+    def test_efficiency_axiom(self, dirty_blobs):
+        """Values sum to u(D) - u(empty): the mean *vote fraction* for the
+        true label over validation points (u(empty)=0 in the Jia et al.
+        convention). The vote fraction is exactly the k-NN predicted
+        probability of the true class."""
+        values = knn_shapley(dirty_blobs["X_train"], dirty_blobs["y_dirty"],
+                             dirty_blobs["X_valid"], dirty_blobs["y_valid"],
+                             k=5)
+        from repro.ml import KNeighborsClassifier
+
+        model = KNeighborsClassifier(5).fit(dirty_blobs["X_train"],
+                                            dirty_blobs["y_dirty"])
+        proba = model.predict_proba(dirty_blobs["X_valid"])
+        class_index = {c: i for i, c in enumerate(model.classes_.tolist())}
+        cols = [class_index[v] for v in dirty_blobs["y_valid"].tolist()]
+        true_class_vote = proba[np.arange(len(cols)), cols].mean()
+        assert values.sum() == pytest.approx(true_class_vote, abs=1e-9)
+
+
+class TestDetection:
+    def test_flipped_labels_rank_lowest(self, dirty_blobs):
+        values = knn_shapley(dirty_blobs["X_train"], dirty_blobs["y_dirty"],
+                             dirty_blobs["X_valid"], dirty_blobs["y_valid"],
+                             k=5)
+        worst_15 = set(np.argsort(values)[:15].tolist())
+        flipped = set(dirty_blobs["flipped"].tolist())
+        recall = len(worst_15 & flipped) / len(flipped)
+        assert recall >= 0.75
+
+    def test_clean_data_has_mostly_positive_values(self, dirty_blobs):
+        values = knn_shapley(dirty_blobs["X_train"], dirty_blobs["y_clean"],
+                             dirty_blobs["X_valid"], dirty_blobs["y_valid"],
+                             k=5)
+        assert np.mean(values > 0) > 0.5
+
+
+class TestValidationAndGroups:
+    def test_k_out_of_range_rejected(self, dirty_blobs):
+        with pytest.raises(ValidationError):
+            knn_shapley(dirty_blobs["X_train"], dirty_blobs["y_dirty"],
+                        dirty_blobs["X_valid"], dirty_blobs["y_valid"], k=0)
+
+    def test_group_aggregation_sums_member_values(self, dirty_blobs):
+        values = knn_shapley(dirty_blobs["X_train"], dirty_blobs["y_dirty"],
+                             dirty_blobs["X_valid"], dirty_blobs["y_valid"],
+                             k=3)
+        groups = np.arange(len(values)) % 4
+        totals = knn_shapley_by_group(
+            dirty_blobs["X_train"], dirty_blobs["y_dirty"],
+            dirty_blobs["X_valid"], dirty_blobs["y_valid"],
+            groups, k=3)
+        for gid in range(4):
+            assert totals[gid] == pytest.approx(values[groups == gid].sum())

@@ -1,0 +1,118 @@
+"""Unit tests for retrieval-augmented data importance."""
+
+import numpy as np
+import pytest
+
+from repro.core.exceptions import NotFittedError, ValidationError
+from repro.importance.rag import RetrievalAugmentedClassifier, rag_corpus_importance
+
+POSITIVE_DOCS = [
+    "excellent outstanding superb quality work praised by everyone",
+    "brilliant reliable dependable trustworthy and inspiring results",
+    "exceeded expectations with remarkable initiative and great skill",
+    "wonderful collaboration fantastic delivery and strong leadership",
+]
+NEGATIVE_DOCS = [
+    "terrible careless sloppy mistakes and disappointing failures",
+    "missed deadlines unreliable unprepared and frustrating to manage",
+    "poor judgment costly rework and serious concerns raised",
+    "undermined the project with friction and defensive behaviour",
+]
+
+
+@pytest.fixture(scope="module")
+def corpus_model():
+    corpus = POSITIVE_DOCS + NEGATIVE_DOCS
+    labels = ["pos"] * len(POSITIVE_DOCS) + ["neg"] * len(NEGATIVE_DOCS)
+    return RetrievalAugmentedClassifier(k=3).fit(corpus, labels), corpus, labels
+
+
+class TestRetrievalAugmentedClassifier:
+    def test_retrieves_topically_similar_docs(self, corpus_model):
+        model, corpus, labels = corpus_model
+        retrieved = model.retrieve(["superb excellent outstanding quality"])
+        retrieved_labels = {labels[i] for i in retrieved[0]}
+        assert "pos" in retrieved_labels
+
+    def test_classifies_sentiment_queries(self, corpus_model):
+        model, _, _ = corpus_model
+        queries = ["brilliant superb reliable work",
+                   "sloppy careless disappointing mistakes"]
+        predictions = model.predict(queries)
+        assert predictions[0] == "pos"
+        assert predictions[1] == "neg"
+
+    def test_k_larger_than_corpus_rejected(self):
+        with pytest.raises(ValidationError):
+            RetrievalAugmentedClassifier(k=10).fit(["a", "b"], ["x", "y"])
+
+    def test_unfitted_rejected(self):
+        with pytest.raises(NotFittedError):
+            RetrievalAugmentedClassifier(k=1).predict(["q"])
+
+    def test_misaligned_inputs_rejected(self):
+        with pytest.raises(ValidationError):
+            RetrievalAugmentedClassifier(k=1).fit(["a"], ["x", "y"])
+
+
+class TestRagCorpusImportance:
+    def test_one_value_per_document(self, corpus_model):
+        model, corpus, _ = corpus_model
+        queries = ["excellent work", "terrible failure"]
+        values = rag_corpus_importance(model, queries, ["pos", "neg"])
+        assert values.shape == (len(corpus),)
+
+    def test_poisoned_document_ranks_among_the_worst(self):
+        """A mislabeled corpus entry (negative text labelled pos) must
+        land in the bottom of the importance ranking, and be valued below
+        every correctly-labelled document it competes with on the
+        negative queries."""
+        corpus = POSITIVE_DOCS + NEGATIVE_DOCS + [
+            "terrible sloppy careless disappointing poor failure mistakes"
+        ]
+        labels = (["pos"] * len(POSITIVE_DOCS)
+                  + ["neg"] * len(NEGATIVE_DOCS)
+                  + ["pos"])  # poisoned label
+        model = RetrievalAugmentedClassifier(k=3).fit(corpus, labels)
+        queries = [
+            "sloppy careless failure disappointing",
+            "terrible mistakes poor judgment",
+            "careless sloppy poor failure",
+            "disappointing terrible mistakes everywhere",
+            "superb brilliant excellent results",
+            "outstanding dependable quality work",
+        ]
+        query_labels = ["neg", "neg", "neg", "neg", "pos", "pos"]
+        values = rag_corpus_importance(model, queries, query_labels)
+        poisoned = len(corpus) - 1
+        bottom3 = set(np.argsort(values)[:3].tolist())
+        assert poisoned in bottom3
+        # Strictly below every correctly-labelled negative document.
+        negative_docs = range(len(POSITIVE_DOCS), len(corpus) - 1)
+        assert all(values[poisoned] < values[i] for i in negative_docs)
+
+    def test_pruning_lowest_improves_accuracy(self):
+        corpus = POSITIVE_DOCS + NEGATIVE_DOCS + [
+            "terrible sloppy careless disappointing poor failure mistakes",
+            "unreliable frustrating serious concerns and costly rework",
+        ]
+        labels = (["pos"] * len(POSITIVE_DOCS)
+                  + ["neg"] * len(NEGATIVE_DOCS)
+                  + ["pos", "pos"])  # two poisoned entries
+        queries = [
+            "sloppy careless failure disappointing work",
+            "terrible mistakes poor judgment and concerns",
+            "unreliable frustrating costly rework everywhere",
+            "superb brilliant excellent results delivered",
+            "outstanding dependable quality collaboration",
+        ]
+        query_labels = ["neg", "neg", "neg", "pos", "pos"]
+        model = RetrievalAugmentedClassifier(k=3).fit(corpus, labels)
+        before = model.score(queries, query_labels)
+        values = rag_corpus_importance(model, queries, query_labels)
+        keep = np.argsort(values)[2:]  # prune the 2 lowest-valued docs
+        pruned = RetrievalAugmentedClassifier(k=3).fit(
+            [corpus[i] for i in keep],
+            [labels[i] for i in keep])
+        after = pruned.score(queries, query_labels)
+        assert after >= before

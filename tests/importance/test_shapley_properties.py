@@ -1,0 +1,91 @@
+"""Property-based tests for KNN-Shapley axioms (hypothesis)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.importance import knn_shapley
+from repro.ml import KNeighborsClassifier
+
+
+@st.composite
+def classification_data(draw):
+    n_train = draw(st.integers(8, 25))
+    n_valid = draw(st.integers(2, 8))
+    d = draw(st.integers(1, 3))
+    seed = draw(st.integers(0, 10**6))
+    rng = np.random.default_rng(seed)
+    X_train = rng.normal(0, 1, (n_train, d))
+    y_train = rng.integers(0, 2, n_train)
+    # Guarantee both classes exist.
+    y_train[0], y_train[1] = 0, 1
+    X_valid = rng.normal(0, 1, (n_valid, d))
+    y_valid = rng.integers(0, 2, n_valid)
+    k = draw(st.integers(1, min(5, n_train)))
+    return X_train, y_train, X_valid, y_valid, k
+
+
+@given(classification_data())
+@settings(max_examples=40, deadline=None)
+def test_efficiency_axiom(data):
+    """Sum of values equals the mean true-class vote fraction — u(D) in
+    the Jia et al. formulation (u(empty) = 0)."""
+    X_train, y_train, X_valid, y_valid, k = data
+    values = knn_shapley(X_train, y_train, X_valid, y_valid, k=k)
+    model = KNeighborsClassifier(k).fit(X_train, y_train)
+    proba = model.predict_proba(X_valid)
+    index = {c: i for i, c in enumerate(model.classes_.tolist())}
+    votes = []
+    for row, label in enumerate(y_valid.tolist()):
+        votes.append(proba[row, index[label]] if label in index else 0.0)
+    assert values.sum() == pytest.approx(float(np.mean(votes)), abs=1e-9)
+
+
+@given(classification_data())
+@settings(max_examples=40, deadline=None)
+def test_duplicate_players_get_equal_values(data):
+    """Symmetry axiom: two identical training points (same features, same
+    label) must receive identical Shapley values."""
+    X_train, y_train, X_valid, y_valid, k = data
+    X_dup = np.vstack([X_train, X_train[:1]])
+    y_dup = np.concatenate([y_train, y_train[:1]])
+    values = knn_shapley(X_dup, y_dup, X_valid, y_valid, k=k)
+    assert values[0] == pytest.approx(values[-1], abs=1e-9)
+
+
+@given(classification_data())
+@settings(max_examples=40, deadline=None)
+def test_validation_additivity(data):
+    """Linearity over validation points: the value for the full validation
+    set is the average of per-point values."""
+    X_train, y_train, X_valid, y_valid, k = data
+    total = knn_shapley(X_train, y_train, X_valid, y_valid, k=k)
+    per_point = np.zeros_like(total)
+    for i in range(len(X_valid)):
+        per_point += knn_shapley(X_train, y_train, X_valid[i:i + 1],
+                                 y_valid[i:i + 1], k=k)
+    np.testing.assert_allclose(total, per_point / len(X_valid), atol=1e-9)
+
+
+@given(classification_data())
+@settings(max_examples=30, deadline=None)
+def test_label_flip_never_helps_own_value(data):
+    """Flipping one training point's label to disagree with every
+    validation point it influences can only lower (or keep) its value."""
+    X_train, y_train, X_valid, y_valid, k = data
+    values_before = knn_shapley(X_train, y_train, X_valid, y_valid, k=k)
+    # Make point 0 agree with all validation labels, then flip it.
+    if len(np.unique(y_valid)) != 1:
+        return  # property only clean when validation is single-class
+    y_agree = y_train.copy()
+    y_agree[0] = y_valid[0]
+    if len(np.unique(y_agree)) < 2:
+        return
+    agree_values = knn_shapley(X_train, y_agree, X_valid, y_valid, k=k)
+    y_flip = y_agree.copy()
+    y_flip[0] = 1 - y_valid[0]
+    if len(np.unique(y_flip)) < 2:
+        return
+    flip_values = knn_shapley(X_train, y_flip, X_valid, y_valid, k=k)
+    assert flip_values[0] <= agree_values[0] + 1e-9

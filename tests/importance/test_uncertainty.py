@@ -1,0 +1,69 @@
+"""Unit tests for confident learning and AUM."""
+
+import numpy as np
+import pytest
+
+from repro.core.exceptions import ValidationError
+from repro.importance import aum_scores, confident_learning_scores
+from repro.importance.uncertainty import out_of_sample_proba
+from repro.ml import LogisticRegression
+
+
+class TestOutOfSampleProba:
+    def test_every_row_gets_probabilities(self, dirty_blobs):
+        proba, classes = out_of_sample_proba(
+            LogisticRegression(max_iter=60),
+            dirty_blobs["X_train"], dirty_blobs["y_dirty"], cv=4, seed=0)
+        assert proba.shape == (80, 2)
+        np.testing.assert_allclose(proba.sum(axis=1), 1.0, atol=1e-9)
+
+
+class TestConfidentLearning:
+    def test_detects_flipped_labels(self, dirty_blobs):
+        scores, flagged = confident_learning_scores(
+            LogisticRegression(max_iter=60),
+            dirty_blobs["X_train"], dirty_blobs["y_dirty"], cv=4, seed=0)
+        worst = set(np.argsort(scores)[:15].tolist())
+        flipped = set(dirty_blobs["flipped"].tolist())
+        assert len(worst & flipped) / len(flipped) >= 0.75
+
+    def test_flagged_set_has_high_precision(self, dirty_blobs):
+        _, flagged = confident_learning_scores(
+            LogisticRegression(max_iter=60),
+            dirty_blobs["X_train"], dirty_blobs["y_dirty"], cv=4, seed=0)
+        flagged_set = set(np.flatnonzero(flagged).tolist())
+        flipped = set(dirty_blobs["flipped"].tolist())
+        if flagged_set:
+            assert len(flagged_set & flipped) / len(flagged_set) >= 0.6
+
+    def test_clean_data_flags_little(self, dirty_blobs):
+        _, flagged = confident_learning_scores(
+            LogisticRegression(max_iter=60),
+            dirty_blobs["X_train"], dirty_blobs["y_clean"], cv=4, seed=0)
+        assert flagged.mean() <= 0.1
+
+
+class TestAUM:
+    def test_detects_flipped_labels(self, dirty_blobs):
+        scores = aum_scores(dirty_blobs["X_train"], dirty_blobs["y_dirty"],
+                            n_epochs=20, seed=0)
+        worst = set(np.argsort(scores)[:15].tolist())
+        flipped = set(dirty_blobs["flipped"].tolist())
+        assert len(worst & flipped) / len(flipped) >= 0.7
+
+    def test_clean_margins_mostly_positive(self, dirty_blobs):
+        scores = aum_scores(dirty_blobs["X_train"], dirty_blobs["y_clean"],
+                            n_epochs=20, seed=0)
+        assert np.mean(scores > 0) >= 0.9
+
+    def test_epochs_validated(self, dirty_blobs):
+        with pytest.raises(ValidationError):
+            aum_scores(dirty_blobs["X_train"], dirty_blobs["y_dirty"],
+                       n_epochs=0)
+
+    def test_deterministic_given_seed(self, dirty_blobs):
+        a = aum_scores(dirty_blobs["X_train"], dirty_blobs["y_dirty"],
+                       n_epochs=5, seed=3)
+        b = aum_scores(dirty_blobs["X_train"], dirty_blobs["y_dirty"],
+                       n_epochs=5, seed=3)
+        np.testing.assert_array_equal(a, b)

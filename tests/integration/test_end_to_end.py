@@ -1,0 +1,97 @@
+"""Cross-module integration: challenge with pipeline-based strategies,
+iterative cleaning over a pipeline, and mixed error types."""
+
+import numpy as np
+import pytest
+
+import repro as nde
+from repro.challenge import Leaderboard, make_challenge
+from repro.cleaning import CleaningOracle, IterativeCleaner
+from repro.datasets import make_hiring_tables
+from repro.errors import inject_label_errors, inject_missing
+from repro.importance import confident_learning_scores
+from repro.ml import KNeighborsClassifier, LogisticRegression
+
+
+class TestChallengeWithLeaderboard:
+    def test_full_challenge_round(self):
+        challenge = make_challenge(n=200, budget=30, seed=61)
+        board = Leaderboard(baseline=challenge.oracle.baseline_score)
+
+        values = nde.knn_shapley_values(challenge.train_df,
+                                        validation=challenge.valid_df)
+        worst = challenge.train_df.row_ids[np.argsort(values)[:30]]
+        score = challenge.oracle.submit(worst, participant="shapley")
+        board.record("shapley", score, challenge.oracle.cleaned_count)
+
+        standings = board.standings()
+        assert standings[0].participant == "shapley"
+        assert "shapley" in board.render()
+
+
+class TestIterativeCleaningOverFacade:
+    def test_iterative_cleaner_on_letters(self):
+        train, valid, _ = nde.load_recommendation_letters(250, seed=62)
+        dirty, _ = nde.inject_labelerrors(train, fraction=0.2, seed=63)
+
+        encoder_state = {}
+
+        def encode(frame):
+            from repro.core.api import default_letter_encoder
+            from repro.ml.base import clone
+
+            encoder = clone(default_letter_encoder())
+            features = [c for c in frame.columns if c != "sentiment"]
+            X = encoder.fit_transform(frame.select(features))
+            encoder_state["encoder"] = encoder
+            encoder_state["features"] = features
+            return X, np.array(frame["sentiment"].to_list())
+
+        X_dummy, _ = encode(dirty)
+        X_valid = encoder_state["encoder"].transform(
+            valid.select(encoder_state["features"]))
+        y_valid = np.array(valid["sentiment"].to_list())
+
+        oracle = CleaningOracle(train)
+        cleaner = IterativeCleaner(LogisticRegression(max_iter=80),
+                                   "knn_shapley", oracle, encode=encode,
+                                   batch=15)
+        result = cleaner.run(dirty, X_valid, y_valid, n_rounds=2)
+        assert len(result.scores) == 3
+        assert result.final >= result.initial - 0.05
+
+
+class TestMixedErrorTypes:
+    def test_stacked_injections_tracked_in_one_report(self):
+        letters, _, _ = make_hiring_tables(120, seed=64)
+        dirty, report = inject_label_errors(letters, column="sentiment",
+                                            fraction=0.1, seed=65)
+        dirty, missing_report = inject_missing(dirty,
+                                               column="employer_rating",
+                                               fraction=0.1, seed=66)
+        report.extend(missing_report)
+        kinds = {e.kind for e in report.errors}
+        assert kinds == {"label_flip", "missing_MCAR"}
+        assert len(report.row_ids()) >= 20
+
+    def test_confident_learning_agrees_with_shapley_on_worst(self):
+        """Two independent detectors should overlap on the worst tuples —
+        the cross-validation the tutorial encourages."""
+        train, valid, _ = nde.load_recommendation_letters(300, seed=67)
+        dirty, report = nde.inject_labelerrors(train, fraction=0.15, seed=68)
+
+        shapley = nde.knn_shapley_values(dirty, validation=valid)
+
+        from repro.core.api import default_letter_encoder
+        from repro.ml.base import clone
+
+        encoder = clone(default_letter_encoder())
+        features = [c for c in dirty.columns if c != "sentiment"]
+        X = encoder.fit_transform(dirty.select(features))
+        y = np.array(dirty["sentiment"].to_list())
+        cl_scores, _ = confident_learning_scores(
+            LogisticRegression(max_iter=60), X, y, cv=4, seed=0)
+
+        worst_shapley = set(np.argsort(shapley)[:30].tolist())
+        worst_cl = set(np.argsort(cl_scores)[:30].tolist())
+        assert len(worst_shapley & worst_cl) >= 8

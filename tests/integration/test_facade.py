@@ -1,0 +1,62 @@
+"""Integration tests for the nde.* facade (the paper's snippet API)."""
+
+import numpy as np
+import pytest
+
+import repro as nde
+from repro.datasets import make_hiring_tables
+
+
+class TestFigure4Facade:
+    @pytest.fixture(scope="class")
+    def frames(self):
+        letters, _, _ = make_hiring_tables(150, seed=9)
+        train = letters.with_column(
+            "target", lambda r: 1.0 if r["sentiment"] == "positive" else 0.0)
+        return train, train.take(range(25))
+
+    def test_encode_symbolic_injects_requested_missingness(self, frames):
+        train, _ = frames
+        table = nde.encode_symbolic(train,
+                                    uncertain_feature="employer_rating",
+                                    missing_percentage=20,
+                                    missingness="MNAR")
+        rating_column = table.columns.index("employer_rating")
+        missing = table.missing_mask[:, rating_column].sum()
+        assert missing == round(0.2 * len(train))
+        assert "person_id" not in table.columns  # ids excluded
+
+    def test_estimate_with_zorro_accepts_test_frame(self, frames):
+        train, test = frames
+        table = nde.encode_symbolic(train,
+                                    uncertain_feature="employer_rating",
+                                    missing_percentage=10)
+        loss = nde.estimate_with_zorro(table, test)
+        assert loss > 0
+
+    def test_estimate_with_zorro_matrix_requires_labels(self, frames):
+        train, test = frames
+        table = nde.encode_symbolic(train,
+                                    uncertain_feature="employer_rating",
+                                    missing_percentage=10)
+        X_test = test.select(table.columns).to_numpy()
+        with pytest.raises(ValueError):
+            nde.estimate_with_zorro(table, X_test)
+
+    def test_visualize_uncertainty_prints_bars(self, capsys):
+        nde.visualize_uncertainty({5: 0.1, 25: 0.3}, "employer_rating")
+        out = capsys.readouterr().out
+        assert "employer_rating" in out
+        assert "#" in out
+        assert "25%" in out
+
+    def test_full_figure4_loop(self, frames):
+        """The paper's loop, verbatim shape: losses rise with missingness."""
+        train, test = frames
+        max_losses = {}
+        for percentage in (5, 25):
+            table = nde.encode_symbolic(
+                train, uncertain_feature="employer_rating",
+                missing_percentage=percentage, missingness="MNAR")
+            max_losses[percentage] = nde.estimate_with_zorro(table, test)
+        assert max_losses[25] > max_losses[5]

@@ -1,0 +1,61 @@
+"""Integration test: the full Figure-2 hands-on scenario.
+
+Runs the paper's code snippet end to end — load letters, inject label
+errors, measure degraded accuracy, rank by KNN-Shapley, clean the lowest
+tuples through the oracle, and verify the documented dynamics.
+"""
+
+import numpy as np
+import pytest
+
+import repro as nde
+from repro.cleaning import CleaningOracle
+
+
+@pytest.fixture(scope="module")
+def scenario():
+    train_df, valid_df, test_df = nde.load_recommendation_letters(400, seed=0)
+    train_df_err, report = nde.inject_labelerrors(train_df, fraction=0.12,
+                                                  seed=100)
+    return {"train": train_df, "dirty": train_df_err, "valid": valid_df,
+            "report": report}
+
+
+class TestFigure2Scenario:
+    def test_errors_hurt_relative_to_truth(self, scenario):
+        acc_truth = nde.evaluate_model(scenario["train"],
+                                       validation=scenario["valid"])
+        acc_dirty = nde.evaluate_model(scenario["dirty"],
+                                       validation=scenario["valid"])
+        assert acc_dirty <= acc_truth + 0.01
+
+    def test_importance_finds_injected_errors(self, scenario):
+        importances = nde.knn_shapley_values(scenario["dirty"],
+                                             validation=scenario["valid"],
+                                             k=10)
+        lowest = scenario["dirty"].row_ids[np.argsort(importances)[:48]]
+        detection = scenario["report"].detection_scores(lowest)
+        # Clearly better than the 12% base rate of random flagging.
+        assert detection["precision"] >= 0.2
+        assert detection["recall"] >= 0.25
+
+    def test_prioritized_cleaning_recovers_accuracy(self, scenario):
+        """The paper's headline: 0.76 -> 0.79 after cleaning the bottom
+        tuples. We assert the direction (and see EXPERIMENTS.md for the
+        measured numbers, which land within a point of the paper's)."""
+        acc_dirty = nde.evaluate_model(scenario["dirty"],
+                                       validation=scenario["valid"])
+        importances = nde.knn_shapley_values(scenario["dirty"],
+                                             validation=scenario["valid"],
+                                             k=10)
+        lowest = scenario["dirty"].row_ids[np.argsort(importances)[:48]]
+        oracle = CleaningOracle(scenario["train"])
+        cleaned = oracle.clean(scenario["dirty"], lowest)
+        acc_cleaned = nde.evaluate_model(cleaned,
+                                         validation=scenario["valid"])
+        assert acc_cleaned >= acc_dirty
+
+    def test_pretty_print_runs(self, scenario, capsys):
+        nde.pretty_print(scenario["dirty"].head(3))
+        out = capsys.readouterr().out
+        assert "letter_text" in out

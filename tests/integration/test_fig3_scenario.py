@@ -1,0 +1,108 @@
+"""Integration test: the Figure-3 pipeline-debugging scenario.
+
+Builds the letters + side-tables pipeline of the paper, injects label
+errors into the *source* table, computes Datascope importances via
+provenance, and verifies that removing the worst source rows improves
+downstream accuracy (the paper reports +0.027)."""
+
+import numpy as np
+import pytest
+
+import repro as nde
+from repro.datasets import make_hiring_tables
+from repro.errors import inject_label_errors
+from repro.ml import (
+    ColumnTransformer,
+    LogisticRegression,
+    OneHotEncoder,
+    Pipeline,
+    SimpleImputer,
+    StandardScaler,
+)
+from repro.pipelines import (
+    DataPipeline,
+    datascope_importance,
+    remove_and_evaluate,
+    show_query_plan,
+    source,
+)
+from repro.pipelines.datascope import rank_source_rows
+from repro.text import SentenceEmbedder
+
+
+@pytest.fixture(scope="module")
+def scenario():
+    letters, jobs, social = make_hiring_tables(320, seed=41)
+    train, valid = letters.split([0.75, 0.25], seed=42)
+    dirty, report = inject_label_errors(train, column="sentiment",
+                                        fraction=0.15, seed=43)
+    encoder = ColumnTransformer([
+        ("text", SentenceEmbedder(dim=32), "letter_text"),
+        ("num", Pipeline([("imp", SimpleImputer()),
+                          ("sc", StandardScaler())]),
+         ["years_experience", "employer_rating"]),
+        ("deg", OneHotEncoder(), "degree"),
+        ("tw", "passthrough", "has_twitter"),
+    ])
+    plan = (source("train_df")
+            .join(source("jobdetail_df"), on="job_id")
+            .join(source("social_df"), on="person_id")
+            .map_column("has_twitter",
+                        lambda r: 1.0 if r["twitter"] is not None else 0.0)
+            .drop(["person_id", "job_id", "twitter", "sector", "seniority",
+                   "salary_band", "followers", "linkedin_connections"])
+            .encode(encoder, label="sentiment"))
+    sources = {"train_df": dirty, "jobdetail_df": jobs, "social_df": social}
+    pipeline = DataPipeline(plan)
+    result = pipeline.run(sources, provenance=True)
+    X_valid, y_valid = result.apply(dict(sources, train_df=valid))
+    return {"plan": plan, "pipeline": pipeline, "sources": sources,
+            "result": result, "valid": valid, "X_valid": X_valid,
+            "y_valid": y_valid, "report": report}
+
+
+class TestFigure3Scenario:
+    def test_query_plan_rendering(self, scenario):
+        text = show_query_plan(scenario["plan"])
+        for fragment in ("Source(train_df)", "Source(jobdetail_df)",
+                         "Source(social_df)", "Join", "Encode"):
+            assert fragment in text
+
+    def test_provenance_connects_output_to_sources(self, scenario):
+        provenance = scenario["result"].provenance
+        assert set(provenance.sources()) == {
+            "train_df", "jobdetail_df", "social_df"}
+
+    def test_datascope_finds_source_errors(self, scenario):
+        importances = datascope_importance(
+            scenario["result"], source="train_df",
+            X_valid=scenario["X_valid"], y_valid=scenario["y_valid"])
+        worst = rank_source_rows(importances, 36)
+        flipped = scenario["report"].row_ids()
+        hits = len(set(worst) & flipped)
+        assert hits / 36 >= 0.3  # ~2x the 15% base rate
+
+    def test_prioritized_removal_beats_random_removal(self, scenario):
+        """Removing the Datascope-worst source rows must beat removing the
+        same number of random rows (averaged over seeds) — the actionable
+        claim behind Figure 3's +0.027."""
+        importances = datascope_importance(
+            scenario["result"], source="train_df",
+            X_valid=scenario["X_valid"], y_valid=scenario["y_valid"], k=20)
+        worst = rank_source_rows(importances, 36)
+        prioritized = remove_and_evaluate(
+            scenario["pipeline"], scenario["sources"], source="train_df",
+            row_ids=worst, model=LogisticRegression(max_iter=80),
+            valid_frame=scenario["valid"])
+
+        train = scenario["sources"]["train_df"]
+        random_deltas = []
+        for seed in range(3):
+            rng = np.random.default_rng(seed)
+            random_rows = rng.choice(train.row_ids, size=36, replace=False)
+            outcome = remove_and_evaluate(
+                scenario["pipeline"], scenario["sources"], source="train_df",
+                row_ids=random_rows, model=LogisticRegression(max_iter=80),
+                valid_frame=scenario["valid"])
+            random_deltas.append(outcome["delta"])
+        assert prioritized["delta"] >= np.mean(random_deltas) - 0.01

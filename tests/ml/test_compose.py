@@ -1,0 +1,138 @@
+"""Unit tests for Pipeline, ColumnTransformer, FeatureUnion."""
+
+import numpy as np
+import pytest
+
+from repro.core.exceptions import SchemaError, ValidationError
+from repro.dataframe import DataFrame
+from repro.ml import (
+    ColumnTransformer,
+    FeatureUnion,
+    FunctionTransformer,
+    KNeighborsClassifier,
+    LogisticRegression,
+    OneHotEncoder,
+    Pipeline,
+    SimpleImputer,
+    StandardScaler,
+    clone,
+)
+
+
+class TestPipeline:
+    def test_transform_then_predict(self, blobs_split):
+        X_train, y_train, X_test, y_test = blobs_split
+        pipe = Pipeline([
+            ("scale", StandardScaler()),
+            ("model", LogisticRegression()),
+        ]).fit(X_train, y_train)
+        assert pipe.score(X_test, y_test) >= 0.9
+
+    def test_transformer_only_pipeline(self, rng):
+        X = rng.standard_normal((10, 2))
+        pipe = Pipeline([
+            ("scale", StandardScaler()),
+            ("double", FunctionTransformer(lambda Z: Z * 2)),
+        ])
+        Z = pipe.fit_transform(X)
+        assert Z.std() == pytest.approx(2.0, abs=0.3)
+
+    def test_duplicate_step_names_rejected(self):
+        with pytest.raises(ValidationError):
+            Pipeline([("a", StandardScaler()), ("a", StandardScaler())])
+
+    def test_empty_pipeline_rejected(self):
+        with pytest.raises(ValidationError):
+            Pipeline([])
+
+    def test_intermediate_non_transformer_rejected(self, blobs):
+        X, y = blobs
+        pipe = Pipeline([("model", LogisticRegression()),
+                         ("scale", StandardScaler())])
+        with pytest.raises(ValidationError):
+            pipe.fit(X, y)
+
+    def test_classes_exposed(self, blobs):
+        X, y = blobs
+        pipe = Pipeline([("m", KNeighborsClassifier(3))]).fit(X, y)
+        np.testing.assert_array_equal(pipe.classes_, [0, 1])
+
+    def test_clone_is_recursive(self, blobs):
+        X, y = blobs
+        pipe = Pipeline([("s", StandardScaler()),
+                         ("m", LogisticRegression(C=3.0))])
+        pipe.fit(X, y)
+        copy = clone(pipe)
+        assert copy.steps[1][1].C == 3.0
+        assert not hasattr(copy.steps[0][1], "mean_")
+
+
+class TestColumnTransformer:
+    @pytest.fixture()
+    def frame(self):
+        return DataFrame({
+            "num1": [1.0, 2.0, None, 4.0],
+            "num2": [10.0, 20.0, 30.0, 40.0],
+            "cat": ["a", "b", "a", "b"],
+        })
+
+    def test_mixed_blocks(self, frame):
+        ct = ColumnTransformer([
+            ("nums", Pipeline([("imp", SimpleImputer()),
+                               ("sc", StandardScaler())]), ["num1", "num2"]),
+            ("cats", OneHotEncoder(), "cat"),
+        ])
+        Z = ct.fit_transform(frame)
+        assert Z.shape == (4, 4)
+        assert np.all(np.isfinite(Z))
+
+    def test_passthrough(self, frame):
+        ct = ColumnTransformer([("keep", "passthrough", ["num2"])])
+        Z = ct.fit_transform(frame)
+        np.testing.assert_allclose(Z.ravel(), [10, 20, 30, 40])
+
+    def test_drop(self, frame):
+        ct = ColumnTransformer([
+            ("keep", "passthrough", ["num2"]),
+            ("gone", "drop", ["num1"]),
+        ])
+        assert ct.fit_transform(frame).shape == (4, 1)
+
+    def test_all_dropped_rejected(self, frame):
+        ct = ColumnTransformer([("gone", "drop", ["num1"])])
+        ct.fit(frame)
+        with pytest.raises(ValidationError):
+            ct.transform(frame)
+
+    def test_missing_column_raises_schema_error(self, frame):
+        ct = ColumnTransformer([("x", "passthrough", ["nope"])])
+        with pytest.raises(SchemaError):
+            ct.fit(frame)
+
+    def test_row_alignment_preserved(self, frame):
+        """Output row i must correspond to input row i (provenance
+        passes through encoding by position)."""
+        ct = ColumnTransformer([("keep", "passthrough", ["num2"])])
+        Z = ct.fit_transform(frame)
+        assert Z[2, 0] == 30.0
+
+    def test_accepts_plain_arrays(self, rng):
+        X = rng.standard_normal((6, 2))
+        ct = ColumnTransformer([("sc", StandardScaler(), [0, 1])])
+        assert ct.fit_transform(X).shape == (6, 2)
+
+
+class TestFeatureUnion:
+    def test_concatenates_outputs(self, rng):
+        X = rng.standard_normal((5, 2))
+        union = FeatureUnion([
+            ("identity", FunctionTransformer()),
+            ("double", FunctionTransformer(lambda Z: Z * 2)),
+        ])
+        Z = union.fit_transform(X)
+        assert Z.shape == (5, 4)
+        np.testing.assert_allclose(Z[:, 2:], X * 2)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValidationError):
+            FeatureUnion([])

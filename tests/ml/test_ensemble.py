@@ -1,0 +1,52 @@
+"""Unit tests for the random forest."""
+
+import numpy as np
+import pytest
+
+from repro.core.exceptions import ValidationError
+from repro.datasets import make_blobs, make_moons
+from repro.ml import DecisionTreeClassifier, RandomForestClassifier
+
+
+class TestRandomForest:
+    def test_learns_nonlinear_boundary(self):
+        X, y = make_moons(400, noise=0.15, seed=0)
+        model = RandomForestClassifier(n_estimators=15, max_depth=6,
+                                       seed=0).fit(X[:300], y[:300])
+        assert model.score(X[300:], y[300:]) >= 0.85
+
+    def test_beats_single_shallow_tree_on_moons(self):
+        X, y = make_moons(400, noise=0.2, seed=1)
+        tree = DecisionTreeClassifier(max_depth=3).fit(X[:300], y[:300])
+        forest = RandomForestClassifier(n_estimators=25, max_depth=3,
+                                        max_features="all",
+                                        seed=0).fit(X[:300], y[:300])
+        assert forest.score(X[300:], y[300:]) >= \
+            tree.score(X[300:], y[300:]) - 0.02
+
+    def test_proba_rows_sum_to_one(self):
+        X, y = make_blobs(100, centers=3, seed=2)
+        proba = RandomForestClassifier(n_estimators=8,
+                                       seed=0).fit(X, y).predict_proba(X)
+        np.testing.assert_allclose(proba.sum(axis=1), 1.0, atol=1e-9)
+
+    def test_deterministic_given_seed(self):
+        X, y = make_blobs(80, seed=3)
+        a = RandomForestClassifier(n_estimators=5, seed=7).fit(X, y).predict(X)
+        b = RandomForestClassifier(n_estimators=5, seed=7).fit(X, y).predict(X)
+        np.testing.assert_array_equal(a, b)
+
+    def test_max_features_validated(self):
+        X, y = make_blobs(40, n_features=3, seed=4)
+        with pytest.raises(ValidationError):
+            RandomForestClassifier(max_features=10).fit(X, y)
+
+    def test_works_inside_utility(self):
+        """Model-agnosticism: the importance machinery accepts forests."""
+        from repro.importance import Utility, leave_one_out
+
+        X, y = make_blobs(40, seed=5)
+        utility = Utility(RandomForestClassifier(n_estimators=3, seed=0),
+                          X[:30], y[:30], X[30:], y[30:])
+        values = leave_one_out(utility)
+        assert values.shape == (30,)

@@ -1,0 +1,121 @@
+"""Unit tests for linear models."""
+
+import numpy as np
+import pytest
+
+from repro.core.exceptions import NotFittedError, ValidationError
+from repro.datasets import make_blobs, make_linear_separable
+from repro.ml import LinearRegression, LinearSVC, LogisticRegression
+
+
+class TestLogisticRegression:
+    def test_separable_data_fits_perfectly(self):
+        X, y, _ = make_linear_separable(100, n_features=4, seed=0)
+        model = LogisticRegression(C=10.0).fit(X, y)
+        assert model.score(X, y) >= 0.98
+
+    def test_predict_proba_rows_sum_to_one(self, blobs):
+        X, y = blobs
+        proba = LogisticRegression().fit(X, y).predict_proba(X)
+        np.testing.assert_allclose(proba.sum(axis=1), 1.0, atol=1e-9)
+
+    def test_multiclass(self):
+        X, y = make_blobs(150, n_features=3, centers=3, cluster_std=0.8, seed=1)
+        model = LogisticRegression().fit(X, y)
+        assert model.score(X, y) >= 0.9
+        assert model.predict_proba(X).shape == (150, 3)
+
+    def test_string_labels_roundtrip(self, blobs):
+        X, y = blobs
+        labels = np.where(y == 0, "neg", "pos")
+        model = LogisticRegression().fit(X, labels)
+        assert set(model.predict(X)) <= {"neg", "pos"}
+
+    def test_stronger_regularization_shrinks_weights(self, blobs):
+        X, y = blobs
+        big_c = LogisticRegression(C=100.0).fit(X, y)
+        small_c = LogisticRegression(C=0.001).fit(X, y)
+        assert np.linalg.norm(small_c.coef_) < np.linalg.norm(big_c.coef_)
+
+    def test_sample_weight_zero_removes_points(self, blobs):
+        X, y = blobs
+        # Zero-weighting the second half must equal training on the first.
+        weights = np.ones(len(y))
+        weights[60:] = 0.0
+        weighted = LogisticRegression().fit(X, y, sample_weight=weights)
+        subset = LogisticRegression().fit(X[:60], y[:60])
+        np.testing.assert_allclose(weighted.coef_, subset.coef_, atol=1e-3)
+
+    def test_predict_before_fit_raises(self, blobs):
+        with pytest.raises(NotFittedError):
+            LogisticRegression().predict(blobs[0])
+
+    def test_single_class_rejected(self):
+        with pytest.raises(ValidationError):
+            LogisticRegression().fit([[1.0], [2.0]], [1, 1])
+
+    def test_nan_features_rejected(self):
+        with pytest.raises(ValidationError):
+            LogisticRegression().fit([[np.nan], [1.0]], [0, 1])
+
+
+class TestLinearRegression:
+    def test_recovers_exact_linear_relationship(self, rng):
+        X = rng.standard_normal((80, 3))
+        w = np.array([2.0, -1.0, 0.5])
+        y = X @ w + 3.0
+        model = LinearRegression().fit(X, y)
+        np.testing.assert_allclose(model.coef_, w, atol=1e-8)
+        assert model.intercept_ == pytest.approx(3.0, abs=1e-8)
+
+    def test_r2_score_is_one_for_exact_fit(self, rng):
+        X = rng.standard_normal((50, 2))
+        y = X[:, 0] * 2
+        assert LinearRegression().fit(X, y).score(X, y) == pytest.approx(1.0)
+
+    def test_ridge_shrinks_towards_zero(self, rng):
+        X = rng.standard_normal((40, 2))
+        y = X[:, 0]
+        plain = LinearRegression().fit(X, y)
+        ridge = LinearRegression(alpha=100.0).fit(X, y)
+        assert np.linalg.norm(ridge.coef_) < np.linalg.norm(plain.coef_)
+
+    def test_intercept_not_regularized(self, rng):
+        X = rng.standard_normal((60, 1))
+        y = np.full(60, 10.0)
+        model = LinearRegression(alpha=1000.0).fit(X, y)
+        assert model.intercept_ == pytest.approx(10.0, abs=0.2)
+
+    def test_sample_weights(self, rng):
+        X = np.array([[0.0], [1.0], [2.0], [3.0]])
+        y = np.array([0.0, 1.0, 2.0, 100.0])
+        weights = np.array([1.0, 1.0, 1.0, 0.0])
+        model = LinearRegression().fit(X, y, sample_weight=weights)
+        assert model.predict(np.array([[4.0]]))[0] == pytest.approx(4.0, abs=1e-6)
+
+
+class TestLinearSVC:
+    def test_separable_data(self):
+        X, y, _ = make_linear_separable(100, n_features=3, seed=2)
+        model = LinearSVC(C=10.0).fit(X, y)
+        assert model.score(X, y) >= 0.98
+
+    def test_decision_function_sign_matches_prediction(self, blobs):
+        X, y = blobs
+        model = LinearSVC().fit(X, y)
+        scores = model.decision_function(X)
+        preds = model.predict(X)
+        assert np.all((scores > 0) == (preds == model.classes_[1]))
+
+    def test_multiclass_rejected(self):
+        X, y = make_blobs(60, centers=3, seed=3)
+        with pytest.raises(ValidationError):
+            LinearSVC().fit(X, y)
+
+    def test_clone_roundtrip_params(self):
+        from repro.ml import clone
+
+        model = LinearSVC(C=2.5, max_iter=77)
+        copy = clone(model)
+        assert copy.C == 2.5 and copy.max_iter == 77
+        assert not hasattr(copy, "coef_")

@@ -1,0 +1,110 @@
+"""Unit tests for quality metrics."""
+
+import numpy as np
+import pytest
+
+from repro.core.exceptions import ValidationError
+from repro.ml import (
+    accuracy_score,
+    confusion_matrix,
+    f1_score,
+    log_loss,
+    precision_score,
+    prediction_entropy,
+    recall_score,
+    roc_auc_score,
+)
+from repro.ml.metrics import balanced_accuracy_score
+
+
+class TestAccuracy:
+    def test_perfect(self):
+        assert accuracy_score([1, 0, 1], [1, 0, 1]) == 1.0
+
+    def test_fraction(self):
+        assert accuracy_score([1, 0, 1, 0], [1, 1, 1, 1]) == 0.5
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValidationError):
+            accuracy_score([], [])
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValidationError):
+            accuracy_score([1], [1, 2])
+
+
+class TestConfusionMatrix:
+    def test_binary_counts(self):
+        matrix = confusion_matrix([1, 1, 0, 0], [1, 0, 0, 1])
+        np.testing.assert_array_equal(matrix, [[1, 1], [1, 1]])
+
+    def test_explicit_label_order(self):
+        matrix = confusion_matrix(["b", "a"], ["b", "a"], labels=["b", "a"])
+        np.testing.assert_array_equal(matrix, [[1, 0], [0, 1]])
+
+    def test_trace_equals_correct_count(self):
+        y_true = [0, 1, 2, 2, 1]
+        y_pred = [0, 1, 1, 2, 0]
+        assert confusion_matrix(y_true, y_pred).trace() == 3
+
+
+class TestPrecisionRecallF1:
+    def test_known_values(self):
+        y_true = [1, 1, 1, 0, 0]
+        y_pred = [1, 1, 0, 1, 0]
+        assert precision_score(y_true, y_pred, positive=1) == pytest.approx(2 / 3)
+        assert recall_score(y_true, y_pred, positive=1) == pytest.approx(2 / 3)
+        assert f1_score(y_true, y_pred, positive=1) == pytest.approx(2 / 3)
+
+    def test_no_positive_predictions_gives_zero_precision(self):
+        assert precision_score([1, 1], [0, 0], positive=1) == 0.0
+
+    def test_f1_zero_when_nothing_found(self):
+        assert f1_score([1, 0], [0, 0], positive=1) == 0.0
+
+    def test_default_positive_is_larger_label(self):
+        assert recall_score([0, 1], [0, 1]) == 1.0
+
+
+class TestLogLoss:
+    def test_confident_correct_is_near_zero(self):
+        loss = log_loss([1], [[0.01, 0.99]], classes=[0, 1])
+        assert loss == pytest.approx(-np.log(0.99))
+
+    def test_uniform_is_log_k(self):
+        loss = log_loss([0, 1], [[0.5, 0.5], [0.5, 0.5]], classes=[0, 1])
+        assert loss == pytest.approx(np.log(2))
+
+    def test_unknown_label_rejected(self):
+        with pytest.raises(ValidationError):
+            log_loss([2], [[0.5, 0.5]], classes=[0, 1])
+
+
+class TestRocAuc:
+    def test_perfect_ranking(self):
+        assert roc_auc_score([0, 0, 1, 1], [0.1, 0.2, 0.8, 0.9]) == 1.0
+
+    def test_reversed_ranking(self):
+        assert roc_auc_score([0, 0, 1, 1], [0.9, 0.8, 0.2, 0.1]) == 0.0
+
+    def test_ties_give_half_credit(self):
+        assert roc_auc_score([0, 1], [0.5, 0.5]) == 0.5
+
+    def test_single_class_rejected(self):
+        with pytest.raises(ValidationError):
+            roc_auc_score([1, 1], [0.1, 0.2])
+
+
+class TestEntropyAndBalance:
+    def test_deterministic_predictions_have_zero_entropy(self):
+        assert prediction_entropy([[1.0, 0.0], [0.0, 1.0]]) == pytest.approx(
+            0.0, abs=1e-9)
+
+    def test_uniform_predictions_have_max_entropy(self):
+        assert prediction_entropy([[0.5, 0.5]]) == pytest.approx(1.0)
+
+    def test_balanced_accuracy_on_imbalanced_data(self):
+        y_true = [0] * 90 + [1] * 10
+        y_pred = [0] * 100  # majority-class dummy
+        assert accuracy_score(y_true, y_pred) == 0.9
+        assert balanced_accuracy_score(y_true, y_pred) == 0.5

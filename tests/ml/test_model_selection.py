@@ -1,0 +1,71 @@
+"""Unit tests for splitting and cross-validation."""
+
+import numpy as np
+import pytest
+
+from repro.core.exceptions import ValidationError
+from repro.ml import KFold, KNeighborsClassifier, cross_val_score, train_test_split
+
+
+class TestTrainTestSplit:
+    def test_sizes(self, blobs):
+        X, y = blobs
+        X_train, X_test, y_train, y_test = train_test_split(
+            X, y, test_size=0.25, seed=0)
+        assert len(X_test) == 30
+        assert len(X_train) == 90
+        assert len(y_train) == 90
+
+    def test_disjoint_and_complete(self, blobs):
+        X, y = blobs
+        X_train, X_test = train_test_split(X, test_size=0.3, seed=1)
+        assert len(X_train) + len(X_test) == len(X)
+
+    def test_seed_reproducible(self, blobs):
+        X, y = blobs
+        a = train_test_split(X, y, test_size=0.2, seed=5)
+        b = train_test_split(X, y, test_size=0.2, seed=5)
+        np.testing.assert_array_equal(a[1], b[1])
+
+    def test_stratified_preserves_proportions(self):
+        y = np.array([0] * 80 + [1] * 20)
+        X = np.arange(100.0)[:, None]
+        _, _, _, y_test = train_test_split(X, y, test_size=0.25, seed=2,
+                                           stratify=y)
+        assert np.mean(y_test == 1) == pytest.approx(0.2, abs=0.05)
+
+    def test_degenerate_test_size_rejected(self, blobs):
+        X, y = blobs
+        with pytest.raises(ValidationError):
+            train_test_split(X, y, test_size=1.0)
+
+
+class TestKFold:
+    def test_folds_partition_data(self):
+        X = np.arange(23.0)[:, None]
+        seen = []
+        for train_idx, test_idx in KFold(5, seed=0).split(X):
+            assert set(train_idx).isdisjoint(test_idx)
+            seen.extend(test_idx.tolist())
+        assert sorted(seen) == list(range(23))
+
+    def test_too_few_rows_rejected(self):
+        with pytest.raises(ValidationError):
+            list(KFold(5).split(np.ones((3, 1))))
+
+    def test_n_splits_minimum(self):
+        with pytest.raises(ValidationError):
+            KFold(1)
+
+
+class TestCrossValScore:
+    def test_scores_shape_and_range(self, blobs):
+        X, y = blobs
+        scores = cross_val_score(KNeighborsClassifier(3), X, y, cv=4, seed=0)
+        assert scores.shape == (4,)
+        assert np.all((scores >= 0) & (scores <= 1))
+
+    def test_good_model_scores_high(self, blobs):
+        X, y = blobs
+        scores = cross_val_score(KNeighborsClassifier(3), X, y, cv=4, seed=0)
+        assert scores.mean() >= 0.9

@@ -1,0 +1,42 @@
+"""Unit tests for Gaussian naive Bayes."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import make_blobs
+from repro.ml import GaussianNB
+
+
+class TestGaussianNB:
+    def test_separable_blobs(self, blobs_split):
+        X_train, y_train, X_test, y_test = blobs_split
+        model = GaussianNB().fit(X_train, y_train)
+        assert model.score(X_test, y_test) >= 0.9
+
+    def test_class_priors_match_frequencies(self):
+        X = np.vstack([np.zeros((30, 1)), np.ones((10, 1))])
+        y = np.array([0] * 30 + [1] * 10)
+        model = GaussianNB().fit(X, y)
+        np.testing.assert_allclose(model.class_prior_, [0.75, 0.25])
+
+    def test_per_class_means_estimated(self):
+        X = np.vstack([np.full((20, 1), -3.0), np.full((20, 1), 3.0)])
+        y = np.array([0] * 20 + [1] * 20)
+        model = GaussianNB().fit(X, y)
+        np.testing.assert_allclose(model.theta_.ravel(), [-3.0, 3.0])
+
+    def test_proba_sums_to_one(self, blobs):
+        X, y = blobs
+        proba = GaussianNB().fit(X, y).predict_proba(X)
+        np.testing.assert_allclose(proba.sum(axis=1), 1.0, atol=1e-9)
+
+    def test_var_smoothing_handles_constant_features(self):
+        X = np.column_stack([np.ones(20), np.arange(20.0)])
+        y = np.array([0] * 10 + [1] * 10)
+        model = GaussianNB().fit(X, y)  # must not divide by zero
+        assert model.score(X, y) == pytest.approx(1.0)
+
+    def test_multiclass(self):
+        X, y = make_blobs(150, centers=4, cluster_std=0.5, seed=9)
+        model = GaussianNB().fit(X, y)
+        assert model.score(X, y) >= 0.9

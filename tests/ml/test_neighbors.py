@@ -1,0 +1,71 @@
+"""Unit tests for the k-NN classifier and pairwise distances."""
+
+import numpy as np
+import pytest
+
+from repro.core.exceptions import ValidationError
+from repro.ml import KNeighborsClassifier
+from repro.ml.neighbors import pairwise_distances
+
+
+class TestPairwiseDistances:
+    def test_euclidean_matches_numpy(self, rng):
+        A = rng.standard_normal((10, 4))
+        B = rng.standard_normal((7, 4))
+        expected = np.linalg.norm(A[:, None, :] - B[None, :, :], axis=2)
+        np.testing.assert_allclose(
+            pairwise_distances(A, B), expected, atol=1e-9)
+
+    def test_manhattan(self):
+        A = np.array([[0.0, 0.0]])
+        B = np.array([[1.0, 2.0]])
+        assert pairwise_distances(A, B, "manhattan")[0, 0] == 3.0
+
+    def test_cosine_of_identical_vector_is_zero(self):
+        A = np.array([[1.0, 2.0]])
+        assert pairwise_distances(A, A, "cosine")[0, 0] == pytest.approx(0.0)
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValidationError):
+            pairwise_distances(np.ones((2, 3)), np.ones((2, 4)))
+
+    def test_unknown_metric_rejected(self):
+        with pytest.raises(ValidationError):
+            pairwise_distances(np.ones((1, 1)), np.ones((1, 1)), "hamming")
+
+
+class TestKNeighborsClassifier:
+    def test_1nn_memorizes_training_data(self, blobs):
+        X, y = blobs
+        model = KNeighborsClassifier(n_neighbors=1).fit(X, y)
+        assert model.score(X, y) == 1.0
+
+    def test_kneighbors_sorted_by_distance(self, blobs):
+        X, y = blobs
+        model = KNeighborsClassifier(n_neighbors=5).fit(X, y)
+        distances, _ = model.kneighbors(X[:3])
+        assert np.all(np.diff(distances, axis=1) >= 0)
+
+    def test_deterministic_tie_breaking_by_index(self):
+        X = np.array([[0.0], [1.0], [1.0]])
+        y = np.array([0, 1, 0])
+        model = KNeighborsClassifier(n_neighbors=2).fit(X, y)
+        _, indices = model.kneighbors(np.array([[1.0]]))
+        assert indices[0].tolist() == [1, 2]
+
+    def test_proba_is_vote_fraction(self):
+        X = np.array([[0.0], [0.1], [0.2], [5.0]])
+        y = np.array([0, 0, 1, 1])
+        model = KNeighborsClassifier(n_neighbors=3).fit(X, y)
+        proba = model.predict_proba(np.array([[0.0]]))
+        np.testing.assert_allclose(proba[0], [2 / 3, 1 / 3])
+
+    def test_k_larger_than_train_rejected(self):
+        with pytest.raises(ValidationError):
+            KNeighborsClassifier(n_neighbors=10).fit(
+                np.ones((3, 1)), np.array([0, 1, 0]))
+
+    def test_generalizes_on_blobs(self, blobs_split):
+        X_train, y_train, X_test, y_test = blobs_split
+        model = KNeighborsClassifier(n_neighbors=5).fit(X_train, y_train)
+        assert model.score(X_test, y_test) >= 0.9

@@ -1,0 +1,171 @@
+"""Unit tests for preprocessing transformers."""
+
+import numpy as np
+import pytest
+
+from repro.core.exceptions import NotFittedError, ValidationError
+from repro.ml import (
+    FunctionTransformer,
+    KNNImputer,
+    LabelEncoder,
+    MinMaxScaler,
+    OneHotEncoder,
+    SimpleImputer,
+    StandardScaler,
+)
+
+
+class TestStandardScaler:
+    def test_zero_mean_unit_variance(self, rng):
+        X = rng.normal(5.0, 3.0, (100, 2))
+        Z = StandardScaler().fit_transform(X)
+        np.testing.assert_allclose(Z.mean(axis=0), 0.0, atol=1e-9)
+        np.testing.assert_allclose(Z.std(axis=0), 1.0, atol=1e-9)
+
+    def test_constant_column_passes_through(self):
+        X = np.column_stack([np.ones(10), np.arange(10.0)])
+        Z = StandardScaler().fit_transform(X)
+        np.testing.assert_allclose(Z[:, 0], 0.0)
+
+    def test_inverse_transform_roundtrip(self, rng):
+        X = rng.normal(0, 2, (20, 3))
+        scaler = StandardScaler().fit(X)
+        np.testing.assert_allclose(
+            scaler.inverse_transform(scaler.transform(X)), X, atol=1e-9)
+
+    def test_nan_aware_statistics(self):
+        X = np.array([[1.0], [np.nan], [3.0]])
+        scaler = StandardScaler().fit(X)
+        assert scaler.mean_[0] == 2.0
+
+    def test_transform_before_fit_raises(self):
+        with pytest.raises(NotFittedError):
+            StandardScaler().transform(np.ones((2, 2)))
+
+
+class TestMinMaxScaler:
+    def test_maps_to_unit_interval(self, rng):
+        X = rng.uniform(-5, 5, (50, 2))
+        Z = MinMaxScaler().fit_transform(X)
+        assert Z.min() == pytest.approx(0.0)
+        assert Z.max() == pytest.approx(1.0)
+
+    def test_custom_range(self):
+        X = np.array([[0.0], [10.0]])
+        Z = MinMaxScaler(feature_range=(-1, 1)).fit_transform(X)
+        np.testing.assert_allclose(Z.ravel(), [-1.0, 1.0])
+
+    def test_invalid_range_rejected(self):
+        with pytest.raises(ValidationError):
+            MinMaxScaler(feature_range=(1, 0)).fit(np.ones((2, 1)))
+
+
+class TestOneHotEncoder:
+    def test_basic_encoding(self):
+        X = np.array([["a"], ["b"], ["a"]], dtype=object)
+        Z = OneHotEncoder().fit_transform(X)
+        np.testing.assert_array_equal(Z, [[1, 0], [0, 1], [1, 0]])
+
+    def test_unknown_category_ignored(self):
+        enc = OneHotEncoder().fit(np.array([["a"]], dtype=object))
+        Z = enc.transform(np.array([["zzz"]], dtype=object))
+        np.testing.assert_array_equal(Z, [[0]])
+
+    def test_unknown_category_error_mode(self):
+        enc = OneHotEncoder(handle_unknown="error").fit(
+            np.array([["a"]], dtype=object))
+        with pytest.raises(ValidationError):
+            enc.transform(np.array([["zzz"]], dtype=object))
+
+    def test_none_becomes_null_category(self):
+        X = np.array([["a"], [None]], dtype=object)
+        enc = OneHotEncoder().fit(X)
+        assert "<null>" in enc.categories_[0]
+
+    def test_multi_column(self):
+        X = np.array([["a", "x"], ["b", "y"]], dtype=object)
+        Z = OneHotEncoder().fit_transform(X)
+        assert Z.shape == (2, 4)
+
+    def test_feature_names(self):
+        enc = OneHotEncoder().fit(np.array([["a"], ["b"]], dtype=object))
+        assert enc.feature_names(["col"]) == ["col=a", "col=b"]
+
+
+class TestSimpleImputer:
+    def test_mean(self):
+        X = np.array([[1.0], [np.nan], [3.0]])
+        Z = SimpleImputer("mean").fit_transform(X)
+        assert Z[1, 0] == 2.0
+
+    def test_median(self):
+        X = np.array([[1.0], [np.nan], [2.0], [100.0]])
+        Z = SimpleImputer("median").fit_transform(X)
+        assert Z[1, 0] == 2.0
+
+    def test_most_frequent(self):
+        X = np.array([[1.0], [1.0], [2.0], [np.nan]])
+        Z = SimpleImputer("most_frequent").fit_transform(X)
+        assert Z[3, 0] == 1.0
+
+    def test_constant(self):
+        X = np.array([[np.nan]])
+        Z = SimpleImputer("constant", fill_value=-7.0).fit_transform(X)
+        assert Z[0, 0] == -7.0
+
+    def test_unknown_strategy_rejected(self):
+        with pytest.raises(ValidationError):
+            SimpleImputer("magic")
+
+    def test_no_missing_is_identity(self, rng):
+        X = rng.standard_normal((10, 3))
+        np.testing.assert_array_equal(SimpleImputer().fit_transform(X), X)
+
+
+class TestKNNImputer:
+    def test_uses_nearest_donor(self):
+        X = np.array([
+            [0.0, 0.0],
+            [0.1, 0.2],
+            [10.0, 10.0],
+            [0.05, np.nan],
+        ])
+        Z = KNNImputer(n_neighbors=2).fit_transform(X)
+        assert Z[3, 1] == pytest.approx(0.1)  # mean of rows 0 and 1
+
+    def test_complete_rows_untouched(self, rng):
+        X = rng.standard_normal((15, 2))
+        X[3, 0] = np.nan
+        Z = KNNImputer(n_neighbors=3).fit_transform(X)
+        np.testing.assert_array_equal(np.delete(Z, 3, axis=0),
+                                      np.delete(X, 3, axis=0))
+
+    def test_all_imputed_values_finite(self, rng):
+        X = rng.standard_normal((30, 3))
+        X[rng.uniform(size=X.shape) < 0.2] = np.nan
+        Z = KNNImputer().fit_transform(X)
+        assert np.all(np.isfinite(Z))
+
+
+class TestLabelEncoder:
+    def test_roundtrip(self):
+        enc = LabelEncoder().fit(["b", "a", "b"])
+        codes = enc.transform(["a", "b"])
+        np.testing.assert_array_equal(codes, [0, 1])
+        np.testing.assert_array_equal(enc.inverse_transform(codes), ["a", "b"])
+
+    def test_unseen_label_rejected(self):
+        enc = LabelEncoder().fit(["a"])
+        with pytest.raises(ValidationError):
+            enc.transform(["q"])
+
+
+class TestFunctionTransformer:
+    def test_applies_function(self):
+        ft = FunctionTransformer(lambda X: X * 2)
+        np.testing.assert_array_equal(
+            ft.fit_transform(np.ones((2, 2))), np.full((2, 2), 2.0))
+
+    def test_identity_by_default(self):
+        X = np.ones((2, 2))
+        assert FunctionTransformer().fit_transform(X) is X

@@ -1,0 +1,68 @@
+"""Unit tests for the decision tree."""
+
+import numpy as np
+import pytest
+
+from repro.core.exceptions import ValidationError
+from repro.datasets import make_blobs, make_moons
+from repro.ml import DecisionTreeClassifier
+
+
+class TestDecisionTree:
+    def test_memorizes_unbounded(self, blobs):
+        X, y = blobs
+        model = DecisionTreeClassifier().fit(X, y)
+        assert model.score(X, y) == 1.0
+
+    def test_max_depth_respected(self, blobs):
+        X, y = blobs
+        model = DecisionTreeClassifier(max_depth=2).fit(X, y)
+        assert model.depth() <= 2
+
+    def test_depth_zero_tree_is_single_leaf(self, blobs):
+        X, y = blobs
+        model = DecisionTreeClassifier(max_depth=0).fit(X, y)
+        assert model.n_leaves() == 1
+
+    def test_xor_pattern_needs_depth_two(self):
+        X = np.array([[0, 0], [0, 1], [1, 0], [1, 1]], dtype=float)
+        X = np.repeat(X, 10, axis=0)
+        y = (X[:, 0] != X[:, 1]).astype(int)
+        shallow = DecisionTreeClassifier(max_depth=1).fit(X, y)
+        deep = DecisionTreeClassifier(max_depth=2).fit(X, y)
+        assert shallow.score(X, y) < deep.score(X, y)
+        assert deep.score(X, y) == 1.0
+
+    def test_nonlinear_moons(self):
+        X, y = make_moons(300, noise=0.1, seed=4)
+        model = DecisionTreeClassifier(max_depth=6).fit(X[:200], y[:200])
+        assert model.score(X[200:], y[200:]) >= 0.85
+
+    def test_predict_proba_from_leaf_counts(self):
+        X = np.array([[0.0], [0.0], [10.0]])
+        y = np.array([0, 1, 1])
+        model = DecisionTreeClassifier(max_depth=1).fit(X, y)
+        proba = model.predict_proba(np.array([[0.0]]))
+        np.testing.assert_allclose(proba[0], [0.5, 0.5])
+
+    def test_min_impurity_decrease_prunes(self, blobs):
+        X, y = blobs
+        strict = DecisionTreeClassifier(min_impurity_decrease=0.4).fit(X, y)
+        loose = DecisionTreeClassifier().fit(X, y)
+        assert strict.n_leaves() <= loose.n_leaves()
+
+    def test_min_samples_split_validated(self, blobs):
+        X, y = blobs
+        with pytest.raises(ValidationError):
+            DecisionTreeClassifier(min_samples_split=1).fit(X, y)
+
+    def test_multiclass(self):
+        X, y = make_blobs(120, centers=3, cluster_std=0.6, seed=5)
+        model = DecisionTreeClassifier(max_depth=5).fit(X, y)
+        assert model.score(X, y) >= 0.95
+
+    def test_constant_features_yield_single_leaf(self):
+        X = np.ones((10, 2))
+        y = np.array([0, 1] * 5)
+        model = DecisionTreeClassifier().fit(X, y)
+        assert model.n_leaves() == 1

@@ -1,0 +1,73 @@
+"""Fixtures: the Figure-3 hiring pipeline, shared across pipeline tests."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import make_hiring_tables
+from repro.ml import (
+    ColumnTransformer,
+    LogisticRegression,
+    OneHotEncoder,
+    Pipeline,
+    SimpleImputer,
+    StandardScaler,
+)
+from repro.pipelines import DataPipeline, source
+from repro.text import SentenceEmbedder
+
+
+@pytest.fixture(scope="module")
+def hiring_data():
+    letters, jobs, social = make_hiring_tables(160, n_jobs=25, seed=21)
+    train, valid = letters.split([0.7, 0.3], seed=22)
+    return {"train": train, "valid": valid, "jobs": jobs, "social": social}
+
+
+def build_letter_encoder(dim=16):
+    return ColumnTransformer([
+        ("text", SentenceEmbedder(dim=dim), "letter_text"),
+        ("num", Pipeline([("imp", SimpleImputer()), ("sc", StandardScaler())]),
+         ["years_experience", "employer_rating"]),
+        ("deg", OneHotEncoder(), "degree"),
+        ("tw", "passthrough", "has_twitter"),
+    ])
+
+
+@pytest.fixture(scope="module")
+def hiring_plan():
+    train = source("train_df")
+    jobs = source("jobdetail_df")
+    social = source("social_df")
+    return (train.join(jobs, on="job_id")
+                 .join(social, on="person_id")
+                 .map_column("has_twitter",
+                             lambda r: 1.0 if r["twitter"] is not None else 0.0)
+                 .drop(["person_id", "job_id", "twitter", "sector",
+                        "seniority", "salary_band", "followers",
+                        "linkedin_connections"])
+                 .encode(build_letter_encoder(), label="sentiment"))
+
+
+@pytest.fixture(scope="module")
+def hiring_sources(hiring_data):
+    return {"train_df": hiring_data["train"],
+            "jobdetail_df": hiring_data["jobs"],
+            "social_df": hiring_data["social"]}
+
+
+@pytest.fixture(scope="module")
+def hiring_result(hiring_plan, hiring_sources):
+    return DataPipeline(hiring_plan).run(hiring_sources, provenance=True)
+
+
+@pytest.fixture(scope="module")
+def hiring_validation(hiring_result, hiring_sources, hiring_data):
+    valid_sources = dict(hiring_sources)
+    valid_sources["train_df"] = hiring_data["valid"]
+    X_valid, y_valid = hiring_result.apply(valid_sources)
+    return X_valid, y_valid
+
+
+@pytest.fixture()
+def model():
+    return LogisticRegression(max_iter=80)

@@ -1,0 +1,195 @@
+"""Unit tests for Datascope-style pipeline importance."""
+
+import numpy as np
+import pytest
+
+from repro.core.exceptions import ValidationError
+from repro.dataframe import DataFrame
+from repro.errors import inject_label_errors
+from repro.importance import knn_shapley
+from repro.ml import ColumnTransformer, StandardScaler
+from repro.pipelines import DataPipeline, datascope_importance, remove_and_evaluate, source
+from repro.pipelines.datascope import rank_source_rows
+
+
+class TestDatascopeImportance:
+    def test_requires_provenance(self, hiring_plan, hiring_sources,
+                                 hiring_validation):
+        result = DataPipeline(hiring_plan).run(hiring_sources,
+                                               provenance=False)
+        X_valid, y_valid = hiring_validation
+        with pytest.raises(ValidationError):
+            datascope_importance(result, source="train_df",
+                                 X_valid=X_valid, y_valid=y_valid)
+
+    def test_unknown_source_rejected(self, hiring_result, hiring_validation):
+        X_valid, y_valid = hiring_validation
+        with pytest.raises(ValidationError):
+            datascope_importance(hiring_result, source="nope",
+                                 X_valid=X_valid, y_valid=y_valid)
+
+    def test_every_surviving_source_row_scored(self, hiring_result,
+                                               hiring_sources,
+                                               hiring_validation):
+        X_valid, y_valid = hiring_validation
+        importances = datascope_importance(hiring_result, source="train_df",
+                                           X_valid=X_valid, y_valid=y_valid)
+        surviving = hiring_result.provenance.source_rows("train_df")
+        assert set(importances) == surviving
+
+    def test_identity_pipeline_matches_plain_knn_shapley(self):
+        """With a pass-through pipeline, source importance must equal the
+        plain per-row KNN-Shapley values."""
+        rng = np.random.default_rng(0)
+        frame = DataFrame({
+            "f1": rng.normal(0, 1, 40), "f2": rng.normal(0, 1, 40),
+            "label": (["a", "b"] * 20),
+        })
+        valid = DataFrame({
+            "f1": rng.normal(0, 1, 20), "f2": rng.normal(0, 1, 20),
+            "label": (["a", "b"] * 10),
+        })
+        encoder = ColumnTransformer([("n", StandardScaler(), ["f1", "f2"])])
+        plan = source("t").encode(encoder, label="label")
+        result = DataPipeline(plan).run({"t": frame}, provenance=True)
+        X_valid, y_valid = result.apply({"t": valid})
+
+        via_pipeline = datascope_importance(result, source="t",
+                                            X_valid=X_valid, y_valid=y_valid,
+                                            k=3)
+        direct = knn_shapley(result.X, result.y, X_valid, y_valid, k=3)
+        for position, rid in enumerate(frame.row_ids):
+            assert via_pipeline[int(rid)] == pytest.approx(direct[position])
+
+    def test_corrupted_source_rows_rank_low(self, hiring_sources, hiring_plan,
+                                            hiring_data):
+        """Label-flip some train rows; Datascope should push a clear share
+        of them into the bottom quartile."""
+        dirty, report = inject_label_errors(
+            hiring_sources["train_df"], column="sentiment", fraction=0.15,
+            seed=5)
+        sources = dict(hiring_sources, train_df=dirty)
+        result = DataPipeline(hiring_plan).run(sources, provenance=True)
+        valid_sources = dict(sources, train_df=hiring_data["valid"])
+        X_valid, y_valid = result.apply(valid_sources)
+        importances = datascope_importance(result, source="train_df",
+                                           X_valid=X_valid, y_valid=y_valid)
+        quartile = rank_source_rows(importances, len(importances) // 4)
+        flipped = report.row_ids()
+        hits = len(set(quartile) & flipped)
+        assert hits / len(flipped) >= 0.4  # ~1.6x better than random
+
+    def test_rank_source_rows_ascending(self):
+        ranked = rank_source_rows({3: 0.5, 1: -0.5, 2: 0.0})
+        assert ranked == [1, 2, 3]
+
+
+class TestRemoveAndEvaluate:
+    def test_reports_before_after_delta(self, hiring_plan, hiring_sources,
+                                        hiring_data, model):
+        some_rows = hiring_sources["train_df"].row_ids[:5]
+        outcome = remove_and_evaluate(
+            DataPipeline(hiring_plan), hiring_sources, source="train_df",
+            row_ids=some_rows, model=model,
+            valid_frame=hiring_data["valid"])
+        assert outcome["delta"] == pytest.approx(
+            outcome["after"] - outcome["before"])
+        assert 0.0 <= outcome["before"] <= 1.0
+        assert 0.0 <= outcome["after"] <= 1.0
+
+    def test_removing_side_table_rows_changes_output_size(
+            self, hiring_plan, hiring_sources, hiring_data, model):
+        """Dropping jobdetail rows removes all letters referencing them
+        (inner-join semantics) — the silent data loss inspections hunt."""
+        pipeline = DataPipeline(hiring_plan)
+        baseline = pipeline.run(hiring_sources)
+        dropped = hiring_sources["jobdetail_df"].row_ids[:5]
+        patched = dict(hiring_sources)
+        patched["jobdetail_df"] = \
+            hiring_sources["jobdetail_df"].drop_rows(dropped)
+        rerun = pipeline.run(patched)
+        assert len(rerun.frame) < len(baseline.frame)
+
+
+class TestSideTableImportance:
+    def test_jobdetail_importance_aggregates_fanout(self, hiring_result,
+                                                    hiring_sources,
+                                                    hiring_validation):
+        """A jobdetail row joined into many letters accumulates the sum of
+        its derived rows' values (Shapley linearity through provenance)."""
+        X_valid, y_valid = hiring_validation
+        importances = datascope_importance(hiring_result,
+                                           source="jobdetail_df",
+                                           X_valid=X_valid, y_valid=y_valid)
+        groups = hiring_result.provenance.group_matrix("jobdetail_df")
+        row_values = knn_shapley(hiring_result.X, hiring_result.y,
+                                 X_valid, y_valid, k=5)
+        for rid, positions in groups.items():
+            assert importances[rid] == pytest.approx(
+                float(row_values[positions].sum()))
+
+    def test_side_table_rows_cover_more_output(self, hiring_result):
+        """jobdetail rows fan out: at least one witnesses several output
+        rows, while train rows witness exactly one each."""
+        prov = hiring_result.provenance
+        job_groups = prov.group_matrix("jobdetail_df")
+        train_groups = prov.group_matrix("train_df")
+        assert max(len(v) for v in job_groups.values()) > 1
+        assert all(len(v) == 1 for v in train_groups.values())
+
+
+class TestSourceRowUtility:
+    def test_full_coalition_matches_direct_training(self, hiring_result,
+                                                    hiring_validation,
+                                                    model):
+        from repro.pipelines import SourceRowUtility
+
+        X_valid, y_valid = hiring_validation
+        utility = SourceRowUtility(hiring_result, source="train_df",
+                                   model=model, X_valid=X_valid,
+                                   y_valid=y_valid)
+        from repro.ml.base import clone
+
+        direct = clone(model)
+        direct.fit(hiring_result.X, hiring_result.y)
+        expected = float(np.mean(direct.predict(X_valid) == y_valid))
+        assert utility.full_value() == pytest.approx(expected)
+
+    def test_empty_coalition_is_null_value(self, hiring_result,
+                                           hiring_validation, model):
+        from repro.pipelines import SourceRowUtility
+
+        X_valid, y_valid = hiring_validation
+        utility = SourceRowUtility(hiring_result, source="train_df",
+                                   model=model, X_valid=X_valid,
+                                   y_valid=y_valid)
+        assert utility(np.array([], dtype=int)) == utility.null_value()
+
+    def test_monte_carlo_shapley_over_source_rows(self, hiring_result,
+                                                  hiring_validation, model):
+        """The general path: TMC-Shapley with source rows as players,
+        mapped back to row ids."""
+        from repro.importance import MonteCarloShapley
+        from repro.pipelines import SourceRowUtility
+
+        X_valid, y_valid = hiring_validation
+        utility = SourceRowUtility(hiring_result, source="jobdetail_df",
+                                   model=model, X_valid=X_valid,
+                                   y_valid=y_valid)
+        values = MonteCarloShapley(n_permutations=3, truncation_tol=0.05,
+                                   seed=0).score(utility)
+        by_id = utility.values_by_row_id(values)
+        assert set(by_id) == \
+            hiring_result.provenance.source_rows("jobdetail_df")
+
+    def test_requires_provenance(self, hiring_plan, hiring_sources,
+                                 hiring_validation, model):
+        from repro.core.exceptions import ValidationError
+        from repro.pipelines import SourceRowUtility
+
+        result = DataPipeline(hiring_plan).run(hiring_sources,
+                                               provenance=False)
+        X_valid, y_valid = hiring_validation
+        with pytest.raises(ValidationError):
+            SourceRowUtility(result, source="train_df", model=model,
+                             X_valid=X_valid, y_valid=y_valid)

@@ -1,0 +1,55 @@
+"""Unit tests for the distribution-shift inspection."""
+
+import numpy as np
+import pytest
+
+from repro.dataframe import DataFrame
+from repro.ml import ColumnTransformer, StandardScaler
+from repro.pipelines import DataPipeline, DistributionShiftInspection, source
+
+
+def _pipeline():
+    encoder = ColumnTransformer([("n", StandardScaler(), ["x"])])
+    return DataPipeline(source("t").encode(encoder, label="label"))
+
+
+def _frame(mean, n=80, seed=0):
+    rng = np.random.default_rng(seed)
+    return DataFrame({"x": rng.normal(mean, 1.0, n),
+                      "label": [str(v) for v in rng.integers(0, 2, n)]})
+
+
+class TestDistributionShiftInspection:
+    def test_same_distribution_passes(self):
+        train = _frame(0.0, seed=1)
+        valid = _frame(0.0, seed=2)
+        pipe = _pipeline()
+        result = pipe.run({"t": train})
+        outcome = DistributionShiftInspection(valid, train_source="t").run(
+            pipe, {"t": train}, result)
+        assert outcome.passed
+
+    def test_shifted_validation_flagged(self):
+        train = _frame(0.0, seed=3)
+        valid = _frame(5.0, seed=4)  # 5 sigma away
+        pipe = _pipeline()
+        result = pipe.run({"t": train})
+        outcome = DistributionShiftInspection(valid, train_source="t").run(
+            pipe, {"t": train}, result)
+        assert outcome.severity == "warning"
+        assert outcome.metrics["worst_drift_sigma"] > 2.0
+        assert outcome.findings
+
+    def test_threshold_configurable(self):
+        train = _frame(0.0, seed=5)
+        valid = _frame(1.0, seed=6)  # ~1 sigma drift
+        pipe = _pipeline()
+        result = pipe.run({"t": train})
+        strict = DistributionShiftInspection(valid, warn_sigma=0.5,
+                                             train_source="t").run(
+            pipe, {"t": train}, result)
+        lax = DistributionShiftInspection(valid, warn_sigma=3.0,
+                                          train_source="t").run(
+            pipe, {"t": train}, result)
+        assert strict.severity == "warning"
+        assert lax.passed

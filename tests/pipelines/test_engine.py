@@ -1,0 +1,164 @@
+"""Unit tests for pipeline execution."""
+
+import numpy as np
+import pytest
+
+from repro.core.exceptions import SchemaError, ValidationError
+from repro.dataframe import DataFrame
+from repro.ml import ColumnTransformer, StandardScaler
+from repro.pipelines import DataPipeline, source
+
+
+class TestExecution:
+    def test_unbound_source_rejected(self):
+        pipe = DataPipeline(source("missing"))
+        with pytest.raises(ValidationError):
+            pipe.run({})
+
+    def test_duplicate_source_names_rejected(self):
+        plan = source("t").join(source("t"), on="k")
+        with pytest.raises(ValidationError):
+            DataPipeline(plan)
+
+    def test_relational_only_plan_returns_frame(self):
+        frame = DataFrame({"x": [1, 2, 3]})
+        result = DataPipeline(source("t").filter(("x", 2))).run({"t": frame})
+        assert len(result.frame) == 1
+        assert result.X is None
+
+    def test_filter_with_udf(self):
+        frame = DataFrame({"x": [1, 2, 3]})
+        plan = source("t").filter(lambda r: r["x"] > 1)
+        result = DataPipeline(plan).run({"t": frame})
+        assert result.frame["x"].to_list() == [2, 3]
+
+    def test_map_column(self):
+        frame = DataFrame({"x": [1, 2]})
+        plan = source("t").map_column("y", lambda r: r["x"] * 10)
+        result = DataPipeline(plan).run({"t": frame})
+        assert result.frame["y"].to_list() == [10, 20]
+
+    def test_project_and_drop(self):
+        frame = DataFrame({"x": [1], "y": [2], "z": [3]})
+        result = DataPipeline(source("t").project(["x", "y"]).drop("y")).run(
+            {"t": frame})
+        assert result.frame.columns == ["x"]
+
+    def test_concat(self):
+        a = DataFrame({"x": [1]})
+        b = DataFrame({"x": [2]})
+        plan = source("a").concat(source("b"))
+        result = DataPipeline(plan).run({"a": a, "b": b})
+        assert result.frame["x"].to_list() == [1, 2]
+
+    def test_fuzzy_join_in_plan(self):
+        left = DataFrame({"k": ["Alpha "], "v": [1]})
+        right = DataFrame({"k": ["alpha"], "w": [2]})
+        plan = source("L").join(source("R"), on="k", fuzzy=True)
+        result = DataPipeline(plan).run({"L": left, "R": right})
+        assert len(result.frame) == 1
+
+    def test_timings_recorded(self):
+        frame = DataFrame({"x": [1]})
+        result = DataPipeline(source("t")).run({"t": frame})
+        assert len(result.timings) == 1
+
+
+class TestEncode:
+    def test_encode_produces_aligned_arrays(self):
+        frame = DataFrame({"a": [1.0, 2.0, 3.0], "label": ["x", "y", "x"]})
+        encoder = ColumnTransformer([("n", StandardScaler(), ["a"])])
+        plan = source("t").encode(encoder, label="label")
+        result = DataPipeline(plan).run({"t": frame})
+        assert result.X.shape == (3, 1)
+        np.testing.assert_array_equal(result.y, ["x", "y", "x"])
+
+    def test_missing_label_raises(self):
+        frame = DataFrame({"a": [1.0]})
+        encoder = ColumnTransformer([("n", StandardScaler(), ["a"])])
+        plan = source("t").encode(encoder, label="label")
+        with pytest.raises(SchemaError):
+            DataPipeline(plan).run({"t": frame})
+
+    def test_null_label_raises(self):
+        frame = DataFrame({"a": [1.0, 2.0], "label": ["x", None]})
+        encoder = ColumnTransformer([("n", StandardScaler(), ["a"])])
+        plan = source("t").encode(encoder, label="label")
+        with pytest.raises(ValidationError):
+            DataPipeline(plan).run({"t": frame})
+
+    def test_two_encode_nodes_rejected(self):
+        encoder = ColumnTransformer([("n", StandardScaler(), ["a"])])
+        plan = source("t").encode(encoder, label="l").encode(encoder, label="l")
+        with pytest.raises(ValidationError):
+            DataPipeline(plan)
+
+    def test_apply_runs_fitted_pipeline_on_new_sources(self, hiring_result,
+                                                       hiring_sources,
+                                                       hiring_data):
+        valid_sources = dict(hiring_sources)
+        valid_sources["train_df"] = hiring_data["valid"]
+        X_valid, y_valid = hiring_result.apply(valid_sources)
+        assert X_valid.shape[1] == hiring_result.X.shape[1]
+        assert len(X_valid) == len(y_valid) == len(hiring_data["valid"])
+
+    def test_apply_without_label_returns_none_y(self):
+        frame = DataFrame({"a": [1.0, 2.0], "label": ["x", "y"]})
+        encoder = ColumnTransformer([("n", StandardScaler(), ["a"])])
+        plan = source("t").encode(encoder, label="label")
+        result = DataPipeline(plan).run({"t": frame})
+        X_new, y_new = result.apply({"t": DataFrame({"a": [5.0]})})
+        assert y_new is None
+        assert X_new.shape == (1, 1)
+
+    def test_trained_model_generalizes_through_pipeline(
+            self, hiring_result, hiring_validation, model):
+        X_valid, y_valid = hiring_validation
+        model.fit(hiring_result.X, hiring_result.y)
+        accuracy = float(np.mean(model.predict(X_valid) == y_valid))
+        assert accuracy >= 0.6
+
+
+class TestTrace:
+    def test_trace_captures_every_relational_node(self, hiring_plan,
+                                                  hiring_sources):
+        from repro.pipelines import DataPipeline
+
+        captured = DataPipeline(hiring_plan).trace(hiring_sources)
+        descriptions = " ".join(captured)
+        assert "Source(train_df)" in descriptions
+        assert "Join" in descriptions
+        assert "Encode" not in descriptions  # encode is not relational
+
+    def test_trace_frames_shrink_and_grow_as_expected(self, hiring_plan,
+                                                      hiring_sources):
+        from repro.pipelines import DataPipeline
+
+        captured = DataPipeline(hiring_plan).trace(hiring_sources)
+        by_op = {key.split(":", 1)[1]: frame for key, frame in captured.items()}
+        n_train = len(hiring_sources["train_df"])
+        # Inner joins on complete keys preserve cardinality here.
+        joins = [f for key, f in captured.items() if "Join" in key]
+        assert all(len(f) == n_train for f in joins)
+
+
+class TestFuzzyDistanceJoin:
+    def test_typo_keys_recovered_in_pipeline(self):
+        left = DataFrame({"k": ["berlim", "tokyo"], "v": [1.0, 2.0],
+                          "label": ["p", "n"]})
+        right = DataFrame({"k": ["berlin", "tokyo"], "w": [10.0, 20.0]})
+        plan = source("L").join(source("R"), on="k", fuzzy=True,
+                                fuzzy_distance=1)
+        result = DataPipeline(plan).run({"L": left, "R": right})
+        assert len(result.frame) == 2
+
+    def test_provenance_through_fuzzy_distance_join(self):
+        left = DataFrame({"k": ["berlim"], "v": [1.0]})
+        right = DataFrame({"k": ["berlin"], "w": [10.0]})
+        plan = source("L").join(source("R"), on="k", fuzzy=True,
+                                fuzzy_distance=1)
+        result = DataPipeline(plan).run({"L": left, "R": right},
+                                        provenance=True)
+        witness = result.provenance.inputs_of(0)
+        assert witness["L"] == frozenset([int(left.row_ids[0])])
+        assert witness["R"] == frozenset([int(right.row_ids[0])])

@@ -1,0 +1,142 @@
+"""Unit tests for pipeline inspections."""
+
+import numpy as np
+import pytest
+
+from repro.dataframe import DataFrame, concat_rows
+from repro.ml import ColumnTransformer, StandardScaler
+from repro.pipelines import (
+    DataLeakageInspection,
+    DataPipeline,
+    FilterSelectivityInspection,
+    JoinCoverageInspection,
+    LabelDistributionInspection,
+    MissingnessInspection,
+    run_inspections,
+    source,
+)
+
+
+def _encode_plan(extra=None):
+    encoder = ColumnTransformer([("n", StandardScaler(), ["x"])])
+    plan = source("t")
+    if extra is not None:
+        plan = extra(plan)
+    return plan.encode(encoder, label="label")
+
+
+class TestJoinCoverage:
+    def test_complete_join_passes(self):
+        left = DataFrame({"k": ["a", "b"], "x": [1.0, 2.0],
+                          "label": ["p", "n"]})
+        right = DataFrame({"k": ["a", "b"], "w": [1, 2]})
+        plan = (source("t").join(source("side"), on="k")
+                .encode(ColumnTransformer([("n", StandardScaler(), ["x"])]),
+                        label="label"))
+        pipe = DataPipeline(plan)
+        sources = {"t": left, "side": right}
+        result = pipe.run(sources, provenance=True)
+        outcome = JoinCoverageInspection().run(pipe, sources, result)
+        assert outcome.passed
+
+    def test_lossy_join_flagged(self):
+        left = DataFrame({"k": ["a", "b", "c", "d"], "x": [1.0] * 4,
+                          "label": ["p", "n", "p", "n"]})
+        right = DataFrame({"k": ["a"], "w": [1]})
+        plan = (source("t").join(source("side"), on="k")
+                .encode(ColumnTransformer([("n", StandardScaler(), ["x"])]),
+                        label="label"))
+        pipe = DataPipeline(plan)
+        sources = {"t": left, "side": right}
+        result = pipe.run(sources, provenance=True)
+        outcome = JoinCoverageInspection().run(pipe, sources, result)
+        assert outcome.severity == "error"
+        assert outcome.metrics["worst_coverage"] == pytest.approx(0.25)
+
+
+class TestFilterSelectivity:
+    def test_aggressive_filter_flagged(self):
+        frame = DataFrame({"x": [1.0] * 100, "keep": [1] + [0] * 99,
+                           "label": ["p", "n"] * 50})
+        plan = _encode_plan(lambda p: p.filter(("keep", 1)))
+        pipe = DataPipeline(plan)
+        result = pipe.run({"t": frame}, provenance=True)
+        outcome = FilterSelectivityInspection().run(pipe, {"t": frame}, result)
+        assert outcome.severity == "warning"
+        assert outcome.metrics["worst_selectivity"] == pytest.approx(0.01)
+
+    def test_mild_filter_passes(self):
+        frame = DataFrame({"x": [1.0] * 10, "keep": [1] * 9 + [0],
+                           "label": ["p", "n"] * 5})
+        plan = _encode_plan(lambda p: p.filter(("keep", 1)))
+        pipe = DataPipeline(plan)
+        result = pipe.run({"t": frame}, provenance=True)
+        assert FilterSelectivityInspection().run(
+            pipe, {"t": frame}, result).passed
+
+
+class TestLabelDistribution:
+    def test_balanced_passes(self):
+        frame = DataFrame({"x": [1.0] * 10, "label": ["p", "n"] * 5})
+        pipe = DataPipeline(_encode_plan())
+        result = pipe.run({"t": frame})
+        assert LabelDistributionInspection().run(pipe, {"t": frame},
+                                                 result).passed
+
+    def test_imbalanced_flagged(self):
+        frame = DataFrame({"x": [1.0] * 20,
+                           "label": ["p"] * 19 + ["n"]})
+        pipe = DataPipeline(_encode_plan())
+        result = pipe.run({"t": frame})
+        outcome = LabelDistributionInspection().run(pipe, {"t": frame}, result)
+        assert outcome.severity == "warning"
+
+
+class TestMissingness:
+    def test_nully_source_flagged(self):
+        frame = DataFrame({"x": [1.0, None, None, None],
+                           "label": ["p", "n", "p", "n"]})
+        pipe = DataPipeline(_encode_plan())
+        result = pipe.run({"t": frame})
+        outcome = MissingnessInspection(warn_above=0.5).run(
+            pipe, {"t": frame}, result)
+        assert outcome.severity == "warning"
+        assert "t.x" in outcome.findings[0]
+
+
+class TestDataLeakage:
+    def test_overlapping_validation_rows_flagged(self):
+        frame = DataFrame({"x": [1.0, 2.0, 3.0, 4.0],
+                           "label": ["p", "n", "p", "n"]})
+        # Validation frame shares two physical rows with training data.
+        valid = frame.take([0, 1])
+        pipe = DataPipeline(_encode_plan())
+        result = pipe.run({"t": frame}, provenance=True)
+        outcome = DataLeakageInspection(valid, train_source="t").run(
+            pipe, {"t": frame}, result)
+        assert outcome.severity == "error"
+        assert outcome.metrics["row_id_overlap"] == 2
+
+    def test_disjoint_validation_passes(self):
+        frame = DataFrame({"x": [1.0, 2.0], "label": ["p", "n"]})
+        valid = DataFrame({"x": [30.0, 40.0], "label": ["p", "n"]})
+        pipe = DataPipeline(_encode_plan())
+        result = pipe.run({"t": frame}, provenance=True)
+        outcome = DataLeakageInspection(valid, train_source="t").run(
+            pipe, {"t": frame}, result)
+        assert outcome.passed
+
+
+class TestRunInspections:
+    def test_battery_returns_all_results(self, hiring_plan, hiring_sources,
+                                         hiring_result, hiring_data):
+        results = run_inspections(
+            DataPipeline(hiring_plan), hiring_sources, hiring_result,
+            [JoinCoverageInspection(), LabelDistributionInspection(),
+             MissingnessInspection(),
+             DataLeakageInspection(hiring_data["valid"],
+                                   train_source="train_df")])
+        assert len(results) == 4
+        names = {r.name for r in results}
+        assert names == {"join_coverage", "label_distribution",
+                         "missingness", "data_leakage"}

@@ -1,0 +1,49 @@
+"""Unit tests for plan construction."""
+
+import pytest
+
+from repro.core.exceptions import ValidationError
+from repro.pipelines import source
+from repro.pipelines.plan import plan_stats
+
+
+class TestPlanBuilding:
+    def test_source_requires_name(self):
+        with pytest.raises(ValidationError):
+            source("")
+
+    def test_chaining_builds_dag(self):
+        plan = source("a").filter(("x", 1)).project(["x"])
+        ops = [node.op for node in plan.walk()]
+        assert ops == ["source", "filter", "project"]
+
+    def test_join_has_two_inputs(self):
+        plan = source("a").join(source("b"), on="k")
+        assert len(plan.inputs) == 2
+
+    def test_join_requires_node(self):
+        with pytest.raises(ValidationError):
+            source("a").join("not a node", on="k")
+
+    def test_walk_deduplicates_shared_subtrees(self):
+        shared = source("a").filter(("x", 1))
+        plan = shared.join(shared, on="k")
+        ids = [node.id for node in plan.walk()]
+        assert len(ids) == len(set(ids)) == 3  # source, filter, join
+
+    def test_describe_strings(self):
+        assert source("t").describe() == "Source(t)"
+        assert source("t").filter(("col", 5)).describe() == "Filter(col == 5)"
+        join = source("a").join(source("b"), on="k", fuzzy=True)
+        assert join.describe().startswith("FuzzyJoin")
+        encode = source("a").encode(None, label="y")
+        assert "label='y'" in encode.describe()
+
+    def test_plan_stats(self):
+        plan = (source("a").join(source("b"), on="k")
+                .filter(("x", 1)).map_column("z", lambda r: 0))
+        stats = plan_stats(plan)
+        assert stats["n_operators"] == 5
+        assert stats["operator_counts"]["source"] == 2
+        assert stats["sources"] == ["a", "b"]
+        assert stats["depth"] == 3

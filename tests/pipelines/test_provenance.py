@@ -1,0 +1,100 @@
+"""Unit tests for why-provenance tracking."""
+
+import numpy as np
+import pytest
+
+from repro.core.exceptions import ValidationError
+from repro.dataframe import DataFrame
+from repro.pipelines import DataPipeline, Provenance, source
+
+
+class TestProvenanceAlgebra:
+    def test_source_provenance_is_identity(self):
+        prov = Provenance.for_source("t", [10, 11, 12])
+        assert prov.inputs_of(0) == {"t": frozenset([10])}
+
+    def test_take_subsets(self):
+        prov = Provenance.for_source("t", [10, 11, 12]).take([2, 0])
+        assert prov.inputs_of(0, "t") == frozenset([12])
+        assert prov.inputs_of(1, "t") == frozenset([10])
+
+    def test_take_with_boolean_mask(self):
+        prov = Provenance.for_source("t", [1, 2, 3]).take(
+            np.array([True, False, True]))
+        assert len(prov) == 2
+
+    def test_join_unions_witnesses(self):
+        left = Provenance.for_source("L", [1, 2])
+        right = Provenance.for_source("R", [7])
+        joined = Provenance.join(left, right, [0, 1], [0, 0])
+        assert joined.inputs_of(0) == {"L": frozenset([1]), "R": frozenset([7])}
+        assert joined.inputs_of(1) == {"L": frozenset([2]), "R": frozenset([7])}
+
+    def test_left_join_unmatched_right_contributes_nothing(self):
+        left = Provenance.for_source("L", [1])
+        right = Provenance.for_source("R", [7])
+        joined = Provenance.join(left, right, [0], [-1])
+        assert joined.inputs_of(0) == {"L": frozenset([1])}
+
+    def test_concat(self):
+        a = Provenance.for_source("A", [1])
+        b = Provenance.for_source("B", [2])
+        combined = Provenance.concat([a, b])
+        assert combined.sources() == ["A", "B"]
+        assert len(combined) == 2
+
+    def test_outputs_of_forward_trace(self):
+        left = Provenance.for_source("L", [1, 2])
+        right = Provenance.for_source("R", [7, 8])
+        joined = Provenance.join(left, right, [0, 0, 1], [0, 1, 0])
+        np.testing.assert_array_equal(joined.outputs_of("L", 1), [0, 1])
+        np.testing.assert_array_equal(joined.outputs_of("R", 7), [0, 2])
+
+    def test_inputs_of_out_of_range(self):
+        prov = Provenance.for_source("t", [1])
+        with pytest.raises(ValidationError):
+            prov.inputs_of(5)
+
+    def test_group_matrix(self):
+        left = Provenance.for_source("L", [1, 2])
+        right = Provenance.for_source("R", [7])
+        joined = Provenance.join(left, right, [0, 0, 1], [0, 0, 0])
+        groups = joined.group_matrix("L")
+        np.testing.assert_array_equal(groups[1], [0, 1])
+        np.testing.assert_array_equal(groups[2], [2])
+
+
+class TestProvenanceThroughExecution:
+    def test_filter_keeps_surviving_row_ids(self):
+        frame = DataFrame({"x": [1, 2, 3, 4], "keep": [1, 0, 1, 0]})
+        plan = source("t").filter(("keep", 1))
+        result = DataPipeline(plan).run({"t": frame}, provenance=True)
+        assert result.provenance.source_rows("t") == {
+            int(frame.row_ids[0]), int(frame.row_ids[2])}
+
+    def test_join_fanout_shares_source_row(self):
+        left = DataFrame({"k": ["a"], "v": [1]})
+        right = DataFrame({"k": ["a", "a"], "w": [1, 2]})
+        plan = source("L").join(source("R"), on="k")
+        result = DataPipeline(plan).run({"L": left, "R": right},
+                                        provenance=True)
+        groups = result.provenance.group_matrix("L")
+        assert len(groups[int(left.row_ids[0])]) == 2
+
+    def test_provenance_aligned_with_encoded_rows(self, hiring_result,
+                                                  hiring_sources):
+        """Output row i's witness for train_df must be the person whose
+        features ended up in X[i]."""
+        frame = hiring_result.frame
+        for i in range(0, len(frame), 17):
+            witness = hiring_result.provenance.inputs_of(i, "train_df")
+            assert len(witness) == 1
+            (rid,) = witness
+            original = hiring_sources["train_df"]
+            position = int(original.positions_of([rid])[0])
+            assert original["letter_text"].get(position) == \
+                frame["letter_text"].get(i)
+
+    def test_every_output_row_has_all_three_sources(self, hiring_result):
+        for witness in hiring_result.provenance.witnesses:
+            assert set(witness) == {"train_df", "jobdetail_df", "social_df"}

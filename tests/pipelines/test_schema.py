@@ -1,0 +1,104 @@
+"""Unit tests for schema inference and validation."""
+
+import numpy as np
+import pytest
+
+from repro.dataframe import DataFrame
+from repro.pipelines.schema import infer_schema, validate_frame
+
+
+@pytest.fixture()
+def reference():
+    rng = np.random.default_rng(0)
+    return DataFrame({
+        "age": rng.integers(18, 70, 100).astype(float),
+        "sector": [str(s) for s in
+                   rng.choice(["health", "finance", "retail"], 100)],
+        "active": rng.choice([True, False], 100).tolist(),
+    })
+
+
+class TestInferSchema:
+    def test_kinds_inferred(self, reference):
+        schema = infer_schema(reference)
+        assert schema.columns["age"].kind == "numeric"
+        assert schema.columns["sector"].kind == "string"
+        assert schema.columns["active"].kind == "bool"
+
+    def test_numeric_range_with_slack(self, reference):
+        schema = infer_schema(reference, range_slack=0.1)
+        expected_span = 0.1 * (reference["age"].max() - reference["age"].min())
+        assert schema.columns["age"].low == pytest.approx(
+            reference["age"].min() - expected_span)
+
+    def test_categorical_domain_captured(self, reference):
+        schema = infer_schema(reference)
+        assert schema.columns["sector"].domain == \
+            frozenset({"health", "finance", "retail"})
+
+    def test_high_cardinality_column_has_no_domain(self):
+        frame = DataFrame({"id": [f"user-{i}" for i in range(100)]})
+        schema = infer_schema(frame)
+        assert schema.columns["id"].domain is None
+
+
+class TestValidateFrame:
+    def test_reference_validates_against_itself(self, reference):
+        schema = infer_schema(reference)
+        assert validate_frame(reference, schema) == []
+
+    def test_missing_and_extra_columns(self, reference):
+        schema = infer_schema(reference)
+        mutated = reference.drop("age").with_column("bonus", lambda r: 1.0)
+        kinds = {a.kind for a in validate_frame(mutated, schema)}
+        assert {"missing_column", "extra_column"} <= kinds
+
+    def test_type_mismatch(self, reference):
+        schema = infer_schema(reference)
+        mutated = reference.copy()
+        mutated["age"] = [str(v) for v in reference["age"].to_list()]
+        anomalies = validate_frame(mutated, schema)
+        assert any(a.kind == "type_mismatch" and a.column == "age"
+                   for a in anomalies)
+
+    def test_null_rate_violation(self, reference):
+        schema = infer_schema(reference, null_slack=0.01)
+        ages = reference["age"].to_list()
+        for i in range(30):
+            ages[i] = None
+        mutated = reference.copy()
+        mutated["age"] = ages
+        anomalies = validate_frame(mutated, schema)
+        assert any(a.kind == "null_rate" for a in anomalies)
+
+    def test_out_of_range_values(self, reference):
+        schema = infer_schema(reference)
+        ages = reference["age"].to_list()
+        ages[0] = -40.0
+        mutated = reference.copy()
+        mutated["age"] = ages
+        anomalies = validate_frame(mutated, schema)
+        assert any(a.kind == "out_of_range" and a.column == "age"
+                   for a in anomalies)
+
+    def test_unknown_category(self, reference):
+        schema = infer_schema(reference)
+        sectors = reference["sector"].to_list()
+        sectors[0] = "crypto"
+        mutated = reference.copy()
+        mutated["sector"] = sectors
+        anomalies = validate_frame(mutated, schema)
+        assert any(a.kind == "unknown_category" for a in anomalies)
+
+    def test_catches_injected_errors(self):
+        """End-to-end: schema validation flags the cancer registry's
+        seeded invalid ages and wrong codes."""
+        from repro.datasets import make_cancer_registry
+
+        clean, _ = make_cancer_registry(300, error_fraction=0.0, seed=9)
+        dirty, _ = make_cancer_registry(300, error_fraction=0.15, seed=9)
+        schema = infer_schema(clean, range_slack=0.0)
+        anomalies = validate_frame(dirty, schema)
+        kinds = {a.kind for a in anomalies}
+        assert "out_of_range" in kinds        # negative ages
+        assert "unknown_category" in kinds    # typo'd diagnosis codes

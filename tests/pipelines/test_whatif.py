@@ -1,0 +1,56 @@
+"""Unit tests for what-if analysis with operator caching."""
+
+import numpy as np
+import pytest
+
+from repro.core.exceptions import ValidationError
+from repro.pipelines import DataPipeline, WhatIfAnalysis
+
+
+@pytest.fixture()
+def analysis(hiring_plan, hiring_sources, hiring_data, model):
+    return WhatIfAnalysis(DataPipeline(hiring_plan), hiring_sources, model,
+                          hiring_data["valid"], train_source="train_df")
+
+
+class TestWhatIfAnalysis:
+    def test_noop_scenario_matches_baseline(self, analysis, hiring_sources):
+        outcome = analysis.run_scenario(
+            {"train_df": hiring_sources["train_df"]})
+        assert outcome["delta"] == pytest.approx(0.0)
+
+    def test_unknown_source_rejected(self, analysis, hiring_sources):
+        with pytest.raises(ValidationError):
+            analysis.run_scenario({"bogus": hiring_sources["train_df"]})
+
+    def test_drop_rows_scenario(self, analysis, hiring_sources):
+        rows = hiring_sources["train_df"].row_ids[:10]
+        outcome = analysis.drop_rows_scenario("train_df", rows)
+        assert "score" in outcome and "delta" in outcome
+
+    def test_caching_reuses_untouched_subtrees(self, analysis,
+                                               hiring_sources):
+        """Changing only the social table must reuse the train-jobs join
+        subtree (sources and the first join don't touch social_df)."""
+        analysis.run_scenario({"social_df": hiring_sources["social_df"]})
+        assert analysis.cache_hits >= 3  # two sources + their join
+
+    def test_scenario_matches_full_rerun(self, hiring_plan, hiring_sources,
+                                         hiring_data, model, analysis):
+        """Cached re-execution must give the same score as a from-scratch
+        run on the modified sources."""
+        rows = hiring_sources["train_df"].row_ids[:15]
+        cached = analysis.drop_rows_scenario("train_df", rows)
+
+        from repro.pipelines import remove_and_evaluate
+
+        scratch = remove_and_evaluate(
+            DataPipeline(hiring_plan), hiring_sources, source="train_df",
+            row_ids=rows, model=model, valid_frame=hiring_data["valid"])
+        assert cached["score"] == pytest.approx(scratch["after"])
+
+    def test_patch_cells_scenario(self, analysis, hiring_sources):
+        rows = hiring_sources["train_df"].row_ids[:3]
+        outcome = analysis.patch_cells_scenario(
+            "train_df", rows, "employer_rating", [5.0, 5.0, 5.0])
+        assert "delta" in outcome

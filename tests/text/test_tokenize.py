@@ -1,0 +1,26 @@
+"""Unit tests for tokenization."""
+
+from repro.text import tokenize
+from repro.text.tokenize import STOPWORDS
+
+
+class TestTokenize:
+    def test_basic_split(self):
+        assert tokenize("Hello, world!") == ["hello", "world"]
+
+    def test_preserves_apostrophes_and_digits(self):
+        assert tokenize("don't stop 42") == ["don't", "stop", "42"]
+
+    def test_none_yields_empty(self):
+        assert tokenize(None) == []
+
+    def test_case_preserved_when_disabled(self):
+        assert tokenize("Hello World", lowercase=False) == ["Hello", "World"]
+        assert tokenize("Hello World", lowercase=True) == ["hello", "world"]
+
+    def test_stopwords_removed(self):
+        tokens = tokenize("the cat and the dog", drop_stopwords=True)
+        assert tokens == ["cat", "dog"]
+
+    def test_stopword_list_is_lowercase(self):
+        assert all(w == w.lower() for w in STOPWORDS)

@@ -1,0 +1,103 @@
+"""Unit tests for the text vectorizers."""
+
+import numpy as np
+import pytest
+
+from repro.core.exceptions import ValidationError
+from repro.text import HashingVectorizer, SentenceEmbedder, TfidfVectorizer
+
+
+class TestHashingVectorizer:
+    def test_deterministic_across_instances(self):
+        texts = ["alpha beta gamma", "delta epsilon"]
+        a = HashingVectorizer(n_features=64).fit(texts).transform(texts)
+        b = HashingVectorizer(n_features=64).fit(texts).transform(texts)
+        np.testing.assert_array_equal(a, b)
+
+    def test_l2_normalized_rows(self):
+        Z = HashingVectorizer(norm="l2").fit_transform(["some words here"])
+        assert np.linalg.norm(Z[0]) == pytest.approx(1.0)
+
+    def test_empty_text_is_zero_vector(self):
+        Z = HashingVectorizer().fit_transform([""])
+        assert np.all(Z == 0)
+
+    def test_none_treated_as_empty(self):
+        Z = HashingVectorizer().fit_transform([None])
+        assert np.all(Z == 0)
+
+    def test_same_text_same_vector(self):
+        Z = HashingVectorizer().fit_transform(["repeat me", "repeat me"])
+        np.testing.assert_array_equal(Z[0], Z[1])
+
+    def test_bigrams_add_features(self):
+        uni = HashingVectorizer(ngram_range=(1, 1), norm=None)
+        bi = HashingVectorizer(ngram_range=(1, 2), norm=None)
+        text = ["one two three"]
+        assert np.abs(bi.fit_transform(text)).sum() > \
+            np.abs(uni.fit_transform(text)).sum()
+
+    def test_unknown_norm_rejected(self):
+        with pytest.raises(ValidationError):
+            HashingVectorizer(norm="l3").fit_transform(["x"])
+
+
+class TestTfidfVectorizer:
+    def test_vocabulary_built_from_corpus(self):
+        vec = TfidfVectorizer().fit(["apple banana", "apple cherry"])
+        assert "apple" in vec.vocabulary_
+        assert "banana" in vec.vocabulary_
+
+    def test_rare_words_weigh_more(self):
+        corpus = ["common rare"] + ["common boring"] * 9
+        vec = TfidfVectorizer(drop_stopwords=False).fit(corpus)
+        Z = vec.transform(["common rare"])
+        rare_col = vec.vocabulary_["rare"]
+        common_col = vec.vocabulary_["common"]
+        assert Z[0, rare_col] > Z[0, common_col]
+
+    def test_max_features_truncates(self):
+        vec = TfidfVectorizer(max_features=2).fit(
+            ["a b c d e aaa bbb ccc"] * 3)
+        assert len(vec.vocabulary_) == 2
+
+    def test_min_df_filters(self):
+        vec = TfidfVectorizer(min_df=2, drop_stopwords=False).fit(
+            ["once", "twice twice-more", "twice twice-more"])
+        assert "once" not in vec.vocabulary_
+
+    def test_unseen_words_ignored(self):
+        vec = TfidfVectorizer().fit(["known words"])
+        Z = vec.transform(["totally novel input"])
+        assert np.all(Z == 0)
+
+
+class TestSentenceEmbedder:
+    def test_output_shape_and_normalization(self):
+        emb = SentenceEmbedder(dim=16).fit(["a sentence"])
+        Z = emb.transform(["first text", "second text"])
+        assert Z.shape == (2, 16)
+        np.testing.assert_allclose(np.linalg.norm(Z, axis=1), 1.0, atol=1e-9)
+
+    def test_similar_texts_closer_than_different(self):
+        emb = SentenceEmbedder(dim=64).fit(["init"])
+        Z = emb.transform([
+            "excellent outstanding superb work quality",
+            "excellent outstanding superb work effort",
+            "terrible failure disappointing sloppy mess",
+        ])
+        sim_close = Z[0] @ Z[1]
+        sim_far = Z[0] @ Z[2]
+        assert sim_close > sim_far
+
+    def test_seed_controls_projection(self):
+        a = SentenceEmbedder(dim=8, seed=1).fit(["x"]).transform(["hello"])
+        b = SentenceEmbedder(dim=8, seed=2).fit(["x"]).transform(["hello"])
+        assert not np.allclose(a, b)
+
+    def test_column_input_accepted(self):
+        from repro.dataframe import Column
+
+        emb = SentenceEmbedder(dim=8).fit(Column(["a", "b"]))
+        Z = emb.transform(Column(["some text", None]))
+        assert Z.shape == (2, 8)

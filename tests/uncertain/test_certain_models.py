@@ -1,0 +1,89 @@
+"""Unit tests for certain/approximately-certain model checks."""
+
+import numpy as np
+import pytest
+
+from repro.core.exceptions import ValidationError
+from repro.datasets import make_linear_separable
+from repro.uncertain import certain_model_linear_regression, certain_model_svm
+
+
+class TestCertainLinearRegression:
+    def test_no_missing_is_trivially_certain(self, rng):
+        X = rng.standard_normal((30, 2))
+        y = X[:, 0]
+        outcome = certain_model_linear_regression(X, y)
+        assert outcome["certain"]
+        assert outcome["n_incomplete"] == 0
+
+    def test_missing_cell_on_irrelevant_feature_is_certain(self):
+        """Feature 1 has zero coefficient, so rows missing it cannot move
+        the optimum: the model is certain within tolerance."""
+        rng = np.random.default_rng(0)
+        X = rng.standard_normal((60, 2))
+        y = 3.0 * X[:, 0]  # feature 1 irrelevant
+        X_dirty = X.copy()
+        X_dirty[5, 1] = np.nan
+        outcome = certain_model_linear_regression(X_dirty, y, tolerance=1e-4)
+        assert outcome["certain"]
+
+    def test_missing_cell_on_relevant_feature_is_uncertain(self):
+        rng = np.random.default_rng(1)
+        X = rng.standard_normal((60, 2))
+        y = 3.0 * X[:, 0] + 2.0 * X[:, 1]
+        X_dirty = X.copy()
+        X_dirty[5, 0] = np.nan
+        outcome = certain_model_linear_regression(X_dirty, y, tolerance=1e-4)
+        assert not outcome["certain"]
+        assert outcome["worst_residuals"].max() > 1.0
+
+    def test_tolerance_relaxation(self):
+        rng = np.random.default_rng(2)
+        X = rng.standard_normal((60, 2))
+        y = 0.01 * X[:, 1] + X[:, 0]
+        X_dirty = X.copy()
+        X_dirty[3, 1] = np.nan
+        strict = certain_model_linear_regression(X_dirty, y, tolerance=0.0)
+        relaxed = certain_model_linear_regression(X_dirty, y, tolerance=1.0)
+        assert not strict["certain"]
+        assert relaxed["certain"]
+
+    def test_too_few_complete_rows_rejected(self):
+        X = np.array([[1.0, np.nan], [np.nan, 2.0], [3.0, 4.0]])
+        with pytest.raises(ValidationError):
+            certain_model_linear_regression(X, np.zeros(3))
+
+
+class TestCertainSVM:
+    def test_wide_margin_incomplete_rows_are_certain(self):
+        """Incomplete rows far on the correct side of a wide-margin
+        separator stay non-support-vectors for every completion of an
+        irrelevant feature."""
+        X, y, w = make_linear_separable(120, n_features=2, margin=2.0, seed=3)
+        X = np.column_stack([X, np.zeros(len(X))])  # irrelevant 3rd feature
+        X_dirty = X.copy()
+        far = np.argmax(np.abs(X[:, :2] @ w))
+        X_dirty[far, 2] = np.nan
+        outcome = certain_model_svm(X_dirty, y, margin_slack=0.5,
+                                    bounds=(np.full(3, -0.1),
+                                            np.full(3, 0.1)))
+        assert outcome["certain"]
+
+    def test_near_margin_incomplete_rows_are_uncertain(self):
+        X, y, _ = make_linear_separable(80, n_features=2, margin=0.2, seed=4)
+        X_dirty = X.copy()
+        X_dirty[0, 0] = np.nan
+        outcome = certain_model_svm(X_dirty, y)
+        assert not outcome["certain"]
+
+    def test_multiclass_rejected(self):
+        from repro.datasets import make_blobs
+
+        X, y = make_blobs(30, centers=3, seed=5)
+        with pytest.raises(ValidationError):
+            certain_model_svm(X, y)
+
+    def test_no_missing_trivially_certain(self):
+        X, y, _ = make_linear_separable(50, seed=6)
+        outcome = certain_model_svm(X, y)
+        assert outcome["certain"]

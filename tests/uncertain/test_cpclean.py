@@ -1,0 +1,130 @@
+"""Unit tests for CPClean-style certain predictions."""
+
+import numpy as np
+import pytest
+
+from repro.core.exceptions import ValidationError
+from repro.datasets import make_blobs
+from repro.errors import inject_missing_array
+from repro.uncertain import CertainPredictionKNN, cpclean_greedy
+
+
+@pytest.fixture(scope="module")
+def incomplete_blobs():
+    X, y = make_blobs(80, n_features=2, centers=2, cluster_std=1.0, seed=12)
+    X_test, y_test = make_blobs(25, n_features=2, centers=2,
+                                cluster_std=1.0, seed=12)
+    X_dirty, mask = inject_missing_array(X, fraction=0.15, columns=[0],
+                                         seed=3)
+    return {"X": X, "y": y, "X_dirty": X_dirty, "mask": mask,
+            "X_test": X_test, "y_test": y_test}
+
+
+class TestCertainPredictionKNN:
+    def test_complete_data_is_always_certain(self, incomplete_blobs):
+        checker = CertainPredictionKNN(k=3).fit(incomplete_blobs["X"],
+                                                incomplete_blobs["y"])
+        assert checker.certain_fraction(incomplete_blobs["X_test"]) == 1.0
+
+    def test_certain_predictions_match_ground_truth_worlds(
+            self, incomplete_blobs):
+        """Whenever the checker says 'certain', the true-world k-NN must
+        predict exactly that label (the true world is one completion)."""
+        from repro.ml import KNeighborsClassifier
+
+        checker = CertainPredictionKNN(k=3).fit(incomplete_blobs["X_dirty"],
+                                                incomplete_blobs["y"])
+        truth_model = KNeighborsClassifier(3).fit(incomplete_blobs["X"],
+                                                  incomplete_blobs["y"])
+        for x in incomplete_blobs["X_test"]:
+            outcome = checker.check(x)
+            if outcome["certain"]:
+                assert outcome["prediction"] == \
+                    truth_model.predict(x[None, :])[0]
+
+    def test_certainty_never_contradicted_by_sampled_worlds(
+            self, incomplete_blobs):
+        """Monte-Carlo check of the worst-case argument: no sampled
+        completion may flip a certain prediction."""
+        from repro.ml import KNeighborsClassifier
+
+        X_dirty = incomplete_blobs["X_dirty"]
+        checker = CertainPredictionKNN(k=3).fit(X_dirty, incomplete_blobs["y"])
+        lo = np.nanmin(X_dirty, axis=0)
+        hi = np.nanmax(X_dirty, axis=0)
+        nan = np.isnan(X_dirty)
+        rng = np.random.default_rng(1)
+        certain_points = [
+            (x, checker.check(x)["prediction"])
+            for x in incomplete_blobs["X_test"]
+            if checker.check(x)["certain"]
+        ]
+        assert certain_points  # the test is vacuous otherwise
+        for _ in range(15):
+            world = X_dirty.copy()
+            fills = rng.uniform(lo, hi, size=world.shape)
+            world[nan] = fills[nan]
+            model = KNeighborsClassifier(3).fit(world, incomplete_blobs["y"])
+            for x, certain_label in certain_points:
+                assert model.predict(x[None, :])[0] == certain_label
+
+    def test_more_missingness_less_certainty(self):
+        X, y = make_blobs(80, n_features=2, centers=2, cluster_std=1.2,
+                          seed=5)
+        X_test, _ = make_blobs(30, n_features=2, centers=2, cluster_std=1.2,
+                               seed=5)
+        fractions = []
+        for missing in (0.05, 0.5):
+            X_dirty, _ = inject_missing_array(X, fraction=missing,
+                                              columns=[0, 1], seed=6)
+            checker = CertainPredictionKNN(k=3).fit(X_dirty, y)
+            fractions.append(checker.certain_fraction(X_test))
+        assert fractions[0] >= fractions[1]
+
+    def test_uncertain_outcome_reports_midpoint_guess(self):
+        X = np.array([[0.0], [np.nan], [np.nan]])
+        y = np.array([0, 1, 1])
+        checker = CertainPredictionKNN(k=3, bounds=(np.array([-10.0]),
+                                                    np.array([10.0]))).fit(X, y)
+        outcome = checker.check(np.array([0.0]))
+        if not outcome["certain"]:
+            assert "midpoint_guess" in outcome
+
+    def test_multiclass_rejected(self):
+        X, y = make_blobs(30, centers=3, seed=7)
+        with pytest.raises(ValidationError):
+            CertainPredictionKNN(k=3).fit(X, y)
+
+    def test_k_exceeding_train_rejected(self):
+        with pytest.raises(ValidationError):
+            CertainPredictionKNN(k=10).fit(np.ones((3, 1)),
+                                           np.array([0, 1, 0]))
+
+
+class TestCpcleanGreedy:
+    def test_certainty_trajectory_monotone(self, incomplete_blobs):
+        outcome = cpclean_greedy(incomplete_blobs["X_dirty"],
+                                 incomplete_blobs["y"],
+                                 incomplete_blobs["X"],
+                                 incomplete_blobs["X_test"][:10],
+                                 k=3, max_cleaned=6)
+        trajectory = outcome["certain_fraction"]
+        assert all(b >= a - 1e-9 for a, b in zip(trajectory, trajectory[1:]))
+
+    def test_stops_when_all_certain(self, incomplete_blobs):
+        outcome = cpclean_greedy(incomplete_blobs["X_dirty"],
+                                 incomplete_blobs["y"],
+                                 incomplete_blobs["X"],
+                                 incomplete_blobs["X_test"][:10], k=3)
+        if outcome["certain_fraction"][-1] == 1.0:
+            incomplete_rows = int(np.isnan(
+                incomplete_blobs["X_dirty"]).any(axis=1).sum())
+            assert outcome["n_cleaned"] <= incomplete_rows
+
+    def test_budget_respected(self, incomplete_blobs):
+        outcome = cpclean_greedy(incomplete_blobs["X_dirty"],
+                                 incomplete_blobs["y"],
+                                 incomplete_blobs["X"],
+                                 incomplete_blobs["X_test"][:10],
+                                 k=3, max_cleaned=2)
+        assert outcome["n_cleaned"] <= 2

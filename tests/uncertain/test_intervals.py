@@ -1,0 +1,123 @@
+"""Unit and property tests for interval arithmetic (soundness is the
+load-bearing invariant: every concrete completion stays inside)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.exceptions import ValidationError
+from repro.uncertain import IntervalArray
+
+finite = st.floats(-1e3, 1e3, allow_nan=False)
+
+
+def interval_strategy(n):
+    return st.lists(st.tuples(finite, finite), min_size=n, max_size=n).map(
+        lambda pairs: IntervalArray([min(a, b) for a, b in pairs],
+                                    [max(a, b) for a, b in pairs]))
+
+
+class TestConstruction:
+    def test_inverted_bounds_rejected(self):
+        with pytest.raises(ValidationError):
+            IntervalArray([1.0], [0.0])
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValidationError):
+            IntervalArray([1.0], [0.0, 1.0])
+
+    def test_point_has_zero_width(self):
+        box = IntervalArray.point([1.0, 2.0])
+        np.testing.assert_array_equal(box.width, [0.0, 0.0])
+
+    def test_from_nan_boxes_missing_cells(self):
+        X = np.array([[1.0, np.nan], [3.0, 4.0]])
+        box = IntervalArray.from_nan(X, [0.0, -1.0], [10.0, 9.0])
+        assert box.lo[0, 1] == -1.0
+        assert box.hi[0, 1] == 9.0
+        assert box.lo[0, 0] == box.hi[0, 0] == 1.0
+
+    def test_contains(self):
+        box = IntervalArray([0.0], [2.0])
+        assert box.contains([1.0]).all()
+        assert not box.contains([3.0]).any()
+
+
+class TestArithmetic:
+    def test_add(self):
+        a = IntervalArray([0.0], [1.0])
+        b = IntervalArray([2.0], [3.0])
+        result = a + b
+        assert result.lo[0] == 2.0 and result.hi[0] == 4.0
+
+    def test_sub_widens_correctly(self):
+        a = IntervalArray([0.0], [1.0])
+        result = a - a  # interval arithmetic cannot cancel: [-1, 1]
+        assert result.lo[0] == -1.0 and result.hi[0] == 1.0
+
+    def test_mul_four_products(self):
+        a = IntervalArray([-2.0], [1.0])
+        b = IntervalArray([-3.0], [4.0])
+        result = a * b
+        assert result.lo[0] == -8.0  # -2 * 4
+        assert result.hi[0] == 6.0   # -2 * -3
+
+    def test_neg(self):
+        a = IntervalArray([1.0], [2.0])
+        result = -a
+        assert result.lo[0] == -2.0 and result.hi[0] == -1.0
+
+    def test_scale_negative(self):
+        a = IntervalArray([1.0], [2.0]).scale(-2.0)
+        assert a.lo[0] == -4.0 and a.hi[0] == -2.0
+
+    def test_square_crossing_zero(self):
+        a = IntervalArray([-2.0], [1.0]).square()
+        assert a.lo[0] == 0.0 and a.hi[0] == 4.0
+
+    def test_dot_vector_exact_for_signs(self):
+        box = IntervalArray([[0.0, -1.0]], [[1.0, 1.0]])
+        w = np.array([2.0, -3.0])
+        result = box.dot_vector(w)
+        assert result.lo[0] == 0.0 * 2 + 1.0 * -3
+        assert result.hi[0] == 1.0 * 2 + -1.0 * -3
+
+    def test_sum_and_mean(self):
+        box = IntervalArray([0.0, 2.0], [1.0, 4.0])
+        total = box.sum()
+        assert total.lo == 2.0 and total.hi == 5.0
+        avg = box.mean()
+        assert avg.lo == 1.0 and avg.hi == 2.5
+
+
+@given(interval_strategy(4), interval_strategy(4), st.data())
+@settings(max_examples=50)
+def test_soundness_of_add_sub_mul(a, b, data):
+    """Any concrete pair of points inside the inputs yields results inside
+    the interval outputs — the defining property of the abstract domain."""
+    alpha = np.array(data.draw(st.lists(st.floats(0, 1), min_size=4,
+                                        max_size=4)))
+    beta = np.array(data.draw(st.lists(st.floats(0, 1), min_size=4,
+                                       max_size=4)))
+    x = a.lo + alpha * (a.hi - a.lo)
+    y = b.lo + beta * (b.hi - b.lo)
+    assert (a + b).contains(x + y).all()
+    assert (a - b).contains(x - y).all()
+    assert (a * b).contains(x * y).all()
+    assert a.square().contains(x * x).all()
+
+
+@given(interval_strategy(6), st.data())
+@settings(max_examples=50)
+def test_soundness_of_dot_vector(box, data):
+    w = np.array(data.draw(st.lists(st.floats(-5, 5, allow_nan=False),
+                                    min_size=3, max_size=3)))
+    matrix = IntervalArray(box.lo.reshape(2, 3), box.hi.reshape(2, 3))
+    alpha = np.array(data.draw(st.lists(st.floats(0, 1), min_size=6,
+                                        max_size=6))).reshape(2, 3)
+    X = matrix.lo + alpha * (matrix.hi - matrix.lo)
+    result = matrix.dot_vector(w)
+    concrete = X @ w
+    assert (result.lo - 1e-6 <= concrete).all()
+    assert (concrete <= result.hi + 1e-6).all()

@@ -1,0 +1,88 @@
+"""Unit tests for dataset-multiplicity robustness."""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.core.exceptions import ValidationError
+from repro.datasets import make_blobs
+from repro.ml import KNeighborsClassifier, LogisticRegression
+from repro.uncertain import knn_label_robustness, multiplicity_prediction_range
+from repro.uncertain.multiplicity import certified_fraction
+
+
+class TestKnnLabelRobustness:
+    def test_unanimous_neighborhood_has_max_radius(self):
+        X = np.zeros((5, 1)) + np.arange(5)[:, None]
+        y = np.zeros(5, dtype=int)
+        # all 3 neighbors vote 0 -> margin 3 -> flips needed = 2 -> radius 1
+        outcome = knn_label_robustness(X, y, np.array([[0.0]]), k=3)
+        assert outcome["radii"][0] == 1
+
+    def test_radius_certificate_is_exact_for_small_k(self):
+        """Brute-force check: flipping any `radius` neighbor labels never
+        changes the prediction; some set of `radius+1` flips does."""
+        rng = np.random.default_rng(0)
+        X = rng.normal(0, 1, (12, 2))
+        y = rng.integers(0, 2, 12)
+        x_test = rng.normal(0, 1, (1, 2))
+        k = 5
+        outcome = knn_label_robustness(X, y, x_test, k=k)
+        radius = int(outcome["radii"][0])
+        base = outcome["predictions"][0]
+
+        model = KNeighborsClassifier(k).fit(X, y)
+        _, neighbors = model.kneighbors(x_test)
+        neighbor_set = neighbors[0]
+
+        def prediction_with_flips(flip_set):
+            y_world = y.copy()
+            for i in flip_set:
+                y_world[i] = 1 - y_world[i]
+            return KNeighborsClassifier(k).fit(X, y_world).predict(x_test)[0]
+
+        # No flip-set of size <= radius changes the prediction.
+        for size in range(1, radius + 1):
+            for flip_set in itertools.combinations(neighbor_set, size):
+                assert prediction_with_flips(flip_set) == base
+        # Some flip-set of size radius + 1 does.
+        changed = any(
+            prediction_with_flips(flip_set) != base
+            for flip_set in itertools.combinations(neighbor_set, radius + 1)
+        )
+        assert changed
+
+    def test_certified_fraction(self):
+        radii = np.array([0, 1, 2, 3])
+        assert certified_fraction(radii, 0) == 1.0
+        assert certified_fraction(radii, 2) == 0.5
+        with pytest.raises(ValidationError):
+            certified_fraction(radii, -1)
+
+
+class TestMultiplicityPredictionRange:
+    def test_zero_radius_is_fully_robust(self, blobs_split):
+        X_train, y_train, X_test, _ = blobs_split
+        outcome = multiplicity_prediction_range(
+            LogisticRegression(max_iter=50), X_train, y_train, X_test,
+            radius=0, n_worlds=3, seed=0)
+        assert outcome["robust_mask"].all()
+        assert np.all(outcome["agreement"] == 1.0)
+
+    def test_agreement_decreases_with_radius(self, blobs_split):
+        X_train, y_train, X_test, _ = blobs_split
+        small = multiplicity_prediction_range(
+            LogisticRegression(max_iter=50), X_train, y_train, X_test,
+            radius=2, n_worlds=10, seed=1)
+        large = multiplicity_prediction_range(
+            LogisticRegression(max_iter=50), X_train, y_train, X_test,
+            radius=40, n_worlds=10, seed=1)
+        assert large["agreement"].mean() <= small["agreement"].mean() + 1e-9
+
+    def test_invalid_radius_rejected(self, blobs_split):
+        X_train, y_train, X_test, _ = blobs_split
+        with pytest.raises(ValidationError):
+            multiplicity_prediction_range(
+                LogisticRegression(), X_train, y_train, X_test,
+                radius=len(y_train) + 1)

@@ -1,0 +1,68 @@
+"""Unit tests for the possible-worlds ensemble."""
+
+import numpy as np
+import pytest
+
+from repro.core.exceptions import ValidationError
+from repro.datasets import make_blobs
+from repro.errors import inject_missing_array
+from repro.ml import KNeighborsClassifier, LinearRegression
+from repro.uncertain import PossibleWorldsEnsemble
+
+
+@pytest.fixture(scope="module")
+def incomplete_data():
+    X, y = make_blobs(70, n_features=2, centers=2, cluster_std=1.0, seed=8)
+    X_dirty, _ = inject_missing_array(X, fraction=0.15, seed=1)
+    X_test, y_test = make_blobs(25, n_features=2, centers=2, cluster_std=1.0,
+                                seed=8)
+    return X_dirty, y, X_test, y_test
+
+
+class TestPossibleWorldsEnsemble:
+    def test_trains_n_worlds_models(self, incomplete_data):
+        X_dirty, y, _, _ = incomplete_data
+        ensemble = PossibleWorldsEnsemble(KNeighborsClassifier(3),
+                                          n_worlds=7, seed=0).fit(X_dirty, y)
+        assert len(ensemble.models_) == 7
+
+    def test_consensus_accuracy_reasonable(self, incomplete_data):
+        X_dirty, y, X_test, y_test = incomplete_data
+        ensemble = PossibleWorldsEnsemble(KNeighborsClassifier(3),
+                                          n_worlds=10, seed=0).fit(X_dirty, y)
+        accuracy = float(np.mean(ensemble.predict(X_test) == y_test))
+        assert accuracy >= 0.8
+
+    def test_disagreement_in_unit_interval(self, incomplete_data):
+        X_dirty, y, X_test, _ = incomplete_data
+        ensemble = PossibleWorldsEnsemble(KNeighborsClassifier(3),
+                                          n_worlds=10, seed=0).fit(X_dirty, y)
+        disagreement = ensemble.disagreement(X_test)
+        assert np.all((disagreement >= 0) & (disagreement <= 1))
+
+    def test_no_missing_data_means_no_disagreement(self):
+        X, y = make_blobs(50, seed=9)
+        X_test, _ = make_blobs(10, seed=9)
+        ensemble = PossibleWorldsEnsemble(KNeighborsClassifier(3),
+                                          n_worlds=5, seed=0).fit(X, y)
+        assert np.all(ensemble.disagreement(X_test) == 0.0)
+
+    def test_regression_prediction_interval(self, rng):
+        X = rng.standard_normal((60, 2))
+        y = X[:, 0] * 2.0
+        X_dirty = X.copy()
+        X_dirty[rng.uniform(size=X.shape) < 0.2] = np.nan
+        ensemble = PossibleWorldsEnsemble(LinearRegression(), n_worlds=8,
+                                          sampler="uniform", seed=0)
+        ensemble.fit(X_dirty, y)
+        lo, hi = ensemble.prediction_interval(X[:5])
+        assert np.all(lo <= hi)
+
+    def test_unknown_sampler_rejected(self):
+        with pytest.raises(ValidationError):
+            PossibleWorldsEnsemble(KNeighborsClassifier(3), sampler="magic")
+
+    def test_predict_before_fit_rejected(self, incomplete_data):
+        _, _, X_test, _ = incomplete_data
+        with pytest.raises(ValidationError):
+            PossibleWorldsEnsemble(KNeighborsClassifier(3)).predict_all(X_test)

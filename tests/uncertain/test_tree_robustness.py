@@ -1,0 +1,110 @@
+"""Unit tests for certified tree robustness under interval inputs."""
+
+import numpy as np
+import pytest
+
+from repro.core.exceptions import ValidationError
+from repro.datasets import make_blobs
+from repro.ml import DecisionTreeClassifier, RandomForestClassifier
+from repro.uncertain import IntervalArray
+from repro.uncertain.tree_robustness import (
+    certify_forest_robustness,
+    certify_tree_robustness,
+    tree_prediction_set,
+)
+
+
+@pytest.fixture(scope="module")
+def fitted_tree():
+    X, y = make_blobs(150, n_features=2, centers=2, cluster_std=0.8, seed=6)
+    return DecisionTreeClassifier(max_depth=4).fit(X, y), X, y
+
+
+class TestTreePredictionSet:
+    def test_point_box_gives_single_prediction(self, fitted_tree):
+        tree, X, y = fitted_tree
+        box = IntervalArray.point(X[:1])
+        labels = tree_prediction_set(tree, box)
+        assert labels == {tree.predict(X[:1])[0]}
+
+    def test_giant_box_reaches_both_classes(self, fitted_tree):
+        tree, X, y = fitted_tree
+        lo = X.min(axis=0, keepdims=True) - 1
+        hi = X.max(axis=0, keepdims=True) + 1
+        labels = tree_prediction_set(tree, IntervalArray(lo, hi))
+        assert labels == {0, 1}
+
+    def test_wrong_dimension_rejected(self, fitted_tree):
+        tree, _, _ = fitted_tree
+        with pytest.raises(ValidationError):
+            tree_prediction_set(tree, IntervalArray.point(np.zeros((1, 5))))
+
+    def test_set_is_sound_against_sampling(self, fitted_tree):
+        """Every sampled completion's prediction is inside the reachable
+        set — the certificate's defining property."""
+        tree, X, _ = fitted_tree
+        rng = np.random.default_rng(0)
+        for i in range(10):
+            lo = X[i] - 0.5
+            hi = X[i] + 0.5
+            labels = tree_prediction_set(
+                tree, IntervalArray(lo[None, :], hi[None, :]))
+            for _ in range(20):
+                point = rng.uniform(lo, hi)[None, :]
+                assert tree.predict(point)[0] in labels
+
+
+class TestCertifyTree:
+    def test_zero_width_boxes_all_robust(self, fitted_tree):
+        tree, X, _ = fitted_tree
+        outcome = certify_tree_robustness(tree, IntervalArray.point(X[:20]))
+        assert outcome["robust_mask"].all()
+        np.testing.assert_array_equal(outcome["predictions"],
+                                      tree.predict(X[:20]))
+
+    def test_wider_boxes_less_robust(self, fitted_tree):
+        tree, X, _ = fitted_tree
+        narrow = IntervalArray(X[:40] - 0.05, X[:40] + 0.05)
+        wide = IntervalArray(X[:40] - 3.0, X[:40] + 3.0)
+        robust_narrow = certify_tree_robustness(tree, narrow)["robust_mask"]
+        robust_wide = certify_tree_robustness(tree, wide)["robust_mask"]
+        assert robust_wide.sum() <= robust_narrow.sum()
+
+    def test_certified_rows_survive_adversarial_sampling(self, fitted_tree):
+        tree, X, _ = fitted_tree
+        box = IntervalArray(X[:30] - 0.3, X[:30] + 0.3)
+        outcome = certify_tree_robustness(tree, box)
+        rng = np.random.default_rng(1)
+        certified = np.flatnonzero(outcome["robust_mask"])
+        assert len(certified)  # vacuous otherwise
+        for _ in range(10):
+            points = rng.uniform(box.lo, box.hi)
+            predictions = tree.predict(points)
+            for i in certified:
+                assert predictions[i] == outcome["predictions"][i]
+
+
+class TestCertifyForest:
+    def test_point_boxes_all_robust(self):
+        X, y = make_blobs(120, n_features=3, centers=2, cluster_std=0.7,
+                          seed=8)
+        forest = RandomForestClassifier(n_estimators=7, max_depth=4,
+                                        seed=0).fit(X, y)
+        outcome = certify_forest_robustness(forest,
+                                            IntervalArray.point(X[:15]))
+        assert outcome["robust_mask"].all()
+
+    def test_certificates_sound_against_sampling(self):
+        X, y = make_blobs(120, n_features=3, centers=2, cluster_std=0.7,
+                          seed=8)
+        forest = RandomForestClassifier(n_estimators=7, max_depth=4,
+                                        seed=0).fit(X, y)
+        box = IntervalArray(X[:25] - 0.2, X[:25] + 0.2)
+        outcome = certify_forest_robustness(forest, box)
+        certified = np.flatnonzero(outcome["robust_mask"])
+        rng = np.random.default_rng(2)
+        for _ in range(10):
+            points = rng.uniform(box.lo, box.hi)
+            predictions = forest.predict(points)
+            for i in certified:
+                assert predictions[i] == outcome["predictions"][i]

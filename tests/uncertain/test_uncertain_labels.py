@@ -1,0 +1,71 @@
+"""Unit tests for Zorro's uncertain-label support."""
+
+import numpy as np
+import pytest
+
+from repro.core.exceptions import ValidationError
+from repro.dataframe import DataFrame
+from repro.uncertain import ZorroLinearModel, encode_symbolic
+
+
+@pytest.fixture(scope="module")
+def table():
+    rng = np.random.default_rng(3)
+    x = rng.normal(0, 1, 80)
+    frame = DataFrame({"x": x, "target": 2.0 * x + rng.normal(0, 0.05, 80)})
+    return encode_symbolic(frame, feature_columns=["x"],
+                           label_column="target")
+
+
+class TestUncertainLabels:
+    def test_default_labels_are_point_intervals(self, table):
+        assert np.all(table.y_interval.width == 0.0)
+
+    def test_with_uncertain_labels_widens_only_marked_rows(self, table):
+        uncertain = table.with_uncertain_labels([0, 3], -1.0, 1.0)
+        assert uncertain.y_interval.width[0] == 2.0
+        assert uncertain.y_interval.width[3] == 2.0
+        assert uncertain.y_interval.width[1] == 0.0
+        # Original table untouched.
+        assert np.all(table.y_interval.width == 0.0)
+
+    def test_midpoint_label_recorded(self, table):
+        uncertain = table.with_uncertain_labels([0], 0.0, 4.0)
+        assert uncertain.y[0] == 2.0
+
+    def test_out_of_range_rows_rejected(self, table):
+        with pytest.raises(ValidationError):
+            table.with_uncertain_labels([10**4], 0.0, 1.0)
+
+    def test_worst_case_mse_grows_with_label_uncertainty(self, table):
+        model = ZorroLinearModel(n_iter=200).fit(table)
+        baseline = model.worst_case_mse(table)
+        uncertain = table.with_uncertain_labels(np.arange(20), -5.0, 5.0)
+        assert model.worst_case_mse(uncertain) > baseline
+
+    def test_bound_covers_sampled_label_worlds(self, table):
+        """Any concrete labels inside the intervals give an MSE within
+        the certified bound."""
+        uncertain = table.with_uncertain_labels(np.arange(10), -2.0, 2.0)
+        model = ZorroLinearModel(n_iter=150).fit(uncertain)
+        bound = model.worst_case_mse(uncertain)
+        rng = np.random.default_rng(0)
+        predictions = model.predict(uncertain.impute_midpoint())
+        for _ in range(15):
+            y_world = uncertain.y_interval.lo + rng.uniform(
+                size=len(uncertain.y)) * uncertain.y_interval.width
+            mse = float(np.mean((predictions - y_world) ** 2))
+            assert mse <= bound + 1e-9
+
+    def test_robust_training_tolerates_uncertain_labels(self, table):
+        """Training with wide label intervals on a few rows yields a
+        *conservative* but still meaningful fit: the robust minimax
+        optimum shrinks the slope (the adversary can realize huge
+        residuals on the uncertain rows), but the sign and the ordering of
+        predictions on certain rows must survive."""
+        uncertain = table.with_uncertain_labels([0, 1, 2], -10.0, 10.0)
+        model = ZorroLinearModel(n_iter=300).fit(uncertain)
+        assert 0.5 <= model.coef_[0] <= 2.5  # shrunk, not destroyed
+        predictions = model.predict(uncertain.impute_midpoint()[3:])
+        correlation = np.corrcoef(predictions, uncertain.y[3:])[0, 1]
+        assert correlation > 0.95

@@ -1,0 +1,144 @@
+"""Unit tests for Zorro-style symbolic uncertainty propagation."""
+
+import numpy as np
+import pytest
+
+from repro.core.exceptions import ValidationError
+from repro.dataframe import DataFrame
+from repro.errors import inject_missing
+from repro.uncertain import (
+    SymbolicTable,
+    ZorroLinearModel,
+    encode_symbolic,
+    estimate_worst_case_loss,
+)
+from repro.uncertain.zorro import prediction_ranges_over_worlds
+
+
+@pytest.fixture(scope="module")
+def regression_frame():
+    rng = np.random.default_rng(4)
+    x1 = rng.normal(0, 1, 120)
+    x2 = rng.normal(0, 1, 120)
+    target = 2.0 * x1 - 1.0 * x2 + rng.normal(0, 0.05, 120)
+    return DataFrame({"x1": x1, "x2": x2, "target": target}), \
+        np.column_stack([x1, x2]), target
+
+
+class TestEncodeSymbolic:
+    def test_complete_data_gives_point_intervals(self, regression_frame):
+        frame, _, _ = regression_frame
+        table = encode_symbolic(frame, feature_columns=["x1", "x2"],
+                                label_column="target")
+        assert table.n_missing == 0
+        assert np.all(table.X.width == 0.0)
+
+    def test_missing_cells_get_observed_range(self, regression_frame):
+        frame, _, _ = regression_frame
+        dirty, _ = inject_missing(frame, column="x1", fraction=0.1, seed=0)
+        table = encode_symbolic(dirty, feature_columns=["x1", "x2"],
+                                label_column="target")
+        assert table.n_missing == 12
+        observed = [v for v in dirty["x1"].to_list() if v is not None]
+        wide = table.missing_mask[:, 0]
+        assert np.allclose(table.X.lo[wide, 0], min(observed))
+        assert np.allclose(table.X.hi[wide, 0], max(observed))
+
+    def test_custom_bounds(self, regression_frame):
+        frame, _, _ = regression_frame
+        dirty, _ = inject_missing(frame, column="x1", fraction=0.1, seed=1)
+        table = encode_symbolic(dirty, feature_columns=["x1", "x2"],
+                                label_column="target",
+                                bounds={"x1": (-10.0, 10.0)})
+        wide = table.missing_mask[:, 0]
+        assert np.all(table.X.lo[wide, 0] == -10.0)
+
+    def test_non_numeric_feature_rejected(self):
+        frame = DataFrame({"s": ["a", "b"], "target": [1.0, 2.0]})
+        with pytest.raises(ValidationError):
+            encode_symbolic(frame, feature_columns=["s"],
+                            label_column="target")
+
+    def test_null_label_rejected(self):
+        frame = DataFrame({"x": [1.0, 2.0], "target": [1.0, None]})
+        with pytest.raises(ValidationError):
+            encode_symbolic(frame, feature_columns=["x"],
+                            label_column="target")
+
+
+class TestZorroLinearModel:
+    def test_point_data_recovers_ols(self, regression_frame):
+        frame, X, y = regression_frame
+        table = encode_symbolic(frame, feature_columns=["x1", "x2"],
+                                label_column="target")
+        model = ZorroLinearModel(lr=0.2, n_iter=500, l2=0.0).fit(table)
+        np.testing.assert_allclose(model.coef_, [2.0, -1.0], atol=0.1)
+
+    def test_prediction_range_contains_point_prediction(self,
+                                                        regression_frame):
+        frame, X, y = regression_frame
+        dirty, _ = inject_missing(frame, column="x1", fraction=0.2, seed=2)
+        table = encode_symbolic(dirty, feature_columns=["x1", "x2"],
+                                label_column="target")
+        model = ZorroLinearModel(n_iter=200).fit(table)
+        ranges = model.predict_range(table.X)
+        midpoint_pred = model.predict(table.impute_midpoint())
+        assert (ranges.lo - 1e-9 <= midpoint_pred).all()
+        assert (midpoint_pred <= ranges.hi + 1e-9).all()
+
+    def test_worst_case_mse_bounds_every_completion(self, regression_frame):
+        """Sampled concrete completions can never exceed the certified
+        worst-case MSE."""
+        frame, X, y = regression_frame
+        dirty, _ = inject_missing(frame, column="x1", fraction=0.2, seed=3)
+        table = encode_symbolic(dirty, feature_columns=["x1", "x2"],
+                                label_column="target")
+        model = ZorroLinearModel(n_iter=200).fit(table)
+        bound = model.worst_case_mse(table)
+        rng = np.random.default_rng(0)
+        for _ in range(20):
+            world = table.X.lo + rng.uniform(size=table.X.shape) * table.X.width
+            mse = float(np.mean((model.predict(world) - table.y) ** 2))
+            assert mse <= bound + 1e-9
+
+    def test_predict_range_requires_fit(self, regression_frame):
+        frame, _, _ = regression_frame
+        table = encode_symbolic(frame, feature_columns=["x1", "x2"],
+                                label_column="target")
+        with pytest.raises(ValidationError):
+            ZorroLinearModel().predict_range(table.X)
+
+
+class TestWorstCaseLossEstimation:
+    def test_loss_grows_with_missingness(self, regression_frame):
+        """The Figure-4 shape: max worst-case loss increases with the
+        missing fraction."""
+        frame, X, y = regression_frame
+        losses = []
+        for fraction in (0.05, 0.15, 0.3):
+            dirty, _ = inject_missing(frame, column="x1", fraction=fraction,
+                                      mechanism="MNAR", seed=4)
+            table = encode_symbolic(dirty, feature_columns=["x1", "x2"],
+                                    label_column="target")
+            outcome = estimate_worst_case_loss(table, X, y)
+            losses.append(outcome["max_worst_case_loss"])
+        assert losses[0] < losses[-1]
+
+    def test_zero_missing_has_tiny_loss(self, regression_frame):
+        frame, X, y = regression_frame
+        table = encode_symbolic(frame, feature_columns=["x1", "x2"],
+                                label_column="target")
+        outcome = estimate_worst_case_loss(table, X, y)
+        assert outcome["mean_test_mse"] < 0.05
+
+
+class TestPossibleWorldRanges:
+    def test_sampled_ranges_inside_reasonable_bounds(self, regression_frame):
+        frame, X, y = regression_frame
+        dirty, _ = inject_missing(frame, column="x1", fraction=0.2, seed=5)
+        table = encode_symbolic(dirty, feature_columns=["x1", "x2"],
+                                label_column="target")
+        ranges = prediction_ranges_over_worlds(table, X[:10], n_worlds=10,
+                                               seed=0)
+        assert ranges.shape == (10,)
+        assert (ranges.width >= 0).all()

@@ -1,0 +1,59 @@
+"""Unit tests for approximate Newton-step unlearning."""
+
+import numpy as np
+import pytest
+
+from repro.core.exceptions import NotFittedError, ValidationError
+from repro.datasets import make_blobs
+from repro.errors import inject_label_errors_array
+from repro.unlearning import InfluenceUnlearner
+
+
+@pytest.fixture(scope="module")
+def data():
+    X, y = make_blobs(150, n_features=3, centers=2, cluster_std=1.2, seed=4)
+    return X[:110], y[:110], X[110:], y[110:]
+
+
+class TestInfluenceUnlearner:
+    def test_fit_and_predict(self, data):
+        X, y, X_test, y_test = data
+        model = InfluenceUnlearner().fit(X, y)
+        assert model.score(X_test, y_test) >= 0.8
+
+    def test_unlearning_tracks_exact_retraining(self, data):
+        X, y, _, _ = data
+        model = InfluenceUnlearner().fit(X, y)
+        model.unlearn(np.arange(5))
+        fidelity = model.fidelity(y)
+        assert fidelity["prediction_agreement"] >= 0.95
+        assert model.n_alive == len(X) - 5
+
+    def test_unlearning_harmful_points_improves_accuracy(self, data):
+        """Debug-then-forget: deleting flipped-label points via the
+        unlearner should recover most of the damage."""
+        X, y, X_test, y_test = data
+        y_dirty, flipped = inject_label_errors_array(y, fraction=0.2, seed=5)
+        dirty_model = InfluenceUnlearner().fit(X, y_dirty)
+        acc_dirty = dirty_model.score(X_test, y_test)
+        dirty_model.unlearn(flipped)
+        acc_forgotten = dirty_model.score(X_test, y_test)
+        assert acc_forgotten >= acc_dirty
+
+    def test_repeated_unlearn_is_noop(self, data):
+        X, y, _, _ = data
+        model = InfluenceUnlearner().fit(X, y)
+        model.unlearn([3])
+        theta = model.theta_.copy()
+        model.unlearn([3])
+        np.testing.assert_array_equal(model.theta_, theta)
+
+    def test_out_of_range_rejected(self, data):
+        X, y, _, _ = data
+        model = InfluenceUnlearner().fit(X, y)
+        with pytest.raises(ValidationError):
+            model.unlearn([10**6])
+
+    def test_unfitted_rejected(self):
+        with pytest.raises(NotFittedError):
+            InfluenceUnlearner().unlearn([0])

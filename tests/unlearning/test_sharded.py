@@ -1,0 +1,83 @@
+"""Unit tests for exact sharded unlearning."""
+
+import numpy as np
+import pytest
+
+from repro.core.exceptions import NotFittedError, ValidationError
+from repro.datasets import make_blobs
+from repro.ml import KNeighborsClassifier, LogisticRegression
+from repro.unlearning import ShardedUnlearner
+
+
+@pytest.fixture(scope="module")
+def data():
+    X, y = make_blobs(160, n_features=3, centers=2, cluster_std=1.1, seed=2)
+    return X[:120], y[:120], X[120:], y[120:]
+
+
+class TestShardedUnlearner:
+    def test_ensemble_learns(self, data):
+        X, y, X_test, y_test = data
+        model = ShardedUnlearner(LogisticRegression(max_iter=60),
+                                 n_shards=4, seed=0).fit(X, y)
+        assert model.score(X_test, y_test) >= 0.8
+
+    def test_unlearn_retrains_only_touched_shards(self, data):
+        X, y, _, _ = data
+        model = ShardedUnlearner(KNeighborsClassifier(3), n_shards=5,
+                                 seed=0).fit(X, y)
+        trainings_after_fit = model.retrain_counter_
+        # All deleted points in one shard -> exactly one retrain.
+        shard0_members = np.flatnonzero(model._shard_of == 0)[:3]
+        model.unlearn(shard0_members)
+        assert model.retrain_counter_ == trainings_after_fit + 1
+
+    def test_exactness_matches_from_scratch(self, data):
+        """Post-deletion ensemble must equal training from scratch on the
+        remaining rows with the same shard assignment."""
+        X, y, X_test, _ = data
+        model = ShardedUnlearner(LogisticRegression(max_iter=80),
+                                 n_shards=4, seed=0).fit(X, y)
+        deleted = np.array([0, 7, 42, 99])
+        model.unlearn(deleted)
+
+        scratch = ShardedUnlearner(LogisticRegression(max_iter=80),
+                                   n_shards=4, seed=0).fit(X, y)
+        scratch._alive[deleted] = False
+        for shard in range(scratch.n_shards):
+            scratch._train_shard(shard)
+        np.testing.assert_array_equal(model.predict(X_test),
+                                      scratch.predict(X_test))
+
+    def test_unlearn_idempotent(self, data):
+        X, y, _, _ = data
+        model = ShardedUnlearner(KNeighborsClassifier(3), n_shards=4,
+                                 seed=0).fit(X, y)
+        model.unlearn([5])
+        count = model.retrain_counter_
+        model.unlearn([5])  # already gone: no retraining
+        assert model.retrain_counter_ == count
+        assert model.n_alive == len(X) - 1
+
+    def test_out_of_range_rejected(self, data):
+        X, y, _, _ = data
+        model = ShardedUnlearner(KNeighborsClassifier(3), n_shards=4,
+                                 seed=0).fit(X, y)
+        with pytest.raises(ValidationError):
+            model.unlearn([len(X) + 5])
+
+    def test_unfitted_rejected(self):
+        with pytest.raises(NotFittedError):
+            ShardedUnlearner(KNeighborsClassifier(3)).unlearn([0])
+
+    def test_degenerate_shard_abstains(self):
+        """A shard reduced to one class must abstain, not crash."""
+        X = np.vstack([np.zeros((6, 2)), np.ones((6, 2)) * 5])
+        y = np.array([0] * 6 + [1] * 6)
+        model = ShardedUnlearner(LogisticRegression(max_iter=40),
+                                 n_shards=2, seed=3).fit(X, y)
+        # Delete every class-1 member of shard 0.
+        victims = np.flatnonzero((model._shard_of == 0) & (y == 1))
+        model.unlearn(victims)
+        predictions = model.predict(X)  # still works via other shards
+        assert len(predictions) == len(X)
