@@ -9,6 +9,8 @@ KNN-Shapley and training-dynamics methods dominate; the general
 permutation methods pay for generality with many utility evaluations.
 """
 
+import time
+
 import numpy as np
 
 from repro.datasets import make_blobs
@@ -26,6 +28,7 @@ from repro.importance import (
     leave_one_out,
 )
 from repro.ml import KNeighborsClassifier, LogisticRegression
+from repro.runtime import FingerprintCache, Runtime
 
 from .conftest import write_result
 
@@ -40,77 +43,84 @@ def make_setting(seed=3):
     return X_train, y_dirty, X_valid, y_valid, flipped
 
 
-def run_all_methods(seed=3):
+def run_all_methods(seed=3, runtime=None):
     X, y, Xv, yv, flipped = make_setting(seed)
     k = len(flipped)
     results = {}
 
-    results["knn_shapley"] = (
-        detection_recall_at_k(knn_shapley(X, y, Xv, yv, k=5), flipped, k), 0)
+    def timed(name, fn, trainings=None):
+        started = time.perf_counter()
+        scores, calls = fn()
+        results[name] = (detection_recall_at_k(scores, flipped, k),
+                         calls if trainings is None else trainings,
+                         time.perf_counter() - started)
+
+    timed("knn_shapley", lambda: (knn_shapley(X, y, Xv, yv, k=5), 0))
 
     model = LogisticRegression().fit(X, y)
-    results["influence"] = (
-        detection_recall_at_k(influence_scores(model, X, y, Xv, yv),
-                              flipped, k), 1)
+    timed("influence", lambda: (influence_scores(model, X, y, Xv, yv), 1))
 
     from repro.importance import gradient_similarity_scores
 
-    results["gradient_similarity"] = (
-        detection_recall_at_k(
-            gradient_similarity_scores(model, X, y, Xv, yv), flipped, k), 1)
+    timed("gradient_similarity",
+          lambda: (gradient_similarity_scores(model, X, y, Xv, yv), 1))
 
-    cl, _ = confident_learning_scores(LogisticRegression(max_iter=60), X, y,
-                                      cv=4, seed=0)
-    results["confident_learning"] = (
-        detection_recall_at_k(cl, flipped, k), 4)
+    timed("confident_learning",
+          lambda: (confident_learning_scores(LogisticRegression(max_iter=60),
+                                             X, y, cv=4, seed=0)[0], 4))
 
-    results["aum"] = (
-        detection_recall_at_k(aum_scores(X, y, n_epochs=20, seed=0),
-                              flipped, k), 1)
+    timed("aum", lambda: (aum_scores(X, y, n_epochs=20, seed=0), 1))
 
-    utility = Utility(KNeighborsClassifier(5), X, y, Xv, yv)
-    results["leave_one_out"] = (
-        detection_recall_at_k(leave_one_out(utility), flipped, k),
-        utility.calls)
+    # The retraining-based estimators share one runtime: the fingerprint
+    # cache deduplicates repeated coalitions (e.g. the grand coalition)
+    # across methods, and stage timings land in the session summary.
+    def game():
+        return Utility(KNeighborsClassifier(5), X, y, Xv, yv,
+                       runtime=runtime)
 
-    utility = Utility(KNeighborsClassifier(5), X, y, Xv, yv)
-    scores = MonteCarloShapley(n_permutations=20, truncation_tol=0.02,
-                               seed=0).score(utility)
-    results["tmc_shapley"] = (
-        detection_recall_at_k(scores, flipped, k), utility.calls)
+    def with_calls(estimator_run):
+        utility = game()
+        scores = estimator_run(utility)
+        return scores, utility.calls
 
-    utility = Utility(KNeighborsClassifier(5), X, y, Xv, yv)
-    scores = DataBanzhaf(n_samples=150, seed=0).score(utility)
-    results["banzhaf_msr"] = (
-        detection_recall_at_k(scores, flipped, k), utility.calls)
-
-    utility = Utility(KNeighborsClassifier(5), X, y, Xv, yv)
-    scores = BetaShapley(alpha=16, beta=1, n_permutations=12,
-                         seed=0).score(utility)
-    results["beta_shapley_16_1"] = (
-        detection_recall_at_k(scores, flipped, k), utility.calls)
+    timed("leave_one_out", lambda: with_calls(leave_one_out))
+    timed("tmc_shapley", lambda: with_calls(
+        MonteCarloShapley(n_permutations=20, truncation_tol=0.02,
+                          seed=0).score))
+    timed("banzhaf_msr", lambda: with_calls(
+        DataBanzhaf(n_samples=150, seed=0).score))
+    timed("beta_shapley_16_1", lambda: with_calls(
+        BetaShapley(alpha=16, beta=1, n_permutations=12, seed=0).score))
     return results
 
 
 def test_t1_method_comparison(benchmark, results_dir):
-    results = benchmark.pedantic(run_all_methods, rounds=1, iterations=1)
+    with Runtime(backend="serial", cache=FingerprintCache()) as runtime:
+        results = benchmark.pedantic(run_all_methods, kwargs={
+            "runtime": runtime}, rounds=1, iterations=1)
+        cache_stats = runtime.cache.stats.as_dict()
 
-    rows = [f"{'method':<22}{'recall@k':>10}{'trainings':>12}", "-" * 44]
-    for name, (recall, calls) in sorted(results.items(),
-                                        key=lambda kv: -kv[1][0]):
-        rows.append(f"{name:<22}{recall:>10.2f}{calls:>12}")
+    rows = [f"{'method':<22}{'recall@k':>10}{'trainings':>12}{'wall_s':>10}",
+            "-" * 54]
+    for name, (recall, calls, wall) in sorted(results.items(),
+                                              key=lambda kv: -kv[1][0]):
+        rows.append(f"{name:<22}{recall:>10.2f}{calls:>12}{wall:>10.2f}")
     rows.append("")
+    rows.append(f"shared fingerprint cache: "
+                f"{cache_stats['memory_hits']} hits / "
+                f"{cache_stats['misses']} misses "
+                f"(hit rate {cache_stats['hit_rate']:.1%})")
     rows.append("random flagging baseline: recall 0.15")
     rows.append("survey claim: importance methods beat random; exact "
                 "proxy-model and training-dynamics methods are cheapest")
     write_result(results_dir, "t1_method_comparison", rows)
 
     benchmark.extra_info.update(
-        {name: recall for name, (recall, _) in results.items()})
+        {name: recall for name, (recall, _, _) in results.items()})
     # Every method except LOO must beat the random base rate; LOO's
     # weakness (one removal rarely moves a k-NN vote, so most values tie
     # at zero) is exactly why the survey motivates Shapley-style values.
-    for name, (recall, _) in results.items():
+    for name, (recall, _, _) in results.items():
         if name == "leave_one_out":
             continue
         assert recall > 0.15, f"{name} did not beat random flagging"

@@ -7,19 +7,34 @@ training-set size and time exact KNN-Shapley vs TMC-Shapley vs LOO.
 Shape to reproduce: KNN-Shapley's cost is orders of magnitude below the
 retraining-based estimators and grows near-linearly in n (it is
 O(n log n) per validation point); TMC-Shapley is the most expensive.
+
+A second experiment (``test_t2_runtime_backends``) times the same
+retraining hot loop through the ``repro.runtime`` backends: with >= 2
+cores the ``process`` backend must beat ``serial`` by >= 1.5x at the
+largest size while producing bit-identical scores.
 """
 
+import os
 import time
 
 import numpy as np
 
 from repro.datasets import make_blobs
-from repro.importance import MonteCarloShapley, Utility, knn_shapley, leave_one_out
+from repro.importance import (
+    DataBanzhaf,
+    MonteCarloShapley,
+    Utility,
+    knn_shapley,
+    leave_one_out,
+)
 from repro.ml import KNeighborsClassifier
+from repro.runtime import Runtime
 
 from .conftest import write_result
 
 SIZES = (50, 100, 200, 400)
+BACKEND_SIZES = (100, 200, 400)
+BACKENDS_COMPARED = ("serial", "thread", "process")
 
 
 def time_methods(n: int, seed=0):
@@ -72,3 +87,64 @@ def test_t2_importance_scaling(benchmark, results_dir):
     # 10x cheaper than either retraining-based method.
     assert largest["knn_shapley"] * 10 < largest["leave_one_out"]
     assert largest["knn_shapley"] * 10 < largest["tmc_shapley_2perm"]
+
+
+def time_backend(backend: str, n: int, *, n_samples: int = 30, seed=0):
+    """Time Banzhaf MSR — the pure retraining hot loop — on one backend.
+
+    Caching is disabled so every sampled coalition costs one training and
+    the comparison isolates executor overhead/speedup.
+    """
+    X, y = make_blobs(n + 40, n_features=4, centers=2, seed=seed)
+    with Runtime(backend=backend, chunk_size=max(1, n_samples // 16)) as rt:
+        utility = Utility(KNeighborsClassifier(5), X[:n], y[:n],
+                          X[n:], y[n:], cache=False, runtime=rt)
+        started = time.perf_counter()
+        scores = DataBanzhaf(n_samples=n_samples, seed=0).score(utility)
+        elapsed = time.perf_counter() - started
+    return elapsed, scores
+
+
+def run_backend_comparison():
+    table = {}
+    scores = {}
+    for n in BACKEND_SIZES:
+        table[n] = {}
+        for backend in BACKENDS_COMPARED:
+            table[n][backend], scores[(n, backend)] = time_backend(backend, n)
+    return table, scores
+
+
+def test_t2_runtime_backends(benchmark, results_dir):
+    """Serial vs thread vs process for the retraining loop (30-second
+    smoke test; also run standalone in CI)."""
+    benchmark.pedantic(time_backend, args=("process", BACKEND_SIZES[0]),
+                       rounds=1, iterations=1)
+    table, scores = run_backend_comparison()
+
+    cores = os.cpu_count() or 1
+    largest = BACKEND_SIZES[-1]
+    speedup = table[largest]["serial"] / table[largest]["process"]
+    rows = [f"banzhaf MSR (30 samples), {cores} cores",
+            f"{'n':<7}" + "".join(f"{b:>10}" for b in BACKENDS_COMPARED)
+            + f"{'speedup':>10}", "-" * 57]
+    for n in BACKEND_SIZES:
+        rows.append(f"{n:<7}"
+                    + "".join(f"{table[n][b]:>10.3f}"
+                              for b in BACKENDS_COMPARED)
+                    + f"{table[n]['serial'] / table[n]['process']:>10.2f}")
+    rows.append("")
+    rows.append(f"process-vs-serial speedup at n={largest}: {speedup:.2f}x")
+    write_result(results_dir, "t2_runtime_backends", rows)
+    benchmark.extra_info["speedup_at_largest"] = speedup
+
+    # All backends must agree bit-for-bit on the scores.
+    for n in BACKEND_SIZES:
+        for backend in BACKENDS_COMPARED[1:]:
+            np.testing.assert_array_equal(scores[(n, "serial")],
+                                          scores[(n, backend)])
+    # Speedup is only claimable with real parallel hardware.
+    if cores >= 2:
+        assert speedup >= 1.5, (
+            f"process backend speedup {speedup:.2f}x < 1.5x "
+            f"at n={largest} on {cores} cores")

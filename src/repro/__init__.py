@@ -28,6 +28,9 @@ Subpackages
   ActiveClean, imputation.
 - ``repro.challenge`` — the budgeted data-debugging challenge with a
   leaderboard.
+- ``repro.runtime`` — parallel execution backends (serial/thread/process),
+  fingerprint-keyed utility caching, progress/cancellation hooks; every
+  retraining loop accepts its ``runtime=`` handle.
 
 The paper's figure snippets run almost verbatim against the top-level
 facade::

@@ -10,6 +10,8 @@ one-shot cleaning of Figure 2.
 
 from __future__ import annotations
 
+import inspect
+
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -17,7 +19,11 @@ import numpy as np
 from repro.core.exceptions import ValidationError
 from repro.core.rng import ensure_rng
 from repro.dataframe.frame import DataFrame
+from repro.importance.banzhaf import DataBanzhaf
+from repro.importance.base import Utility
 from repro.importance.knn_shapley import knn_shapley
+from repro.importance.loo import leave_one_out
+from repro.importance.shapley_mc import MonteCarloShapley
 from repro.ml.base import clone
 from repro.ml.metrics import accuracy_score
 
@@ -30,9 +36,17 @@ def make_strategy(name: str, **kwargs):
     - ``"knn_shapley"`` — exact KNN-Shapley values (kwargs: ``k``).
     - ``"loss"`` — per-example training loss of the current model (a
       cheap self-diagnosis heuristic: high loss first).
+    - ``"loo"`` — leave-one-out retraining values; ``n`` trainings per
+      round, submitted through the cleaner's runtime.
+    - ``"shapley_mc"`` — TMC-Shapley on the current dirty data (kwargs:
+      ``n_permutations``, ``truncation_tol``); the most faithful — and
+      most expensive — ranking, so a ``process`` runtime pays off here.
+    - ``"banzhaf"`` — Data Banzhaf via MSR sampling (kwargs:
+      ``n_samples``).
 
     Each strategy is ``f(model, X, y, X_valid, y_valid, rng) -> scores``
-    with lower = cleaned first.
+    with lower = cleaned first; strategies that retrain models also
+    accept a keyword-only ``runtime`` which the cleaner forwards.
     """
     if name == "random":
         def random_strategy(model, X, y, X_valid, y_valid, rng):
@@ -54,6 +68,35 @@ def make_strategy(name: str, **kwargs):
             likelihood = proba[np.arange(len(y)), cols]
             return likelihood  # low likelihood of own label => clean first
         return loss_strategy
+    if name == "loo":
+        def loo_strategy(model, X, y, X_valid, y_valid, rng, *, runtime=None):
+            utility = Utility(model, X, y, X_valid, y_valid, runtime=runtime)
+            return leave_one_out(utility)
+        return loo_strategy
+    if name == "shapley_mc":
+        n_permutations = kwargs.get("n_permutations", 20)
+        truncation_tol = kwargs.get("truncation_tol", 0.02)
+
+        def shapley_strategy(model, X, y, X_valid, y_valid, rng, *,
+                             runtime=None):
+            utility = Utility(model, X, y, X_valid, y_valid, runtime=runtime)
+            # Fresh per-round seed from the loop's stream: each round
+            # samples new permutations but stays reproducible end to end.
+            estimator = MonteCarloShapley(
+                n_permutations=n_permutations, truncation_tol=truncation_tol,
+                seed=int(rng.integers(0, 2**31)))
+            return estimator.score(utility)
+        return shapley_strategy
+    if name == "banzhaf":
+        n_samples = kwargs.get("n_samples", 100)
+
+        def banzhaf_strategy(model, X, y, X_valid, y_valid, rng, *,
+                             runtime=None):
+            utility = Utility(model, X, y, X_valid, y_valid, runtime=runtime)
+            estimator = DataBanzhaf(n_samples=n_samples,
+                                    seed=int(rng.integers(0, 2**31)))
+            return estimator.score(utility)
+        return banzhaf_strategy
     raise ValidationError(f"unknown strategy {name!r}")
 
 
@@ -97,10 +140,17 @@ class IterativeCleaner:
         Rows cleaned per round.
     metric:
         Evaluation metric; accuracy by default.
+    runtime:
+        Optional :class:`repro.runtime.Runtime` (or backend name)
+        forwarded to strategies that retrain models (``"loo"``,
+        ``"shapley_mc"``, ``"banzhaf"``, and any custom strategy whose
+        signature accepts a ``runtime`` keyword).
     """
 
     def __init__(self, model, strategy, oracle, *, encode, batch: int = 10,
-                 metric=accuracy_score, seed=0):
+                 metric=accuracy_score, seed=0, runtime=None):
+        from repro.runtime.runtime import resolve_runtime
+
         self.model = model
         self.strategy = make_strategy(strategy) if isinstance(strategy, str) \
             else strategy
@@ -109,6 +159,9 @@ class IterativeCleaner:
         self.batch = batch
         self.metric = metric
         self.seed = seed
+        self.runtime = resolve_runtime(runtime)
+        parameters = inspect.signature(self.strategy).parameters
+        self._strategy_takes_runtime = "runtime" in parameters
 
     def run(self, dirty_frame: DataFrame, X_valid, y_valid, *,
             n_rounds: int) -> CleaningResult:
@@ -121,9 +174,12 @@ class IterativeCleaner:
         X, y = self.encode(current)
         result.scores.append(self._evaluate(X, y, X_valid, y_valid))
 
+        strategy_kwargs = {"runtime": self.runtime} \
+            if self._strategy_takes_runtime else {}
         for _ in range(n_rounds):
             scores = np.asarray(
-                self.strategy(self.model, X, y, X_valid, y_valid, rng),
+                self.strategy(self.model, X, y, X_valid, y_valid, rng,
+                              **strategy_kwargs),
                 dtype=float,
             )
             order = np.lexsort((np.arange(len(scores)), scores))

@@ -41,6 +41,19 @@ def spawn_rngs(seed, n: int) -> list[np.random.Generator]:
     Used by Monte-Carlo estimators that parallelize over repetitions: each
     repetition gets its own stream so results do not depend on evaluation
     order.
+
+    **Determinism guarantee.** Stream ``i`` is a pure function of
+    ``(seed, i)`` — via :class:`numpy.random.SeedSequence` spawning — so
+    the draws of repetition ``i`` are identical no matter which worker
+    runs it, in what order repetitions complete, or how many repetitions
+    run in total alongside it. This is what makes the ``serial``,
+    ``thread`` and ``process`` runtime backends produce bit-identical
+    estimates: estimators (``MonteCarloShapley``, ``DataBanzhaf``,
+    ``BetaShapley``) draw repetition ``i``'s randomness from
+    ``spawn_rngs(seed, n)[i]`` *before* submitting work, never from a
+    stream shared across repetitions. Sharing one generator across
+    repetitions (the pre-runtime behaviour) would make draw ``i`` depend
+    on every earlier draw and therefore on execution order.
     """
     if n < 0:
         raise ValidationError(f"n must be non-negative, got {n}")

@@ -24,7 +24,10 @@ from repro.importance.base import Utility
 from repro.importance.beta_shapley import BetaShapley
 from repro.importance.evaluation import (
     cleaning_curve,
+    detection_precision_at_k,
     detection_recall_at_k,
+    detection_report,
+    format_report,
     rank_lowest,
 )
 from repro.importance.gradient_similarity import gradient_similarity_scores
@@ -48,7 +51,10 @@ __all__ = [
     "rag_corpus_importance",
     "confident_learning_scores",
     "aum_scores",
+    "detection_precision_at_k",
     "detection_recall_at_k",
+    "detection_report",
+    "format_report",
     "cleaning_curve",
     "rank_lowest",
 ]

@@ -7,6 +7,12 @@ better than Shapley's. Estimated with the Maximum-Sample-Reuse (MSR)
 estimator: every sampled coalition updates the estimate of *all* players::
 
     φ_i ≈ mean(u(S) : i ∈ S) - mean(u(S) : i ∉ S)
+
+**Determinism guarantee.** Coalition ``t`` is drawn from its own RNG
+stream (split from the root seed via :func:`repro.core.rng.spawn_rngs`)
+and evaluated as an independent task through the utility's runtime, so
+the estimate depends only on ``(seed, n_samples)`` — not on the backend,
+worker count, or completion order.
 """
 
 from __future__ import annotations
@@ -14,7 +20,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.core.exceptions import ValidationError
-from repro.core.rng import ensure_rng
+from repro.core.rng import spawn_rngs
 from repro.importance.base import Utility
 
 
@@ -26,7 +32,7 @@ class DataBanzhaf:
     n_samples:
         Number of random coalitions to evaluate (each costs one training).
     seed:
-        RNG seed.
+        Root RNG seed, split per sampled coalition.
     """
 
     def __init__(self, n_samples: int = 200, seed=None):
@@ -37,16 +43,17 @@ class DataBanzhaf:
 
     def score(self, utility: Utility) -> np.ndarray:
         """Estimate Banzhaf values for every player of ``utility``."""
-        rng = ensure_rng(self.seed)
         n = utility.n_players
+        memberships = [rng.uniform(size=n) < 0.5
+                       for rng in spawn_rngs(self.seed, self.n_samples)]
+        values = utility.evaluate_many(
+            [np.flatnonzero(m) for m in memberships], stage="banzhaf")
+
         sum_in = np.zeros(n)
         count_in = np.zeros(n)
         sum_out = np.zeros(n)
         count_out = np.zeros(n)
-
-        for _ in range(self.n_samples):
-            membership = rng.uniform(size=n) < 0.5
-            value = utility(np.flatnonzero(membership))
+        for membership, value in zip(memberships, values):
             sum_in[membership] += value
             count_in[membership] += 1
             sum_out[~membership] += value

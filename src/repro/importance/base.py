@@ -6,6 +6,14 @@ payoff is the quality (validation metric) of a model trained on it.
 :class:`Utility` packages that game, with caching and well-defined
 behaviour on degenerate coalitions (empty or single-class subsets, which
 most models cannot fit).
+
+Evaluation runs through :mod:`repro.runtime`: pass ``runtime=`` to pick a
+backend (``serial`` / ``thread`` / ``process``), share a
+:class:`~repro.runtime.FingerprintCache` across estimators and runs, and
+get progress/cancellation hooks. The batch APIs
+(:meth:`Utility.evaluate_many`, :meth:`Utility.walk_permutations`) are
+what the estimators submit work through; their results are
+backend-invariant because every task is a pure function of its inputs.
 """
 
 from __future__ import annotations
@@ -16,6 +24,73 @@ from repro.core.exceptions import ValidationError
 from repro.core.validation import check_X_y
 from repro.ml.base import clone
 from repro.ml.metrics import accuracy_score
+from repro.runtime.cache import fingerprint
+from repro.runtime.runtime import resolve_runtime
+
+
+class _UtilityCore:
+    """Picklable evaluation core: everything a worker needs to compute
+    ``u(S)``, and nothing it does not (no caches, no pools)."""
+
+    def __init__(self, model, X_train, y_train, X_valid, y_valid, metric):
+        self.model = model
+        self.X_train = X_train
+        self.y_train = y_train
+        self.X_valid = X_valid
+        self.y_valid = y_valid
+        self.metric = metric
+        self.majority = _majority_class(y_valid)
+
+    def null_value(self) -> float:
+        constant = np.full(len(self.y_valid), self.majority)
+        return float(self.metric(self.y_valid, constant))
+
+    def evaluate(self, subset: np.ndarray) -> tuple[float, int]:
+        """Value of one coalition; returns ``(value, n_trainings)``."""
+        if len(subset) == 0:
+            return self.null_value(), 0
+        y_sub = self.y_train[subset]
+        classes = np.unique(y_sub)
+        if len(classes) < 2:
+            # Single-class coalition: the induced model is the constant
+            # predictor of that class.
+            constant = np.full(len(self.y_valid), classes[0])
+            return float(self.metric(self.y_valid, constant)), 0
+        trained = 0
+        try:
+            model = clone(self.model)
+            model.fit(self.X_train[subset], y_sub)
+            trained = 1
+            predictions = model.predict(self.X_valid)
+        except ValidationError:
+            # Coalition too small for this model (e.g. k-NN with
+            # |S| < k): fall back to the coalition's majority class,
+            # the best constant predictor the coalition supports.
+            predictions = np.full(len(self.y_valid), _majority_class(y_sub))
+        return float(self.metric(self.y_valid, predictions)), trained
+
+
+def _evaluate_subset_task(core: _UtilityCore, subset) -> tuple[float, int]:
+    return core.evaluate(subset)
+
+
+def _walk_permutation_task(core: _UtilityCore, task):
+    """Walk one permutation's prefix chain; returns ``(marginals,
+    n_trainings)`` where ``marginals[pos]`` belongs to player
+    ``permutation[pos]``. Positions after a truncation point keep
+    marginal 0."""
+    permutation, truncation_tol, full_value, null_value = task
+    marginals = np.zeros(len(permutation))
+    previous = null_value
+    trainings = 0
+    for pos in range(len(permutation)):
+        value, trained = core.evaluate(permutation[: pos + 1])
+        trainings += trained
+        marginals[pos] = value - previous
+        previous = value
+        if truncation_tol > 0 and abs(full_value - value) < truncation_tol:
+            break
+    return marginals, trainings
 
 
 class Utility:
@@ -32,66 +107,198 @@ class Utility:
     metric:
         ``metric(y_true, y_pred) -> float``; accuracy by default.
     cache:
-        Memoize coalition values by index frozenset. Worth it for MSR-style
-        estimators that revisit coalitions; permutation sampling rarely
-        repeats, so it can be disabled.
+        Memoize coalition values by index frozenset in-process. Worth it
+        for MSR-style estimators that revisit coalitions; permutation
+        sampling rarely repeats, so it can be disabled.
+    runtime:
+        ``None`` for inline serial evaluation, a backend name
+        (``"serial"``/``"thread"``/``"process"``), or a
+        :class:`repro.runtime.Runtime`. A runtime with a
+        :class:`~repro.runtime.FingerprintCache` additionally memoizes
+        values across Utility instances and (with a disk tier) processes.
     """
 
     def __init__(self, model, X_train, y_train, X_valid, y_valid,
-                 metric=accuracy_score, cache: bool = True):
-        self.model = model
-        self.X_train, self.y_train = check_X_y(X_train, y_train)
-        self.X_valid, self.y_valid = check_X_y(X_valid, y_valid)
-        self.metric = metric
+                 metric=accuracy_score, cache: bool = True, runtime=None):
+        X_train, y_train = check_X_y(X_train, y_train)
+        X_valid, y_valid = check_X_y(X_valid, y_valid)
+        self._core = _UtilityCore(model, X_train, y_train, X_valid, y_valid,
+                                  metric)
+        self.runtime = resolve_runtime(runtime)
         self._cache: dict[frozenset, float] | None = {} if cache else None
         self.calls = 0  # number of *model trainings* performed
-        self._majority = _majority_class(self.y_valid)
+        self._base_fingerprint: str | None = None
+
+    # -- convenience views (kept for backwards compatibility) --------------
+    @property
+    def model(self):
+        return self._core.model
+
+    @property
+    def X_train(self):
+        return self._core.X_train
+
+    @property
+    def y_train(self):
+        return self._core.y_train
+
+    @property
+    def X_valid(self):
+        return self._core.X_valid
+
+    @property
+    def y_valid(self):
+        return self._core.y_valid
+
+    @property
+    def metric(self):
+        return self._core.metric
 
     @property
     def n_players(self) -> int:
-        return len(self.y_train)
+        return len(self._core.y_train)
 
+    # -- fingerprinting ----------------------------------------------------
+    def base_fingerprint(self) -> str:
+        """Hash of (model config, data, metric) — the game's identity.
+        Computed once; coalition keys extend it with the sorted indices."""
+        if self._base_fingerprint is None:
+            core = self._core
+            self._base_fingerprint = fingerprint(
+                core.model, core.X_train, core.y_train, core.X_valid,
+                core.y_valid, core.metric)
+        return self._base_fingerprint
+
+    def coalition_key(self, subset: np.ndarray) -> str:
+        return fingerprint(self.base_fingerprint(), np.sort(subset))
+
+    # -- scalar values -----------------------------------------------------
     def null_value(self) -> float:
         """Utility of the empty coalition: predict the validation majority
         class (the best label-free constant predictor)."""
-        constant = np.full(len(self.y_valid), self._majority)
-        return float(self.metric(self.y_valid, constant))
+        return self._core.null_value()
 
     def full_value(self) -> float:
         """Utility of the grand coalition (all training data)."""
         return self(np.arange(self.n_players))
 
     def __call__(self, subset_indices) -> float:
+        return float(self.evaluate_many([subset_indices],
+                                        stage="utility.call")[0])
+
+    # -- batch APIs --------------------------------------------------------
+    def _check_subset(self, subset_indices) -> np.ndarray:
         subset = np.asarray(subset_indices, dtype=int)
         if subset.ndim != 1:
             raise ValidationError("subset indices must be a 1-D index array")
-        if len(subset) == 0:
-            return self.null_value()
-        key = frozenset(subset.tolist()) if self._cache is not None else None
-        if key is not None and key in self._cache:
-            return self._cache[key]
-        y_sub = self.y_train[subset]
-        classes = np.unique(y_sub)
-        if len(classes) < 2:
-            # Single-class coalition: the induced model is the constant
-            # predictor of that class.
-            constant = np.full(len(self.y_valid), classes[0])
-            value = float(self.metric(self.y_valid, constant))
+        return subset
+
+    def _lookup(self, subset: np.ndarray, memo_key: frozenset | None):
+        if memo_key is not None and memo_key in self._cache:
+            return self._cache[memo_key]
+        shared_cache = self.runtime.cache if self.runtime is not None else None
+        if shared_cache is not None:
+            return shared_cache.get(self.coalition_key(subset))
+        return None
+
+    def _store(self, subset: np.ndarray, memo_key: frozenset | None,
+               value: float) -> None:
+        if memo_key is not None:
+            self._cache[memo_key] = value
+        shared_cache = self.runtime.cache if self.runtime is not None else None
+        if shared_cache is not None:
+            shared_cache.put(self.coalition_key(subset), value)
+
+    def _poll_cancel(self, stage: str) -> None:
+        # The executor polls between chunks, but small batches may take
+        # the inline fast path; a tripped token must abort those too.
+        if self.runtime is not None and self.runtime.cancel is not None:
+            self.runtime.cancel.raise_if_cancelled(stage)
+
+    def evaluate_many(self, coalitions, *,
+                      stage: str = "utility.batch") -> np.ndarray:
+        """Evaluate a batch of coalitions; returns values in batch order.
+
+        Cache hits (in-process memo and the runtime's fingerprint cache)
+        are resolved up front; only the distinct misses are dispatched to
+        the runtime's executor. Duplicate coalitions inside one batch are
+        evaluated once.
+        """
+        self._poll_cancel(stage)
+        subsets = [self._check_subset(c) for c in coalitions]
+        values = np.empty(len(subsets))
+        pending: dict[frozenset, list[int]] = {}
+        order: list[tuple[frozenset, np.ndarray]] = []
+        for i, subset in enumerate(subsets):
+            if len(subset) == 0:
+                values[i] = self._core.null_value()
+                continue
+            memo_key = frozenset(subset.tolist())
+            cached = self._lookup(subset, memo_key if self._cache is not None
+                                  else None)
+            if cached is not None:
+                values[i] = cached
+                continue
+            if memo_key in pending:
+                pending[memo_key].append(i)
+            else:
+                pending[memo_key] = [i]
+                order.append((memo_key, subset))
+        if order:
+            if self.runtime is not None and len(order) > 1:
+                results = self.runtime.map(
+                    _evaluate_subset_task, [s for _, s in order],
+                    shared=self._core, stage=stage)
+            else:
+                results = [self._core.evaluate(s) for _, s in order]
+            for (memo_key, subset), (value, trained) in zip(order, results):
+                self.calls += trained
+                self._store(subset, memo_key if self._cache is not None
+                            else None, value)
+                for i in pending[memo_key]:
+                    values[i] = value
+        return values
+
+    def walk_permutations(self, permutations, *, truncation_tol: float = 0.0,
+                          full_value: float | None = None,
+                          stage: str = "utility.walks") -> list[np.ndarray]:
+        """Walk each permutation's prefix chain (optionally truncated).
+
+        Returns one marginal-contribution array per permutation, aligned
+        by position (``marginals[pos]`` belongs to ``permutation[pos]``).
+        Each walk is an independent task, so batches parallelize across
+        permutations on any backend with identical results.
+        """
+        self._poll_cancel(stage)
+        if truncation_tol < 0:
+            raise ValidationError("truncation_tol must be >= 0")
+        if truncation_tol > 0 and full_value is None:
+            full_value = self.full_value()
+        null_value = self.null_value()
+        tasks = [(self._check_subset(p), float(truncation_tol),
+                  0.0 if full_value is None else float(full_value),
+                  null_value)
+                 for p in permutations]
+        if self.runtime is not None and len(tasks) > 1:
+            results = self.runtime.map(_walk_permutation_task, tasks,
+                                       shared=self._core, stage=stage)
         else:
-            try:
-                model = clone(self.model)
-                model.fit(self.X_train[subset], y_sub)
-                self.calls += 1
-                predictions = model.predict(self.X_valid)
-            except ValidationError:
-                # Coalition too small for this model (e.g. k-NN with
-                # |S| < k): fall back to the coalition's majority class,
-                # the best constant predictor the coalition supports.
-                predictions = np.full(len(self.y_valid), _majority_class(y_sub))
-            value = float(self.metric(self.y_valid, predictions))
-        if key is not None:
-            self._cache[key] = value
-        return value
+            results = [_walk_permutation_task(self._core, t) for t in tasks]
+        marginal_arrays = []
+        for marginals, trainings in results:
+            self.calls += trainings
+            marginal_arrays.append(marginals)
+        return marginal_arrays
+
+    # -- introspection -----------------------------------------------------
+    def cache_info(self) -> dict:
+        """Counters for reports: trainings, memo size, runtime stats."""
+        return {
+            "calls": self.calls,
+            "memo_entries": len(self._cache) if self._cache is not None else 0,
+            "runtime": self.runtime.stats() if self.runtime is not None
+            else None,
+        }
 
 
 def _majority_class(y: np.ndarray):

@@ -20,7 +20,7 @@ import numpy as np
 from scipy.special import betaln, gammaln
 
 from repro.core.exceptions import ValidationError
-from repro.core.rng import ensure_rng
+from repro.core.rng import spawn_rngs
 from repro.importance.base import Utility
 
 
@@ -66,20 +66,20 @@ class BetaShapley:
         self.seed = seed
 
     def score(self, utility: Utility) -> np.ndarray:
-        """Estimate Beta Shapley values for every player of ``utility``."""
-        rng = ensure_rng(self.seed)
+        """Estimate Beta Shapley values for every player of ``utility``.
+
+        Permutations are drawn from per-permutation RNG streams (split
+        from the root seed) and their walks submitted as one batch to
+        ``utility.runtime``, so results are backend-invariant.
+        """
         n = utility.n_players
         # Importance weight: marginal at size j appears w.p. 1/n under
         # permutation sampling but should carry probability p(j).
         size_weight = n * beta_size_weights(n, self.alpha, self.beta)
+        permutations = [rng.permutation(n)
+                        for rng in spawn_rngs(self.seed, self.n_permutations)]
+        walks = utility.walk_permutations(permutations, stage="beta_shapley")
         running = np.zeros(n)
-        null_value = utility.null_value()
-
-        for _ in range(self.n_permutations):
-            permutation = rng.permutation(n)
-            previous = null_value
-            for pos in range(n):
-                current = utility(permutation[: pos + 1])
-                running[permutation[pos]] += size_weight[pos] * (current - previous)
-                previous = current
+        for permutation, marginals in zip(permutations, walks):
+            running[permutation] += size_weight * marginals
         return running / self.n_permutations

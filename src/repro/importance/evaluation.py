@@ -42,6 +42,69 @@ def detection_precision_at_k(values, corrupted_indices, k: int) -> float:
     return len(flagged & corrupted) / max(len(flagged), 1)
 
 
+def detection_report(values, corrupted_indices, k: int, *, utility=None,
+                     wall_time: float | None = None) -> dict:
+    """Detection quality plus the cost that bought it.
+
+    Bundles recall@k / precision@k with the runtime introspection the
+    benchmarks print: model trainings consumed (``utility.calls``), the
+    fingerprint-cache hit-rate, and wall-time per runtime stage — so a
+    method's ranking quality is always read next to its price.
+
+    Parameters
+    ----------
+    values:
+        Importance scores (lower = more harmful).
+    corrupted_indices:
+        Ground-truth corrupted examples.
+    k:
+        Cutoff for the detection metrics.
+    utility:
+        Optional :class:`~repro.importance.Utility` (or any object with
+        ``calls`` / ``cache_info``) the scores were computed through.
+    wall_time:
+        Optional end-to-end seconds measured by the caller.
+    """
+    report = {
+        "k": int(k),
+        "recall_at_k": detection_recall_at_k(values, corrupted_indices, k),
+        "precision_at_k": detection_precision_at_k(values, corrupted_indices, k),
+    }
+    if wall_time is not None:
+        report["wall_time"] = float(wall_time)
+    if utility is not None:
+        report["utility_calls"] = int(getattr(utility, "calls", 0))
+        info = utility.cache_info() if hasattr(utility, "cache_info") else {}
+        runtime_stats = info.get("runtime")
+        if runtime_stats is not None:
+            report["backend"] = runtime_stats["backend"]
+            cache_stats = runtime_stats.get("cache")
+            if cache_stats is not None:
+                report["cache_hit_rate"] = cache_stats["hit_rate"]
+                report["cache_hits"] = (cache_stats["memory_hits"]
+                                        + cache_stats["disk_hits"])
+            report["stage_seconds"] = {
+                stage: entry["seconds"]
+                for stage, entry in runtime_stats["stages"].items()
+            }
+    return report
+
+
+def format_report(report: dict) -> str:
+    """One-line rendering of a :func:`detection_report` for logs."""
+    parts = [f"recall@{report['k']}={report['recall_at_k']:.2f}",
+             f"precision@{report['k']}={report['precision_at_k']:.2f}"]
+    if "utility_calls" in report:
+        parts.append(f"trainings={report['utility_calls']}")
+    if "cache_hit_rate" in report:
+        parts.append(f"cache_hit_rate={report['cache_hit_rate']:.1%}")
+    if "wall_time" in report:
+        parts.append(f"wall={report['wall_time']:.2f}s")
+    if "backend" in report:
+        parts.append(f"backend={report['backend']}")
+    return "  ".join(parts)
+
+
 def cleaning_curve(values, *, clean_step, evaluate, n_rounds: int,
                    batch: int) -> list[float]:
     """Simulate iterative prioritized cleaning.

@@ -18,11 +18,12 @@ def leave_one_out(utility: Utility) -> np.ndarray:
 
     Returns an array of length ``utility.n_players`` following the
     lower-is-more-harmful convention shared by all importance methods.
+
+    The ``n`` drop-one retrainings are independent, so they are submitted
+    as one batch through ``utility.runtime`` (inline when absent).
     """
     n = utility.n_players
     full = utility.full_value()
     everyone = np.arange(n)
-    values = np.empty(n)
-    for i in range(n):
-        values[i] = full - utility(np.delete(everyone, i))
-    return values
+    drop_one = [np.delete(everyone, i) for i in range(n)]
+    return full - utility.evaluate_many(drop_one, stage="leave_one_out")

@@ -8,6 +8,13 @@ of the full-data utility (later marginals are then ≈ 0). Convergence is
 monitored with the Gelman–Rubin-style criterion from the original paper:
 stop when the mean absolute change of the value estimates over the last
 ``convergence_window`` permutations falls below ``convergence_tol``.
+
+**Determinism guarantee.** Permutation ``t`` is drawn from its own RNG
+stream, split from the root seed via :func:`repro.core.rng.spawn_rngs`,
+and each permutation walk is an independent task submitted through the
+utility's :class:`~repro.runtime.Runtime`. The estimate is therefore a
+pure function of ``(seed, n_permutations)`` — identical across the
+``serial``, ``thread`` and ``process`` backends and any worker count.
 """
 
 from __future__ import annotations
@@ -15,7 +22,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.core.exceptions import ValidationError
-from repro.core.rng import ensure_rng
+from repro.core.rng import spawn_rngs
 from repro.importance.base import Utility
 
 
@@ -32,7 +39,7 @@ class MonteCarloShapley:
     convergence_tol / convergence_window:
         Early-stopping on estimate stability; ``None`` disables.
     seed:
-        RNG seed.
+        Root RNG seed, split per permutation.
     """
 
     def __init__(self, n_permutations: int = 100, truncation_tol: float = 0.01,
@@ -49,36 +56,46 @@ class MonteCarloShapley:
         self.seed = seed
 
     def score(self, utility: Utility) -> np.ndarray:
-        """Estimate Shapley values for every player of ``utility``."""
-        rng = ensure_rng(self.seed)
+        """Estimate Shapley values for every player of ``utility``.
+
+        Permutation walks are submitted in batches through
+        ``utility.runtime`` (inline when the utility has none); the
+        convergence criterion is applied per permutation, in order, so
+        early stopping returns exactly what a serial run would.
+        """
         n = utility.n_players
-        running = np.zeros(n)
+        permutations = [rng.permutation(n)
+                        for rng in spawn_rngs(self.seed, self.n_permutations)]
         full_value = utility.full_value()
-        null_value = utility.null_value()
+        running = np.zeros(n)
         history: list[np.ndarray] = []
 
-        for t in range(1, self.n_permutations + 1):
-            permutation = rng.permutation(n)
-            previous = null_value
-            truncated = False
-            for pos in range(n):
-                if truncated:
-                    marginal = 0.0
-                else:
-                    current = utility(permutation[: pos + 1])
-                    marginal = current - previous
-                    previous = current
-                    if (self.truncation_tol > 0
-                            and abs(full_value - current) < self.truncation_tol):
-                        truncated = True
-                running[permutation[pos]] += marginal
-            if self.convergence_tol is not None:
-                history.append(running / t)
-                if len(history) > self.convergence_window:
-                    drift = np.abs(history[-1] - history[-1 - self.convergence_window])
-                    scale = np.abs(history[-1]) + 1e-12
-                    if float(np.mean(drift / scale)) < self.convergence_tol:
-                        self.n_permutations_used_ = t
-                        return running / t
-        self.n_permutations_used_ = self.n_permutations
-        return running / self.n_permutations
+        workers = (utility.runtime.executor.effective_workers
+                   if utility.runtime is not None else 1)
+        if self.convergence_tol is None:
+            batch_size = self.n_permutations
+        else:
+            # Small batches keep the early-stop check responsive without
+            # starving the pool; a converged batch discards at most
+            # batch_size - 1 extra walks.
+            batch_size = max(self.convergence_window, workers)
+
+        t = 0
+        for start in range(0, self.n_permutations, batch_size):
+            batch = permutations[start:start + batch_size]
+            walks = utility.walk_permutations(
+                batch, truncation_tol=self.truncation_tol,
+                full_value=full_value, stage="shapley_mc")
+            for permutation, marginals in zip(batch, walks):
+                t += 1
+                running[permutation] += marginals
+                if self.convergence_tol is not None:
+                    history.append(running / t)
+                    if len(history) > self.convergence_window:
+                        drift = np.abs(history[-1] - history[-1 - self.convergence_window])
+                        scale = np.abs(history[-1]) + 1e-12
+                        if float(np.mean(drift / scale)) < self.convergence_tol:
+                            self.n_permutations_used_ = t
+                            return running / t
+        self.n_permutations_used_ = t
+        return running / t

@@ -66,6 +66,26 @@ def rank_source_rows(importances: dict[int, float], k: int | None = None) -> lis
     return ranked if k is None else ranked[:k]
 
 
+def _walk_source_permutation_task(shared, task):
+    """Walk one *source-row* permutation: each step adds a player's
+    derived output rows to the training mask and re-evaluates."""
+    core, positions = shared
+    permutation, truncation_tol, full_value, null_value = task
+    marginals = np.zeros(len(permutation))
+    previous = null_value
+    trainings = 0
+    mask = np.zeros(len(core.y_train), dtype=bool)
+    for pos, player in enumerate(permutation):
+        mask[positions[int(player)]] = True
+        value, trained = core.evaluate(np.flatnonzero(mask))
+        trainings += trained
+        marginals[pos] = value - previous
+        previous = value
+        if truncation_tol > 0 and abs(full_value - value) < truncation_tol:
+            break
+    return marginals, trainings
+
+
 class SourceRowUtility:
     """Coalition utility whose *players are source rows* of one pipeline
     input.
@@ -79,11 +99,14 @@ class SourceRowUtility:
 
     Use with :class:`repro.importance.MonteCarloShapley` or
     :class:`repro.importance.DataBanzhaf` when the KNN proxy's inductive
-    bias is a concern (the A1 ablation quantifies when that is).
+    bias is a concern (the A1 ablation quantifies when that is). Pass
+    ``runtime=`` to parallelize and memoize exactly as with
+    :class:`~repro.importance.Utility` — the batch APIs below translate
+    player coalitions into encoded-row coalitions and delegate.
     """
 
     def __init__(self, result: PipelineResult, *, source: str, model,
-                 X_valid, y_valid, metric=accuracy_score):
+                 X_valid, y_valid, metric=accuracy_score, runtime=None):
         if result.provenance is None:
             raise ValidationError("run the pipeline with provenance=True")
         if result.X is None:
@@ -91,12 +114,11 @@ class SourceRowUtility:
         groups = result.provenance.group_matrix(source)
         self.source_row_ids = sorted(groups)
         self._positions = [groups[rid] for rid in self.source_row_ids]
-        self._inner = None  # built lazily to reuse Utility's edge handling
         from repro.importance.base import Utility
 
         self._utility = Utility(model, result.X, result.y,
                                 np.asarray(X_valid), np.asarray(y_valid),
-                                metric=metric)
+                                metric=metric, runtime=runtime)
 
     @property
     def n_players(self) -> int:
@@ -106,19 +128,60 @@ class SourceRowUtility:
     def calls(self) -> int:
         return self._utility.calls
 
+    @property
+    def runtime(self):
+        return self._utility.runtime
+
     def null_value(self) -> float:
         return self._utility.null_value()
 
     def full_value(self) -> float:
         return self(np.arange(self.n_players))
 
+    def _rows_for(self, player_indices: np.ndarray) -> np.ndarray:
+        if len(player_indices) == 0:
+            return np.array([], dtype=int)
+        rows = np.concatenate([self._positions[int(p)]
+                               for p in player_indices])
+        return np.unique(rows)
+
     def __call__(self, player_indices) -> float:
         player_indices = np.asarray(player_indices, dtype=int)
         if len(player_indices) == 0:
             return self._utility.null_value()
-        rows = np.concatenate([self._positions[int(p)]
-                               for p in player_indices])
-        return self._utility(np.unique(rows))
+        return self._utility(self._rows_for(player_indices))
+
+    def evaluate_many(self, coalitions, *,
+                      stage: str = "datascope.batch") -> np.ndarray:
+        """Batch evaluation of player coalitions through the inner
+        utility's runtime (caching included)."""
+        row_subsets = [self._rows_for(np.asarray(c, dtype=int))
+                       for c in coalitions]
+        return self._utility.evaluate_many(row_subsets, stage=stage)
+
+    def walk_permutations(self, permutations, *, truncation_tol: float = 0.0,
+                          full_value: float | None = None,
+                          stage: str = "datascope.walks") -> list[np.ndarray]:
+        """Player-permutation prefix walks, parallelized per permutation."""
+        if truncation_tol > 0 and full_value is None:
+            full_value = self.full_value()
+        null_value = self.null_value()
+        tasks = [(np.asarray(p, dtype=int), float(truncation_tol),
+                  0.0 if full_value is None else float(full_value),
+                  null_value)
+                 for p in permutations]
+        shared = (self._utility._core, self._positions)
+        if self.runtime is not None and len(tasks) > 1:
+            results = self.runtime.map(_walk_source_permutation_task, tasks,
+                                       shared=shared, stage=stage)
+        else:
+            results = [_walk_source_permutation_task(shared, t)
+                       for t in tasks]
+        marginal_arrays = []
+        for marginals, trainings in results:
+            self._utility.calls += trainings
+            marginal_arrays.append(marginals)
+        return marginal_arrays
 
     def values_by_row_id(self, player_values) -> dict[int, float]:
         """Map player-indexed values back to source row ids."""

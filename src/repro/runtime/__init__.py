@@ -1,0 +1,73 @@
+"""Parallel execution runtime with fingerprint-keyed utility caching.
+
+The hot loop of every method family in this repository — Shapley/Banzhaf
+permutation sampling, leave-one-out, CPClean world enumeration, iterative
+cleaning, sharded unlearning — is "retrain a model on a subset and score
+it". This package turns that loop into shared infrastructure:
+
+- :class:`Executor` backends (``serial`` / ``thread`` / ``process``) run
+  task batches with identical semantics, so scores are backend-invariant.
+- :class:`FingerprintCache` memoizes utility evaluations across
+  estimators, runs, and (with a disk tier) processes.
+- :mod:`~repro.runtime.progress` provides the progress/cancellation hook
+  protocol long-running scoring jobs speak.
+- :class:`Runtime` bundles the three into the single ``runtime=`` handle
+  the compute layers accept.
+
+Quick start::
+
+    from repro.runtime import Runtime, FingerprintCache
+
+    rt = Runtime(backend="process", cache=FingerprintCache())
+    utility = Utility(model, X, y, Xv, yv, runtime=rt)
+    values = MonteCarloShapley(n_permutations=100, seed=0).score(utility)
+    print(rt.stats())   # backend, cache hit-rate, wall-time per stage
+"""
+
+from repro.runtime.cache import (
+    CacheStats,
+    FingerprintCache,
+    aggregate_cache_stats,
+    data_fingerprint,
+    fingerprint,
+)
+from repro.runtime.executor import (
+    BACKENDS,
+    Executor,
+    ProcessExecutor,
+    SerialExecutor,
+    ThreadExecutor,
+    get_executor,
+)
+from repro.runtime.progress import (
+    CancellationToken,
+    JobCancelled,
+    ProgressEvent,
+    ProgressRecorder,
+    StageTimer,
+    cancel_after,
+)
+from repro.runtime.runtime import Runtime, aggregate_stage_timings, resolve_runtime
+
+__all__ = [
+    "BACKENDS",
+    "CacheStats",
+    "CancellationToken",
+    "Executor",
+    "FingerprintCache",
+    "JobCancelled",
+    "ProcessExecutor",
+    "ProgressEvent",
+    "ProgressRecorder",
+    "Runtime",
+    "SerialExecutor",
+    "StageTimer",
+    "ThreadExecutor",
+    "aggregate_cache_stats",
+    "aggregate_stage_timings",
+    "cancel_after",
+    "data_fingerprint",
+    "fingerprint",
+    "get_executor",
+    "resolve_runtime",
+]

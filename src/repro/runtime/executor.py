@@ -1,0 +1,274 @@
+"""Interchangeable execution backends for coalition-scoring workloads.
+
+An :class:`Executor` runs ``fn(shared, task)`` over a list of tasks and
+returns the results *in task order*. Three backends implement the same
+contract:
+
+- ``serial`` — plain in-process loop; zero overhead, the default.
+- ``thread`` — :class:`~concurrent.futures.ThreadPoolExecutor`; helps
+  when the work releases the GIL (numpy linear algebra).
+- ``process`` — :class:`~concurrent.futures.ProcessPoolExecutor`; true
+  multi-core scaling. ``shared`` (typically the training arrays + model
+  prototype) is pickled **once** and installed in every worker by the
+  pool initializer, so per-task IPC carries only the small task payloads.
+
+Because backends only change *where* ``fn`` runs — never the task list,
+the task order, or any random stream — results are backend-invariant:
+callers derive per-task randomness up front (see
+:func:`repro.core.rng.spawn_rngs`) and the executor treats tasks as pure
+functions.
+
+Tasks are grouped into chunks to amortize submission overhead; progress
+hooks fire and cancellation tokens are polled at chunk granularity (see
+:mod:`repro.runtime.progress`).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import math
+import os
+import pickle
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, ThreadPoolExecutor, wait
+
+from repro.core.exceptions import ValidationError
+from repro.runtime.progress import JobCancelled, ProgressEvent
+
+BACKENDS = ("serial", "thread", "process")
+
+
+def _available_cpus() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # non-Linux
+        return os.cpu_count() or 1
+
+
+def _default_chunk_size(n_tasks: int, workers: int) -> int:
+    # ~4 chunks per worker balances scheduling slack against per-chunk
+    # overhead; serial keeps chunks small so progress/cancel stay responsive.
+    return max(1, math.ceil(n_tasks / max(1, workers * 4)))
+
+
+class Executor:
+    """Backend contract: ordered, chunked fan-out of ``fn(shared, task)``."""
+
+    name = "base"
+
+    def __init__(self, max_workers: int | None = None):
+        if max_workers is not None and max_workers < 1:
+            raise ValidationError("max_workers must be >= 1")
+        self.max_workers = max_workers
+
+    @property
+    def effective_workers(self) -> int:
+        return 1
+
+    def map(self, fn, tasks, *, shared=None, chunk_size: int | None = None,
+            progress=None, cancel=None, stage: str = "map") -> list:
+        """Run ``fn(shared, task)`` for every task; return ordered results.
+
+        Parameters
+        ----------
+        fn:
+            Module-level callable (must be picklable for the process
+            backend) taking ``(shared, task)``.
+        shared:
+            Read-only state shipped to workers once per job.
+        chunk_size:
+            Tasks per submitted chunk; auto-sized when omitted.
+        progress:
+            Optional ``callable(ProgressEvent)`` fired per finished chunk.
+        cancel:
+            Optional :class:`CancellationToken` polled between chunks.
+        stage:
+            Label used in progress events and cancellation errors.
+        """
+        tasks = list(tasks)
+        if not tasks:
+            return []
+        if cancel is not None:
+            cancel.raise_if_cancelled(stage)
+        if chunk_size is None:
+            chunk_size = _default_chunk_size(len(tasks), self.effective_workers)
+        chunks = [tasks[i:i + chunk_size]
+                  for i in range(0, len(tasks), chunk_size)]
+        return self._run_chunks(fn, shared, chunks, len(tasks),
+                                progress, cancel, stage)
+
+    def _run_chunks(self, fn, shared, chunks, n_tasks, progress, cancel,
+                    stage) -> list:
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Release pooled workers (no-op for serial)."""
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        self.close()
+        return False
+
+
+class SerialExecutor(Executor):
+    """In-process loop — the reference semantics every backend must match."""
+
+    name = "serial"
+
+    def _run_chunks(self, fn, shared, chunks, n_tasks, progress, cancel,
+                    stage) -> list:
+        started = time.perf_counter()
+        results: list = []
+        for chunk in chunks:
+            if cancel is not None:
+                cancel.raise_if_cancelled(stage)
+            results.extend(fn(shared, task) for task in chunk)
+            if progress is not None:
+                progress(ProgressEvent(stage, len(results), n_tasks,
+                                       time.perf_counter() - started))
+        return results
+
+
+class _PooledExecutor(Executor):
+    """Shared chunk-collection logic for thread/process backends."""
+
+    def _collect(self, submit, chunks, n_tasks, progress, cancel, stage):
+        started = time.perf_counter()
+        futures = {submit(chunk): idx for idx, chunk in enumerate(chunks)}
+        ordered: list = [None] * len(chunks)
+        completed_tasks = 0
+        pending = set(futures)
+        try:
+            while pending:
+                done, pending = wait(pending, timeout=0.1,
+                                     return_when=FIRST_COMPLETED)
+                for future in done:
+                    idx = futures[future]
+                    ordered[idx] = future.result()
+                    completed_tasks += len(chunks[idx])
+                    if progress is not None:
+                        progress(ProgressEvent(
+                            stage, completed_tasks, n_tasks,
+                            time.perf_counter() - started))
+                if cancel is not None and cancel.cancelled:
+                    raise JobCancelled(f"{stage} cancelled by caller")
+        except BaseException:
+            for future in pending:
+                future.cancel()
+            raise
+        return [result for chunk in ordered for result in chunk]
+
+
+def _run_chunk_with_shared(fn, shared, chunk):
+    return [fn(shared, task) for task in chunk]
+
+
+class ThreadExecutor(_PooledExecutor):
+    """Thread-pool backend; ``shared`` is passed by reference (same
+    process), so it must be treated as read-only by ``fn``."""
+
+    name = "thread"
+
+    def __init__(self, max_workers: int | None = None):
+        super().__init__(max_workers)
+        self._pool: ThreadPoolExecutor | None = None
+
+    @property
+    def effective_workers(self) -> int:
+        return self.max_workers or _available_cpus()
+
+    def _ensure_pool(self) -> ThreadPoolExecutor:
+        if self._pool is None:
+            self._pool = ThreadPoolExecutor(max_workers=self.effective_workers)
+        return self._pool
+
+    def _run_chunks(self, fn, shared, chunks, n_tasks, progress, cancel,
+                    stage) -> list:
+        pool = self._ensure_pool()
+        return self._collect(
+            lambda chunk: pool.submit(_run_chunk_with_shared, fn, shared, chunk),
+            chunks, n_tasks, progress, cancel, stage)
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+
+# --- process backend -------------------------------------------------------
+# The shared object is installed once per worker via the pool initializer;
+# chunk submissions then reference it through this module-level slot. This
+# keeps per-chunk IPC proportional to the chunk, not the dataset.
+_WORKER_SHARED = None
+
+
+def _install_shared(payload: bytes) -> None:
+    global _WORKER_SHARED
+    _WORKER_SHARED = pickle.loads(payload)
+
+
+def _run_chunk_in_worker(fn, chunk):
+    return [fn(_WORKER_SHARED, task) for task in chunk]
+
+
+class ProcessExecutor(_PooledExecutor):
+    """Process-pool backend with shared-state shipping.
+
+    The pool is kept alive across :meth:`map` calls as long as ``shared``
+    pickles to the same bytes (the common case: many scoring rounds over
+    one utility), and is transparently rebuilt when it changes.
+    """
+
+    name = "process"
+
+    def __init__(self, max_workers: int | None = None):
+        super().__init__(max_workers)
+        self._pool: ProcessPoolExecutor | None = None
+        self._pool_digest: str | None = None
+
+    @property
+    def effective_workers(self) -> int:
+        return self.max_workers or _available_cpus()
+
+    def _ensure_pool(self, shared) -> ProcessPoolExecutor:
+        payload = pickle.dumps(shared, protocol=pickle.HIGHEST_PROTOCOL)
+        digest = hashlib.sha256(payload).hexdigest()
+        if self._pool is not None and digest != self._pool_digest:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+        if self._pool is None:
+            self._pool = ProcessPoolExecutor(
+                max_workers=self.effective_workers,
+                initializer=_install_shared, initargs=(payload,))
+            self._pool_digest = digest
+        return self._pool
+
+    def _run_chunks(self, fn, shared, chunks, n_tasks, progress, cancel,
+                    stage) -> list:
+        pool = self._ensure_pool(shared)
+        return self._collect(
+            lambda chunk: pool.submit(_run_chunk_in_worker, fn, chunk),
+            chunks, n_tasks, progress, cancel, stage)
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+            self._pool_digest = None
+
+
+def get_executor(backend, max_workers: int | None = None) -> Executor:
+    """Resolve a backend name (or pass through an :class:`Executor`)."""
+    if isinstance(backend, Executor):
+        return backend
+    if backend == "serial":
+        return SerialExecutor(max_workers)
+    if backend == "thread":
+        return ThreadExecutor(max_workers)
+    if backend == "process":
+        return ProcessExecutor(max_workers)
+    raise ValidationError(
+        f"unknown backend {backend!r}; expected one of {BACKENDS} "
+        "or an Executor instance")

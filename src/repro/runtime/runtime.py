@@ -1,0 +1,126 @@
+"""The :class:`Runtime` facade — executor + cache + hooks in one handle.
+
+Every compute layer (``Utility``, the importance estimators, CPClean,
+iterative cleaning, sharded unlearning) takes a ``runtime=`` argument and
+submits its batches here instead of looping inline. One object therefore
+decides, for a whole experiment, *where* work runs (backend), *what* is
+memoized (fingerprint cache), and *how* the job reports and aborts
+(progress hook / cancellation token) — and it accumulates wall-time per
+stage so reports can show where the budget went.
+"""
+
+from __future__ import annotations
+
+import weakref
+
+from repro.core.exceptions import ValidationError
+from repro.runtime.cache import FingerprintCache
+from repro.runtime.executor import Executor, get_executor
+from repro.runtime.progress import StageTimer, _Stopwatch
+
+_LIVE_RUNTIMES: "weakref.WeakSet[Runtime]" = weakref.WeakSet()
+
+
+class Runtime:
+    """Execution policy for coalition-scoring workloads.
+
+    Parameters
+    ----------
+    backend:
+        ``"serial"`` | ``"thread"`` | ``"process"`` or an
+        :class:`~repro.runtime.executor.Executor` instance.
+    max_workers:
+        Worker count for pooled backends (defaults to the CPU count).
+    chunk_size:
+        Tasks per submitted chunk; auto-sized when omitted.
+    cache:
+        ``True`` for a fresh in-memory :class:`FingerprintCache`, an
+        existing cache instance (shareable across runtimes), or ``None``
+        to disable cross-call memoization.
+    progress:
+        ``callable(ProgressEvent)`` fired per completed chunk.
+    cancel:
+        :class:`~repro.runtime.progress.CancellationToken` polled between
+        chunks; tripping it raises ``JobCancelled`` from the running job.
+    """
+
+    def __init__(self, backend="serial", *, max_workers: int | None = None,
+                 chunk_size: int | None = None, cache=None, progress=None,
+                 cancel=None):
+        self.executor = get_executor(backend, max_workers)
+        if chunk_size is not None and chunk_size < 1:
+            raise ValidationError("chunk_size must be >= 1")
+        self.chunk_size = chunk_size
+        if cache is True:
+            cache = FingerprintCache()
+        self.cache: FingerprintCache | None = cache
+        self.progress = progress
+        self.cancel = cancel
+        self.timings = StageTimer()
+        _LIVE_RUNTIMES.add(self)
+
+    @property
+    def backend(self) -> str:
+        return self.executor.name
+
+    def map(self, fn, tasks, *, shared=None, stage: str = "map") -> list:
+        """Fan ``fn(shared, task)`` out over the backend; ordered results.
+
+        Wall-time is charged to ``stage`` in :attr:`timings`.
+        """
+        tasks = list(tasks)
+        with _Stopwatch(self.timings, stage, len(tasks)):
+            return self.executor.map(
+                fn, tasks, shared=shared, chunk_size=self.chunk_size,
+                progress=self.progress, cancel=self.cancel, stage=stage)
+
+    def stats(self) -> dict:
+        """Snapshot: backend, workers, cache counters, per-stage timings."""
+        return {
+            "backend": self.backend,
+            "workers": self.executor.effective_workers,
+            "cache": self.cache.stats.as_dict() if self.cache else None,
+            "stages": self.timings.snapshot(),
+        }
+
+    def close(self) -> None:
+        self.executor.close()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        self.close()
+        return False
+
+    def __repr__(self) -> str:
+        cached = "on" if self.cache is not None else "off"
+        return (f"Runtime(backend={self.backend!r}, "
+                f"workers={self.executor.effective_workers}, cache={cached})")
+
+
+def resolve_runtime(runtime) -> Runtime | None:
+    """Normalize the ``runtime=`` argument every compute layer accepts.
+
+    ``None`` stays ``None`` (caller falls back to its inline loop),
+    a backend name builds a fresh :class:`Runtime`, an
+    :class:`Executor` is wrapped, and a :class:`Runtime` passes through.
+    """
+    if runtime is None or isinstance(runtime, Runtime):
+        return runtime
+    if isinstance(runtime, str) or isinstance(runtime, Executor):
+        return Runtime(backend=runtime)
+    raise ValidationError(
+        "runtime must be None, a backend name ('serial'/'thread'/'process'), "
+        f"an Executor, or a Runtime — got {type(runtime).__name__}")
+
+
+def aggregate_stage_timings() -> dict:
+    """Merged per-stage wall-time over every live runtime (for reports)."""
+    merged: dict[str, dict] = {}
+    for runtime in list(_LIVE_RUNTIMES):
+        for stage, entry in runtime.timings.snapshot().items():
+            slot = merged.setdefault(stage, {"seconds": 0.0, "tasks": 0})
+            slot["seconds"] += entry["seconds"]
+            slot["tasks"] += entry["tasks"]
+    return merged

@@ -111,8 +111,21 @@ class CertainPredictionKNN:
         return certain / len(X_test)
 
 
+def _candidate_fraction_task(shared, row: int) -> float:
+    """Certain fraction after hypothetically cleaning one training row.
+
+    ``shared`` is ``(X_current, X_clean, y, X_test, k)``; one task per
+    candidate row, so each greedy round fans out over the runtime.
+    """
+    X_current, X_clean, y, X_test, k = shared
+    candidate = X_current.copy()
+    candidate[row] = X_clean[row]
+    checker = CertainPredictionKNN(k=k).fit(candidate, y)
+    return checker.certain_fraction(X_test)
+
+
 def cpclean_greedy(X_dirty, y, X_clean, X_test, *, k: int = 3,
-                   max_cleaned: int | None = None) -> dict:
+                   max_cleaned: int | None = None, runtime=None) -> dict:
     """Greedy CPClean cleaning-set selection (simulated with ground truth).
 
     Repeatedly cleans (reveals) the incomplete training row whose repair
@@ -127,12 +140,20 @@ def cpclean_greedy(X_dirty, y, X_clean, X_test, *, k: int = 3,
         Ground-truth features (the oracle's answers).
     max_cleaned:
         Optional budget on cleaned rows.
+    runtime:
+        Optional :class:`repro.runtime.Runtime` (or backend name): each
+        round's candidate evaluations — one world enumeration per still-
+        incomplete row — run in parallel. The greedy choice is identical
+        on every backend (first-maximum tie-break on the row order).
 
     Returns
     -------
     dict with ``cleaned_rows`` (order of repairs), ``certain_fraction``
     trajectory, and ``n_cleaned``.
     """
+    from repro.runtime.runtime import resolve_runtime
+
+    runtime = resolve_runtime(runtime)
     X_current = np.asarray(X_dirty, dtype=float).copy()
     X_clean = np.asarray(X_clean, dtype=float)
     y = np.asarray(y)
@@ -146,13 +167,15 @@ def cpclean_greedy(X_dirty, y, X_clean, X_test, *, k: int = 3,
 
     cleaned, trajectory = [], [fraction(X_current)]
     while incomplete and len(cleaned) < budget and trajectory[-1] < 1.0:
-        best_row, best_gain, best_fraction = None, -1.0, trajectory[-1]
-        for row in incomplete:
-            candidate = X_current.copy()
-            candidate[row] = X_clean[row]
-            frac = fraction(candidate)
-            if frac - trajectory[-1] > best_gain:
-                best_row, best_gain, best_fraction = row, frac - trajectory[-1], frac
+        shared = (X_current, X_clean, y, X_test, k)
+        if runtime is not None:
+            fractions = runtime.map(_candidate_fraction_task, incomplete,
+                                    shared=shared, stage="cpclean.greedy")
+        else:
+            fractions = [_candidate_fraction_task(shared, row)
+                         for row in incomplete]
+        best = int(np.argmax(fractions))  # first maximum, as in the loop
+        best_row, best_fraction = incomplete[best], float(fractions[best])
         X_current[best_row] = X_clean[best_row]
         incomplete.remove(best_row)
         cleaned.append(int(best_row))

@@ -19,6 +19,21 @@ from repro.core.validation import check_X_y
 from repro.ml.base import clone
 
 
+def _fit_shard_task(shared, members):
+    """Train one shard member model (or ``None`` for a degenerate shard).
+
+    ``shared`` is ``(model_prototype, X, y)`` — constant across fit and
+    every subsequent unlearn call, so a process runtime keeps one warm
+    worker pool for the unlearner's whole lifetime.
+    """
+    model, X, y = shared
+    if len(members) == 0 or len(np.unique(y[members])) < 2:
+        return None  # degenerate shard abstains
+    fitted = clone(model)
+    fitted.fit(X[members], y[members])
+    return fitted
+
+
 class ShardedUnlearner:
     """Shard-ensemble classifier with exact deletion.
 
@@ -31,14 +46,22 @@ class ShardedUnlearner:
         individual members.
     seed:
         Seed for the random shard assignment.
+    runtime:
+        Optional :class:`repro.runtime.Runtime` (or backend name): shard
+        trainings — during ``fit`` and when ``unlearn`` touches several
+        shards — run in parallel. Shards are disjoint, so the ensemble is
+        identical on every backend.
     """
 
-    def __init__(self, model, n_shards: int = 5, seed=0):
+    def __init__(self, model, n_shards: int = 5, seed=0, runtime=None):
+        from repro.runtime.runtime import resolve_runtime
+
         if n_shards < 1:
             raise ValidationError("n_shards must be >= 1")
         self.model = model
         self.n_shards = n_shards
         self.seed = seed
+        self.runtime = resolve_runtime(runtime)
 
     def fit(self, X, y) -> "ShardedUnlearner":
         X, y = check_X_y(X, y)
@@ -53,19 +76,29 @@ class ShardedUnlearner:
         self._shard_of = rng.integers(0, self.n_shards, size=len(X))
         self.models_ = [None] * self.n_shards
         self.retrain_counter_ = 0
-        for shard in range(self.n_shards):
-            self._train_shard(shard)
+        self._train_shards(range(self.n_shards))
         return self
 
     def _train_shard(self, shard: int) -> None:
-        members = np.flatnonzero((self._shard_of == shard) & self._alive)
-        if len(members) == 0 or len(np.unique(self._y[members])) < 2:
-            self.models_[shard] = None  # degenerate shard abstains
-            return
-        fitted = clone(self.model)
-        fitted.fit(self._X[members], self._y[members])
-        self.models_[shard] = fitted
-        self.retrain_counter_ += 1
+        self._train_shards([shard])
+
+    def _train_shards(self, shards) -> None:
+        shards = list(shards)
+        member_lists = [
+            np.flatnonzero((self._shard_of == shard) & self._alive)
+            for shard in shards
+        ]
+        shared = (self.model, self._X, self._y)
+        if self.runtime is not None and len(shards) > 1:
+            fitted = self.runtime.map(_fit_shard_task, member_lists,
+                                      shared=shared, stage="sharded.train")
+        else:
+            fitted = [_fit_shard_task(shared, members)
+                      for members in member_lists]
+        for shard, model in zip(shards, fitted):
+            self.models_[shard] = model
+            if model is not None:
+                self.retrain_counter_ += 1
 
     # ------------------------------------------------------------------
     def unlearn(self, indices) -> "ShardedUnlearner":
@@ -81,8 +114,7 @@ class ShardedUnlearner:
             if self._alive[i]:
                 self._alive[i] = False
                 touched.add(int(self._shard_of[i]))
-        for shard in sorted(touched):
-            self._train_shard(shard)
+        self._train_shards(sorted(touched))
         return self
 
     @property

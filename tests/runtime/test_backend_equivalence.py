@@ -1,0 +1,126 @@
+"""Backend-equivalence guarantees: serial, thread and process backends
+produce *identical* importance scores for a fixed seed.
+
+The setting is a small census slice (the fairness experiments' biased
+income data) so the equivalence is exercised on realistic tabular data
+rather than toy blobs.
+"""
+
+import numpy as np
+import pytest
+
+from repro.datasets import make_census
+from repro.importance import (
+    BetaShapley,
+    DataBanzhaf,
+    MonteCarloShapley,
+    Utility,
+    leave_one_out,
+)
+from repro.ml import KNeighborsClassifier
+from repro.runtime import BACKENDS, FingerprintCache, Runtime
+from repro.unlearning import ShardedUnlearner
+from repro.ml import LogisticRegression
+
+FEATURES = ["age", "education_years", "hours_per_week"]
+
+
+@pytest.fixture(scope="module")
+def census_slice():
+    df, _ = make_census(90, bias_fraction=0.3, seed=5)
+    X = df.to_numpy(FEATURES).astype(float)
+    y = np.asarray(df["income"].to_numpy(), dtype=int)
+    return {"X_train": X[:60], "y_train": y[:60],
+            "X_valid": X[60:], "y_valid": y[60:]}
+
+
+def _utility(census_slice, runtime):
+    return Utility(KNeighborsClassifier(3),
+                   census_slice["X_train"], census_slice["y_train"],
+                   census_slice["X_valid"], census_slice["y_valid"],
+                   runtime=runtime)
+
+
+def _scores_per_backend(census_slice, scorer):
+    outputs = {}
+    for backend in BACKENDS:
+        with Runtime(backend=backend, max_workers=2,
+                     cache=FingerprintCache()) as runtime:
+            outputs[backend] = scorer(_utility(census_slice, runtime))
+    return outputs
+
+def _assert_all_identical(outputs):
+    reference = outputs["serial"]
+    for backend, scores in outputs.items():
+        np.testing.assert_array_equal(
+            reference, scores,
+            err_msg=f"{backend} diverged from serial")
+
+
+class TestScoreEquivalence:
+    def test_monte_carlo_shapley(self, census_slice):
+        _assert_all_identical(_scores_per_backend(
+            census_slice,
+            MonteCarloShapley(n_permutations=4, truncation_tol=0.02,
+                              seed=11).score))
+
+    def test_monte_carlo_shapley_with_convergence(self, census_slice):
+        _assert_all_identical(_scores_per_backend(
+            census_slice,
+            MonteCarloShapley(n_permutations=12, truncation_tol=0.05,
+                              convergence_tol=0.5, convergence_window=3,
+                              seed=1).score))
+
+    def test_banzhaf(self, census_slice):
+        _assert_all_identical(_scores_per_backend(
+            census_slice, DataBanzhaf(n_samples=24, seed=7).score))
+
+    def test_beta_shapley(self, census_slice):
+        _assert_all_identical(_scores_per_backend(
+            census_slice,
+            BetaShapley(alpha=16, beta=1, n_permutations=3, seed=2).score))
+
+    def test_leave_one_out(self, census_slice):
+        _assert_all_identical(_scores_per_backend(census_slice,
+                                                  leave_one_out))
+
+    def test_runtime_none_matches_serial_runtime(self, census_slice):
+        inline = MonteCarloShapley(n_permutations=4, seed=11).score(
+            _utility(census_slice, None))
+        with Runtime(backend="serial") as runtime:
+            routed = MonteCarloShapley(n_permutations=4, seed=11).score(
+                _utility(census_slice, runtime))
+        np.testing.assert_array_equal(inline, routed)
+
+
+class TestShardedEquivalence:
+    def test_predictions_identical_across_backends(self, census_slice):
+        X = np.vstack([census_slice["X_train"], census_slice["X_valid"]])
+        y = np.concatenate([census_slice["y_train"],
+                            census_slice["y_valid"]])
+        reference = None
+        for backend in BACKENDS:
+            with Runtime(backend=backend, max_workers=2) as runtime:
+                model = ShardedUnlearner(LogisticRegression(max_iter=60),
+                                         n_shards=4, seed=0,
+                                         runtime=runtime).fit(X, y)
+                model.unlearn([0, 5, 17])
+                predictions = model.predict(census_slice["X_valid"])
+            if reference is None:
+                reference = predictions
+            else:
+                np.testing.assert_array_equal(reference, predictions)
+
+
+class TestCacheAcrossEstimators:
+    def test_shared_cache_skips_repeat_trainings(self, census_slice):
+        cache = FingerprintCache()
+        with Runtime(backend="serial", cache=cache) as runtime:
+            first = _utility(census_slice, runtime)
+            a = DataBanzhaf(n_samples=16, seed=3).score(first)
+            # A second utility over the *same* game re-uses every value.
+            second = _utility(census_slice, runtime)
+            b = DataBanzhaf(n_samples=16, seed=3).score(second)
+        np.testing.assert_array_equal(a, b)
+        assert second.calls == 0
+        assert cache.stats.hits >= 16

@@ -1,0 +1,122 @@
+"""Tests for fingerprinting and the two-tier FingerprintCache."""
+
+import os
+import subprocess
+import sys
+
+import numpy as np
+import pytest
+
+from repro.core.exceptions import ValidationError
+from repro.ml import KNeighborsClassifier
+from repro.runtime import FingerprintCache, fingerprint
+
+
+class TestFingerprint:
+    def test_deterministic(self):
+        a = fingerprint(np.arange(10), "accuracy", 3, (1, 2))
+        b = fingerprint(np.arange(10), "accuracy", 3, (1, 2))
+        assert a == b
+
+    def test_array_content_matters(self):
+        assert fingerprint(np.arange(10)) != fingerprint(np.arange(1, 11))
+
+    def test_dtype_and_shape_matter(self):
+        assert fingerprint(np.zeros(4, dtype=np.int64)) != \
+            fingerprint(np.zeros(4, dtype=np.float64))
+        assert fingerprint(np.zeros((2, 2))) != fingerprint(np.zeros(4))
+
+    def test_type_tags_prevent_scalar_collisions(self):
+        assert fingerprint(1) != fingerprint(1.0)
+        assert fingerprint(1) != fingerprint("1")
+        assert fingerprint(True) != fingerprint(1)
+
+    def test_estimator_hashed_by_hyperparameters(self):
+        assert fingerprint(KNeighborsClassifier(3)) == \
+            fingerprint(KNeighborsClassifier(3))
+        assert fingerprint(KNeighborsClassifier(3)) != \
+            fingerprint(KNeighborsClassifier(5))
+
+    def test_dict_order_irrelevant(self):
+        assert fingerprint({"a": 1, "b": 2}) == fingerprint({"b": 2, "a": 1})
+
+    def test_callables_by_qualified_name(self):
+        from repro.ml.metrics import accuracy_score, f1_score
+
+        assert fingerprint(accuracy_score) != fingerprint(f1_score)
+
+
+class TestMemoryTier:
+    def test_miss_then_hit(self):
+        cache = FingerprintCache()
+        key = fingerprint("k")
+        assert cache.get(key) is None
+        cache.put(key, 0.75)
+        assert cache.get(key) == 0.75
+        assert cache.stats.misses == 1
+        assert cache.stats.memory_hits == 1
+
+    def test_hit_is_bitwise_equal(self):
+        cache = FingerprintCache()
+        value = 0.1 + 0.2  # a float with a messy binary expansion
+        key = fingerprint("v")
+        cache.put(key, value)
+        got = cache.get(key)
+        assert got.hex() == value.hex()
+
+    def test_lru_eviction_order(self):
+        cache = FingerprintCache(max_items=2)
+        k1, k2, k3 = (fingerprint(i) for i in range(3))
+        cache.put(k1, 1.0)
+        cache.put(k2, 2.0)
+        assert cache.get(k1) == 1.0     # touch k1 so k2 becomes LRU
+        cache.put(k3, 3.0)              # evicts k2
+        assert cache.get(k2) is None
+        assert cache.get(k1) == 1.0
+        assert cache.get(k3) == 3.0
+        assert cache.stats.evictions == 1
+
+    def test_invalid_capacity_rejected(self):
+        with pytest.raises(ValidationError):
+            FingerprintCache(max_items=0)
+
+
+class TestDiskTier:
+    def test_disk_roundtrip_bitwise(self, tmp_path):
+        cache = FingerprintCache(disk_dir=tmp_path)
+        key = fingerprint("disk")
+        value = 1.0 / 3.0
+        cache.put(key, value)
+        fresh = FingerprintCache(disk_dir=tmp_path)  # cold memory tier
+        got = fresh.get(key)
+        assert got is not None and got.hex() == value.hex()
+        assert fresh.stats.disk_hits == 1
+
+    def test_disk_tier_survives_new_process(self, tmp_path):
+        cache = FingerprintCache(disk_dir=tmp_path)
+        key = fingerprint("cross-process")
+        cache.put(key, 0.8125)
+        script = (
+            "from repro.runtime import FingerprintCache\n"
+            f"cache = FingerprintCache(disk_dir={str(tmp_path)!r})\n"
+            f"value = cache.get({key!r})\n"
+            "assert value is not None\n"
+            "print(float(value).hex())\n"
+        )
+        env = dict(os.environ)
+        src = os.path.join(os.path.dirname(__file__), "..", "..", "src")
+        env["PYTHONPATH"] = os.path.abspath(src) + os.pathsep + \
+            env.get("PYTHONPATH", "")
+        proc = subprocess.run([sys.executable, "-c", script], env=env,
+                              capture_output=True, text=True, timeout=60)
+        assert proc.returncode == 0, proc.stderr
+        assert proc.stdout.strip() == (0.8125).hex()
+
+    def test_memory_clear_keeps_disk(self, tmp_path):
+        cache = FingerprintCache(disk_dir=tmp_path)
+        key = fingerprint("persist")
+        cache.put(key, 0.5)
+        cache.clear_memory()
+        assert len(cache) == 0
+        assert cache.get(key) == 0.5
+        assert cache.stats.disk_hits == 1

@@ -1,0 +1,105 @@
+"""Unit tests for the executor backends."""
+
+import numpy as np
+import pytest
+
+from repro.core.exceptions import ValidationError
+from repro.runtime import (
+    BACKENDS,
+    ProcessExecutor,
+    ProgressRecorder,
+    SerialExecutor,
+    ThreadExecutor,
+    get_executor,
+)
+
+
+def _affine(shared, task):
+    scale, offset = shared
+    return scale * task + offset
+
+
+def _failing(shared, task):
+    if task == 3:
+        raise ValueError("task 3 exploded")
+    return task
+
+
+class TestFactory:
+    def test_names_resolve(self):
+        for name in BACKENDS:
+            executor = get_executor(name)
+            assert executor.name == name
+            executor.close()
+
+    def test_instance_passes_through(self):
+        executor = SerialExecutor()
+        assert get_executor(executor) is executor
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValidationError):
+            get_executor("gpu")
+
+    def test_invalid_worker_count_rejected(self):
+        with pytest.raises(ValidationError):
+            ThreadExecutor(max_workers=0)
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+class TestMapContract:
+    def test_results_in_task_order(self, backend):
+        with get_executor(backend, max_workers=2) as executor:
+            out = executor.map(_affine, range(23), shared=(2, 1))
+        assert out == [2 * i + 1 for i in range(23)]
+
+    def test_empty_task_list(self, backend):
+        with get_executor(backend, max_workers=2) as executor:
+            assert executor.map(_affine, [], shared=(1, 0)) == []
+
+    def test_chunk_size_does_not_change_results(self, backend):
+        with get_executor(backend, max_workers=2) as executor:
+            for chunk_size in (1, 4, 100):
+                out = executor.map(_affine, range(11), shared=(3, 0),
+                                   chunk_size=chunk_size)
+                assert out == [3 * i for i in range(11)]
+
+    def test_worker_error_propagates(self, backend):
+        with get_executor(backend, max_workers=2) as executor:
+            with pytest.raises(ValueError, match="task 3 exploded"):
+                executor.map(_failing, range(6), shared=None, chunk_size=1)
+
+    def test_progress_events_cover_all_tasks(self, backend):
+        recorder = ProgressRecorder()
+        with get_executor(backend, max_workers=2) as executor:
+            executor.map(_affine, range(10), shared=(1, 0), chunk_size=3,
+                         progress=recorder, stage="affine")
+        assert recorder.last is not None
+        assert recorder.last.completed == 10
+        assert recorder.last.total == 10
+        assert recorder.last.stage == "affine"
+        assert recorder.last.fraction == 1.0
+
+
+class TestProcessPoolReuse:
+    def test_same_shared_reuses_pool(self):
+        executor = ProcessExecutor(max_workers=1)
+        try:
+            executor.map(_affine, range(3), shared=(1, 0))
+            first_pool = executor._pool
+            executor.map(_affine, range(3), shared=(1, 0))
+            assert executor._pool is first_pool
+            executor.map(_affine, range(3), shared=(5, 0))
+            assert executor._pool is not first_pool
+        finally:
+            executor.close()
+
+    def test_numpy_shared_state(self):
+        data = np.arange(20.0)
+        with ProcessExecutor(max_workers=2) as executor:
+            out = executor.map(_sum_slice, [(0, 5), (5, 20)], shared=data)
+        assert out == [float(data[:5].sum()), float(data[5:].sum())]
+
+
+def _sum_slice(shared, task):
+    lo, hi = task
+    return float(shared[lo:hi].sum())
