@@ -28,9 +28,16 @@ Subpackages
   ActiveClean, imputation.
 - ``repro.challenge`` — the budgeted data-debugging challenge with a
   leaderboard.
+- ``repro.unlearning`` — SISA-style sharded unlearning with exact
+  deletion guarantees.
+- ``repro.core`` — shared substrate: validation, RNG spawning, the
+  tutorial facade, exceptions.
 - ``repro.runtime`` — parallel execution backends (serial/thread/process),
   fingerprint-keyed utility caching, progress/cancellation hooks; every
   retraining loop accepts its ``runtime=`` handle.
+- ``repro.observe`` — tracing spans, metrics, and JSONL run-provenance
+  logging; importance/cleaning/unlearning runs accept an ``observer=``
+  handle and become replayable, diffable, and reportable.
 
 The paper's figure snippets run almost verbatim against the top-level
 facade::

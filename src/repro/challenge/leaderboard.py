@@ -7,6 +7,8 @@ from dataclasses import dataclass, field
 
 @dataclass(frozen=True)
 class Entry:
+    """One scored submission: who, hidden-test score, rows cleaned."""
+
     participant: str
     score: float
     cleaned: int

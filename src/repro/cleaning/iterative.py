@@ -145,10 +145,16 @@ class IterativeCleaner:
         forwarded to strategies that retrain models (``"loo"``,
         ``"shapley_mc"``, ``"banzhaf"``, and any custom strategy whose
         signature accepts a ``runtime`` keyword).
+    observer:
+        Optional :class:`repro.observe.Observer`: spans the whole run
+        (``cleaning.run``) and each round (``cleaning.round``), counts
+        rows cleaned, and logs per-round provenance events (round index,
+        cleaned row ids, post-cleaning score).
     """
 
     def __init__(self, model, strategy, oracle, *, encode, batch: int = 10,
-                 metric=accuracy_score, seed=0, runtime=None):
+                 metric=accuracy_score, seed=0, runtime=None, observer=None):
+        from repro.observe.observer import resolve_observer
         from repro.runtime.runtime import resolve_runtime
 
         self.model = model
@@ -160,6 +166,7 @@ class IterativeCleaner:
         self.metric = metric
         self.seed = seed
         self.runtime = resolve_runtime(runtime)
+        self.observer = resolve_observer(observer)
         parameters = inspect.signature(self.strategy).parameters
         self._strategy_takes_runtime = "runtime" in parameters
 
@@ -169,27 +176,46 @@ class IterativeCleaner:
         if n_rounds < 1:
             raise ValidationError("n_rounds must be >= 1")
         rng = ensure_rng(self.seed)
+        obs = self.observer
         result = CleaningResult()
         current = dirty_frame
         X, y = self.encode(current)
         result.scores.append(self._evaluate(X, y, X_valid, y_valid))
 
+        strategy_name = getattr(self.strategy, "__name__", "custom")
+        cache = self.runtime.cache if self.runtime is not None else None
         strategy_kwargs = {"runtime": self.runtime} \
             if self._strategy_takes_runtime else {}
-        for _ in range(n_rounds):
-            scores = np.asarray(
-                self.strategy(self.model, X, y, X_valid, y_valid, rng,
-                              **strategy_kwargs),
-                dtype=float,
-            )
-            order = np.lexsort((np.arange(len(scores)), scores))
-            target_positions = order[: self.batch]
-            row_ids = current.row_ids[target_positions]
-            current = self.oracle.clean(current, row_ids)
-            result.cleaned_ids.extend(int(r) for r in row_ids)
-            X, y = self.encode(current)
-            result.scores.append(self._evaluate(X, y, X_valid, y_valid))
-            result.rounds += 1
+        with obs.span("cleaning.run", strategy=strategy_name,
+                      cache=cache, batch=self.batch, rounds=n_rounds):
+            for round_index in range(n_rounds):
+                with obs.span("cleaning.round", round=round_index):
+                    scores = np.asarray(
+                        self.strategy(self.model, X, y, X_valid, y_valid, rng,
+                                      **strategy_kwargs),
+                        dtype=float,
+                    )
+                    order = np.lexsort((np.arange(len(scores)), scores))
+                    target_positions = order[: self.batch]
+                    row_ids = current.row_ids[target_positions]
+                    current = self.oracle.clean(current, row_ids)
+                    result.cleaned_ids.extend(int(r) for r in row_ids)
+                    X, y = self.encode(current)
+                    result.scores.append(
+                        self._evaluate(X, y, X_valid, y_valid))
+                    result.rounds += 1
+                if obs.enabled:
+                    obs.count("cleaning.rows_cleaned", len(row_ids))
+                    obs.event("cleaning.round", round=round_index,
+                              strategy=strategy_name,
+                              cleaned_row_ids=[int(r) for r in row_ids],
+                              score=result.scores[-1])
+        if obs.enabled:
+            obs.event("cleaning.run", strategy=strategy_name,
+                      seed=self.seed, batch=self.batch, rounds=result.rounds,
+                      initial=result.initial, final=result.final,
+                      improvement=result.improvement,
+                      cleaned_row_ids=list(result.cleaned_ids))
         return result
 
     def _evaluate(self, X, y, X_valid, y_valid) -> float:

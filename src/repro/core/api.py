@@ -88,6 +88,17 @@ def pretty_print(frame: DataFrame, max_rows: int = 25) -> None:
     print(frame.pretty(max_rows=max_rows))
 
 
+def _with_numeric_target(frame: DataFrame, label_column: str) -> DataFrame:
+    """Materialize the numeric regression target Zorro needs when the
+    frame only carries the tutorial's categorical ``sentiment`` label —
+    this is what lets the paper's Figure-4 snippet run verbatim on the
+    recommendation-letter tables."""
+    if label_column in frame.columns or _LABEL not in frame.columns:
+        return frame
+    return frame.with_column(
+        label_column, lambda r: 1.0 if r[_LABEL] == "positive" else 0.0)
+
+
 def encode_symbolic(train_df: DataFrame, *, uncertain_feature: str,
                     missing_percentage: float, missingness: str = "MNAR",
                     label_column: str = "target",
@@ -96,11 +107,15 @@ def encode_symbolic(train_df: DataFrame, *, uncertain_feature: str,
     missingness into ``uncertain_feature`` and lift the frame into a
     symbolic (interval) table.
 
+    When ``label_column`` is absent but the frame carries the tutorial's
+    ``sentiment`` label, a numeric 0/1 target is derived from it.
+
     Returns the :class:`repro.uncertain.SymbolicTable`.
     """
     from repro.errors.missing import inject_missing
     from repro.uncertain.zorro import encode_symbolic as lift
 
+    train_df = _with_numeric_target(train_df, label_column)
     dirty, _ = inject_missing(train_df, column=uncertain_feature,
                               fraction=missing_percentage / 100.0,
                               mechanism=missingness, seed=seed)
@@ -127,6 +142,7 @@ def estimate_with_zorro(table, test_data, y_test=None) -> float:
     from repro.uncertain.zorro import estimate_worst_case_loss
 
     if isinstance(test_data, DataFrame):
+        test_data = _with_numeric_target(test_data, table.label_column)
         X_test = test_data.select(table.columns).to_numpy()
         y_test = test_data[table.label_column].cast(float).to_numpy()
     else:

@@ -21,7 +21,8 @@ import numpy as np
 
 from repro.core.exceptions import ValidationError
 from repro.core.rng import spawn_rngs
-from repro.importance.base import Utility
+from repro.importance.base import Utility, emit_importance_run
+from repro.observe.observer import resolve_observer
 
 
 class DataBanzhaf:
@@ -33,16 +34,36 @@ class DataBanzhaf:
         Number of random coalitions to evaluate (each costs one training).
     seed:
         Root RNG seed, split per sampled coalition.
+    observer:
+        Optional :class:`repro.observe.Observer`: spans :meth:`score`,
+        counts coalitions sampled and utility evaluations, and logs a
+        replayable ``importance.run`` event.
     """
 
-    def __init__(self, n_samples: int = 200, seed=None):
+    def __init__(self, n_samples: int = 200, seed=None, observer=None):
         if n_samples < 2:
             raise ValidationError("n_samples must be >= 2")
         self.n_samples = n_samples
         self.seed = seed
+        self.observer = resolve_observer(observer)
 
     def score(self, utility: Utility) -> np.ndarray:
         """Estimate Banzhaf values for every player of ``utility``."""
+        obs = self.observer
+        if not obs.enabled:
+            return self._score(utility)
+        calls_before = utility.calls
+        cache = utility.runtime.cache if utility.runtime is not None else None
+        with obs.span("banzhaf", cache=cache, players=utility.n_players):
+            values = self._score(utility)
+        obs.count("importance.coalitions", self.n_samples)
+        emit_importance_run(
+            obs, method="banzhaf", params={"n_samples": self.n_samples},
+            seed=self.seed, utility=utility, calls_before=calls_before,
+            values=values)
+        return values
+
+    def _score(self, utility: Utility) -> np.ndarray:
         n = utility.n_players
         memberships = [rng.uniform(size=n) < 0.5
                        for rng in spawn_rngs(self.seed, self.n_samples)]

@@ -304,3 +304,24 @@ class Utility:
 def _majority_class(y: np.ndarray):
     classes, counts = np.unique(y, return_counts=True)
     return classes[np.argmax(counts)]
+
+
+def emit_importance_run(observer, *, method: str, params: dict, seed,
+                        utility: "Utility", calls_before: int,
+                        values: np.ndarray, **extra) -> None:
+    """Log the standard replayable ``importance.run`` provenance event.
+
+    Shared by every estimator wired to :mod:`repro.observe`: the event
+    carries the (method, params, seed, data fingerprint) tuple that — by
+    the backend-invariance guarantee — fully determines ``values``, plus
+    the training count and a score summary for cheap run diffing.
+    """
+    observer.count("utility.evaluations", utility.calls - calls_before)
+    observer.event(
+        "importance.run", method=method, params=params, seed=seed,
+        n_players=utility.n_players,
+        data_fingerprint=utility.base_fingerprint(),
+        utility_calls=utility.calls - calls_before,
+        score_mean=float(np.mean(values)),
+        score_min=float(np.min(values)), score_max=float(np.max(values)),
+        **extra)

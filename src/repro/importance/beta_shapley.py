@@ -21,7 +21,8 @@ from scipy.special import betaln, gammaln
 
 from repro.core.exceptions import ValidationError
 from repro.core.rng import spawn_rngs
-from repro.importance.base import Utility
+from repro.importance.base import Utility, emit_importance_run
+from repro.observe.observer import resolve_observer
 
 
 def beta_size_weights(n: int, alpha: float, beta: float) -> np.ndarray:
@@ -54,16 +55,21 @@ class BetaShapley:
         Sampled permutations (each walks the full prefix chain).
     seed:
         RNG seed.
+    observer:
+        Optional :class:`repro.observe.Observer`: spans :meth:`score`,
+        counts permutations walked and utility evaluations, and logs a
+        replayable ``importance.run`` event.
     """
 
     def __init__(self, alpha: float = 16.0, beta: float = 1.0,
-                 n_permutations: int = 100, seed=None):
+                 n_permutations: int = 100, seed=None, observer=None):
         if n_permutations < 1:
             raise ValidationError("n_permutations must be >= 1")
         self.alpha = alpha
         self.beta = beta
         self.n_permutations = n_permutations
         self.seed = seed
+        self.observer = resolve_observer(observer)
 
     def score(self, utility: Utility) -> np.ndarray:
         """Estimate Beta Shapley values for every player of ``utility``.
@@ -72,6 +78,23 @@ class BetaShapley:
         from the root seed) and their walks submitted as one batch to
         ``utility.runtime``, so results are backend-invariant.
         """
+        obs = self.observer
+        if not obs.enabled:
+            return self._score(utility)
+        calls_before = utility.calls
+        cache = utility.runtime.cache if utility.runtime is not None else None
+        with obs.span("beta_shapley", cache=cache, players=utility.n_players):
+            values = self._score(utility)
+        obs.count("importance.permutations", self.n_permutations)
+        emit_importance_run(
+            obs, method="beta_shapley",
+            params={"alpha": self.alpha, "beta": self.beta,
+                    "n_permutations": self.n_permutations},
+            seed=self.seed, utility=utility, calls_before=calls_before,
+            values=values)
+        return values
+
+    def _score(self, utility: Utility) -> np.ndarray:
         n = utility.n_players
         # Importance weight: marginal at size j appears w.p. 1/n under
         # permutation sampling but should carry probability p(j).

@@ -10,10 +10,11 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.importance.base import Utility
+from repro.importance.base import Utility, emit_importance_run
+from repro.observe.observer import resolve_observer
 
 
-def leave_one_out(utility: Utility) -> np.ndarray:
+def leave_one_out(utility: Utility, *, observer=None) -> np.ndarray:
     """Compute LOO values for every player of ``utility``.
 
     Returns an array of length ``utility.n_players`` following the
@@ -21,7 +22,23 @@ def leave_one_out(utility: Utility) -> np.ndarray:
 
     The ``n`` drop-one retrainings are independent, so they are submitted
     as one batch through ``utility.runtime`` (inline when absent).
+    ``observer`` (a :class:`repro.observe.Observer`) spans the sweep and
+    logs a replayable ``importance.run`` event.
     """
+    obs = resolve_observer(observer)
+    if not obs.enabled:
+        return _leave_one_out(utility)
+    calls_before = utility.calls
+    cache = utility.runtime.cache if utility.runtime is not None else None
+    with obs.span("leave_one_out", cache=cache, players=utility.n_players):
+        values = _leave_one_out(utility)
+    emit_importance_run(
+        obs, method="leave_one_out", params={}, seed=None, utility=utility,
+        calls_before=calls_before, values=values)
+    return values
+
+
+def _leave_one_out(utility: Utility) -> np.ndarray:
     n = utility.n_players
     full = utility.full_value()
     everyone = np.arange(n)

@@ -23,7 +23,8 @@ import numpy as np
 
 from repro.core.exceptions import ValidationError
 from repro.core.rng import spawn_rngs
-from repro.importance.base import Utility
+from repro.importance.base import Utility, emit_importance_run
+from repro.observe.observer import resolve_observer
 
 
 class MonteCarloShapley:
@@ -40,11 +41,16 @@ class MonteCarloShapley:
         Early-stopping on estimate stability; ``None`` disables.
     seed:
         Root RNG seed, split per permutation.
+    observer:
+        Optional :class:`repro.observe.Observer`: wraps :meth:`score` in
+        a ``shapley_mc`` span, counts permutations walked and utility
+        evaluations, and logs one replayable ``importance.run`` event
+        (method, params, seed, data fingerprint, score summary).
     """
 
     def __init__(self, n_permutations: int = 100, truncation_tol: float = 0.01,
                  convergence_tol: float | None = None, convergence_window: int = 10,
-                 seed=None):
+                 seed=None, observer=None):
         if n_permutations < 1:
             raise ValidationError("n_permutations must be >= 1")
         if truncation_tol < 0:
@@ -54,6 +60,7 @@ class MonteCarloShapley:
         self.convergence_tol = convergence_tol
         self.convergence_window = convergence_window
         self.seed = seed
+        self.observer = resolve_observer(observer)
 
     def score(self, utility: Utility) -> np.ndarray:
         """Estimate Shapley values for every player of ``utility``.
@@ -63,6 +70,25 @@ class MonteCarloShapley:
         convergence criterion is applied per permutation, in order, so
         early stopping returns exactly what a serial run would.
         """
+        obs = self.observer
+        if not obs.enabled:
+            return self._score(utility)
+        calls_before = utility.calls
+        cache = utility.runtime.cache if utility.runtime is not None else None
+        with obs.span("shapley_mc", cache=cache, players=utility.n_players):
+            values = self._score(utility)
+        obs.count("importance.permutations", self.n_permutations_used_)
+        emit_importance_run(
+            obs, method="shapley_mc",
+            params={"n_permutations": self.n_permutations,
+                    "truncation_tol": self.truncation_tol,
+                    "convergence_tol": self.convergence_tol,
+                    "convergence_window": self.convergence_window},
+            seed=self.seed, utility=utility, calls_before=calls_before,
+            values=values, permutations_used=self.n_permutations_used_)
+        return values
+
+    def _score(self, utility: Utility) -> np.ndarray:
         n = utility.n_players
         permutations = [rng.permutation(n)
                         for rng in spawn_rngs(self.seed, self.n_permutations)]

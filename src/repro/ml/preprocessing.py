@@ -135,15 +135,26 @@ class OneHotEncoder(BaseEstimator, TransformerMixin):
         return fixed
 
 
+def _is_missing_cell(value) -> bool:
+    """Missing markers in object columns: ``None`` or a float NaN."""
+    return value is None or (isinstance(value, float) and np.isnan(value))
+
+
 class SimpleImputer(BaseEstimator, TransformerMixin):
-    """Fill NaN cells with a per-column statistic.
+    """Fill missing cells with a per-column statistic.
+
+    Numeric columns (missing = NaN) support every strategy. Categorical
+    object columns (missing = ``None``/NaN, as produced by
+    :class:`~repro.ml.compose.ColumnTransformer` blocks) support
+    ``"most_frequent"`` and ``"constant"`` — the Figure-3 pipeline
+    ``Pipeline([Imputer(), OneHotEncoder()])`` over a string column.
 
     Parameters
     ----------
     strategy:
         ``"mean"``, ``"median"``, ``"most_frequent"`` or ``"constant"``.
     fill_value:
-        Used by the ``"constant"`` strategy.
+        Used by the ``"constant"`` strategy (and empty columns).
     """
 
     def __init__(self, strategy: str = "mean", fill_value: float = 0.0):
@@ -153,7 +164,12 @@ class SimpleImputer(BaseEstimator, TransformerMixin):
         self.fill_value = fill_value
 
     def fit(self, X, y=None) -> "SimpleImputer":
-        X = check_array(X, allow_nan=True)
+        try:
+            numeric = np.asarray(X, dtype=float)
+        except (TypeError, ValueError):
+            return self._fit_categorical(X)
+        X = check_array(numeric, allow_nan=True)
+        self.categorical_ = False
         fills = np.empty(X.shape[1])
         for j in range(X.shape[1]):
             valid = X[~np.isnan(X[:, j]), j]
@@ -171,12 +187,46 @@ class SimpleImputer(BaseEstimator, TransformerMixin):
         self.statistics_ = fills
         return self
 
+    def _fit_categorical(self, X) -> "SimpleImputer":
+        if self.strategy not in ("most_frequent", "constant"):
+            raise ValidationError(
+                f"strategy {self.strategy!r} requires numeric data; "
+                "categorical columns take 'most_frequent' or 'constant'")
+        X = self._as_object(X)
+        fills = []
+        for j in range(X.shape[1]):
+            present = [v for v in X[:, j] if not _is_missing_cell(v)]
+            if self.strategy == "constant" or not present:
+                fills.append(self.fill_value)
+            else:
+                uniques, counts = np.unique(
+                    np.asarray(present, dtype=object), return_counts=True)
+                fills.append(uniques[np.argmax(counts)])
+        self.categorical_ = True
+        self.statistics_ = np.array(fills, dtype=object)
+        return self
+
     def transform(self, X) -> np.ndarray:
         check_fitted(self)
+        if self.categorical_:
+            X = self._as_object(X).copy()
+            for (i, j), value in np.ndenumerate(X):
+                if _is_missing_cell(value):
+                    X[i, j] = self.statistics_[j]
+            return X
         X = check_array(X, allow_nan=True).copy()
         for j in range(X.shape[1]):
             mask = np.isnan(X[:, j])
             X[mask, j] = self.statistics_[j]
+        return X
+
+    @staticmethod
+    def _as_object(X) -> np.ndarray:
+        X = np.asarray(X, dtype=object)
+        if X.ndim == 1:
+            X = X[:, None]
+        if X.ndim != 2:
+            raise ValidationError(f"X must be 1- or 2-dimensional, got {X.ndim}")
         return X
 
 

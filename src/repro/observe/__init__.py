@@ -1,0 +1,76 @@
+"""Observability for pipeline debugging runs: tracing, metrics, provenance.
+
+The tutorial's premise is that practitioners must *see inside* their
+pipelines to find which data caused a bad outcome. This package is the
+seeing apparatus for the library itself: every importance sweep,
+cleaning loop, CPClean selection, and unlearning request can record
+what it did — structured enough to replay or diff, cheap enough to
+leave on. Zero third-party dependencies (stdlib + numpy only for JSON
+conversion).
+
+Three signals, one handle:
+
+- **Spans** (:mod:`~repro.observe.tracing`) — nestable timing scopes
+  carrying wall/CPU seconds, executor backend metadata, and
+  :class:`~repro.runtime.FingerprintCache` hit/miss deltas.
+- **Metrics** (:mod:`~repro.observe.metrics`) — counters, gauges and
+  histograms (utility evaluations, permutations walked, rows cleaned,
+  unlearn requests) with snapshot + reset; a process-wide registry is
+  available via :func:`global_registry`.
+- **Runlog** (:mod:`~repro.observe.runlog`) — a structured JSONL
+  provenance log of per-stage events (params, RNG seed, data
+  fingerprint, scores) that makes runs replayable and diffable
+  (:func:`diff_runs`).
+
+:class:`Observer` bundles the three; every instrumented layer accepts
+``observer=`` defaulting to the no-op :data:`NULL_OBSERVER`::
+
+    from repro.observe import Observer
+
+    obs = Observer(log_path="runs/sweep.jsonl")
+    with Runtime(backend="process", observer=obs) as rt:
+        utility = Utility(model, X, y, Xv, yv, runtime=rt)
+        MonteCarloShapley(n_permutations=100, seed=0,
+                          observer=obs).score(utility)
+    print(obs.report())      # span tree + metrics + runlog summary
+
+:mod:`~repro.observe.export` renders a run as a text report
+(:func:`render_text`) or a machine-readable dict (:func:`export_dict`).
+"""
+
+from repro.observe.export import export_dict, render_text, write_report
+from repro.observe.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    global_registry,
+)
+from repro.observe.observer import (
+    NULL_OBSERVER,
+    NullObserver,
+    Observer,
+    resolve_observer,
+)
+from repro.observe.runlog import RunLog, diff_runs, jsonable
+from repro.observe.tracing import Span, Tracer
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_OBSERVER",
+    "NullObserver",
+    "Observer",
+    "RunLog",
+    "Span",
+    "Tracer",
+    "diff_runs",
+    "export_dict",
+    "global_registry",
+    "jsonable",
+    "render_text",
+    "resolve_observer",
+    "write_report",
+]

@@ -1,0 +1,78 @@
+"""Render an :class:`~repro.observe.Observer` to a report or a dict.
+
+Two formats from the same data:
+
+- :func:`render_text` — the human-facing run report: span tree with
+  wall/CPU time and cache hit rates, a metrics table, and a runlog
+  summary. This is what benchmark runs archive next to their results.
+- :func:`export_dict` — everything as plain JSON-ready types, for
+  dashboards, assertions in tests, or archiving alongside the JSONL log.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.observe.runlog import jsonable
+
+__all__ = ["export_dict", "render_text", "write_report"]
+
+
+def export_dict(observer) -> dict:
+    """Machine-readable view: run id, span forest, metrics, events."""
+    if not observer.enabled:  # the null observer collects nothing
+        return observer.as_dict()
+    return {
+        "run_id": observer.run_id,
+        "spans": jsonable(observer.tracer.snapshot()),
+        "metrics": jsonable(observer.metrics.snapshot()),
+        "events": jsonable(list(observer.runlog.events)),
+    }
+
+
+def render_text(observer, *, title: str = "repro.observe run report") -> str:
+    """The human-readable run report."""
+    if not observer.enabled:  # the null observer collects nothing
+        return observer.report()
+    lines = [f"== {title}: {observer.run_id} ==", ""]
+
+    span_tree = observer.tracer.render()
+    lines.append("spans")
+    lines.append("-----")
+    lines.append(span_tree if span_tree else "(no spans recorded)")
+    lines.append("")
+
+    metrics = observer.metrics.snapshot()
+    lines.append("metrics")
+    lines.append("-------")
+    if metrics:
+        width = max(len(name) for name in metrics)
+        for name, value in metrics.items():
+            if isinstance(value, dict):  # histogram summary
+                value = (f"n={value['count']} mean={value['mean']:.4g} "
+                         f"min={value['min']:.4g} max={value['max']:.4g}")
+            lines.append(f"{name:<{width}}  {value}")
+    else:
+        lines.append("(no metrics recorded)")
+    lines.append("")
+
+    lines.append("runlog")
+    lines.append("------")
+    kinds = observer.runlog.kinds()
+    if kinds:
+        total = len(observer.runlog)
+        where = f" -> {observer.runlog.path}" if observer.runlog.path else ""
+        lines.append(f"{total} events{where}")
+        for kind in sorted(kinds):
+            lines.append(f"  {kind:<28} x{kinds[kind]}")
+    else:
+        lines.append("(no events recorded)")
+    return "\n".join(lines) + "\n"
+
+
+def write_report(observer, path) -> Path:
+    """Render :func:`render_text` to ``path`` (parents created)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(render_text(observer), encoding="utf-8")
+    return path

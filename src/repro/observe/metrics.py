@@ -1,0 +1,148 @@
+"""Counters, gauges, and histograms with snapshot + reset.
+
+The instrumented layers count what a scaling report needs — utility
+evaluations performed, permutations walked, rows cleaned, unlearn
+requests served — into a :class:`MetricsRegistry`. A registry is cheap
+(one dict + one lock) so every :class:`~repro.observe.Observer` gets its
+own by default, keeping tests and concurrent experiments isolated; the
+module also keeps one *process-wide* registry
+(:func:`global_registry`) for code that wants a single cross-experiment
+rollup, e.g. a benchmark session summary.
+
+Metric types:
+
+- :class:`Counter` — monotonically increasing int (``inc``).
+- :class:`Gauge` — last-written float (``set``).
+- :class:`Histogram` — streaming count/sum/min/max/mean of observations
+  (no buckets: the consumers here need magnitudes, not quantiles).
+"""
+
+from __future__ import annotations
+
+import threading
+
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry",
+           "global_registry"]
+
+
+class Counter:
+    """Monotonically increasing counter."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.value = 0
+
+    def inc(self, n: int = 1) -> None:
+        with self._lock:
+            self.value += n
+
+    def as_value(self):
+        return self.value
+
+
+class Gauge:
+    """Last-value-wins instantaneous measurement."""
+
+    def __init__(self):
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+    def as_value(self):
+        return self.value
+
+
+class Histogram:
+    """Streaming summary (count/sum/min/max/mean) of observed values."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.count = 0
+        self.total = 0.0
+        self.min = None
+        self.max = None
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        with self._lock:
+            self.count += 1
+            self.total += value
+            self.min = value if self.min is None else min(self.min, value)
+            self.max = value if self.max is None else max(self.max, value)
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def as_value(self) -> dict:
+        return {"count": self.count, "sum": self.total,
+                "min": self.min, "max": self.max, "mean": self.mean}
+
+
+class MetricsRegistry:
+    """Named metrics with get-or-create access, snapshot, and reset.
+
+    A name is bound to one metric type on first use; re-requesting it
+    with a different type raises ``TypeError`` (silent type morphing is
+    how counters get lost in dashboards).
+    """
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._metrics: dict[str, object] = {}
+
+    def _get_or_create(self, name: str, cls):
+        with self._lock:
+            metric = self._metrics.get(name)
+            if metric is None:
+                metric = self._metrics[name] = cls()
+            elif not isinstance(metric, cls):
+                raise TypeError(
+                    f"metric {name!r} is a {type(metric).__name__}, "
+                    f"not a {cls.__name__}")
+            return metric
+
+    def counter(self, name: str) -> Counter:
+        return self._get_or_create(name, Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get_or_create(name, Gauge)
+
+    def histogram(self, name: str) -> Histogram:
+        return self._get_or_create(name, Histogram)
+
+    # -- one-shot conveniences (what the wired layers actually call) -----
+    def inc(self, name: str, n: int = 1) -> None:
+        self.counter(name).inc(n)
+
+    def set_gauge(self, name: str, value: float) -> None:
+        self.gauge(name).set(value)
+
+    def observe(self, name: str, value: float) -> None:
+        self.histogram(name).observe(value)
+
+    # -- introspection -----------------------------------------------------
+    def snapshot(self) -> dict:
+        """``{name: value}`` for counters/gauges, summary dict for
+        histograms; names sorted for stable reports."""
+        with self._lock:
+            items = sorted(self._metrics.items())
+        return {name: metric.as_value() for name, metric in items}
+
+    def reset(self) -> None:
+        """Drop every metric (names re-register on next use)."""
+        with self._lock:
+            self._metrics.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._metrics)
+
+
+_GLOBAL_REGISTRY = MetricsRegistry()
+
+
+def global_registry() -> MetricsRegistry:
+    """The process-wide registry (shared rollup across observers)."""
+    return _GLOBAL_REGISTRY

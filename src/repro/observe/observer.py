@@ -1,0 +1,184 @@
+"""The :class:`Observer` facade — tracer + metrics + runlog in one handle.
+
+Every instrumented layer accepts an opt-in ``observer=`` argument that
+defaults to :data:`NULL_OBSERVER`, a shared no-op whose methods do
+nothing and allocate nothing, so un-observed runs pay only an attribute
+lookup per *batch* (never per task). Passing a real :class:`Observer`
+turns on all three signals at once::
+
+    from repro.observe import Observer
+
+    obs = Observer(log_path="runs/tonight.jsonl")
+    values = MonteCarloShapley(n_permutations=50, seed=0,
+                               observer=obs).score(utility)
+    print(obs.report())        # span tree, metrics, runlog summary
+    obs.as_dict()              # the same, machine-readable
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+
+from repro.core.exceptions import ValidationError
+from repro.observe.metrics import MetricsRegistry
+from repro.observe.runlog import RunLog
+from repro.observe.tracing import Tracer
+
+__all__ = ["Observer", "NullObserver", "NULL_OBSERVER", "resolve_observer"]
+
+_RUN_COUNTER = itertools.count()
+
+
+class Observer:
+    """Collects spans, metrics, and provenance events for one run.
+
+    Parameters
+    ----------
+    run_id:
+        Identifier stamped on runlog events and the report header;
+        auto-generated (pid + per-process counter) when omitted.
+    log_path:
+        Optional JSONL file the runlog writes through to as events occur.
+    metrics:
+        A :class:`MetricsRegistry` to accumulate into — pass
+        :func:`repro.observe.global_registry` for a process-wide rollup;
+        by default each observer gets a private registry.
+    runlog:
+        An existing :class:`RunLog` to append to (overrides ``log_path``).
+    """
+
+    enabled = True
+
+    def __init__(self, *, run_id: str | None = None, log_path=None,
+                 metrics: MetricsRegistry | None = None,
+                 runlog: RunLog | None = None):
+        self.run_id = run_id or f"run-{os.getpid()}-{next(_RUN_COUNTER)}"
+        self.tracer = Tracer()
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.runlog = runlog if runlog is not None \
+            else RunLog(log_path, run_id=self.run_id)
+
+    # -- the four verbs the wired layers use -------------------------------
+    def span(self, name: str, *, cache=None, **attrs):
+        """Open a nested timing span (see :class:`~repro.observe.Tracer`)."""
+        return self.tracer.span(name, cache=cache, **attrs)
+
+    def event(self, kind: str, **fields) -> None:
+        """Record one provenance event in the runlog."""
+        self.runlog.record(kind, **fields)
+
+    def count(self, name: str, n: int = 1) -> None:
+        """Increment a counter metric."""
+        self.metrics.inc(name, n)
+
+    def gauge(self, name: str, value: float) -> None:
+        """Set a gauge metric."""
+        self.metrics.set_gauge(name, value)
+
+    def observe_value(self, name: str, value: float) -> None:
+        """Feed one observation into a histogram metric."""
+        self.metrics.observe(name, value)
+
+    # -- output ------------------------------------------------------------
+    def report(self) -> str:
+        """Human-readable text report (spans, metrics, runlog summary)."""
+        from repro.observe.export import render_text
+
+        return render_text(self)
+
+    def as_dict(self) -> dict:
+        """Machine-readable export of everything collected so far."""
+        from repro.observe.export import export_dict
+
+        return export_dict(self)
+
+    def write_report(self, path) -> None:
+        """Render :meth:`report` to a file."""
+        from repro.observe.export import write_report
+
+        write_report(self, path)
+
+    def reset(self) -> None:
+        """Clear spans, metrics, and in-memory events (a fresh run)."""
+        self.tracer.reset()
+        self.metrics.reset()
+        self.runlog.events.clear()
+
+    def __repr__(self) -> str:
+        return (f"Observer({self.run_id!r}, spans={len(self.tracer.roots)}, "
+                f"events={len(self.runlog)})")
+
+
+class _NullSpan:
+    """Reusable do-nothing context manager yielded by the null observer."""
+
+    __slots__ = ()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        return False
+
+    def set(self, **attrs):
+        return self
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class NullObserver:
+    """The default no-op observer: every method returns immediately.
+
+    Shared as the :data:`NULL_OBSERVER` singleton so resolving
+    ``observer=None`` allocates nothing; hot paths may also branch on
+    ``observer.enabled`` to skip building event payloads entirely.
+    """
+
+    enabled = False
+
+    def span(self, name: str, *, cache=None, **attrs):
+        return _NULL_SPAN
+
+    def event(self, kind: str, **fields) -> None:
+        pass
+
+    def count(self, name: str, n: int = 1) -> None:
+        pass
+
+    def gauge(self, name: str, value: float) -> None:
+        pass
+
+    def observe_value(self, name: str, value: float) -> None:
+        pass
+
+    def report(self) -> str:
+        return "(null observer: nothing recorded)"
+
+    def as_dict(self) -> dict:
+        return {"run_id": None, "spans": [], "metrics": {}, "events": []}
+
+    def reset(self) -> None:
+        pass
+
+    def __repr__(self) -> str:
+        return "NullObserver()"
+
+
+NULL_OBSERVER = NullObserver()
+
+
+def resolve_observer(observer) -> Observer | NullObserver:
+    """Normalize the ``observer=`` argument the instrumented layers accept.
+
+    ``None`` becomes the shared :data:`NULL_OBSERVER`; an
+    :class:`Observer` (or :class:`NullObserver`) passes through.
+    """
+    if observer is None:
+        return NULL_OBSERVER
+    if isinstance(observer, (Observer, NullObserver)):
+        return observer
+    raise ValidationError(
+        "observer must be None or a repro.observe.Observer — got "
+        f"{type(observer).__name__}")

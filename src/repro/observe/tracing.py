@@ -1,0 +1,196 @@
+"""Nestable spans: who spent the time, and what the cache did meanwhile.
+
+A *span* covers one logical unit of work — an estimator run, a cleaning
+round, one ``Runtime.map`` stage. Spans nest: opening a span while
+another is active on the same thread makes it a child, so a finished
+trace is a forest whose leaves are the actual compute stages. Each span
+records wall and CPU seconds, arbitrary attributes (backend, worker
+count, task count, ...), and — when handed a
+:class:`~repro.runtime.FingerprintCache` — the hit/miss/put *deltas*
+that occurred while it was open, so a report can say "this Shapley sweep
+made 1 200 lookups at a 40% hit rate" without global counters.
+
+The tracer is thread-aware: each thread keeps its own open-span stack,
+and spans finished on a thread with no enclosing span become roots.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from contextlib import contextmanager
+
+__all__ = ["Span", "Tracer"]
+
+
+def _cache_counters(cache) -> dict | None:
+    """Copy the counters of a FingerprintCache-like object (duck-typed so
+    this module stays import-independent from ``repro.runtime``)."""
+    stats = getattr(cache, "stats", None)
+    if stats is None:
+        return None
+    return {
+        "memory_hits": stats.memory_hits,
+        "disk_hits": stats.disk_hits,
+        "misses": stats.misses,
+        "puts": stats.puts,
+    }
+
+
+class Span:
+    """One timed unit of work inside a :class:`Tracer` forest.
+
+    Attributes
+    ----------
+    name:
+        Logical stage name (``"shapley_mc"``, ``"runtime.banzhaf"``, ...).
+    attrs:
+        Free-form metadata attached at open time or via :meth:`set`.
+    wall_seconds / cpu_seconds:
+        Duration measured with ``perf_counter`` / ``process_time``.
+    cache:
+        ``{"hits", "misses", "puts", "hit_rate"}`` deltas observed while
+        the span was open, or ``None`` when no cache was attached.
+    status:
+        ``"ok"``, or ``"error"`` when the span body raised.
+    children:
+        Spans opened (and closed) while this one was the innermost.
+    """
+
+    def __init__(self, name: str, attrs: dict):
+        self.name = name
+        self.attrs = attrs
+        self.wall_seconds = 0.0
+        self.cpu_seconds = 0.0
+        self.status = "ok"
+        self.children: list[Span] = []
+        self.cache: dict | None = None
+
+    def set(self, **attrs) -> "Span":
+        """Attach extra attributes to an open (or finished) span."""
+        self.attrs.update(attrs)
+        return self
+
+    def as_dict(self) -> dict:
+        """Recursive plain-dict view (what :func:`export_dict` emits)."""
+        out = {
+            "name": self.name,
+            "wall_seconds": self.wall_seconds,
+            "cpu_seconds": self.cpu_seconds,
+            "status": self.status,
+        }
+        if self.attrs:
+            out["attrs"] = dict(self.attrs)
+        if self.cache is not None:
+            out["cache"] = dict(self.cache)
+        if self.children:
+            out["children"] = [child.as_dict() for child in self.children]
+        return out
+
+    def __repr__(self) -> str:
+        return (f"Span({self.name!r}, {self.wall_seconds:.3f}s, "
+                f"children={len(self.children)})")
+
+
+class Tracer:
+    """Builds the span forest; one instance per :class:`Observer`."""
+
+    def __init__(self):
+        self._local = threading.local()
+        self._lock = threading.Lock()
+        self.roots: list[Span] = []
+
+    def _stack(self) -> list:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    @property
+    def current(self) -> Span | None:
+        """The innermost open span on the calling thread, if any."""
+        stack = self._stack()
+        return stack[-1] if stack else None
+
+    @contextmanager
+    def span(self, name: str, *, cache=None, **attrs):
+        """Open a child span of the calling thread's innermost span.
+
+        ``cache`` may be a :class:`~repro.runtime.FingerprintCache` (or
+        anything with a ``.stats`` counter object); the span then records
+        the lookup/put deltas that happened while it was open.
+        """
+        span = Span(name, attrs)
+        before = _cache_counters(cache)
+        stack = self._stack()
+        stack.append(span)
+        wall0 = time.perf_counter()
+        cpu0 = time.process_time()
+        try:
+            yield span
+        except BaseException:
+            span.status = "error"
+            raise
+        finally:
+            span.wall_seconds = time.perf_counter() - wall0
+            span.cpu_seconds = time.process_time() - cpu0
+            if before is not None:
+                after = _cache_counters(cache)
+                hits = (after["memory_hits"] - before["memory_hits"]
+                        + after["disk_hits"] - before["disk_hits"])
+                misses = after["misses"] - before["misses"]
+                lookups = hits + misses
+                span.cache = {
+                    "hits": hits, "misses": misses,
+                    "puts": after["puts"] - before["puts"],
+                    "hit_rate": hits / lookups if lookups else 0.0,
+                }
+            stack.pop()
+            if stack:
+                stack[-1].children.append(span)
+            else:
+                with self._lock:
+                    self.roots.append(span)
+
+    def snapshot(self) -> list[dict]:
+        """Plain-dict view of every *finished* root span, in finish order."""
+        with self._lock:
+            return [span.as_dict() for span in self.roots]
+
+    def total_seconds(self) -> float:
+        """Wall time summed over root spans (children are contained)."""
+        with self._lock:
+            return sum(span.wall_seconds for span in self.roots)
+
+    def render(self) -> str:
+        """Indented text tree of the span forest, for reports."""
+        lines: list[str] = []
+        with self._lock:
+            roots = list(self.roots)
+        for root in roots:
+            _render_span(root, 0, lines)
+        return "\n".join(lines)
+
+    def reset(self) -> None:
+        """Drop finished roots (open spans on other threads are kept)."""
+        with self._lock:
+            self.roots.clear()
+
+
+def _render_span(span: Span, depth: int, lines: list[str]) -> None:
+    pad = "  " * depth
+    detail = f"{span.wall_seconds:9.3f}s wall {span.cpu_seconds:8.3f}s cpu"
+    extras = []
+    for key in ("backend", "workers", "tasks", "players", "rounds"):
+        if key in span.attrs:
+            extras.append(f"{key}={span.attrs[key]}")
+    if span.cache is not None and (span.cache["hits"] or span.cache["misses"]):
+        extras.append(f"cache {span.cache['hits']}/"
+                      f"{span.cache['hits'] + span.cache['misses']} hits "
+                      f"({span.cache['hit_rate']:.1%})")
+    if span.status != "ok":
+        extras.append(span.status.upper())
+    suffix = f"  [{', '.join(extras)}]" if extras else ""
+    lines.append(f"{pad}{span.name:<{max(1, 34 - 2 * depth)}} {detail}{suffix}")
+    for child in span.children:
+        _render_span(child, depth + 1, lines)

@@ -14,6 +14,7 @@ from __future__ import annotations
 import weakref
 
 from repro.core.exceptions import ValidationError
+from repro.observe.observer import resolve_observer
 from repro.runtime.cache import FingerprintCache
 from repro.runtime.executor import Executor, get_executor
 from repro.runtime.progress import StageTimer, _Stopwatch
@@ -36,26 +37,34 @@ class Runtime:
     cache:
         ``True`` for a fresh in-memory :class:`FingerprintCache`, an
         existing cache instance (shareable across runtimes), or ``None``
-        to disable cross-call memoization.
+        / ``False`` (the default) to disable cross-call memoization.
     progress:
         ``callable(ProgressEvent)`` fired per completed chunk.
     cancel:
         :class:`~repro.runtime.progress.CancellationToken` polled between
         chunks; tripping it raises ``JobCancelled`` from the running job.
+    observer:
+        Optional :class:`repro.observe.Observer`. Every :meth:`map` call
+        then opens a ``runtime.<stage>`` span carrying backend/worker
+        metadata and the fingerprint-cache hit/miss delta for that
+        batch. Defaults to the shared no-op observer (zero overhead).
     """
 
     def __init__(self, backend="serial", *, max_workers: int | None = None,
                  chunk_size: int | None = None, cache=None, progress=None,
-                 cancel=None):
+                 cancel=None, observer=None):
         self.executor = get_executor(backend, max_workers)
         if chunk_size is not None and chunk_size < 1:
             raise ValidationError("chunk_size must be >= 1")
         self.chunk_size = chunk_size
         if cache is True:
             cache = FingerprintCache()
+        elif cache is False:
+            cache = None
         self.cache: FingerprintCache | None = cache
         self.progress = progress
         self.cancel = cancel
+        self.observer = resolve_observer(observer)
         self.timings = StageTimer()
         _LIVE_RUNTIMES.add(self)
 
@@ -69,10 +78,16 @@ class Runtime:
         Wall-time is charged to ``stage`` in :attr:`timings`.
         """
         tasks = list(tasks)
-        with _Stopwatch(self.timings, stage, len(tasks)):
-            return self.executor.map(
-                fn, tasks, shared=shared, chunk_size=self.chunk_size,
-                progress=self.progress, cancel=self.cancel, stage=stage)
+        if self.observer.enabled:
+            self.observer.count("runtime.tasks", len(tasks))
+        with self.observer.span(f"runtime.{stage}", cache=self.cache,
+                                backend=self.backend,
+                                workers=self.executor.effective_workers,
+                                tasks=len(tasks)):
+            with _Stopwatch(self.timings, stage, len(tasks)):
+                return self.executor.map(
+                    fn, tasks, shared=shared, chunk_size=self.chunk_size,
+                    progress=self.progress, cancel=self.cancel, stage=stage)
 
     def stats(self) -> dict:
         """Snapshot: backend, workers, cache counters, per-stage timings."""

@@ -125,7 +125,8 @@ def _candidate_fraction_task(shared, row: int) -> float:
 
 
 def cpclean_greedy(X_dirty, y, X_clean, X_test, *, k: int = 3,
-                   max_cleaned: int | None = None, runtime=None) -> dict:
+                   max_cleaned: int | None = None, runtime=None,
+                   observer=None) -> dict:
     """Greedy CPClean cleaning-set selection (simulated with ground truth).
 
     Repeatedly cleans (reveals) the incomplete training row whose repair
@@ -145,14 +146,21 @@ def cpclean_greedy(X_dirty, y, X_clean, X_test, *, k: int = 3,
         round's candidate evaluations — one world enumeration per still-
         incomplete row — run in parallel. The greedy choice is identical
         on every backend (first-maximum tie-break on the row order).
+    observer:
+        Optional :class:`repro.observe.Observer`: spans the selection
+        (``cpclean.greedy``), counts candidate evaluations and rows
+        cleaned, and logs one ``cpclean.round`` event per repair plus a
+        final ``cpclean.run`` summary.
 
     Returns
     -------
     dict with ``cleaned_rows`` (order of repairs), ``certain_fraction``
     trajectory, and ``n_cleaned``.
     """
+    from repro.observe.observer import resolve_observer
     from repro.runtime.runtime import resolve_runtime
 
+    observer = resolve_observer(observer)
     runtime = resolve_runtime(runtime)
     X_current = np.asarray(X_dirty, dtype=float).copy()
     X_clean = np.asarray(X_clean, dtype=float)
@@ -166,19 +174,33 @@ def cpclean_greedy(X_dirty, y, X_clean, X_test, *, k: int = 3,
         return checker.certain_fraction(X_test)
 
     cleaned, trajectory = [], [fraction(X_current)]
-    while incomplete and len(cleaned) < budget and trajectory[-1] < 1.0:
-        shared = (X_current, X_clean, y, X_test, k)
-        if runtime is not None:
-            fractions = runtime.map(_candidate_fraction_task, incomplete,
-                                    shared=shared, stage="cpclean.greedy")
-        else:
-            fractions = [_candidate_fraction_task(shared, row)
-                         for row in incomplete]
-        best = int(np.argmax(fractions))  # first maximum, as in the loop
-        best_row, best_fraction = incomplete[best], float(fractions[best])
-        X_current[best_row] = X_clean[best_row]
-        incomplete.remove(best_row)
-        cleaned.append(int(best_row))
-        trajectory.append(best_fraction)
+    with observer.span("cpclean.greedy", k=k, budget=budget,
+                       incomplete=len(incomplete)):
+        while incomplete and len(cleaned) < budget and trajectory[-1] < 1.0:
+            shared = (X_current, X_clean, y, X_test, k)
+            if runtime is not None:
+                fractions = runtime.map(_candidate_fraction_task, incomplete,
+                                        shared=shared, stage="cpclean.greedy")
+            else:
+                fractions = [_candidate_fraction_task(shared, row)
+                             for row in incomplete]
+            best = int(np.argmax(fractions))  # first maximum, as in the loop
+            best_row, best_fraction = incomplete[best], float(fractions[best])
+            X_current[best_row] = X_clean[best_row]
+            incomplete.remove(best_row)
+            cleaned.append(int(best_row))
+            trajectory.append(best_fraction)
+            if observer.enabled:
+                observer.count("cpclean.candidate_evals", len(fractions))
+                observer.count("cpclean.rows_cleaned")
+                observer.event("cpclean.round", row=int(best_row),
+                               certain_fraction=best_fraction,
+                               candidates=len(fractions))
+    if observer.enabled:
+        observer.event("cpclean.run", k=k, budget=budget,
+                       n_cleaned=len(cleaned),
+                       initial_fraction=trajectory[0],
+                       final_fraction=trajectory[-1],
+                       cleaned_rows=list(cleaned))
     return {"cleaned_rows": cleaned, "certain_fraction": trajectory,
             "n_cleaned": len(cleaned)}

@@ -51,9 +51,15 @@ class ShardedUnlearner:
         trainings — during ``fit`` and when ``unlearn`` touches several
         shards — run in parallel. Shards are disjoint, so the ensemble is
         identical on every backend.
+    observer:
+        Optional :class:`repro.observe.Observer`: spans ``sharded.fit``
+        and ``sharded.unlearn``, counts unlearn requests / deleted rows /
+        shard retrains, and logs per-call provenance events.
     """
 
-    def __init__(self, model, n_shards: int = 5, seed=0, runtime=None):
+    def __init__(self, model, n_shards: int = 5, seed=0, runtime=None,
+                 observer=None):
+        from repro.observe.observer import resolve_observer
         from repro.runtime.runtime import resolve_runtime
 
         if n_shards < 1:
@@ -62,6 +68,7 @@ class ShardedUnlearner:
         self.n_shards = n_shards
         self.seed = seed
         self.runtime = resolve_runtime(runtime)
+        self.observer = resolve_observer(observer)
 
     def fit(self, X, y) -> "ShardedUnlearner":
         X, y = check_X_y(X, y)
@@ -76,7 +83,12 @@ class ShardedUnlearner:
         self._shard_of = rng.integers(0, self.n_shards, size=len(X))
         self.models_ = [None] * self.n_shards
         self.retrain_counter_ = 0
-        self._train_shards(range(self.n_shards))
+        with self.observer.span("sharded.fit", rows=len(X),
+                                shards=self.n_shards):
+            self._train_shards(range(self.n_shards))
+        if self.observer.enabled:
+            self.observer.event("unlearning.fit", n_rows=len(X),
+                                n_shards=self.n_shards, seed=self.seed)
         return self
 
     def _train_shard(self, shard: int) -> None:
@@ -110,11 +122,23 @@ class ShardedUnlearner:
         if np.any((indices < 0) | (indices >= len(self._X))):
             raise ValidationError("unlearn index out of range")
         touched = set()
+        deleted = 0
         for i in indices:
             if self._alive[i]:
                 self._alive[i] = False
+                deleted += 1
                 touched.add(int(self._shard_of[i]))
-        self._train_shards(sorted(touched))
+        with self.observer.span("sharded.unlearn", rows=deleted,
+                                shards=len(touched)):
+            self._train_shards(sorted(touched))
+        if self.observer.enabled:
+            self.observer.count("unlearning.requests")
+            self.observer.count("unlearning.rows_deleted", deleted)
+            self.observer.count("unlearning.shard_retrains", len(touched))
+            self.observer.event(
+                "unlearning.unlearn", n_requested=len(indices),
+                n_deleted=deleted, shards_retrained=sorted(touched),
+                n_alive=self.n_alive)
         return self
 
     @property

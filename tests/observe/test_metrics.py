@@ -1,0 +1,79 @@
+"""Counter/gauge/histogram semantics, snapshot, reset, type safety."""
+
+import threading
+
+import pytest
+
+from repro.observe import MetricsRegistry, global_registry
+
+
+def test_counter_accumulates():
+    registry = MetricsRegistry()
+    registry.inc("evals")
+    registry.inc("evals", 41)
+    assert registry.counter("evals").value == 42
+
+
+def test_gauge_last_value_wins():
+    registry = MetricsRegistry()
+    registry.set_gauge("hit_rate", 0.25)
+    registry.set_gauge("hit_rate", 0.75)
+    assert registry.gauge("hit_rate").value == 0.75
+
+
+def test_histogram_summary():
+    registry = MetricsRegistry()
+    for value in (1.0, 2.0, 3.0):
+        registry.observe("round_seconds", value)
+    summary = registry.histogram("round_seconds").as_value()
+    assert summary == {"count": 3, "sum": 6.0, "min": 1.0, "max": 3.0,
+                       "mean": 2.0}
+
+
+def test_snapshot_is_sorted_and_typed():
+    registry = MetricsRegistry()
+    registry.inc("b.counter", 2)
+    registry.set_gauge("a.gauge", 1.5)
+    registry.observe("c.hist", 4.0)
+    snap = registry.snapshot()
+    assert list(snap) == ["a.gauge", "b.counter", "c.hist"]
+    assert snap["a.gauge"] == 1.5
+    assert snap["b.counter"] == 2
+    assert snap["c.hist"]["count"] == 1
+
+
+def test_reset_clears_everything():
+    registry = MetricsRegistry()
+    registry.inc("x")
+    registry.reset()
+    assert len(registry) == 0
+    assert registry.snapshot() == {}
+    registry.inc("x")        # names re-register cleanly
+    assert registry.counter("x").value == 1
+
+
+def test_name_cannot_change_type():
+    registry = MetricsRegistry()
+    registry.inc("n")
+    with pytest.raises(TypeError):
+        registry.gauge("n")
+
+
+def test_concurrent_increments_are_not_lost():
+    registry = MetricsRegistry()
+
+    def bump():
+        for _ in range(1000):
+            registry.inc("n")
+
+    threads = [threading.Thread(target=bump) for _ in range(4)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert registry.counter("n").value == 4000
+
+
+def test_global_registry_is_a_process_singleton():
+    assert global_registry() is global_registry()
+    assert isinstance(global_registry(), MetricsRegistry)

@@ -1,0 +1,109 @@
+"""Observer facade, export formats, null-observer semantics + overhead."""
+
+import time
+
+import pytest
+
+from repro.core.exceptions import ValidationError
+from repro.observe import (
+    NULL_OBSERVER,
+    NullObserver,
+    Observer,
+    export_dict,
+    render_text,
+    resolve_observer,
+)
+
+
+def _populated_observer() -> Observer:
+    obs = Observer(run_id="test-run")
+    with obs.span("outer", backend="serial"):
+        with obs.span("inner"):
+            pass
+    obs.count("utility.evaluations", 7)
+    obs.gauge("cache.hit_rate", 0.5)
+    obs.observe_value("round_seconds", 1.5)
+    obs.event("importance.run", method="loo", seed=None)
+    return obs
+
+
+def test_resolve_observer_normalization():
+    assert resolve_observer(None) is NULL_OBSERVER
+    obs = Observer()
+    assert resolve_observer(obs) is obs
+    assert resolve_observer(NULL_OBSERVER) is NULL_OBSERVER
+    with pytest.raises(ValidationError):
+        resolve_observer("verbose")
+
+
+def test_export_dict_shape():
+    data = _populated_observer().as_dict()
+    assert data["run_id"] == "test-run"
+    assert data["spans"][0]["name"] == "outer"
+    assert data["spans"][0]["children"][0]["name"] == "inner"
+    assert data["metrics"]["utility.evaluations"] == 7
+    assert data["metrics"]["cache.hit_rate"] == 0.5
+    assert data["metrics"]["round_seconds"]["count"] == 1
+    assert data["events"][0]["kind"] == "importance.run"
+    assert export_dict(NULL_OBSERVER)["spans"] == []
+
+
+def test_text_report_contents():
+    report = _populated_observer().report()
+    assert "test-run" in report
+    assert "outer" in report and "inner" in report
+    assert "utility.evaluations" in report and "7" in report
+    assert "importance.run" in report
+    assert "nothing recorded" in render_text(NULL_OBSERVER)
+
+
+def test_write_report(tmp_path):
+    path = tmp_path / "reports" / "run.txt"
+    _populated_observer().write_report(path)
+    assert "utility.evaluations" in path.read_text()
+
+
+def test_reset_clears_all_three_signals():
+    obs = _populated_observer()
+    obs.reset()
+    data = obs.as_dict()
+    assert data["spans"] == [] and data["metrics"] == {} \
+        and data["events"] == []
+
+
+def test_null_observer_is_inert():
+    null = NullObserver()
+    with null.span("anything", cache=object(), backend="process") as span:
+        span.set(tasks=5)
+    null.event("kind", big_payload=list(range(1000)))
+    null.count("n", 3)
+    null.gauge("g", 1.0)
+    null.observe_value("h", 2.0)
+    assert null.enabled is False
+    assert null.as_dict()["spans"] == []
+    assert "nothing recorded" in null.report()
+
+
+def test_null_span_is_reused_not_allocated():
+    spans = {id(NULL_OBSERVER.span("a")) for _ in range(10)}
+    assert len(spans) == 1
+
+
+def test_noop_overhead_bound():
+    """The no-op path must stay negligible: the wired layers call the
+    observer once per *batch*, so even a microsecond-scale bound leaves
+    orders of magnitude of headroom against the <3% benchmark budget."""
+    null = NULL_OBSERVER
+    n = 20_000
+    start = time.perf_counter()
+    for _ in range(n):
+        with null.span("stage", backend="serial", workers=1, tasks=10):
+            pass
+        null.count("runtime.tasks", 10)
+    per_call = (time.perf_counter() - start) / n
+    # Generous CI-safe bound: 50 microseconds per span+count pair.
+    assert per_call < 50e-6
+
+
+def test_observers_have_unique_run_ids():
+    assert Observer().run_id != Observer().run_id

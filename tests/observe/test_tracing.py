@@ -1,0 +1,134 @@
+"""Span nesting, timing, cache deltas, and error status."""
+
+import threading
+import time
+
+import pytest
+
+from repro.observe import Tracer
+from repro.runtime import FingerprintCache
+
+
+def test_span_records_wall_and_cpu_time():
+    tracer = Tracer()
+    with tracer.span("work"):
+        time.sleep(0.02)
+    (root,) = tracer.roots
+    assert root.wall_seconds >= 0.015
+    assert root.cpu_seconds >= 0.0
+    assert root.status == "ok"
+
+
+def test_spans_nest_into_a_tree():
+    tracer = Tracer()
+    with tracer.span("outer"):
+        with tracer.span("middle"):
+            with tracer.span("leaf_a"):
+                pass
+        with tracer.span("leaf_b"):
+            pass
+    (outer,) = tracer.roots
+    assert [c.name for c in outer.children] == ["middle", "leaf_b"]
+    assert [c.name for c in outer.children[0].children] == ["leaf_a"]
+
+
+def test_sibling_roots_in_finish_order():
+    tracer = Tracer()
+    with tracer.span("first"):
+        pass
+    with tracer.span("second"):
+        pass
+    assert [s.name for s in tracer.roots] == ["first", "second"]
+
+
+def test_child_time_contained_in_parent():
+    tracer = Tracer()
+    with tracer.span("outer"):
+        with tracer.span("inner"):
+            time.sleep(0.01)
+    (outer,) = tracer.roots
+    (inner,) = outer.children
+    assert outer.wall_seconds >= inner.wall_seconds
+
+
+def test_span_attrs_and_set():
+    tracer = Tracer()
+    with tracer.span("stage", backend="process", workers=4) as span:
+        span.set(tasks=100)
+    (root,) = tracer.roots
+    assert root.attrs == {"backend": "process", "workers": 4, "tasks": 100}
+
+
+def test_error_inside_span_marks_status_and_reraises():
+    tracer = Tracer()
+    with pytest.raises(ValueError):
+        with tracer.span("boom"):
+            raise ValueError("x")
+    (root,) = tracer.roots
+    assert root.status == "error"
+    assert root.wall_seconds >= 0.0
+
+
+def test_cache_delta_attribution():
+    tracer = Tracer()
+    cache = FingerprintCache()
+    cache.put("warm", 1.0)
+    with tracer.span("stage", cache=cache):
+        cache.get("warm")       # hit
+        cache.get("cold")       # miss
+        cache.put("cold", 2.0)
+    (root,) = tracer.roots
+    assert root.cache == {"hits": 1, "misses": 1, "puts": 1, "hit_rate": 0.5}
+
+
+def test_cache_delta_excludes_traffic_outside_span():
+    tracer = Tracer()
+    cache = FingerprintCache()
+    cache.put("a", 1.0)
+    cache.get("a")
+    cache.get("nope")
+    with tracer.span("stage", cache=cache):
+        pass
+    (root,) = tracer.roots
+    assert root.cache == {"hits": 0, "misses": 0, "puts": 0, "hit_rate": 0.0}
+
+
+def test_snapshot_and_render():
+    tracer = Tracer()
+    with tracer.span("outer", backend="serial"):
+        with tracer.span("inner"):
+            pass
+    snap = tracer.snapshot()
+    assert snap[0]["name"] == "outer"
+    assert snap[0]["children"][0]["name"] == "inner"
+    text = tracer.render()
+    assert "outer" in text and "inner" in text and "backend=serial" in text
+
+
+def test_threads_keep_independent_stacks():
+    tracer = Tracer()
+    done = threading.Event()
+
+    def worker():
+        with tracer.span("thread_root"):
+            done.wait(1.0)
+
+    thread = threading.Thread(target=worker)
+    with tracer.span("main_root"):
+        thread.start()
+        done.set()
+        thread.join()
+    names = sorted(s.name for s in tracer.roots)
+    # The worker's span is not a child of main's: it has its own stack.
+    assert names == ["main_root", "thread_root"]
+    for root in tracer.roots:
+        assert root.children == []
+
+
+def test_reset_drops_roots():
+    tracer = Tracer()
+    with tracer.span("x"):
+        pass
+    tracer.reset()
+    assert tracer.roots == []
+    assert tracer.total_seconds() == 0.0
