@@ -12,10 +12,19 @@ A second experiment (``test_t2_runtime_backends``) times the same
 retraining hot loop through the ``repro.runtime`` backends: with >= 2
 cores the ``process`` backend must beat ``serial`` by >= 1.5x at the
 largest size while producing bit-identical scores.
+
+A third experiment (``test_t2_kernel_speedup``) times the incremental
+coalition kernels (``repro.importance.kernels``) against the retrain
+path for TMC-Shapley: the kernel must be >= 5x faster for a KNN utility
+and >= 3x for GaussianNB at n_train >= 500, with bit-identical score
+arrays on every backend. It refreshes the machine-readable
+``BENCH_importance.json`` at the repo root.
 """
 
+import json
 import os
 import time
+from pathlib import Path
 
 import numpy as np
 
@@ -27,7 +36,7 @@ from repro.importance import (
     knn_shapley,
     leave_one_out,
 )
-from repro.ml import KNeighborsClassifier
+from repro.ml import GaussianNB, KNeighborsClassifier
 from repro.runtime import Runtime
 
 from .conftest import write_result
@@ -35,6 +44,14 @@ from .conftest import write_result
 SIZES = (50, 100, 200, 400)
 BACKEND_SIZES = (100, 200, 400)
 BACKENDS_COMPARED = ("serial", "thread", "process")
+KERNEL_SIZES = (200, 500)
+KERNEL_MODELS = {
+    "knn": lambda: KNeighborsClassifier(5),
+    "gaussian_nb": lambda: GaussianNB(),
+}
+# Wall-clock floors the kernel path must clear at the largest size.
+KERNEL_THRESHOLDS = {"knn": 5.0, "gaussian_nb": 3.0}
+BENCH_JSON = Path(__file__).resolve().parent.parent / "BENCH_importance.json"
 
 
 def time_methods(n: int, seed=0):
@@ -148,3 +165,113 @@ def test_t2_runtime_backends(benchmark, results_dir):
         assert speedup >= 1.5, (
             f"process backend speedup {speedup:.2f}x < 1.5x "
             f"at n={largest} on {cores} cores")
+
+
+def time_kernel_vs_retrain(model_name: str, n: int, seed=0):
+    """TMC-Shapley wall time with and without the incremental kernel.
+
+    Full permutation walks (no truncation), no caching: every prefix is
+    paid for, so the comparison isolates evaluation cost — retrain
+    clone+fit+predict vs the kernel's O(update) step.
+    """
+    X, y = make_blobs(n + 40, n_features=4, centers=2, seed=seed)
+    X_train, y_train, X_valid, y_valid = X[:n], y[:n], X[n:], y[n:]
+
+    def run(kernel):
+        utility = Utility(KERNEL_MODELS[model_name](), X_train, y_train,
+                          X_valid, y_valid, cache=False, kernel=kernel)
+        started = time.perf_counter()
+        scores = MonteCarloShapley(n_permutations=2, truncation_tol=0.0,
+                                   seed=0).score(utility)
+        return time.perf_counter() - started, scores
+
+    retrain_seconds, retrain_scores = run("off")
+    kernel_seconds, kernel_scores = run("auto")
+    return {
+        "model": model_name,
+        "n_train": n,
+        "retrain_seconds": retrain_seconds,
+        "kernel_seconds": kernel_seconds,
+        "speedup": retrain_seconds / kernel_seconds,
+        "bit_identical": bool(np.array_equal(retrain_scores, kernel_scores)),
+        "scores": retrain_scores,
+    }
+
+
+def _kernel_backend_scores(model_name: str, n: int, seed=0):
+    """Kernel-path TMC scores per backend (must all match serial retrain)."""
+    X, y = make_blobs(n + 40, n_features=4, centers=2, seed=seed)
+    outputs = {}
+    for backend in BACKENDS_COMPARED:
+        with Runtime(backend=backend, max_workers=2) as rt:
+            utility = Utility(KERNEL_MODELS[model_name](), X[:n], y[:n],
+                              X[n:], y[n:], cache=False, runtime=rt)
+            outputs[backend] = MonteCarloShapley(
+                n_permutations=2, truncation_tol=0.0, seed=0).score(utility)
+    return outputs
+
+
+def test_t2_kernel_speedup(benchmark, results_dir):
+    """Incremental kernels vs retrain path — the PR's headline numbers.
+
+    Also the CI benchmark-smoke gate: fails whenever the kernel path is
+    slower than retraining on the KNN utility, or scores diverge by a
+    single bit on any backend.
+    """
+    benchmark.pedantic(time_kernel_vs_retrain, args=("knn", KERNEL_SIZES[0]),
+                       rounds=1, iterations=1)
+
+    grid = [time_kernel_vs_retrain(name, n)
+            for name in KERNEL_MODELS for n in KERNEL_SIZES]
+    rows = [f"TMC-Shapley (2 permutations, no truncation), "
+            f"{os.cpu_count() or 1} cores",
+            f"{'model':<14}{'n':>6}{'retrain':>10}{'kernel':>10}"
+            f"{'speedup':>10}{'identical':>11}", "-" * 61]
+    for entry in grid:
+        rows.append(f"{entry['model']:<14}{entry['n_train']:>6}"
+                    f"{entry['retrain_seconds']:>10.3f}"
+                    f"{entry['kernel_seconds']:>10.3f}"
+                    f"{entry['speedup']:>9.1f}x"
+                    f"{str(entry['bit_identical']):>11}")
+    rows.append("")
+    largest = {name: next(e for e in grid if e["model"] == name
+                          and e["n_train"] == KERNEL_SIZES[-1])
+               for name in KERNEL_MODELS}
+    for name, threshold in KERNEL_THRESHOLDS.items():
+        rows.append(f"{name} at n={KERNEL_SIZES[-1]}: "
+                    f"{largest[name]['speedup']:.1f}x "
+                    f"(threshold {threshold:.0f}x)")
+    write_result(results_dir, "t2_kernel_speedup", rows)
+
+    # Machine-readable perf trajectory at the repo root.
+    BENCH_JSON.write_text(json.dumps({
+        "experiment": "tmc_shapley_kernel_vs_retrain",
+        "estimator": {"method": "shapley_mc", "n_permutations": 2,
+                      "truncation_tol": 0.0, "seed": 0},
+        "cpu_count": os.cpu_count() or 1,
+        "thresholds": KERNEL_THRESHOLDS,
+        "grid": [{k: v for k, v in entry.items() if k != "scores"}
+                 for entry in grid],
+    }, indent=2) + "\n", encoding="utf-8")
+
+    for entry in grid:
+        assert entry["bit_identical"], (
+            f"kernel scores diverged from retrain for {entry['model']} "
+            f"at n={entry['n_train']}")
+        assert entry["speedup"] > 1.0, (
+            f"kernel path slower than retrain for {entry['model']} "
+            f"at n={entry['n_train']}: {entry['speedup']:.2f}x")
+    for name, threshold in KERNEL_THRESHOLDS.items():
+        assert largest[name]["speedup"] >= threshold, (
+            f"{name} kernel speedup {largest[name]['speedup']:.2f}x "
+            f"< {threshold:.0f}x at n={KERNEL_SIZES[-1]}")
+
+    # Bit-identical across every backend, kernel vs serial retrain.
+    for name in KERNEL_MODELS:
+        per_backend = _kernel_backend_scores(name, KERNEL_SIZES[-1])
+        for backend, scores in per_backend.items():
+            np.testing.assert_array_equal(
+                largest[name]["scores"], scores,
+                err_msg=f"{name} kernel on {backend} diverged from "
+                        f"serial retrain")
+        benchmark.extra_info[f"speedup_{name}"] = largest[name]["speedup"]

@@ -22,6 +22,13 @@ Methods implemented (paper references in brackets):
 from repro.importance.banzhaf import DataBanzhaf
 from repro.importance.base import Utility
 from repro.importance.beta_shapley import BetaShapley
+from repro.importance.kernels import (
+    CoalitionKernel,
+    GaussianNBCoalitionKernel,
+    KNNCoalitionKernel,
+    build_kernel,
+    register_kernel,
+)
 from repro.importance.evaluation import (
     cleaning_curve,
     detection_precision_at_k,
@@ -40,6 +47,11 @@ from repro.importance.uncertainty import aum_scores, confident_learning_scores
 
 __all__ = [
     "Utility",
+    "CoalitionKernel",
+    "KNNCoalitionKernel",
+    "GaussianNBCoalitionKernel",
+    "build_kernel",
+    "register_kernel",
     "leave_one_out",
     "MonteCarloShapley",
     "knn_shapley",

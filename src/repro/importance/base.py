@@ -14,6 +14,13 @@ get progress/cancellation hooks. The batch APIs
 (:meth:`Utility.evaluate_many`, :meth:`Utility.walk_permutations`) are
 what the estimators submit work through; their results are
 backend-invariant because every task is a pure function of its inputs.
+
+When the model has a registered incremental kernel
+(:mod:`repro.importance.kernels` — k-NN and Gaussian naive Bayes ship
+built in), coalition values come from the kernel's precomputed state
+instead of a fresh clone-and-fit, with bit-identical scores, identical
+``calls`` accounting and unchanged cache keys; every other model uses
+the retrain path exactly as before.
 """
 
 from __future__ import annotations
@@ -22,6 +29,7 @@ import numpy as np
 
 from repro.core.exceptions import ValidationError
 from repro.core.validation import check_X_y
+from repro.importance.kernels import CoalitionKernel, build_kernel
 from repro.ml.base import clone
 from repro.ml.metrics import accuracy_score
 from repro.runtime.cache import fingerprint
@@ -30,9 +38,13 @@ from repro.runtime.runtime import resolve_runtime
 
 class _UtilityCore:
     """Picklable evaluation core: everything a worker needs to compute
-    ``u(S)``, and nothing it does not (no caches, no pools)."""
+    ``u(S)``, and nothing it does not (no caches, no pools). The optional
+    incremental kernel lives here so process workers receive its
+    precomputed state (distance matrix / sufficient statistics) once,
+    with the shared payload, not per task."""
 
-    def __init__(self, model, X_train, y_train, X_valid, y_valid, metric):
+    def __init__(self, model, X_train, y_train, X_valid, y_valid, metric,
+                 kernel: CoalitionKernel | None = None):
         self.model = model
         self.X_train = X_train
         self.y_train = y_train
@@ -40,22 +52,32 @@ class _UtilityCore:
         self.y_valid = y_valid
         self.metric = metric
         self.majority = _majority_class(y_valid)
+        self.kernel = kernel
 
     def null_value(self) -> float:
         constant = np.full(len(self.y_valid), self.majority)
         return float(self.metric(self.y_valid, constant))
 
-    def evaluate(self, subset: np.ndarray) -> tuple[float, int]:
-        """Value of one coalition; returns ``(value, n_trainings)``."""
+    def evaluate(self, subset: np.ndarray) -> tuple[float, int, bool]:
+        """Value of one coalition.
+
+        Returns ``(value, n_trainings, used_kernel)``; ``n_trainings``
+        counts the model fits the retrain path performs (the kernel
+        reports the same counts without fitting, so convergence and
+        ``Utility.calls`` accounting are path-independent).
+        """
         if len(subset) == 0:
-            return self.null_value(), 0
+            return self.null_value(), 0, False
         y_sub = self.y_train[subset]
         classes = np.unique(y_sub)
         if len(classes) < 2:
             # Single-class coalition: the induced model is the constant
             # predictor of that class.
             constant = np.full(len(self.y_valid), classes[0])
-            return float(self.metric(self.y_valid, constant)), 0
+            return float(self.metric(self.y_valid, constant)), 0, False
+        if self.kernel is not None:
+            value, trained = self.kernel.evaluate(subset, y_sub, classes)
+            return value, trained, True
         trained = 0
         try:
             model = clone(self.model)
@@ -67,30 +89,46 @@ class _UtilityCore:
             # |S| < k): fall back to the coalition's majority class,
             # the best constant predictor the coalition supports.
             predictions = np.full(len(self.y_valid), _majority_class(y_sub))
-        return float(self.metric(self.y_valid, predictions)), trained
+        return float(self.metric(self.y_valid, predictions)), trained, False
+
+    def walk_steps(self, permutation: np.ndarray):
+        """Yield ``(value, trained, used_kernel)`` per prefix of
+        ``permutation`` — the kernel's incremental walk when one is
+        attached, otherwise one retrain-path evaluation per prefix."""
+        if self.kernel is not None:
+            return self.kernel.walk_steps(permutation)
+        return (self.evaluate(permutation[: pos + 1])
+                for pos in range(len(permutation)))
 
 
-def _evaluate_subset_task(core: _UtilityCore, subset) -> tuple[float, int]:
+def _evaluate_subset_task(core: _UtilityCore,
+                          subset) -> tuple[float, int, bool]:
     return core.evaluate(subset)
 
 
 def _walk_permutation_task(core: _UtilityCore, task):
     """Walk one permutation's prefix chain; returns ``(marginals,
-    n_trainings)`` where ``marginals[pos]`` belongs to player
-    ``permutation[pos]``. Positions after a truncation point keep
-    marginal 0."""
+    n_trainings, kernel_steps, fallback_retrains)`` where
+    ``marginals[pos]`` belongs to player ``permutation[pos]``. Positions
+    after a truncation point keep marginal 0."""
     permutation, truncation_tol, full_value, null_value = task
     marginals = np.zeros(len(permutation))
     previous = null_value
     trainings = 0
-    for pos in range(len(permutation)):
-        value, trained = core.evaluate(permutation[: pos + 1])
+    kernel_steps = 0
+    fallback_retrains = 0
+    for pos, (value, trained, used_kernel) in enumerate(
+            core.walk_steps(permutation)):
         trainings += trained
+        if used_kernel:
+            kernel_steps += 1
+        else:
+            fallback_retrains += trained
         marginals[pos] = value - previous
         previous = value
         if truncation_tol > 0 and abs(full_value - value) < truncation_tol:
             break
-    return marginals, trainings
+    return marginals, trainings, kernel_steps, fallback_retrains
 
 
 class Utility:
@@ -116,17 +154,40 @@ class Utility:
         :class:`repro.runtime.Runtime`. A runtime with a
         :class:`~repro.runtime.FingerprintCache` additionally memoizes
         values across Utility instances and (with a disk tier) processes.
+    kernel:
+        ``"auto"`` (default) attaches the registered incremental kernel
+        for the model's type when one exists (k-NN, GaussianNB), making
+        coalition evaluation O(update) instead of O(retrain) with
+        bit-identical scores; ``"off"`` / ``None`` / ``False`` forces
+        the retrain path; a :class:`repro.importance.CoalitionKernel`
+        instance is used as-is. The kernel is built eagerly so the
+        process backend ships its precomputed state to workers exactly
+        once.
     """
 
     def __init__(self, model, X_train, y_train, X_valid, y_valid,
-                 metric=accuracy_score, cache: bool = True, runtime=None):
+                 metric=accuracy_score, cache: bool = True, runtime=None,
+                 kernel="auto"):
         X_train, y_train = check_X_y(X_train, y_train)
         X_valid, y_valid = check_X_y(X_valid, y_valid)
-        self._core = _UtilityCore(model, X_train, y_train, X_valid, y_valid,
+        if kernel == "auto":
+            kernel = build_kernel(model, X_train, y_train, X_valid, y_valid,
                                   metric)
+        elif kernel in (None, False, "off"):
+            kernel = None
+        elif not isinstance(kernel, CoalitionKernel):
+            raise ValidationError(
+                "kernel must be 'auto', 'off'/None/False, or a "
+                f"CoalitionKernel — got {type(kernel).__name__}")
+        self._core = _UtilityCore(model, X_train, y_train, X_valid, y_valid,
+                                  metric, kernel=kernel)
         self.runtime = resolve_runtime(runtime)
-        self._cache: dict[frozenset, float] | None = {} if cache else None
-        self.calls = 0  # number of *model trainings* performed
+        self._cache: dict[tuple, float] | None = {} if cache else None
+        self.calls = 0  # number of *model trainings* performed (or skipped
+        # by an incremental kernel — the count is path-independent)
+        self.kernel_steps = 0       # coalition values via the kernel
+        self.fallback_retrains = 0  # actual clone+fit evaluations
+        self._kernel_announced = False
         self._base_fingerprint: str | None = None
 
     # -- convenience views (kept for backwards compatibility) --------------
@@ -157,6 +218,17 @@ class Utility:
     @property
     def n_players(self) -> int:
         return len(self._core.y_train)
+
+    @property
+    def kernel(self) -> CoalitionKernel | None:
+        """The attached incremental kernel, or ``None`` (retrain path)."""
+        return self._core.kernel
+
+    @property
+    def kernel_name(self) -> str | None:
+        """Short name of the active kernel (``"knn"``, ``"gaussian_nb"``)
+        or ``None`` when evaluations retrain the model."""
+        return self._core.kernel.name if self._core.kernel else None
 
     # -- fingerprinting ----------------------------------------------------
     def base_fingerprint(self) -> str:
@@ -193,7 +265,7 @@ class Utility:
             raise ValidationError("subset indices must be a 1-D index array")
         return subset
 
-    def _lookup(self, subset: np.ndarray, memo_key: frozenset | None):
+    def _lookup(self, subset: np.ndarray, memo_key: tuple | None):
         if memo_key is not None and memo_key in self._cache:
             return self._cache[memo_key]
         shared_cache = self.runtime.cache if self.runtime is not None else None
@@ -201,7 +273,7 @@ class Utility:
             return shared_cache.get(self.coalition_key(subset))
         return None
 
-    def _store(self, subset: np.ndarray, memo_key: frozenset | None,
+    def _store(self, subset: np.ndarray, memo_key: tuple | None,
                value: float) -> None:
         if memo_key is not None:
             self._cache[memo_key] = value
@@ -221,19 +293,21 @@ class Utility:
 
         Cache hits (in-process memo and the runtime's fingerprint cache)
         are resolved up front; only the distinct misses are dispatched to
-        the runtime's executor. Duplicate coalitions inside one batch are
-        evaluated once.
+        the runtime's executor. Duplicate coalitions inside one batch —
+        under the canonical sorted-index key, so element order never
+        matters — are evaluated once, even when the in-process memo is
+        disabled.
         """
         self._poll_cancel(stage)
         subsets = [self._check_subset(c) for c in coalitions]
         values = np.empty(len(subsets))
-        pending: dict[frozenset, list[int]] = {}
-        order: list[tuple[frozenset, np.ndarray]] = []
+        pending: dict[tuple, list[int]] = {}
+        order: list[tuple[tuple, np.ndarray]] = []
         for i, subset in enumerate(subsets):
             if len(subset) == 0:
                 values[i] = self._core.null_value()
                 continue
-            memo_key = frozenset(subset.tolist())
+            memo_key = tuple(np.sort(subset).tolist())
             cached = self._lookup(subset, memo_key if self._cache is not None
                                   else None)
             if cached is not None:
@@ -251,12 +325,20 @@ class Utility:
                     shared=self._core, stage=stage)
             else:
                 results = [self._core.evaluate(s) for _, s in order]
-            for (memo_key, subset), (value, trained) in zip(order, results):
+            kernel_steps = 0
+            fallback_retrains = 0
+            for (memo_key, subset), (value, trained, used_kernel) in zip(
+                    order, results):
                 self.calls += trained
+                if used_kernel:
+                    kernel_steps += 1
+                else:
+                    fallback_retrains += trained
                 self._store(subset, memo_key if self._cache is not None
                             else None, value)
                 for i in pending[memo_key]:
                     values[i] = value
+            self._record_kernel_activity(kernel_steps, fallback_retrains)
         return values
 
     def walk_permutations(self, permutations, *, truncation_tol: float = 0.0,
@@ -285,17 +367,49 @@ class Utility:
         else:
             results = [_walk_permutation_task(self._core, t) for t in tasks]
         marginal_arrays = []
-        for marginals, trainings in results:
+        kernel_steps = 0
+        fallback_retrains = 0
+        for marginals, trainings, steps, fallbacks in results:
             self.calls += trainings
+            kernel_steps += steps
+            fallback_retrains += fallbacks
             marginal_arrays.append(marginals)
+        self._record_kernel_activity(kernel_steps, fallback_retrains)
         return marginal_arrays
 
     # -- introspection -----------------------------------------------------
+    def _record_kernel_activity(self, kernel_steps: int,
+                                fallback_retrains: int) -> None:
+        """Fold one batch's path counters into the utility totals and,
+        when the runtime carries an enabled observer, emit them as
+        ``kernel.incremental_steps`` / ``kernel.fallback_retrains`` plus
+        a one-time ``utility.kernel`` selection event."""
+        self.kernel_steps += kernel_steps
+        self.fallback_retrains += fallback_retrains
+        observer = self.runtime.observer if self.runtime is not None else None
+        if observer is None or not observer.enabled:
+            return
+        if not self._kernel_announced:
+            self._kernel_announced = True
+            observer.event("utility.kernel", kernel=self.kernel_name,
+                           model=type(self._core.model).__name__,
+                           n_players=self.n_players)
+        if kernel_steps:
+            observer.count("kernel.incremental_steps", kernel_steps)
+        if fallback_retrains:
+            observer.count("kernel.fallback_retrains", fallback_retrains)
+
     def cache_info(self) -> dict:
-        """Counters for reports: trainings, memo size, runtime stats."""
+        """Counters for reports: trainings, memo size, kernel path
+        counters, runtime stats."""
         return {
             "calls": self.calls,
             "memo_entries": len(self._cache) if self._cache is not None else 0,
+            "kernel": {
+                "name": self.kernel_name,
+                "incremental_steps": self.kernel_steps,
+                "fallback_retrains": self.fallback_retrains,
+            },
             "runtime": self.runtime.stats() if self.runtime is not None
             else None,
         }
@@ -322,6 +436,9 @@ def emit_importance_run(observer, *, method: str, params: dict, seed,
         n_players=utility.n_players,
         data_fingerprint=utility.base_fingerprint(),
         utility_calls=utility.calls - calls_before,
+        kernel=utility.kernel_name,
+        kernel_incremental_steps=utility.kernel_steps,
+        kernel_fallback_retrains=utility.fallback_retrains,
         score_mean=float(np.mean(values)),
         score_min=float(np.min(values)), score_max=float(np.max(values)),
         **extra)

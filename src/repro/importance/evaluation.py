@@ -75,6 +75,13 @@ def detection_report(values, corrupted_indices, k: int, *, utility=None,
     if utility is not None:
         report["utility_calls"] = int(getattr(utility, "calls", 0))
         info = utility.cache_info() if hasattr(utility, "cache_info") else {}
+        kernel_stats = info.get("kernel")
+        if kernel_stats is not None and kernel_stats.get("name"):
+            report["kernel"] = kernel_stats["name"]
+            report["kernel_incremental_steps"] = int(
+                kernel_stats["incremental_steps"])
+            report["kernel_fallback_retrains"] = int(
+                kernel_stats["fallback_retrains"])
         runtime_stats = info.get("runtime")
         if runtime_stats is not None:
             report["backend"] = runtime_stats["backend"]
@@ -96,6 +103,8 @@ def format_report(report: dict) -> str:
              f"precision@{report['k']}={report['precision_at_k']:.2f}"]
     if "utility_calls" in report:
         parts.append(f"trainings={report['utility_calls']}")
+    if "kernel" in report:
+        parts.append(f"kernel={report['kernel']}")
     if "cache_hit_rate" in report:
         parts.append(f"cache_hit_rate={report['cache_hit_rate']:.1%}")
     if "wall_time" in report:

@@ -1,0 +1,332 @@
+"""Incremental coalition kernels: O(update) evaluation instead of O(retrain).
+
+Every importance and cleaning method in the library bottoms out in
+``Utility.evaluate``, which by default refits the model from scratch for
+every coalition — the dominant cost when scaling a data-debugging
+session. For some model classes that refit is provably unnecessary: the
+fitted state is a simple function of per-example contributions, so the
+value of a coalition (or of every prefix of a permutation) can be
+maintained incrementally.
+
+A :class:`CoalitionKernel` packages that insight for one ``(model,
+X_train, y_train, X_valid, y_valid, metric)`` game:
+
+- :meth:`CoalitionKernel.evaluate` scores one arbitrary coalition from
+  state precomputed **once per utility** (no refit, no re-validation).
+- :meth:`CoalitionKernel.walk_steps` walks a permutation's prefix chain
+  by **incremental insertion**, paying O(update) per step instead of a
+  full refit per prefix.
+
+Two exact kernels ship built in:
+
+- :class:`KNNCoalitionKernel` — precomputes the full ``n_valid x
+  n_train`` distance matrix, evaluates coalitions by masked top-k
+  selection, and walks permutations by inserting one training point at a
+  time into per-validation-point sorted neighbor lists (O(k·n_valid) per
+  prefix step).
+- :class:`GaussianNBCoalitionKernel` — maintains per-class running
+  sufficient statistics (count, sum, sum of squares) so adding one row
+  to a coalition is an O(d) update.
+
+**Exactness contract.** Kernel scores are bit-identical to the retrain
+path: degenerate coalitions (empty / single-class / ``|S| < k``) follow
+the same fallbacks, ties are broken by the same stable position order,
+and the reported "training" counts match what the retrain path would
+have recorded — so FingerprintCache keys, truncation and convergence
+behavior, and downstream reports are unchanged. (The one theoretical
+caveat: distances sliced from the precomputed matrix can differ from a
+per-subset recomputation in the last ulp, which could only matter if two
+*distinct* training points were equidistant from a validation point to
+within ~2 ulp; *exact* ties — duplicated rows — are resolved identically
+by both paths. See ``docs/PERFORMANCE.md``.)
+
+Models without a registered kernel transparently fall back to the
+retrain path. Register kernels for new model classes with
+:func:`register_kernel`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.exceptions import ValidationError
+from repro.ml.naive_bayes import GaussianNB
+from repro.ml.neighbors import KNeighborsClassifier, pairwise_distances
+
+
+class CoalitionKernel:
+    """Exact incremental evaluator for one coalition game.
+
+    Subclasses precompute whatever per-game state makes coalition
+    evaluation cheap (distance matrices, sufficient statistics) and must
+    honour the exactness contract: values bit-identical to cloning and
+    refitting the model, and ``trained`` flags matching what the retrain
+    path would report. Kernels must be picklable (they ship to process
+    workers once, inside the utility core) and treat their state as
+    read-only after construction (thread workers share it).
+    """
+
+    #: Short identifier used in reports and observability counters.
+    name = "kernel"
+
+    def evaluate(self, subset: np.ndarray, y_sub: np.ndarray,
+                 classes: np.ndarray) -> tuple[float, int]:
+        """Value of one coalition with >= 2 classes.
+
+        ``y_sub`` is ``y_train[subset]`` and ``classes`` its sorted
+        unique labels (both already computed by the caller). Returns
+        ``(value, trained)`` where ``trained`` is 1 iff the retrain path
+        would have fit a model for this coalition.
+        """
+        raise NotImplementedError
+
+    def walk_steps(self, permutation: np.ndarray):
+        """Yield ``(value, trained, True)`` for each prefix of
+        ``permutation``, maintaining incremental state between steps.
+
+        Prefix ``p`` covers ``permutation[:p + 1]``; degenerate prefixes
+        (single class, ``|S| < k``) must reproduce the retrain path's
+        constant-predictor fallbacks exactly.
+        """
+        raise NotImplementedError
+
+
+def _majority_label(classes: np.ndarray, counts: np.ndarray):
+    """First-maximum majority label — identical tie-break to
+    ``np.unique`` + ``np.argmax`` on the subset's labels."""
+    return classes[np.argmax(counts)]
+
+
+class KNNCoalitionKernel(CoalitionKernel):
+    """Exact k-NN coalition kernel over a precomputed distance matrix.
+
+    Fitting :class:`~repro.ml.neighbors.KNeighborsClassifier` only
+    stores the coalition's rows; all prediction work happens in
+    ``kneighbors``. The kernel therefore precomputes the full
+    ``n_valid x n_train`` distance matrix once and evaluates any
+    coalition by selecting each validation point's k nearest members —
+    no refit, no per-coalition ``pairwise_distances``.
+
+    Permutation walks go further: each validation point keeps a sorted
+    list of its k best neighbors *within the current prefix*, and adding
+    one training point is a single vectorized insertion (O(k) per
+    validation point) — the per-step cost is independent of the prefix
+    size.
+    """
+
+    name = "knn"
+
+    def __init__(self, model: KNeighborsClassifier, X_train, y_train,
+                 X_valid, y_valid, metric):
+        self.k = int(model.n_neighbors)
+        self.distances = pairwise_distances(X_valid, X_train,
+                                            metric=model.metric)
+        self.classes, self.encoded = np.unique(y_train, return_inverse=True)
+        self.y_valid = y_valid
+        self.metric = metric
+
+    def evaluate(self, subset, y_sub, classes):
+        if self.k > len(subset):
+            # The retrain path's fit raises ValidationError here and
+            # falls back to the coalition's majority class.
+            sub_classes, counts = np.unique(y_sub, return_counts=True)
+            constant = np.full(len(self.y_valid),
+                               _majority_label(sub_classes, counts))
+            return float(self.metric(self.y_valid, constant)), 0
+        dist = self.distances[:, subset]
+        # Stable (distance, position-in-subset) order — exactly
+        # KNeighborsClassifier.kneighbors on the coalition's rows.
+        order = np.lexsort(
+            (np.broadcast_to(np.arange(dist.shape[1]), dist.shape), dist),
+            axis=1)[:, : self.k]
+        neighbor_codes = self.encoded[subset][order]
+        present_codes = np.searchsorted(self.classes, classes)
+        votes = (neighbor_codes[:, :, None]
+                 == present_codes[None, None, :]).sum(axis=1)
+        predictions = classes[np.argmax(votes, axis=1)]
+        return float(self.metric(self.y_valid, predictions)), 1
+
+    def walk_steps(self, permutation):
+        k = self.k
+        n_valid = len(self.y_valid)
+        # Per-validation-point best-k lists over the current prefix,
+        # padded with +inf; `codes` holds the neighbors' encoded labels.
+        best_dist = np.full((n_valid, k), np.inf)
+        best_code = np.zeros((n_valid, k), dtype=np.intp)
+        counts = np.zeros(len(self.classes), dtype=np.intp)
+        column = np.arange(k)
+        for pos, player in enumerate(permutation):
+            d = self.distances[:, player]
+            code = self.encoded[player]
+            # Stable insertion: after all entries with distance <= d,
+            # matching lexsort's position tie-break.
+            at = (best_dist <= d[:, None]).sum(axis=1)[:, None]
+            inserted = at < k
+            rolled_dist = np.empty_like(best_dist)
+            rolled_dist[:, 1:] = best_dist[:, :-1]
+            rolled_code = np.empty_like(best_code)
+            rolled_code[:, 1:] = best_code[:, :-1]
+            rolled_dist[:, 0] = np.inf
+            rolled_code[:, 0] = 0
+            new_dist = np.where(column < at, best_dist,
+                                np.where(column == at, d[:, None],
+                                         rolled_dist))
+            new_code = np.where(column < at, best_code,
+                                np.where(column == at, code, rolled_code))
+            best_dist = np.where(inserted, new_dist, best_dist)
+            best_code = np.where(inserted, new_code, best_code)
+            counts[code] += 1
+
+            present = np.flatnonzero(counts)
+            if len(present) < 2:
+                constant = np.full(n_valid, self.classes[present[0]])
+                yield float(self.metric(self.y_valid, constant)), 0, True
+            elif pos + 1 < k:
+                majority = _majority_label(self.classes[present],
+                                           counts[present])
+                constant = np.full(n_valid, majority)
+                yield float(self.metric(self.y_valid, constant)), 0, True
+            else:
+                votes = (best_code[:, :, None]
+                         == present[None, None, :]).sum(axis=1)
+                predictions = self.classes[present[np.argmax(votes, axis=1)]]
+                yield float(self.metric(self.y_valid, predictions)), 1, True
+
+
+class GaussianNBCoalitionKernel(CoalitionKernel):
+    """Exact Gaussian naive Bayes kernel via sufficient statistics.
+
+    A fitted :class:`~repro.ml.naive_bayes.GaussianNB` is fully
+    determined by per-class ``(count, mean, variance)`` plus the global
+    variance-smoothing term. Coalition evaluation replays the fit's own
+    arithmetic on the coalition's rows (skipping cloning and input
+    re-validation); permutation walks maintain per-class running
+    ``(count, sum, sum-of-squares)`` so each prefix step is an O(d)
+    update followed by one vectorized scoring pass.
+    """
+
+    name = "gaussian_nb"
+
+    def __init__(self, model: GaussianNB, X_train, y_train, X_valid,
+                 y_valid, metric):
+        self.var_smoothing = float(model.var_smoothing)
+        self.X_train = X_train
+        self.classes, self.encoded = np.unique(y_train, return_inverse=True)
+        self.X_valid = X_valid
+        self.y_valid = y_valid
+        self.metric = metric
+
+    def evaluate(self, subset, y_sub, classes):
+        X_sub = self.X_train[subset]
+        _, encoded = np.unique(y_sub, return_inverse=True)
+        n_classes, n_features = len(classes), X_sub.shape[1]
+        # Verbatim GaussianNB.fit arithmetic — bit-identical parameters.
+        theta = np.zeros((n_classes, n_features))
+        var = np.zeros((n_classes, n_features))
+        prior = np.zeros(n_classes)
+        for c in range(n_classes):
+            rows = X_sub[encoded == c]
+            theta[c] = rows.mean(axis=0)
+            var[c] = rows.var(axis=0)
+            prior[c] = len(rows) / len(X_sub)
+        var += self.var_smoothing * max(X_sub.var(axis=0).max(), 1e-12)
+        # Verbatim _joint_log_likelihood arithmetic.
+        jll = np.zeros((len(self.X_valid), n_classes))
+        for c in range(n_classes):
+            log_det = np.sum(np.log(2.0 * np.pi * var[c]))
+            quad = np.sum((self.X_valid - theta[c]) ** 2 / var[c], axis=1)
+            jll[:, c] = np.log(prior[c] + 1e-12) - 0.5 * (log_det + quad)
+        predictions = classes[np.argmax(jll, axis=1)]
+        return float(self.metric(self.y_valid, predictions)), 1
+
+    def walk_steps(self, permutation):
+        n_valid = len(self.y_valid)
+        n_classes = len(self.classes)
+        n_features = self.X_train.shape[1]
+        counts = np.zeros(n_classes)
+        sums = np.zeros((n_classes, n_features))
+        sumsqs = np.zeros((n_classes, n_features))
+        total_sum = np.zeros(n_features)
+        total_sumsq = np.zeros(n_features)
+        for pos, player in enumerate(permutation):
+            x = self.X_train[player]
+            code = self.encoded[player]
+            x_sq = x * x
+            counts[code] += 1
+            sums[code] += x
+            sumsqs[code] += x_sq
+            total_sum += x
+            total_sumsq += x_sq
+
+            present = np.flatnonzero(counts)
+            if len(present) < 2:
+                constant = np.full(n_valid, self.classes[present[0]])
+                yield float(self.metric(self.y_valid, constant)), 0, True
+                continue
+            size = pos + 1
+            count = counts[present][:, None]
+            theta = sums[present] / count
+            var = np.maximum(sumsqs[present] / count - theta * theta, 0.0)
+            global_mean = total_sum / size
+            global_var = np.maximum(
+                total_sumsq / size - global_mean * global_mean, 0.0)
+            var = var + self.var_smoothing * max(global_var.max(), 1e-12)
+            prior = counts[present] / size
+            log_det = np.sum(np.log(2.0 * np.pi * var), axis=1)
+            diff = self.X_valid[None, :, :] - theta[:, None, :]
+            quad = np.sum(diff * diff / var[:, None, :], axis=2)
+            jll = np.log(prior + 1e-12)[:, None] - 0.5 * (log_det[:, None]
+                                                          + quad)
+            predictions = self.classes[present[np.argmax(jll, axis=0)]]
+            yield float(self.metric(self.y_valid, predictions)), 1, True
+
+
+def _build_knn_kernel(model, X_train, y_train, X_valid, y_valid, metric):
+    if model.n_neighbors < 1 or model.metric not in ("euclidean",
+                                                     "manhattan", "cosine"):
+        return None  # let the retrain path raise/fall back as today
+    return KNNCoalitionKernel(model, X_train, y_train, X_valid, y_valid,
+                              metric)
+
+
+def _build_gaussian_nb_kernel(model, X_train, y_train, X_valid, y_valid,
+                              metric):
+    return GaussianNBCoalitionKernel(model, X_train, y_train, X_valid,
+                                     y_valid, metric)
+
+
+#: Exact-type registry: model class -> builder(model, X_train, y_train,
+#: X_valid, y_valid, metric) -> CoalitionKernel | None.
+_KERNEL_BUILDERS: dict[type, object] = {
+    KNeighborsClassifier: _build_knn_kernel,
+    GaussianNB: _build_gaussian_nb_kernel,
+}
+
+
+def register_kernel(model_type: type, builder) -> None:
+    """Register an incremental kernel builder for a model class.
+
+    ``builder(model, X_train, y_train, X_valid, y_valid, metric)`` must
+    return a :class:`CoalitionKernel` honouring the exactness contract,
+    or ``None`` to decline (the utility then uses the retrain path).
+    Matching is by exact type — subclasses may override ``predict`` and
+    must register themselves explicitly.
+    """
+    if not isinstance(model_type, type):
+        raise ValidationError("model_type must be a class")
+    if not callable(builder):
+        raise ValidationError("builder must be callable")
+    _KERNEL_BUILDERS[model_type] = builder
+
+
+def build_kernel(model, X_train, y_train, X_valid, y_valid, metric):
+    """Build the incremental kernel for ``model``'s exact type, if any.
+
+    Returns ``None`` when no kernel is registered or the registered
+    builder declines (unsupported hyperparameters) — callers then use
+    the retrain path unchanged.
+    """
+    builder = _KERNEL_BUILDERS.get(type(model))
+    if builder is None:
+        return None
+    return builder(model, X_train, y_train, X_valid, y_valid, metric)

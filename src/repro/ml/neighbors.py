@@ -16,6 +16,11 @@ from repro.core.validation import check_array, check_X_y
 from repro.ml.base import BaseEstimator, check_fitted
 
 
+# Manhattan distances need an (rows_of_A, n_B, d) float64 intermediate;
+# cap it around 64 MB by chunking over rows of A.
+_MANHATTAN_CHUNK_ELEMENTS = 8_000_000
+
+
 def pairwise_distances(A: np.ndarray, B: np.ndarray, metric: str = "euclidean") -> np.ndarray:
     """Dense distance matrix between the rows of ``A`` and ``B``."""
     A = np.asarray(A, dtype=float)
@@ -32,7 +37,13 @@ def pairwise_distances(A: np.ndarray, B: np.ndarray, metric: str = "euclidean") 
         )
         return np.sqrt(np.maximum(sq, 0.0))
     if metric == "manhattan":
-        return np.abs(A[:, None, :] - B[None, :, :]).sum(axis=2)
+        step = max(1, _MANHATTAN_CHUNK_ELEMENTS // max(1, B.size))
+        out = np.empty((len(A), len(B)))
+        for start in range(0, len(A), step):
+            stop = start + step
+            out[start:stop] = np.abs(
+                A[start:stop, None, :] - B[None, :, :]).sum(axis=2)
+        return out
     if metric == "cosine":
         norm_a = np.linalg.norm(A, axis=1, keepdims=True)
         norm_b = np.linalg.norm(B, axis=1, keepdims=True)
@@ -66,6 +77,27 @@ class KNeighborsClassifier(BaseEstimator):
             )
         self.classes_, self._encoded = np.unique(y, return_inverse=True)
         self._X = X
+        return self
+
+    def partial_fit(self, X, y) -> "KNeighborsClassifier":
+        """Append training rows; equivalent to refitting on the union.
+
+        k-NN's "fitted state" is the training set itself, so incremental
+        fitting is concatenation — the hook coalition walks use to grow a
+        prefix one example at a time without re-copying history.
+        """
+        if not hasattr(self, "_X"):
+            return self.fit(X, y)
+        X, y = check_X_y(X, y)
+        if X.shape[1] != self._X.shape[1]:
+            raise ValidationError(
+                f"partial_fit feature mismatch: {X.shape[1]} vs "
+                f"{self._X.shape[1]}")
+        previous_y = self.classes_[self._encoded]
+        merged_y = np.concatenate([previous_y, np.asarray(y)])
+        self._X = np.concatenate([self._X, X])
+        self.classes_, self._encoded = np.unique(merged_y,
+                                                 return_inverse=True)
         return self
 
     def kneighbors(self, X, n_neighbors: int | None = None):

@@ -68,22 +68,31 @@ def rank_source_rows(importances: dict[int, float], k: int | None = None) -> lis
 
 def _walk_source_permutation_task(shared, task):
     """Walk one *source-row* permutation: each step adds a player's
-    derived output rows to the training mask and re-evaluates."""
+    derived output rows to the training mask and re-evaluates. Steps are
+    arbitrary coalitions (many encoded rows join at once), so this uses
+    the core's single-coalition path — which still hits the incremental
+    kernel's precomputed state when the model has one."""
     core, positions = shared
     permutation, truncation_tol, full_value, null_value = task
     marginals = np.zeros(len(permutation))
     previous = null_value
     trainings = 0
+    kernel_steps = 0
+    fallback_retrains = 0
     mask = np.zeros(len(core.y_train), dtype=bool)
     for pos, player in enumerate(permutation):
         mask[positions[int(player)]] = True
-        value, trained = core.evaluate(np.flatnonzero(mask))
+        value, trained, used_kernel = core.evaluate(np.flatnonzero(mask))
         trainings += trained
+        if used_kernel:
+            kernel_steps += 1
+        else:
+            fallback_retrains += trained
         marginals[pos] = value - previous
         previous = value
         if truncation_tol > 0 and abs(full_value - value) < truncation_tol:
             break
-    return marginals, trainings
+    return marginals, trainings, kernel_steps, fallback_retrains
 
 
 class SourceRowUtility:
@@ -178,8 +187,10 @@ class SourceRowUtility:
             results = [_walk_source_permutation_task(shared, t)
                        for t in tasks]
         marginal_arrays = []
-        for marginals, trainings in results:
+        for marginals, trainings, kernel_steps, fallbacks in results:
             self._utility.calls += trainings
+            self._utility.kernel_steps += kernel_steps
+            self._utility.fallback_retrains += fallbacks
             marginal_arrays.append(marginals)
         return marginal_arrays
 

@@ -112,16 +112,81 @@ class CertainPredictionKNN:
 
 
 def _candidate_fraction_task(shared, row: int) -> float:
-    """Certain fraction after hypothetically cleaning one training row.
+    """Certain fraction after hypothetically cleaning one training row —
+    reference implementation that refits a fresh checker per candidate.
 
-    ``shared`` is ``(X_current, X_clean, y, X_test, k)``; one task per
-    candidate row, so each greedy round fans out over the runtime.
+    ``shared`` is ``(X_current, X_clean, y, X_test, k)``. The greedy
+    selector now uses :func:`_incremental_candidate_fraction_task`
+    (identical results, no per-candidate refit); this brute-force path
+    is kept as the equivalence oracle for tests.
     """
     X_current, X_clean, y, X_test, k = shared
     candidate = X_current.copy()
     candidate[row] = X_clean[row]
     checker = CertainPredictionKNN(k=k).fit(candidate, y)
     return checker.certain_fraction(X_test)
+
+
+def _distance_bounds(X_lo, X_hi, X_test):
+    """``(n_train, n_test)`` interval-distance matrices; column ``j`` is
+    bit-identical to ``_interval_distances(X_lo, X_hi, X_test[j])``."""
+    dmin = np.empty((len(X_lo), len(X_test)))
+    dmax = np.empty_like(dmin)
+    for j, x in enumerate(X_test):
+        dmin[:, j], dmax[:, j] = _interval_distances(X_lo, X_hi, x)
+    return dmin, dmax
+
+
+def _certain_fraction_from_bounds(dmin, dmax, y, classes, k: int) -> float:
+    """Certain fraction over all test points, vectorized across columns.
+
+    Per column this replays :meth:`CertainPredictionKNN.check` exactly:
+    a point is certain iff some label wins the k-NN vote in its own
+    worst world, with the same stable (distance, row-index) tie-break.
+    """
+    n, m = dmin.shape
+    row_order = np.broadcast_to(np.arange(n)[:, None], (n, m))
+    certain = np.zeros(m, dtype=bool)
+    for label in classes:
+        is_label = y == label
+        adversarial = np.where(is_label[:, None], dmax, dmin)
+        order = np.lexsort((row_order, adversarial), axis=0)[:k]
+        votes = is_label[order].sum(axis=0)
+        certain |= votes * 2 > k
+    return int(certain.sum()) / m
+
+
+def _incremental_candidate_fraction_task(shared, row: int) -> float:
+    """Certain fraction after hypothetically cleaning one training row,
+    from the round's precomputed interval-distance matrices.
+
+    Cleaning row ``row`` only changes that row's distance bounds — its
+    interval collapses to the exact distance — unless revealing the row
+    moves a column's observed min/max, which shifts the NaN fill values
+    of *other* rows too; that rare case recomputes the matrices from the
+    candidate dataset (the reference path's cost). Either way the
+    resulting fraction is bit-identical to
+    :func:`_candidate_fraction_task`.
+    """
+    (X_current, X_clean, y, X_test, k, classes, lo_fill, hi_fill,
+     base_dmin, base_dmax, exact_dist) = shared
+    candidate = X_current.copy()
+    candidate[row] = X_clean[row]
+    cand_lo = np.nanmin(candidate, axis=0)
+    cand_hi = np.nanmax(candidate, axis=0)
+    if np.array_equal(cand_lo, lo_fill) and np.array_equal(cand_hi, hi_fill):
+        dmin = base_dmin.copy()
+        dmax = base_dmax.copy()
+        dmin[row] = exact_dist[row]
+        dmax[row] = exact_dist[row]
+    else:
+        nan = np.isnan(candidate)
+        X_lo = np.where(nan, np.broadcast_to(cand_lo, candidate.shape),
+                        candidate)
+        X_hi = np.where(nan, np.broadcast_to(cand_hi, candidate.shape),
+                        candidate)
+        dmin, dmax = _distance_bounds(X_lo, X_hi, X_test)
+    return _certain_fraction_from_bounds(dmin, dmax, y, classes, k)
 
 
 def cpclean_greedy(X_dirty, y, X_clean, X_test, *, k: int = 3,
@@ -146,6 +211,10 @@ def cpclean_greedy(X_dirty, y, X_clean, X_test, *, k: int = 3,
         round's candidate evaluations — one world enumeration per still-
         incomplete row — run in parallel. The greedy choice is identical
         on every backend (first-maximum tie-break on the row order).
+        Each round precomputes the interval-distance matrices once and
+        ships them with the shared payload, so a candidate evaluation is
+        an O(update) bound swap instead of a full checker refit (bit-
+        identical fractions either way).
     observer:
         Optional :class:`repro.observe.Observer`: spans the selection
         (``cpclean.greedy``), counts candidate evaluations and rows
@@ -174,15 +243,28 @@ def cpclean_greedy(X_dirty, y, X_clean, X_test, *, k: int = 3,
         return checker.certain_fraction(X_test)
 
     cleaned, trajectory = [], [fraction(X_current)]
+    classes = np.unique(y)
+    # Exact distances of fully-revealed rows, fixed for the whole run.
+    exact_dist = _distance_bounds(X_clean, X_clean, X_test)[0]
     with observer.span("cpclean.greedy", k=k, budget=budget,
                        incomplete=len(incomplete)):
         while incomplete and len(cleaned) < budget and trajectory[-1] < 1.0:
-            shared = (X_current, X_clean, y, X_test, k)
+            nan = np.isnan(X_current)
+            lo_fill = np.nanmin(X_current, axis=0)
+            hi_fill = np.nanmax(X_current, axis=0)
+            X_lo = np.where(nan, np.broadcast_to(lo_fill, X_current.shape),
+                            X_current)
+            X_hi = np.where(nan, np.broadcast_to(hi_fill, X_current.shape),
+                            X_current)
+            base_dmin, base_dmax = _distance_bounds(X_lo, X_hi, X_test)
+            shared = (X_current, X_clean, y, X_test, k, classes, lo_fill,
+                      hi_fill, base_dmin, base_dmax, exact_dist)
             if runtime is not None:
-                fractions = runtime.map(_candidate_fraction_task, incomplete,
-                                        shared=shared, stage="cpclean.greedy")
+                fractions = runtime.map(_incremental_candidate_fraction_task,
+                                        incomplete, shared=shared,
+                                        stage="cpclean.greedy")
             else:
-                fractions = [_candidate_fraction_task(shared, row)
+                fractions = [_incremental_candidate_fraction_task(shared, row)
                              for row in incomplete]
             best = int(np.argmax(fractions))  # first maximum, as in the loop
             best_row, best_fraction = incomplete[best], float(fractions[best])

@@ -118,6 +118,11 @@ def test_observability_md_snippets(sandbox_cwd):
     assert n_blocks >= 3
 
 
+def test_performance_md_snippets(sandbox_cwd):
+    n_blocks = run_document(DOCS_DIR / "PERFORMANCE.md", _blob_namespace())
+    assert n_blocks >= 4
+
+
 def test_tutorial_md_snippets(sandbox_cwd, small_hiring_data):
     n_blocks = run_document(DOCS_DIR / "TUTORIAL.md", _tutorial_namespace())
     assert n_blocks >= 8

@@ -1,0 +1,309 @@
+"""Exactness contract of the incremental coalition kernels.
+
+The kernel path must be indistinguishable from the retrain path in
+everything but speed: bit-identical scores on every backend, identical
+``calls`` accounting, identical cache keys and convergence — for
+arbitrary coalitions including the degenerate ones (empty, single-class,
+``|S| < k``).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.exceptions import ValidationError
+from repro.datasets import make_blobs
+from repro.importance import (
+    CoalitionKernel,
+    GaussianNBCoalitionKernel,
+    KNNCoalitionKernel,
+    MonteCarloShapley,
+    Utility,
+    build_kernel,
+    detection_report,
+    register_kernel,
+)
+from repro.importance.kernels import _KERNEL_BUILDERS
+from repro.ml import GaussianNB, KNeighborsClassifier, LogisticRegression
+from repro.observe import Observer
+from repro.runtime import BACKENDS, FingerprintCache, Runtime
+
+MODELS = {
+    "knn": lambda: KNeighborsClassifier(3),
+    "gaussian_nb": lambda: GaussianNB(),
+}
+
+
+@pytest.fixture(scope="module")
+def game():
+    X, y = make_blobs(120, n_features=4, centers=2, cluster_std=1.5, seed=11)
+    return {"X_train": X[:80], "y_train": y[:80],
+            "X_valid": X[80:], "y_valid": y[80:]}
+
+
+def _utility(game, model, *, kernel="auto", **kwargs):
+    return Utility(model, game["X_train"], game["y_train"],
+                   game["X_valid"], game["y_valid"], kernel=kernel, **kwargs)
+
+
+def _coalitions(game, seed=0):
+    """Random coalitions plus every degenerate shape the contract names."""
+    rng = np.random.default_rng(seed)
+    n = len(game["y_train"])
+    one_class = np.flatnonzero(game["y_train"] == game["y_train"][0])[:4]
+    coalitions = [
+        np.array([], dtype=int),            # empty -> null value
+        one_class,                          # single class -> constant
+        np.array([3]),                      # |S| < k for k-NN
+        np.array([5, 9]),                   # |S| < k for k-NN
+        np.array([7, 7, 7]),                # duplicate indices
+        np.array([7, 7, 2, 11, 11, 5]),     # duplicates, mixed classes
+        np.arange(n),                       # grand coalition
+    ]
+    coalitions += [rng.choice(n, size=size, replace=False)
+                   for size in rng.integers(3, n, size=12)]
+    return coalitions
+
+
+# ---------------------------------------------------------------------------
+# Kernel selection
+# ---------------------------------------------------------------------------
+class TestKernelSelection:
+    def test_knn_gets_knn_kernel(self, game):
+        utility = _utility(game, KNeighborsClassifier(3))
+        assert isinstance(utility.kernel, KNNCoalitionKernel)
+        assert utility.kernel_name == "knn"
+
+    def test_gaussian_nb_gets_nb_kernel(self, game):
+        utility = _utility(game, GaussianNB())
+        assert isinstance(utility.kernel, GaussianNBCoalitionKernel)
+        assert utility.kernel_name == "gaussian_nb"
+
+    def test_unsupported_model_falls_back(self, game):
+        utility = _utility(game, LogisticRegression(max_iter=30))
+        assert utility.kernel is None
+        assert utility.kernel_name is None
+
+    def test_kernel_off_forces_retrain_path(self, game):
+        for off in ("off", None, False):
+            assert _utility(game, KNeighborsClassifier(3),
+                            kernel=off).kernel is None
+
+    def test_invalid_kernel_argument_rejected(self, game):
+        with pytest.raises(ValidationError):
+            _utility(game, KNeighborsClassifier(3), kernel="fast")
+
+    def test_explicit_kernel_instance_used(self, game):
+        kernel = build_kernel(KNeighborsClassifier(3), game["X_train"],
+                              game["y_train"], game["X_valid"],
+                              game["y_valid"], _utility(game,
+                                                        GaussianNB()).metric)
+        utility = _utility(game, KNeighborsClassifier(3), kernel=kernel)
+        assert utility.kernel is kernel
+
+    def test_register_kernel_validates(self):
+        with pytest.raises(ValidationError):
+            register_kernel("not a class", lambda *a: None)
+        with pytest.raises(ValidationError):
+            register_kernel(KNeighborsClassifier, "not callable")
+
+    def test_register_kernel_exact_type_dispatch(self, game):
+        class MyKNN(KNeighborsClassifier):
+            pass
+
+        # Subclasses do not inherit the parent's kernel ...
+        assert _utility(game, MyKNN(3)).kernel is None
+        # ... until they register one.
+        register_kernel(MyKNN, lambda model, *a: KNNCoalitionKernel(model,
+                                                                    *a))
+        try:
+            assert isinstance(_utility(game, MyKNN(3)).kernel,
+                              KNNCoalitionKernel)
+        finally:
+            del _KERNEL_BUILDERS[MyKNN]
+
+    def test_builder_may_decline(self, game):
+        # Unsupported metric: the builder declines, retrain path handles it.
+        utility = _utility(game, KNeighborsClassifier(3, metric="chebyshev"))
+        assert utility.kernel is None
+
+
+# ---------------------------------------------------------------------------
+# Bit-identical values
+# ---------------------------------------------------------------------------
+class TestExactness:
+    @pytest.mark.parametrize("name", MODELS)
+    def test_evaluate_many_bit_identical(self, game, name):
+        coalitions = _coalitions(game)
+        fast = _utility(game, MODELS[name]())
+        slow = _utility(game, MODELS[name](), kernel="off")
+        for a, b in zip(fast.evaluate_many(coalitions),
+                        slow.evaluate_many(coalitions)):
+            assert float(a).hex() == float(b).hex()
+        assert fast.calls == slow.calls
+
+    @pytest.mark.parametrize("name", MODELS)
+    def test_walks_bit_identical(self, game, name):
+        rng = np.random.default_rng(2)
+        perms = [rng.permutation(len(game["y_train"])) for _ in range(4)]
+        fast = _utility(game, MODELS[name]())
+        slow = _utility(game, MODELS[name](), kernel="off")
+        for a, b in zip(fast.walk_permutations(perms),
+                        slow.walk_permutations(perms)):
+            np.testing.assert_array_equal(a, b)
+        assert fast.calls == slow.calls
+
+    @pytest.mark.parametrize("name", MODELS)
+    def test_truncated_walks_bit_identical(self, game, name):
+        rng = np.random.default_rng(3)
+        perms = [rng.permutation(len(game["y_train"])) for _ in range(3)]
+        fast = _utility(game, MODELS[name]())
+        slow = _utility(game, MODELS[name](), kernel="off")
+        walks_fast = fast.walk_permutations(perms, truncation_tol=0.05)
+        walks_slow = slow.walk_permutations(perms, truncation_tol=0.05)
+        for a, b in zip(walks_fast, walks_slow):
+            np.testing.assert_array_equal(a, b)
+        # Truncation decisions are value-driven, so call counts match too.
+        assert fast.calls == slow.calls
+
+    @pytest.mark.parametrize("name", MODELS)
+    def test_shapley_scores_bit_identical(self, game, name):
+        def scores(kernel):
+            utility = _utility(game, MODELS[name](), kernel=kernel)
+            return MonteCarloShapley(n_permutations=4, seed=5,
+                                     truncation_tol=0.01).score(utility)
+
+        np.testing.assert_array_equal(scores("auto"), scores("off"))
+
+
+# ---------------------------------------------------------------------------
+# Backends and caches
+# ---------------------------------------------------------------------------
+class TestBackendsAndCaches:
+    @pytest.mark.parametrize("name", MODELS)
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_backend_bit_identical_to_serial_retrain(self, game, name,
+                                                     backend):
+        coalitions = _coalitions(game, seed=4)
+        rng = np.random.default_rng(5)
+        perms = [rng.permutation(len(game["y_train"])) for _ in range(3)]
+        reference = _utility(game, MODELS[name](), kernel="off")
+        expected_values = reference.evaluate_many(coalitions)
+        expected_walks = reference.walk_permutations(perms)
+        with Runtime(backend=backend, max_workers=2) as runtime:
+            utility = _utility(game, MODELS[name](), runtime=runtime)
+            np.testing.assert_array_equal(utility.evaluate_many(coalitions),
+                                          expected_values)
+            for a, b in zip(utility.walk_permutations(perms),
+                            expected_walks):
+                np.testing.assert_array_equal(a, b)
+        assert utility.calls == reference.calls
+
+    @pytest.mark.parametrize("name", MODELS)
+    def test_fingerprint_cache_keys_are_path_independent(self, game, name):
+        coalitions = _coalitions(game, seed=6)
+        cache = FingerprintCache()
+        with Runtime(cache=cache) as runtime:
+            fast = _utility(game, MODELS[name](), runtime=runtime)
+            values = fast.evaluate_many(coalitions)
+        with Runtime(cache=cache) as runtime:
+            # Retrain-path utility resolves every coalition from the
+            # cache entries the kernel path wrote: identical keys.
+            slow = _utility(game, MODELS[name](), kernel="off",
+                            runtime=runtime, cache=False)
+            np.testing.assert_array_equal(slow.evaluate_many(coalitions),
+                                          values)
+        assert slow.calls == 0
+
+
+# ---------------------------------------------------------------------------
+# Batch dedup (satellite)
+# ---------------------------------------------------------------------------
+class TestBatchDedup:
+    def test_duplicates_evaluated_once_without_memo(self, game):
+        utility = _utility(game, KNeighborsClassifier(3), cache=False)
+        batch = [[4, 5, 6], [6, 5, 4], [4, 5, 6], [5, 6, 4]]
+        values = utility.evaluate_many(batch)
+        assert len(set(float(v).hex() for v in values)) == 1
+        assert utility.calls == 1  # one evaluation for all four spellings
+
+    def test_multiplicity_not_collapsed(self, game):
+        utility = _utility(game, KNeighborsClassifier(3), kernel="off")
+        batch = [[4, 4, 5, 6], [4, 5, 6]]
+        utility.evaluate_many(batch)
+        # [4, 4, 5, 6] and [4, 5, 6] are different coalitions.
+        assert utility.calls == 2
+
+    def test_results_in_caller_order(self, game):
+        utility = _utility(game, GaussianNB())
+        batch = [[10, 11, 12], [1, 2, 3], [10, 11, 12]]
+        values = utility.evaluate_many(batch)
+        single = [float(utility(c)) for c in ([10, 11, 12], [1, 2, 3])]
+        assert float(values[0]).hex() == float(single[0]).hex()
+        assert float(values[1]).hex() == float(single[1]).hex()
+        assert float(values[2]).hex() == float(single[0]).hex()
+
+
+# ---------------------------------------------------------------------------
+# Counters and observability (satellite)
+# ---------------------------------------------------------------------------
+class TestCountersAndObservability:
+    @staticmethod
+    def _mixed_batch(game):
+        """Two distinct coalitions guaranteed to contain both classes."""
+        a = np.flatnonzero(game["y_train"] == 0)[:3]
+        b = np.flatnonzero(game["y_train"] == 1)[:3]
+        return [np.concatenate([a, b]), np.concatenate([a[:2], b[:2]])]
+
+    def test_kernel_counters_in_cache_info(self, game):
+        utility = _utility(game, KNeighborsClassifier(3))
+        utility.evaluate_many(self._mixed_batch(game))
+        info = utility.cache_info()["kernel"]
+        assert info["name"] == "knn"
+        assert info["incremental_steps"] == 2
+        assert info["fallback_retrains"] == 0
+
+    def test_fallback_counter_on_retrain_path(self, game):
+        utility = _utility(game, LogisticRegression(max_iter=30))
+        utility.evaluate_many(self._mixed_batch(game))
+        info = utility.cache_info()["kernel"]
+        assert info["name"] is None
+        assert info["incremental_steps"] == 0
+        assert info["fallback_retrains"] == 2
+
+    def test_observer_sees_kernel_selection_and_counters(self, game):
+        observer = Observer()
+        with Runtime(observer=observer) as runtime:
+            utility = _utility(game, KNeighborsClassifier(3),
+                               runtime=runtime)
+            utility.evaluate_many(self._mixed_batch(game))
+        snapshot = observer.metrics.snapshot()
+        assert snapshot["kernel.incremental_steps"] == 2
+        assert "kernel.fallback_retrains" not in snapshot
+        events = list(observer.runlog.iter_events("utility.kernel"))
+        assert len(events) == 1
+        assert events[0]["kernel"] == "knn"
+
+    def test_importance_run_event_carries_kernel(self, game):
+        observer = Observer()
+        utility = _utility(game, GaussianNB())
+        MonteCarloShapley(n_permutations=2, seed=1,
+                          observer=observer).score(utility)
+        event = next(observer.runlog.iter_events("importance.run"))
+        assert event["kernel"] == "gaussian_nb"
+        assert event["kernel_incremental_steps"] > 0
+        assert event["kernel_fallback_retrains"] == 0
+
+    def test_detection_report_surfaces_kernel(self, game):
+        utility = _utility(game, KNeighborsClassifier(3))
+        values = MonteCarloShapley(n_permutations=2, seed=1).score(utility)
+        report = detection_report(values, [0, 1], 5, utility=utility)
+        assert report["kernel"] == "knn"
+        assert report["kernel_incremental_steps"] > 0
+        assert report["kernel_fallback_retrains"] == 0
+
+    def test_base_class_is_abstract(self, game):
+        kernel = CoalitionKernel()
+        with pytest.raises(NotImplementedError):
+            kernel.evaluate(np.array([0]), np.array([0]), np.array([0]))
+        with pytest.raises(NotImplementedError):
+            kernel.walk_steps(np.array([0]))

@@ -40,3 +40,41 @@ class TestGaussianNB:
         X, y = make_blobs(150, centers=4, cluster_std=0.5, seed=9)
         model = GaussianNB().fit(X, y)
         assert model.score(X, y) >= 0.9
+
+
+class TestPartialFit:
+    def test_partial_fit_matches_batch_fit(self):
+        X, y = make_blobs(90, n_features=3, centers=3, seed=4)
+        batch = GaussianNB().fit(X, y)
+        grown = GaussianNB().partial_fit(X[:30], y[:30])
+        grown.partial_fit(X[30:60], y[30:60]).partial_fit(X[60:], y[60:])
+        np.testing.assert_allclose(grown.theta_, batch.theta_, atol=1e-10)
+        np.testing.assert_allclose(grown.var_, batch.var_, atol=1e-10)
+        np.testing.assert_allclose(grown.class_prior_, batch.class_prior_)
+        np.testing.assert_array_equal(grown.predict(X), batch.predict(X))
+
+    def test_fit_then_partial_fit_continues(self):
+        X, y = make_blobs(80, n_features=2, centers=2, seed=5)
+        grown = GaussianNB().fit(X[:40], y[:40]).partial_fit(X[40:], y[40:])
+        batch = GaussianNB().fit(X, y)
+        np.testing.assert_allclose(grown.theta_, batch.theta_, atol=1e-10)
+        np.testing.assert_allclose(grown.var_, batch.var_, atol=1e-10)
+
+    def test_new_classes_widen_statistics(self):
+        X, y = make_blobs(120, n_features=2, centers=3, seed=6)
+        first = y < 2
+        grown = GaussianNB().partial_fit(X[first], y[first])
+        assert len(grown.classes_) == 2
+        grown.partial_fit(X[~first], y[~first])
+        assert len(grown.classes_) == 3
+        batch = GaussianNB().fit(X, y)
+        np.testing.assert_allclose(grown.theta_, batch.theta_, atol=1e-10)
+        np.testing.assert_array_equal(grown.predict(X), batch.predict(X))
+
+    def test_feature_mismatch_rejected(self):
+        from repro.core.exceptions import ValidationError
+
+        X, y = make_blobs(30, n_features=2, centers=2, seed=7)
+        model = GaussianNB().fit(X, y)
+        with pytest.raises(ValidationError):
+            model.partial_fit(np.ones((4, 3)), np.array([0, 1, 0, 1]))

@@ -69,3 +69,52 @@ class TestKNeighborsClassifier:
         X_train, y_train, X_test, y_test = blobs_split
         model = KNeighborsClassifier(n_neighbors=5).fit(X_train, y_train)
         assert model.score(X_test, y_test) >= 0.9
+
+
+class TestManhattanChunking:
+    def test_chunked_output_identical_to_broadcast(self, rng, monkeypatch):
+        from repro.ml import neighbors
+
+        A = rng.standard_normal((37, 5))
+        B = rng.standard_normal((11, 5))
+        expected = np.abs(A[:, None, :] - B[None, :, :]).sum(axis=2)
+        # Force many tiny chunks: every boundary must still be exact.
+        monkeypatch.setattr(neighbors, "_MANHATTAN_CHUNK_ELEMENTS", 1)
+        chunked = pairwise_distances(A, B, metric="manhattan")
+        np.testing.assert_array_equal(chunked, expected)
+
+    def test_single_chunk_path_unchanged(self, rng):
+        A = rng.standard_normal((8, 3))
+        B = rng.standard_normal((6, 3))
+        expected = np.abs(A[:, None, :] - B[None, :, :]).sum(axis=2)
+        np.testing.assert_array_equal(
+            pairwise_distances(A, B, metric="manhattan"), expected)
+
+
+class TestPartialFit:
+    def test_partial_fit_equals_batch_fit(self, rng):
+        X = rng.standard_normal((30, 3))
+        y = rng.integers(0, 3, size=30)
+        batch = KNeighborsClassifier(n_neighbors=3).fit(X, y)
+        grown = KNeighborsClassifier(n_neighbors=3).fit(X[:10], y[:10])
+        grown.partial_fit(X[10:20], y[10:20]).partial_fit(X[20:], y[20:])
+        queries = rng.standard_normal((12, 3))
+        np.testing.assert_array_equal(batch.predict(queries),
+                                      grown.predict(queries))
+        np.testing.assert_array_equal(batch.classes_, grown.classes_)
+
+    def test_partial_fit_on_unfitted_is_fit(self, rng):
+        X = rng.standard_normal((12, 2))
+        y = rng.integers(0, 2, size=12)
+        model = KNeighborsClassifier(n_neighbors=3).partial_fit(X, y)
+        np.testing.assert_array_equal(model.predict(X[:4]),
+                                      KNeighborsClassifier(3).fit(
+                                          X, y).predict(X[:4]))
+
+    def test_partial_fit_feature_mismatch_rejected(self, rng):
+        X = rng.standard_normal((10, 2))
+        y = rng.integers(0, 2, size=10)
+        model = KNeighborsClassifier(n_neighbors=2).fit(X, y)
+        with pytest.raises(ValidationError):
+            model.partial_fit(rng.standard_normal((4, 3)),
+                              np.array([0, 1, 0, 1]))

@@ -128,3 +128,80 @@ class TestCpcleanGreedy:
                                  incomplete_blobs["X_test"][:10],
                                  k=3, max_cleaned=2)
         assert outcome["n_cleaned"] <= 2
+
+
+class TestIncrementalCandidateEvaluation:
+    """The greedy selector's incremental candidate path must be
+    bit-identical to refitting a fresh checker per candidate."""
+
+    @staticmethod
+    def _shared(X, X_clean, y, X_test, k):
+        from repro.uncertain.cpclean import _distance_bounds
+
+        nan = np.isnan(X)
+        lo = np.nanmin(X, axis=0)
+        hi = np.nanmax(X, axis=0)
+        X_lo = np.where(nan, np.broadcast_to(lo, X.shape), X)
+        X_hi = np.where(nan, np.broadcast_to(hi, X.shape), X)
+        base_dmin, base_dmax = _distance_bounds(X_lo, X_hi, X_test)
+        exact = _distance_bounds(X_clean, X_clean, X_test)[0]
+        return (X, X_clean, y, X_test, k, np.unique(y), lo, hi,
+                base_dmin, base_dmax, exact)
+
+    def _assert_all_candidates_match(self, X, X_clean, y, X_test, k=3):
+        from repro.uncertain.cpclean import (
+            _candidate_fraction_task,
+            _incremental_candidate_fraction_task,
+        )
+
+        shared = self._shared(X, X_clean, y, X_test, k)
+        brute_shared = (X, X_clean, y, X_test, k)
+        for row in np.flatnonzero(np.isnan(X).any(axis=1)):
+            brute = _candidate_fraction_task(brute_shared, int(row))
+            fast = _incremental_candidate_fraction_task(shared, int(row))
+            assert float(brute).hex() == float(fast).hex()
+
+    def test_bit_identical_to_brute_force(self, incomplete_blobs):
+        self._assert_all_candidates_match(
+            incomplete_blobs["X_dirty"], incomplete_blobs["X"],
+            incomplete_blobs["y"], incomplete_blobs["X_test"])
+
+    def test_bit_identical_when_fills_change(self, incomplete_blobs):
+        # A hidden extreme value: revealing it moves the column minimum,
+        # which shifts every other incomplete row's fill values — the
+        # incremental path must detect this and recompute.
+        X_clean = incomplete_blobs["X"].copy()
+        X_dirty = incomplete_blobs["X_dirty"]
+        row = int(np.flatnonzero(np.isnan(X_dirty).any(axis=1))[0])
+        col = int(np.flatnonzero(np.isnan(X_dirty[row]))[0])
+        X_clean[row, col] = X_clean[:, col].min() - 10.0
+        self._assert_all_candidates_match(
+            X_dirty, X_clean, incomplete_blobs["y"],
+            incomplete_blobs["X_test"])
+
+    def test_greedy_matches_brute_force_reference(self, incomplete_blobs):
+        from repro.uncertain.cpclean import _candidate_fraction_task
+
+        X_dirty = incomplete_blobs["X_dirty"]
+        X_clean = incomplete_blobs["X"]
+        y, X_test = incomplete_blobs["y"], incomplete_blobs["X_test"]
+        result = cpclean_greedy(X_dirty, y, X_clean, X_test, k=3,
+                                max_cleaned=4)
+
+        # Reference: the pre-kernel greedy loop, refitting per candidate.
+        X_current = X_dirty.copy()
+        incomplete = list(np.flatnonzero(np.isnan(X_current).any(axis=1)))
+        checker = CertainPredictionKNN(k=3).fit(X_current, y)
+        cleaned = [checker.certain_fraction(X_test)]
+        rows = []
+        while incomplete and len(rows) < 4 and cleaned[-1] < 1.0:
+            fractions = [_candidate_fraction_task(
+                (X_current, X_clean, y, X_test, 3), r) for r in incomplete]
+            best = int(np.argmax(fractions))
+            rows.append(incomplete[best])
+            X_current[incomplete[best]] = X_clean[incomplete[best]]
+            cleaned.append(fractions[best])
+            incomplete.pop(best)
+        assert result["cleaned_rows"] == rows
+        assert [float(f).hex() for f in result["certain_fraction"]] == \
+            [float(f).hex() for f in cleaned]
