@@ -155,7 +155,7 @@ class IterativeCleaner:
     def __init__(self, model, strategy, oracle, *, encode, batch: int = 10,
                  metric=accuracy_score, seed=0, runtime=None, observer=None):
         from repro.observe.observer import resolve_observer
-        from repro.runtime.runtime import resolve_runtime
+        from repro.runtime.runtime import Runtime, resolve_runtime
 
         self.model = model
         self.strategy = make_strategy(strategy) if isinstance(strategy, str) \
@@ -166,9 +166,25 @@ class IterativeCleaner:
         self.metric = metric
         self.seed = seed
         self.runtime = resolve_runtime(runtime)
+        self._owns_runtime = (self.runtime is not None
+                              and not isinstance(runtime, Runtime))
         self.observer = resolve_observer(observer)
         parameters = inspect.signature(self.strategy).parameters
         self._strategy_takes_runtime = "runtime" in parameters
+
+    def close(self) -> None:
+        """Release the worker pool of a runtime this cleaner built for
+        itself (``runtime="thread"`` / ``"process"``); a caller-provided
+        :class:`~repro.runtime.Runtime` is left to its owner."""
+        if self._owns_runtime and self.runtime is not None:
+            self.runtime.close()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        self.close()
+        return False
 
     def run(self, dirty_frame: DataFrame, X_valid, y_valid, *,
             n_rounds: int) -> CleaningResult:

@@ -33,7 +33,7 @@ from repro.importance.kernels import CoalitionKernel, build_kernel
 from repro.ml.base import clone
 from repro.ml.metrics import accuracy_score
 from repro.runtime.cache import fingerprint
-from repro.runtime.runtime import resolve_runtime
+from repro.runtime.runtime import Runtime, resolve_runtime
 
 
 class _UtilityCore:
@@ -154,6 +154,16 @@ class Utility:
         :class:`repro.runtime.Runtime`. A runtime with a
         :class:`~repro.runtime.FingerprintCache` additionally memoizes
         values across Utility instances and (with a disk tier) processes.
+        When the utility builds the runtime itself (backend name or bare
+        executor), it owns it: use the utility as a context manager, or
+        call :meth:`close`, to release the worker pool deterministically.
+    faults:
+        Optional :class:`repro.runtime.FaultPolicy` (or dict of its
+        fields) for the runtime this utility builds — retries, per-chunk
+        timeouts, and the ``on_worker_failure`` degradation strategy
+        applied to every batch. Only valid together with a backend-name
+        ``runtime``; a shared :class:`~repro.runtime.Runtime` carries
+        its own policy.
     kernel:
         ``"auto"`` (default) attaches the registered incremental kernel
         for the model's type when one exists (k-NN, GaussianNB), making
@@ -167,7 +177,7 @@ class Utility:
 
     def __init__(self, model, X_train, y_train, X_valid, y_valid,
                  metric=accuracy_score, cache: bool = True, runtime=None,
-                 kernel="auto"):
+                 kernel="auto", faults=None):
         X_train, y_train = check_X_y(X_train, y_train)
         X_valid, y_valid = check_X_y(X_valid, y_valid)
         if kernel == "auto":
@@ -181,7 +191,9 @@ class Utility:
                 f"CoalitionKernel — got {type(kernel).__name__}")
         self._core = _UtilityCore(model, X_train, y_train, X_valid, y_valid,
                                   metric, kernel=kernel)
-        self.runtime = resolve_runtime(runtime)
+        self.runtime = resolve_runtime(runtime, faults=faults)
+        self._owns_runtime = (self.runtime is not None
+                              and not isinstance(runtime, Runtime))
         self._cache: dict[tuple, float] | None = {} if cache else None
         self.calls = 0  # number of *model trainings* performed (or skipped
         # by an incremental kernel — the count is path-independent)
@@ -189,6 +201,22 @@ class Utility:
         self.fallback_retrains = 0  # actual clone+fit evaluations
         self._kernel_announced = False
         self._base_fingerprint: str | None = None
+
+    # -- lifecycle ---------------------------------------------------------
+    def close(self) -> None:
+        """Release the worker pool of a runtime this utility built for
+        itself (``runtime="thread"`` / ``"process"``). A shared
+        :class:`~repro.runtime.Runtime` passed in by the caller is left
+        untouched — its owner closes it."""
+        if self._owns_runtime and self.runtime is not None:
+            self.runtime.close()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        self.close()
+        return False
 
     # -- convenience views (kept for backwards compatibility) --------------
     @property

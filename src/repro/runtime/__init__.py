@@ -11,7 +11,11 @@ it". This package turns that loop into shared infrastructure:
   estimators, runs, and (with a disk tier) processes.
 - :mod:`~repro.runtime.progress` provides the progress/cancellation hook
   protocol long-running scoring jobs speak.
-- :class:`Runtime` bundles the three into the single ``runtime=`` handle
+- :mod:`~repro.runtime.faults` makes long jobs survive failure:
+  :class:`FaultPolicy` controls per-chunk retries/backoff/timeouts and
+  broken-pool recovery, and :class:`TaskError` attributes an exhausted
+  budget to its stage and chunk.
+- :class:`Runtime` bundles them into the single ``runtime=`` handle
   the compute layers accept.
 
 Quick start::
@@ -33,11 +37,20 @@ from repro.runtime.cache import (
 )
 from repro.runtime.executor import (
     BACKENDS,
+    MAX_CHUNK_SIZE,
     Executor,
     ProcessExecutor,
     SerialExecutor,
     ThreadExecutor,
     get_executor,
+)
+from repro.runtime.faults import (
+    DEFAULT_FAULT_POLICY,
+    FaultEvent,
+    FaultPolicy,
+    FaultStats,
+    TaskError,
+    resolve_fault_policy,
 )
 from repro.runtime.progress import (
     CancellationToken,
@@ -47,13 +60,23 @@ from repro.runtime.progress import (
     StageTimer,
     cancel_after,
 )
-from repro.runtime.runtime import Runtime, aggregate_stage_timings, resolve_runtime
+from repro.runtime.runtime import (
+    Runtime,
+    aggregate_fault_stats,
+    aggregate_stage_timings,
+    resolve_runtime,
+)
 
 __all__ = [
     "BACKENDS",
+    "DEFAULT_FAULT_POLICY",
+    "MAX_CHUNK_SIZE",
     "CacheStats",
     "CancellationToken",
     "Executor",
+    "FaultEvent",
+    "FaultPolicy",
+    "FaultStats",
     "FingerprintCache",
     "JobCancelled",
     "ProcessExecutor",
@@ -62,12 +85,15 @@ __all__ = [
     "Runtime",
     "SerialExecutor",
     "StageTimer",
+    "TaskError",
     "ThreadExecutor",
     "aggregate_cache_stats",
+    "aggregate_fault_stats",
     "aggregate_stage_timings",
     "cancel_after",
     "data_fingerprint",
     "fingerprint",
     "get_executor",
+    "resolve_fault_policy",
     "resolve_runtime",
 ]

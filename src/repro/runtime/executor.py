@@ -20,7 +20,13 @@ functions.
 
 Tasks are grouped into chunks to amortize submission overhead; progress
 hooks fire and cancellation tokens are polled at chunk granularity (see
-:mod:`repro.runtime.progress`).
+:mod:`repro.runtime.progress`). Chunks are also the unit of fault
+handling (see :mod:`repro.runtime.faults`): a failed or timed-out chunk
+is retried within its :class:`~repro.runtime.FaultPolicy` budget, a dead
+process pool is rebuilt and only the lost chunks resubmitted, and an
+exhausted budget raises a structured
+:class:`~repro.runtime.TaskError` — with results bit-identical to an
+undisturbed run, because tasks are pure.
 """
 
 from __future__ import annotations
@@ -30,12 +36,39 @@ import math
 import os
 import pickle
 import time
-from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, ThreadPoolExecutor, wait
+from concurrent.futures import (
+    FIRST_COMPLETED,
+    BrokenExecutor,
+    ProcessPoolExecutor,
+    ThreadPoolExecutor,
+    wait,
+)
 
 from repro.core.exceptions import ValidationError
+from repro.runtime.faults import (
+    FaultEvent,
+    FaultStats,
+    TaskError,
+    backoff_wait,
+    resolve_fault_policy,
+)
 from repro.runtime.progress import JobCancelled, ProgressEvent
 
 BACKENDS = ("serial", "thread", "process")
+
+#: Chunks never exceed this many tasks, whatever the worker count:
+#: progress events and cancellation polls happen at chunk boundaries, so
+#: the cap bounds how stale a progress bar (or an ignored cancel) can be.
+MAX_CHUNK_SIZE = 64
+
+#: Seconds to wait for in-flight chunks when unwinding after an error —
+#: the "drain" that keeps zombie chunks from racing a propagating
+#: exception. Broken pools resolve their futures immediately, so this
+#: bound only bites when live workers are mid-chunk.
+_DRAIN_TIMEOUT = 10.0
+
+#: Placeholder marking a chunk whose results have not been recorded yet.
+_UNSET = object()
 
 
 def _available_cpus() -> int:
@@ -47,8 +80,11 @@ def _available_cpus() -> int:
 
 def _default_chunk_size(n_tasks: int, workers: int) -> int:
     # ~4 chunks per worker balances scheduling slack against per-chunk
-    # overhead; serial keeps chunks small so progress/cancel stay responsive.
-    return max(1, math.ceil(n_tasks / max(1, workers * 4)))
+    # overhead; the MAX_CHUNK_SIZE cap keeps progress/cancel polling
+    # responsive even for huge serial jobs (a 10k-task serial run emits
+    # >= 150 progress events instead of 4).
+    return max(1, min(math.ceil(n_tasks / max(1, workers * 4)),
+                      MAX_CHUNK_SIZE))
 
 
 class Executor:
@@ -60,13 +96,15 @@ class Executor:
         if max_workers is not None and max_workers < 1:
             raise ValidationError("max_workers must be >= 1")
         self.max_workers = max_workers
+        self.fault_stats = FaultStats()
 
     @property
     def effective_workers(self) -> int:
         return 1
 
     def map(self, fn, tasks, *, shared=None, chunk_size: int | None = None,
-            progress=None, cancel=None, stage: str = "map") -> list:
+            progress=None, cancel=None, stage: str = "map",
+            faults=None, fault_hook=None) -> list:
         """Run ``fn(shared, task)`` for every task; return ordered results.
 
         Parameters
@@ -83,7 +121,15 @@ class Executor:
         cancel:
             Optional :class:`CancellationToken` polled between chunks.
         stage:
-            Label used in progress events and cancellation errors.
+            Label used in progress events, fault events, and errors.
+        faults:
+            :class:`~repro.runtime.FaultPolicy` (or dict of its fields)
+            governing retries, timeouts, and crash recovery; the default
+            policy retries each chunk once and rebuilds a broken pool.
+        fault_hook:
+            Optional ``callable(FaultEvent)`` invoked for every fault
+            incident — :class:`~repro.runtime.Runtime` uses it to feed
+            ``repro.observe`` counters and span events.
         """
         tasks = list(tasks)
         if not tasks:
@@ -94,11 +140,21 @@ class Executor:
             chunk_size = _default_chunk_size(len(tasks), self.effective_workers)
         chunks = [tasks[i:i + chunk_size]
                   for i in range(0, len(tasks), chunk_size)]
+        policy = resolve_fault_policy(faults)
         return self._run_chunks(fn, shared, chunks, len(tasks),
-                                progress, cancel, stage)
+                                progress, cancel, stage, policy, fault_hook)
+
+    def _emit_fault(self, fault_hook, kind: str, stage: str, chunk_index: int,
+                    attempt: int, error: BaseException, started: float) -> None:
+        event = FaultEvent(kind=kind, stage=stage, chunk_index=chunk_index,
+                           attempt=attempt, error=repr(error),
+                           elapsed=time.perf_counter() - started)
+        self.fault_stats.record(event)
+        if fault_hook is not None:
+            fault_hook(event)
 
     def _run_chunks(self, fn, shared, chunks, n_tasks, progress, cancel,
-                    stage) -> list:
+                    stage, policy, fault_hook) -> list:
         raise NotImplementedError
 
     def close(self) -> None:
@@ -113,18 +169,40 @@ class Executor:
 
 
 class SerialExecutor(Executor):
-    """In-process loop — the reference semantics every backend must match."""
+    """In-process loop — the reference semantics every backend must match.
+
+    Honours the retry/backoff half of the fault policy (timeouts need
+    preemption, which a single-threaded loop cannot do; worker crashes
+    cannot happen — there are no workers).
+    """
 
     name = "serial"
 
     def _run_chunks(self, fn, shared, chunks, n_tasks, progress, cancel,
-                    stage) -> list:
+                    stage, policy, fault_hook) -> list:
         started = time.perf_counter()
         results: list = []
-        for chunk in chunks:
+        for idx, chunk in enumerate(chunks):
             if cancel is not None:
                 cancel.raise_if_cancelled(stage)
-            results.extend(fn(shared, task) for task in chunk)
+            attempt = 0
+            while True:
+                try:
+                    chunk_results = [fn(shared, task) for task in chunk]
+                except JobCancelled:
+                    raise
+                except Exception as error:
+                    attempt += 1
+                    if attempt > policy.retries:
+                        raise TaskError(stage=stage, chunk_index=idx,
+                                        backend=self.name, attempts=attempt,
+                                        cause=error) from error
+                    self._emit_fault(fault_hook, "retry", stage, idx,
+                                     attempt, error, started)
+                    backoff_wait(policy.backoff * attempt, cancel, stage)
+                else:
+                    break
+            results.extend(chunk_results)
             if progress is not None:
                 progress(ProgressEvent(stage, len(results), n_tasks,
                                        time.perf_counter() - started))
@@ -132,33 +210,212 @@ class SerialExecutor(Executor):
 
 
 class _PooledExecutor(Executor):
-    """Shared chunk-collection logic for thread/process backends."""
+    """Shared chunk-collection and fault-recovery logic for the thread
+    and process backends.
 
-    def _collect(self, submit, chunks, n_tasks, progress, cancel, stage):
+    The collection loop is a small per-chunk state machine: every chunk
+    is submitted as one future; a task exception or timeout consumes one
+    unit of the chunk's retry budget (with deterministic linear backoff)
+    before resubmission; a broken pool triggers the policy's
+    ``on_worker_failure`` strategy; and an exhausted budget raises
+    :class:`TaskError` *after draining the pool*, so no zombie chunk is
+    still running when the exception reaches the caller.
+    """
+
+    #: True when a stuck worker can be killed on timeout (process pools);
+    #: thread workers cannot be interrupted, so their futures are
+    #: abandoned instead.
+    _kills_stuck_workers = False
+
+    def _submit(self, fn, shared, chunk):
+        """Submit one chunk to the (lazily built) pool; returns a future."""
+        raise NotImplementedError
+
+    def _discard_pool(self) -> None:
+        """Drop the current pool so the next submission builds a fresh one."""
+        raise NotImplementedError
+
+    def _terminate_workers(self) -> None:
+        """Forcibly stop pool workers (process backend only)."""
+
+    def _drain(self, pending) -> None:
+        for future in pending:
+            future.cancel()
+        running = {future for future in pending if not future.cancelled()}
+        if running:
+            wait(running, timeout=_DRAIN_TIMEOUT)
+
+    def _run_chunks(self, fn, shared, chunks, n_tasks, progress, cancel,
+                    stage, policy, fault_hook) -> list:
         started = time.perf_counter()
-        futures = {submit(chunk): idx for idx, chunk in enumerate(chunks)}
-        ordered: list = [None] * len(chunks)
+        results: list = [_UNSET] * len(chunks)
+        attempts = [0] * len(chunks)
+        crashes = 0
         completed_tasks = 0
-        pending = set(futures)
+        pending: set = set()
+        chunk_of: dict = {}
+        deadline_of: dict = {}
+        live: set = set()  # chunk indices with an active future
+
+        def forget(future) -> int:
+            pending.discard(future)
+            deadline_of.pop(future, None)
+            idx = chunk_of.pop(future)
+            live.discard(idx)
+            return idx
+
+        def forget_all() -> list:
+            lost = sorted(chunk_of.values())
+            pending.clear()
+            chunk_of.clear()
+            deadline_of.clear()
+            live.clear()
+            return lost
+
+        def submit(idx: int) -> None:
+            if idx in live:
+                return  # already resubmitted by a nested recovery
+            try:
+                future = self._submit(fn, shared, chunks[idx])
+            except BrokenExecutor as error:
+                # The pool died between our noticing and this submission;
+                # recover (or raise) through the same path as a broken
+                # future. Recursion is bounded by max_worker_crashes.
+                pool_failure(idx, error)
+                return
+            chunk_of[future] = idx
+            pending.add(future)
+            live.add(idx)
+            if policy.timeout is not None:
+                deadline_of[future] = time.monotonic() + policy.timeout
+
+        def record_success(idx: int, chunk_results) -> None:
+            nonlocal completed_tasks
+            if results[idx] is not _UNSET:
+                return  # duplicate completion after an abandoned timeout
+            results[idx] = chunk_results
+            completed_tasks += len(chunks[idx])
+            if progress is not None:
+                progress(ProgressEvent(stage, completed_tasks, n_tasks,
+                                       time.perf_counter() - started))
+
+        def unfinished() -> list:
+            return [idx for idx, slot in enumerate(results)
+                    if slot is _UNSET]
+
+        def task_failure(idx: int, error: BaseException) -> None:
+            # One chunk's own failure (task exception or timeout):
+            # bounded retry with deterministic linear backoff, then a
+            # structured TaskError. Timeouts are counted as incidents
+            # whether or not retry budget remains; "retry" records an
+            # actual resubmission.
+            attempts[idx] += 1
+            if isinstance(error, TimeoutError):
+                self._emit_fault(fault_hook, "timeout", stage, idx,
+                                 attempts[idx], error, started)
+            if attempts[idx] > policy.retries:
+                raise TaskError(stage=stage, chunk_index=idx,
+                                backend=self.name, attempts=attempts[idx],
+                                cause=error) from error
+            if not isinstance(error, TimeoutError):
+                self._emit_fault(fault_hook, "retry", stage, idx,
+                                 attempts[idx], error, started)
+            backoff_wait(policy.backoff * attempts[idx], cancel, stage)
+            submit(idx)
+
+        def pool_failure(idx: int, error: BaseException) -> None:
+            # The pool itself died: every in-flight chunk is lost, not
+            # just the one whose future surfaced the break.
+            nonlocal crashes
+            crashes += 1
+            forget_all()
+            self._discard_pool()
+            self._emit_fault(fault_hook, "worker_crash", stage, idx,
+                             attempts[idx], error, started)
+            if policy.on_worker_failure == "raise" \
+                    or crashes > policy.max_worker_crashes:
+                raise TaskError(stage=stage, chunk_index=idx,
+                                backend=self.name,
+                                attempts=attempts[idx] + 1,
+                                cause=error) from error
+            if policy.on_worker_failure == "serial":
+                # Graceful degradation: finish every remaining chunk in
+                # the parent process. Bit-identical because tasks are
+                # pure; slower, but the job completes.
+                self._emit_fault(fault_hook, "degraded", stage, idx,
+                                 attempts[idx], error, started)
+                for lost_idx in unfinished():
+                    if cancel is not None:
+                        cancel.raise_if_cancelled(stage)
+                    record_success(lost_idx, [fn(shared, task)
+                                              for task in chunks[lost_idx]])
+                return
+            # "retry": rebuild the pool lazily and resubmit only the
+            # chunks whose results were lost.
+            lost = unfinished()
+            for lost_idx in lost:
+                self._emit_fault(fault_hook, "retry", stage, lost_idx,
+                                 attempts[lost_idx], error, started)
+            backoff_wait(policy.backoff * crashes, cancel, stage)
+            for lost_idx in lost:
+                submit(lost_idx)
+
+        def expire_timeouts() -> None:
+            now = time.monotonic()
+            expired = [future for future, deadline in deadline_of.items()
+                       if deadline < now]
+            for future in expired:
+                if future not in chunk_of:
+                    continue
+                idx = forget(future)
+                error = TimeoutError(
+                    f"chunk {idx} exceeded the per-chunk timeout of "
+                    f"{policy.timeout:g}s")
+                if not future.cancel() and self._kills_stuck_workers:
+                    # Running in a worker we can only stop by killing the
+                    # pool; sibling in-flight chunks are collateral and
+                    # get resubmitted without consuming their budgets.
+                    self._terminate_workers()
+                    self._discard_pool()
+                    lost = forget_all()
+                    task_failure(idx, error)  # raises when budget exhausted
+                    for sibling in lost:
+                        submit(sibling)
+                else:
+                    # Never-started chunk, or a thread future we must
+                    # abandon (its worker cannot be interrupted; the task
+                    # is pure, so a duplicate completion is harmless).
+                    task_failure(idx, error)
+
         try:
+            for idx in range(len(chunks)):
+                submit(idx)
             while pending:
-                done, pending = wait(pending, timeout=0.1,
-                                     return_when=FIRST_COMPLETED)
+                done, _ = wait(pending, timeout=0.1,
+                               return_when=FIRST_COMPLETED)
                 for future in done:
-                    idx = futures[future]
-                    ordered[idx] = future.result()
-                    completed_tasks += len(chunks[idx])
-                    if progress is not None:
-                        progress(ProgressEvent(
-                            stage, completed_tasks, n_tasks,
-                            time.perf_counter() - started))
+                    if future not in chunk_of:
+                        continue  # forgotten by a pool failure/timeout
+                    idx = forget(future)
+                    try:
+                        chunk_results = future.result()
+                    except JobCancelled:
+                        raise
+                    except BrokenExecutor as error:
+                        pool_failure(idx, error)
+                    except Exception as error:
+                        task_failure(idx, error)
+                    else:
+                        record_success(idx, chunk_results)
+                if deadline_of:
+                    expire_timeouts()
                 if cancel is not None and cancel.cancelled:
                     raise JobCancelled(f"{stage} cancelled by caller")
         except BaseException:
-            for future in pending:
-                future.cancel()
+            self._drain(pending)
             raise
-        return [result for chunk in ordered for result in chunk]
+        return [result for chunk_results in results
+                for result in chunk_results]
 
 
 def _run_chunk_with_shared(fn, shared, chunk):
@@ -184,12 +441,14 @@ class ThreadExecutor(_PooledExecutor):
             self._pool = ThreadPoolExecutor(max_workers=self.effective_workers)
         return self._pool
 
-    def _run_chunks(self, fn, shared, chunks, n_tasks, progress, cancel,
-                    stage) -> list:
-        pool = self._ensure_pool()
-        return self._collect(
-            lambda chunk: pool.submit(_run_chunk_with_shared, fn, shared, chunk),
-            chunks, n_tasks, progress, cancel, stage)
+    def _submit(self, fn, shared, chunk):
+        return self._ensure_pool().submit(_run_chunk_with_shared, fn, shared,
+                                          chunk)
+
+    def _discard_pool(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=False, cancel_futures=True)
+            self._pool = None
 
     def close(self) -> None:
         if self._pool is not None:
@@ -218,10 +477,14 @@ class ProcessExecutor(_PooledExecutor):
 
     The pool is kept alive across :meth:`map` calls as long as ``shared``
     pickles to the same bytes (the common case: many scoring rounds over
-    one utility), and is transparently rebuilt when it changes.
+    one utility), and is transparently rebuilt when it changes — or when
+    the pool breaks (a worker died): any pool-level failure clears both
+    the pool and its digest, so the next submission always builds a
+    fresh, healthy pool instead of reusing a dead one.
     """
 
     name = "process"
+    _kills_stuck_workers = True
 
     def __init__(self, max_workers: int | None = None):
         super().__init__(max_workers)
@@ -238,6 +501,7 @@ class ProcessExecutor(_PooledExecutor):
         if self._pool is not None and digest != self._pool_digest:
             self._pool.shutdown(wait=True)
             self._pool = None
+            self._pool_digest = None
         if self._pool is None:
             self._pool = ProcessPoolExecutor(
                 max_workers=self.effective_workers,
@@ -245,12 +509,28 @@ class ProcessExecutor(_PooledExecutor):
             self._pool_digest = digest
         return self._pool
 
-    def _run_chunks(self, fn, shared, chunks, n_tasks, progress, cancel,
-                    stage) -> list:
-        pool = self._ensure_pool(shared)
-        return self._collect(
-            lambda chunk: pool.submit(_run_chunk_in_worker, fn, chunk),
-            chunks, n_tasks, progress, cancel, stage)
+    def _submit(self, fn, shared, chunk):
+        return self._ensure_pool(shared).submit(_run_chunk_in_worker, fn,
+                                                chunk)
+
+    def _discard_pool(self) -> None:
+        if self._pool is not None:
+            try:
+                self._pool.shutdown(wait=False, cancel_futures=True)
+            except Exception:  # a broken pool may refuse even shutdown
+                pass
+            self._pool = None
+            self._pool_digest = None
+
+    def _terminate_workers(self) -> None:
+        pool = self._pool
+        if pool is None:
+            return
+        for process in list(getattr(pool, "_processes", {}).values()):
+            try:
+                process.terminate()
+            except Exception:
+                pass
 
     def close(self) -> None:
         if self._pool is not None:

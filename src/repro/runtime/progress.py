@@ -6,7 +6,11 @@ lightweight protocol: executors emit :class:`ProgressEvent` records to a
 ``progress`` callable after every completed chunk, and poll a
 :class:`CancellationToken` between chunk submissions. Cancellation is
 *cooperative* — an in-flight model training finishes, but no new chunk is
-dispatched once the token trips, and the job raises :class:`JobCancelled`.
+dispatched once the token trips, and the job raises :class:`JobCancelled`
+after the remaining in-flight chunks drain. The fault-tolerance layer
+(:mod:`repro.runtime.faults`) speaks the same protocol: retry backoff
+waits are cancel-aware via :meth:`CancellationToken.wait`, so a job can
+be aborted even while it is sleeping between attempts.
 """
 
 from __future__ import annotations
@@ -60,6 +64,12 @@ class CancellationToken:
     @property
     def cancelled(self) -> bool:
         return self._event.is_set()
+
+    def wait(self, timeout: float) -> bool:
+        """Block up to ``timeout`` seconds; ``True`` when the token
+        tripped. Lets retry backoff sleeps abort immediately on
+        cancellation instead of sleeping the backoff out."""
+        return self._event.wait(timeout)
 
     def raise_if_cancelled(self, stage: str = "job") -> None:
         if self.cancelled:

@@ -227,10 +227,26 @@ def cpclean_greedy(X_dirty, y, X_clean, X_test, *, k: int = 3,
     trajectory, and ``n_cleaned``.
     """
     from repro.observe.observer import resolve_observer
-    from repro.runtime.runtime import resolve_runtime
+    from repro.runtime.runtime import Runtime, resolve_runtime
 
     observer = resolve_observer(observer)
+    # A runtime built here from a backend name is ours to close; one
+    # passed in by the caller is shared and stays open.
+    owns_runtime = runtime is not None and not isinstance(runtime, Runtime)
     runtime = resolve_runtime(runtime)
+    try:
+        return _cpclean_greedy_run(X_dirty, y, X_clean, X_test, k=k,
+                                   max_cleaned=max_cleaned, runtime=runtime,
+                                   observer=observer)
+    finally:
+        if owns_runtime and runtime is not None:
+            runtime.close()
+
+
+def _cpclean_greedy_run(X_dirty, y, X_clean, X_test, *, k, max_cleaned,
+                        runtime, observer) -> dict:
+    """The selection loop behind :func:`cpclean_greedy` (runtime and
+    observer already resolved)."""
     X_current = np.asarray(X_dirty, dtype=float).copy()
     X_clean = np.asarray(X_clean, dtype=float)
     y = np.asarray(y)

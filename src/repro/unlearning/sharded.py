@@ -60,7 +60,7 @@ class ShardedUnlearner:
     def __init__(self, model, n_shards: int = 5, seed=0, runtime=None,
                  observer=None):
         from repro.observe.observer import resolve_observer
-        from repro.runtime.runtime import resolve_runtime
+        from repro.runtime.runtime import Runtime, resolve_runtime
 
         if n_shards < 1:
             raise ValidationError("n_shards must be >= 1")
@@ -68,7 +68,23 @@ class ShardedUnlearner:
         self.n_shards = n_shards
         self.seed = seed
         self.runtime = resolve_runtime(runtime)
+        self._owns_runtime = (self.runtime is not None
+                              and not isinstance(runtime, Runtime))
         self.observer = resolve_observer(observer)
+
+    def close(self) -> None:
+        """Release the worker pool of a runtime this unlearner built for
+        itself (``runtime="thread"`` / ``"process"``); a caller-provided
+        :class:`~repro.runtime.Runtime` is left to its owner."""
+        if self._owns_runtime and self.runtime is not None:
+            self.runtime.close()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        self.close()
+        return False
 
     def fit(self, X, y) -> "ShardedUnlearner":
         X, y = check_X_y(X, y)

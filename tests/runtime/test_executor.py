@@ -9,6 +9,7 @@ from repro.runtime import (
     ProcessExecutor,
     ProgressRecorder,
     SerialExecutor,
+    TaskError,
     ThreadExecutor,
     get_executor,
 )
@@ -64,9 +65,15 @@ class TestMapContract:
                 assert out == [3 * i for i in range(11)]
 
     def test_worker_error_propagates(self, backend):
+        # A deterministic task failure exhausts its retry budget and
+        # surfaces as a structured TaskError with the original exception
+        # chained as __cause__ (see tests/runtime/test_faults.py).
         with get_executor(backend, max_workers=2) as executor:
-            with pytest.raises(ValueError, match="task 3 exploded"):
-                executor.map(_failing, range(6), shared=None, chunk_size=1)
+            with pytest.raises(TaskError, match="task 3 exploded") as info:
+                executor.map(_failing, range(6), shared=None, chunk_size=1,
+                             faults={"retries": 0})
+        assert info.value.chunk_index == 3
+        assert isinstance(info.value.__cause__, ValueError)
 
     def test_progress_events_cover_all_tasks(self, backend):
         recorder = ProgressRecorder()
