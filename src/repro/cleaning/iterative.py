@@ -10,6 +10,7 @@ one-shot cleaning of Figure 2.
 
 from __future__ import annotations
 
+import contextlib
 import inspect
 
 from dataclasses import dataclass, field
@@ -150,10 +151,21 @@ class IterativeCleaner:
         (``cleaning.run``) and each round (``cleaning.round``), counts
         rows cleaned, and logs per-round provenance events (round index,
         cleaned row ids, post-cleaning score).
+    checkpoint / checkpoint_every / resume_from:
+        Durable per-round snapshots (scores, cleaned row ids, RNG
+        state); a killed session resumed with ``resume_from=`` replays
+        the recorded repairs through the oracle (no re-scoring, no
+        retraining) and continues from the next round with an identical
+        trajectory. Requires an integer ``seed``. ``resume_from`` may
+        also carry *more* ``n_rounds`` than the original run — the
+        trajectory prefix is shared.
     """
 
     def __init__(self, model, strategy, oracle, *, encode, batch: int = 10,
-                 metric=accuracy_score, seed=0, runtime=None, observer=None):
+                 metric=accuracy_score, seed=0, runtime=None, observer=None,
+                 checkpoint=None, checkpoint_every: int = 1,
+                 resume_from=None):
+        from repro.importance.base import require_checkpoint_seed
         from repro.observe.observer import resolve_observer
         from repro.runtime.runtime import Runtime, resolve_runtime
 
@@ -169,6 +181,11 @@ class IterativeCleaner:
         self._owns_runtime = (self.runtime is not None
                               and not isinstance(runtime, Runtime))
         self.observer = resolve_observer(observer)
+        self.checkpoint = checkpoint
+        self.checkpoint_every = checkpoint_every
+        self.resume_from = resume_from
+        if checkpoint is not None or resume_from is not None:
+            require_checkpoint_seed(seed, "IterativeCleaner")
         parameters = inspect.signature(self.strategy).parameters
         self._strategy_takes_runtime = "runtime" in parameters
 
@@ -186,6 +203,29 @@ class IterativeCleaner:
         self.close()
         return False
 
+    def _checkpointer(self, X, y, X_valid, y_valid):
+        """Build the per-run :class:`~repro.runtime.LoopCheckpointer`
+        (``None`` when checkpointing is off). The identity fingerprint
+        covers everything that shapes the trajectory — strategy, batch,
+        seed, model, data, metric — but *not* ``n_rounds`` (a prefix
+        property: resuming with more rounds extends the same
+        trajectory) nor the runtime backend."""
+        if self.checkpoint is None and self.resume_from is None:
+            return None
+        from repro.runtime.cache import fingerprint
+        from repro.runtime.checkpoint import LoopCheckpointer
+
+        identity = fingerprint(
+            "checkpoint.cleaning.iterative",
+            getattr(self.strategy, "__name__", "custom"), self.batch,
+            int(self.seed), self.model, X, y, np.asarray(X_valid),
+            np.asarray(y_valid), self.metric)
+        return LoopCheckpointer(self.checkpoint, kind="cleaning.iterative",
+                                identity=identity,
+                                every=self.checkpoint_every,
+                                observer=self.observer,
+                                resume_from=self.resume_from)
+
     def run(self, dirty_frame: DataFrame, X_valid, y_valid, *,
             n_rounds: int) -> CleaningResult:
         """Execute the loop; returns the quality trajectory."""
@@ -196,15 +236,47 @@ class IterativeCleaner:
         result = CleaningResult()
         current = dirty_frame
         X, y = self.encode(current)
-        result.scores.append(self._evaluate(X, y, X_valid, y_valid))
+
+        ckpt = self._checkpointer(X, y, X_valid, y_valid)
+        cleaned_rounds: list[list[int]] = []
+        if ckpt is not None:
+            payload = ckpt.resume()
+            if payload is not None:
+                # Replay the recorded repairs through the oracle — no
+                # strategy re-scoring, no retraining — and put the RNG
+                # exactly where the interrupted run left it.
+                result.scores.extend(
+                    float.fromhex(s) for s in payload["scores"])
+                for ids in payload["cleaned"]:
+                    row_ids = np.asarray(ids)
+                    current = self.oracle.clean(current, row_ids)
+                    result.cleaned_ids.extend(int(r) for r in ids)
+                    cleaned_rounds.append([int(r) for r in ids])
+                X, y = self.encode(current)
+                result.rounds = int(payload["completed"])
+                rng.bit_generator.state = payload["rng_state"]
+                ckpt.record_skipped(completed=result.rounds, total=n_rounds,
+                                    method="cleaning.iterative")
+        if not result.scores:
+            result.scores.append(self._evaluate(X, y, X_valid, y_valid))
+
+        # Snapshot dict rebuilt (and swapped atomically) at every round
+        # boundary, so a signal flush mid-round persists the last
+        # *consistent* state — never a half-updated round.
+        snapshot = {"completed": result.rounds,
+                    "scores": [s.hex() for s in result.scores],
+                    "cleaned": [list(ids) for ids in cleaned_rounds],
+                    "rng_state": rng.bit_generator.state}
+        guard = ckpt.armed(lambda: snapshot) if ckpt is not None \
+            else contextlib.nullcontext()
 
         strategy_name = getattr(self.strategy, "__name__", "custom")
         cache = self.runtime.cache if self.runtime is not None else None
         strategy_kwargs = {"runtime": self.runtime} \
             if self._strategy_takes_runtime else {}
         with obs.span("cleaning.run", strategy=strategy_name,
-                      cache=cache, batch=self.batch, rounds=n_rounds):
-            for round_index in range(n_rounds):
+                      cache=cache, batch=self.batch, rounds=n_rounds), guard:
+            for round_index in range(result.rounds, n_rounds):
                 with obs.span("cleaning.round", round=round_index):
                     scores = np.asarray(
                         self.strategy(self.model, X, y, X_valid, y_valid, rng,
@@ -220,6 +292,14 @@ class IterativeCleaner:
                     result.scores.append(
                         self._evaluate(X, y, X_valid, y_valid))
                     result.rounds += 1
+                    cleaned_rounds.append([int(r) for r in row_ids])
+                    snapshot = {"completed": result.rounds,
+                                "scores": [s.hex() for s in result.scores],
+                                "cleaned": [list(ids)
+                                            for ids in cleaned_rounds],
+                                "rng_state": rng.bit_generator.state}
+                    if ckpt is not None:
+                        ckpt.maybe_flush(result.rounds)
                 if obs.enabled:
                     obs.count("cleaning.rows_cleaned", len(row_ids))
                     obs.event("cleaning.round", round=round_index,

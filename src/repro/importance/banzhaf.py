@@ -17,12 +17,22 @@ worker count, or completion order.
 
 from __future__ import annotations
 
+import contextlib
+
 import numpy as np
 
 from repro.core.exceptions import ValidationError
 from repro.core.rng import spawn_rngs
-from repro.importance.base import Utility, emit_importance_run
+from repro.importance.base import (
+    Utility,
+    emit_importance_run,
+    hex_floats,
+    open_checkpoint_session,
+    require_checkpoint_seed,
+    unhex_floats,
+)
 from repro.observe.observer import resolve_observer
+from repro.runtime.cache import fingerprint
 
 
 class DataBanzhaf:
@@ -38,14 +48,30 @@ class DataBanzhaf:
         Optional :class:`repro.observe.Observer`: spans :meth:`score`,
         counts coalitions sampled and utility evaluations, and logs a
         replayable ``importance.run`` event.
+    checkpoint / checkpoint_every / resume_from:
+        Durable checkpointing of completed coalition evaluations (see
+        :class:`~repro.importance.MonteCarloShapley` — identical
+        semantics with the coalition, not the permutation, as the unit
+        of work). Requires an integer ``seed``. With checkpointing the
+        coalition batch is split at the cadence, which changes nothing
+        about the estimate; ``utility.calls`` can only differ if the
+        same coalition is sampled twice *and* every cache layer was
+        disabled.
     """
 
-    def __init__(self, n_samples: int = 200, seed=None, observer=None):
+    def __init__(self, n_samples: int = 200, seed=None, observer=None,
+                 checkpoint=None, checkpoint_every: int = 25,
+                 resume_from=None):
         if n_samples < 2:
             raise ValidationError("n_samples must be >= 2")
         self.n_samples = n_samples
         self.seed = seed
         self.observer = resolve_observer(observer)
+        self.checkpoint = checkpoint
+        self.checkpoint_every = checkpoint_every
+        self.resume_from = resume_from
+        if checkpoint is not None or resume_from is not None:
+            require_checkpoint_seed(seed, "banzhaf")
 
     def score(self, utility: Utility) -> np.ndarray:
         """Estimate Banzhaf values for every player of ``utility``."""
@@ -63,12 +89,26 @@ class DataBanzhaf:
             values=values)
         return values
 
+    def _identity(self, utility: Utility) -> str:
+        return fingerprint("checkpoint.banzhaf", self.n_samples,
+                           int(self.seed), utility.base_fingerprint())
+
     def _score(self, utility: Utility) -> np.ndarray:
         n = utility.n_players
         memberships = [rng.uniform(size=n) < 0.5
                        for rng in spawn_rngs(self.seed, self.n_samples)]
-        values = utility.evaluate_many(
-            [np.flatnonzero(m) for m in memberships], stage="banzhaf")
+        session = open_checkpoint_session(
+            utility, checkpoint=self.checkpoint,
+            resume_from=self.resume_from, every=self.checkpoint_every,
+            kind="importance.banzhaf",
+            identity=self._identity(utility)
+            if (self.checkpoint is not None or self.resume_from is not None)
+            else "", observer=self.observer)
+        try:
+            values = self._evaluate(utility, memberships, session)
+        finally:
+            if session is not None:
+                session.close()
 
         sum_in = np.zeros(n)
         count_in = np.zeros(n)
@@ -86,3 +126,29 @@ class DataBanzhaf:
         mean_in = np.divide(sum_in, count_in, out=np.zeros(n), where=count_in > 0)
         mean_out = np.divide(sum_out, count_out, out=np.zeros(n), where=count_out > 0)
         return mean_in - mean_out
+
+    def _evaluate(self, utility, memberships, session) -> np.ndarray:
+        """Coalition values in sample order; one batch normally, cadence
+        slices (restored prefix skipped) when checkpointing."""
+        if session is None:
+            return utility.evaluate_many(
+                [np.flatnonzero(m) for m in memberships], stage="banzhaf")
+        values = np.empty(self.n_samples)
+        done = 0
+        payload = session.resume()
+        if payload is not None:
+            restored = unhex_floats(payload["values"])
+            values[:len(restored)] = restored
+            done = len(restored)
+            session.record_skipped(completed=done, total=self.n_samples,
+                                   method="banzhaf")
+        with session.session(lambda: done,
+                             lambda: {"values": hex_floats(values[:done])}):
+            while done < self.n_samples:
+                end = min(done + session.every, self.n_samples)
+                chunk = [np.flatnonzero(m) for m in memberships[done:end]]
+                values[done:end] = utility.evaluate_many(chunk,
+                                                         stage="banzhaf")
+                done = end
+                session.maybe_flush(done)
+        return values

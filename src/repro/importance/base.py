@@ -33,6 +33,7 @@ from repro.importance.kernels import CoalitionKernel, build_kernel
 from repro.ml.base import clone
 from repro.ml.metrics import accuracy_score
 from repro.runtime.cache import fingerprint
+from repro.runtime.checkpoint import LoopCheckpointer
 from repro.runtime.runtime import Runtime, resolve_runtime
 
 
@@ -427,6 +428,16 @@ class Utility:
         if fallback_retrains:
             observer.count("kernel.fallback_retrains", fallback_retrains)
 
+    def restore_accounting(self, *, calls: int = 0, kernel_steps: int = 0,
+                           fallback_retrains: int = 0) -> None:
+        """Fold a resumed checkpoint's recorded work back into the
+        counters, so a resumed run reports the same training/kernel
+        totals as an uninterrupted one (the skipped permutations'
+        trainings happened — in the killed process)."""
+        self.calls += int(calls)
+        self.kernel_steps += int(kernel_steps)
+        self.fallback_retrains += int(fallback_retrains)
+
     def cache_info(self) -> dict:
         """Counters for reports: trainings, memo size, kernel path
         counters, runtime stats."""
@@ -446,6 +457,137 @@ class Utility:
 def _majority_class(y: np.ndarray):
     classes, counts = np.unique(y, return_counts=True)
     return classes[np.argmax(counts)]
+
+
+# --- checkpoint/resume plumbing shared by the estimator loops ---------------
+
+def hex_floats(values) -> list[str]:
+    """Bitwise-exact serialization of a float sequence (``float.hex``)."""
+    return [float(v).hex() for v in values]
+
+
+def unhex_floats(hexes) -> np.ndarray:
+    """Inverse of :func:`hex_floats`; restores the exact bit patterns."""
+    return np.array([float.fromhex(h) for h in hexes], dtype=float)
+
+
+def require_checkpoint_seed(seed, method: str) -> int:
+    """Checkpoint/resume needs the sample stream to be regenerable: the
+    resumed process re-derives permutation/coalition ``i`` from
+    ``spawn_rngs(seed, n)[i]``, which is only deterministic for an
+    integer root seed (``None`` draws OS entropy; a shared ``Generator``
+    carries cross-run state)."""
+    if isinstance(seed, (int, np.integer)) and not isinstance(seed, bool):
+        return int(seed)
+    raise ValidationError(
+        f"{method}: checkpoint=/resume_from= require an integer seed so "
+        "the resumed run regenerates the identical sample streams — got "
+        f"{type(seed).__name__}")
+
+
+class _CheckpointSession:
+    """One estimator run's checkpoint state: cadence, utility-counter
+    deltas, and the fingerprint-cache put journal.
+
+    Wraps a :class:`~repro.runtime.LoopCheckpointer` with the
+    accounting every utility-driven loop needs for hex-identical
+    resumption: the snapshot carries (cumulatively, since the *original*
+    run's start) the trainings performed, the kernel path counters, and
+    every ``(key, value)`` the run put into the runtime's
+    :class:`~repro.runtime.FingerprintCache` — so a resumed run restores
+    the skipped work's side effects (``Utility.calls``, cache keys and
+    bitwise values) exactly, not just its scores.
+    """
+
+    def __init__(self, utility: "Utility", *, checkpoint, resume_from,
+                 every: int, kind: str, identity: str, observer):
+        self.ckpt = LoopCheckpointer(checkpoint, kind=kind,
+                                     identity=identity, every=every,
+                                     observer=observer,
+                                     resume_from=resume_from)
+        self.utility = utility
+        self.cache = utility.runtime.cache if utility.runtime is not None \
+            else None
+        self._calls_base = utility.calls
+        self._kernel_base = utility.kernel_steps
+        self._fallback_base = utility.fallback_retrains
+        # Journal from the very start so snapshots carry the cumulative
+        # cache writes; resume() re-puts the restored entries *through*
+        # the journal, keeping the cumulative invariant across kills.
+        self._journal = self.cache.start_journal() \
+            if self.cache is not None else None
+
+    @property
+    def every(self) -> int:
+        return self.ckpt.every
+
+    def resume(self) -> dict | None:
+        """Load the snapshot and replay its side effects (counters,
+        cache entries); returns the payload for the loop to replay its
+        scores out of, or ``None`` to start fresh."""
+        payload = self.ckpt.resume()
+        if payload is None:
+            return None
+        self.utility.restore_accounting(
+            calls=payload.get("calls", 0),
+            kernel_steps=payload.get("kernel_steps", 0),
+            fallback_retrains=payload.get("fallback_retrains", 0))
+        if self.cache is not None:
+            for key, hexval in payload.get("cache_entries", []):
+                self.cache.put(key, float.fromhex(hexval))
+        return payload
+
+    def record_skipped(self, *, completed: int, total: int,
+                       **extra) -> None:
+        self.ckpt.record_skipped(completed=completed, total=total,
+                                 skipped_units=completed, **extra)
+
+    def base_state(self, completed: int) -> dict:
+        utility = self.utility
+        return {
+            "completed": int(completed),
+            "calls": utility.calls - self._calls_base,
+            "kernel_steps": utility.kernel_steps - self._kernel_base,
+            "fallback_retrains":
+                utility.fallback_retrains - self._fallback_base,
+            "cache_entries": [[key, float(value).hex()]
+                              for key, value in self._journal]
+            if self._journal is not None else [],
+        }
+
+    def session(self, completed_fn, extra_fn):
+        """Arm the snapshot provider; returns the signal-flush guard to
+        wrap the loop body in (``with session.session(...):``)."""
+        def state() -> dict:
+            payload = self.base_state(completed_fn())
+            payload.update(extra_fn())
+            return payload
+        return self.ckpt.armed(state)
+
+    def maybe_flush(self, completed: int) -> None:
+        self.ckpt.maybe_flush(completed)
+
+    def close(self) -> None:
+        if self._journal is not None and self.cache is not None:
+            self.cache.stop_journal(self._journal)
+
+
+def open_checkpoint_session(utility: "Utility", *, checkpoint, resume_from,
+                            every: int, kind: str, identity: str,
+                            observer) -> _CheckpointSession | None:
+    """Build the estimator-side checkpoint session, or ``None`` when
+    neither ``checkpoint=`` nor ``resume_from=`` was given (the loop
+    then runs exactly its pre-checkpoint code path). Falls back to the
+    runtime's observer when the estimator has none, so checkpoint
+    accounting lands wherever the run is being observed."""
+    if checkpoint is None and resume_from is None:
+        return None
+    if not observer.enabled and utility.runtime is not None:
+        observer = utility.runtime.observer
+    return _CheckpointSession(utility, checkpoint=checkpoint,
+                              resume_from=resume_from, every=every,
+                              kind=kind, identity=identity,
+                              observer=observer)
 
 
 def emit_importance_run(observer, *, method: str, params: dict, seed,

@@ -21,8 +21,16 @@ from scipy.special import betaln, gammaln
 
 from repro.core.exceptions import ValidationError
 from repro.core.rng import spawn_rngs
-from repro.importance.base import Utility, emit_importance_run
+from repro.importance.base import (
+    Utility,
+    emit_importance_run,
+    hex_floats,
+    open_checkpoint_session,
+    require_checkpoint_seed,
+    unhex_floats,
+)
 from repro.observe.observer import resolve_observer
+from repro.runtime.cache import fingerprint
 
 
 def beta_size_weights(n: int, alpha: float, beta: float) -> np.ndarray:
@@ -59,10 +67,17 @@ class BetaShapley:
         Optional :class:`repro.observe.Observer`: spans :meth:`score`,
         counts permutations walked and utility evaluations, and logs a
         replayable ``importance.run`` event.
+    checkpoint / checkpoint_every / resume_from:
+        Durable snapshots of completed permutation walks, same contract
+        as :class:`~repro.importance.MonteCarloShapley`: requires an
+        integer ``seed``, and a resumed run is hex-identical to an
+        uninterrupted one on any backend.
     """
 
     def __init__(self, alpha: float = 16.0, beta: float = 1.0,
-                 n_permutations: int = 100, seed=None, observer=None):
+                 n_permutations: int = 100, seed=None, observer=None,
+                 checkpoint=None, checkpoint_every: int = 10,
+                 resume_from=None):
         if n_permutations < 1:
             raise ValidationError("n_permutations must be >= 1")
         self.alpha = alpha
@@ -70,6 +85,11 @@ class BetaShapley:
         self.n_permutations = n_permutations
         self.seed = seed
         self.observer = resolve_observer(observer)
+        self.checkpoint = checkpoint
+        self.checkpoint_every = checkpoint_every
+        self.resume_from = resume_from
+        if checkpoint is not None or resume_from is not None:
+            require_checkpoint_seed(seed, "beta_shapley")
 
     def score(self, utility: Utility) -> np.ndarray:
         """Estimate Beta Shapley values for every player of ``utility``.
@@ -94,6 +114,11 @@ class BetaShapley:
             values=values)
         return values
 
+    def _identity(self, utility: Utility) -> str:
+        return fingerprint("checkpoint.beta_shapley", self.alpha, self.beta,
+                           self.n_permutations, int(self.seed),
+                           utility.base_fingerprint())
+
     def _score(self, utility: Utility) -> np.ndarray:
         n = utility.n_players
         # Importance weight: marginal at size j appears w.p. 1/n under
@@ -101,8 +126,42 @@ class BetaShapley:
         size_weight = n * beta_size_weights(n, self.alpha, self.beta)
         permutations = [rng.permutation(n)
                         for rng in spawn_rngs(self.seed, self.n_permutations)]
-        walks = utility.walk_permutations(permutations, stage="beta_shapley")
+        session = open_checkpoint_session(
+            utility, checkpoint=self.checkpoint,
+            resume_from=self.resume_from, every=self.checkpoint_every,
+            kind="importance.beta_shapley",
+            identity=self._identity(utility)
+            if (self.checkpoint is not None or self.resume_from is not None)
+            else "", observer=self.observer)
+        try:
+            walks = self._walk(utility, permutations, session)
+        finally:
+            if session is not None:
+                session.close()
         running = np.zeros(n)
         for permutation, marginals in zip(permutations, walks):
             running[permutation] += size_weight * marginals
         return running / self.n_permutations
+
+    def _walk(self, utility, permutations, session) -> list:
+        """Marginal arrays in permutation order; one batch normally,
+        cadence batches (restored prefix skipped) when checkpointing."""
+        if session is None:
+            return utility.walk_permutations(permutations,
+                                             stage="beta_shapley")
+        walks: list[np.ndarray] = []
+        payload = session.resume()
+        if payload is not None:
+            walks = [unhex_floats(m) for m in payload["marginals"]]
+            session.record_skipped(completed=len(walks),
+                                   total=self.n_permutations,
+                                   method="beta_shapley")
+        with session.session(
+                lambda: len(walks),
+                lambda: {"marginals": [hex_floats(m) for m in walks]}):
+            while len(walks) < self.n_permutations:
+                batch = permutations[len(walks):len(walks) + session.every]
+                walks.extend(utility.walk_permutations(
+                    batch, stage="beta_shapley"))
+                session.maybe_flush(len(walks))
+        return walks

@@ -10,11 +10,20 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.importance.base import Utility, emit_importance_run
+from repro.importance.base import (
+    Utility,
+    emit_importance_run,
+    hex_floats,
+    open_checkpoint_session,
+    unhex_floats,
+)
 from repro.observe.observer import resolve_observer
+from repro.runtime.cache import fingerprint
 
 
-def leave_one_out(utility: Utility, *, observer=None) -> np.ndarray:
+def leave_one_out(utility: Utility, *, observer=None, checkpoint=None,
+                  checkpoint_every: int = 25,
+                  resume_from=None) -> np.ndarray:
     """Compute LOO values for every player of ``utility``.
 
     Returns an array of length ``utility.n_players`` following the
@@ -23,24 +32,67 @@ def leave_one_out(utility: Utility, *, observer=None) -> np.ndarray:
     The ``n`` drop-one retrainings are independent, so they are submitted
     as one batch through ``utility.runtime`` (inline when absent).
     ``observer`` (a :class:`repro.observe.Observer`) spans the sweep and
-    logs a replayable ``importance.run`` event.
+    logs a replayable ``importance.run`` event. ``checkpoint`` /
+    ``checkpoint_every`` / ``resume_from`` durably snapshot completed
+    drop-one evaluations (LOO is deterministic, so no seed is needed);
+    a resumed sweep is hex-identical to an uninterrupted one.
     """
     obs = resolve_observer(observer)
     if not obs.enabled:
-        return _leave_one_out(utility)
+        return _leave_one_out(utility, observer=obs, checkpoint=checkpoint,
+                              checkpoint_every=checkpoint_every,
+                              resume_from=resume_from)
     calls_before = utility.calls
     cache = utility.runtime.cache if utility.runtime is not None else None
     with obs.span("leave_one_out", cache=cache, players=utility.n_players):
-        values = _leave_one_out(utility)
+        values = _leave_one_out(utility, observer=obs, checkpoint=checkpoint,
+                                checkpoint_every=checkpoint_every,
+                                resume_from=resume_from)
     emit_importance_run(
         obs, method="leave_one_out", params={}, seed=None, utility=utility,
         calls_before=calls_before, values=values)
     return values
 
 
-def _leave_one_out(utility: Utility) -> np.ndarray:
+def _leave_one_out(utility: Utility, *, observer=None, checkpoint=None,
+                   checkpoint_every: int = 25,
+                   resume_from=None) -> np.ndarray:
     n = utility.n_players
-    full = utility.full_value()
     everyone = np.arange(n)
     drop_one = [np.delete(everyone, i) for i in range(n)]
-    return full - utility.evaluate_many(drop_one, stage="leave_one_out")
+    session = open_checkpoint_session(
+        utility, checkpoint=checkpoint, resume_from=resume_from,
+        every=checkpoint_every, kind="importance.loo",
+        identity=fingerprint("checkpoint.loo", utility.base_fingerprint())
+        if (checkpoint is not None or resume_from is not None) else "",
+        observer=observer)
+    if session is None:
+        full = utility.full_value()
+        return full - utility.evaluate_many(drop_one, stage="leave_one_out")
+    try:
+        full = None
+        values = np.empty(n)
+        done = 0
+        payload = session.resume()
+        if payload is not None:
+            full = float.fromhex(payload["full_value"])
+            restored = unhex_floats(payload["values"])
+            values[:len(restored)] = restored
+            done = len(restored)
+            session.record_skipped(completed=done, total=n,
+                                   method="leave_one_out")
+        if full is None:
+            full = utility.full_value()
+        with session.session(
+                lambda: done,
+                lambda: {"full_value": full.hex(),
+                         "values": hex_floats(values[:done])}):
+            while done < n:
+                end = min(done + session.every, n)
+                values[done:end] = utility.evaluate_many(
+                    drop_one[done:end], stage="leave_one_out")
+                done = end
+                session.maybe_flush(done)
+    finally:
+        session.close()
+    return full - values

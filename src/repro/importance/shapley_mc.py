@@ -19,12 +19,22 @@ pure function of ``(seed, n_permutations)`` — identical across the
 
 from __future__ import annotations
 
+import contextlib
+
 import numpy as np
 
 from repro.core.exceptions import ValidationError
 from repro.core.rng import spawn_rngs
-from repro.importance.base import Utility, emit_importance_run
+from repro.importance.base import (
+    Utility,
+    emit_importance_run,
+    hex_floats,
+    open_checkpoint_session,
+    require_checkpoint_seed,
+    unhex_floats,
+)
 from repro.observe.observer import resolve_observer
+from repro.runtime.cache import fingerprint
 
 
 class MonteCarloShapley:
@@ -46,11 +56,29 @@ class MonteCarloShapley:
         a ``shapley_mc`` span, counts permutations walked and utility
         evaluations, and logs one replayable ``importance.run`` event
         (method, params, seed, data fingerprint, score summary).
+    checkpoint:
+        Optional :class:`~repro.runtime.CheckpointStore` (or directory
+        path): completed permutation walks are snapshotted every
+        ``checkpoint_every`` walks — and once more on SIGTERM/SIGINT —
+        so a killed run can be resumed. Requires an integer ``seed``
+        (the resumed process regenerates permutation ``i`` from
+        ``spawn_rngs(seed, n)[i]``).
+    checkpoint_every:
+        Snapshot cadence in completed permutations.
+    resume_from:
+        Store (or path) holding a prior run's checkpoint; the snapshot's
+        walks are replayed (marginals restored bitwise from
+        ``float.hex``, utility call counts and fingerprint-cache entries
+        re-applied) and only the remaining permutations are evaluated.
+        The resumed estimate — scores, ``utility.calls``, cache keys —
+        is hex-identical to an uninterrupted run on any backend. A
+        snapshot from a different job (params/seed/data) is rejected.
     """
 
     def __init__(self, n_permutations: int = 100, truncation_tol: float = 0.01,
                  convergence_tol: float | None = None, convergence_window: int = 10,
-                 seed=None, observer=None):
+                 seed=None, observer=None, checkpoint=None,
+                 checkpoint_every: int = 10, resume_from=None):
         if n_permutations < 1:
             raise ValidationError("n_permutations must be >= 1")
         if truncation_tol < 0:
@@ -61,6 +89,11 @@ class MonteCarloShapley:
         self.convergence_window = convergence_window
         self.seed = seed
         self.observer = resolve_observer(observer)
+        self.checkpoint = checkpoint
+        self.checkpoint_every = checkpoint_every
+        self.resume_from = resume_from
+        if checkpoint is not None or resume_from is not None:
+            require_checkpoint_seed(seed, "shapley_mc")
 
     def score(self, utility: Utility) -> np.ndarray:
         """Estimate Shapley values for every player of ``utility``.
@@ -88,13 +121,65 @@ class MonteCarloShapley:
             values=values, permutations_used=self.n_permutations_used_)
         return values
 
+    def _identity(self, utility: Utility) -> str:
+        return fingerprint(
+            "checkpoint.shapley_mc", self.n_permutations,
+            self.truncation_tol, self.convergence_tol,
+            self.convergence_window, int(self.seed),
+            utility.base_fingerprint())
+
     def _score(self, utility: Utility) -> np.ndarray:
         n = utility.n_players
         permutations = [rng.permutation(n)
                         for rng in spawn_rngs(self.seed, self.n_permutations)]
-        full_value = utility.full_value()
+        session = open_checkpoint_session(
+            utility, checkpoint=self.checkpoint,
+            resume_from=self.resume_from, every=self.checkpoint_every,
+            kind="importance.shapley_mc",
+            identity=self._identity(utility)
+            if (self.checkpoint is not None or self.resume_from is not None)
+            else "", observer=self.observer)
+        try:
+            return self._score_loop(utility, permutations, session)
+        finally:
+            if session is not None:
+                session.close()
+
+    def _score_loop(self, utility, permutations, session) -> np.ndarray:
+        n = utility.n_players
+        full_value = None
+        completed: list[np.ndarray] = []  # marginal arrays, walk order
+        if session is not None:
+            payload = session.resume()
+            if payload is not None:
+                full_value = float.fromhex(payload["full_value"])
+                completed = [unhex_floats(m) for m in payload["marginals"]]
+                session.record_skipped(completed=len(completed),
+                                       total=self.n_permutations,
+                                       method="shapley_mc")
+        if full_value is None:
+            full_value = utility.full_value()
+
         running = np.zeros(n)
         history: list[np.ndarray] = []
+        t = 0
+
+        def accumulate(permutation, marginals) -> np.ndarray | None:
+            """Fold one walk in, in order; the converged estimate when
+            the stability criterion fires, else ``None``."""
+            nonlocal t
+            t += 1
+            running[permutation] += marginals
+            if self.convergence_tol is not None:
+                history.append(running / t)
+                if len(history) > self.convergence_window:
+                    drift = np.abs(
+                        history[-1] - history[-1 - self.convergence_window])
+                    scale = np.abs(history[-1]) + 1e-12
+                    if float(np.mean(drift / scale)) < self.convergence_tol:
+                        self.n_permutations_used_ = t
+                        return running / t
+            return None
 
         workers = (utility.runtime.executor.effective_workers
                    if utility.runtime is not None else 1)
@@ -105,23 +190,37 @@ class MonteCarloShapley:
             # starving the pool; a converged batch discards at most
             # batch_size - 1 extra walks.
             batch_size = max(self.convergence_window, workers)
+        if session is not None:
+            # Walks land at cadence boundaries, so every snapshot is a
+            # consistent prefix and resumed batching realigns with the
+            # original run's.
+            batch_size = min(batch_size, session.every)
 
-        t = 0
-        for start in range(0, self.n_permutations, batch_size):
-            batch = permutations[start:start + batch_size]
-            walks = utility.walk_permutations(
-                batch, truncation_tol=self.truncation_tol,
-                full_value=full_value, stage="shapley_mc")
-            for permutation, marginals in zip(batch, walks):
-                t += 1
-                running[permutation] += marginals
-                if self.convergence_tol is not None:
-                    history.append(running / t)
-                    if len(history) > self.convergence_window:
-                        drift = np.abs(history[-1] - history[-1 - self.convergence_window])
-                        scale = np.abs(history[-1]) + 1e-12
-                        if float(np.mean(drift / scale)) < self.convergence_tol:
-                            self.n_permutations_used_ = t
-                            return running / t
+        guard = session.session(
+            lambda: t, lambda: {"full_value": full_value.hex(),
+                                "marginals": [hex_floats(m)
+                                              for m in completed]},
+        ) if session is not None else contextlib.nullcontext()
+        with guard:
+            # Replay the snapshot's walks first — per permutation, in
+            # order, through the same accumulator — so running sums,
+            # history, and any convergence decision are bit-identical
+            # to the uninterrupted run's.
+            for marginals in completed:
+                converged = accumulate(permutations[t], marginals)
+                if converged is not None:
+                    return converged
+            while t < self.n_permutations:
+                batch = permutations[t:t + batch_size]
+                walks = utility.walk_permutations(
+                    batch, truncation_tol=self.truncation_tol,
+                    full_value=full_value, stage="shapley_mc")
+                completed.extend(walks)
+                for permutation, marginals in zip(batch, walks):
+                    converged = accumulate(permutation, marginals)
+                    if converged is not None:
+                        return converged
+                if session is not None:
+                    session.maybe_flush(t)
         self.n_permutations_used_ = t
         return running / t

@@ -15,6 +15,11 @@ it". This package turns that loop into shared infrastructure:
   :class:`FaultPolicy` controls per-chunk retries/backoff/timeouts and
   broken-pool recovery, and :class:`TaskError` attributes an exhausted
   budget to its stage and chunk.
+- :mod:`~repro.runtime.checkpoint` makes long jobs survive *driver*
+  death: :class:`CheckpointStore` is a durable, crash-safe snapshot
+  store (atomic write-rename, content hash, schema version per record)
+  and every long-running loop accepts ``checkpoint=`` / ``resume_from=``
+  for bit-identical resumption after a kill.
 - :class:`Runtime` bundles them into the single ``runtime=`` handle
   the compute layers accept.
 
@@ -34,6 +39,17 @@ from repro.runtime.cache import (
     aggregate_cache_stats,
     data_fingerprint,
     fingerprint,
+)
+from repro.runtime.checkpoint import (
+    CHECKPOINT_SCHEMA,
+    Checkpointable,
+    CheckpointRecord,
+    CheckpointStore,
+    LoopCheckpointer,
+    flush_on_shutdown,
+    register_shutdown_flush,
+    resolve_checkpoint_store,
+    unregister_shutdown_flush,
 )
 from repro.runtime.executor import (
     BACKENDS,
@@ -64,21 +80,27 @@ from repro.runtime.runtime import (
     Runtime,
     aggregate_fault_stats,
     aggregate_stage_timings,
+    close_all_runtimes,
     resolve_runtime,
 )
 
 __all__ = [
     "BACKENDS",
+    "CHECKPOINT_SCHEMA",
     "DEFAULT_FAULT_POLICY",
     "MAX_CHUNK_SIZE",
     "CacheStats",
     "CancellationToken",
+    "Checkpointable",
+    "CheckpointRecord",
+    "CheckpointStore",
     "Executor",
     "FaultEvent",
     "FaultPolicy",
     "FaultStats",
     "FingerprintCache",
     "JobCancelled",
+    "LoopCheckpointer",
     "ProcessExecutor",
     "ProgressEvent",
     "ProgressRecorder",
@@ -91,9 +113,14 @@ __all__ = [
     "aggregate_fault_stats",
     "aggregate_stage_timings",
     "cancel_after",
+    "close_all_runtimes",
     "data_fingerprint",
     "fingerprint",
+    "flush_on_shutdown",
     "get_executor",
+    "register_shutdown_flush",
+    "resolve_checkpoint_store",
     "resolve_fault_policy",
     "resolve_runtime",
+    "unregister_shutdown_flush",
 ]

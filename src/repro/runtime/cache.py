@@ -34,6 +34,7 @@ import numpy as np
 from repro.core.exceptions import ValidationError
 
 _MISSING = object()
+_CORRUPT = object()
 
 
 # --- stable fingerprinting -------------------------------------------------
@@ -111,6 +112,7 @@ class CacheStats:
     misses: int = 0
     puts: int = 0
     evictions: int = 0
+    disk_corrupt: int = 0
 
     @property
     def hits(self) -> int:
@@ -127,7 +129,8 @@ class CacheStats:
     def as_dict(self) -> dict:
         return {"memory_hits": self.memory_hits, "disk_hits": self.disk_hits,
                 "misses": self.misses, "puts": self.puts,
-                "evictions": self.evictions, "hit_rate": self.hit_rate}
+                "evictions": self.evictions,
+                "disk_corrupt": self.disk_corrupt, "hit_rate": self.hit_rate}
 
 
 # Registry of live caches so benchmark harnesses can print a global
@@ -145,6 +148,7 @@ def aggregate_cache_stats() -> dict:
         total.misses += stats.misses
         total.puts += stats.puts
         total.evictions += stats.evictions
+        total.disk_corrupt += stats.disk_corrupt
     return total.as_dict()
 
 
@@ -168,12 +172,42 @@ class FingerprintCache:
         self.disk_dir = Path(disk_dir) if disk_dir is not None else None
         self._memory: OrderedDict[str, float] = OrderedDict()
         self._lock = threading.Lock()
+        self._journals: list[list] = []
         self.stats = CacheStats()
         _LIVE_CACHES.add(self)
 
     def __len__(self) -> int:
         with self._lock:
             return len(self._memory)
+
+    def keys(self) -> list[str]:
+        """Keys currently resident in the memory tier (LRU order)."""
+        with self._lock:
+            return list(self._memory.keys())
+
+    # -- put journals ------------------------------------------------------
+    def start_journal(self) -> list:
+        """Begin recording every :meth:`put` as a ``(key, value)`` pair.
+
+        Checkpointed loops journal the cache during a run so a resumed
+        session can replay the exact entries the interrupted one
+        produced — making the resumed cache contents (keys *and* bitwise
+        values) identical to an uninterrupted run's. Returns the journal
+        list; pass it to :meth:`stop_journal` when done.
+        """
+        journal: list = []
+        with self._lock:
+            self._journals.append(journal)
+        return journal
+
+    def stop_journal(self, journal: list) -> list:
+        """Stop recording into ``journal`` (returns it for convenience)."""
+        with self._lock:
+            try:
+                self._journals.remove(journal)
+            except ValueError:
+                pass
+        return journal
 
     # -- disk tier ---------------------------------------------------------
     def _disk_path(self, key: str) -> Path:
@@ -186,12 +220,26 @@ class FingerprintCache:
         path = self._disk_path(key)
         try:
             text = path.read_text(encoding="ascii").strip()
-        except (OSError, ValueError):
+        except FileNotFoundError:
             return _MISSING
+        except (OSError, ValueError):
+            # Unreadable or non-ASCII garbage (a torn write, bit rot):
+            # drop the entry so the next put can heal it.
+            return self._discard_corrupt(path)
+        if not text:
+            return self._discard_corrupt(path)  # truncated to empty
         try:
             return float.fromhex(text)
         except ValueError:
-            return _MISSING
+            return self._discard_corrupt(path)  # truncated/garbled hex
+
+    @staticmethod
+    def _discard_corrupt(path: Path):
+        try:
+            path.unlink()
+        except OSError:
+            pass
+        return _CORRUPT
 
     def _disk_write(self, key: str, value: float) -> None:
         if self.disk_dir is None:
@@ -220,6 +268,12 @@ class FingerprintCache:
                 return self._memory[key]
         value = self._disk_read(key)
         with self._lock:
+            if value is _CORRUPT:
+                # A corrupt disk entry is a miss: it was deleted above so
+                # the caller's recomputed value re-populates it cleanly.
+                self.stats.disk_corrupt += 1
+                self.stats.misses += 1
+                return None
             if value is not _MISSING:
                 self.stats.disk_hits += 1
                 self._store_memory(key, value)
@@ -232,6 +286,8 @@ class FingerprintCache:
         with self._lock:
             self.stats.puts += 1
             self._store_memory(key, value)
+            for journal in self._journals:
+                journal.append((key, value))
         self._disk_write(key, value)
 
     def _store_memory(self, key: str, value: float) -> None:

@@ -1,0 +1,559 @@
+"""Durable checkpoint/resume for long-running debugging sessions.
+
+A Shapley importance sweep, an iterative-cleaning session, or a CPClean
+greedy selection is hours of pure, deterministic work — exactly the kind
+of job that dies to an OOM kill, preemption, or an impatient Ctrl-C.
+:mod:`repro.runtime.faults` (PR 4) made those jobs survive *worker*
+death; this module makes them survive *driver* death: the loop snapshots
+its completed units (permutations, coalitions, rounds) into a
+:class:`CheckpointStore`, and a fresh process pointed at the store with
+``resume_from=`` replays the snapshot and continues — producing
+hex-identical scores, call counts, and fingerprint-cache keys to an
+uninterrupted run, on any backend.
+
+Three layers:
+
+- :class:`CheckpointStore` — a crash-safe, append-only record store.
+  Every record is one file, published atomically (temp file + ``fsync``
+  + ``os.replace``) and self-verifying (schema version + SHA-256 content
+  hash). A truncated or garbled record is *detected*, surfaced as an
+  ``executor.checkpoint_corrupt`` runlog event, and skipped in favour of
+  the last good record — never a crash.
+- :class:`Checkpointable` — the protocol a resumable loop speaks:
+  ``checkpoint_kind`` names the payload schema, ``checkpoint_state()``
+  snapshots completed work, ``restore_state()`` replays a snapshot.
+- :class:`LoopCheckpointer` — the driver the wired loops
+  (``shapley_mc``, ``banzhaf``, ``beta_shapley``, ``loo``,
+  ``IterativeCleaner``, ``cpclean_greedy``, ``ShardedUnlearner``) embed:
+  cadence control (``checkpoint_every``), identity verification on
+  resume (the record must describe the *same* job — params, seed, data
+  fingerprint), a registered SIGTERM/SIGINT flush so an interrupted
+  session persists its final state before exiting, and the
+  ``checkpoint.writes`` / ``checkpoint.bytes`` / ``checkpoint.restores``
+  observer accounting.
+
+Floats are serialized as ``float.hex()`` throughout, so a resumed run's
+restored marginals/scores are *bitwise* identical to the originals.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import signal
+import tempfile
+import threading
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Protocol, runtime_checkable
+
+from repro.core.exceptions import ValidationError
+from repro.observe.observer import resolve_observer
+from repro.observe.runlog import jsonable
+
+__all__ = [
+    "CHECKPOINT_SCHEMA",
+    "CheckpointRecord",
+    "CheckpointStore",
+    "Checkpointable",
+    "LoopCheckpointer",
+    "flush_on_shutdown",
+    "register_shutdown_flush",
+    "resolve_checkpoint_store",
+    "unregister_shutdown_flush",
+]
+
+#: Schema version stamped on every record; bumped when a payload layout
+#: changes incompatibly. The loader treats an unknown version exactly
+#: like a corrupt record: skip it, fall back to the last good one.
+CHECKPOINT_SCHEMA = 1
+
+_RECORD_PREFIX = "ckpt-"
+_RECORD_SUFFIX = ".json"
+
+
+@dataclass(frozen=True)
+class CheckpointRecord:
+    """One verified checkpoint: sequence number, kind, decoded payload."""
+
+    seq: int
+    kind: str
+    payload: dict
+    path: Path
+
+
+@runtime_checkable
+class Checkpointable(Protocol):
+    """What a resumable loop exposes to the checkpoint machinery.
+
+    ``checkpoint_kind`` names the payload schema (e.g.
+    ``"importance.shapley_mc"``); :meth:`checkpoint_state` returns a
+    JSON-serializable snapshot of completed work (floats as
+    ``float.hex()`` strings so restoration is bitwise exact);
+    :meth:`restore_state` replays such a snapshot into a fresh loop.
+    The wired loops implement this implicitly via small internal state
+    holders — the protocol documents the contract for custom loops.
+    """
+
+    checkpoint_kind: str
+
+    def checkpoint_state(self) -> dict:
+        """Snapshot completed work as a JSON-serializable dict."""
+        ...
+
+    def restore_state(self, state: dict) -> None:
+        """Replay a snapshot produced by :meth:`checkpoint_state`."""
+        ...
+
+
+class CheckpointStore:
+    """Durable, crash-safe record store backing ``checkpoint=``.
+
+    Parameters
+    ----------
+    path:
+        Directory the records live in; created on demand. One store ==
+        one resumable job (records carry a ``kind`` so a mismatched
+        store is detected, not silently resumed).
+    keep:
+        Newest records retained per :meth:`write`; older ones are
+        pruned. ``keep >= 2`` means a record corrupted *after* landing
+        on disk still leaves a good predecessor to fall back to.
+    observer:
+        Default :class:`repro.observe.Observer` for write/restore
+        accounting; individual calls may override it.
+
+    Every record is published atomically — written to a temp file in the
+    same directory, flushed and fsynced, then ``os.replace``d into its
+    final name — so a reader (or a resumed run) never observes a
+    half-written record. Each record embeds a SHA-256 hash of its
+    payload and the schema version; :meth:`load_latest` verifies both
+    and falls back past corrupt records instead of crashing.
+    """
+
+    def __init__(self, path: str | os.PathLike, *, keep: int = 3,
+                 observer=None):
+        if keep < 1:
+            raise ValidationError("keep must be >= 1")
+        self.path = Path(path)
+        self.path.mkdir(parents=True, exist_ok=True)
+        self.keep = keep
+        self.observer = resolve_observer(observer)
+        self._lock = threading.Lock()
+
+    # -- record files ------------------------------------------------------
+    def record_paths(self) -> list[Path]:
+        """Record files in sequence order (oldest first)."""
+        return sorted(self.path.glob(f"{_RECORD_PREFIX}*{_RECORD_SUFFIX}"))
+
+    def __len__(self) -> int:
+        return len(self.record_paths())
+
+    def _next_seq(self) -> int:
+        paths = self.record_paths()
+        if not paths:
+            return 0
+        stem = paths[-1].name[len(_RECORD_PREFIX):-len(_RECORD_SUFFIX)]
+        try:
+            return int(stem) + 1
+        except ValueError:
+            return len(paths)
+
+    # -- write -------------------------------------------------------------
+    def write(self, kind: str, payload: dict, *,
+              observer=None) -> CheckpointRecord:
+        """Atomically publish one record; prunes beyond ``keep``.
+
+        The payload is JSON-serialized (numpy scalars/arrays coerced via
+        :func:`repro.observe.jsonable`), content-hashed, and wrapped in
+        a schema-versioned envelope. The temp-write + fsync +
+        ``os.replace`` sequence guarantees a crash mid-write leaves the
+        previous record intact and never a half-record under the final
+        name.
+        """
+        observer = self.observer if observer is None \
+            else resolve_observer(observer)
+        payload = jsonable(payload)
+        payload_json = json.dumps(payload, sort_keys=True)
+        with self._lock:
+            seq = self._next_seq()
+            envelope = {
+                "schema": CHECKPOINT_SCHEMA,
+                "seq": seq,
+                "kind": kind,
+                "sha256": hashlib.sha256(payload_json.encode()).hexdigest(),
+                "payload": payload_json,
+            }
+            text = json.dumps(envelope)
+            final = self.path / f"{_RECORD_PREFIX}{seq:08d}{_RECORD_SUFFIX}"
+            fd, tmp = tempfile.mkstemp(dir=self.path, suffix=".tmp")
+            try:
+                with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                    handle.write(text)
+                    handle.flush()
+                    os.fsync(handle.fileno())
+                os.replace(tmp, final)
+            except BaseException:
+                try:
+                    os.unlink(tmp)
+                except OSError:
+                    pass
+                raise
+            self._fsync_dir()
+            self._prune()
+        if observer.enabled:
+            observer.count("checkpoint.writes")
+            observer.count("checkpoint.bytes", len(text))
+        return CheckpointRecord(seq=seq, kind=kind, payload=payload,
+                                path=final)
+
+    def _fsync_dir(self) -> None:
+        # Make the rename itself durable; best-effort (not all platforms
+        # allow opening a directory).
+        try:
+            dir_fd = os.open(self.path, os.O_RDONLY)
+        except OSError:
+            return
+        try:
+            os.fsync(dir_fd)
+        except OSError:
+            pass
+        finally:
+            os.close(dir_fd)
+
+    def _prune(self) -> None:
+        paths = self.record_paths()
+        for stale in paths[:-self.keep] if self.keep else paths:
+            try:
+                stale.unlink()
+            except OSError:
+                pass
+
+    # -- read --------------------------------------------------------------
+    def _load(self, path: Path) -> CheckpointRecord | None:
+        """Decode and verify one record file; ``None`` when corrupt."""
+        try:
+            envelope = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            return None
+        if not isinstance(envelope, dict) \
+                or envelope.get("schema") != CHECKPOINT_SCHEMA:
+            return None
+        payload_json = envelope.get("payload")
+        if not isinstance(payload_json, str):
+            return None
+        digest = hashlib.sha256(payload_json.encode()).hexdigest()
+        if digest != envelope.get("sha256"):
+            return None
+        try:
+            payload = json.loads(payload_json)
+        except ValueError:
+            return None
+        return CheckpointRecord(seq=int(envelope.get("seq", 0)),
+                                kind=str(envelope.get("kind", "")),
+                                payload=payload, path=path)
+
+    def load_latest(self, kind: str | None = None, *,
+                    observer=None) -> CheckpointRecord | None:
+        """Newest verified record (optionally of one ``kind``).
+
+        Records failing verification — unreadable, truncated, hash
+        mismatch, unknown schema — are each surfaced as an
+        ``executor.checkpoint_corrupt`` runlog event plus a
+        ``checkpoint.corrupt_records`` counter bump, then skipped: the
+        newest *good* record wins. Returns ``None`` when no good record
+        exists.
+        """
+        observer = self.observer if observer is None \
+            else resolve_observer(observer)
+        for path in reversed(self.record_paths()):
+            record = self._load(path)
+            if record is None:
+                if observer.enabled:
+                    observer.count("checkpoint.corrupt_records")
+                    observer.event("executor.checkpoint_corrupt",
+                                   fault="checkpoint_corrupt",
+                                   path=str(path), store=str(self.path))
+                continue
+            if kind is not None and record.kind != kind:
+                continue
+            return record
+        return None
+
+    def clear(self) -> None:
+        """Delete every record (a finished job's store can be reused)."""
+        for path in self.record_paths():
+            try:
+                path.unlink()
+            except OSError:
+                pass
+
+    def __repr__(self) -> str:
+        return f"CheckpointStore({str(self.path)!r}, records={len(self)})"
+
+
+def resolve_checkpoint_store(store, *, observer=None) -> CheckpointStore | None:
+    """Normalize the ``checkpoint=`` / ``resume_from=`` argument.
+
+    ``None``/``False`` disable checkpointing; a path builds a store at
+    that directory; a :class:`CheckpointStore` passes through.
+    """
+    if store is None or store is False:
+        return None
+    if isinstance(store, CheckpointStore):
+        return store
+    if isinstance(store, (str, os.PathLike)):
+        return CheckpointStore(store, observer=observer)
+    raise ValidationError(
+        "checkpoint/resume_from must be None, a directory path, or a "
+        f"CheckpointStore — got {type(store).__name__}")
+
+
+# --- graceful-shutdown flush hooks -----------------------------------------
+#
+# A loop with an active checkpoint registers a zero-argument flush
+# callable here for the duration of its run. The first registration (in
+# the main thread) installs SIGTERM/SIGINT handlers; on signal, every
+# registered flush runs *first* (persisting final checkpoints), then the
+# live runtimes' worker pools are torn down, and finally the previous
+# handler semantics apply (KeyboardInterrupt for SIGINT, termination for
+# SIGTERM) — so a flushed checkpoint never races pool teardown, even on
+# exit paths where ``weakref.finalize``'s atexit integration never runs.
+
+_FLUSH_LOCK = threading.Lock()
+_FLUSH_HOOKS: dict[int, object] = {}
+_FLUSH_COUNTER = 0
+_PREVIOUS_HANDLERS: dict[int, object] = {}
+_SHUTDOWN_SIGNALS = (signal.SIGTERM, signal.SIGINT)
+
+
+def _run_flush_hooks() -> None:
+    for hook in list(_FLUSH_HOOKS.values()):
+        try:
+            hook()
+        except Exception:
+            # A failing flush must not mask the shutdown (or prevent the
+            # remaining hooks from flushing their own checkpoints).
+            pass
+
+
+def _shutdown_handler(signum, frame) -> None:
+    """Flush checkpoints, release pools, then honour the signal."""
+    from repro.runtime.runtime import close_all_runtimes
+
+    _run_flush_hooks()
+    # Pools after checkpoints: the flush above must never race teardown.
+    close_all_runtimes(wait=False)
+    previous = _PREVIOUS_HANDLERS.get(signum, signal.SIG_DFL)
+    _uninstall_handlers()
+    if callable(previous):
+        previous(signum, frame)
+    elif previous != signal.SIG_IGN:
+        # Default disposition: re-deliver so the exit status is the
+        # conventional "killed by signal" one.
+        os.kill(os.getpid(), signum)
+
+
+def _install_handlers() -> None:
+    # signal.signal only works from the main thread; a loop running on a
+    # worker thread simply skips the hook (its checkpoints still flush
+    # at every cadence boundary).
+    for signum in _SHUTDOWN_SIGNALS:
+        try:
+            _PREVIOUS_HANDLERS[signum] = signal.signal(signum,
+                                                       _shutdown_handler)
+        except ValueError:
+            _PREVIOUS_HANDLERS.clear()
+            return
+
+
+def _uninstall_handlers() -> None:
+    for signum, previous in list(_PREVIOUS_HANDLERS.items()):
+        try:
+            if signal.getsignal(signum) is _shutdown_handler:
+                signal.signal(signum, previous)
+        except ValueError:
+            pass
+    _PREVIOUS_HANDLERS.clear()
+
+
+def register_shutdown_flush(flush) -> int:
+    """Register a zero-arg flush callable to run on SIGTERM/SIGINT.
+
+    Returns a handle for :func:`unregister_shutdown_flush`. The first
+    registration installs the signal handlers (main thread only); the
+    last removal restores the previous ones.
+    """
+    global _FLUSH_COUNTER
+    with _FLUSH_LOCK:
+        handle = _FLUSH_COUNTER
+        _FLUSH_COUNTER += 1
+        if not _FLUSH_HOOKS:
+            _install_handlers()
+        _FLUSH_HOOKS[handle] = flush
+    return handle
+
+
+def unregister_shutdown_flush(handle: int) -> None:
+    """Remove a flush hook; restores signal handlers when none remain."""
+    with _FLUSH_LOCK:
+        _FLUSH_HOOKS.pop(handle, None)
+        if not _FLUSH_HOOKS:
+            _uninstall_handlers()
+
+
+class flush_on_shutdown:
+    """Context manager form of :func:`register_shutdown_flush`."""
+
+    def __init__(self, flush):
+        self._flush = flush
+        self._handle: int | None = None
+
+    def __enter__(self):
+        self._handle = register_shutdown_flush(self._flush)
+        return self
+
+    def __exit__(self, *exc):
+        if self._handle is not None:
+            unregister_shutdown_flush(self._handle)
+            self._handle = None
+        return False
+
+
+# --- the loop driver --------------------------------------------------------
+
+class LoopCheckpointer:
+    """Checkpoint cadence + resume + signal flush for one resumable loop.
+
+    Parameters
+    ----------
+    checkpoint:
+        Store (or directory path) new snapshots are written to; ``None``
+        disables writing.
+    kind:
+        Record kind — the payload schema the loop writes (e.g.
+        ``"importance.shapley_mc"``).
+    identity:
+        Fingerprint of everything that determines the loop's results
+        (method, params, seed, data). Stamped into every payload and
+        verified on resume: a record describing a *different* job raises
+        :class:`~repro.core.exceptions.ValidationError` instead of
+        silently producing wrong numbers. Execution policy (backend,
+        workers, :class:`~repro.runtime.FaultPolicy`) is deliberately
+        *not* part of the identity — a job may be resumed on any backend
+        under any policy.
+    every:
+        Cadence in completed work units (permutations / coalitions /
+        rounds) between snapshots. The final signal-flush ignores the
+        cadence.
+    observer:
+        Observer fed the ``checkpoint.*`` counters and the
+        ``checkpoint.resume`` runlog event.
+    resume_from:
+        Store (or path) to resume out of; commonly the same directory as
+        ``checkpoint``. ``None`` starts fresh.
+
+    Use :meth:`armed` around the loop body so an interrupting
+    SIGTERM/SIGINT flushes the current state before the process exits.
+    """
+
+    def __init__(self, checkpoint, *, kind: str, identity: str,
+                 every: int = 1, observer=None, resume_from=None):
+        if every < 1:
+            raise ValidationError("checkpoint_every must be >= 1")
+        self.store = resolve_checkpoint_store(checkpoint, observer=observer)
+        self.resume_store = resolve_checkpoint_store(resume_from,
+                                                     observer=observer)
+        self.kind = kind
+        self.identity = identity
+        self.every = every
+        self.observer = resolve_observer(observer)
+        self._last_flushed: int | None = None
+        self._state_fn = None
+
+    @property
+    def active(self) -> bool:
+        """True when snapshots are being written."""
+        return self.store is not None
+
+    # -- resume ------------------------------------------------------------
+    def resume(self) -> dict | None:
+        """Load, verify, and account the newest matching snapshot.
+
+        Returns the payload dict (or ``None`` when the resume store is
+        absent/empty). Bumps ``checkpoint.restores`` and emits the
+        ``checkpoint.resume`` runlog event; the caller adds its
+        skipped-work figures via :meth:`record_skipped`.
+        """
+        if self.resume_store is None:
+            return None
+        record = self.resume_store.load_latest(self.kind,
+                                               observer=self.observer)
+        if record is None:
+            return None
+        payload = record.payload
+        if payload.get("identity") != self.identity:
+            raise ValidationError(
+                f"checkpoint {record.path} was written by a different job "
+                f"(kind {self.kind!r}): its identity fingerprint does not "
+                "match this loop's parameters/seed/data. Point resume_from= "
+                "at the matching store, or clear it to start fresh.")
+        self._last_flushed = int(payload.get("completed", 0))
+        if self.observer.enabled:
+            self.observer.count("checkpoint.restores")
+        return payload
+
+    def record_skipped(self, *, completed: int, total: int | None = None,
+                       **extra) -> None:
+        """Emit the ``checkpoint.resume`` provenance event."""
+        if self.observer.enabled:
+            self.observer.event("checkpoint.resume",
+                                checkpoint_kind=self.kind,
+                                completed=completed, total=total,
+                                store=str(self.resume_store.path)
+                                if self.resume_store else None, **extra)
+
+    # -- write -------------------------------------------------------------
+    def arm(self, state_fn) -> None:
+        """Set the snapshot provider used by cadence and signal flushes.
+
+        ``state_fn()`` must return the payload dict including a
+        ``completed`` count; it is called under the loop's own thread on
+        cadence flushes and from the signal handler on shutdown, so it
+        must only *read* loop state.
+        """
+        self._state_fn = state_fn
+
+    def flush(self) -> None:
+        """Write one snapshot now (no cadence check)."""
+        if self.store is None or self._state_fn is None:
+            return
+        payload = dict(self._state_fn())
+        payload["identity"] = self.identity
+        completed = int(payload.get("completed", 0))
+        if self._last_flushed is not None \
+                and completed == self._last_flushed \
+                and len(self.store):
+            return  # nothing new since the last snapshot
+        self.store.write(self.kind, payload, observer=self.observer)
+        self._last_flushed = completed
+
+    def maybe_flush(self, completed: int) -> None:
+        """Cadence flush: write when ``every`` new units completed."""
+        if self.store is None:
+            return
+        if self._last_flushed is None \
+                or completed - self._last_flushed >= self.every:
+            self.flush()
+
+    def armed(self, state_fn) -> flush_on_shutdown:
+        """Arm the snapshot provider and return the signal-flush guard.
+
+        Intended as ``with ckpt.armed(state): ...`` around the loop
+        body — on SIGTERM/SIGINT the final state is flushed before the
+        process exits; on normal exit the hook is removed before the
+        loop's runtime/pool teardown, so a flush never races it.
+        """
+        self.arm(state_fn)
+        return flush_on_shutdown(self.flush)

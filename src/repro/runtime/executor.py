@@ -157,8 +157,15 @@ class Executor:
                     stage, policy, fault_hook) -> list:
         raise NotImplementedError
 
-    def close(self) -> None:
-        """Release pooled workers (no-op for serial)."""
+    def close(self, wait: bool = True) -> None:
+        """Release pooled workers (no-op for serial).
+
+        ``wait=False`` abandons in-flight chunks instead of joining them
+        — the shutdown-path variant used by the checkpoint signal
+        handler, where a flushed checkpoint must not block on (or race)
+        pool teardown. Safe to call repeatedly and during interpreter
+        shutdown.
+        """
 
     def __enter__(self):
         return self
@@ -450,9 +457,12 @@ class ThreadExecutor(_PooledExecutor):
             self._pool.shutdown(wait=False, cancel_futures=True)
             self._pool = None
 
-    def close(self) -> None:
+    def close(self, wait: bool = True) -> None:
         if self._pool is not None:
-            self._pool.shutdown(wait=True)
+            try:
+                self._pool.shutdown(wait=wait, cancel_futures=not wait)
+            except Exception:  # interpreter/pool teardown already underway
+                pass
             self._pool = None
 
 
@@ -532,9 +542,12 @@ class ProcessExecutor(_PooledExecutor):
             except Exception:
                 pass
 
-    def close(self) -> None:
+    def close(self, wait: bool = True) -> None:
         if self._pool is not None:
-            self._pool.shutdown(wait=True)
+            try:
+                self._pool.shutdown(wait=wait, cancel_futures=not wait)
+            except Exception:  # interpreter/pool teardown already underway
+                pass
             self._pool = None
             self._pool_digest = None
 

@@ -162,8 +162,10 @@ class Runtime:
             "stages": self.timings.snapshot(),
         }
 
-    def close(self) -> None:
-        self.executor.close()
+    def close(self, wait: bool = True) -> None:
+        """Release the executor's worker pool. Idempotent; ``wait=False``
+        abandons in-flight chunks (the signal-exit teardown path)."""
+        self.executor.close(wait=wait)
 
     def __enter__(self):
         return self
@@ -200,6 +202,24 @@ def resolve_runtime(runtime, *, faults=None) -> Runtime | None:
     raise ValidationError(
         "runtime must be None, a backend name ('serial'/'thread'/'process'), "
         f"an Executor, or a Runtime — got {type(runtime).__name__}")
+
+
+def close_all_runtimes(wait: bool = True) -> None:
+    """Release every live runtime's worker pool.
+
+    The checkpoint signal handler calls this (with ``wait=False``)
+    *after* flushing final checkpoints, covering the signal-exit paths
+    where the per-runtime ``weakref.finalize`` safety net never runs —
+    a SIGTERM'd session neither reaches atexit nor unwinds ``finally``
+    blocks, so without this the pools' children would outlive the
+    driver. Ordering matters: checkpoints first, pools second, so a
+    flushed checkpoint never races pool teardown.
+    """
+    for runtime in list(_LIVE_RUNTIMES):
+        try:
+            runtime.close(wait=wait)
+        except Exception:
+            pass
 
 
 def aggregate_stage_timings() -> dict:

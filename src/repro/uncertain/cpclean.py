@@ -191,7 +191,8 @@ def _incremental_candidate_fraction_task(shared, row: int) -> float:
 
 def cpclean_greedy(X_dirty, y, X_clean, X_test, *, k: int = 3,
                    max_cleaned: int | None = None, runtime=None,
-                   observer=None) -> dict:
+                   observer=None, checkpoint=None, checkpoint_every: int = 1,
+                   resume_from=None) -> dict:
     """Greedy CPClean cleaning-set selection (simulated with ground truth).
 
     Repeatedly cleans (reveals) the incomplete training row whose repair
@@ -220,6 +221,13 @@ def cpclean_greedy(X_dirty, y, X_clean, X_test, *, k: int = 3,
         (``cpclean.greedy``), counts candidate evaluations and rows
         cleaned, and logs one ``cpclean.round`` event per repair plus a
         final ``cpclean.run`` summary.
+    checkpoint / checkpoint_every / resume_from:
+        Durable per-repair snapshots (cleaned rows + certain-fraction
+        trajectory). A killed selection resumed with ``resume_from=``
+        replays the recorded repairs (no candidate re-evaluation) and
+        continues greedily — identical ``cleaned_rows`` and trajectory
+        to an uninterrupted run on any backend. The selection is fully
+        deterministic, so no seed is involved.
 
     Returns
     -------
@@ -237,16 +245,26 @@ def cpclean_greedy(X_dirty, y, X_clean, X_test, *, k: int = 3,
     try:
         return _cpclean_greedy_run(X_dirty, y, X_clean, X_test, k=k,
                                    max_cleaned=max_cleaned, runtime=runtime,
-                                   observer=observer)
+                                   observer=observer, checkpoint=checkpoint,
+                                   checkpoint_every=checkpoint_every,
+                                   resume_from=resume_from)
     finally:
+        # The armed flush guard inside the run exits before this close,
+        # so a signal-flushed checkpoint never races pool teardown.
         if owns_runtime and runtime is not None:
             runtime.close()
 
 
 def _cpclean_greedy_run(X_dirty, y, X_clean, X_test, *, k, max_cleaned,
-                        runtime, observer) -> dict:
+                        runtime, observer, checkpoint=None,
+                        checkpoint_every=1, resume_from=None) -> dict:
     """The selection loop behind :func:`cpclean_greedy` (runtime and
     observer already resolved)."""
+    import contextlib
+
+    from repro.runtime.cache import fingerprint
+    from repro.runtime.checkpoint import LoopCheckpointer
+
     X_current = np.asarray(X_dirty, dtype=float).copy()
     X_clean = np.asarray(X_clean, dtype=float)
     y = np.asarray(y)
@@ -258,12 +276,43 @@ def _cpclean_greedy_run(X_dirty, y, X_clean, X_test, *, k, max_cleaned,
         checker = CertainPredictionKNN(k=k).fit(X, y)
         return checker.certain_fraction(X_test)
 
-    cleaned, trajectory = [], [fraction(X_current)]
+    ckpt = None
+    if checkpoint is not None or resume_from is not None:
+        # max_cleaned is excluded: the greedy order is a prefix property,
+        # so a snapshot may seed a run with a larger budget.
+        identity = fingerprint("checkpoint.cpclean.greedy", k, X_current,
+                               y, X_clean, X_test)
+        ckpt = LoopCheckpointer(checkpoint, kind="cpclean.greedy",
+                                identity=identity, every=checkpoint_every,
+                                observer=observer, resume_from=resume_from)
+
+    cleaned, trajectory = [], []
+    if ckpt is not None:
+        payload = ckpt.resume()
+        if payload is not None:
+            # Replay the recorded repairs — no candidate re-evaluation.
+            trajectory = [float.fromhex(s) for s in payload["trajectory"]]
+            for row in payload["cleaned"]:
+                row = int(row)
+                X_current[row] = X_clean[row]
+                incomplete.remove(row)
+                cleaned.append(row)
+            ckpt.record_skipped(completed=len(cleaned), total=budget,
+                                method="cpclean.greedy")
+    if not trajectory:
+        trajectory = [fraction(X_current)]
     classes = np.unique(y)
     # Exact distances of fully-revealed rows, fixed for the whole run.
     exact_dist = _distance_bounds(X_clean, X_clean, X_test)[0]
+
+    # Rebuilt at each repair boundary so a signal flush mid-round
+    # persists the last consistent state.
+    snapshot = {"completed": len(cleaned), "cleaned": list(cleaned),
+                "trajectory": [s.hex() for s in trajectory]}
+    guard = ckpt.armed(lambda: snapshot) if ckpt is not None \
+        else contextlib.nullcontext()
     with observer.span("cpclean.greedy", k=k, budget=budget,
-                       incomplete=len(incomplete)):
+                       incomplete=len(incomplete)), guard:
         while incomplete and len(cleaned) < budget and trajectory[-1] < 1.0:
             nan = np.isnan(X_current)
             lo_fill = np.nanmin(X_current, axis=0)
@@ -288,6 +337,11 @@ def _cpclean_greedy_run(X_dirty, y, X_clean, X_test, *, k, max_cleaned,
             incomplete.remove(best_row)
             cleaned.append(int(best_row))
             trajectory.append(best_fraction)
+            snapshot = {"completed": len(cleaned),
+                        "cleaned": list(cleaned),
+                        "trajectory": [s.hex() for s in trajectory]}
+            if ckpt is not None:
+                ckpt.maybe_flush(len(cleaned))
             if observer.enabled:
                 observer.count("cpclean.candidate_evals", len(fractions))
                 observer.count("cpclean.rows_cleaned")

@@ -55,10 +55,20 @@ class ShardedUnlearner:
         Optional :class:`repro.observe.Observer`: spans ``sharded.fit``
         and ``sharded.unlearn``, counts unlearn requests / deleted rows /
         shard retrains, and logs per-call provenance events.
+    checkpoint / resume_from:
+        Durable deletion log: a snapshot (deleted row positions +
+        retrain counter) is written after ``fit`` and after every
+        ``unlearn`` call. A killed session resumed via ``resume_from=``
+        re-applies the recorded deletions before the initial shard
+        training — exactness of SISA sharding makes the rebuilt
+        ensemble identical to the interrupted one — and restores the
+        retrain counter. Requires an integer ``seed`` (the shard
+        assignment must be regenerable).
     """
 
     def __init__(self, model, n_shards: int = 5, seed=0, runtime=None,
-                 observer=None):
+                 observer=None, checkpoint=None, resume_from=None):
+        from repro.importance.base import require_checkpoint_seed
         from repro.observe.observer import resolve_observer
         from repro.runtime.runtime import Runtime, resolve_runtime
 
@@ -71,6 +81,11 @@ class ShardedUnlearner:
         self._owns_runtime = (self.runtime is not None
                               and not isinstance(runtime, Runtime))
         self.observer = resolve_observer(observer)
+        self.checkpoint = checkpoint
+        self.resume_from = resume_from
+        self._ckpt = None
+        if checkpoint is not None or resume_from is not None:
+            require_checkpoint_seed(seed, "ShardedUnlearner")
 
     def close(self) -> None:
         """Release the worker pool of a runtime this unlearner built for
@@ -86,6 +101,32 @@ class ShardedUnlearner:
         self.close()
         return False
 
+    def _open_checkpointer(self, X, y):
+        """Build the deletion-log checkpointer once ``fit`` knows the
+        data (the identity fingerprint covers model, sharding params,
+        seed, and the training arrays)."""
+        from repro.runtime.cache import fingerprint
+        from repro.runtime.checkpoint import LoopCheckpointer
+
+        identity = fingerprint("checkpoint.unlearning.sharded",
+                               self.n_shards, int(self.seed), self.model,
+                               X, y)
+        return LoopCheckpointer(self.checkpoint, kind="unlearning.sharded",
+                                identity=identity, every=1,
+                                observer=self.observer,
+                                resume_from=self.resume_from)
+
+    def _snapshot(self) -> None:
+        """Persist the deletion log (one record per fit/unlearn call)."""
+        if self._ckpt is None or not self._ckpt.active:
+            return
+        self._unlearn_calls += 1
+        self._ckpt.arm(lambda: {
+            "completed": self._unlearn_calls,
+            "deleted": [int(i) for i in np.flatnonzero(~self._alive)],
+            "retrain_counter": int(self.retrain_counter_)})
+        self._ckpt.flush()
+
     def fit(self, X, y) -> "ShardedUnlearner":
         X, y = check_X_y(X, y)
         if len(X) < self.n_shards * 2:
@@ -99,12 +140,30 @@ class ShardedUnlearner:
         self._shard_of = rng.integers(0, self.n_shards, size=len(X))
         self.models_ = [None] * self.n_shards
         self.retrain_counter_ = 0
+        self._unlearn_calls = 0
+        restored = None
+        if self.checkpoint is not None or self.resume_from is not None:
+            self._ckpt = self._open_checkpointer(X, y)
+            restored = self._ckpt.resume()
+        if restored is not None:
+            # Re-apply the recorded deletions *before* the initial shard
+            # training: SISA exactness means training the shards once on
+            # the surviving rows reproduces the interrupted ensemble.
+            deleted = [int(i) for i in restored["deleted"]]
+            self._alive[deleted] = False
+            self._ckpt.record_skipped(
+                completed=int(restored["completed"]),
+                method="unlearning.sharded", n_deleted=len(deleted))
         with self.observer.span("sharded.fit", rows=len(X),
                                 shards=self.n_shards):
             self._train_shards(range(self.n_shards))
+        if restored is not None:
+            self.retrain_counter_ = int(restored["retrain_counter"])
+            self._unlearn_calls = int(restored["completed"]) - 1
         if self.observer.enabled:
             self.observer.event("unlearning.fit", n_rows=len(X),
                                 n_shards=self.n_shards, seed=self.seed)
+        self._snapshot()
         return self
 
     def _train_shard(self, shard: int) -> None:
@@ -155,6 +214,7 @@ class ShardedUnlearner:
                 "unlearning.unlearn", n_requested=len(indices),
                 n_deleted=deleted, shards_retrained=sorted(touched),
                 n_alive=self.n_alive)
+        self._snapshot()
         return self
 
     @property

@@ -120,3 +120,44 @@ class TestDiskTier:
         assert len(cache) == 0
         assert cache.get(key) == 0.5
         assert cache.stats.disk_hits == 1
+
+    def test_corrupt_entry_is_miss_and_deleted(self, tmp_path):
+        """A disk entry truncated mid-bytes (torn write, bit rot) is a
+        miss: the bad file is deleted, ``disk_corrupt`` counted, and the
+        next put re-populates the slot cleanly."""
+        cache = FingerprintCache(disk_dir=tmp_path)
+        key = fingerprint("torn")
+        cache.put(key, 1.0 / 3.0)
+        path = cache._disk_path(key)
+        path.write_bytes(path.read_bytes()[:-2])  # truncate mid-hex
+        cache.clear_memory()
+        assert cache.get(key) is None
+        assert cache.stats.disk_corrupt == 1
+        assert cache.stats.misses == 1
+        assert not path.exists()
+        assert cache.stats.as_dict()["disk_corrupt"] == 1
+        # the slot heals on the next put
+        cache.put(key, 0.25)
+        cache.clear_memory()
+        assert cache.get(key) == 0.25
+
+    def test_empty_and_garbage_entries_are_corrupt(self, tmp_path):
+        cache = FingerprintCache(disk_dir=tmp_path)
+        for i, junk in enumerate([b"", b"not-a-hex-float"]):
+            key = fingerprint("junk", i)
+            cache.put(key, 1.5)
+            cache._disk_path(key).write_bytes(junk)
+            cache.clear_memory()
+            assert cache.get(key) is None
+        assert cache.stats.disk_corrupt == 2
+
+    def test_journal_records_puts(self):
+        cache = FingerprintCache()
+        cache.put(fingerprint("before"), 0.1)
+        journal = cache.start_journal()
+        cache.put(fingerprint("during"), 0.2)
+        cache.stop_journal(journal)
+        cache.put(fingerprint("after"), 0.3)
+        assert journal == [(fingerprint("during"), 0.2)]
+        assert sorted(cache.keys()) == sorted(
+            fingerprint(tag) for tag in ("before", "during", "after"))

@@ -205,3 +205,56 @@ class TestIncrementalCandidateEvaluation:
         assert result["cleaned_rows"] == rows
         assert [float(f).hex() for f in result["certain_fraction"]] == \
             [float(f).hex() for f in cleaned]
+
+
+@pytest.fixture(scope="module")
+def hard_blobs():
+    """Overlapping clusters + heavy missingness: the greedy selector
+    genuinely cleans several rows (the well-separated fixture above is
+    often certain from the start)."""
+    X, y = make_blobs(60, n_features=2, centers=2, cluster_std=2.5, seed=12)
+    X_test, _ = make_blobs(20, n_features=2, centers=2, cluster_std=2.5,
+                           seed=13)
+    from repro.errors import inject_missing_array
+    X_dirty, _ = inject_missing_array(X, fraction=0.3, seed=3)
+    return {"X": X, "y": y, "X_dirty": X_dirty, "X_test": X_test}
+
+
+class TestCheckpointResume:
+    def _select(self, hard_blobs, **kwargs):
+        return cpclean_greedy(hard_blobs["X_dirty"], hard_blobs["y"],
+                              hard_blobs["X"], hard_blobs["X_test"], k=3,
+                              max_cleaned=5, **kwargs)
+
+    def test_resume_reproduces_selection(self, hard_blobs, tmp_path):
+        ref = self._select(hard_blobs)
+        assert ref["n_cleaned"] == 5  # the scenario must exercise the loop
+        self._select(hard_blobs, checkpoint=tmp_path)
+        from repro.runtime import CheckpointStore
+        # Keep only the oldest surviving record — a kill mid-selection.
+        for record in CheckpointStore(tmp_path).record_paths()[1:]:
+            record.unlink()
+        resumed = self._select(hard_blobs, resume_from=tmp_path)
+        assert resumed["cleaned_rows"] == ref["cleaned_rows"]
+        assert [float(f).hex() for f in resumed["certain_fraction"]] == \
+            [float(f).hex() for f in ref["certain_fraction"]]
+        assert resumed["n_cleaned"] == ref["n_cleaned"]
+
+    def test_resume_extends_budget(self, hard_blobs, tmp_path):
+        """The greedy order is a prefix property: a snapshot from a
+        budget-3 run seeds a budget-5 run without divergence."""
+        ref = self._select(hard_blobs)
+        cpclean_greedy(hard_blobs["X_dirty"], hard_blobs["y"],
+                       hard_blobs["X"], hard_blobs["X_test"],
+                       k=3, max_cleaned=3, checkpoint=tmp_path)
+        resumed = self._select(hard_blobs, resume_from=tmp_path)
+        assert resumed["cleaned_rows"] == ref["cleaned_rows"]
+        assert [float(f).hex() for f in resumed["certain_fraction"]] == \
+            [float(f).hex() for f in ref["certain_fraction"]]
+
+    def test_identity_mismatch_rejected(self, hard_blobs, tmp_path):
+        self._select(hard_blobs, checkpoint=tmp_path)
+        with pytest.raises(ValidationError, match="different job"):
+            cpclean_greedy(hard_blobs["X_dirty"], hard_blobs["y"],
+                           hard_blobs["X"], hard_blobs["X_test"], k=5,
+                           resume_from=tmp_path)

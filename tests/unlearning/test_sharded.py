@@ -81,3 +81,50 @@ class TestShardedUnlearner:
         model.unlearn(victims)
         predictions = model.predict(X)  # still works via other shards
         assert len(predictions) == len(X)
+
+
+class TestCheckpointResume:
+    def _unlearner(self, **kwargs):
+        return ShardedUnlearner(LogisticRegression(max_iter=60),
+                                n_shards=4, seed=2, **kwargs)
+
+    def test_resume_rebuilds_identical_ensemble(self, data, tmp_path):
+        X, y, X_test, _ = data
+        ref = self._unlearner()
+        ref.fit(X, y).unlearn([1, 5]).unlearn([9, 17])
+        logged = self._unlearner(checkpoint=tmp_path)
+        logged.fit(X, y).unlearn([1, 5]).unlearn([9, 17])
+
+        resumed = self._unlearner(resume_from=tmp_path)
+        resumed.fit(X, y)
+        np.testing.assert_array_equal(resumed.predict(X_test),
+                                      ref.predict(X_test))
+        assert resumed.n_alive == ref.n_alive
+        assert resumed.retrain_counter_ == ref.retrain_counter_
+
+    def test_resume_then_continue_unlearning(self, data, tmp_path):
+        X, y, X_test, _ = data
+        ref = self._unlearner()
+        ref.fit(X, y).unlearn([1, 5]).unlearn([12])
+        logged = self._unlearner(checkpoint=tmp_path)
+        logged.fit(X, y).unlearn([1, 5])
+        resumed = self._unlearner(resume_from=tmp_path,
+                                  checkpoint=tmp_path)
+        resumed.fit(X, y)
+        resumed.unlearn([12])
+        np.testing.assert_array_equal(resumed.predict(X_test),
+                                      ref.predict(X_test))
+        assert resumed.n_alive == ref.n_alive
+
+    def test_identity_mismatch_rejected(self, data, tmp_path):
+        X, y, _, _ = data
+        self._unlearner(checkpoint=tmp_path).fit(X, y)
+        other = ShardedUnlearner(LogisticRegression(max_iter=60),
+                                 n_shards=5, seed=2, resume_from=tmp_path)
+        with pytest.raises(ValidationError):
+            other.fit(X, y)
+
+    def test_checkpoint_requires_integer_seed(self, tmp_path):
+        with pytest.raises(ValidationError, match="integer seed"):
+            ShardedUnlearner(LogisticRegression(), seed=None,
+                             checkpoint=tmp_path)
