@@ -28,7 +28,9 @@ from repro.importance.base import (
     emit_importance_run,
     hex_floats,
     open_checkpoint_session,
+    partial_every,
     require_checkpoint_seed,
+    resolve_partial,
     unhex_floats,
 )
 from repro.observe.observer import resolve_observer
@@ -57,11 +59,21 @@ class DataBanzhaf:
         about the estimate; ``utility.calls`` can only differ if the
         same coalition is sampled twice *and* every cache layer was
         disabled.
+    partial:
+        Optional anytime-results hook (see
+        :func:`repro.importance.base.resolve_partial`): after every
+        cadence chunk of coalition values folded into the MSR
+        accumulators, ``partial.publish`` receives the running
+        ``mean_in - mean_out`` estimate with per-player CLT standard
+        errors (in/out variance components combined); returning truthy
+        stops early with the current estimate, snapshotting first when
+        ``checkpoint=`` is active. The same single-batch caveat as
+        checkpointing applies to ``utility.calls``.
     """
 
     def __init__(self, n_samples: int = 200, seed=None, observer=None,
                  checkpoint=None, checkpoint_every: int = 25,
-                 resume_from=None):
+                 resume_from=None, partial=None):
         if n_samples < 2:
             raise ValidationError("n_samples must be >= 2")
         self.n_samples = n_samples
@@ -70,6 +82,7 @@ class DataBanzhaf:
         self.checkpoint = checkpoint
         self.checkpoint_every = checkpoint_every
         self.resume_from = resume_from
+        self.partial = resolve_partial(partial)
         if checkpoint is not None or resume_from is not None:
             require_checkpoint_seed(seed, "banzhaf")
 
@@ -95,8 +108,10 @@ class DataBanzhaf:
 
     def _score(self, utility: Utility) -> np.ndarray:
         n = utility.n_players
+        partial = self.partial
         memberships = [rng.uniform(size=n) < 0.5
                        for rng in spawn_rngs(self.seed, self.n_samples)]
+        state = _MSRState(n, track_sq=partial is not None)
         session = open_checkpoint_session(
             utility, checkpoint=self.checkpoint,
             resume_from=self.resume_from, every=self.checkpoint_every,
@@ -104,51 +119,129 @@ class DataBanzhaf:
             identity=self._identity(utility)
             if (self.checkpoint is not None or self.resume_from is not None)
             else "", observer=self.observer)
+
+        def fold(values, upto: int) -> bool:
+            """Fold coalition values [state.folded, upto) into the MSR
+            accumulators — in sample order, so the float sums are
+            bit-identical to a single-pass reduction — then publish the
+            running estimate; ``True`` when the hook requests a stop."""
+            for k in range(state.folded, upto):
+                state.add(memberships[k], float(values[k]))
+            if partial is None or state.folded == 0:
+                return False  # nothing folded yet: nothing to publish
+            return bool(partial.publish(
+                method="banzhaf", completed=state.folded,
+                total=self.n_samples, values=state.estimate(),
+                stderr=state.stderr()))
+
         try:
-            values = self._evaluate(utility, memberships, session)
+            self._evaluate(utility, memberships, session, fold)
         finally:
             if session is not None:
                 session.close()
+        return state.estimate()
 
-        sum_in = np.zeros(n)
-        count_in = np.zeros(n)
-        sum_out = np.zeros(n)
-        count_out = np.zeros(n)
-        for membership, value in zip(memberships, values):
-            sum_in[membership] += value
-            count_in[membership] += 1
-            sum_out[~membership] += value
-            count_out[~membership] += 1
-
-        # Players never sampled on one side get a 0 mean on that side; with
-        # n_samples >= ~30 this is vanishingly rare and only dampens the
-        # estimate rather than biasing its sign.
-        mean_in = np.divide(sum_in, count_in, out=np.zeros(n), where=count_in > 0)
-        mean_out = np.divide(sum_out, count_out, out=np.zeros(n), where=count_out > 0)
-        return mean_in - mean_out
-
-    def _evaluate(self, utility, memberships, session) -> np.ndarray:
-        """Coalition values in sample order; one batch normally, cadence
-        slices (restored prefix skipped) when checkpointing."""
-        if session is None:
-            return utility.evaluate_many(
+    def _evaluate(self, utility, memberships, session, fold) -> None:
+        """Evaluate coalitions in sample order and fold them in: one
+        batch normally, cadence slices (restored prefix skipped) when
+        checkpointing or publishing partials."""
+        if session is None and self.partial is None:
+            values = utility.evaluate_many(
                 [np.flatnonzero(m) for m in memberships], stage="banzhaf")
+            fold(values, self.n_samples)
+            return
+        every = session.every if session is not None \
+            else partial_every(self.partial)
+        if self.partial is not None:
+            every = min(every, partial_every(self.partial))
         values = np.empty(self.n_samples)
         done = 0
-        payload = session.resume()
-        if payload is not None:
-            restored = unhex_floats(payload["values"])
-            values[:len(restored)] = restored
-            done = len(restored)
-            session.record_skipped(completed=done, total=self.n_samples,
-                                   method="banzhaf")
-        with session.session(lambda: done,
-                             lambda: {"values": hex_floats(values[:done])}):
+        if session is not None:
+            payload = session.resume()
+            if payload is not None:
+                restored = unhex_floats(payload["values"])
+                values[:len(restored)] = restored
+                done = len(restored)
+                session.record_skipped(completed=done, total=self.n_samples,
+                                       method="banzhaf")
+        guard = session.session(
+            lambda: done, lambda: {"values": hex_floats(values[:done])},
+        ) if session is not None else contextlib.nullcontext()
+        with guard:
+            if fold(values, done):  # replayed prefix may already satisfy
+                if session is not None:  # the stop predicate
+                    session.flush()
+                return
             while done < self.n_samples:
-                end = min(done + session.every, self.n_samples)
+                end = min(done + every, self.n_samples)
                 chunk = [np.flatnonzero(m) for m in memberships[done:end]]
                 values[done:end] = utility.evaluate_many(chunk,
                                                          stage="banzhaf")
                 done = end
-                session.maybe_flush(done)
-        return values
+                if fold(values, done):
+                    if session is not None:
+                        session.flush()
+                    return
+                if session is not None:
+                    session.maybe_flush(done)
+
+
+class _MSRState:
+    """Running Maximum-Sample-Reuse accumulators: per-player in/out sums
+    and counts (plus squared sums when a partial hook needs CLT standard
+    errors), folded one sampled coalition at a time in sample order."""
+
+    def __init__(self, n: int, *, track_sq: bool = False):
+        self.n = n
+        self.folded = 0
+        self.sum_in = np.zeros(n)
+        self.count_in = np.zeros(n)
+        self.sum_out = np.zeros(n)
+        self.count_out = np.zeros(n)
+        self.sq_in = np.zeros(n) if track_sq else None
+        self.sq_out = np.zeros(n) if track_sq else None
+
+    def add(self, membership: np.ndarray, value: float) -> None:
+        self.sum_in[membership] += value
+        self.count_in[membership] += 1
+        self.sum_out[~membership] += value
+        self.count_out[~membership] += 1
+        if self.sq_in is not None:
+            self.sq_in[membership] += value * value
+            self.sq_out[~membership] += value * value
+        self.folded += 1
+
+    def estimate(self) -> np.ndarray:
+        # Players never sampled on one side get a 0 mean on that side; with
+        # n_samples >= ~30 this is vanishingly rare and only dampens the
+        # estimate rather than biasing its sign.
+        n = self.n
+        mean_in = np.divide(self.sum_in, self.count_in, out=np.zeros(n),
+                            where=self.count_in > 0)
+        mean_out = np.divide(self.sum_out, self.count_out, out=np.zeros(n),
+                             where=self.count_out > 0)
+        return mean_in - mean_out
+
+    def _side_var(self, sums, sqs, counts) -> np.ndarray:
+        """Unbiased per-player sample variance of one side's values;
+        ``inf`` below two samples, where spread is unknowable."""
+        out = np.full(self.n, np.inf)
+        ok = counts > 1
+        mean = np.divide(sums, counts, out=np.zeros(self.n), where=ok)
+        var = np.maximum(sqs - counts * mean * mean, 0.0)
+        np.divide(var, counts - 1, out=out, where=ok)
+        return out
+
+    def stderr(self) -> np.ndarray:
+        """CLT standard error of the mean-difference estimate: the in and
+        out sides are independent sample means, so their variances add."""
+        var_in = self._side_var(self.sum_in, self.sq_in, self.count_in)
+        var_out = self._side_var(self.sum_out, self.sq_out, self.count_out)
+        with np.errstate(invalid="ignore"):
+            return np.sqrt(
+                np.divide(var_in, self.count_in,
+                          out=np.full(self.n, np.inf),
+                          where=self.count_in > 0)
+                + np.divide(var_out, self.count_out,
+                            out=np.full(self.n, np.inf),
+                            where=self.count_out > 0))

@@ -459,6 +459,52 @@ def _majority_class(y: np.ndarray):
     return classes[np.argmax(counts)]
 
 
+# --- anytime/partial-result plumbing shared by the estimator loops ----------
+
+def clt_stderr(sums: np.ndarray, sumsqs: np.ndarray,
+               count: int) -> np.ndarray:
+    """Per-player standard error of the running mean after ``count``
+    i.i.d. samples.
+
+    ``sums``/``sumsqs`` accumulate each player's samples and squared
+    samples; the CLT estimate is ``sqrt(sample_var / count)`` with the
+    unbiased (``count - 1``) variance. Returns ``inf`` for every player
+    while ``count < 2`` — one sample carries no spread information, so
+    an anytime consumer's ``stop_when(width)`` can never fire on it.
+    """
+    if count < 2:
+        return np.full(len(sums), np.inf)
+    mean = sums / count
+    var = np.maximum(sumsqs - count * mean * mean, 0.0) / (count - 1)
+    return np.sqrt(var / count)
+
+
+def resolve_partial(partial):
+    """Normalize the ``partial=`` anytime-results hook the sampling
+    estimators accept.
+
+    ``None`` disables partial publishing. Anything else must expose a
+    callable ``publish(method=, completed=, total=, values=, stderr=)``
+    returning truthy to stop the loop early, plus an optional integer
+    ``every`` attribute (publish/batch cadence in completed work units,
+    default 1). :class:`repro.serve.AnytimeEstimate` implements this
+    protocol; any duck-typed object works.
+    """
+    if partial is None:
+        return None
+    if not callable(getattr(partial, "publish", None)):
+        raise ValidationError(
+            "partial= must be None or expose a publish(**fields) callable "
+            f"(see repro.serve.AnytimeEstimate) — got "
+            f"{type(partial).__name__}")
+    return partial
+
+
+def partial_every(partial) -> int:
+    """Publish cadence of a ``partial=`` hook (``every`` attr, >= 1)."""
+    return max(1, int(getattr(partial, "every", 1) or 1))
+
+
 # --- checkpoint/resume plumbing shared by the estimator loops ---------------
 
 def hex_floats(values) -> list[str]:
@@ -566,6 +612,11 @@ class _CheckpointSession:
 
     def maybe_flush(self, completed: int) -> None:
         self.ckpt.maybe_flush(completed)
+
+    def flush(self) -> None:
+        """Snapshot now, ignoring the cadence — the early-stop path, so
+        an anytime-stopped job's final state is durable and resumable."""
+        self.ckpt.flush()
 
     def close(self) -> None:
         if self._journal is not None and self.cache is not None:

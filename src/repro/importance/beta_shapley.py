@@ -16,6 +16,8 @@ estimate of the semivalue.
 
 from __future__ import annotations
 
+import contextlib
+
 import numpy as np
 from scipy.special import betaln, gammaln
 
@@ -23,10 +25,13 @@ from repro.core.exceptions import ValidationError
 from repro.core.rng import spawn_rngs
 from repro.importance.base import (
     Utility,
+    clt_stderr,
     emit_importance_run,
     hex_floats,
     open_checkpoint_session,
+    partial_every,
     require_checkpoint_seed,
+    resolve_partial,
     unhex_floats,
 )
 from repro.observe.observer import resolve_observer
@@ -72,12 +77,19 @@ class BetaShapley:
         as :class:`~repro.importance.MonteCarloShapley`: requires an
         integer ``seed``, and a resumed run is hex-identical to an
         uninterrupted one on any backend.
+    partial:
+        Optional anytime-results hook (see
+        :func:`repro.importance.base.resolve_partial`): each folded walk
+        publishes the running weighted estimate with per-player CLT
+        standard errors over the size-weighted marginal samples;
+        returning truthy stops early with the current estimate
+        (snapshotted first when ``checkpoint=`` is active).
     """
 
     def __init__(self, alpha: float = 16.0, beta: float = 1.0,
                  n_permutations: int = 100, seed=None, observer=None,
                  checkpoint=None, checkpoint_every: int = 10,
-                 resume_from=None):
+                 resume_from=None, partial=None):
         if n_permutations < 1:
             raise ValidationError("n_permutations must be >= 1")
         self.alpha = alpha
@@ -88,6 +100,7 @@ class BetaShapley:
         self.checkpoint = checkpoint
         self.checkpoint_every = checkpoint_every
         self.resume_from = resume_from
+        self.partial = resolve_partial(partial)
         if checkpoint is not None or resume_from is not None:
             require_checkpoint_seed(seed, "beta_shapley")
 
@@ -121,6 +134,7 @@ class BetaShapley:
 
     def _score(self, utility: Utility) -> np.ndarray:
         n = utility.n_players
+        partial = self.partial
         # Importance weight: marginal at size j appears w.p. 1/n under
         # permutation sampling but should carry probability p(j).
         size_weight = n * beta_size_weights(n, self.alpha, self.beta)
@@ -133,35 +147,86 @@ class BetaShapley:
             identity=self._identity(utility)
             if (self.checkpoint is not None or self.resume_from is not None)
             else "", observer=self.observer)
+
+        running = np.zeros(n)
+        running_sq = np.zeros(n) if partial is not None else None
+        folded = 0
+
+        def fold(permutation, marginals) -> bool:
+            """Fold one walk's size-weighted marginals in (walk order, so
+            the float sums match a single-pass reduction bitwise), then
+            publish; ``True`` when the hook requests an early stop."""
+            nonlocal folded
+            weighted = size_weight * marginals
+            running[permutation] += weighted
+            folded += 1
+            if partial is None:
+                return False
+            running_sq[permutation] += weighted * weighted
+            return bool(partial.publish(
+                method="beta_shapley", completed=folded,
+                total=self.n_permutations, values=running / folded,
+                stderr=clt_stderr(running, running_sq, folded)))
+
         try:
-            walks = self._walk(utility, permutations, session)
+            stopped = self._walk(utility, permutations, session, fold)
         finally:
             if session is not None:
                 session.close()
-        running = np.zeros(n)
-        for permutation, marginals in zip(permutations, walks):
-            running[permutation] += size_weight * marginals
+        if stopped:
+            return running / folded
         return running / self.n_permutations
 
-    def _walk(self, utility, permutations, session) -> list:
-        """Marginal arrays in permutation order; one batch normally,
-        cadence batches (restored prefix skipped) when checkpointing."""
-        if session is None:
-            return utility.walk_permutations(permutations,
-                                             stage="beta_shapley")
+    def _walk(self, utility, permutations, session, fold) -> bool:
+        """Walk and fold permutations in order; one batch normally,
+        cadence batches (restored prefix skipped) when checkpointing or
+        publishing partials. Returns ``True`` on an anytime early stop
+        (flushing a final resumable snapshot first)."""
+        if session is None and self.partial is None:
+            for permutation, marginals in zip(
+                    permutations,
+                    utility.walk_permutations(permutations,
+                                              stage="beta_shapley")):
+                fold(permutation, marginals)
+            return False
+        every = session.every if session is not None \
+            else partial_every(self.partial)
+        if self.partial is not None:
+            every = min(every, partial_every(self.partial))
         walks: list[np.ndarray] = []
-        payload = session.resume()
-        if payload is not None:
-            walks = [unhex_floats(m) for m in payload["marginals"]]
-            session.record_skipped(completed=len(walks),
-                                   total=self.n_permutations,
-                                   method="beta_shapley")
-        with session.session(
-                lambda: len(walks),
-                lambda: {"marginals": [hex_floats(m) for m in walks]}):
+        replayed = 0
+        if session is not None:
+            payload = session.resume()
+            if payload is not None:
+                walks = [unhex_floats(m) for m in payload["marginals"]]
+                replayed = len(walks)
+                session.record_skipped(completed=replayed,
+                                       total=self.n_permutations,
+                                       method="beta_shapley")
+        guard = session.session(
+            lambda: len(walks),
+            lambda: {"marginals": [hex_floats(m) for m in walks]},
+        ) if session is not None else contextlib.nullcontext()
+        with guard:
+            for i in range(replayed):  # replay through the same folder
+                if fold(permutations[i], walks[i]):
+                    if session is not None:
+                        session.flush()
+                    return True
             while len(walks) < self.n_permutations:
-                batch = permutations[len(walks):len(walks) + session.every]
-                walks.extend(utility.walk_permutations(
-                    batch, stage="beta_shapley"))
-                session.maybe_flush(len(walks))
-        return walks
+                batch = permutations[len(walks):len(walks) + every]
+                new_walks = utility.walk_permutations(
+                    batch, stage="beta_shapley")
+                walks.extend(new_walks)
+                stopped = False
+                for permutation, marginals in zip(batch, new_walks):
+                    if fold(permutation, marginals):
+                        stopped = True
+                        break
+                if stopped:
+                    if session is not None:
+                        session.flush()
+                    return True
+                if session is not None:
+                    session.maybe_flush(len(walks))
+        return False

@@ -8,6 +8,8 @@ training per training point.
 
 from __future__ import annotations
 
+import contextlib
+
 import numpy as np
 
 from repro.importance.base import (
@@ -15,6 +17,8 @@ from repro.importance.base import (
     emit_importance_run,
     hex_floats,
     open_checkpoint_session,
+    partial_every,
+    resolve_partial,
     unhex_floats,
 )
 from repro.observe.observer import resolve_observer
@@ -22,8 +26,8 @@ from repro.runtime.cache import fingerprint
 
 
 def leave_one_out(utility: Utility, *, observer=None, checkpoint=None,
-                  checkpoint_every: int = 25,
-                  resume_from=None) -> np.ndarray:
+                  checkpoint_every: int = 25, resume_from=None,
+                  partial=None) -> np.ndarray:
     """Compute LOO values for every player of ``utility``.
 
     Returns an array of length ``utility.n_players`` following the
@@ -36,18 +40,26 @@ def leave_one_out(utility: Utility, *, observer=None, checkpoint=None,
     ``checkpoint_every`` / ``resume_from`` durably snapshot completed
     drop-one evaluations (LOO is deterministic, so no seed is needed);
     a resumed sweep is hex-identical to an uninterrupted one.
+
+    ``partial`` is the anytime-results hook shared by all importance
+    methods (see :func:`repro.importance.base.resolve_partial`). LOO is
+    exact, not sampled, so published values carry a standard error of
+    ``0`` once computed and ``inf`` while still pending (``NaN`` value);
+    returning truthy from ``publish`` stops the sweep with the pending
+    tail left as ``NaN`` (snapshotted first when ``checkpoint=`` is
+    active, so the job resumes to the exact full-sweep result).
     """
     obs = resolve_observer(observer)
     if not obs.enabled:
         return _leave_one_out(utility, observer=obs, checkpoint=checkpoint,
                               checkpoint_every=checkpoint_every,
-                              resume_from=resume_from)
+                              resume_from=resume_from, partial=partial)
     calls_before = utility.calls
     cache = utility.runtime.cache if utility.runtime is not None else None
     with obs.span("leave_one_out", cache=cache, players=utility.n_players):
         values = _leave_one_out(utility, observer=obs, checkpoint=checkpoint,
                                 checkpoint_every=checkpoint_every,
-                                resume_from=resume_from)
+                                resume_from=resume_from, partial=partial)
     emit_importance_run(
         obs, method="leave_one_out", params={}, seed=None, utility=utility,
         calls_before=calls_before, values=values)
@@ -55,9 +67,10 @@ def leave_one_out(utility: Utility, *, observer=None, checkpoint=None,
 
 
 def _leave_one_out(utility: Utility, *, observer=None, checkpoint=None,
-                   checkpoint_every: int = 25,
-                   resume_from=None) -> np.ndarray:
+                   checkpoint_every: int = 25, resume_from=None,
+                   partial=None) -> np.ndarray:
     n = utility.n_players
+    partial = resolve_partial(partial)
     everyone = np.arange(n)
     drop_one = [np.delete(everyone, i) for i in range(n)]
     session = open_checkpoint_session(
@@ -66,33 +79,69 @@ def _leave_one_out(utility: Utility, *, observer=None, checkpoint=None,
         identity=fingerprint("checkpoint.loo", utility.base_fingerprint())
         if (checkpoint is not None or resume_from is not None) else "",
         observer=observer)
-    if session is None:
+    if session is None and partial is None:
         full = utility.full_value()
         return full - utility.evaluate_many(drop_one, stage="leave_one_out")
+
+    def publish(full, values, done) -> bool:
+        """LOO is exact per player: computed entries have stderr 0, the
+        pending tail is NaN with stderr inf."""
+        if partial is None or done == 0:
+            return False  # nothing computed yet: nothing to publish
+        estimate = np.full(n, np.nan)
+        estimate[:done] = full - values[:done]
+        stderr = np.full(n, np.inf)
+        stderr[:done] = 0.0
+        return bool(partial.publish(
+            method="leave_one_out", completed=done, total=n,
+            values=estimate, stderr=stderr))
+
     try:
         full = None
         values = np.empty(n)
         done = 0
-        payload = session.resume()
-        if payload is not None:
-            full = float.fromhex(payload["full_value"])
-            restored = unhex_floats(payload["values"])
-            values[:len(restored)] = restored
-            done = len(restored)
-            session.record_skipped(completed=done, total=n,
-                                   method="leave_one_out")
+        if session is not None:
+            payload = session.resume()
+            if payload is not None:
+                full = float.fromhex(payload["full_value"])
+                restored = unhex_floats(payload["values"])
+                values[:len(restored)] = restored
+                done = len(restored)
+                session.record_skipped(completed=done, total=n,
+                                       method="leave_one_out")
         if full is None:
             full = utility.full_value()
-        with session.session(
-                lambda: done,
-                lambda: {"full_value": full.hex(),
-                         "values": hex_floats(values[:done])}):
+        every = session.every if session is not None else n
+        if partial is not None:
+            every = max(1, min(every, partial_every(partial)))
+        guard = session.session(
+            lambda: done,
+            lambda: {"full_value": full.hex(),
+                     "values": hex_floats(values[:done])},
+        ) if session is not None else contextlib.nullcontext()
+        with guard:
+            if publish(full, values, done):  # restored prefix may already
+                if session is not None:      # satisfy the stop predicate
+                    session.flush()
+                result = np.full(n, np.nan)
+                result[:done] = full - values[:done]
+                return result
             while done < n:
-                end = min(done + session.every, n)
+                end = min(done + every, n)
                 values[done:end] = utility.evaluate_many(
                     drop_one[done:end], stage="leave_one_out")
                 done = end
-                session.maybe_flush(done)
+                if publish(full, values, done):
+                    if session is not None:
+                        session.flush()
+                    if done < n:
+                        result = np.full(n, np.nan)
+                        result[:done] = full - values[:done]
+                        return result
+                    break
+                if session is not None:
+                    session.maybe_flush(done)
     finally:
-        session.close()
+        if session is not None:
+            session.close()
     return full - values

@@ -27,10 +27,13 @@ from repro.core.exceptions import ValidationError
 from repro.core.rng import spawn_rngs
 from repro.importance.base import (
     Utility,
+    clt_stderr,
     emit_importance_run,
     hex_floats,
     open_checkpoint_session,
+    partial_every,
     require_checkpoint_seed,
+    resolve_partial,
     unhex_floats,
 )
 from repro.observe.observer import resolve_observer
@@ -73,12 +76,22 @@ class MonteCarloShapley:
         The resumed estimate — scores, ``utility.calls``, cache keys —
         is hex-identical to an uninterrupted run on any backend. A
         snapshot from a different job (params/seed/data) is rejected.
+    partial:
+        Optional anytime-results hook (see
+        :func:`repro.importance.base.resolve_partial`): after every
+        permutation folded in, ``partial.publish`` receives the running
+        estimate plus per-player CLT standard errors; returning truthy
+        stops the loop early with the current estimate (snapshotting it
+        first when ``checkpoint=`` is active, so the job can later be
+        resumed to the exact full-run result). The hook's ``every``
+        attribute bounds the walk batch size so partial estimates stay
+        responsive on pooled backends.
     """
 
     def __init__(self, n_permutations: int = 100, truncation_tol: float = 0.01,
                  convergence_tol: float | None = None, convergence_window: int = 10,
                  seed=None, observer=None, checkpoint=None,
-                 checkpoint_every: int = 10, resume_from=None):
+                 checkpoint_every: int = 10, resume_from=None, partial=None):
         if n_permutations < 1:
             raise ValidationError("n_permutations must be >= 1")
         if truncation_tol < 0:
@@ -92,6 +105,7 @@ class MonteCarloShapley:
         self.checkpoint = checkpoint
         self.checkpoint_every = checkpoint_every
         self.resume_from = resume_from
+        self.partial = resolve_partial(partial)
         if checkpoint is not None or resume_from is not None:
             require_checkpoint_seed(seed, "shapley_mc")
 
@@ -147,6 +161,7 @@ class MonteCarloShapley:
 
     def _score_loop(self, utility, permutations, session) -> np.ndarray:
         n = utility.n_players
+        partial = self.partial
         full_value = None
         completed: list[np.ndarray] = []  # marginal arrays, walk order
         if session is not None:
@@ -161,15 +176,22 @@ class MonteCarloShapley:
             full_value = utility.full_value()
 
         running = np.zeros(n)
+        # Squared-sample accumulator for the CLT stderr; only maintained
+        # when someone is listening.
+        running_sq = np.zeros(n) if partial is not None else None
         history: list[np.ndarray] = []
         t = 0
+        stopped_early = False
 
         def accumulate(permutation, marginals) -> np.ndarray | None:
-            """Fold one walk in, in order; the converged estimate when
-            the stability criterion fires, else ``None``."""
-            nonlocal t
+            """Fold one walk in, in order; the current estimate when the
+            stability criterion fires or the partial hook requests an
+            early stop, else ``None``."""
+            nonlocal t, stopped_early
             t += 1
             running[permutation] += marginals
+            if running_sq is not None:
+                running_sq[permutation] += marginals * marginals
             if self.convergence_tol is not None:
                 history.append(running / t)
                 if len(history) > self.convergence_window:
@@ -179,17 +201,36 @@ class MonteCarloShapley:
                     if float(np.mean(drift / scale)) < self.convergence_tol:
                         self.n_permutations_used_ = t
                         return running / t
+            if partial is not None:
+                stop = partial.publish(
+                    method="shapley_mc", completed=t,
+                    total=self.n_permutations, values=running / t,
+                    stderr=clt_stderr(running, running_sq, t))
+                if stop:
+                    stopped_early = True
+                    self.n_permutations_used_ = t
+                    return running / t
             return None
+
+        def finish(estimate: np.ndarray) -> np.ndarray:
+            # An anytime stop must leave a durable, resumable snapshot:
+            # the resumed run replays `completed` and continues to the
+            # exact full-run result.
+            if stopped_early and session is not None:
+                session.flush()
+            return estimate
 
         workers = (utility.runtime.executor.effective_workers
                    if utility.runtime is not None else 1)
-        if self.convergence_tol is None:
+        if self.convergence_tol is None and partial is None:
             batch_size = self.n_permutations
         else:
             # Small batches keep the early-stop check responsive without
             # starving the pool; a converged batch discards at most
             # batch_size - 1 extra walks.
             batch_size = max(self.convergence_window, workers)
+        if partial is not None:
+            batch_size = max(1, min(batch_size, partial_every(partial)))
         if session is not None:
             # Walks land at cadence boundaries, so every snapshot is a
             # consistent prefix and resumed batching realigns with the
@@ -206,10 +247,10 @@ class MonteCarloShapley:
             # order, through the same accumulator — so running sums,
             # history, and any convergence decision are bit-identical
             # to the uninterrupted run's.
-            for marginals in completed:
+            for marginals in list(completed):
                 converged = accumulate(permutations[t], marginals)
                 if converged is not None:
-                    return converged
+                    return finish(converged)
             while t < self.n_permutations:
                 batch = permutations[t:t + batch_size]
                 walks = utility.walk_permutations(
@@ -219,7 +260,7 @@ class MonteCarloShapley:
                 for permutation, marginals in zip(batch, walks):
                     converged = accumulate(permutation, marginals)
                     if converged is not None:
-                        return converged
+                        return finish(converged)
                 if session is not None:
                     session.maybe_flush(t)
         self.n_permutations_used_ = t

@@ -46,6 +46,7 @@ from repro.runtime.checkpoint import (
     CheckpointRecord,
     CheckpointStore,
     LoopCheckpointer,
+    flush_all,
     flush_on_shutdown,
     register_shutdown_flush,
     resolve_checkpoint_store,
@@ -116,6 +117,7 @@ __all__ = [
     "close_all_runtimes",
     "data_fingerprint",
     "fingerprint",
+    "flush_all",
     "flush_on_shutdown",
     "get_executor",
     "register_shutdown_flush",

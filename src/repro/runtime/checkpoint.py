@@ -58,6 +58,7 @@ __all__ = [
     "CheckpointStore",
     "Checkpointable",
     "LoopCheckpointer",
+    "flush_all",
     "flush_on_shutdown",
     "register_shutdown_flush",
     "resolve_checkpoint_store",
@@ -355,10 +356,21 @@ def _shutdown_handler(signum, frame) -> None:
         os.kill(os.getpid(), signum)
 
 
+_HANDLERS_INSTALLED = False
+
+
 def _install_handlers() -> None:
     # signal.signal only works from the main thread; a loop running on a
     # worker thread simply skips the hook (its checkpoints still flush
-    # at every cadence boundary).
+    # at every cadence boundary — and :func:`flush_all` covers embedded
+    # drains). Installation is retried on every registration until it
+    # succeeds, so a worker-thread registration arriving *first* (the
+    # server case: jobs run on worker threads before the main thread
+    # ever registers) does not permanently block a later main-thread
+    # registration from installing the handlers.
+    global _HANDLERS_INSTALLED
+    if _HANDLERS_INSTALLED:
+        return
     for signum in _SHUTDOWN_SIGNALS:
         try:
             _PREVIOUS_HANDLERS[signum] = signal.signal(signum,
@@ -366,9 +378,11 @@ def _install_handlers() -> None:
         except ValueError:
             _PREVIOUS_HANDLERS.clear()
             return
+    _HANDLERS_INSTALLED = True
 
 
 def _uninstall_handlers() -> None:
+    global _HANDLERS_INSTALLED
     for signum, previous in list(_PREVIOUS_HANDLERS.items()):
         try:
             if signal.getsignal(signum) is _shutdown_handler:
@@ -376,23 +390,39 @@ def _uninstall_handlers() -> None:
         except ValueError:
             pass
     _PREVIOUS_HANDLERS.clear()
+    _HANDLERS_INSTALLED = False
 
 
 def register_shutdown_flush(flush) -> int:
     """Register a zero-arg flush callable to run on SIGTERM/SIGINT.
 
-    Returns a handle for :func:`unregister_shutdown_flush`. The first
-    registration installs the signal handlers (main thread only); the
-    last removal restores the previous ones.
+    Returns a handle for :func:`unregister_shutdown_flush`. Handler
+    installation is attempted on every registration until one succeeds
+    (only the main thread can install; worker-thread registrations
+    still record their hooks for :func:`flush_all` and for a handler a
+    later main-thread registration installs). The last removal restores
+    the previous handlers.
     """
     global _FLUSH_COUNTER
     with _FLUSH_LOCK:
         handle = _FLUSH_COUNTER
         _FLUSH_COUNTER += 1
-        if not _FLUSH_HOOKS:
-            _install_handlers()
+        _install_handlers()
         _FLUSH_HOOKS[handle] = flush
     return handle
+
+
+def flush_all() -> None:
+    """Run every registered shutdown-flush hook now (signal-free).
+
+    The embedded-server drain path: :meth:`repro.serve.Server.drain`
+    calls this *before* tearing down worker pools, so every armed
+    :class:`LoopCheckpointer` — including ones running on worker
+    threads, where signal handlers cannot be installed — persists its
+    final snapshot without double-registering or re-entering the signal
+    machinery. Safe to call at any time; hooks that fail are skipped.
+    """
+    _run_flush_hooks()
 
 
 def unregister_shutdown_flush(handle: int) -> None:

@@ -35,7 +35,9 @@ import hashlib
 import math
 import os
 import pickle
+import threading
 import time
+from collections import OrderedDict
 from concurrent.futures import (
     FIRST_COMPLETED,
     BrokenExecutor,
@@ -431,39 +433,50 @@ def _run_chunk_with_shared(fn, shared, chunk):
 
 class ThreadExecutor(_PooledExecutor):
     """Thread-pool backend; ``shared`` is passed by reference (same
-    process), so it must be treated as read-only by ``fn``."""
+    process), so it must be treated as read-only by ``fn``.
+
+    Safe under concurrent :meth:`map` callers (a serving tier runs many
+    jobs over one executor): pool construction, discard, and close are
+    serialized by a lock, so two racing callers share one pool instead
+    of leaking a second one.
+    """
 
     name = "thread"
 
     def __init__(self, max_workers: int | None = None):
         super().__init__(max_workers)
         self._pool: ThreadPoolExecutor | None = None
+        self._pool_lock = threading.RLock()
 
     @property
     def effective_workers(self) -> int:
         return self.max_workers or _available_cpus()
 
     def _ensure_pool(self) -> ThreadPoolExecutor:
-        if self._pool is None:
-            self._pool = ThreadPoolExecutor(max_workers=self.effective_workers)
-        return self._pool
+        with self._pool_lock:
+            if self._pool is None:
+                self._pool = ThreadPoolExecutor(
+                    max_workers=self.effective_workers)
+            return self._pool
 
     def _submit(self, fn, shared, chunk):
         return self._ensure_pool().submit(_run_chunk_with_shared, fn, shared,
                                           chunk)
 
     def _discard_pool(self) -> None:
-        if self._pool is not None:
-            self._pool.shutdown(wait=False, cancel_futures=True)
-            self._pool = None
+        with self._pool_lock:
+            pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=False, cancel_futures=True)
 
     def close(self, wait: bool = True) -> None:
-        if self._pool is not None:
+        with self._pool_lock:
+            pool, self._pool = self._pool, None
+        if pool is not None:
             try:
-                self._pool.shutdown(wait=wait, cancel_futures=not wait)
+                pool.shutdown(wait=wait, cancel_futures=not wait)
             except Exception:  # interpreter/pool teardown already underway
                 pass
-            self._pool = None
 
 
 # --- process backend -------------------------------------------------------
@@ -483,57 +496,132 @@ def _run_chunk_in_worker(fn, chunk):
 
 
 class ProcessExecutor(_PooledExecutor):
-    """Process-pool backend with shared-state shipping.
+    """Process-pool backend with a keyed warm-pool registry.
 
-    The pool is kept alive across :meth:`map` calls as long as ``shared``
-    pickles to the same bytes (the common case: many scoring rounds over
-    one utility), and is transparently rebuilt when it changes — or when
-    the pool breaks (a worker died): any pool-level failure clears both
-    the pool and its digest, so the next submission always builds a
-    fresh, healthy pool instead of reusing a dead one.
+    Pools are keyed by the SHA-256 of the pickled ``shared`` payload and
+    kept warm across :meth:`map` calls, so (a) repeated scoring rounds
+    over one utility reuse one pool with zero re-ship cost, and (b)
+    **concurrent** :meth:`map` callers with *different* payloads — the
+    multi-tenant serving case, many jobs sharing one executor — each get
+    their own pool instead of thrashing a single slot (the old
+    single-pool design shut the other caller's pool down mid-flight).
+    The payload is pickled once per :meth:`map` call, not once per chunk
+    submission; per-chunk IPC carries only the chunk.
+
+    Registry maintenance is bounded: at most ``max_warm_pools`` pools
+    stay alive, evicting the least-recently-used *idle* pool (one with
+    no in-flight map call) first; pools with active callers are never
+    evicted. A broken pool is discarded for its own caller only. All
+    registry mutation happens under one re-entrant lock.
     """
 
     name = "process"
     _kills_stuck_workers = True
 
-    def __init__(self, max_workers: int | None = None):
+    def __init__(self, max_workers: int | None = None, *,
+                 max_warm_pools: int = 4):
         super().__init__(max_workers)
-        self._pool: ProcessPoolExecutor | None = None
-        self._pool_digest: str | None = None
+        if max_warm_pools < 1:
+            raise ValidationError("max_warm_pools must be >= 1")
+        self.max_warm_pools = max_warm_pools
+        self._pools: "OrderedDict[str, ProcessPoolExecutor]" = OrderedDict()
+        self._refs: dict[str, int] = {}  # in-flight map calls per digest
+        self._registry_lock = threading.RLock()
+        self._tls = threading.local()  # current map call's digest+payload
 
     @property
     def effective_workers(self) -> int:
         return self.max_workers or _available_cpus()
 
-    def _ensure_pool(self, shared) -> ProcessPoolExecutor:
+    # -- compatibility views (and handy introspection) ---------------------
+    @property
+    def _pool(self) -> ProcessPoolExecutor | None:
+        """The most-recently-used live pool (``None`` when empty)."""
+        with self._registry_lock:
+            if not self._pools:
+                return None
+            return next(reversed(self._pools.values()))
+
+    @property
+    def _pool_digest(self) -> str | None:
+        """Digest of the most-recently-used live pool."""
+        with self._registry_lock:
+            if not self._pools:
+                return None
+            return next(reversed(self._pools))
+
+    @property
+    def warm_pools(self) -> int:
+        with self._registry_lock:
+            return len(self._pools)
+
+    # -- the per-map digest pin --------------------------------------------
+    def map(self, fn, tasks, *, shared=None, **kwargs) -> list:
+        """Pickle ``shared`` once, pin this call to its pool, fan out."""
         payload = pickle.dumps(shared, protocol=pickle.HIGHEST_PROTOCOL)
         digest = hashlib.sha256(payload).hexdigest()
-        if self._pool is not None and digest != self._pool_digest:
-            self._pool.shutdown(wait=True)
-            self._pool = None
-            self._pool_digest = None
-        if self._pool is None:
-            self._pool = ProcessPoolExecutor(
-                max_workers=self.effective_workers,
-                initializer=_install_shared, initargs=(payload,))
-            self._pool_digest = digest
-        return self._pool
+        previous = getattr(self._tls, "pin", None)
+        self._tls.pin = (digest, payload)
+        with self._registry_lock:
+            self._refs[digest] = self._refs.get(digest, 0) + 1
+        try:
+            return super().map(fn, tasks, shared=shared, **kwargs)
+        finally:
+            with self._registry_lock:
+                remaining = self._refs.get(digest, 1) - 1
+                if remaining:
+                    self._refs[digest] = remaining
+                else:
+                    self._refs.pop(digest, None)
+                self._evict_idle()
+            self._tls.pin = previous
+
+    def _current_digest(self) -> str:
+        return self._tls.pin[0]
+
+    def _ensure_pool(self) -> ProcessPoolExecutor:
+        digest, payload = self._tls.pin
+        with self._registry_lock:
+            pool = self._pools.get(digest)
+            if pool is None:
+                pool = ProcessPoolExecutor(
+                    max_workers=self.effective_workers,
+                    initializer=_install_shared, initargs=(payload,))
+                self._pools[digest] = pool
+            self._pools.move_to_end(digest)
+            self._evict_idle()
+            return pool
+
+    def _evict_idle(self) -> None:
+        # caller holds the lock; drop LRU pools nobody is mapping over
+        # until the registry fits the cap.
+        while len(self._pools) > self.max_warm_pools:
+            idle = [d for d in self._pools if not self._refs.get(d)]
+            if not idle:
+                return  # every pool has an active caller; over-cap is OK
+            victim = self._pools.pop(idle[0])
+            try:
+                victim.shutdown(wait=False, cancel_futures=True)
+            except Exception:
+                pass
 
     def _submit(self, fn, shared, chunk):
-        return self._ensure_pool(shared).submit(_run_chunk_in_worker, fn,
-                                                chunk)
+        return self._ensure_pool().submit(_run_chunk_in_worker, fn, chunk)
 
     def _discard_pool(self) -> None:
-        if self._pool is not None:
+        # Only the calling map's own pool: a broken pool must not take
+        # a healthy concurrent caller's pool down with it.
+        with self._registry_lock:
+            pool = self._pools.pop(self._current_digest(), None)
+        if pool is not None:
             try:
-                self._pool.shutdown(wait=False, cancel_futures=True)
+                pool.shutdown(wait=False, cancel_futures=True)
             except Exception:  # a broken pool may refuse even shutdown
                 pass
-            self._pool = None
-            self._pool_digest = None
 
     def _terminate_workers(self) -> None:
-        pool = self._pool
+        with self._registry_lock:
+            pool = self._pools.get(self._current_digest())
         if pool is None:
             return
         for process in list(getattr(pool, "_processes", {}).values()):
@@ -543,13 +631,15 @@ class ProcessExecutor(_PooledExecutor):
                 pass
 
     def close(self, wait: bool = True) -> None:
-        if self._pool is not None:
+        with self._registry_lock:
+            pools = list(self._pools.values())
+            self._pools.clear()
+            self._refs.clear()
+        for pool in pools:
             try:
-                self._pool.shutdown(wait=wait, cancel_futures=not wait)
+                pool.shutdown(wait=wait, cancel_futures=not wait)
             except Exception:  # interpreter/pool teardown already underway
                 pass
-            self._pool = None
-            self._pool_digest = None
 
 
 def get_executor(backend, max_workers: int | None = None) -> Executor:

@@ -1,0 +1,65 @@
+"""Multi-tenant debugging-as-a-service job tier with anytime results.
+
+The paper frames data-error debugging as an interactive, iterative
+session; this package turns the library's blocking importance estimators
+into a shared service shaped for that workload. One
+:class:`Server` holds one warm :class:`~repro.runtime.Runtime` (worker
+pool + fingerprint cache) amortized across every tenant's session, and
+composes four pieces:
+
+- :class:`JobQueue` — bounded admission with per-tenant quotas and
+  weighted-fair (stride) dispatch; over-limit submissions raise
+  :class:`AdmissionError` with a ``retry_after`` hint.
+- :class:`LeaseManager` — checkpoint-store-persisted job ownership with
+  heartbeat, expiry, and epoch fencing, so any process can adopt a
+  crashed worker's job and resume it hex-identically from its
+  checkpoint.
+- :class:`AnytimeEstimate` — the streaming-results mailbox importance
+  jobs publish into: partial estimates with CLT confidence intervals
+  that tighten as permutations land, plus the ``stop_when(width)``
+  accuracy-budget early stop.
+- :class:`Server` — the facade: submit / status / stream / result /
+  cancel / resume, per-tenant metrics isolation, per-job runlogs, and
+  graceful drain that flushes checkpoints before pool teardown.
+
+Quick start::
+
+    from repro.serve import Server
+
+    with Server("serve-data", workers=4) as server:
+        job = server.submit("shapley_mc", make_utility, tenant="alice",
+                            params={"n_permutations": 200, "seed": 0})
+        server.stop_when(job, width=0.05)   # accuracy budget
+        for partial in server.stream(job):
+            print(partial.completed, partial.width)
+        values = server.result(job)
+
+``python -m repro.serve --config serve.json`` boots the same thing from
+a config file (:class:`ServeConfig`).
+"""
+
+from repro.serve.anytime import AnytimeEstimate, PartialEstimate
+from repro.serve.config import ServeConfig
+from repro.serve.jobs import Job, JobSpec, JobState, METHODS
+from repro.serve.lease import Lease, LeaseLost, LeaseManager
+from repro.serve.queue import AdmissionError, JobQueue
+from repro.serve.server import Server
+from repro.serve.worker import Worker, run_method
+
+__all__ = [
+    "METHODS",
+    "AdmissionError",
+    "AnytimeEstimate",
+    "Job",
+    "JobQueue",
+    "JobSpec",
+    "JobState",
+    "Lease",
+    "LeaseLost",
+    "LeaseManager",
+    "PartialEstimate",
+    "ServeConfig",
+    "Server",
+    "Worker",
+    "run_method",
+]

@@ -1,0 +1,101 @@
+"""Declarative server configuration (the ``repro-serve`` entry point).
+
+A service should be bootable without writing code: a JSON file names the
+data directory, backend, worker count, queue bounds, and tenants, and
+``python -m repro.serve --config serve.json`` builds the matching
+:class:`~repro.serve.Server`. The schema is the constructor surface of
+:class:`ServeConfig` — anything omitted takes the library default.
+
+Example ``serve.json``::
+
+    {
+      "data_dir": "serve-data",
+      "backend": "thread",
+      "workers": 4,
+      "queue_capacity": 128,
+      "lease_ttl": 15.0,
+      "tenants": {
+        "alice": {"weight": 3.0, "max_pending": 32},
+        "bob":   {"weight": 1.0}
+      }
+    }
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.core.exceptions import ValidationError
+
+__all__ = ["ServeConfig"]
+
+
+@dataclass
+class ServeConfig:
+    """Everything needed to build a :class:`~repro.serve.Server`.
+
+    ``backend`` / ``max_workers`` / ``cache`` describe the shared
+    :class:`~repro.runtime.Runtime` the server builds; the remaining
+    fields pass through to the server constructor.
+    """
+
+    data_dir: str = "serve-data"
+    backend: str = "serial"
+    max_workers: int | None = None
+    cache: bool = True
+    workers: int = 2
+    queue_capacity: int = 64
+    retry_after: float = 1.0
+    lease_ttl: float = 30.0
+    default_every: int = 1
+    confidence: float = 0.95
+    tenants: dict = field(default_factory=dict)
+
+    _FIELDS = ("data_dir", "backend", "max_workers", "cache", "workers",
+               "queue_capacity", "retry_after", "lease_ttl",
+               "default_every", "confidence", "tenants")
+
+    @classmethod
+    def from_file(cls, path: str | os.PathLike) -> "ServeConfig":
+        """Load a JSON config; unknown keys are rejected loudly."""
+        try:
+            raw = json.loads(Path(path).read_text(encoding="utf-8"))
+        except OSError as exc:
+            raise ValidationError(f"cannot read config {path}: {exc}")
+        except ValueError as exc:
+            raise ValidationError(f"config {path} is not valid JSON: {exc}")
+        if not isinstance(raw, dict):
+            raise ValidationError(
+                f"config {path} must be a JSON object, got "
+                f"{type(raw).__name__}")
+        unknown = sorted(set(raw) - set(cls._FIELDS))
+        if unknown:
+            raise ValidationError(
+                f"config {path} has unknown keys {unknown}; allowed: "
+                f"{sorted(cls._FIELDS)}")
+        return cls(**raw)
+
+    def build_server(self, *, observer=None):
+        """Construct the configured :class:`~repro.serve.Server` (and
+        the shared Runtime it evaluates through)."""
+        from repro.runtime.cache import FingerprintCache
+        from repro.runtime.runtime import Runtime
+        from repro.serve.server import Server
+
+        runtime = Runtime(backend=self.backend,
+                          max_workers=self.max_workers,
+                          cache=FingerprintCache() if self.cache else None)
+        server = Server(self.data_dir, runtime=runtime,
+                        workers=self.workers,
+                        queue_capacity=self.queue_capacity,
+                        retry_after=self.retry_after,
+                        lease_ttl=self.lease_ttl,
+                        default_every=self.default_every,
+                        confidence=self.confidence, tenants=self.tenants,
+                        observer=observer)
+        # The server built the runtime's config, so it owns the pool.
+        server._owns_runtime = True
+        return server

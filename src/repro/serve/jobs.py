@@ -1,0 +1,154 @@
+"""Job model for the serving tier: what a tenant submits, what runs.
+
+A :class:`JobSpec` is the immutable description of one importance run —
+tenant, method, parameters, and a way to obtain the
+:class:`~repro.importance.Utility` it scores. A :class:`Job` wraps the
+spec with everything mutable: lifecycle state, the
+:class:`~repro.serve.AnytimeEstimate` consumers read, the final result
+or error, and the cooperative cancel flag.
+
+Jobs are identified by a caller-stable ``job_id``: submitting the same
+id (same method/params/seed/data) from *any* process resumes the same
+logical job — its checkpoint store and lease live under the server's
+``data_dir`` keyed by that id, which is what makes crash adoption a
+resubmission rather than a special code path.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+
+from repro.core.exceptions import ValidationError
+from repro.serve.anytime import AnytimeEstimate
+
+__all__ = ["Job", "JobSpec", "JobState", "METHODS"]
+
+#: Importance methods the serving tier knows how to run.
+METHODS = ("shapley_mc", "banzhaf", "beta_shapley", "loo")
+
+
+class JobState:
+    """String constants for the job lifecycle (kept as plain strings so
+    they serialize into runlog events and status dicts unchanged)."""
+
+    PENDING = "pending"
+    RUNNING = "running"
+    DONE = "done"
+    FAILED = "failed"
+    CANCELLED = "cancelled"
+    LEASE_LOST = "lease_lost"
+
+    TERMINAL = frozenset({DONE, FAILED, CANCELLED, LEASE_LOST})
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    """Immutable description of one importance job.
+
+    ``utility`` is either a built :class:`~repro.importance.Utility` or
+    a zero-argument callable returning one (a *factory*). Prefer the
+    factory form: each run gets a private utility (its ``calls``
+    accounting is per-job, and two concurrent jobs never share mutable
+    state), and an adopting process can rebuild it from scratch.
+    ``params`` are passed to the estimator verbatim (``n_permutations``,
+    ``seed``, ``alpha``...); sampling methods need an integer ``seed``
+    because every job is checkpointed for lease adoption.
+    """
+
+    job_id: str
+    tenant: str
+    method: str
+    utility: object
+    params: dict = field(default_factory=dict)
+    priority: int = 0
+
+    def __post_init__(self):
+        if self.method not in METHODS:
+            raise ValidationError(
+                f"method must be one of {METHODS} — got {self.method!r}")
+        if not self.job_id:
+            raise ValidationError("job_id must be a non-empty string")
+
+    def build_utility(self):
+        """The job's Utility: call the factory, or use the instance."""
+        utility = self.utility
+        return utility() if callable(utility) else utility
+
+
+class Job:
+    """One submitted job's mutable runtime state (thread-safe)."""
+
+    def __init__(self, spec: JobSpec, *, anytime: AnytimeEstimate,
+                 seq: int = 0):
+        self.spec = spec
+        self.anytime = anytime
+        self.seq = seq  # admission order; the queue's FIFO tiebreaker
+        self.not_before = 0.0  # earliest dispatch time (lease backoff)
+        self._lock = threading.Lock()
+        self._done = threading.Event()
+        self._state = JobState.PENDING
+        self.result = None
+        self.error: str | None = None
+        self.worker: str | None = None
+        self.attempts = 0
+
+    # -- state machine -----------------------------------------------------
+    @property
+    def state(self) -> str:
+        with self._lock:
+            return self._state
+
+    def transition(self, state: str, *, error: str | None = None,
+                   result=None) -> None:
+        with self._lock:
+            self._state = state
+            if error is not None:
+                self.error = error
+            if result is not None:
+                self.result = result
+        if state in JobState.TERMINAL:
+            self._done.set()
+
+    @property
+    def finished(self) -> bool:
+        return self._done.is_set()
+
+    def wait(self, timeout: float | None = None) -> bool:
+        """Block until the job reaches a terminal state."""
+        return self._done.wait(timeout)
+
+    # -- cancellation ------------------------------------------------------
+    def request_cancel(self) -> None:
+        """Cooperative cancel: a pending job is dropped at dispatch; a
+        running one aborts at its next partial publish."""
+        self.anytime.stop()  # wake any consumer-side waiters promptly
+        with self._lock:
+            self._cancel = True
+
+    @property
+    def cancel_requested(self) -> bool:
+        with self._lock:
+            return getattr(self, "_cancel", False)
+
+    def status(self) -> dict:
+        """JSON-able snapshot for :meth:`repro.serve.Server.status`."""
+        latest = self.anytime.latest()
+        with self._lock:
+            return {
+                "job_id": self.spec.job_id,
+                "tenant": self.spec.tenant,
+                "method": self.spec.method,
+                "priority": self.spec.priority,
+                "state": self._state,
+                "error": self.error,
+                "worker": self.worker,
+                "attempts": self.attempts,
+                "completed": latest.completed if latest else 0,
+                "total": latest.total if latest else None,
+                "ci_width": latest.width if latest else None,
+            }
+
+    def __repr__(self) -> str:
+        return (f"Job({self.spec.job_id!r}, tenant={self.spec.tenant!r}, "
+                f"method={self.spec.method!r}, state={self.state!r})")

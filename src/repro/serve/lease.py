@@ -1,0 +1,191 @@
+"""Checkpoint-backed job leases: crash-safe ownership with adoption.
+
+A job must run on exactly one worker at a time, yet any worker must be
+able to pick it up after its owner dies — without a coordinator. The
+lease is the standard answer: a durable record saying "``owner`` holds
+``job_id`` until ``expires_at``", renewed by heartbeat, expired by
+wall-clock. It is persisted through the same crash-safe
+:class:`~repro.runtime.CheckpointStore` machinery the job checkpoints
+use (atomic write + content hash + fall-back-past-corrupt), one store
+per job, so a SIGKILLed worker leaves behind exactly two artifacts — a
+stale lease and a valid checkpoint — and adoption is: wait out the
+lease, re-acquire it at a higher epoch, resume the checkpoint.
+
+Epochs fence stale owners: every acquisition increments ``epoch``, and
+every heartbeat verifies the stored record still carries the caller's
+``(owner, epoch)`` — a worker that lost its lease to an adopter gets
+:class:`LeaseLost` at its next heartbeat instead of silently double
+-running the job. (The resumed job is hex-identical either way — the
+fence exists to stop wasted work and double accounting, not to protect
+correctness of the scores.)
+"""
+
+from __future__ import annotations
+
+import os
+import socket
+import time
+import uuid
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.core.exceptions import ReproError, ValidationError
+from repro.observe.observer import resolve_observer
+from repro.runtime.checkpoint import CheckpointStore
+
+__all__ = ["Lease", "LeaseLost", "LeaseManager"]
+
+#: Record kind stamped on lease records in their CheckpointStore.
+LEASE_KIND = "serve.lease"
+
+
+class LeaseLost(ReproError, RuntimeError):
+    """The caller's lease was superseded (adopted) or released."""
+
+
+@dataclass
+class Lease:
+    """One held lease; mutable because heartbeats extend ``expires_at``."""
+
+    job_id: str
+    owner: str
+    epoch: int
+    expires_at: float
+    adopted: bool = False  # acquired over another owner's expired lease
+
+    def remaining(self, now: float | None = None) -> float:
+        return self.expires_at - (time.time() if now is None else now)
+
+
+def default_owner() -> str:
+    """A process-unique owner id (host + pid + random suffix)."""
+    return (f"{socket.gethostname()}-{os.getpid()}-"
+            f"{uuid.uuid4().hex[:8]}")
+
+
+class LeaseManager:
+    """Acquire / heartbeat / release leases under one directory.
+
+    Parameters
+    ----------
+    root:
+        Directory holding one :class:`~repro.runtime.CheckpointStore`
+        per job (``root/<job_id>/``).
+    owner:
+        This process's owner id; auto-generated when omitted. All
+        workers of one server share the server's owner id.
+    ttl:
+        Lease lifetime in seconds; a lease not heartbeated within
+        ``ttl`` is adoptable by anyone.
+    observer:
+        Optional observer fed ``serve.lease.*`` counters
+        (``acquired`` / ``adopted`` / ``renewed`` / ``lost`` /
+        ``released`` / ``held``).
+    """
+
+    def __init__(self, root: str | os.PathLike, *, owner: str | None = None,
+                 ttl: float = 30.0, observer=None):
+        if ttl <= 0:
+            raise ValidationError("lease ttl must be > 0")
+        self.root = Path(root)
+        self.owner = owner or default_owner()
+        self.ttl = float(ttl)
+        self.observer = resolve_observer(observer)
+
+    def _store(self, job_id: str) -> CheckpointStore:
+        return CheckpointStore(self.root / job_id, keep=2)
+
+    def peek(self, job_id: str) -> dict | None:
+        """The newest lease record's payload, or ``None``."""
+        record = self._store(job_id).load_latest(LEASE_KIND)
+        return record.payload if record is not None else None
+
+    # -- acquire -----------------------------------------------------------
+    def acquire(self, job_id: str) -> Lease | None:
+        """Try to take the lease; ``None`` while another owner holds it.
+
+        Acquisition is write-then-verify: write a record at the next
+        epoch, re-read the newest record, and only claim victory if it
+        is ours — so when two processes race, exactly one wins (the
+        store's sequence numbers order the writes; last write wins and
+        the loser observes it).
+        """
+        store = self._store(job_id)
+        now = time.time()
+        record = store.load_latest(LEASE_KIND)
+        adopted = False
+        epoch = 0
+        if record is not None:
+            payload = record.payload
+            held = (payload.get("state") == "running"
+                    and payload.get("expires_at", 0.0) > now
+                    and payload.get("owner") != self.owner)
+            if held:
+                if self.observer.enabled:
+                    self.observer.count("serve.lease.held")
+                return None
+            epoch = int(payload.get("epoch", -1)) + 1
+            adopted = (payload.get("state") == "running"
+                       and payload.get("owner") != self.owner)
+        expires_at = now + self.ttl
+        store.write(LEASE_KIND, self._payload(job_id, epoch, expires_at,
+                                              "running"))
+        latest = store.load_latest(LEASE_KIND)
+        if latest is None or latest.payload.get("owner") != self.owner \
+                or int(latest.payload.get("epoch", -1)) != epoch:
+            return None  # lost the race to a concurrent acquirer
+        if self.observer.enabled:
+            self.observer.count("serve.lease.acquired")
+            if adopted:
+                self.observer.count("serve.lease.adopted")
+        return Lease(job_id=job_id, owner=self.owner, epoch=epoch,
+                     expires_at=expires_at, adopted=adopted)
+
+    def _payload(self, job_id: str, epoch: int, expires_at: float,
+                 state: str) -> dict:
+        return {"job_id": job_id, "owner": self.owner, "epoch": epoch,
+                "expires_at": expires_at, "state": state,
+                "ttl": self.ttl}
+
+    # -- heartbeat / release -----------------------------------------------
+    def _verify(self, lease: Lease) -> None:
+        latest = self._store(lease.job_id).load_latest(LEASE_KIND)
+        if latest is None \
+                or latest.payload.get("owner") != lease.owner \
+                or int(latest.payload.get("epoch", -1)) != lease.epoch:
+            if self.observer.enabled:
+                self.observer.count("serve.lease.lost")
+            raise LeaseLost(
+                f"lease on {lease.job_id!r} (epoch {lease.epoch}) was "
+                "superseded — another worker adopted the job")
+
+    def heartbeat(self, lease: Lease) -> Lease:
+        """Extend the lease by ``ttl``; :class:`LeaseLost` if superseded.
+
+        Cheap to call eagerly: the record is only rewritten once less
+        than half the ttl remains.
+        """
+        now = time.time()
+        if lease.remaining(now) > self.ttl / 2:
+            return lease
+        self._verify(lease)
+        lease.expires_at = now + self.ttl
+        self._store(lease.job_id).write(
+            LEASE_KIND, self._payload(lease.job_id, lease.epoch,
+                                      lease.expires_at, "running"))
+        if self.observer.enabled:
+            self.observer.count("serve.lease.renewed")
+        return lease
+
+    def release(self, lease: Lease, *, state: str = "done") -> None:
+        """Terminate the lease (``state``: ``done``/``failed``/
+        ``cancelled``); a superseded lease is left alone."""
+        try:
+            self._verify(lease)
+        except LeaseLost:
+            return
+        self._store(lease.job_id).write(
+            LEASE_KIND, self._payload(lease.job_id, lease.epoch,
+                                      time.time(), state))
+        if self.observer.enabled:
+            self.observer.count("serve.lease.released")

@@ -123,6 +123,11 @@ def test_performance_md_snippets(sandbox_cwd):
     assert n_blocks >= 4
 
 
+def test_serving_md_snippets(sandbox_cwd):
+    n_blocks = run_document(DOCS_DIR / "SERVING.md", _blob_namespace())
+    assert n_blocks >= 6
+
+
 def test_tutorial_md_snippets(sandbox_cwd, small_hiring_data):
     n_blocks = run_document(DOCS_DIR / "TUTORIAL.md", _tutorial_namespace())
     assert n_blocks >= 8

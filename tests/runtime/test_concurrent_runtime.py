@@ -1,0 +1,209 @@
+"""Concurrency regressions for the shared runtime pieces the serving
+tier hammers: the fingerprint cache, the warm-pool executor registry,
+and the shutdown-flush hooks."""
+
+import signal
+import threading
+
+import pytest
+
+from repro.runtime import (
+    FingerprintCache,
+    ProcessExecutor,
+    ThreadExecutor,
+    flush_all,
+    register_shutdown_flush,
+    unregister_shutdown_flush,
+)
+from repro.runtime.checkpoint import _shutdown_handler
+
+
+def _affine(shared, task):
+    scale, offset = shared
+    return scale * task + offset
+
+
+class TestCacheHammer:
+    def test_two_threads_same_keys_with_eviction(self):
+        # Small capacity forces constant eviction while both threads
+        # read and write the same key space; values are key-determined,
+        # so any torn read/write surfaces as a wrong value.
+        cache = FingerprintCache(max_items=16)
+        errors = []
+        barrier = threading.Barrier(2)
+
+        def hammer():
+            try:
+                barrier.wait()
+                for i in range(4000):
+                    key = f"k{i % 64}"
+                    value = cache.get(key)
+                    if value is not None:
+                        assert value == float(i % 64)
+                    cache.put(key, float(i % 64))
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [threading.Thread(target=hammer) for _ in range(2)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert errors == []
+        assert len(cache) <= 16
+        stats = cache.stats
+        assert stats.puts == 8000
+        assert stats.memory_hits + stats.misses == 8000
+
+    def test_journals_capture_concurrent_puts(self):
+        cache = FingerprintCache()
+        journal = cache.start_journal()
+
+        def put_range(base):
+            for i in range(200):
+                cache.put(f"{base}-{i}", float(i))
+
+        threads = [threading.Thread(target=put_range, args=(b,))
+                   for b in ("a", "b")]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        cache.stop_journal(journal)
+        assert len(journal) == 400
+        assert {key for key, _ in journal} \
+            == {f"{b}-{i}" for b in ("a", "b") for i in range(200)}
+
+
+class TestExecutorRegistry:
+    def test_concurrent_maps_with_distinct_shared_payloads(self):
+        # Two threads map with different shared payloads through ONE
+        # executor: the warm-pool registry must give each its own pool
+        # instead of thrashing a single slot.
+        executor = ProcessExecutor(max_workers=1)
+        results = {}
+        errors = []
+        barrier = threading.Barrier(2)
+
+        def run(tag, shared):
+            try:
+                barrier.wait()
+                results[tag] = executor.map(_affine, range(20),
+                                            shared=shared)
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        try:
+            threads = [
+                threading.Thread(target=run, args=("x2", (2, 0))),
+                threading.Thread(target=run, args=("x3", (3, 1))),
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            assert errors == []
+            assert results["x2"] == [2 * i for i in range(20)]
+            assert results["x3"] == [3 * i + 1 for i in range(20)]
+            assert executor.warm_pools == 2
+        finally:
+            executor.close()
+        assert executor.warm_pools == 0
+
+    def test_idle_pools_evicted_lru_beyond_cap(self):
+        executor = ProcessExecutor(max_workers=1, max_warm_pools=2)
+        try:
+            for offset in range(4):
+                out = executor.map(_affine, range(5), shared=(1, offset))
+                assert out == [i + offset for i in range(5)]
+                assert executor.warm_pools <= 2
+        finally:
+            executor.close()
+
+    def test_compat_pool_accessors_track_mru(self):
+        executor = ProcessExecutor(max_workers=1)
+        try:
+            assert executor._pool is None
+            assert executor._pool_digest is None
+            executor.map(_affine, range(3), shared=(1, 0))
+            assert executor._pool is not None
+            digest_a = executor._pool_digest
+            executor.map(_affine, range(3), shared=(1, 7))
+            assert executor._pool_digest != digest_a
+        finally:
+            executor.close()
+
+    def test_thread_executor_concurrent_maps_share_one_pool(self):
+        executor = ThreadExecutor(max_workers=2)
+        results = {}
+
+        def run(tag, shared):
+            results[tag] = executor.map(_affine, range(50),
+                                        shared=shared)
+
+        try:
+            threads = [threading.Thread(target=run, args=(t, (t, 0)))
+                       for t in (1, 2, 3)]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            for t in (1, 2, 3):
+                assert results[t] == [t * i for i in range(50)]
+        finally:
+            executor.close()
+
+
+class TestShutdownFlushHooks:
+    def test_flush_all_runs_hooks_signal_free(self):
+        calls = []
+        handles = [register_shutdown_flush(lambda: calls.append("a")),
+                   register_shutdown_flush(lambda: calls.append("b"))]
+        try:
+            flush_all()
+            assert calls == ["a", "b"]
+            flush_all()  # safe to call repeatedly
+            assert calls == ["a", "b", "a", "b"]
+        finally:
+            for handle in handles:
+                unregister_shutdown_flush(handle)
+
+    def test_failing_hook_does_not_block_the_rest(self):
+        calls = []
+
+        def bad():
+            raise RuntimeError("flush failed")
+
+        handles = [register_shutdown_flush(bad),
+                   register_shutdown_flush(lambda: calls.append("ok"))]
+        try:
+            flush_all()
+            assert calls == ["ok"]
+        finally:
+            for handle in handles:
+                unregister_shutdown_flush(handle)
+
+    def test_worker_thread_registration_does_not_block_main_install(self):
+        # Regression: a worker-thread registration arriving first used
+        # to leave the hook table non-empty without handlers installed,
+        # and a later main-thread registration would then skip install.
+        before = signal.getsignal(signal.SIGTERM)
+        assert before is not _shutdown_handler
+        handles = []
+
+        def register_from_worker():
+            handles.append(
+                register_shutdown_flush(lambda: None))
+
+        thread = threading.Thread(target=register_from_worker)
+        thread.start()
+        thread.join()
+        try:
+            # worker thread cannot install signal handlers
+            assert signal.getsignal(signal.SIGTERM) is not _shutdown_handler
+            handles.append(register_shutdown_flush(lambda: None))
+            assert signal.getsignal(signal.SIGTERM) is _shutdown_handler
+        finally:
+            for handle in handles:
+                unregister_shutdown_flush(handle)
+        assert signal.getsignal(signal.SIGTERM) is before

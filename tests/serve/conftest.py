@@ -1,0 +1,35 @@
+"""Shared fixtures for the serving-tier tests.
+
+The game is deliberately tiny and kernel-backed (KNN on 3-feature
+blobs) so that full importance runs cost milliseconds — the serve tests
+exercise scheduling, leases, and streaming, not model training.
+"""
+
+import pytest
+
+from repro.datasets import make_blobs
+from repro.importance import Utility
+from repro.ml import KNeighborsClassifier
+
+
+@pytest.fixture(scope="session")
+def game_data():
+    X, y = make_blobs(60, n_features=3, centers=2, seed=0)
+    return X[:40], y[:40], X[40:], y[40:]
+
+
+@pytest.fixture()
+def make_utility(game_data):
+    """Zero-arg utility factory — the preferred JobSpec.utility form."""
+    X_train, y_train, X_valid, y_valid = game_data
+
+    def factory():
+        return Utility(KNeighborsClassifier(n_neighbors=3),
+                       X_train, y_train, X_valid, y_valid)
+
+    return factory
+
+
+def hexes(values):
+    """Bitwise-exact comparison key for a float array."""
+    return [float(v).hex() for v in values]

@@ -1,0 +1,129 @@
+"""Crash adoption: SIGKILL a worker process mid-job, adopt via lease
+expiry, and resume hex-identically with exact call accounting.
+
+The victim is a real subprocess running its own Server; the parent
+plays the adopter. Both build the identical utility (deterministic data
+and model fingerprints), so the parent resumes the victim's checkpoint.
+"""
+
+import os
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.datasets import make_blobs
+from repro.importance import MonteCarloShapley, Utility
+from repro.ml import LogisticRegression
+from repro.serve import Server
+
+JOB_ID = "adopt-1"
+PARAMS = {"n_permutations": 800, "seed": 11}
+LEASE_TTL = 1.5
+
+SRC = str(Path(__file__).resolve().parents[2] / "src")
+
+VICTIM_SCRIPT = """\
+import sys
+sys.path.insert(0, {src!r})
+from repro.datasets import make_blobs
+from repro.importance import Utility
+from repro.ml import LogisticRegression
+from repro.serve import Server
+
+def factory():
+    X, y = make_blobs(60, n_features=3, centers=2, seed=0)
+    return Utility(LogisticRegression(max_iter=40),
+                   X[:40], y[:40], X[40:], y[40:])
+
+server = Server({data_dir!r}, workers=1, lease_ttl={ttl!r},
+                owner="victim")
+server.submit("shapley_mc", factory, tenant="alice",
+              params={params!r}, every=1, job_id={job_id!r})
+server.result({job_id!r}, timeout=600)
+"""
+
+
+def _factory():
+    X, y = make_blobs(60, n_features=3, centers=2, seed=0)
+    return Utility(LogisticRegression(max_iter=40),
+                   X[:40], y[:40], X[40:], y[40:])
+
+
+def hexes(values):
+    return [float(v).hex() for v in values]
+
+
+@pytest.mark.skipif(not hasattr(signal, "SIGKILL"),
+                    reason="needs SIGKILL")
+def test_sigkilled_worker_is_adopted_and_resumes_hex_identically(
+        tmp_path):
+    data_dir = tmp_path / "cluster"
+    script = VICTIM_SCRIPT.format(src=SRC, data_dir=str(data_dir),
+                                  ttl=LEASE_TTL, params=PARAMS,
+                                  job_id=JOB_ID)
+    victim = subprocess.Popen([sys.executable, "-c", script],
+                              stdout=subprocess.DEVNULL,
+                              stderr=subprocess.PIPE)
+    try:
+        # Wait for real progress: the first flushed estimator
+        # checkpoint proves the job is running and has durable state.
+        store = data_dir / "checkpoints" / JOB_ID
+        deadline = time.monotonic() + 60.0
+        while time.monotonic() < deadline:
+            if store.exists() and any(store.iterdir()):
+                break
+            if victim.poll() is not None:
+                stderr = victim.stderr.read().decode()
+                pytest.fail(f"victim exited prematurely:\n{stderr}")
+            time.sleep(0.005)
+        else:
+            pytest.fail("victim never flushed a checkpoint")
+        time.sleep(0.1)  # let a few more permutations land
+        victim.send_signal(signal.SIGKILL)
+        victim.wait(timeout=30.0)
+    finally:
+        if victim.poll() is None:
+            victim.kill()
+            victim.wait(timeout=30.0)
+        victim.stderr.close()
+
+    # The victim died holding the lease: its record must still say
+    # "running" with an unexpired-or-recent expiry.
+    built = []
+
+    def recording_factory():
+        utility = _factory()
+        built.append(utility)
+        return utility
+
+    with Server(data_dir, workers=1, lease_ttl=LEASE_TTL,
+                owner="adopter") as server:
+        held = server._leases.peek(JOB_ID)
+        assert held is not None and held["owner"] == "victim"
+        assert held["state"] == "running"
+        server.submit("shapley_mc", recording_factory, tenant="alice",
+                      params=PARAMS, every=1, job_id=JOB_ID)
+        adopted = server.result(JOB_ID, timeout=300.0)
+        status = server.status(JOB_ID)
+        record = server._leases.peek(JOB_ID)
+
+    # The job waited out the victim's lease and took it at a higher
+    # epoch — the adoption path, not a fresh acquisition.
+    assert record["owner"] == "adopter" and record["state"] == "done"
+    assert record["epoch"] == held["epoch"] + 1
+    assert status["state"] == "done"
+    assert status["completed"] == PARAMS["n_permutations"]
+
+    # Hex-identical to an uninterrupted solo serial run...
+    solo_utility = _factory()
+    solo = MonteCarloShapley(**PARAMS).score(solo_utility)
+    assert hexes(adopted) == hexes(solo)
+
+    # ...with exact call accounting: checkpoint resume restores the
+    # victim's utility.calls, so the adopter's total matches solo.
+    assert len(built) == 1
+    assert built[0].calls == solo_utility.calls

@@ -1,0 +1,104 @@
+"""Unit tests for checkpoint-backed job leases."""
+
+import time
+
+import pytest
+
+from repro.core.exceptions import ValidationError
+from repro.serve import LeaseLost, LeaseManager
+
+
+def manager(tmp_path, owner, ttl=30.0):
+    return LeaseManager(tmp_path / "leases", owner=owner, ttl=ttl)
+
+
+class TestAcquire:
+    def test_fresh_acquire(self, tmp_path):
+        leases = manager(tmp_path, "w1")
+        lease = leases.acquire("job-a")
+        assert lease is not None
+        assert lease.owner == "w1" and lease.epoch == 0
+        assert not lease.adopted
+        assert lease.remaining() > 0
+        record = leases.peek("job-a")
+        assert record["state"] == "running" and record["owner"] == "w1"
+
+    def test_held_lease_blocks_other_owner(self, tmp_path):
+        manager(tmp_path, "w1").acquire("job-a")
+        assert manager(tmp_path, "w2").acquire("job-a") is None
+
+    def test_same_owner_reacquires_at_next_epoch(self, tmp_path):
+        leases = manager(tmp_path, "w1")
+        assert leases.acquire("job-a").epoch == 0
+        again = leases.acquire("job-a")
+        assert again.epoch == 1 and not again.adopted
+
+    def test_released_lease_transfers_cleanly(self, tmp_path):
+        first = manager(tmp_path, "w1")
+        lease = first.acquire("job-a")
+        first.release(lease, state="done")
+        assert manager(tmp_path, "w1").peek("job-a")["state"] == "done"
+        taken = manager(tmp_path, "w2").acquire("job-a")
+        assert taken is not None and taken.epoch == 1
+        assert not taken.adopted  # clean handoff, not a crash adoption
+
+    def test_validation(self, tmp_path):
+        with pytest.raises(ValidationError):
+            LeaseManager(tmp_path, ttl=0.0)
+
+
+class TestExpiryAndAdoption:
+    def test_expired_lease_is_adopted(self, tmp_path):
+        victim = manager(tmp_path, "victim", ttl=0.2)
+        lease = victim.acquire("job-a")
+        assert lease is not None
+        time.sleep(0.25)
+        adopter = manager(tmp_path, "adopter", ttl=0.2)
+        taken = adopter.acquire("job-a")
+        assert taken is not None
+        assert taken.adopted and taken.epoch == lease.epoch + 1
+        assert taken.owner == "adopter"
+
+    def test_superseded_owner_gets_lease_lost_on_heartbeat(self, tmp_path):
+        victim = manager(tmp_path, "victim", ttl=0.2)
+        lease = victim.acquire("job-a")
+        time.sleep(0.25)
+        manager(tmp_path, "adopter", ttl=0.2).acquire("job-a")
+        with pytest.raises(LeaseLost):
+            victim.heartbeat(lease)
+
+    def test_superseded_release_is_a_noop(self, tmp_path):
+        victim = manager(tmp_path, "victim", ttl=0.2)
+        lease = victim.acquire("job-a")
+        time.sleep(0.25)
+        adopter = manager(tmp_path, "adopter", ttl=60.0)
+        adopter.acquire("job-a")
+        victim.release(lease, state="failed")  # must not clobber
+        record = victim.peek("job-a")
+        assert record["owner"] == "adopter" and record["state"] == "running"
+
+
+class TestHeartbeat:
+    def test_fresh_lease_skips_the_write(self, tmp_path):
+        leases = manager(tmp_path, "w1", ttl=30.0)
+        lease = leases.acquire("job-a")
+        before = lease.expires_at
+        assert leases.heartbeat(lease).expires_at == before
+
+    def test_aging_lease_is_extended(self, tmp_path):
+        leases = manager(tmp_path, "w1", ttl=0.3)
+        lease = leases.acquire("job-a")
+        time.sleep(0.2)  # inside the second half of the ttl
+        before = lease.expires_at
+        extended = leases.heartbeat(lease)
+        assert extended.expires_at > before
+        assert leases.peek("job-a")["expires_at"] == extended.expires_at
+
+    def test_epoch_fencing_across_generations(self, tmp_path):
+        leases = manager(tmp_path, "w1")
+        epochs = []
+        for _ in range(3):
+            lease = leases.acquire("job-a")
+            epochs.append(lease.epoch)
+            leases.release(lease, state="done")
+        assert epochs == [0, 1, 2]
