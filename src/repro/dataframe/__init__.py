@@ -5,11 +5,43 @@ relational operations the tutorial's pipelines need — filter, project,
 map/UDF, hash join, fuzzy join, group-by aggregation, concat and sort —
 with stable row identifiers so fine-grained provenance can be tracked
 through every operation.
+
+The engine is columnar: operators run as vectorized numpy kernels
+(:mod:`repro.dataframe.kernels`) over typed array-backed columns built by
+a dtype-keyed builder factory (:mod:`repro.dataframe.builders`), with the
+original row-at-a-time loops retained in :mod:`repro.dataframe.reference`
+as fallbacks and differential-test oracles. Filters can be expressed as
+column expressions (``frame.filter(col("age") > 30)``) that evaluate as
+whole-column masks. See ``docs/DATAFRAME.md`` for the data-layer
+contract.
 """
 
+from repro.dataframe.builders import (
+    ColumnBuilder,
+    builder_for,
+    register_column,
+    registered_kinds,
+)
 from repro.dataframe.column import Column
+from repro.dataframe.expr import ColumnRef, Expr, col
 from repro.dataframe.frame import DataFrame, concat_rows
 from repro.dataframe.groupby import GroupBy
 from repro.dataframe.io import read_csv, write_csv
+from repro.dataframe.kernels import KernelFallback
 
-__all__ = ["Column", "DataFrame", "GroupBy", "concat_rows", "read_csv", "write_csv"]
+__all__ = [
+    "Column",
+    "ColumnBuilder",
+    "ColumnRef",
+    "DataFrame",
+    "Expr",
+    "GroupBy",
+    "KernelFallback",
+    "builder_for",
+    "col",
+    "concat_rows",
+    "read_csv",
+    "register_column",
+    "registered_kinds",
+    "write_csv",
+]

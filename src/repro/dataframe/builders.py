@@ -1,0 +1,242 @@
+"""The column-constructor factory (torcharrow-style builder contract).
+
+Every :class:`~repro.dataframe.column.Column` is materialized by a
+*builder* looked up in a registry keyed on a logical dtype kind
+(``"bool"``, ``"int"``, ``"float"``, ``"str"``, ``"object"``). A builder
+obeys a four-method contract:
+
+- ``_empty()`` — classmethod; start an empty builder.
+- ``_append_value(value)`` — push one non-null scalar.
+- ``_append_null()`` — push one null slot.
+- ``_finalize()`` — seal the builder and return the finished
+  :class:`Column`; no appends are allowed afterwards.
+
+The default builders back columns with numpy arrays plus a boolean
+validity mask, but nothing in the engine assumes that: a column runtime
+with different storage (memory-mapped arrays, an Arrow buffer, a remote
+shard) plugs in by registering its own builder per kind via
+:func:`register_column`. The relational kernels only consume the
+``values``/``mask`` pair a finalized column exposes.
+
+Null-promotion rules are part of the contract (they are what the rest of
+the repo's hex-identity guarantees rest on):
+
+- ``int`` columns containing nulls finalize to float64 backing with NaN
+  fillers (numpy has no nullable int storage).
+- masked slots always hold the kind's canonical filler (NaN / 0 / False /
+  ``""`` / ``None``) so equality and hashing never leak stale values.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.exceptions import ValidationError
+
+#: Canonical backing-array filler per numpy dtype kind at masked slots.
+FILLERS = {"f": np.nan, "i": 0, "b": False, "U": "", "O": ""}
+
+
+def filler_for(dtype: np.dtype):
+    return FILLERS.get(dtype.kind, 0)
+
+
+class ColumnBuilder:
+    """Base builder: collects scalars, finalizes into a Column.
+
+    Subclasses set ``kind`` and implement :meth:`_make_arrays` turning the
+    collected items/mask into a ``(values, mask)`` numpy pair honouring
+    the kind's null-promotion rule.
+    """
+
+    kind: str = "object"
+
+    def __init__(self):
+        self._items: list = []
+        self._mask: list[bool] = []
+        self._finalized = False
+
+    # -- the builder contract ------------------------------------------
+    @classmethod
+    def _empty(cls) -> "ColumnBuilder":
+        """Start a fresh builder for this kind."""
+        return cls()
+
+    def _append_value(self, value) -> None:
+        """Append one non-null scalar."""
+        if self._finalized:
+            raise ValidationError("builder already finalized")
+        self._items.append(value)
+        self._mask.append(False)
+
+    def _append_null(self) -> None:
+        """Append one null slot."""
+        if self._finalized:
+            raise ValidationError("builder already finalized")
+        self._items.append(None)
+        self._mask.append(True)
+
+    def _finalize(self):
+        """Seal the builder and return the finished Column."""
+        if self._finalized:
+            raise ValidationError("builder already finalized")
+        self._finalized = True
+        values, mask = self._make_arrays(self._items, np.array(self._mask, dtype=bool))
+        from repro.dataframe.column import Column
+
+        return Column._from_arrays(values, mask)
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    # -- bulk path shared with Column construction ---------------------
+    @classmethod
+    def _from_items(cls, items: list, mask: np.ndarray):
+        """Bulk-build ``(values, mask)`` arrays from a scanned item list."""
+        return cls._make_arrays(items, mask)
+
+    @classmethod
+    def _make_arrays(cls, items: list, mask: np.ndarray):
+        raise NotImplementedError
+
+
+class BoolColumnBuilder(ColumnBuilder):
+    """Packed ``bool`` backing; null slots hold ``False`` under the mask."""
+
+    kind = "bool"
+
+    @classmethod
+    def _make_arrays(cls, items, mask):
+        values = np.array([bool(v) if not m else False
+                           for v, m in zip(items, mask)], dtype=bool)
+        return values, mask
+
+
+class IntColumnBuilder(ColumnBuilder):
+    """Int64 backing; promotes to float64 when any slot is null."""
+
+    kind = "int"
+
+    @classmethod
+    def _make_arrays(cls, items, mask):
+        if mask.any():
+            values = np.array([float(v) if not m else np.nan
+                               for v, m in zip(items, mask)])
+        else:
+            values = np.array([int(v) for v in items], dtype=np.int64)
+        return values, mask
+
+
+class FloatColumnBuilder(ColumnBuilder):
+    """Float64 backing; null slots hold ``NaN`` under the mask."""
+
+    kind = "float"
+
+    @classmethod
+    def _make_arrays(cls, items, mask):
+        values = np.array([float(v) if not m else np.nan
+                           for v, m in zip(items, mask)])
+        return values, mask
+
+
+class StringColumnBuilder(ColumnBuilder):
+    """Object-dtype string backing; null slots hold ``""`` under the mask."""
+
+    kind = "str"
+
+    @classmethod
+    def _make_arrays(cls, items, mask):
+        values = np.array([v if not m else ""
+                           for v, m in zip(items, mask)], dtype=object)
+        return values, mask
+
+
+class ObjectColumnBuilder(ColumnBuilder):
+    """Catch-all object backing; null slots hold ``None`` under the mask."""
+
+    kind = "object"
+
+    @classmethod
+    def _make_arrays(cls, items, mask):
+        values = np.array([v if not m else None
+                           for v, m in zip(items, mask)], dtype=object)
+        return values, mask
+
+
+# ----------------------------------------------------------------------
+# Registry
+# ----------------------------------------------------------------------
+_REGISTRY: dict[str, type[ColumnBuilder]] = {}
+
+
+def register_column(kind: str, builder_cls: type[ColumnBuilder]) -> None:
+    """Register (or replace) the builder used for a dtype kind.
+
+    This is the plug point for alternative column runtimes: registering a
+    different builder for, say, ``"float"`` swaps the storage every float
+    column in the engine is built on, without touching any kernel.
+    """
+    if not issubclass(builder_cls, ColumnBuilder):
+        raise ValidationError(
+            f"{builder_cls!r} does not implement the ColumnBuilder contract"
+        )
+    _REGISTRY[kind] = builder_cls
+
+
+def builder_for(kind: str) -> type[ColumnBuilder]:
+    """Look up the registered builder class for a dtype kind."""
+    try:
+        return _REGISTRY[kind]
+    except KeyError:
+        raise ValidationError(
+            f"no column builder registered for kind {kind!r}; "
+            f"have {sorted(_REGISTRY)}"
+        ) from None
+
+
+def registered_kinds() -> list[str]:
+    return sorted(_REGISTRY)
+
+
+for _cls in (BoolColumnBuilder, IntColumnBuilder, FloatColumnBuilder,
+             StringColumnBuilder, ObjectColumnBuilder):
+    register_column(_cls.kind, _cls)
+
+
+# ----------------------------------------------------------------------
+# Kind inference (the dispatch key for Python-list construction)
+# ----------------------------------------------------------------------
+def infer_kind(items: list, mask: np.ndarray) -> str:
+    """Infer the dtype kind of a scanned item list (nulls excluded).
+
+    Mirrors the engine's long-standing inference: all-bool -> bool;
+    all-int -> int; any mix of int/float -> float; all-str -> str;
+    anything else -> object. All-null input is ``float`` (NaN backing).
+    """
+    non_null = [v for v, m in zip(items, mask) if not m]
+    if not non_null:
+        return "float"
+    if all(isinstance(v, (bool, np.bool_)) for v in non_null):
+        return "bool"
+    if all(isinstance(v, (int, np.integer)) and not isinstance(v, bool)
+           for v in non_null):
+        return "int"
+    if all(isinstance(v, (int, float, np.integer, np.floating))
+           for v in non_null):
+        return "float"
+    if all(isinstance(v, str) for v in non_null):
+        return "str"
+    return "object"
+
+
+def arrays_from_items(items: list) -> tuple[np.ndarray, np.ndarray]:
+    """Scan a Python list into ``(values, mask)`` via the registered
+    builder for its inferred kind — the list path of Column construction."""
+    mask = np.array(
+        [v is None or (isinstance(v, float) and np.isnan(v)) for v in items],
+        dtype=bool,
+    )
+    if not len(items):
+        return np.full(0, np.nan), mask
+    kind = infer_kind(items, mask)
+    return builder_for(kind)._from_items(items, mask)

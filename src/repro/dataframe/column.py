@@ -5,6 +5,11 @@ Unlike raw numpy, nulls are representable for *every* dtype (pandas needs
 object-dtype or NaN tricks for this). The mask convention is: ``mask[i] is
 True`` means row ``i`` is null; the backing value at a null position is a
 dtype-specific filler and must never be read directly.
+
+Materialization from Python scalars is delegated to the column builder
+factory in :mod:`repro.dataframe.builders`; columns themselves are
+treated as **immutable** by the engine, which is what lets frames share
+them zero-copy through ``select``/``copy``/``rename``.
 """
 
 from __future__ import annotations
@@ -14,14 +19,10 @@ from collections.abc import Iterable
 import numpy as np
 
 from repro.core.exceptions import ValidationError
-
-_FILLERS = {"f": np.nan, "i": 0, "b": False, "U": "", "O": ""}
+from repro.dataframe.builders import FILLERS as _FILLERS
+from repro.dataframe.builders import arrays_from_items, filler_for as _filler_for
 
 _UNSET = object()  # sentinel: "no null_value supplied" (None is a valid fill)
-
-
-def _filler_for(dtype: np.dtype):
-    return _FILLERS.get(dtype.kind, 0)
 
 
 class Column:
@@ -138,7 +139,16 @@ class Column:
         return value.item() if isinstance(value, np.generic) else value
 
     def take(self, indices) -> "Column":
-        """Positional selection (used by every relational operator)."""
+        """Positional selection (used by every relational operator).
+
+        A :class:`slice` selects zero-copy: the result's arrays are numpy
+        views over this column's backing (safe because the engine never
+        mutates a column's arrays in place).
+        """
+        if isinstance(indices, slice):
+            return Column.__new__(Column)._init_raw(
+                self.values[indices], self.mask[indices]
+            )
         indices = np.asarray(indices)
         if indices.dtype == bool:
             indices = np.flatnonzero(indices)
@@ -150,6 +160,20 @@ class Column:
         self.values = values
         self.mask = mask
         return self
+
+    @classmethod
+    def _from_arrays(cls, values: np.ndarray, mask: np.ndarray,
+                     *, normalize: bool = True) -> "Column":
+        """Wrap freshly built ``(values, mask)`` arrays without copying.
+
+        The caller transfers ownership of both arrays. With ``normalize``
+        (the default) masked slots are overwritten with the dtype's
+        canonical filler so stale values never leak through equality,
+        hashing or exports.
+        """
+        if normalize and mask.any():
+            values[mask] = _filler_for(values.dtype)
+        return cls.__new__(cls)._init_raw(values, mask)
 
     def fill_null(self, value) -> "Column":
         """Return a copy with nulls replaced by ``value``."""
@@ -284,32 +308,9 @@ def _coerce(values) -> tuple[np.ndarray, np.ndarray]:
 
     if not isinstance(values, Iterable) or isinstance(values, str):
         raise ValidationError("Column values must be an iterable of scalars")
-    items = list(values)
-    mask = np.array(
-        [v is None or (isinstance(v, float) and np.isnan(v)) for v in items],
-        dtype=bool,
-    )
-    non_null = [v for v, m in zip(items, mask) if not m]
-    if not non_null:
-        return np.full(len(items), np.nan), mask
-    if all(isinstance(v, bool) or isinstance(v, np.bool_) for v in non_null):
-        backing = np.array([bool(v) if not m else False for v, m in zip(items, mask)])
-    elif all(isinstance(v, (int, np.integer)) and not isinstance(v, bool) for v in non_null):
-        if mask.any():
-            backing = np.array(
-                [float(v) if not m else np.nan for v, m in zip(items, mask)]
-            )
-        else:
-            backing = np.array(items, dtype=np.int64)
-    elif all(isinstance(v, (int, float, np.integer, np.floating)) for v in non_null):
-        backing = np.array(
-            [float(v) if not m else np.nan for v, m in zip(items, mask)]
-        )
-    elif all(isinstance(v, str) for v in non_null):
-        backing = np.array([v if not m else "" for v, m in zip(items, mask)], dtype=object)
-    else:
-        backing = np.array([v if not m else None for v, m in zip(items, mask)], dtype=object)
-    return backing, mask
+    # Python scalars go through the registered column builder for their
+    # inferred dtype kind (the factory in repro.dataframe.builders).
+    return arrays_from_items(list(values))
 
 
 def _align(other, length: int) -> tuple[np.ndarray, np.ndarray]:

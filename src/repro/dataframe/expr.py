@@ -1,0 +1,198 @@
+"""Expression-based filters: column predicates that compile to masks.
+
+``col("age") > 30`` builds a small expression tree instead of a row UDF;
+:meth:`DataFrame.filter` evaluates it against whole columns, so the
+predicate runs as a handful of numpy operations rather than a Python
+call per row. Expressions compose with ``&`` / ``|`` / ``~``::
+
+    frame.filter((col("sector") == "healthcare") & (col("salary") > 50))
+
+Null semantics match the Column comparison operators they are built
+from: a comparison involving a null is False, ``~`` therefore *selects*
+null rows of the inverted predicate (use :meth:`ColumnRef.is_null` /
+``not_null`` to test nullness explicitly).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.exceptions import ValidationError
+
+
+class Expr:
+    """A boolean column expression; ``evaluate(frame)`` yields a mask."""
+
+    def evaluate(self, frame) -> np.ndarray:
+        raise NotImplementedError
+
+    def __and__(self, other: "Expr") -> "Expr":
+        return _BoolOp("&", self, _check_expr(other))
+
+    def __or__(self, other: "Expr") -> "Expr":
+        return _BoolOp("|", self, _check_expr(other))
+
+    def __invert__(self) -> "Expr":
+        return _Not(self)
+
+    # Guard against `a == b and c` silently collapsing to a scalar.
+    def __bool__(self):
+        raise ValidationError(
+            "expressions are not truthy; combine them with & | ~ "
+            "(parenthesized), not `and`/`or`/`not`"
+        )
+
+    def describe(self) -> str:
+        return repr(self)
+
+
+def _check_expr(value) -> "Expr":
+    if not isinstance(value, Expr):
+        raise ValidationError(
+            f"expected an expression, got {type(value).__name__}; "
+            "did you forget parentheses around a comparison?"
+        )
+    return value
+
+
+class ColumnRef(Expr):
+    """A named column; comparison operators build predicate expressions.
+
+    A bare ``col(name)`` used as a filter keeps rows whose value is
+    truthy and non-null (mirroring ``lambda r: r[name]``).
+    """
+
+    def __init__(self, name: str):
+        self.name = name
+
+    def evaluate(self, frame) -> np.ndarray:
+        column = frame[self.name]
+        valid = ~column.mask
+        out = np.zeros(len(column), dtype=bool)
+        out[valid] = column.values[valid].astype(bool)
+        return out
+
+    def __eq__(self, other):  # type: ignore[override]
+        return _Comparison("==", self.name, other)
+
+    def __ne__(self, other):  # type: ignore[override]
+        return _Comparison("!=", self.name, other)
+
+    def __lt__(self, other):
+        return _Comparison("<", self.name, other)
+
+    def __le__(self, other):
+        return _Comparison("<=", self.name, other)
+
+    def __gt__(self, other):
+        return _Comparison(">", self.name, other)
+
+    def __ge__(self, other):
+        return _Comparison(">=", self.name, other)
+
+    def __hash__(self):
+        return hash(("ColumnRef", self.name))
+
+    def isin(self, values) -> "Expr":
+        return _IsIn(self.name, list(values))
+
+    def is_null(self) -> "Expr":
+        return _NullTest(self.name, True)
+
+    def not_null(self) -> "Expr":
+        return _NullTest(self.name, False)
+
+    def __repr__(self):
+        return f"col({self.name!r})"
+
+
+def col(name: str) -> ColumnRef:
+    """Reference a column by name inside a filter expression."""
+    return ColumnRef(name)
+
+
+class _Comparison(Expr):
+    _OPS = {"==", "!=", "<", "<=", ">", ">="}
+
+    def __init__(self, op: str, name: str, operand):
+        if op not in self._OPS:
+            raise ValidationError(f"unknown comparison {op!r}")
+        self.op = op
+        self.name = name
+        self.operand = operand
+
+    def evaluate(self, frame) -> np.ndarray:
+        column = frame[self.name]
+        operand = self.operand
+        if isinstance(operand, ColumnRef):
+            operand = frame[operand.name]
+        if self.op == "==":
+            return np.asarray(column == operand)
+        if self.op == "!=":
+            return np.asarray(column != operand)
+        if self.op == "<":
+            return np.asarray(column < operand)
+        if self.op == "<=":
+            return np.asarray(column <= operand)
+        if self.op == ">":
+            return np.asarray(column > operand)
+        return np.asarray(column >= operand)
+
+    def __repr__(self):
+        return f"(col({self.name!r}) {self.op} {self.operand!r})"
+
+
+class _IsIn(Expr):
+    def __init__(self, name: str, values: list):
+        self.name = name
+        self.values = values
+
+    def evaluate(self, frame) -> np.ndarray:
+        column = frame[self.name]
+        out = np.zeros(len(column), dtype=bool)
+        for value in self.values:
+            out |= np.asarray(column == value)
+        return out
+
+    def __repr__(self):
+        return f"col({self.name!r}).isin({self.values!r})"
+
+
+class _NullTest(Expr):
+    def __init__(self, name: str, is_null: bool):
+        self.name = name
+        self.null = is_null
+
+    def evaluate(self, frame) -> np.ndarray:
+        mask = frame[self.name].is_null()
+        return mask if self.null else ~mask
+
+    def __repr__(self):
+        suffix = "is_null()" if self.null else "not_null()"
+        return f"col({self.name!r}).{suffix}"
+
+
+class _BoolOp(Expr):
+    def __init__(self, op: str, left: Expr, right: Expr):
+        self.op = op
+        self.left = left
+        self.right = right
+
+    def evaluate(self, frame) -> np.ndarray:
+        left = self.left.evaluate(frame)
+        right = self.right.evaluate(frame)
+        return (left & right) if self.op == "&" else (left | right)
+
+    def __repr__(self):
+        return f"({self.left!r} {self.op} {self.right!r})"
+
+
+class _Not(Expr):
+    def __init__(self, inner: Expr):
+        self.inner = inner
+
+    def evaluate(self, frame) -> np.ndarray:
+        return ~self.inner.evaluate(frame)
+
+    def __repr__(self):
+        return f"~{self.inner!r}"

@@ -5,24 +5,43 @@ survives filters, joins, projections and sorts. Provenance in
 :mod:`repro.pipelines` is expressed entirely in terms of these ids, which
 is what lets data-importance scores computed on pipeline *outputs* be
 mapped back onto pipeline *source* rows.
+
+The engine is columnar: every relational operator runs as a vectorized
+kernel over typed array-backed columns (:mod:`repro.dataframe.kernels`),
+with the original row-at-a-time loops retained in
+:mod:`repro.dataframe.reference` as differential-test oracles and as
+fallbacks for unsortable key dtypes. Columns are immutable, so
+``select``/``copy``/``rename``/``head`` share backing arrays zero-copy;
+mutation APIs (``__setitem__``, ``set_values``, ``with_column``) replace
+whole columns instead.
 """
 
 from __future__ import annotations
 
+import threading
 from collections.abc import Callable, Iterable, Mapping
 
 import numpy as np
 
 from repro.core.exceptions import SchemaError, ValidationError
+from repro.dataframe import kernels, reference
 from repro.dataframe.column import Column
+from repro.dataframe.expr import Expr
+from repro.dataframe.kernels import KernelFallback
+from repro.dataframe.reference import levenshtein_within as _levenshtein_within
 
 _next_id_counter = [0]
+#: Guards the global id counter: frames are constructed concurrently by
+#: the repro.serve job tier, and a torn read-increment-write would hand
+#: two frames overlapping ids (breaking provenance joins downstream).
+_row_id_lock = threading.Lock()
 
 
 def _fresh_row_ids(n: int) -> np.ndarray:
-    """Allocate ``n`` globally unique row ids."""
-    start = _next_id_counter[0]
-    _next_id_counter[0] = start + n
+    """Allocate ``n`` globally unique row ids (thread-safe)."""
+    with _row_id_lock:
+        start = _next_id_counter[0]
+        _next_id_counter[0] = start + n
     return np.arange(start, start + n, dtype=np.int64)
 
 
@@ -87,9 +106,13 @@ class DataFrame:
         return frame
 
     def copy(self) -> "DataFrame":
-        return DataFrame._from_columns(
-            {n: Column(c) for n, c in self._columns.items()}, self.row_ids.copy()
-        )
+        """A new frame sharing this frame's (immutable) columns zero-copy.
+
+        Mutation APIs replace whole columns, so sharing is safe; code that
+        wants an independent backing array should copy a column explicitly
+        via ``Column(frame[name])``.
+        """
+        return DataFrame._from_columns(dict(self._columns), self.row_ids.copy())
 
     # ------------------------------------------------------------------
     # Introspection
@@ -132,7 +155,7 @@ class DataFrame:
         return f"DataFrame(shape={self.shape}, columns={self.columns})"
 
     def head(self, n: int = 5) -> "DataFrame":
-        return self.take(np.arange(min(n, len(self))))
+        return self.take(slice(0, min(n, len(self))))
 
     def row(self, i: int) -> dict:
         """Row ``i`` as a plain dict (nulls become None)."""
@@ -155,7 +178,11 @@ class DataFrame:
     # Row-wise operations
     # ------------------------------------------------------------------
     def take(self, indices) -> "DataFrame":
-        """Positional row selection (boolean mask or integer indices)."""
+        """Positional row selection (boolean mask, integer indices, or a
+        :class:`slice` — slices are zero-copy views)."""
+        if isinstance(indices, slice):
+            columns = {n: c.take(indices) for n, c in self._columns.items()}
+            return DataFrame._from_columns(columns, self.row_ids[indices])
         indices = np.asarray(indices)
         if indices.dtype == bool:
             if len(indices) != len(self):
@@ -169,11 +196,15 @@ class DataFrame:
     def filter(self, predicate) -> "DataFrame":
         """Keep rows where ``predicate`` holds.
 
-        ``predicate`` is a boolean mask, or a callable mapping a row dict to
-        bool (rows with a null consumed by the callable are the callable's
-        responsibility).
+        ``predicate`` is an :class:`~repro.dataframe.expr.Expr` (the fast
+        path — evaluated as whole-column numpy operations), a boolean
+        mask, or a callable mapping a row dict to bool (the retained
+        row-wise fallback; rows with a null consumed by the callable are
+        the callable's responsibility).
         """
-        if callable(predicate):
+        if isinstance(predicate, Expr):
+            mask = predicate.evaluate(self)
+        elif callable(predicate):
             mask = np.array([bool(predicate(row)) for row in self.iter_rows()])
         else:
             mask = np.asarray(predicate, dtype=bool)
@@ -181,17 +212,36 @@ class DataFrame:
 
     def drop_rows(self, row_ids) -> "DataFrame":
         """Remove rows by *identifier* (not position)."""
-        drop = set(int(r) for r in np.atleast_1d(row_ids))
-        keep = np.array([rid not in drop for rid in self.row_ids])
+        drop = np.asarray(np.atleast_1d(row_ids), dtype=np.int64)
+        keep = ~np.isin(self.row_ids, drop)
         return self.take(keep)
+
+    def _row_id_index(self):
+        """Cached ``(order, sorted_ids)`` for vectorized id lookups."""
+        cache = getattr(self, "_rid_cache", None)
+        if cache is None:
+            order = np.argsort(self.row_ids, kind="stable")
+            cache = (order, self.row_ids[order])
+            self._rid_cache = cache
+        return cache
 
     def positions_of(self, row_ids) -> np.ndarray:
         """Map row identifiers to current positions (raises on misses)."""
-        index = {int(rid): i for i, rid in enumerate(self.row_ids)}
-        try:
-            return np.array([index[int(r)] for r in np.atleast_1d(row_ids)], dtype=np.int64)
-        except KeyError as exc:
-            raise SchemaError(f"row id {exc.args[0]} not present in frame") from exc
+        ids = np.asarray(np.atleast_1d(row_ids), dtype=np.int64)
+        if len(ids) == 0:
+            return np.empty(0, dtype=np.int64)
+        if len(self) == 0:
+            raise SchemaError(f"row id {int(ids[0])} not present in frame")
+        order, sorted_ids = self._row_id_index()
+        # side="right" - 1 lands on the *last* occurrence of a duplicated
+        # id, matching the historical dict-overwrite semantics.
+        pos = np.searchsorted(sorted_ids, ids, side="right") - 1
+        bad = (pos < 0) | (sorted_ids[pos] != ids)
+        if bad.any():
+            raise SchemaError(
+                f"row id {int(ids[int(np.argmax(bad))])} not present in frame"
+            )
+        return order[pos]
 
     def sort_by(self, column: str, *, descending: bool = False) -> "DataFrame":
         col = self[column]
@@ -237,7 +287,7 @@ class DataFrame:
         if missing:
             raise SchemaError(f"no columns named {missing}; have {self.columns}")
         return DataFrame._from_columns(
-            {n: Column(self._columns[n]) for n in names}, self.row_ids.copy()
+            {n: self._columns[n] for n in names}, self.row_ids.copy()
         )
 
     def drop(self, names) -> "DataFrame":
@@ -253,25 +303,32 @@ class DataFrame:
         missing = [n for n in mapping if n not in self._columns]
         if missing:
             raise SchemaError(f"no columns named {missing}; have {self.columns}")
-        columns = {mapping.get(n, n): Column(c) for n, c in self._columns.items()}
+        columns = {mapping.get(n, n): c for n, c in self._columns.items()}
         return DataFrame._from_columns(columns, self.row_ids.copy())
 
     def with_column(self, name: str, func_or_values) -> "DataFrame":
         """Return a copy with an added or replaced column.
 
-        ``func_or_values`` is either a row-dict UDF or column values.
+        ``func_or_values`` is a :class:`Column`, column values, or a
+        row-dict UDF (the retained row-wise fallback path).
         """
         out = self.copy()
-        if callable(func_or_values):
-            out[name] = Column([func_or_values(row) for row in self.iter_rows()])
+        if isinstance(func_or_values, (Column, Expr)) or not callable(func_or_values):
+            if isinstance(func_or_values, Expr):
+                out[name] = Column(func_or_values.evaluate(self))
+            else:
+                out[name] = func_or_values
         else:
-            out[name] = func_or_values
+            out[name] = Column([func_or_values(row) for row in self.iter_rows()])
         return out
 
     def set_values(self, row_ids, column: str, values) -> "DataFrame":
         """Return a copy with cells overwritten at the given row *ids*.
 
         This is the primitive the cleaning oracle uses to apply repairs.
+        Same-dtype repairs scatter directly into a copied backing array;
+        dtype-changing repairs fall back to rebuilding the column from
+        Python scalars (re-inferring its dtype, as always).
         """
         positions = self.positions_of(row_ids)
         out = self.copy()
@@ -282,10 +339,14 @@ class DataFrame:
             raise ValidationError(
                 f"got {len(values)} values for {len(positions)} rows"
             )
-        items = col.to_list()
-        for pos, val in zip(positions, values):
-            items[int(pos)] = val
-        out[column] = Column(items)
+        scattered = _scatter(col, positions, values)
+        if scattered is not None:
+            out[column] = scattered
+        else:
+            items = col.to_list()
+            for pos, val in zip(positions, values):
+                items[int(pos)] = val
+            out[column] = Column(items)
         return out
 
     # ------------------------------------------------------------------
@@ -295,6 +356,11 @@ class DataFrame:
              how: str = "inner", suffix: str = "_right",
              return_indices: bool = False):
         """Hash join on an equality key.
+
+        The match table is computed by the vectorized factorize +
+        ``searchsorted`` kernel (:func:`repro.dataframe.kernels.
+        join_positions`); unsortable mixed-type keys fall back to the
+        row-wise reference loop with identical semantics.
 
         Parameters
         ----------
@@ -314,39 +380,20 @@ class DataFrame:
             raise ValidationError(f"how must be 'inner' or 'left', got {how!r}")
         left_col, right_col = self[left_key], other[right_key]
 
-        table: dict = {}
-        for j in range(len(other)):
-            if right_col.mask[j]:
-                continue  # null keys never match
-            table.setdefault(right_col.get(j), []).append(j)
+        try:
+            left_pos, right_pos = kernels.join_positions(left_col, right_col, how)
+        except KernelFallback:
+            left_pos, right_pos = reference.join_positions_rowwise(
+                left_col, right_col, how
+            )
 
-        left_pos, right_pos = [], []
-        for i in range(len(self)):
-            matches = [] if left_col.mask[i] else table.get(left_col.get(i), [])
-            if matches:
-                for j in matches:
-                    left_pos.append(i)
-                    right_pos.append(j)
-            elif how == "left":
-                left_pos.append(i)
-                right_pos.append(-1)
-        left_pos = np.array(left_pos, dtype=np.int64)
-        right_pos = np.array(right_pos, dtype=np.int64)
-
-        result = self.take(left_pos) if len(left_pos) else self.take(np.array([], dtype=int))
+        result = self.take(left_pos)
         right_names = [n for n in other.columns if n != right_key or right_key != left_key]
         for name in right_names:
             if name == right_key and isinstance(on, str):
                 continue
             out_name = name if name not in result._columns else name + suffix
-            source = other[name]
-            values, mask = [], []
-            for j in right_pos:
-                if j < 0:
-                    values.append(None)
-                else:
-                    values.append(source.get(int(j)))
-            result[out_name] = Column(values)
+            result[out_name] = kernels.gather_column(other[name], right_pos)
         if return_indices:
             return result, left_pos, right_pos
         return result
@@ -363,30 +410,27 @@ class DataFrame:
         default. With ``max_edit_distance > 0``, left keys that still
         match nothing are additionally resolved to the *unique* right key
         within that Levenshtein distance (ambiguous or distant keys stay
-        unmatched — a wrong join is worse than a missing one).
+        unmatched — a wrong join is worse than a missing one). Candidate
+        pairs are pruned by length bands and a character-bag lower bound
+        before any edit-distance DP runs.
         """
         left_key, right_key = (on, on) if isinstance(on, str) else on
         if normalizer is None:
             normalizer = _default_normalizer
-        left = self.with_column("__fuzzy_key__",
-                                self[left_key].map(lambda v: normalizer(str(v))))
-        right = other.with_column("__fuzzy_key__",
-                                  other[right_key].map(lambda v: normalizer(str(v))))
+        left_norm = kernels.normalize_keys(self[left_key], normalizer)
+        right_norm = kernels.normalize_keys(other[right_key], normalizer)
         if max_edit_distance > 0:
-            right_keys = [k for k in right["__fuzzy_key__"].unique()]
-            resolved = {}
-            for key in left["__fuzzy_key__"].unique():
-                if key in right_keys:
-                    continue
-                candidates = [rk for rk in right_keys
-                              if _levenshtein_within(key, rk,
-                                                     max_edit_distance)]
-                if len(candidates) == 1:
-                    resolved[key] = candidates[0]
+            resolved = kernels.resolve_fuzzy_keys(
+                left_norm.unique(), right_norm.unique(),
+                max_edit_distance, _levenshtein_within,
+            )
             if resolved:
-                left = left.with_column(
-                    "__fuzzy_key__",
-                    left["__fuzzy_key__"].map(lambda v: resolved.get(v, v)))
+                rewritten = np.array(
+                    [resolved.get(v, v) for v in left_norm.values], dtype=object
+                )
+                left_norm = Column._from_arrays(rewritten, left_norm.mask.copy())
+        left = self.with_column("__fuzzy_key__", left_norm)
+        right = other.with_column("__fuzzy_key__", right_norm)
         # Preserve the original right key column under a disambiguated name.
         result = left.join(right, on="__fuzzy_key__", how=how, suffix=suffix,
                            return_indices=return_indices)
@@ -454,6 +498,54 @@ class DataFrame:
         return f"{header}\n{sep}\n{body}{suffix}"
 
 
+def _scatter(col: Column, positions: np.ndarray, values: list) -> Column | None:
+    """Scatter repair values into a copy of ``col``'s arrays when that is
+    provably equivalent to rebuilding the column from scalars.
+
+    Returns ``None`` when the repair could change the column dtype under
+    re-inference (e.g. floats into an int column), signalling the caller
+    to take the rebuild path.
+    """
+    kind = col.dtype.kind
+    if kind == "f":
+        if not all(v is None or (isinstance(v, (int, float, np.integer, np.floating))
+                                 and not isinstance(v, bool)) for v in values):
+            return None
+        null = np.array([v is None or (isinstance(v, float) and np.isnan(v))
+                         for v in values], dtype=bool)
+        new_values = col.values.copy()
+        new_mask = col.mask.copy()
+        new_values[positions] = [np.nan if m else float(v)
+                                 for v, m in zip(values, null)]
+        new_mask[positions] = null
+        return Column._from_arrays(new_values, new_mask)
+    if kind == "i" and not col.mask.any():
+        if not all(isinstance(v, (int, np.integer)) and not isinstance(v, bool)
+                   for v in values):
+            return None
+        new_values = col.values.copy()
+        new_values[positions] = [int(v) for v in values]
+        return Column._from_arrays(new_values, np.zeros(len(new_values), dtype=bool))
+    if kind == "b":
+        if not all(isinstance(v, (bool, np.bool_)) for v in values):
+            return None
+        new_values = col.values.copy()
+        new_mask = col.mask.copy()
+        new_values[positions] = [bool(v) for v in values]
+        new_mask[positions] = False
+        return Column._from_arrays(new_values, new_mask)
+    if kind == "O":
+        if not all(v is None or isinstance(v, str) for v in values):
+            return None
+        null = np.array([v is None for v in values], dtype=bool)
+        new_values = col.values.copy()
+        new_mask = col.mask.copy()
+        new_values[positions] = values
+        new_mask[positions] = null
+        return Column._from_arrays(new_values, new_mask)
+    return None
+
+
 def _fmt(value) -> str:
     if value is None:
         return "<null>"
@@ -467,30 +559,12 @@ def _default_normalizer(text: str) -> str:
     return " ".join(text.lower().split())
 
 
-def _levenshtein_within(a: str, b: str, limit: int) -> bool:
-    """True when edit_distance(a, b) <= limit (banded DP, early exit)."""
-    if abs(len(a) - len(b)) > limit:
-        return False
-    previous = list(range(len(b) + 1))
-    for i, ca in enumerate(a, start=1):
-        current = [i]
-        best = i
-        for j, cb in enumerate(b, start=1):
-            cost = min(previous[j] + 1,        # deletion
-                       current[j - 1] + 1,     # insertion
-                       previous[j - 1] + (ca != cb))  # substitution
-            current.append(cost)
-            best = min(best, cost)
-        if best > limit:
-            return False
-        previous = current
-    return previous[-1] <= limit
-
-
 def concat_rows(frames: Iterable[DataFrame]) -> DataFrame:
     """Vertically concatenate frames with identical column sets.
 
     Row ids are preserved, so provenance through a union is the identity.
+    Same-dtype columns concatenate as arrays; mixed-dtype columns rebuild
+    from Python scalars (re-inferring the promoted dtype).
     """
     frames = list(frames)
     if not frames:
@@ -501,9 +575,15 @@ def concat_rows(frames: Iterable[DataFrame]) -> DataFrame:
             raise SchemaError(
                 f"column mismatch in concat: {f.columns} vs {columns}"
             )
-    data = {
-        name: Column([v for f in frames for v in f[name].to_list()])
-        for name in columns
-    }
+    data: dict[str, Column] = {}
+    for name in columns:
+        cols = [f[name] for f in frames]
+        kinds = {c.dtype.kind for c in cols}
+        if len(kinds) == 1 and next(iter(kinds)) in "fibUO":
+            values = np.concatenate([c.values for c in cols])
+            mask = np.concatenate([c.mask for c in cols])
+            data[name] = Column._from_arrays(values, mask)
+        else:
+            data[name] = Column([v for c in cols for v in c.to_list()])
     row_ids = np.concatenate([f.row_ids for f in frames])
     return DataFrame._from_columns(data, row_ids)

@@ -1,10 +1,21 @@
-"""Group-by aggregation for the dataframe engine."""
+"""Group-by aggregation for the dataframe engine.
+
+Group assignment runs through the sort-based kernel
+(:func:`repro.dataframe.kernels.group_positions`): per-key factorized
+codes combined mixed-radix, one stable argsort, boundary split. The
+row-wise tuple-dict loop is retained in
+:mod:`repro.dataframe.reference` as the fallback for unsortable key
+dtypes and as the differential-test oracle; both produce groups in
+first-seen order.
+"""
 
 from __future__ import annotations
 
 import numpy as np
 
 from repro.core.exceptions import SchemaError, ValidationError
+from repro.dataframe import kernels, reference
+from repro.dataframe.kernels import KernelFallback
 
 _AGGREGATES = {
     "count": lambda col: len(col),
@@ -35,22 +46,26 @@ class GroupBy:
             raise SchemaError(f"no columns named {missing}; have {frame.columns}")
         self._frame = frame
         self._keys = keys
-        self._groups: dict[tuple, list[int]] = {}
         key_columns = [frame[k] for k in keys]
-        for i in range(len(frame)):
-            key = tuple(col.get(i) for col in key_columns)
-            self._groups.setdefault(key, []).append(i)
+        try:
+            firsts, slices = kernels.group_positions(key_columns)
+        except KernelFallback:
+            firsts, slices = reference.group_positions_rowwise(key_columns)
+        self._group_keys = [tuple(col.get(int(i)) for col in key_columns)
+                            for i in firsts]
+        self._group_positions = slices
 
     def __len__(self) -> int:
-        return len(self._groups)
+        return len(self._group_keys)
 
     def groups(self):
         """Iterate ``(key_tuple, sub_frame)`` pairs in first-seen order."""
-        for key, positions in self._groups.items():
-            yield key, self._frame.take(np.array(positions))
+        for key, positions in zip(self._group_keys, self._group_positions):
+            yield key, self._frame.take(positions)
 
     def sizes(self) -> dict[tuple, int]:
-        return {key: len(pos) for key, pos in self._groups.items()}
+        return {key: len(pos)
+                for key, pos in zip(self._group_keys, self._group_positions)}
 
     def agg(self, **specs):
         """Aggregate into a new frame.
@@ -69,7 +84,7 @@ class GroupBy:
         if not specs:
             raise ValidationError("agg requires at least one aggregation spec")
         rows = []
-        for key, sub in self.groups():
+        for key, positions in zip(self._group_keys, self._group_positions):
             row = dict(zip(self._keys, key))
             for out_name, (column, how) in specs.items():
                 func = _AGGREGATES.get(how, how) if isinstance(how, str) else how
@@ -77,7 +92,9 @@ class GroupBy:
                     raise ValidationError(
                         f"unknown aggregate {how!r}; choose from {sorted(_AGGREGATES)}"
                     )
-                value = func(sub[column])
+                # Aggregate over just the needed column slice instead of
+                # materializing the whole sub-frame.
+                value = func(self._frame[column].take(positions))
                 row[out_name] = None if value is None else (
                     value.item() if isinstance(value, np.generic) else value
                 )

@@ -1,0 +1,251 @@
+"""Vectorized relational kernels for the columnar engine.
+
+Every kernel here is a drop-in replacement for a row-at-a-time loop in
+:mod:`repro.dataframe.reference` and must produce **identical** output:
+the same positions in the same order, the same null masks, the same
+values. The differential test suite
+(``tests/dataframe/test_kernels_differential.py``) enforces this on
+randomized null-heavy frames, and the benchmark suite measures the gap.
+
+Kernels that rely on sortable key values (``np.unique`` over the key
+arrays) detect unsortable inputs — e.g. object columns mixing ints and
+strings — and signal the caller to fall back to the retained row-wise
+reference implementation by raising :class:`KernelFallback`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.dataframe.column import Column
+
+
+class KernelFallback(Exception):
+    """Raised when a vectorized kernel cannot handle the input dtype mix;
+    callers catch it and run the row-wise reference implementation."""
+
+
+def _expand_ranges(starts: np.ndarray, counts: np.ndarray) -> np.ndarray:
+    """Concatenate ``[arange(s, s + c) for s, c in zip(starts, counts)]``
+    without a Python loop."""
+    total = int(counts.sum())
+    if total == 0:
+        return np.empty(0, dtype=np.int64)
+    step = np.arange(total, dtype=np.int64) - np.repeat(
+        np.cumsum(counts) - counts, counts
+    )
+    return np.repeat(starts, counts) + step
+
+
+# ----------------------------------------------------------------------
+# Hash join (factorize + searchsorted instead of Python dict probing)
+# ----------------------------------------------------------------------
+def join_positions(left: Column, right: Column, how: str):
+    """Compute ``(left_pos, right_pos)`` for an equality join.
+
+    Semantics mirror the reference loop exactly: output ordered by left
+    position; a left row's matches appear in right-frame order; null keys
+    never match; in a left join unmatched rows emit ``right_pos == -1``.
+    """
+    n_left, n_right = len(left), len(right)
+    left_valid = ~left.mask
+    right_valid = ~right.mask
+    lv = left.values[left_valid]
+    rv = right.values[right_valid]
+
+    try:
+        combined = np.concatenate([lv, rv])
+        # Factorize both key sets over their union; inverse codes make
+        # equal keys (across dtype promotion, e.g. int vs float) collide.
+        _, inverse = np.unique(combined, return_inverse=True)
+    except TypeError as exc:  # unsortable mixed-type object keys
+        raise KernelFallback(str(exc)) from exc
+    lcodes = inverse[: len(lv)]
+    rcodes = inverse[len(lv):]
+
+    # Sort right positions by code; stable keeps right-frame order within
+    # a key, which is what the dict-append reference produces.
+    right_idx = np.flatnonzero(right_valid)
+    order = np.argsort(rcodes, kind="stable")
+    sorted_ridx = right_idx[order]
+
+    # Codes are dense (0..n_codes-1), so per-code match ranges come from a
+    # bincount + cumsum lookup table — a direct gather per left row.
+    n_codes = int(inverse.max()) + 1 if len(inverse) else 0
+    code_counts = np.bincount(rcodes, minlength=n_codes)
+    code_starts = np.cumsum(code_counts) - code_counts
+    counts = np.zeros(n_left, dtype=np.int64)
+    starts = np.zeros(n_left, dtype=np.int64)
+    left_idx = np.flatnonzero(left_valid)
+    counts[left_idx] = code_counts[lcodes]
+    starts[left_idx] = code_starts[lcodes]
+
+    if how == "inner":
+        left_pos = np.repeat(np.arange(n_left, dtype=np.int64), counts)
+        right_pos = sorted_ridx[_expand_ranges(starts, counts)]
+        return left_pos, right_pos
+
+    # Left join: unmatched left rows emit a single (-1) right position,
+    # interleaved in left order with the matched runs.
+    out_counts = np.maximum(counts, 1)
+    total = int(out_counts.sum())
+    left_pos = np.repeat(np.arange(n_left, dtype=np.int64), out_counts)
+    right_pos = np.full(total, -1, dtype=np.int64)
+    matched = counts > 0
+    out_starts = np.cumsum(out_counts) - out_counts
+    dst = _expand_ranges(out_starts[matched], counts[matched])
+    src = sorted_ridx[_expand_ranges(starts[matched], counts[matched])]
+    right_pos[dst] = src
+    return left_pos, right_pos
+
+
+def gather_column(source: Column, positions: np.ndarray) -> Column:
+    """Gather ``source`` rows at ``positions``; ``-1`` produces a null.
+
+    Matches what rebuilding the column from Python scalars would give:
+    an int column acquiring nulls promotes to float64 backing.
+    """
+    positions = np.asarray(positions, dtype=np.int64)
+    missing = positions < 0
+    safe = np.where(missing, 0, positions)
+    if len(source) == 0:
+        # Gathering from an empty column: every position is a miss.
+        values = np.full(len(positions), np.nan)
+        return Column._from_arrays(values, np.ones(len(positions), dtype=bool))
+    values = source.values[safe]
+    mask = source.mask[safe] | missing
+    if mask.any() and values.dtype.kind == "i":
+        values = values.astype(np.float64)
+    return Column._from_arrays(values, mask)
+
+
+# ----------------------------------------------------------------------
+# Group-by (sort-based key codes instead of per-row tuple dicts)
+# ----------------------------------------------------------------------
+def group_positions(key_columns: list[Column]):
+    """Split row positions into groups over tuple keys.
+
+    Returns ``(first_positions, group_slices)`` where ``group_slices`` is
+    a list of ascending position arrays, ordered by each group's first
+    occurrence — the first-seen order the reference dict produces. Rows
+    with a null in a key column group under that null (SQL-style).
+    """
+    n = len(key_columns[0])
+    if n == 0:
+        return np.empty(0, dtype=np.int64), []
+    combined = np.zeros(n, dtype=np.int64)
+    radix = 1
+    for col in key_columns:
+        valid = ~col.mask
+        try:
+            _, inverse = np.unique(col.values[valid], return_inverse=True)
+        except TypeError as exc:
+            raise KernelFallback(str(exc)) from exc
+        codes = np.empty(n, dtype=np.int64)
+        codes[valid] = inverse
+        # Null keys form their own group per column.
+        n_codes = int(inverse.max()) + 1 if len(inverse) else 0
+        codes[~valid] = n_codes
+        radix *= n_codes + 1
+        if radix > 2 ** 62:  # mixed-radix code would overflow int64
+            raise KernelFallback("group key cardinality too large")
+        combined = combined * (n_codes + 1) + codes
+
+    order = np.argsort(combined, kind="stable")
+    sorted_codes = combined[order]
+    boundaries = np.flatnonzero(np.diff(sorted_codes)) + 1
+    slices = np.split(order, boundaries)
+    firsts = np.array([s[0] for s in slices], dtype=np.int64)
+    by_first_seen = np.argsort(firsts, kind="stable")
+    return firsts[by_first_seen], [slices[i] for i in by_first_seen]
+
+
+# ----------------------------------------------------------------------
+# Fuzzy-key resolution (length-banded candidate pruning)
+# ----------------------------------------------------------------------
+def resolve_fuzzy_keys(left_keys: list[str], right_keys: list[str],
+                       max_edit_distance: int,
+                       within) -> dict[str, str]:
+    """Map unmatched left keys to the *unique* right key within edit
+    distance, pruning candidate pairs before running the Levenshtein DP.
+
+    ``within`` is the ``(a, b, limit) -> bool`` distance predicate (kept
+    injectable so the reference path and tests share one definition).
+    Pruning is provably lossless: a pair is skipped only when a cheap
+    lower bound on its edit distance already exceeds the limit —
+    length difference, or the character-bag difference
+    ``max(len) - |multiset intersection|``.
+    """
+    right_list = list(right_keys)
+    right_set = set(right_list)
+    # Character-count matrix over the right keys' alphabet. Column 0 is a
+    # shared "not in the right alphabet" slot: every right bag is zero
+    # there, so stray left characters correctly add nothing to the
+    # multiset intersection.
+    alphabet: dict[str, int] = {}
+    for key in right_list:
+        for ch in key:
+            if ch not in alphabet:
+                alphabet[ch] = len(alphabet) + 1
+    width = len(alphabet) + 1
+    bags = np.zeros((len(right_list), width), dtype=np.int32)
+    lengths = np.empty(len(right_list), dtype=np.int32)
+    for j, key in enumerate(right_list):
+        for ch in key:
+            bags[j, alphabet[ch]] += 1
+        lengths[j] = len(key)
+
+    resolved: dict[str, str] = {}
+    left_bag = np.zeros(width, dtype=np.int32)
+    for key in left_keys:
+        if key in right_set:
+            continue
+        left_bag[:] = 0
+        for ch in key:
+            left_bag[alphabet.get(ch, 0)] += 1
+        # edit_distance(a, b) >= max(len) - |bag(a) ∩ bag(b)|, and
+        # >= |len(a) - len(b)|; both bounds vectorize over all right keys.
+        common = np.minimum(bags, left_bag).sum(axis=1)
+        bound = np.maximum(lengths, len(key)) - common
+        survivors = np.flatnonzero(
+            (np.abs(lengths - len(key)) <= max_edit_distance)
+            & (bound <= max_edit_distance)
+        )
+        candidates = []
+        for j in survivors:
+            if within(key, right_list[j], max_edit_distance):
+                candidates.append(right_list[j])
+                if len(candidates) > 1:
+                    break
+        if len(candidates) == 1:
+            resolved[key] = candidates[0]
+    return resolved
+
+
+def normalize_keys(column: Column, normalizer) -> Column:
+    """Apply a string normalizer over the backing array; nulls stay null.
+
+    Join keys repeat heavily, so the normalizer runs once per *distinct*
+    value (factorize, normalize uniques, scatter back) instead of once per
+    row; unsortable mixed-type values fall back to a per-row loop.
+    """
+    values = column.values
+    mask = column.mask
+    out = np.empty(len(values), dtype=object)
+    valid = ~mask
+
+    def _normalize_one(v):
+        return normalizer(str(v.item() if isinstance(v, np.generic) else v))
+
+    try:
+        uniques, inverse = np.unique(values[valid], return_inverse=True)
+    except TypeError:
+        for i in np.flatnonzero(valid):
+            out[i] = _normalize_one(values[i])
+    else:
+        normalized = np.array([_normalize_one(u) for u in uniques],
+                              dtype=object)
+        out[valid] = normalized[inverse] if len(uniques) else []
+    if mask.any():
+        out[mask] = ""
+    return Column._from_arrays(out, mask.copy())

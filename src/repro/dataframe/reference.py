@@ -1,0 +1,112 @@
+"""Row-wise reference implementations of the relational kernels.
+
+These are the original interpreted loops the columnar engine replaced.
+They are retained for two reasons:
+
+1. **Differential testing** — every vectorized kernel in
+   :mod:`repro.dataframe.kernels` is checked against these on randomized
+   null-heavy frames; the two must agree on values, masks, row ids and
+   output order exactly.
+2. **Fallback** — vectorized kernels require sortable key values; object
+   columns mixing incomparable types (e.g. ints and strings) route back
+   through these loops so every input that used to work still works.
+
+Do not "optimize" anything here: being obviously correct is the point.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.dataframe.column import Column
+
+
+def join_positions_rowwise(left: Column, right: Column, how: str):
+    """Dict-probing equality join; the semantics the vectorized kernel
+    must reproduce (see :func:`repro.dataframe.kernels.join_positions`)."""
+    table: dict = {}
+    for j in range(len(right)):
+        if right.mask[j]:
+            continue  # null keys never match
+        table.setdefault(right.get(j), []).append(j)
+
+    left_pos, right_pos = [], []
+    for i in range(len(left)):
+        matches = [] if left.mask[i] else table.get(left.get(i), [])
+        if matches:
+            for j in matches:
+                left_pos.append(i)
+                right_pos.append(j)
+        elif how == "left":
+            left_pos.append(i)
+            right_pos.append(-1)
+    return (np.array(left_pos, dtype=np.int64),
+            np.array(right_pos, dtype=np.int64))
+
+
+def gather_column_rowwise(source: Column, positions) -> Column:
+    """Rebuild a gathered column from Python scalars (re-inferring dtype,
+    which is the promotion behaviour the fast gather mirrors)."""
+    values = []
+    for j in positions:
+        values.append(None if j < 0 else source.get(int(j)))
+    return Column(values)
+
+
+def group_positions_rowwise(key_columns: list[Column]):
+    """Tuple-keyed dict grouping in first-seen order."""
+    groups: dict[tuple, list[int]] = {}
+    n = len(key_columns[0]) if key_columns else 0
+    for i in range(n):
+        key = tuple(col.get(i) for col in key_columns)
+        groups.setdefault(key, []).append(i)
+    firsts = np.array([positions[0] for positions in groups.values()],
+                      dtype=np.int64)
+    slices = [np.array(positions, dtype=np.int64)
+              for positions in groups.values()]
+    return firsts, slices
+
+
+def resolve_fuzzy_keys_rowwise(left_keys, right_keys, max_edit_distance,
+                               within) -> dict[str, str]:
+    """All-pairs unique-match resolution (no candidate pruning)."""
+    right_set = set(right_keys)
+    resolved: dict[str, str] = {}
+    for key in left_keys:
+        if key in right_set:
+            continue
+        candidates = [rk for rk in right_keys
+                      if within(key, rk, max_edit_distance)]
+        if len(candidates) == 1:
+            resolved[key] = candidates[0]
+    return resolved
+
+
+def levenshtein_within(a: str, b: str, limit: int) -> bool:
+    """True when ``edit_distance(a, b) <= limit`` (banded DP, early exit,
+    with the standard common prefix/suffix strip)."""
+    if abs(len(a) - len(b)) > limit:
+        return False
+    # Shared prefixes and suffixes cost nothing; strip before the DP.
+    lo = 0
+    while lo < len(a) and lo < len(b) and a[lo] == b[lo]:
+        lo += 1
+    hi_a, hi_b = len(a), len(b)
+    while hi_a > lo and hi_b > lo and a[hi_a - 1] == b[hi_b - 1]:
+        hi_a -= 1
+        hi_b -= 1
+    a, b = a[lo:hi_a], b[lo:hi_b]
+    previous = list(range(len(b) + 1))
+    for i, ca in enumerate(a, start=1):
+        current = [i]
+        best = i
+        for j, cb in enumerate(b, start=1):
+            cost = min(previous[j] + 1,        # deletion
+                       current[j - 1] + 1,     # insertion
+                       previous[j - 1] + (ca != cb))  # substitution
+            current.append(cost)
+            best = min(best, cost)
+        if best > limit:
+            return False
+        previous = current
+    return previous[-1] <= limit

@@ -8,6 +8,7 @@ import numpy as np
 from repro.core.exceptions import ValidationError
 from repro.core.rng import ensure_rng
 from repro.core.validation import check_fraction
+from repro.dataframe.column import Column
 from repro.dataframe.frame import DataFrame, concat_rows
 from repro.errors.report import ErrorReport
 
@@ -108,15 +109,17 @@ def inject_inconsistencies(frame: DataFrame, *, column: str,
     positions = rng.choice(valid, size=n, replace=False)
     transforms = [str.upper, str.title, lambda s: f"  {s}", lambda s: f"{s}  ",
                   lambda s: s.replace(" ", "  ")]
-    items = col.to_list()
+    # Scatter into a copied backing array rather than rebuilding the
+    # column from a Python list; only the chosen positions are touched.
+    values = col.values.astype(object)
     report = ErrorReport()
     for p in positions:
-        original = items[int(p)]
+        original = values[int(p)]
         transform = transforms[int(rng.integers(0, len(transforms)))]
         mangled = transform(original)
         report.add(frame.row_ids[p], column, "inconsistency",
                    original=original, corrupted=mangled)
-        items[int(p)] = mangled
+        values[int(p)] = mangled
     corrupted = frame.copy()
-    corrupted[column] = items
+    corrupted[column] = Column._from_arrays(values, col.mask.copy())
     return corrupted, report

@@ -15,6 +15,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.core.exceptions import SchemaError, ValidationError
+from repro.dataframe.expr import Expr
 from repro.dataframe.frame import DataFrame, concat_rows
 from repro.pipelines.operators import Node
 from repro.pipelines.provenance import Provenance
@@ -176,6 +177,8 @@ class DataPipeline:
             if isinstance(predicate, tuple):
                 column, value = predicate
                 mask = np.asarray(upstream[column] == value)
+            elif isinstance(predicate, Expr):
+                mask = predicate.evaluate(upstream)
             else:
                 mask = np.array([bool(predicate(r)) for r in upstream.iter_rows()])
             frame = upstream.take(mask)

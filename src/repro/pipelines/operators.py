@@ -19,6 +19,7 @@ import itertools
 from collections.abc import Callable
 
 from repro.core.exceptions import ValidationError
+from repro.dataframe.expr import Expr
 
 _node_counter = itertools.count()
 
@@ -46,8 +47,10 @@ class Node:
     # Fluent builder methods (each returns a new downstream node)
     # ------------------------------------------------------------------
     def filter(self, predicate) -> "Node":
-        """Keep rows satisfying ``predicate`` (row-dict -> bool, or a
-        ``(column, value)`` equality pair for an optimizable form)."""
+        """Keep rows satisfying ``predicate``: a column expression
+        (``col("age") > 30`` — the vectorized fast path), a
+        ``(column, value)`` equality pair, or a row-dict -> bool UDF
+        (the retained row-wise fallback)."""
         return Node("filter", [self], predicate=predicate)
 
     def project(self, columns: list[str]) -> "Node":
@@ -96,6 +99,8 @@ class Node:
             predicate = self.params["predicate"]
             if isinstance(predicate, tuple):
                 return f"Filter({predicate[0]} == {predicate[1]!r})"
+            if isinstance(predicate, Expr):
+                return f"Filter({predicate.describe()})"
             name = getattr(predicate, "__name__", "udf")
             return f"Filter({name})"
         if self.op == "project":

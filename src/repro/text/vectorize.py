@@ -19,6 +19,44 @@ def _stable_hash(token: str) -> int:
     return int.from_bytes(digest, "little")
 
 
+# Memo of per-text n-gram hash arrays, keyed by the parameters that change
+# the grams. Corpora repeat texts heavily (categorical descriptions, repeated
+# pipeline runs over the same frame), and blake2b per gram dominates embedding
+# cost; the cached hashes are independent of ``n_features``, so one entry
+# serves every vectorizer width. Bounded: cleared wholesale at the cap.
+_GRAM_CACHE_LIMIT = 32768
+_gram_hash_cache: dict[tuple, np.ndarray] = {}
+
+# Memo of finished (normalized) hashed rows keyed by the full vectorizer
+# parameters plus the text. Re-running a pipeline over the same frame —
+# what-if analysis, importance scoring, repeated serve jobs — re-embeds
+# the same texts; a hit skips tokenization, hashing and normalization
+# entirely. Rows are cached *before* any downstream projection, so batch
+# composition cannot change results (per-row ops only). Bounded: cleared
+# wholesale when the cap would be exceeded.
+_ROW_CACHE_LIMIT = 4096
+_row_cache: dict[tuple, np.ndarray] = {}
+
+
+def _gram_hashes(text: str, ngram_range: tuple[int, int],
+                 drop_stopwords: bool) -> np.ndarray:
+    key = (ngram_range, drop_stopwords, text)
+    cached = _gram_hash_cache.get(key)
+    if cached is None:
+        tokens = tokenize(text, drop_stopwords=drop_stopwords)
+        lo, hi = ngram_range
+        cached = np.array(
+            [_stable_hash(" ".join(tokens[i:i + n]))
+             for n in range(lo, hi + 1)
+             for i in range(len(tokens) - n + 1)],
+            dtype=np.uint64,
+        )
+        if len(_gram_hash_cache) >= _GRAM_CACHE_LIMIT:
+            _gram_hash_cache.clear()
+        _gram_hash_cache[key] = cached
+    return cached
+
+
 def _as_texts(X) -> list[str]:
     if hasattr(X, "to_list"):  # Column
         return ["" if t is None else str(t) for t in X.to_list()]
@@ -62,23 +100,56 @@ class HashingVectorizer(BaseEstimator, TransformerMixin):
                 yield " ".join(tokens[i:i + n])
 
     def transform(self, X) -> np.ndarray:
+        if self.norm not in ("l2", "l1", None):
+            raise ValidationError(f"unknown norm {self.norm!r}")
         texts = _as_texts(X)
-        out = np.zeros((len(texts), self.n_features))
-        for row, text in enumerate(texts):
-            tokens = tokenize(text, drop_stopwords=self.drop_stopwords)
-            for gram in self._ngrams(tokens):
-                h = _stable_hash(gram)
-                bucket = h % self.n_features
-                sign = 1.0 if (h >> 63) & 1 else -1.0
-                out[row, bucket] += sign
+        params = (self.n_features, self.ngram_range, self.drop_stopwords,
+                  self.norm)
+        out = np.empty((len(texts), self.n_features))
+        missing: list[int] = []
+        for i, text in enumerate(texts):
+            row = _row_cache.get((params, text))
+            if row is None:
+                missing.append(i)
+            else:
+                out[i] = row
+        if missing:
+            fresh = self._transform_uncached([texts[i] for i in missing])
+            if len(_row_cache) + len(missing) > _ROW_CACHE_LIMIT:
+                _row_cache.clear()
+            for j, i in enumerate(missing):
+                out[i] = fresh[j]
+                _row_cache[(params, texts[i])] = fresh[j].copy()
+        return out
+
+    def _transform_uncached(self, texts: list[str]) -> np.ndarray:
+        rows = [_gram_hashes(text, self.ngram_range, self.drop_stopwords)
+                for text in texts]
+        lengths = np.array([len(r) for r in rows], dtype=np.int64)
+        total = int(lengths.sum())
+        if total == 0:
+            out = np.zeros((len(texts), self.n_features))
+        else:
+            hashes = np.concatenate(rows)
+            buckets = (hashes % np.uint64(self.n_features)).astype(np.int64)
+            signs = np.where((hashes >> np.uint64(63)).astype(bool), 1.0, -1.0)
+            row_idx = np.repeat(np.arange(len(texts), dtype=np.int64), lengths)
+            # One flattened bincount over (row, bucket) pairs. Sums of
+            # +-1.0 are exact in float64 regardless of order, so this
+            # matches the scalar accumulation bit-for-bit.
+            flat = np.bincount(row_idx * self.n_features + buckets,
+                               weights=signs,
+                               minlength=len(texts) * self.n_features)
+            out = flat.reshape(len(texts), self.n_features)
+        # Normalization is strictly per-row (the reduction never crosses
+        # rows), so rows normalized in different batches are identical —
+        # which is what makes the per-text row cache bit-exact.
         if self.norm == "l2":
             norms = np.linalg.norm(out, axis=1, keepdims=True)
             out = out / np.maximum(norms, 1e-12)
         elif self.norm == "l1":
             norms = np.abs(out).sum(axis=1, keepdims=True)
             out = out / np.maximum(norms, 1e-12)
-        elif self.norm is not None:
-            raise ValidationError(f"unknown norm {self.norm!r}")
         return out
 
 

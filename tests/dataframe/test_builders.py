@@ -1,0 +1,128 @@
+"""Tests for the column-builder factory (`repro.dataframe.builders`)."""
+
+import numpy as np
+import pytest
+
+from repro.core.exceptions import ValidationError
+from repro.dataframe import builders
+from repro.dataframe.builders import (
+    ColumnBuilder,
+    FloatColumnBuilder,
+    arrays_from_items,
+    builder_for,
+    infer_kind,
+    register_column,
+    registered_kinds,
+)
+from repro.dataframe.column import Column
+
+
+class TestInference:
+    def test_bool_wins_over_int(self):
+        assert infer_kind([True, False, None], np.array([False, False, True])) == "bool"
+
+    def test_ints_stay_int(self):
+        assert infer_kind([1, 2], np.array([False, False])) == "int"
+
+    def test_mixed_numeric_is_float(self):
+        assert infer_kind([1, 2.5], np.array([False, False])) == "float"
+
+    def test_strings(self):
+        assert infer_kind(["a", None], np.array([False, True])) == "str"
+
+    def test_mixed_types_are_object(self):
+        assert infer_kind([1, "a"], np.array([False, False])) == "object"
+
+    def test_all_null_is_float(self):
+        assert infer_kind([None, None], np.array([True, True])) == "float"
+
+
+class TestBuilderProtocol:
+    def test_incremental_build_matches_bulk(self):
+        items = [1.5, None, 3.0]
+        builder = builder_for("float")._empty()
+        for item in items:
+            if item is None:
+                builder._append_null()
+            else:
+                builder._append_value(item)
+        col = builder._finalize()
+        bulk = Column(items)
+        assert col.to_list() == bulk.to_list()
+        assert col.dtype == bulk.dtype
+        assert col.mask.tolist() == bulk.mask.tolist()
+
+    def test_int_with_null_promotes_to_float(self):
+        values, mask = arrays_from_items([1, None, 3])
+        assert values.dtype.kind == "f"
+        assert mask.tolist() == [False, True, False]
+        assert np.isnan(values[1])  # pre-normalization filler
+
+    def test_string_filler_is_empty_string(self):
+        values, mask = arrays_from_items(["a", None])
+        assert values.dtype.kind == "O"
+        assert values[1] == ""
+
+    def test_unknown_kind_raises(self):
+        with pytest.raises(ValidationError, match="no column builder"):
+            builder_for("decimal")
+
+    def test_registered_kinds(self):
+        assert {"bool", "int", "float", "str", "object"} <= set(registered_kinds())
+
+
+class TestRegistration:
+    def test_register_and_dispatch_custom_builder(self):
+        calls = []
+
+        class TracingFloatBuilder(FloatColumnBuilder):
+            @classmethod
+            def _from_items(cls, items, mask):
+                calls.append(len(items))
+                return super()._from_items(items, mask)
+
+        original = builders._REGISTRY["float"]
+        register_column("float", TracingFloatBuilder)
+        try:
+            col = Column([1.0, None, 2.0])
+            assert calls == [3]
+            assert col.to_list() == [1.0, None, 2.0]
+        finally:
+            register_column("float", original)
+
+    def test_register_rejects_non_builders(self):
+        with pytest.raises(ValidationError, match="ColumnBuilder"):
+            register_column("float", dict)
+
+    def test_registry_restored(self):
+        # Paranoia: the previous test must not leak its tracer.
+        assert builders._REGISTRY["float"] is FloatColumnBuilder
+
+
+class TestColumnIntegration:
+    def test_nan_in_list_becomes_null(self):
+        col = Column([1.0, float("nan"), 3.0])
+        assert col.null_count() == 1
+        assert col.to_list() == [1.0, None, 3.0]
+
+    def test_numpy_scalars_unbox(self):
+        col = Column([np.int64(1), np.float64(2.5)])
+        assert col.dtype.kind == "f"
+        assert col.to_list() == [1.0, 2.5]
+
+    def test_empty_list_is_float(self):
+        col = Column([])
+        assert col.dtype.kind == "f"
+        assert len(col) == 0
+
+    def test_slice_take_is_zero_copy_view(self):
+        col = Column([1, 2, 3, 4])
+        view = col.take(slice(1, 3))
+        assert view.to_list() == [2, 3]
+        assert view.values.base is col.values
+
+    def test_copy_constructor_stays_deep(self):
+        original = Column([1, 2, 3])
+        copied = Column(original)
+        copied.values[0] = 99
+        assert original.to_list() == [1, 2, 3]

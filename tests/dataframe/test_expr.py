@@ -1,0 +1,106 @@
+"""Tests for the expression-based filter API (`repro.dataframe.expr`)."""
+
+import numpy as np
+import pytest
+
+from repro.core.exceptions import ValidationError
+from repro.dataframe import DataFrame, col
+from repro.dataframe.expr import Expr
+
+
+@pytest.fixture
+def frame():
+    return DataFrame({
+        "a": [1, 2, 3, None, 5],
+        "b": ["x", "y", "x", "z", None],
+        "c": [1.5, 2.5, None, 4.5, 5.5],
+        "flag": [True, False, True, False, True],
+    })
+
+
+class TestComparisons:
+    def test_greater_than(self, frame):
+        out = frame.filter(col("a") > 2)
+        assert out["a"].to_list() == [3, 5]
+
+    def test_equality(self, frame):
+        out = frame.filter(col("b") == "x")
+        assert out["a"].to_list() == [1, 3]
+
+    def test_nulls_compare_false(self, frame):
+        # Null a-values match neither a predicate nor its complement.
+        assert len(frame.filter(col("a") > 0)) + len(frame.filter(~(col("a") > 0))) \
+            == len(frame)
+        assert len(frame.filter(col("a") <= 100)) == 4
+
+    def test_column_vs_column(self, frame):
+        out = frame.filter(col("c") > col("a"))
+        assert out["a"].to_list() == [1, 2, 5]
+
+    def test_matches_row_udf(self, frame):
+        expr_rows = frame.filter(col("a") >= 2).row_ids.tolist()
+        udf_rows = frame.filter(
+            lambda r: r["a"] is not None and r["a"] >= 2).row_ids.tolist()
+        assert expr_rows == udf_rows
+
+
+class TestComposition:
+    def test_and(self, frame):
+        out = frame.filter((col("a") > 1) & (col("b") == "x"))
+        assert out["a"].to_list() == [3]
+
+    def test_or(self, frame):
+        out = frame.filter((col("a") == 1) | (col("b") == "z"))
+        assert out["a"].to_list() == [1, None]
+
+    def test_invert(self, frame):
+        out = frame.filter(~(col("flag") == True))  # noqa: E712
+        assert out["a"].to_list() == [2, None]
+
+    def test_python_and_raises(self, frame):
+        with pytest.raises(ValidationError, match="not truthy"):
+            frame.filter((col("a") > 1) and (col("b") == "x"))
+
+    def test_combining_with_non_expr_raises(self):
+        with pytest.raises(ValidationError, match="expected an expression"):
+            (col("a") > 1) & True
+
+
+class TestPredicates:
+    def test_isin(self, frame):
+        out = frame.filter(col("b").isin(["x", "z"]))
+        assert out["a"].to_list() == [1, 3, None]
+
+    def test_is_null(self, frame):
+        assert frame.filter(col("a").is_null())["b"].to_list() == ["z"]
+
+    def test_not_null(self, frame):
+        assert len(frame.filter(col("c").not_null())) == 4
+
+    def test_bare_column_is_truthiness(self, frame):
+        out = frame.filter(col("flag"))
+        assert out["a"].to_list() == [1, 3, 5]
+
+
+class TestIntegration:
+    def test_expr_in_pipeline_filter(self, frame):
+        from repro.pipelines import DataPipeline, source
+
+        plan = source("t").filter(col("a") > 1).project(["a"])
+        result = DataPipeline(plan).run({"t": frame})
+        assert result.frame["a"].to_list() == [2, 3, 5]
+
+    def test_describe_renders_expression(self):
+        from repro.pipelines import source
+
+        node = source("t").filter((col("a") > 1) & col("b").is_null())
+        assert "col('a') > 1" in node.describe()
+
+    def test_with_column_accepts_expr(self, frame):
+        out = frame.with_column("big", col("a") > 2)
+        assert out["big"].to_list() == [False, False, True, False, True]
+
+    def test_expr_is_an_expr(self):
+        assert isinstance(col("a") > 1, Expr)
+        assert isinstance(np.asarray((col("a") > 1).evaluate(
+            DataFrame({"a": [1, 2]}))), np.ndarray)

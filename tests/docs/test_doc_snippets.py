@@ -131,3 +131,9 @@ def test_serving_md_snippets(sandbox_cwd):
 def test_tutorial_md_snippets(sandbox_cwd, small_hiring_data):
     n_blocks = run_document(DOCS_DIR / "TUTORIAL.md", _tutorial_namespace())
     assert n_blocks >= 8
+
+
+def test_dataframe_md_snippets(sandbox_cwd):
+    # The data-layer contract doc is self-contained: no seeded context.
+    n_blocks = run_document(DOCS_DIR / "DATAFRAME.md", {})
+    assert n_blocks >= 9
