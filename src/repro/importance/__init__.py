@@ -26,8 +26,14 @@ from repro.importance.kernels import (
     CoalitionKernel,
     GaussianNBCoalitionKernel,
     KNNCoalitionKernel,
+    LinearRegressionCoalitionKernel,
+    PipelineCoalitionKernel,
+    WarmStartLinearSVCKernel,
+    WarmStartLogisticKernel,
     build_kernel,
+    register_fallback,
     register_kernel,
+    resolve_kernel,
 )
 from repro.importance.evaluation import (
     cleaning_curve,
@@ -39,7 +45,7 @@ from repro.importance.evaluation import (
 )
 from repro.importance.gradient_similarity import gradient_similarity_scores
 from repro.importance.influence import influence_scores
-from repro.importance.knn_shapley import knn_shapley
+from repro.importance.knn_shapley import knn_shapley, knn_shapley_core
 from repro.importance.loo import leave_one_out
 from repro.importance.rag import RetrievalAugmentedClassifier, rag_corpus_importance
 from repro.importance.shapley_mc import MonteCarloShapley
@@ -50,11 +56,18 @@ __all__ = [
     "CoalitionKernel",
     "KNNCoalitionKernel",
     "GaussianNBCoalitionKernel",
+    "LinearRegressionCoalitionKernel",
+    "WarmStartLogisticKernel",
+    "WarmStartLinearSVCKernel",
+    "PipelineCoalitionKernel",
     "build_kernel",
+    "resolve_kernel",
     "register_kernel",
+    "register_fallback",
     "leave_one_out",
     "MonteCarloShapley",
     "knn_shapley",
+    "knn_shapley_core",
     "DataBanzhaf",
     "BetaShapley",
     "influence_scores",

@@ -16,11 +16,13 @@ what the estimators submit work through; their results are
 backend-invariant because every task is a pure function of its inputs.
 
 When the model has a registered incremental kernel
-(:mod:`repro.importance.kernels` — k-NN and Gaussian naive Bayes ship
-built in), coalition values come from the kernel's precomputed state
-instead of a fresh clone-and-fit, with bit-identical scores, identical
-``calls`` accounting and unchanged cache keys; every other model uses
-the retrain path exactly as before.
+(:mod:`repro.importance.kernels` — the registry covers the whole
+``repro.ml`` model zoo), coalition values come from the kernel's
+precomputed state instead of a fresh clone-and-fit, with bit-identical
+(or certified-exact) scores, identical ``calls`` accounting and
+unchanged cache keys. Models with a documented fallback registration use
+the retrain path exactly as before; either way
+:attr:`Utility.kernel_resolution` records how dispatch concluded.
 """
 
 from __future__ import annotations
@@ -29,7 +31,7 @@ import numpy as np
 
 from repro.core.exceptions import ValidationError
 from repro.core.validation import check_X_y
-from repro.importance.kernels import CoalitionKernel, build_kernel
+from repro.importance.kernels import CoalitionKernel, resolve_kernel
 from repro.ml.base import clone
 from repro.ml.metrics import accuracy_score
 from repro.runtime.cache import fingerprint
@@ -77,8 +79,10 @@ class _UtilityCore:
             constant = np.full(len(self.y_valid), classes[0])
             return float(self.metric(self.y_valid, constant)), 0, False
         if self.kernel is not None:
-            value, trained = self.kernel.evaluate(subset, y_sub, classes)
-            return value, trained, True
+            # `incremental` is the kernel's honesty flag: False means it
+            # answered by replaying a full direct solve, which must land
+            # in the fallback_retrains counter like any other retrain.
+            return self.kernel.evaluate(subset, y_sub, classes)
         trained = 0
         try:
             model = clone(self.model)
@@ -167,13 +171,17 @@ class Utility:
         its own policy.
     kernel:
         ``"auto"`` (default) attaches the registered incremental kernel
-        for the model's type when one exists (k-NN, GaussianNB), making
-        coalition evaluation O(update) instead of O(retrain) with
-        bit-identical scores; ``"off"`` / ``None`` / ``False`` forces
+        for the model's type when one exists (dispatch walks the MRO and
+        covers the whole ``repro.ml`` zoo — k-NN, GaussianNB, the linear
+        Sherman–Morrison kernel, the warm-start continuation kernels and
+        coalition-invariant Pipelines), making coalition evaluation
+        O(update) instead of O(retrain) with bit-identical or
+        certified-exact scores; ``"off"`` / ``None`` / ``False`` forces
         the retrain path; a :class:`repro.importance.CoalitionKernel`
-        instance is used as-is. The kernel is built eagerly so the
-        process backend ships its precomputed state to workers exactly
-        once.
+        instance is used as-is. :attr:`kernel_resolution` records how
+        auto-dispatch concluded (kernel / declined / documented fallback
+        / unregistered). The kernel is built eagerly so the process
+        backend ships its precomputed state to workers exactly once.
     """
 
     def __init__(self, model, X_train, y_train, X_valid, y_valid,
@@ -182,14 +190,21 @@ class Utility:
         X_train, y_train = check_X_y(X_train, y_train)
         X_valid, y_valid = check_X_y(X_valid, y_valid)
         if kernel == "auto":
-            kernel = build_kernel(model, X_train, y_train, X_valid, y_valid,
-                                  metric)
+            kernel, resolution = resolve_kernel(model, X_train, y_train,
+                                                X_valid, y_valid, metric)
         elif kernel in (None, False, "off"):
             kernel = None
-        elif not isinstance(kernel, CoalitionKernel):
+            resolution = {"resolution": "disabled",
+                          "reason": "kernel explicitly disabled"}
+        elif isinstance(kernel, CoalitionKernel):
+            resolution = {"resolution": "kernel", "kernel": kernel.name,
+                          "registered_for": None,
+                          "reason": "caller-supplied kernel instance"}
+        else:
             raise ValidationError(
                 "kernel must be 'auto', 'off'/None/False, or a "
                 f"CoalitionKernel — got {type(kernel).__name__}")
+        self.kernel_resolution = resolution
         self._core = _UtilityCore(model, X_train, y_train, X_valid, y_valid,
                                   metric, kernel=kernel)
         self.runtime = resolve_runtime(runtime, faults=faults)
@@ -422,7 +437,10 @@ class Utility:
             self._kernel_announced = True
             observer.event("utility.kernel", kernel=self.kernel_name,
                            model=type(self._core.model).__name__,
-                           n_players=self.n_players)
+                           n_players=self.n_players,
+                           resolution=self.kernel_resolution.get(
+                               "resolution"),
+                           reason=self.kernel_resolution.get("reason"))
         if kernel_steps:
             observer.count("kernel.incremental_steps", kernel_steps)
         if fallback_retrains:
@@ -448,6 +466,7 @@ class Utility:
                 "name": self.kernel_name,
                 "incremental_steps": self.kernel_steps,
                 "fallback_retrains": self.fallback_retrains,
+                "resolution": self.kernel_resolution,
             },
             "runtime": self.runtime.stats() if self.runtime is not None
             else None,
@@ -487,8 +506,10 @@ def resolve_partial(partial):
     callable ``publish(method=, completed=, total=, values=, stderr=)``
     returning truthy to stop the loop early, plus an optional integer
     ``every`` attribute (publish/batch cadence in completed work units,
-    default 1). :class:`repro.serve.AnytimeEstimate` implements this
-    protocol; any duck-typed object works.
+    default 1). Estimators may pass additional keyword fields (e.g.
+    ``exact=True`` from the closed-form Shapley dispatch), so duck-typed
+    hooks should accept ``**fields``.
+    :class:`repro.serve.AnytimeEstimate` implements this protocol.
     """
     if partial is None:
         return None

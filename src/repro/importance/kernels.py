@@ -12,37 +12,49 @@ A :class:`CoalitionKernel` packages that insight for one ``(model,
 X_train, y_train, X_valid, y_valid, metric)`` game:
 
 - :meth:`CoalitionKernel.evaluate` scores one arbitrary coalition from
-  state precomputed **once per utility** (no refit, no re-validation).
+  state precomputed **once per utility** (no clone, no re-validation).
 - :meth:`CoalitionKernel.walk_steps` walks a permutation's prefix chain
   by **incremental insertion**, paying O(update) per step instead of a
   full refit per prefix.
+- :meth:`CoalitionKernel.exact_shapley` optionally short-circuits
+  permutation sampling entirely with a closed form (k-NN only).
 
-Two exact kernels ship built in:
+The registry covers the whole ``repro.ml`` model zoo:
 
-- :class:`KNNCoalitionKernel` — precomputes the full ``n_valid x
-  n_train`` distance matrix, evaluates coalitions by masked top-k
-  selection, and walks permutations by inserting one training point at a
-  time into per-validation-point sorted neighbor lists (O(k·n_valid) per
-  prefix step).
-- :class:`GaussianNBCoalitionKernel` — maintains per-class running
-  sufficient statistics (count, sum, sum of squares) so adding one row
-  to a coalition is an O(d) update.
+- :class:`KNNCoalitionKernel` — precomputed ``n_valid x n_train``
+  distance matrix, masked top-k coalition evaluation, O(k·n_valid)
+  insertion walks, and the Jia et al. closed-form Shapley recurrence.
+- :class:`GaussianNBCoalitionKernel` — per-class running sufficient
+  statistics; adding one row to a coalition is an O(d) update.
+- :class:`LinearRegressionCoalitionKernel` — maintains the inverse
+  regularized Gram matrix via Sherman–Morrison rank-one updates, O(d²)
+  per walk step, with randomized direct-solve stability cross-checks.
+- :class:`WarmStartLogisticKernel` / :class:`WarmStartLinearSVCKernel` —
+  continuation solvers that carry coefficients across prefix steps and
+  certify prediction equivalence through a strong-convexity margin
+  bound, falling back to bit-identical cold replays otherwise.
+- :class:`PipelineCoalitionKernel` — fits coalition-invariant
+  preprocessing once and dispatches the inner model's kernel on the
+  transformed features.
+- ``DecisionTreeClassifier`` / ``RandomForestClassifier`` carry explicit
+  **fallback registrations** (:func:`register_fallback`): auto-dispatch
+  resolves them to the retrain path *by declaration*, not by silently
+  missing the registry.
 
-**Exactness contract.** Kernel scores are bit-identical to the retrain
-path: degenerate coalitions (empty / single-class / ``|S| < k``) follow
-the same fallbacks, ties are broken by the same stable position order,
-and the reported "training" counts match what the retrain path would
-have recorded — so FingerprintCache keys, truncation and convergence
-behavior, and downstream reports are unchanged. (The one theoretical
-caveat: distances sliced from the precomputed matrix can differ from a
-per-subset recomputation in the last ulp, which could only matter if two
-*distinct* training points were equidistant from a validation point to
-within ~2 ulp; *exact* ties — duplicated rows — are resolved identically
-by both paths. See ``docs/PERFORMANCE.md``.)
+**Exactness contract.** Kernel walk steps report, per prefix, whether
+the value came from incremental state (``kernel.incremental_steps``) or
+from a replayed direct solve (``kernel.fallback_retrains``); replayed
+steps are bit-identical to the retrain path by construction (they run
+the same solver helpers as ``fit``). Incremental steps are bit-identical
+for the k-NN and Gaussian-NB kernels; for the linear and warm-start
+families they are *certified-exact*: predictions (hence any
+label-quantized metric such as accuracy) match the retrain path exactly
+whenever the step is taken, and any step that cannot be certified is
+demoted to a counted fallback replay. See ``docs/PERFORMANCE.md``.
 
-Models without a registered kernel transparently fall back to the
-retrain path. Register kernels for new model classes with
-:func:`register_kernel`.
+Dispatch walks the model's MRO (most-derived registration wins), so a
+subclass of a registered model inherits its kernel unless it registers a
+builder of its own or opts out with :func:`register_fallback`.
 """
 
 from __future__ import annotations
@@ -50,38 +62,58 @@ from __future__ import annotations
 import numpy as np
 
 from repro.core.exceptions import ValidationError
+from repro.importance.knn_shapley import knn_shapley_core
+from repro.ml.compose import Pipeline
+from repro.ml.ensemble import RandomForestClassifier
+from repro.ml.linear import (
+    LinearRegression,
+    LinearSVC,
+    LogisticRegression,
+    _logistic_problem,
+    _minimize,
+    _ridge_theta,
+    _svc_problem,
+)
 from repro.ml.naive_bayes import GaussianNB
 from repro.ml.neighbors import KNeighborsClassifier, pairwise_distances
+from repro.ml.tree import DecisionTreeClassifier
 
 
 class CoalitionKernel:
     """Exact incremental evaluator for one coalition game.
 
     Subclasses precompute whatever per-game state makes coalition
-    evaluation cheap (distance matrices, sufficient statistics) and must
-    honour the exactness contract: values bit-identical to cloning and
-    refitting the model, and ``trained`` flags matching what the retrain
-    path would report. Kernels must be picklable (they ship to process
-    workers once, inside the utility core) and treat their state as
-    read-only after construction (thread workers share it).
+    evaluation cheap (distance matrices, sufficient statistics, Gram
+    inverses) and must honour the exactness contract: values
+    bit-identical to cloning and refitting the model on every step they
+    report as incremental, ``trained`` flags matching what the retrain
+    path would report, and honest ``incremental`` flags so replayed
+    solves land in the ``kernel.fallback_retrains`` counter. Kernels must
+    be picklable (they ship to process workers once, inside the utility
+    core) and treat their state as read-only after construction (thread
+    workers share it) — walk state lives in the generator, never on
+    ``self``.
     """
 
     #: Short identifier used in reports and observability counters.
     name = "kernel"
 
     def evaluate(self, subset: np.ndarray, y_sub: np.ndarray,
-                 classes: np.ndarray) -> tuple[float, int]:
+                 classes: np.ndarray) -> tuple[float, int, bool]:
         """Value of one coalition with >= 2 classes.
 
         ``y_sub`` is ``y_train[subset]`` and ``classes`` its sorted
         unique labels (both already computed by the caller). Returns
-        ``(value, trained)`` where ``trained`` is 1 iff the retrain path
-        would have fit a model for this coalition.
+        ``(value, trained, incremental)``: ``trained`` is 1 iff the
+        retrain path would have fit a model for this coalition, and
+        ``incremental`` is ``False`` when the kernel answered by
+        replaying a full direct solve (honest fallback accounting)
+        rather than from incremental state.
         """
         raise NotImplementedError
 
     def walk_steps(self, permutation: np.ndarray):
-        """Yield ``(value, trained, True)`` for each prefix of
+        """Yield ``(value, trained, incremental)`` for each prefix of
         ``permutation``, maintaining incremental state between steps.
 
         Prefix ``p`` covers ``permutation[:p + 1]``; degenerate prefixes
@@ -89,6 +121,16 @@ class CoalitionKernel:
         constant-predictor fallbacks exactly.
         """
         raise NotImplementedError
+
+    def exact_shapley(self):
+        """Closed-form Shapley values of the kernel's game, or ``None``.
+
+        Kernels with an analytic solution (k-NN) return one value per
+        training point computed without any sampling;
+        :class:`~repro.importance.MonteCarloShapley` dispatches to this
+        when constructed with ``exact=True`` / ``exact="auto"``.
+        """
+        return None
 
 
 def _majority_label(classes: np.ndarray, counts: np.ndarray):
@@ -111,7 +153,9 @@ class KNNCoalitionKernel(CoalitionKernel):
     list of its k best neighbors *within the current prefix*, and adding
     one training point is a single vectorized insertion (O(k) per
     validation point) — the per-step cost is independent of the prefix
-    size.
+    size. The same distance matrix also feeds
+    :meth:`exact_shapley`, the Jia et al. closed-form recurrence
+    (O(n log n) per validation point, no sampling at all).
     """
 
     name = "knn"
@@ -132,7 +176,7 @@ class KNNCoalitionKernel(CoalitionKernel):
             sub_classes, counts = np.unique(y_sub, return_counts=True)
             constant = np.full(len(self.y_valid),
                                _majority_label(sub_classes, counts))
-            return float(self.metric(self.y_valid, constant)), 0
+            return float(self.metric(self.y_valid, constant)), 0, True
         dist = self.distances[:, subset]
         # Stable (distance, position-in-subset) order — exactly
         # KNeighborsClassifier.kneighbors on the coalition's rows.
@@ -144,7 +188,7 @@ class KNNCoalitionKernel(CoalitionKernel):
         votes = (neighbor_codes[:, :, None]
                  == present_codes[None, None, :]).sum(axis=1)
         predictions = classes[np.argmax(votes, axis=1)]
-        return float(self.metric(self.y_valid, predictions)), 1
+        return float(self.metric(self.y_valid, predictions)), 1, True
 
     def walk_steps(self, permutation):
         k = self.k
@@ -192,6 +236,16 @@ class KNNCoalitionKernel(CoalitionKernel):
                 predictions = self.classes[present[np.argmax(votes, axis=1)]]
                 yield float(self.metric(self.y_valid, predictions)), 1, True
 
+    def exact_shapley(self):
+        """Closed-form KNN-Shapley values over the precomputed distances
+        (Jia et al., paper ref [33]); ``None`` when ``k`` exceeds the
+        training-set size (no full-data model exists to anchor them)."""
+        if self.k > self.distances.shape[1]:
+            return None
+        return knn_shapley_core(self.distances,
+                                self.classes[self.encoded],
+                                self.y_valid, self.k)
+
 
 class GaussianNBCoalitionKernel(CoalitionKernel):
     """Exact Gaussian naive Bayes kernel via sufficient statistics.
@@ -237,7 +291,7 @@ class GaussianNBCoalitionKernel(CoalitionKernel):
             quad = np.sum((self.X_valid - theta[c]) ** 2 / var[c], axis=1)
             jll[:, c] = np.log(prior[c] + 1e-12) - 0.5 * (log_det + quad)
         predictions = classes[np.argmax(jll, axis=1)]
-        return float(self.metric(self.y_valid, predictions)), 1
+        return float(self.metric(self.y_valid, predictions)), 1, True
 
     def walk_steps(self, permutation):
         n_valid = len(self.y_valid)
@@ -281,6 +335,443 @@ class GaussianNBCoalitionKernel(CoalitionKernel):
             yield float(self.metric(self.y_valid, predictions)), 1, True
 
 
+class LinearRegressionCoalitionKernel(CoalitionKernel):
+    """Sherman–Morrison kernel for :class:`~repro.ml.LinearRegression`.
+
+    The fitted model is the normal-equation solve ``(Xa'Xa + reg) theta
+    = Xa'y`` over the coalition's (intercept-augmented) rows. Along a
+    permutation walk each prefix adds one row ``x``, a rank-one update of
+    the Gram matrix — so the kernel maintains ``(Xa'Xa + reg)^{-1}``
+    directly via the Sherman–Morrison identity, turning each step into
+    O(d²) instead of the retrain path's O(|S|·d²) refit.
+
+    Accounting is honest about floating point: warmup steps (until the
+    regularized Gram is invertible and well conditioned), refresh steps,
+    and steps whose **randomized stability cross-check** against the
+    direct solve deviates by more than ``stability_tol`` are answered by
+    replaying :func:`repro.ml.linear._ridge_theta` on the prefix —
+    bit-identical to the retrain path and counted in
+    ``kernel.fallback_retrains``. Incremental steps solve from the
+    maintained inverse; their parameter vectors can differ from the
+    direct solve in trailing ulps, which label-quantized metrics (and
+    the cross-check tolerance) absorb. Cross-check positions come from a
+    seeded RNG, so walks stay deterministic on every backend.
+    """
+
+    name = "linear"
+
+    def __init__(self, model: LinearRegression, X_train, y_train, X_valid,
+                 y_valid, metric, *, stability_checks: int = 8,
+                 stability_tol: float = 1e-6,
+                 stability_seed: int = 1299721):
+        self.alpha = float(model.alpha)
+        self.fit_intercept = bool(model.fit_intercept)
+        self.y = np.asarray(y_train, dtype=float)
+        self.y_raw = y_train
+        if self.fit_intercept:
+            self.Xa = np.column_stack([X_train, np.ones(len(X_train))])
+        else:
+            self.Xa = np.asarray(X_train, dtype=float)
+        self.X_valid = X_valid
+        self.y_valid = y_valid
+        self.metric = metric
+        self.stability_checks = int(stability_checks)
+        self.stability_tol = float(stability_tol)
+        self.stability_seed = int(stability_seed)
+
+    def _predict(self, theta):
+        # Replays LinearRegression.predict exactly: X @ coef_ + intercept_.
+        if self.fit_intercept:
+            return self.X_valid @ theta[:-1] + float(theta[-1])
+        return self.X_valid @ theta + 0.0
+
+    def _direct_theta(self, Xa, y):
+        return _ridge_theta(Xa, y, self.alpha, self.fit_intercept)
+
+    def evaluate(self, subset, y_sub, classes):
+        # A lone coalition has no incremental structure: replay the
+        # direct solve (bit-identical, counted as a fallback retrain).
+        theta = self._direct_theta(self.Xa[subset], self.y[subset])
+        value = float(self.metric(self.y_valid, self._predict(theta)))
+        return value, 1, False
+
+    def walk_steps(self, permutation):
+        n = len(permutation)
+        n_valid = len(self.y_valid)
+        D = self.Xa.shape[1]
+        Xbuf = np.empty((n, D))
+        ybuf = np.empty(n)
+        reg = None
+        if self.alpha > 0:
+            reg = self.alpha * np.eye(D)
+            if self.fit_intercept:
+                reg[-1, -1] = 0.0
+        rng = np.random.default_rng(self.stability_seed + n)
+        check_positions: set[int] = set()
+        if self.stability_checks > 0 and n > D + 2:
+            check_positions = set(
+                rng.integers(D + 2, n, size=self.stability_checks).tolist())
+        inv = None
+        rhs = np.zeros(D)
+        distinct: set[float] = set()
+        for pos, player in enumerate(permutation):
+            x = self.Xa[player]
+            yv = self.y[player]
+            Xbuf[pos] = x
+            ybuf[pos] = yv
+            size = pos + 1
+            rhs = rhs + yv * x
+            distinct.add(float(yv))
+            if inv is not None:
+                # Sherman–Morrison rank-one insert of row x.
+                u = inv @ x
+                denom = 1.0 + float(x @ u)
+                if denom > 1e-12:
+                    inv = inv - np.outer(u, u) / denom
+                else:
+                    inv = None  # numerically degenerate insert: rebuild
+            if len(distinct) < 2:
+                # Retrain path: single distinct target -> constant
+                # predictor of that value (np.unique fallback).
+                constant = np.full(n_valid, self.y_raw[player])
+                yield float(self.metric(self.y_valid, constant)), 0, True
+                continue
+            if inv is not None:
+                theta = inv @ rhs
+                if pos not in check_positions:
+                    value = float(self.metric(self.y_valid,
+                                              self._predict(theta)))
+                    yield value, 1, True
+                    continue
+                direct = self._direct_theta(Xbuf[:size], ybuf[:size])
+                if np.allclose(theta, direct, rtol=self.stability_tol,
+                               atol=self.stability_tol):
+                    value = float(self.metric(self.y_valid,
+                                              self._predict(theta)))
+                    yield value, 1, True
+                    continue
+                inv = None  # drifted past tolerance: refresh below
+            # Warmup / refresh: replay the direct solve on the prefix —
+            # bit-identical to the retrain path, counted as a fallback.
+            theta = self._direct_theta(Xbuf[:size], ybuf[:size])
+            value = float(self.metric(self.y_valid, self._predict(theta)))
+            yield value, 1, False
+            if inv is None and size > D:
+                gram = Xbuf[:size].T @ Xbuf[:size]
+                if reg is not None:
+                    gram = gram + reg
+                try:
+                    if np.linalg.cond(gram) < 1e12:
+                        inv = np.linalg.inv(gram)
+                        rhs = Xbuf[:size].T @ ybuf[:size]
+                except np.linalg.LinAlgError:
+                    inv = None
+
+
+class WarmStartLogisticKernel(CoalitionKernel):
+    """Warm-start continuation kernel for
+    :class:`~repro.ml.LogisticRegression`.
+
+    Each prefix step carries the last solved coefficients forward and
+    checks a **margin certificate before running any solver**: one
+    gradient evaluation of the new prefix's (strongly convex)
+    regularized softmax objective at the carried solution bounds its
+    distance from the new true optimum by ``r = (||g|| + sqrt(Dk)·tol)
+    / alpha`` (strong-convexity modulus ``alpha = 1 / (C·n)`` on the
+    regularized coordinates; the ``tol`` term covers the cold solver's
+    own convergence ball). Any validation point whose top-1/top-2 score
+    margin exceeds ``2·safety·||x||·r`` keeps its argmax under both the
+    carried solution and anything a cold solve could return — so the
+    step is answered from the carried coefficients at the cost of one
+    gradient pass, and certified steps produce bit-identical values for
+    any label-based metric. The gradient norm grows as certified rows
+    accumulate, so the certificate eventually fails; those steps — and
+    the first non-degenerate prefix, and class-set growth — are replayed
+    cold through the same solver helper ``fit`` uses (bit-identical) and
+    counted in ``kernel.fallback_retrains``, resetting the continuation.
+    The unregularized intercept direction makes the bound heuristic
+    there; the ``safety`` factor plus the CI bit-identity gate backstop
+    it.
+    """
+
+    name = "logistic_warm"
+
+    def __init__(self, model: LogisticRegression, X_train, y_train,
+                 X_valid, y_valid, metric, *, safety: float = 4.0):
+        self.C = float(model.C)
+        self.max_iter = int(model.max_iter)
+        self.fit_intercept = bool(model.fit_intercept)
+        self.tol = float(model.tol)
+        self.safety = float(safety)
+        self.X_train = X_train
+        self.classes, self.encoded = np.unique(y_train, return_inverse=True)
+        self.X_valid = X_valid
+        self.y_valid = y_valid
+        self.metric = metric
+        norms_sq = np.sum(X_valid * X_valid, axis=1)
+        self.valid_norms = np.sqrt(norms_sq + 1.0) if self.fit_intercept \
+            else np.sqrt(norms_sq)
+
+    def _solve(self, Xa, Y, w0):
+        size = len(Xa)
+        sample_weight = np.ones(size)
+        total_weight = sample_weight.sum()
+        alpha = 1.0 / (max(self.C, 1e-12) * total_weight)
+        objective = _logistic_problem(Xa, Y, sample_weight, total_weight,
+                                      alpha, self.fit_intercept)
+        return _minimize(objective, w0, self.max_iter, self.tol), alpha
+
+    def _scores(self, W):
+        # Replays LogisticRegression.decision_function exactly.
+        if self.fit_intercept:
+            return self.X_valid @ W[:-1] + W[-1]
+        return self.X_valid @ W + np.zeros(W.shape[1])
+
+    def evaluate(self, subset, y_sub, classes):
+        Xp = self.X_train[subset]
+        sub_classes, encoded = np.unique(y_sub, return_inverse=True)
+        size = len(subset)
+        Xa = np.column_stack([Xp, np.ones(size)]) if self.fit_intercept \
+            else Xp
+        Y = np.zeros((size, len(sub_classes)))
+        Y[np.arange(size), encoded] = 1.0
+        result, _ = self._solve(Xa, Y, np.zeros(Xa.shape[1]
+                                                * len(sub_classes)))
+        W = result.x.reshape(Xa.shape[1], len(sub_classes))
+        predictions = sub_classes[np.argmax(self._scores(W), axis=1)]
+        return float(self.metric(self.y_valid, predictions)), 1, False
+
+    def walk_steps(self, permutation):
+        n = len(permutation)
+        n_valid = len(self.y_valid)
+        d = self.X_train.shape[1]
+        D = d + 1 if self.fit_intercept else d
+        Xabuf = np.empty((n, D))
+        if self.fit_intercept:
+            Xabuf[:, -1] = 1.0
+        codebuf = np.empty(n, dtype=np.intp)
+        counts = np.zeros(len(self.classes), dtype=np.intp)
+        W_prev = None
+        prev_present = None
+        for pos, player in enumerate(permutation):
+            Xabuf[pos, :d] = self.X_train[player]
+            code = self.encoded[player]
+            codebuf[pos] = code
+            counts[code] += 1
+            size = pos + 1
+            present = np.flatnonzero(counts)
+            if len(present) < 2:
+                constant = np.full(n_valid, self.classes[present[0]])
+                yield float(self.metric(self.y_valid, constant)), 0, True
+                continue
+            Xa = Xabuf[:size]
+            k = len(present)
+            sub_codes = np.searchsorted(present, codebuf[:size])
+            Y = np.zeros((size, k))
+            Y[np.arange(size), sub_codes] = 1.0
+            sub_classes = self.classes[present]
+            if W_prev is not None:
+                if len(prev_present) == k and np.array_equal(prev_present,
+                                                             present):
+                    W_cand = W_prev
+                else:
+                    # Class set grew: keep the old columns, zero the new
+                    # (the fresh class's gradient then sinks the
+                    # certificate, forcing the cold replay below).
+                    W_cand = np.zeros((D, k))
+                    W_cand[:, np.searchsorted(present,
+                                              prev_present)] = W_prev
+                # Certificate first — one gradient evaluation of the new
+                # prefix's objective at the carried solution, no solver.
+                alpha = 1.0 / (max(self.C, 1e-12) * size)
+                objective = _logistic_problem(Xa, Y, np.ones(size),
+                                              float(size), alpha,
+                                              self.fit_intercept)
+                _, grad = objective(W_cand.ravel())
+                g2 = float(np.linalg.norm(grad))
+                radius = self.safety * (g2 + np.sqrt(D * k) * self.tol) \
+                    / alpha
+                scores = self._scores(W_cand)
+                part = np.partition(scores, k - 2, axis=1)
+                margin = part[:, -1] - part[:, -2]
+                if np.all(margin > 2.0 * self.valid_norms * radius):
+                    predictions = sub_classes[np.argmax(scores, axis=1)]
+                    W_prev, prev_present = W_cand, present
+                    yield float(self.metric(self.y_valid,
+                                            predictions)), 1, True
+                    continue
+            # Cold replay: first non-degenerate prefix, or margins too
+            # tight for the carried solution's certificate —
+            # bit-identical to the retrain path (same solver helper,
+            # zero start).
+            result, _ = self._solve(Xa, Y, np.zeros(D * k))
+            W = result.x.reshape(D, k)
+            predictions = sub_classes[np.argmax(self._scores(W), axis=1)]
+            W_prev, prev_present = W, present
+            yield float(self.metric(self.y_valid, predictions)), 1, False
+
+
+class WarmStartLinearSVCKernel(CoalitionKernel):
+    """Warm-start continuation kernel for :class:`~repro.ml.LinearSVC`.
+
+    Same certificate-first continuation scheme as
+    :class:`WarmStartLogisticKernel`, for the binary squared-hinge SVM:
+    the L2 term gives strong-convexity modulus 1 on the regularized
+    coordinates, so the carried solution lies within ``r = (||g|| +
+    sqrt(D)·tol)`` of the new prefix's optimum — ``g`` evaluated at the
+    carried coefficients, no solver run — and any validation point with
+    ``|decision| > safety·||x||·r`` keeps its sign, hence its predicted
+    label, under anything a cold solve could return. Added rows outside
+    the carried margin contribute nothing to the gradient, so certified
+    stretches are long on separable data; uncertified steps replay the
+    cold solve (bit-identical to the retrain path). Prefixes whose class
+    count is not exactly 2 replicate the retrain path's
+    ``ValidationError`` fallback (coalition-majority constant predictor,
+    no training counted).
+    """
+
+    name = "linear_svc_warm"
+
+    def __init__(self, model: LinearSVC, X_train, y_train, X_valid,
+                 y_valid, metric, *, safety: float = 4.0):
+        self.C = float(model.C)
+        self.max_iter = int(model.max_iter)
+        self.fit_intercept = bool(model.fit_intercept)
+        self.tol = float(model.tol)
+        self.safety = float(safety)
+        self.X_train = X_train
+        self.classes, self.encoded = np.unique(y_train, return_inverse=True)
+        self.X_valid = X_valid
+        self.y_valid = y_valid
+        self.metric = metric
+        norms_sq = np.sum(X_valid * X_valid, axis=1)
+        self.valid_norms = np.sqrt(norms_sq + 1.0) if self.fit_intercept \
+            else np.sqrt(norms_sq)
+
+    def _solve(self, Xa, signs, w0):
+        sample_weight = np.ones(len(Xa))
+        objective = _svc_problem(Xa, signs, sample_weight, self.C,
+                                 self.fit_intercept)
+        return _minimize(objective, w0, self.max_iter, self.tol)
+
+    def _decision(self, w):
+        # Replays LinearSVC.decision_function exactly.
+        if self.fit_intercept:
+            return self.X_valid @ w[:-1] + float(w[-1])
+        return self.X_valid @ w + 0.0
+
+    def _majority_value(self, y_sub):
+        sub_classes, counts = np.unique(y_sub, return_counts=True)
+        constant = np.full(len(self.y_valid),
+                           _majority_label(sub_classes, counts))
+        return float(self.metric(self.y_valid, constant))
+
+    def evaluate(self, subset, y_sub, classes):
+        if len(classes) != 2:
+            # Retrain path: LinearSVC.fit raises (binary only), the
+            # utility falls back to the coalition's majority class.
+            return self._majority_value(y_sub), 0, True
+        Xp = self.X_train[subset]
+        _, encoded = np.unique(y_sub, return_inverse=True)
+        signs = np.where(encoded == 1, 1.0, -1.0)
+        size = len(subset)
+        Xa = np.column_stack([Xp, np.ones(size)]) if self.fit_intercept \
+            else Xp
+        result = self._solve(Xa, signs, np.zeros(Xa.shape[1]))
+        decision = self._decision(result.x)
+        predictions = classes[(decision > 0).astype(int)]
+        return float(self.metric(self.y_valid, predictions)), 1, False
+
+    def walk_steps(self, permutation):
+        n = len(permutation)
+        n_valid = len(self.y_valid)
+        d = self.X_train.shape[1]
+        D = d + 1 if self.fit_intercept else d
+        Xabuf = np.empty((n, D))
+        if self.fit_intercept:
+            Xabuf[:, -1] = 1.0
+        codebuf = np.empty(n, dtype=np.intp)
+        counts = np.zeros(len(self.classes), dtype=np.intp)
+        w_prev = None
+        prev_present = None
+        for pos, player in enumerate(permutation):
+            Xabuf[pos, :d] = self.X_train[player]
+            code = self.encoded[player]
+            codebuf[pos] = code
+            counts[code] += 1
+            size = pos + 1
+            present = np.flatnonzero(counts)
+            if len(present) < 2:
+                constant = np.full(n_valid, self.classes[present[0]])
+                yield float(self.metric(self.y_valid, constant)), 0, True
+                continue
+            if len(present) != 2:
+                # Retrain path: fit raises (binary only) -> majority.
+                sub_counts = counts[present]
+                constant = np.full(n_valid, _majority_label(
+                    self.classes[present], sub_counts))
+                yield float(self.metric(self.y_valid, constant)), 0, True
+                continue
+            Xa = Xabuf[:size]
+            sub_codes = np.searchsorted(present, codebuf[:size])
+            signs = np.where(sub_codes == 1, 1.0, -1.0)
+            sub_classes = self.classes[present]
+            if w_prev is not None and np.array_equal(prev_present, present):
+                # Certificate first — one gradient evaluation of the new
+                # prefix's objective at the carried solution, no solver.
+                objective = _svc_problem(Xa, signs, np.ones(size), self.C,
+                                         self.fit_intercept)
+                _, grad = objective(w_prev)
+                g2 = float(np.linalg.norm(grad))
+                radius = self.safety * (g2 + np.sqrt(D) * self.tol)
+                decision = self._decision(w_prev)
+                if np.all(np.abs(decision) > self.valid_norms * radius):
+                    predictions = sub_classes[(decision > 0).astype(int)]
+                    yield float(self.metric(self.y_valid,
+                                            predictions)), 1, True
+                    continue
+            # Cold replay — bit-identical to the retrain path.
+            result = self._solve(Xa, signs, np.zeros(D))
+            decision = self._decision(result.x)
+            predictions = sub_classes[(decision > 0).astype(int)]
+            w_prev, prev_present = result.x, present
+            yield float(self.metric(self.y_valid, predictions)), 1, False
+
+
+class PipelineCoalitionKernel(CoalitionKernel):
+    """Kernel for :class:`~repro.ml.Pipeline` utilities whose
+    preprocessing is coalition-invariant.
+
+    When every pre-step declares ``coalition_invariant`` (its fitted
+    transform is independent of which training rows it saw, and slicing
+    commutes with transforming — e.g. a ``rowwise``
+    :class:`~repro.ml.FunctionTransformer`), the pipeline's coalition
+    game factorizes: transform ``X_train`` / ``X_valid`` **once**, then
+    play the inner model's game on the transformed features. This kernel
+    wraps whatever kernel the inner model resolves to and delegates
+    evaluation, walks, and the closed-form Shapley shortcut to it. The
+    builder declines (retrain path) when any pre-step is not invariant
+    or the inner model has no kernel.
+    """
+
+    def __init__(self, inner: CoalitionKernel):
+        self.inner = inner
+        self.name = f"pipeline[{inner.name}]"
+
+    def evaluate(self, subset, y_sub, classes):
+        return self.inner.evaluate(subset, y_sub, classes)
+
+    def walk_steps(self, permutation):
+        return self.inner.walk_steps(permutation)
+
+    def exact_shapley(self):
+        return self.inner.exact_shapley()
+
+
+# ---------------------------------------------------------------------------
+# Builders and the dispatch registry
+# ---------------------------------------------------------------------------
+
 def _build_knn_kernel(model, X_train, y_train, X_valid, y_valid, metric):
     if model.n_neighbors < 1 or model.metric not in ("euclidean",
                                                      "manhattan", "cosine"):
@@ -295,12 +786,61 @@ def _build_gaussian_nb_kernel(model, X_train, y_train, X_valid, y_valid,
                                      y_valid, metric)
 
 
-#: Exact-type registry: model class -> builder(model, X_train, y_train,
-#: X_valid, y_valid, metric) -> CoalitionKernel | None.
+def _build_linear_regression_kernel(model, X_train, y_train, X_valid,
+                                    y_valid, metric):
+    if model.alpha < 0:
+        return None
+    return LinearRegressionCoalitionKernel(model, X_train, y_train, X_valid,
+                                           y_valid, metric)
+
+
+def _build_logistic_kernel(model, X_train, y_train, X_valid, y_valid,
+                           metric):
+    return WarmStartLogisticKernel(model, X_train, y_train, X_valid,
+                                   y_valid, metric)
+
+
+def _build_linear_svc_kernel(model, X_train, y_train, X_valid, y_valid,
+                             metric):
+    return WarmStartLinearSVCKernel(model, X_train, y_train, X_valid,
+                                    y_valid, metric)
+
+
+def _build_pipeline_kernel(model, X_train, y_train, X_valid, y_valid,
+                           metric):
+    from repro.ml.base import clone
+
+    for name, step in model.steps[:-1]:
+        if not getattr(step, "coalition_invariant", False):
+            return None  # subset-dependent preprocessing: retrain path
+    Xt_train, Xt_valid = X_train, X_valid
+    for name, step in model.steps[:-1]:
+        step = clone(step)
+        Xt_train = step.fit_transform(Xt_train, y_train)
+        Xt_valid = step.transform(Xt_valid)
+    inner, _ = resolve_kernel(model.steps[-1][1], Xt_train, y_train,
+                              Xt_valid, y_valid, metric)
+    if inner is None:
+        return None
+    return PipelineCoalitionKernel(inner)
+
+
+#: Builder registry: model class -> builder(model, X_train, y_train,
+#: X_valid, y_valid, metric) -> CoalitionKernel | None. Lookup walks the
+#: model's MRO; the most-derived registration (builder or fallback) wins.
 _KERNEL_BUILDERS: dict[type, object] = {
     KNeighborsClassifier: _build_knn_kernel,
     GaussianNB: _build_gaussian_nb_kernel,
+    LinearRegression: _build_linear_regression_kernel,
+    LogisticRegression: _build_logistic_kernel,
+    LinearSVC: _build_linear_svc_kernel,
+    Pipeline: _build_pipeline_kernel,
 }
+
+#: Documented fallback registrations: model class -> reason the retrain
+#: path is the intended behavior (surfaced by resolve_kernel and the
+#: utility's observability plumbing, so auto-dispatch is total).
+_KERNEL_FALLBACKS: dict[type, str] = {}
 
 
 def register_kernel(model_type: type, builder) -> None:
@@ -309,8 +849,10 @@ def register_kernel(model_type: type, builder) -> None:
     ``builder(model, X_train, y_train, X_valid, y_valid, metric)`` must
     return a :class:`CoalitionKernel` honouring the exactness contract,
     or ``None`` to decline (the utility then uses the retrain path).
-    Matching is by exact type — subclasses may override ``predict`` and
-    must register themselves explicitly.
+    Dispatch walks the model's MRO, most-derived class first, so
+    subclasses inherit the closest ancestor's registration unless they
+    register a builder of their own — or opt out explicitly with
+    :func:`register_fallback`.
     """
     if not isinstance(model_type, type):
         raise ValidationError("model_type must be a class")
@@ -319,14 +861,71 @@ def register_kernel(model_type: type, builder) -> None:
     _KERNEL_BUILDERS[model_type] = builder
 
 
-def build_kernel(model, X_train, y_train, X_valid, y_valid, metric):
-    """Build the incremental kernel for ``model``'s exact type, if any.
+def register_fallback(model_type: type, reason: str) -> None:
+    """Declare that a model class intentionally uses the retrain path.
 
-    Returns ``None`` when no kernel is registered or the registered
-    builder declines (unsupported hyperparameters) — callers then use
-    the retrain path unchanged.
+    A fallback registration makes auto-dispatch *total*: every model in
+    the zoo resolves to either a kernel or a documented reason, and an
+    unregistered class is a visible gap rather than a silent slow path.
+    Fallbacks participate in MRO dispatch like builders do, so they also
+    let a subclass opt out of an ancestor's kernel.
     """
-    builder = _KERNEL_BUILDERS.get(type(model))
-    if builder is None:
-        return None
-    return builder(model, X_train, y_train, X_valid, y_valid, metric)
+    if not isinstance(model_type, type):
+        raise ValidationError("model_type must be a class")
+    if not isinstance(reason, str) or not reason:
+        raise ValidationError("reason must be a non-empty string")
+    _KERNEL_FALLBACKS[model_type] = reason
+
+
+register_fallback(
+    DecisionTreeClassifier,
+    "greedy impurity splits re-rank under any row change; every coalition "
+    "needs a fresh tree, so the retrain path is the documented fallback")
+register_fallback(
+    RandomForestClassifier,
+    "bootstrap resampling and greedy splits both depend on the exact row "
+    "set; the retrain path is the documented fallback")
+
+
+def resolve_kernel(model, X_train, y_train, X_valid, y_valid, metric):
+    """Resolve ``model``'s incremental kernel by walking its MRO.
+
+    Returns ``(kernel_or_None, info)`` where ``info`` describes how
+    dispatch concluded: ``resolution`` is ``"kernel"`` (an incremental
+    kernel was built), ``"declined"`` (a registered builder rejected
+    these hyperparameters), ``"fallback"`` (the class carries a
+    documented :func:`register_fallback` reason), or ``"unregistered"``
+    (a registry gap — worth registering one way or the other).
+    """
+    for cls in type(model).__mro__:
+        builder = _KERNEL_BUILDERS.get(cls)
+        if builder is not None:
+            kernel = builder(model, X_train, y_train, X_valid, y_valid,
+                             metric)
+            if kernel is not None:
+                return kernel, {"resolution": "kernel",
+                                "kernel": kernel.name,
+                                "registered_for": cls.__name__}
+            return None, {"resolution": "declined",
+                          "registered_for": cls.__name__,
+                          "reason": "builder declined (unsupported "
+                                    "hyperparameters for the fast path)"}
+        reason = _KERNEL_FALLBACKS.get(cls)
+        if reason is not None:
+            return None, {"resolution": "fallback",
+                          "registered_for": cls.__name__,
+                          "reason": reason}
+    return None, {"resolution": "unregistered", "registered_for": None,
+                  "reason": "no kernel or fallback registered for "
+                            f"{type(model).__name__}"}
+
+
+def build_kernel(model, X_train, y_train, X_valid, y_valid, metric):
+    """Build the incremental kernel for ``model``, if any.
+
+    Backwards-compatible wrapper over :func:`resolve_kernel` that drops
+    the resolution info. Returns ``None`` when no kernel applies —
+    callers then use the retrain path unchanged.
+    """
+    return resolve_kernel(model, X_train, y_train, X_valid, y_valid,
+                          metric)[0]

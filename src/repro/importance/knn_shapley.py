@@ -54,11 +54,31 @@ def knn_shapley(X_train, y_train, X_valid, y_valid, *, k: int = 5,
         raise ValidationError(f"k must be in [1, {n}], got {k}")
 
     distances = pairwise_distances(X_valid, X_train, metric=metric)
+    return knn_shapley_core(distances, y_train, y_valid, k)
+
+
+def knn_shapley_core(distances, y_train, y_valid, k: int) -> np.ndarray:
+    """The closed-form recursion over a precomputed distance matrix.
+
+    ``distances`` is the ``n_valid x n_train`` matrix the public
+    :func:`knn_shapley` computes for you; the incremental KNN coalition
+    kernel (:class:`repro.importance.kernels.KNNCoalitionKernel`) already
+    holds one and calls this directly, so the exact-Shapley dispatch in
+    :class:`~repro.importance.MonteCarloShapley` pays no second distance
+    pass. Sorting ties break by training position, matching the
+    kernel's (distance, position) order.
+    """
+    distances = np.asarray(distances, dtype=float)
+    y_train = np.asarray(y_train)
+    y_valid = np.asarray(y_valid)
+    n = distances.shape[1]
+    if not 1 <= k <= n:
+        raise ValidationError(f"k must be in [1, {n}], got {k}")
     values = np.zeros(n)
     js = np.arange(1, n)  # positions 1..n-1 (0-indexed sorted order)
     position_factor = np.minimum(k, js) / js
 
-    for v in range(len(X_valid)):
+    for v in range(len(y_valid)):
         order = np.lexsort((np.arange(n), distances[v]))
         matches = (y_train[order] == y_valid[v]).astype(float)
         s = np.empty(n)
@@ -67,7 +87,7 @@ def knn_shapley(X_train, y_train, X_valid, y_valid, *, k: int = 5,
         diffs = (matches[:-1] - matches[1:]) / k * position_factor
         s[:-1] = s[n - 1] + np.cumsum(diffs[::-1])[::-1]
         values[order] += s
-    return values / len(X_valid)
+    return values / len(y_valid)
 
 
 def knn_shapley_by_group(X_train, y_train, X_valid, y_valid, group_ids, *,

@@ -36,6 +36,7 @@ from repro.importance.base import (
     resolve_partial,
     unhex_floats,
 )
+from repro.ml.metrics import accuracy_score
 from repro.observe.observer import resolve_observer
 from repro.runtime.cache import fingerprint
 
@@ -86,16 +87,35 @@ class MonteCarloShapley:
         resumed to the exact full-run result). The hook's ``every``
         attribute bounds the walk batch size so partial estimates stay
         responsive on pooled backends.
+    exact:
+        Closed-form dispatch. ``False`` (default) always samples.
+        ``"auto"`` short-circuits sampling entirely when the utility's
+        kernel has an analytic Shapley solution under the accuracy
+        metric (the k-NN closed-form recurrence, O(n log n) per
+        validation point) and silently falls back to sampling otherwise;
+        ``True`` does the same but raises :class:`ValidationError` when
+        the closed form is unavailable. The dispatched values are
+        *exact* Shapley values of the kernel's proxy game — what the
+        sampler converges to in the many-permutation limit (rigorously
+        for ``k=1``; a documented proxy for larger ``k``, see
+        ``docs/PERFORMANCE.md``). On the exact path
+        ``n_permutations_used_`` is 0, a single ``exact=True`` partial
+        is published, and checkpoint sessions are skipped (there is no
+        loop to resume).
     """
 
     def __init__(self, n_permutations: int = 100, truncation_tol: float = 0.01,
                  convergence_tol: float | None = None, convergence_window: int = 10,
                  seed=None, observer=None, checkpoint=None,
-                 checkpoint_every: int = 10, resume_from=None, partial=None):
+                 checkpoint_every: int = 10, resume_from=None, partial=None,
+                 exact: bool | str = False):
         if n_permutations < 1:
             raise ValidationError("n_permutations must be >= 1")
         if truncation_tol < 0:
             raise ValidationError("truncation_tol must be >= 0")
+        if exact not in (False, True, "auto"):
+            raise ValidationError(
+                f"exact must be False, True or 'auto', got {exact!r}")
         self.n_permutations = n_permutations
         self.truncation_tol = truncation_tol
         self.convergence_tol = convergence_tol
@@ -106,6 +126,7 @@ class MonteCarloShapley:
         self.checkpoint_every = checkpoint_every
         self.resume_from = resume_from
         self.partial = resolve_partial(partial)
+        self.exact = exact
         if checkpoint is not None or resume_from is not None:
             require_checkpoint_seed(seed, "shapley_mc")
 
@@ -116,7 +137,17 @@ class MonteCarloShapley:
         ``utility.runtime`` (inline when the utility has none); the
         convergence criterion is applied per permutation, in order, so
         early stopping returns exactly what a serial run would.
+
+        With ``exact=True`` / ``exact="auto"`` and an eligible kernel,
+        no permutations are sampled at all: the kernel's closed-form
+        Shapley values are returned directly (shifted by
+        ``null_value / n`` so they share the sampler's efficiency
+        normalization ``sum = u(D) - u(empty)``).
         """
+        if self.exact:
+            exact_values = self._exact_score(utility)
+            if exact_values is not None:
+                return exact_values
         obs = self.observer
         if not obs.enabled:
             return self._score(utility)
@@ -133,6 +164,50 @@ class MonteCarloShapley:
                     "convergence_window": self.convergence_window},
             seed=self.seed, utility=utility, calls_before=calls_before,
             values=values, permutations_used=self.n_permutations_used_)
+        return values
+
+    def _exact_score(self, utility: Utility) -> np.ndarray | None:
+        """Closed-form dispatch: the kernel's analytic Shapley values,
+        or ``None`` when ``exact="auto"`` finds no closed form (the
+        caller then falls through to permutation sampling).
+
+        The closed form prices the game at ``u(empty) = 0`` while the
+        sampler measures marginals against the majority-class null
+        value, so the dispatched values are shifted by ``null_value / n``
+        — making them exactly what the sampler's estimate converges to.
+        """
+        obs = self.observer
+        calls_before = utility.calls
+        kernel = utility.kernel
+        closed = None
+        if kernel is not None and utility.metric is accuracy_score:
+            with (obs.span("shapley_mc.exact", players=utility.n_players)
+                  if obs.enabled else contextlib.nullcontext()):
+                closed = kernel.exact_shapley()
+        if closed is None:
+            if self.exact is True:
+                raise ValidationError(
+                    "exact=True requires a kernel with a closed-form "
+                    "Shapley solution under the accuracy_score metric "
+                    "(the k-NN kernel); this utility resolved to "
+                    f"{utility.kernel_resolution}")
+            return None
+        values = closed - utility.null_value() / utility.n_players
+        self.n_permutations_used_ = 0
+        if self.partial is not None:
+            self.partial.publish(
+                method="shapley_mc", completed=1, total=1, values=values,
+                stderr=np.zeros(len(values)), exact=True)
+        if obs.enabled:
+            emit_importance_run(
+                obs, method="shapley_mc",
+                params={"n_permutations": self.n_permutations,
+                        "truncation_tol": self.truncation_tol,
+                        "convergence_tol": self.convergence_tol,
+                        "convergence_window": self.convergence_window,
+                        "exact": True},
+                seed=self.seed, utility=utility, calls_before=calls_before,
+                values=values, permutations_used=0, exact=True)
         return values
 
     def _identity(self, utility: Utility) -> str:

@@ -303,10 +303,34 @@ class LabelEncoder(BaseEstimator, TransformerMixin):
 
 
 class FunctionTransformer(BaseEstimator, TransformerMixin):
-    """Apply a stateless function as a transformer (pipeline UDF step)."""
+    """Apply a stateless function as a transformer (pipeline UDF step).
 
-    def __init__(self, func=None):
+    Parameters
+    ----------
+    func:
+        ``func(X) -> X'`` applied at transform time; ``None`` is the
+        identity.
+    rowwise:
+        Declare that ``func`` maps each input row to its output row
+        independently of every other row (elementwise math, per-row
+        feature maps) — so slicing commutes with the transform:
+        ``func(X[rows]) == func(X)[rows]`` bit-for-bit. Pipeline-aware
+        kernel dispatch (:mod:`repro.importance.kernels`) treats such
+        steps as coalition-invariant and transforms the data once instead
+        of refitting the pipeline per coalition. Leave ``False`` (the
+        default) for anything that mixes rows — batch normalization,
+        fitted statistics, neighbor lookups.
+    """
+
+    def __init__(self, func=None, rowwise: bool = False):
         self.func = func
+        self.rowwise = rowwise
+
+    @property
+    def coalition_invariant(self) -> bool:
+        """True when fitting on any row subset yields the same transform
+        (identity, or a declared row-local ``func``)."""
+        return self.func is None or bool(self.rowwise)
 
     def fit(self, X, y=None) -> "FunctionTransformer":
         self.fitted_ = True

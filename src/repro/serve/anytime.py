@@ -41,7 +41,9 @@ class PartialEstimate:
     ``halfwidth`` is the two-sided confidence-interval half-width at the
     estimate's ``confidence`` level: ``values ± halfwidth`` covers the
     true value with that probability, per player, under the CLT
-    approximation.
+    approximation. ``exact`` marks snapshots from a closed-form dispatch
+    (e.g. KNN-Shapley with ``exact=True``): the values are the method's
+    exact answer, not a converging sample mean.
     """
 
     method: str
@@ -54,6 +56,7 @@ class PartialEstimate:
     seq: int
     done: bool = False
     error: str | None = None
+    exact: bool = False
 
     @property
     def width(self) -> float:
@@ -104,11 +107,13 @@ class AnytimeEstimate:
 
     # -- estimator side ----------------------------------------------------
     def publish(self, *, method: str, completed: int, total: int,
-                values, stderr) -> bool:
+                values, stderr, exact: bool = False) -> bool:
         """Record one snapshot; ``True`` asks the loop to stop early.
 
         Called by the estimator after each folded work unit. The arrays
         are copied, so the loop may keep mutating its accumulators.
+        ``exact=True`` marks a closed-form result (published once, with
+        zero stderr) rather than a converging sample mean.
         """
         values = np.array(values, dtype=float, copy=True)
         stderr = np.array(stderr, dtype=float, copy=True)
@@ -119,7 +124,7 @@ class AnytimeEstimate:
             snapshot = PartialEstimate(
                 method=method, completed=int(completed), total=int(total),
                 values=values, stderr=stderr, halfwidth=halfwidth,
-                confidence=self.confidence, seq=self._seq)
+                confidence=self.confidence, seq=self._seq, exact=exact)
             self._latest = snapshot
             self._cond.notify_all()
             if self._stop:
@@ -150,7 +155,8 @@ class AnytimeEstimate:
                     values=np.asarray(values, dtype=float)
                     if values is not None else latest.values,
                     stderr=latest.stderr, halfwidth=latest.halfwidth,
-                    confidence=self.confidence, seq=self._seq, done=True)
+                    confidence=self.confidence, seq=self._seq, done=True,
+                    exact=latest.exact)
             self._latest = latest
             self._cond.notify_all()
 
@@ -169,7 +175,8 @@ class AnytimeEstimate:
                 stderr=latest.stderr if latest else np.zeros(n),
                 halfwidth=latest.halfwidth if latest else np.zeros(n),
                 confidence=self.confidence, seq=self._seq, done=True,
-                error=str(error))
+                error=str(error),
+                exact=latest.exact if latest is not None else False)
             self._cond.notify_all()
 
     # -- consumer side -----------------------------------------------------

@@ -76,6 +76,10 @@ class _JobReporter:
         stop = self.anytime.publish(**fields)
         if self.observer is not None and self.observer.enabled:
             self.observer.count("serve.partials")
+            if fields.get("exact"):
+                # Closed-form dispatch (e.g. KNN-Shapley exact=True):
+                # the job's one published snapshot is the final answer.
+                self.observer.count("serve.exact_results")
         return stop
 
 

@@ -22,8 +22,9 @@ from repro.importance import (
     detection_report,
     register_kernel,
 )
-from repro.importance.kernels import _KERNEL_BUILDERS
-from repro.ml import GaussianNB, KNeighborsClassifier, LogisticRegression
+from repro.importance import register_fallback
+from repro.importance.kernels import _KERNEL_BUILDERS, _KERNEL_FALLBACKS
+from repro.ml import DecisionTreeClassifier, GaussianNB, KNeighborsClassifier
 from repro.observe import Observer
 from repro.runtime import BACKENDS, FingerprintCache, Runtime
 
@@ -78,10 +79,12 @@ class TestKernelSelection:
         assert isinstance(utility.kernel, GaussianNBCoalitionKernel)
         assert utility.kernel_name == "gaussian_nb"
 
-    def test_unsupported_model_falls_back(self, game):
-        utility = _utility(game, LogisticRegression(max_iter=30))
+    def test_fallback_registered_model_uses_retrain_path(self, game):
+        utility = _utility(game, DecisionTreeClassifier(max_depth=3))
         assert utility.kernel is None
         assert utility.kernel_name is None
+        assert utility.kernel_resolution["resolution"] == "fallback"
+        assert utility.kernel_resolution["reason"]
 
     def test_kernel_off_forces_retrain_path(self, game):
         for off in ("off", None, False):
@@ -106,25 +109,39 @@ class TestKernelSelection:
         with pytest.raises(ValidationError):
             register_kernel(KNeighborsClassifier, "not callable")
 
-    def test_register_kernel_exact_type_dispatch(self, game):
+    def test_register_kernel_mro_dispatch(self, game):
         class MyKNN(KNeighborsClassifier):
             pass
 
-        # Subclasses do not inherit the parent's kernel ...
-        assert _utility(game, MyKNN(3)).kernel is None
-        # ... until they register one.
-        register_kernel(MyKNN, lambda model, *a: KNNCoalitionKernel(model,
-                                                                    *a))
+        # Subclasses inherit the closest ancestor's kernel (MRO walk) ...
+        assert isinstance(_utility(game, MyKNN(3)).kernel,
+                          KNNCoalitionKernel)
+        # ... unless they opt out with a documented fallback ...
+        register_fallback(MyKNN, "subclass overrides predict")
         try:
+            utility = _utility(game, MyKNN(3))
+            assert utility.kernel is None
+            assert utility.kernel_resolution["resolution"] == "fallback"
+            # ... and an own builder is the most-derived match again.
+            register_kernel(MyKNN,
+                            lambda model, *a: KNNCoalitionKernel(model, *a))
             assert isinstance(_utility(game, MyKNN(3)).kernel,
                               KNNCoalitionKernel)
         finally:
-            del _KERNEL_BUILDERS[MyKNN]
+            _KERNEL_BUILDERS.pop(MyKNN, None)
+            _KERNEL_FALLBACKS.pop(MyKNN, None)
+
+    def test_register_fallback_validates(self):
+        with pytest.raises(ValidationError):
+            register_fallback("not a class", "reason")
+        with pytest.raises(ValidationError):
+            register_fallback(KNeighborsClassifier, "")
 
     def test_builder_may_decline(self, game):
         # Unsupported metric: the builder declines, retrain path handles it.
         utility = _utility(game, KNeighborsClassifier(3, metric="chebyshev"))
         assert utility.kernel is None
+        assert utility.kernel_resolution["resolution"] == "declined"
 
 
 # ---------------------------------------------------------------------------
@@ -263,7 +280,7 @@ class TestCountersAndObservability:
         assert info["fallback_retrains"] == 0
 
     def test_fallback_counter_on_retrain_path(self, game):
-        utility = _utility(game, LogisticRegression(max_iter=30))
+        utility = _utility(game, DecisionTreeClassifier(max_depth=3))
         utility.evaluate_many(self._mixed_batch(game))
         info = utility.cache_info()["kernel"]
         assert info["name"] is None

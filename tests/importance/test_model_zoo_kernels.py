@@ -1,0 +1,354 @@
+"""Model-zoo kernel coverage: linear Sherman–Morrison, warm-start
+continuation, pipeline dispatch, and closed-form KNN-Shapley.
+
+The contract extends ``test_kernels.py`` to the rest of the zoo:
+
+- ``kernel="auto"`` resolves an explicit kernel or a documented fallback
+  for **every** estimator class exported by :mod:`repro.ml`.
+- The linear/warm-start kernels are bit-identical to the retrain path
+  under label-quantized metrics, with replayed direct solves counted
+  honestly in ``fallback_retrains``.
+- ``MonteCarloShapley(exact=...)`` dispatches the k-NN closed form: the
+  values match the sampler in the many-permutation limit (rigorously for
+  ``k=1``) and are hex-stable across backends and caches.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.exceptions import ValidationError
+from repro.datasets import make_blobs
+from repro.importance import (
+    MonteCarloShapley,
+    PipelineCoalitionKernel,
+    Utility,
+    knn_shapley,
+    resolve_kernel,
+)
+from repro.ml import (
+    GaussianNB,
+    KNeighborsClassifier,
+    LinearRegression,
+    LinearSVC,
+    LogisticRegression,
+    Pipeline,
+)
+from repro.ml import FunctionTransformer, StandardScaler
+from repro.ml import __all__ as ML_EXPORTS
+from repro.ml.metrics import accuracy_score
+from repro.runtime import BACKENDS, FingerprintCache, Runtime
+
+import repro.ml as ml_module
+from repro.ml.base import BaseEstimator
+
+
+def thresholded_accuracy(y_true, y_pred):
+    """Label-quantized regression metric: agreement of thresholded
+    predictions. Quantization absorbs ulp-level parameter drift, so the
+    Sherman–Morrison kernel's incremental steps score bit-identically."""
+    return float(np.mean((np.asarray(y_pred) > 0.5)
+                         == (np.asarray(y_true) > 0.5)))
+
+
+def _double(X):
+    return X * 2.0
+
+
+@pytest.fixture(scope="module")
+def game():
+    X, y = make_blobs(100, n_features=4, centers=2, cluster_std=1.8, seed=7)
+    return {"X_train": X[:70], "y_train": y[:70],
+            "X_valid": X[70:], "y_valid": y[70:]}
+
+
+@pytest.fixture(scope="module")
+def regression_game():
+    rng = np.random.default_rng(21)
+    X = rng.normal(size=(70, 4))
+    y = (X @ np.array([1.0, -0.5, 0.25, 0.0])
+         + 0.1 * rng.normal(size=70) > 0).astype(float)
+    Xv = rng.normal(size=(25, 4))
+    yv = (Xv @ np.array([1.0, -0.5, 0.25, 0.0]) > 0).astype(float)
+    return {"X_train": X, "y_train": y, "X_valid": Xv, "y_valid": yv}
+
+
+def _utility(game, model, **kwargs):
+    return Utility(model, game["X_train"], game["y_train"],
+                   game["X_valid"], game["y_valid"], **kwargs)
+
+
+def _predictor_classes():
+    """Every estimator class repro.ml exports that has fit+predict."""
+    classes = []
+    for name in ML_EXPORTS:
+        obj = getattr(ml_module, name)
+        if (isinstance(obj, type) and issubclass(obj, BaseEstimator)
+                and "predict" in dir(obj) and "fit" in dir(obj)
+                and not any("transform" in base.__dict__
+                            for base in obj.__mro__)):
+            classes.append(obj)
+    return classes
+
+
+# ---------------------------------------------------------------------------
+# Registry coverage: auto-dispatch is total over the zoo
+# ---------------------------------------------------------------------------
+class TestRegistryCoverage:
+    def test_every_predictor_resolves(self, game):
+        predictors = _predictor_classes()
+        assert len(predictors) >= 7  # the zoo, not an accidental subset
+        models = [cls() for cls in predictors if cls is not Pipeline]
+        # Pipeline needs steps; it resolves through its inner estimator.
+        models.append(Pipeline([("knn", KNeighborsClassifier(3))]))
+        assert len(models) >= 8
+        for model in models:
+            _, info = resolve_kernel(
+                model, game["X_train"], game["y_train"], game["X_valid"],
+                game["y_valid"], accuracy_score)
+            assert info["resolution"] != "unregistered", (
+                f"{type(model).__name__} has neither a kernel nor a "
+                "documented fallback registration")
+
+    def test_resolution_shapes(self, game):
+        args = (game["X_train"], game["y_train"], game["X_valid"],
+                game["y_valid"], accuracy_score)
+        kernel, info = resolve_kernel(LogisticRegression(), *args)
+        assert info["resolution"] == "kernel"
+        assert kernel.name == info["kernel"] == "logistic_warm"
+
+        class Unknown(BaseEstimator):
+            def fit(self, X, y):
+                return self
+
+            def predict(self, X):
+                return np.zeros(len(X))
+
+        kernel, info = resolve_kernel(Unknown(), *args)
+        assert kernel is None and info["resolution"] == "unregistered"
+
+
+# ---------------------------------------------------------------------------
+# New kernel families: bit-identical under label-quantized metrics
+# ---------------------------------------------------------------------------
+CLASSIFIERS = {
+    "logistic_warm": lambda: LogisticRegression(max_iter=80),
+    "linear_svc_warm": lambda: LinearSVC(max_iter=80),
+}
+
+
+class TestNewKernelExactness:
+    @pytest.mark.parametrize("name", CLASSIFIERS)
+    def test_classifier_walks_bit_identical(self, game, name):
+        rng = np.random.default_rng(3)
+        perms = [rng.permutation(len(game["y_train"])) for _ in range(3)]
+        fast = _utility(game, CLASSIFIERS[name]())
+        slow = _utility(game, CLASSIFIERS[name](), kernel="off")
+        assert fast.kernel_name == name
+        for a, b in zip(fast.walk_permutations(perms),
+                        slow.walk_permutations(perms)):
+            np.testing.assert_array_equal(a, b)
+        assert fast.calls == slow.calls
+        # The continuation actually ran: certified steps plus honest
+        # cold-replay fallbacks, never zero of the former.
+        assert fast.kernel_steps > 0
+
+    @pytest.mark.parametrize("name", CLASSIFIERS)
+    def test_classifier_evaluate_bit_identical(self, game, name):
+        rng = np.random.default_rng(5)
+        n = len(game["y_train"])
+        coalitions = [np.array([], dtype=int), np.arange(n)]
+        coalitions += [rng.choice(n, size=size, replace=False)
+                       for size in rng.integers(3, n, size=6)]
+        fast = _utility(game, CLASSIFIERS[name]())
+        slow = _utility(game, CLASSIFIERS[name](), kernel="off")
+        for a, b in zip(fast.evaluate_many(coalitions),
+                        slow.evaluate_many(coalitions)):
+            assert float(a).hex() == float(b).hex()
+        assert fast.calls == slow.calls
+        # Single-coalition evaluations are replayed direct solves and
+        # must land in the fallback counter, not masquerade as
+        # incremental speedups.
+        assert fast.fallback_retrains > 0
+
+    def test_svc_multiclass_coalitions_replicate_majority_fallback(self):
+        X, y = make_blobs(60, n_features=3, centers=3, cluster_std=2.0,
+                          seed=13)
+        game = {"X_train": X[:45], "y_train": y[:45],
+                "X_valid": X[45:], "y_valid": y[45:]}
+        rng = np.random.default_rng(11)
+        perms = [rng.permutation(45) for _ in range(2)]
+        fast = _utility(game, LinearSVC(max_iter=60))
+        slow = _utility(game, LinearSVC(max_iter=60), kernel="off")
+        for a, b in zip(fast.walk_permutations(perms),
+                        slow.walk_permutations(perms)):
+            np.testing.assert_array_equal(a, b)
+        assert fast.calls == slow.calls
+
+    def test_linear_regression_walks_bit_identical(self, regression_game):
+        rng = np.random.default_rng(4)
+        perms = [rng.permutation(70) for _ in range(3)]
+        fast = _utility(regression_game, LinearRegression(alpha=1e-3),
+                        metric=thresholded_accuracy)
+        slow = _utility(regression_game, LinearRegression(alpha=1e-3),
+                        metric=thresholded_accuracy, kernel="off")
+        assert fast.kernel_name == "linear"
+        for a, b in zip(fast.walk_permutations(perms),
+                        slow.walk_permutations(perms)):
+            np.testing.assert_array_equal(a, b)
+        assert fast.calls == slow.calls
+        # Sherman–Morrison steps dominate; warmup/stability replays are
+        # visible as fallbacks.
+        assert fast.kernel_steps > fast.fallback_retrains > 0
+
+    def test_linear_regression_stability_check_positions_deterministic(
+            self, regression_game):
+        fast1 = _utility(regression_game, LinearRegression(alpha=1e-3),
+                         metric=thresholded_accuracy)
+        fast2 = _utility(regression_game, LinearRegression(alpha=1e-3),
+                         metric=thresholded_accuracy)
+        perm = [np.random.default_rng(9).permutation(70)]
+        a = fast1.walk_permutations(perm)[0]
+        b = fast2.walk_permutations(perm)[0]
+        np.testing.assert_array_equal(a, b)
+        assert fast1.fallback_retrains == fast2.fallback_retrains
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_warm_kernel_backend_invariance(self, game, backend):
+        rng = np.random.default_rng(6)
+        perms = [rng.permutation(len(game["y_train"])) for _ in range(3)]
+        reference = _utility(game, LogisticRegression(max_iter=80),
+                             kernel="off")
+        expected = reference.walk_permutations(perms)
+        with Runtime(backend=backend, max_workers=2) as runtime:
+            utility = _utility(game, LogisticRegression(max_iter=80),
+                               runtime=runtime)
+            for a, b in zip(utility.walk_permutations(perms), expected):
+                np.testing.assert_array_equal(a, b)
+        assert utility.calls == reference.calls
+
+
+# ---------------------------------------------------------------------------
+# Pipeline dispatch (satellite regression test)
+# ---------------------------------------------------------------------------
+class TestPipelineDispatch:
+    def test_pipeline_knn_dispatches_kernel_fast_path(self, game):
+        model = Pipeline([
+            ("scale", FunctionTransformer(_double, rowwise=True)),
+            ("knn", KNeighborsClassifier(3)),
+        ])
+        utility = _utility(game, model)
+        assert isinstance(utility.kernel, PipelineCoalitionKernel)
+        assert utility.kernel_name == "pipeline[knn]"
+        rng = np.random.default_rng(8)
+        perms = [rng.permutation(len(game["y_train"])) for _ in range(2)]
+        slow = _utility(game, model, kernel="off")
+        for a, b in zip(utility.walk_permutations(perms),
+                        slow.walk_permutations(perms)):
+            np.testing.assert_array_equal(a, b)
+        # The regression this guards: the fast path actually ran — every
+        # prefix step was incremental, none fell back to pipeline refits.
+        assert utility.kernel_steps == sum(len(p) for p in perms)
+        assert utility.fallback_retrains == 0
+        assert utility.calls == slow.calls
+
+    def test_pipeline_exact_shapley_delegates(self, game):
+        model = Pipeline([
+            ("identity", FunctionTransformer()),
+            ("knn", KNeighborsClassifier(1)),
+        ])
+        utility = _utility(game, model)
+        exact = MonteCarloShapley(exact=True).score(utility)
+        direct = knn_shapley(game["X_train"], game["y_train"],
+                             game["X_valid"], game["y_valid"], k=1)
+        np.testing.assert_array_equal(
+            exact, direct - utility.null_value() / utility.n_players)
+
+    def test_subset_dependent_pipeline_declines(self, game):
+        model = Pipeline([
+            ("scale", StandardScaler()),  # fitted stats depend on rows
+            ("knn", KNeighborsClassifier(3)),
+        ])
+        utility = _utility(game, model)
+        assert utility.kernel is None
+        assert utility.kernel_resolution["resolution"] == "declined"
+
+
+# ---------------------------------------------------------------------------
+# Closed-form KNN-Shapley dispatch
+# ---------------------------------------------------------------------------
+class TestExactShapleyDispatch:
+    def test_exact_matches_sampler_limit_k1(self, game):
+        """For k=1 the closed form is exactly the sampled game's Shapley
+        value; the sampler must converge to it."""
+        sub = {"X_train": game["X_train"][:14], "y_train": game["y_train"][:14],
+               "X_valid": game["X_valid"], "y_valid": game["y_valid"]}
+        utility = _utility(sub, KNeighborsClassifier(1))
+        exact = MonteCarloShapley(exact=True).score(utility)
+        sampled = MonteCarloShapley(n_permutations=600, truncation_tol=0.0,
+                                    seed=17).score(
+            _utility(sub, KNeighborsClassifier(1)))
+        assert float(np.max(np.abs(exact - sampled))) < 0.02
+        # Efficiency: both sum to u(D) - u(empty).
+        span = utility.full_value() - utility.null_value()
+        assert abs(float(np.sum(exact)) - span) < 1e-9
+
+    def test_exact_hex_stable_across_backends_and_caches(self, game):
+        def run(backend, cache):
+            with Runtime(backend=backend, max_workers=2,
+                         cache=cache) as runtime:
+                utility = _utility(game, KNeighborsClassifier(1),
+                                   runtime=runtime)
+                return [v.hex() for v in
+                        MonteCarloShapley(exact=True).score(utility)]
+
+        reference = run("serial", None)
+        for backend in BACKENDS:
+            for cache in (None, FingerprintCache()):
+                assert run(backend, cache) == reference
+
+    def test_exact_skips_sampling_entirely(self, game):
+        utility = _utility(game, KNeighborsClassifier(3))
+        estimator = MonteCarloShapley(n_permutations=50, exact=True)
+        estimator.score(utility)
+        assert estimator.n_permutations_used_ == 0
+        assert utility.calls == 0  # no walks, no retrains
+
+    def test_exact_true_raises_when_ineligible(self, game):
+        with pytest.raises(ValidationError):
+            MonteCarloShapley(exact=True).score(
+                _utility(game, GaussianNB()))
+        with pytest.raises(ValidationError):
+            MonteCarloShapley(exact=True).score(
+                _utility(game, KNeighborsClassifier(3), kernel="off"))
+
+    def test_exact_auto_falls_back_to_sampling(self, game):
+        utility = _utility(game, GaussianNB())
+        estimator = MonteCarloShapley(n_permutations=3, seed=2,
+                                      exact="auto")
+        values = estimator.score(utility)
+        assert estimator.n_permutations_used_ == 3
+        reference = MonteCarloShapley(n_permutations=3, seed=2).score(
+            _utility(game, GaussianNB()))
+        np.testing.assert_array_equal(values, reference)
+
+    def test_exact_validates_argument(self):
+        with pytest.raises(ValidationError):
+            MonteCarloShapley(exact="yes")
+
+    def test_exact_publishes_single_exact_partial(self, game):
+        published = []
+
+        class Hook:
+            every = 1
+
+            def publish(self, **fields):
+                published.append(fields)
+                return False
+
+        utility = _utility(game, KNeighborsClassifier(1))
+        MonteCarloShapley(exact=True, partial=Hook()).score(utility)
+        assert len(published) == 1
+        snapshot = published[0]
+        assert snapshot["exact"] is True
+        assert snapshot["completed"] == snapshot["total"] == 1
+        assert not np.any(snapshot["stderr"])

@@ -59,6 +59,47 @@ class TestLogisticRegression:
             LogisticRegression().fit([[np.nan], [1.0]], [0, 1])
 
 
+class TestWarmStart:
+    def test_logistic_warm_start_matches_cold_solution(self, blobs):
+        X, y = blobs
+        cold = LogisticRegression(C=2.0).fit(X, y)
+        warm = LogisticRegression(C=2.0, warm_start=True).fit(X, y)
+        # First warm fit has no previous solution: identical start,
+        # identical solve.
+        np.testing.assert_array_equal(warm.coef_, cold.coef_)
+        # Refit on the same data continues from the optimum — few extra
+        # iterations, same solution up to the solver tolerance.
+        warm.fit(X, y)
+        assert warm.n_iter_ <= cold.n_iter_
+        np.testing.assert_allclose(warm.coef_, cold.coef_, atol=1e-4)
+        assert warm.grad_norm_ <= warm.tol * 10
+
+    def test_logistic_warm_start_ignored_on_class_change(self, blobs):
+        X, y = blobs
+        warm = LogisticRegression(warm_start=True).fit(X, y)
+        X3, y3 = make_blobs(90, n_features=X.shape[1], centers=3, seed=6)
+        # Class set changed: the stale coefficients cannot seed the new
+        # shape, so fit falls back to the zero start (and must not raise).
+        warm.fit(X3, y3)
+        assert warm.coef_.shape == (3, X.shape[1])
+
+    def test_svc_warm_start_matches_cold_solution(self, blobs):
+        X, y = blobs
+        cold = LinearSVC(C=0.5).fit(X, y)
+        warm = LinearSVC(C=0.5, warm_start=True).fit(X, y)
+        np.testing.assert_array_equal(warm.coef_, cold.coef_)
+        warm.fit(X, y)
+        assert warm.n_iter_ <= cold.n_iter_
+        np.testing.assert_allclose(warm.coef_, cold.coef_, atol=1e-4)
+
+    def test_warm_start_default_off_is_unchanged(self, blobs):
+        X, y = blobs
+        first = LogisticRegression().fit(X, y)
+        refit = LogisticRegression().fit(X, y)
+        np.testing.assert_array_equal(first.coef_, refit.coef_)
+        assert first.n_iter_ == refit.n_iter_
+
+
 class TestLinearRegression:
     def test_recovers_exact_linear_relationship(self, rng):
         X = rng.standard_normal((80, 3))

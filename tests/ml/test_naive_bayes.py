@@ -41,6 +41,30 @@ class TestGaussianNB:
         model = GaussianNB().fit(X, y)
         assert model.score(X, y) >= 0.9
 
+    def test_vectorized_jll_bit_identical_to_per_class_loop(self):
+        """The broadcast/chunked ``_joint_log_likelihood`` must reproduce
+        the original per-class loop bit for bit (same contiguous-axis
+        reductions, same elementwise arithmetic)."""
+        X, y = make_blobs(200, n_features=5, centers=3, seed=12)
+        model = GaussianNB().fit(X, y)
+        jll = model._joint_log_likelihood(X)
+        reference = np.zeros((len(X), len(model.classes_)))
+        for c in range(len(model.classes_)):
+            log_det = np.sum(np.log(2.0 * np.pi * model.var_[c]))
+            quad = np.sum((X - model.theta_[c]) ** 2 / model.var_[c], axis=1)
+            reference[:, c] = np.log(model.class_prior_[c] + 1e-12) \
+                - 0.5 * (log_det + quad)
+        np.testing.assert_array_equal(jll, reference)
+
+    def test_vectorized_jll_chunking_is_seamless(self):
+        """Chunk boundaries (chunk < n_rows) must not change results."""
+        X, y = make_blobs(64, n_features=3, centers=2, seed=13)
+        model = GaussianNB().fit(X, y)
+        whole = model._joint_log_likelihood(X)
+        stitched = np.vstack([model._joint_log_likelihood(X[i:i + 7])
+                              for i in range(0, len(X), 7)])
+        np.testing.assert_array_equal(whole, stitched)
+
 
 class TestPartialFit:
     def test_partial_fit_matches_batch_fit(self):
