@@ -1,0 +1,118 @@
+"""Experiment T17 — pipeline-configuration debugging vs exhaustive sweep.
+
+The BugDoc/Maro claim behind ``repro.pipelines.debugger``: a pairwise
+covering-array screen plus delta-debugging isolation finds the true
+root-cause configuration set while evaluating a small fraction of the
+exhaustive configuration grid.
+
+Measured here over the full seeded corpus (16 broken pipelines spanning
+leakage, encoders, step order, degenerate hyperparameters, and broken
+relational plans):
+
+1. **Budget.** Per entry, configs evaluated by the debugger vs the
+   exhaustive grid — the CI floor asserts the corpus-wide ratio stays
+   <= 30% and every entry stays <= 35%.
+2. **Accuracy.** Every minimized root cause must be a subset of the
+   entry's ground-truth culprit assignment, with >= 15/16 culprits
+   detected outright.
+3. **Wall-clock.** Debugger wall time vs exhaustively scoring the grid
+   serially (same evaluator, same process), expected well under 1x.
+
+Artifact: ``results/t17_pipeline_debugger.txt``.
+"""
+
+import time
+
+from repro.pipelines.debugger import load_corpus
+from repro.runtime import Runtime
+
+from .conftest import write_result
+
+#: CI floors: corpus-wide evaluated/grid ratio and per-entry worst case.
+MAX_TOTAL_FRACTION = 0.30
+MAX_ENTRY_FRACTION = 0.35
+MIN_DETECTED = 15
+
+
+def debug_corpus():
+    """Run the debugger over every corpus entry; collect budget rows."""
+    rows = []
+    for entry in load_corpus():
+        started = time.perf_counter()
+        with Runtime(backend="serial", cache=True) as runtime:
+            report = entry.debugger(runtime=runtime).run()
+        debug_seconds = time.perf_counter() - started
+
+        started = time.perf_counter()
+        exhaustive = [entry.evaluator(entry.shared, config)
+                      for config in entry.space.enumerate()]
+        sweep_seconds = time.perf_counter() - started
+
+        causes_valid = all(entry.cause_is_valid(cause.assignment)
+                           for cause in report.root_causes)
+        detected = any(
+            set(cause.assignment.items()) <= set(culprit.items())
+            for culprit in entry.culprits
+            for cause in report.root_causes)
+        rows.append({
+            "name": entry.name,
+            "bug_kind": entry.bug_kind,
+            "grid": report.grid_size,
+            "evaluated": report.configs_evaluated,
+            "fraction": report.fraction_of_grid,
+            "rounds": report.rounds,
+            "n_failing_grid": sum(1 for score in exhaustive
+                                  if score < entry.threshold),
+            "causes_valid": causes_valid,
+            "detected": detected,
+            "debug_seconds": debug_seconds,
+            "sweep_seconds": sweep_seconds,
+        })
+    return rows
+
+
+def test_t17_pipeline_debugger(benchmark, results_dir):
+    rows = benchmark.pedantic(debug_corpus, rounds=1, iterations=1)
+
+    total_grid = sum(row["grid"] for row in rows)
+    total_evaluated = sum(row["evaluated"] for row in rows)
+    total_fraction = total_evaluated / total_grid
+    n_detected = sum(row["detected"] for row in rows)
+    debug_time = sum(row["debug_seconds"] for row in rows)
+    sweep_time = sum(row["sweep_seconds"] for row in rows)
+
+    lines = [
+        "T17: pipeline-configuration debugger vs exhaustive sweep",
+        f"{'entry':<26} {'kind':<14} {'grid':>5} {'eval':>5} "
+        f"{'frac':>5} {'rounds':>6} {'valid':>5} {'found':>5}",
+        "-" * 78,
+    ]
+    for row in rows:
+        lines.append(
+            f"{row['name']:<26} {row['bug_kind']:<14} {row['grid']:>5} "
+            f"{row['evaluated']:>5} {row['fraction']:>5.2f} "
+            f"{row['rounds']:>6} {str(row['causes_valid']):>5} "
+            f"{str(row['detected']):>5}")
+    lines += [
+        "-" * 78,
+        f"total: {total_evaluated}/{total_grid} configs "
+        f"({total_fraction:.1%} of exhaustive), "
+        f"{n_detected}/{len(rows)} culprits detected",
+        f"wall-clock: debugger {debug_time:.2f}s vs "
+        f"exhaustive sweep {sweep_time:.2f}s "
+        f"({debug_time / sweep_time:.2f}x)",
+    ]
+    write_result(results_dir, "t17_pipeline_debugger", lines)
+
+    benchmark.extra_info["total_fraction"] = round(total_fraction, 4)
+    benchmark.extra_info["detected"] = n_detected
+    benchmark.extra_info["entries"] = len(rows)
+
+    # CI floors (the acceptance criteria from the issue)
+    assert all(row["causes_valid"] for row in rows), \
+        [row["name"] for row in rows if not row["causes_valid"]]
+    assert n_detected >= MIN_DETECTED
+    assert total_fraction <= MAX_TOTAL_FRACTION
+    for row in rows:
+        assert row["fraction"] <= MAX_ENTRY_FRACTION, row["name"]
+        assert row["n_failing_grid"] > 0

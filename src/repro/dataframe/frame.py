@@ -210,9 +210,24 @@ class DataFrame:
             mask = np.asarray(predicate, dtype=bool)
         return self.take(mask)
 
-    def drop_rows(self, row_ids) -> "DataFrame":
-        """Remove rows by *identifier* (not position)."""
+    def drop_rows(self, row_ids, *, strict: bool = False) -> "DataFrame":
+        """Remove rows by *identifier* (not position).
+
+        With ``strict=True`` every id must exist in the frame;
+        unknown ids raise :class:`ValidationError` listing the misses.
+        The default keeps the historical tolerant behavior (unknown ids
+        are ignored), which callers that *construct* id lists — rather
+        than receive them from a user — rely on.
+        """
         drop = np.asarray(np.atleast_1d(row_ids), dtype=np.int64)
+        if strict and len(drop):
+            present = np.isin(drop, self.row_ids)
+            if not present.all():
+                missing = sorted(int(i) for i in np.unique(drop[~present]))
+                raise ValidationError(
+                    f"row ids not present in frame: {missing} "
+                    f"({len(missing)} of {len(drop)} requested)"
+                )
         keep = ~np.isin(self.row_ids, drop)
         return self.take(keep)
 

@@ -57,10 +57,20 @@ def clone(estimator):
     Nested estimators (pipelines, column transformers) are cloned
     recursively so a clone never shares fitted state with the original.
     """
+    import numpy as np
+
     if isinstance(estimator, list):
         return [clone(e) for e in estimator]
     if isinstance(estimator, tuple):
         return tuple(clone(e) for e in estimator)
+    if isinstance(estimator, np.random.Generator):
+        # A Generator hyperparameter (seed=rng) must not be *shared*:
+        # each fit of a clone would advance the same stream, making
+        # refits of identical data nondeterministic. Copy the state so
+        # every clone replays the identical stream.
+        import copy
+
+        return copy.deepcopy(estimator)
     if not isinstance(estimator, BaseEstimator):
         return estimator  # plain values (strings, numbers, callables)
     params = {name: clone(value) for name, value in estimator.get_params().items()}

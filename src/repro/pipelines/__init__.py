@@ -37,7 +37,20 @@ from repro.pipelines.provenance import Provenance
 from repro.pipelines.schema import Anomaly, Schema, infer_schema, validate_frame
 from repro.pipelines.whatif import WhatIfAnalysis
 
+# Imported last: the debugger's corpus builds on the engine/operators
+# modules above, so this keeps the package import acyclic.
+from repro.pipelines.debugger import (
+    DebugReport,
+    PipelineDebugger,
+    PipelineVariants,
+    load_corpus,
+)
+
 __all__ = [
+    "PipelineDebugger",
+    "PipelineVariants",
+    "DebugReport",
+    "load_corpus",
     "source",
     "DataPipeline",
     "PipelineResult",

@@ -1,0 +1,75 @@
+"""Pipeline-*configuration* debugging (BugDoc / Maro style).
+
+The rest of :mod:`repro.pipelines` debugs *data* errors: wrong rows,
+dirty cells, skewed joins. This subpackage debugs the *pipeline itself*
+— the misconfigured stage, the degenerate hyperparameter, the two steps
+wired in the wrong order — the error family of BugDoc ("Algorithms to
+Debug Computational Processes") and Maro ("Automatically Debugging
+AutoML Pipelines") from the paper's related work.
+
+The model: a pipeline's mutable choices form a discrete
+:class:`ConfigurationSpace` (one :class:`Factor` per stage alternative,
+hyperparameter range, or step ordering). The
+:class:`PipelineDebugger` then
+
+1. *screens* the space with a strength-2 (pairwise) covering array —
+   every pair of factor levels appears in at least one evaluated
+   variant, at a fraction of the exhaustive grid;
+2. *executes* variants as one batch per round on the shared
+   :class:`~repro.runtime.Runtime` (fingerprint-cached via
+   ``Runtime.map_cached``, so repeated sub-configurations are free and
+   verdicts are bit-identical across serial/thread/process backends);
+3. *isolates* minimal failure-inducing configuration sets with
+   BugDoc-style adaptive group testing (delta debugging each failing
+   variant against its nearest passing neighbour, candidates batched
+   per round);
+4. *proposes* Maro-style remediations — swap the stage, re-range the
+   hyperparameter, reorder the steps — ranked by observed score.
+
+:mod:`~repro.pipelines.debugger.corpus` ships ~15 seeded broken
+pipelines (leakage, bad imputation order, wrong encoders, degenerate
+hyperparameters, broken plans) used as the oracle test-bed and the
+``bench_t17`` benchmark.
+"""
+
+from repro.pipelines.debugger.corpus import (
+    CORPUS_SEED,
+    CorpusEntry,
+    load_corpus,
+)
+from repro.pipelines.debugger.debugger import (
+    DebugReport,
+    PipelineDebugger,
+    Remediation,
+    RootCause,
+    Verdict,
+)
+from repro.pipelines.debugger.search import minimize_failure
+from repro.pipelines.debugger.space import (
+    ConfigurationSpace,
+    Factor,
+    pairwise_covering_array,
+)
+from repro.pipelines.debugger.variants import (
+    FAILED_SCORE,
+    PipelineVariants,
+    evaluate_ml_variant,
+)
+
+__all__ = [
+    "CORPUS_SEED",
+    "ConfigurationSpace",
+    "CorpusEntry",
+    "DebugReport",
+    "FAILED_SCORE",
+    "Factor",
+    "PipelineDebugger",
+    "PipelineVariants",
+    "Remediation",
+    "RootCause",
+    "Verdict",
+    "evaluate_ml_variant",
+    "load_corpus",
+    "minimize_failure",
+    "pairwise_covering_array",
+]

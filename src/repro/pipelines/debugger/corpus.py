@@ -1,0 +1,710 @@
+"""A seeded corpus of 16 broken pipeline configurations.
+
+Each :class:`CorpusEntry` is one misconfigured-pipeline story drawn
+from the BugDoc/Maro error families — leakage, wrong encoders, bad
+step ordering, degenerate hyperparameters, broken relational plans —
+packaged as a configuration space, a picklable evaluator + shared
+context, a pass/fail threshold, and the ground-truth *culprits*.
+
+A culprit is the full failure-inducing assignment (factor -> level).
+The debugger's minimized root causes are judged against it with subset
+semantics: every reported cause must be a non-empty subset of some
+culprit (for an interaction bug like "kNN *and* no scaler", isolating
+either side against the nearest passing neighbour is a correct
+BugDoc answer; blaming an innocent factor is not).
+
+Everything here is deterministic (:data:`CORPUS_SEED`) and
+module-level (the process backend pickles evaluators by reference),
+so corpus verdicts are bit-identical across runtime backends.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.dataframe import DataFrame
+from repro.datasets import make_blobs
+from repro.ml import (
+    ColumnTransformer,
+    DecisionTreeClassifier,
+    GaussianNB,
+    KNeighborsClassifier,
+    LinearSVC,
+    LogisticRegression,
+    MinMaxScaler,
+    OneHotEncoder,
+    SimpleImputer,
+    StandardScaler,
+    accuracy_score,
+    clone,
+)
+from repro.ml.preprocessing import FunctionTransformer
+from repro.pipelines.debugger.debugger import PipelineDebugger
+from repro.pipelines.debugger.space import ConfigurationSpace, Factor
+from repro.pipelines.debugger.variants import (
+    FAILED_SCORE,
+    PipelineVariants,
+    evaluate_ml_variant,
+)
+from repro.pipelines.engine import DataPipeline
+from repro.pipelines.operators import source
+
+__all__ = ["CORPUS_SEED", "CorpusEntry", "load_corpus"]
+
+#: Root seed for every dataset and covering array in the corpus.
+CORPUS_SEED = 1729
+
+_N_TRAIN = 90
+_N_VALID = 60
+
+
+@dataclass
+class CorpusEntry:
+    """One broken pipeline: space + evaluator + ground truth."""
+
+    name: str
+    description: str
+    bug_kind: str              # leakage | encoder | order | hyperparameter |
+    #                            plan | model | scaling | imputation
+    space: ConfigurationSpace
+    evaluator: object          # module-level fn(shared, config) -> float
+    shared: dict
+    threshold: float
+    culprits: list = field(default_factory=list)  # full failing assignments
+
+    def debugger(self, *, runtime=None, observer=None) -> PipelineDebugger:
+        """A ready-to-run debugger for this entry."""
+        return PipelineDebugger(
+            self.space, self.evaluator, shared=self.shared,
+            threshold=self.threshold, runtime=runtime, observer=observer,
+            seed=CORPUS_SEED, name=f"corpus.{self.name}")
+
+    def cause_is_valid(self, assignment: dict) -> bool:
+        """True when ``assignment`` is a non-empty subset of a culprit."""
+        items = set(assignment.items())
+        return bool(items) and any(
+            items <= set(culprit.items()) for culprit in self.culprits)
+
+
+# --- deterministic datasets ------------------------------------------------
+
+def _split(X, y):
+    return {"X_train": X[:_N_TRAIN], "y_train": y[:_N_TRAIN],
+            "X_valid": X[_N_TRAIN:_N_TRAIN + _N_VALID],
+            "y_valid": y[_N_TRAIN:_N_TRAIN + _N_VALID]}
+
+
+def _blob_data(seed, *, n_features=4, spread=4.0, std=1.0):
+    X, y = make_blobs(_N_TRAIN + _N_VALID, n_features=n_features, centers=2,
+                      cluster_std=std, center_spread=spread, seed=seed)
+    return _split(X, y)
+
+
+def _band_data(seed):
+    """A two-threshold band: y = (|x0| < 1) on x0 ~ U(-3, 3). One split
+    can never beat the ~2/3 majority rate; two splits on x0 solve it
+    exactly — the canonical depth-1-versus-depth-2 tree problem (and,
+    unlike XOR, one a *greedy* axis-aligned tree actually solves at
+    depth >= 2)."""
+    rng = np.random.default_rng(seed)
+    n = _N_TRAIN + _N_VALID
+    x0 = rng.uniform(-3.0, 3.0, n)
+    y = (np.abs(x0) < 1.0).astype(int)
+    X = np.column_stack([x0, rng.normal(0, 1.0, n)])
+    return _split(X, y)
+
+
+def _ring_data(seed):
+    """Radial classes: inner disk vs outer ring. No linear boundary does
+    better than chance; neighbourhoods and axis-aligned boxes both work."""
+    rng = np.random.default_rng(seed)
+    n = _N_TRAIN + _N_VALID
+    X = np.column_stack([rng.normal(0, 2.0, n), rng.normal(0, 2.0, n)])
+    radius = np.hypot(X[:, 0], X[:, 1])
+    y = (radius > np.median(radius)).astype(int)
+    return _split(X, y)
+
+
+def _log_scale_fn(X):
+    # np.log of a negative is a silent NaN, not an exception — exactly
+    # the failure mode the order bug is about.
+    with np.errstate(invalid="ignore", divide="ignore"):
+        return np.log(X)
+
+
+# --- generic plan-entry helpers --------------------------------------------
+
+def _resolve_model(shared: dict, config: dict):
+    """Clone the chosen model prototype and apply ``model__*`` hypers."""
+    model = clone(shared["models"][config["model"]])
+    for factor, level in config.items():
+        if not factor.startswith("model__"):
+            continue
+        param = factor[len("model__"):]
+        value = shared["hypers"][factor][level]
+        if param in model.get_params():
+            model.set_params(**{param: value})
+    return model
+
+
+def _scaler_for(config: dict):
+    return {"standard": StandardScaler(),
+            "minmax": MinMaxScaler()}[config["scale"]]
+
+
+def _score_plan(plan, sources, shared, config) -> float:
+    """Run a relational plan, fit the configured model, score on the
+    held-out frame encoded with the *training* encoder (never filtered
+    or joined away — that is the point of several corpus bugs)."""
+    try:
+        result = DataPipeline(plan).run(sources)
+        model = _resolve_model(shared, config)
+        model.fit(result.X, result.y)
+        X_valid = result.encode_like_training(
+            DataFrame(dict(shared["valid_columns"])))
+        score = float(accuracy_score(np.asarray(shared["y_valid"]),
+                                     model.predict(X_valid)))
+    except Exception:
+        return FAILED_SCORE
+    return score if np.isfinite(score) else FAILED_SCORE
+
+
+def _keep_every_row(row) -> bool:
+    return True
+
+
+def _f0_above_two(row) -> bool:
+    return row["f0"] is not None and row["f0"] > 2.0
+
+
+# --- plan-entry evaluators (module-level: the process backend pickles
+# --- them by reference) ----------------------------------------------------
+
+def evaluate_join_entry(shared: dict, config: dict) -> float:
+    train = DataFrame({"key": list(shared["train_keys"]),
+                       "f0": np.asarray(shared["train_f0"]),
+                       "label": np.asarray(shared["train_labels"])})
+    lookup = DataFrame({"key": list(shared["lookup_keys"]),
+                        "g0": np.asarray(shared["lookup_g0"]),
+                        "g1": np.asarray(shared["lookup_g1"])})
+    fuzzy_distance = {"exact": 0, "fuzzy-1": 1}[config["join"]]
+    encoder = ColumnTransformer([
+        ("num", _scaler_for(config), ["f0", "g0", "g1"])])
+    plan = (source("train")
+            .join(source("lookup"), on="key", fuzzy=True,
+                  fuzzy_distance=fuzzy_distance)
+            .encode(encoder, label="label"))
+    return _score_plan(plan, {"train": train, "lookup": lookup},
+                       shared, config)
+
+
+def evaluate_filter_entry(shared: dict, config: dict) -> float:
+    train = DataFrame({name: np.asarray(values)
+                       for name, values in shared["train_columns"]})
+    predicate = {"all": _keep_every_row,
+                 "tight": _f0_above_two}[config["filter"]]
+    encoder = ColumnTransformer([
+        ("num", _scaler_for(config), ["f0", "n0", "n1"])])
+    plan = (source("train").filter(predicate)
+            .encode(encoder, label="label"))
+    return _score_plan(plan, {"train": train}, shared, config)
+
+
+def evaluate_project_entry(shared: dict, config: dict) -> float:
+    train = DataFrame({name: np.asarray(values)
+                       for name, values in shared["train_columns"]})
+    columns = {"signal": ["f0", "f1", "n0", "n1", "label"],
+               "noise-only": ["n0", "n1", "label"]}[config["project"]]
+    encoder = ColumnTransformer([
+        ("num", _scaler_for(config),
+         [c for c in columns if c != "label"])])
+    plan = (source("train").project(columns)
+            .encode(encoder, label="label"))
+    return _score_plan(plan, {"train": train}, shared, config)
+
+
+# --- entry builders --------------------------------------------------------
+
+def _ml_entry(name, description, bug_kind, variants, data, culprits, *,
+              threshold=0.7, extra_shared=None) -> CorpusEntry:
+    shared = {"variants": variants, **data}
+    if extra_shared:
+        shared.update(extra_shared)
+    return CorpusEntry(
+        name=name, description=description, bug_kind=bug_kind,
+        space=variants.space(), evaluator=evaluate_ml_variant,
+        shared=shared, threshold=threshold, culprits=culprits)
+
+
+def _knn_all_neighbors() -> CorpusEntry:
+    variants = (PipelineVariants()
+                .step("scale", {"standard": StandardScaler(),
+                                "minmax": MinMaxScaler()})
+                .step("model", {"knn": KNeighborsClassifier(),
+                                "logistic": LogisticRegression(),
+                                "tree": DecisionTreeClassifier()})
+                .hyper("model", "n_neighbors",
+                       {"k-3": 3, "k-7": 7, "k-all": _N_TRAIN})
+                .hyper("model", "max_depth", {"d-4": 4, "d-8": 8})
+                .hyper("model", "max_iter", {"i-60": 60, "i-200": 200}))
+    return _ml_entry(
+        "knn-all-neighbors",
+        "n_neighbors == n_train turns kNN into a majority-class oracle",
+        "hyperparameter", variants, _blob_data(CORPUS_SEED + 1),
+        culprits=[{"model": "knn", "model__n_neighbors": "k-all"}])
+
+
+def _stumps_on_band() -> CorpusEntry:
+    variants = (PipelineVariants()
+                .step("scale", {"standard": StandardScaler(),
+                                "minmax": MinMaxScaler(), "none": None})
+                .step("model", {"tree": DecisionTreeClassifier(),
+                                "knn": KNeighborsClassifier()})
+                .hyper("model", "max_depth",
+                       {"d-1": 1, "d-4": 4, "d-8": 8})
+                .hyper("model", "n_neighbors", {"k-3": 3, "k-5": 5})
+                .hyper("model", "min_samples_split", {"s-2": 2, "s-6": 6}))
+    return _ml_entry(
+        "stumps-on-band",
+        "max_depth=1 stumps cannot represent a two-threshold band",
+        "hyperparameter", variants, _band_data(CORPUS_SEED + 2),
+        threshold=0.8,
+        culprits=[{"model": "tree", "model__max_depth": "d-1"}])
+
+
+def _linear_on_rings() -> CorpusEntry:
+    variants = (PipelineVariants()
+                .step("scale", {"standard": StandardScaler(),
+                                "minmax": MinMaxScaler(), "none": None})
+                .step("model", {"logistic": LogisticRegression(),
+                                "svc": LinearSVC(),
+                                "knn": KNeighborsClassifier(),
+                                "tree": DecisionTreeClassifier(max_depth=8)})
+                .hyper("model", "n_neighbors", {"k-3": 3, "k-7": 7})
+                .hyper("model", "max_iter", {"i-60": 60, "i-200": 200})
+                .hyper("model", "C", {"c-1": 1.0, "c-10": 10.0}))
+    return _ml_entry(
+        "linear-on-rings",
+        "linear decision boundaries sit at chance on radial classes",
+        "model", variants, _ring_data(CORPUS_SEED + 3),
+        culprits=[{"model": "logistic"}, {"model": "svc"}])
+
+
+def _log_after_scale() -> CorpusEntry:
+    data = _blob_data(CORPUS_SEED + 4, spread=3.0)
+    for key in ("X_train", "X_valid"):
+        data[key] = np.exp(data[key] / 2.0) + 0.5  # strictly positive
+    variants = (PipelineVariants()
+                .step("log", {"on": FunctionTransformer(_log_scale_fn,
+                                                        rowwise=True)})
+                .step("scale", {"standard": StandardScaler(),
+                                "minmax": MinMaxScaler()})
+                .step("model", {"logistic": LogisticRegression(),
+                                "knn": KNeighborsClassifier(),
+                                "tree": DecisionTreeClassifier()})
+                .hyper("model", "n_neighbors", {"k-3": 3, "k-5": 5, "k-9": 9})
+                .hyper("model", "max_iter", {"i-60": 60, "i-200": 200})
+                .orderings({"log-first": ("log", "scale", "model"),
+                            "scale-first": ("scale", "log", "model")}))
+    return _ml_entry(
+        "log-after-scale",
+        "standardizing before the log transform feeds log() negatives — "
+        "silent NaNs",
+        "order", variants, data,
+        culprits=[{"order": "scale-first"}])
+
+
+def _onehot_on_continuous() -> CorpusEntry:
+    variants = (PipelineVariants()
+                .step("encode", {"onehot": OneHotEncoder(),
+                                 "standard": StandardScaler(),
+                                 "minmax": MinMaxScaler()})
+                .step("model", {"logistic": LogisticRegression(),
+                                "knn": KNeighborsClassifier(),
+                                "tree": DecisionTreeClassifier()})
+                .hyper("model", "n_neighbors", {"k-3": 3, "k-5": 5, "k-9": 9})
+                .hyper("model", "max_iter", {"i-60": 60, "i-200": 200}))
+    return _ml_entry(
+        "onehot-on-continuous",
+        "one-hot encoding continuous floats makes every validation row an "
+        "all-zero unseen category",
+        "encoder", variants, _blob_data(CORPUS_SEED + 5),
+        culprits=[{"encode": "onehot"}])
+
+
+def _dropped_imputer() -> CorpusEntry:
+    data = _blob_data(CORPUS_SEED + 6)
+    rng = np.random.default_rng(CORPUS_SEED + 6)
+    for key in ("X_train", "X_valid"):
+        X = data[key].copy()
+        mask = rng.random(X.shape) < 0.15
+        X[mask] = np.nan
+        data[key] = X
+    variants = (PipelineVariants()
+                .step("impute", {"mean": SimpleImputer(strategy="mean"),
+                                 "median": SimpleImputer(strategy="median"),
+                                 "none": None})
+                .step("scale", {"standard": StandardScaler(),
+                                "minmax": MinMaxScaler()})
+                .step("model", {"logistic": LogisticRegression(),
+                                "knn": KNeighborsClassifier(),
+                                "tree": DecisionTreeClassifier()})
+                .hyper("model", "n_neighbors", {"k-3": 3, "k-7": 7})
+                .hyper("model", "max_iter", {"i-60": 60, "i-200": 200}))
+    return _ml_entry(
+        "dropped-imputer",
+        "removing the imputer lets NaNs reach the estimator",
+        "imputation", variants, data,
+        culprits=[{"impute": "none"}])
+
+
+def _drop_leak_column(X):
+    return X[:, 1:]
+
+
+def _leaky_feature() -> CorpusEntry:
+    data = _blob_data(CORPUS_SEED + 7, n_features=3, spread=2.0)
+    rng = np.random.default_rng(CORPUS_SEED + 7)
+    signs_train = np.where(data["y_train"] > 0, 1.0, -1.0)
+    leak_train = signs_train * 10.0 + rng.normal(0, 0.5, _N_TRAIN)
+    leak_valid = rng.uniform(-25.0, 25.0, _N_VALID)  # noise at serve time
+    data["X_train"] = np.column_stack([leak_train, data["X_train"]])
+    data["X_valid"] = np.column_stack([leak_valid, data["X_valid"]])
+    variants = (PipelineVariants()
+                .step("features",
+                      {"keep-all": None,
+                       "drop-leak": FunctionTransformer(_drop_leak_column,
+                                                        rowwise=True)})
+                .step("scale", {"standard": StandardScaler(),
+                                "minmax": MinMaxScaler()})
+                .step("model", {"logistic": LogisticRegression(),
+                                "svc": LinearSVC(),
+                                "tree": DecisionTreeClassifier(),
+                                "gnb": GaussianNB()})
+                .hyper("model", "max_iter", {"i-60": 60, "i-200": 200})
+                .hyper("model", "max_depth", {"d-4": 4, "d-8": 8}))
+    return _ml_entry(
+        "leaky-feature",
+        "a train-only label proxy dominates fitting and is noise at "
+        "validation time",
+        "leakage", variants, data,
+        culprits=[{"features": "keep-all"}])
+
+
+def _unscaled_knn() -> CorpusEntry:
+    data = _blob_data(CORPUS_SEED + 8, n_features=3, spread=6.0)
+    rng = np.random.default_rng(CORPUS_SEED + 8)
+    loud = rng.normal(0.0, 800.0, (_N_TRAIN + _N_VALID, 1))  # scale bully
+    data["X_train"] = np.hstack([data["X_train"], loud[:_N_TRAIN]])
+    data["X_valid"] = np.hstack([data["X_valid"],
+                                 loud[_N_TRAIN:_N_TRAIN + _N_VALID]])
+    variants = (PipelineVariants()
+                .step("scale", {"standard": StandardScaler(),
+                                "minmax": MinMaxScaler(), "none": None})
+                .step("model", {"knn": KNeighborsClassifier(),
+                                "logistic": LogisticRegression(),
+                                "tree": DecisionTreeClassifier()})
+                .hyper("model", "n_neighbors", {"k-3": 3, "k-5": 5, "k-9": 9})
+                .hyper("model", "max_iter", {"i-200": 200, "i-400": 400}))
+    return _ml_entry(
+        "unscaled-knn",
+        "without scaling, one loud noise feature owns the kNN metric",
+        "scaling", variants, data,
+        culprits=[{"scale": "none", "model": "knn"}])
+
+
+def _nominal_codes() -> CorpusEntry:
+    rng = np.random.default_rng(CORPUS_SEED + 9)
+    n = _N_TRAIN + _N_VALID
+    code0 = rng.integers(0, 6, n).astype(float)
+    code1 = rng.integers(0, 6, n).astype(float)
+    noise = rng.normal(0.0, 1.0, n)
+    y = (code0 % 2 == 0).astype(int)  # parity: meaningless as an ordinal
+    data = _split(np.column_stack([code0, code1, noise]), y)
+    variants = (PipelineVariants()
+                .step("encode",
+                      {"onehot": OneHotEncoder(),
+                       "onehot-strict": OneHotEncoder(
+                           handle_unknown="error"),
+                       "passthrough": None})
+                .step("model", {"logistic": LogisticRegression(),
+                                "svc": LinearSVC(),
+                                "tree": DecisionTreeClassifier(max_depth=8)})
+                .hyper("model", "max_iter",
+                       {"i-60": 60, "i-120": 120, "i-200": 200})
+                .hyper("model", "C", {"c-1": 1.0, "c-10": 10.0})
+                .hyper("model", "tol", {"t-4": 1e-4, "t-3": 1e-3}))
+    return _ml_entry(
+        "nominal-codes",
+        "nominal category codes treated as ordinal numbers (and a strict "
+        "encoder that crashes on unseen validation values)",
+        "encoder", variants, data,
+        culprits=[{"encode": "onehot-strict"},
+                  {"encode": "passthrough", "model": "logistic"},
+                  {"encode": "passthrough", "model": "svc"}])
+
+
+def _diagonal_classes_gnb() -> CorpusEntry:
+    rng = np.random.default_rng(CORPUS_SEED + 10)
+    n = _N_TRAIN + _N_VALID
+    y = rng.integers(0, 2, n)
+    u = rng.normal(0.0, 2.0, n)
+    eps = rng.normal(0.0, 0.35, n)
+    x0 = u
+    x1 = np.where(y == 0, u, -u) + eps  # class = correlation sign
+    noise = rng.normal(0.0, 1.0, n)
+    data = _split(np.column_stack([x0, x1, noise]), y)
+    variants = (PipelineVariants()
+                .step("scale", {"standard": StandardScaler(),
+                                "minmax": MinMaxScaler(), "none": None})
+                .step("model", {"gnb": GaussianNB(),
+                                "knn": KNeighborsClassifier(),
+                                "tree": DecisionTreeClassifier(max_depth=8)})
+                .hyper("model", "n_neighbors", {"k-3": 3, "k-5": 5, "k-9": 9})
+                .hyper("model", "var_smoothing",
+                       {"v-1e-9": 1e-9, "v-1e-6": 1e-6}))
+    return _ml_entry(
+        "diagonal-classes-gnb",
+        "classes that differ only in feature correlation are invisible to "
+        "naive Bayes' independence assumption",
+        "model", variants, data,
+        culprits=[{"model": "gnb"}])
+
+
+def _over_regularized_linear() -> CorpusEntry:
+    variants = (PipelineVariants()
+                .step("scale", {"standard": StandardScaler(),
+                                "minmax": MinMaxScaler(), "none": None})
+                .step("model", {"logistic": LogisticRegression()})
+                .hyper("model", "C",
+                       {"c-tiny": 1e-5, "c-1": 1.0, "c-100": 100.0})
+                .hyper("model", "max_iter", {"i-100": 100, "i-300": 300})
+                .hyper("model", "tol", {"t-4": 1e-4, "t-2": 1e-2})
+                .hyper("model", "warm_start", {"cold": False, "warm": True}))
+    return _ml_entry(
+        "over-regularized-linear",
+        "C ~ 1e-5 regularizes every weight to zero — the model predicts "
+        "the prior",
+        "hyperparameter", variants, _blob_data(CORPUS_SEED + 11),
+        culprits=[{"model__C": "c-tiny"}])
+
+
+def _label_column_leak() -> CorpusEntry:
+    data = _blob_data(CORPUS_SEED + 12, n_features=3)
+    rng = np.random.default_rng(CORPUS_SEED + 12)
+    label_train = data["y_train"].astype(float)
+    # unknown at serve time: the column gets backfilled with guesses
+    # that are pure coin flips relative to the real label
+    label_valid = rng.integers(0, 2, _N_VALID).astype(float)
+    data["X_train"] = np.column_stack([label_train, data["X_train"]])
+    data["X_valid"] = np.column_stack([label_valid, data["X_valid"]])
+    variants = (PipelineVariants()
+                .step("features",
+                      {"with-label": None,
+                       "drop-label": FunctionTransformer(_drop_leak_column,
+                                                         rowwise=True)})
+                .step("scale", {"standard": StandardScaler(),
+                                "minmax": MinMaxScaler()})
+                .step("model", {"logistic": LogisticRegression(),
+                                "tree": DecisionTreeClassifier(),
+                                "gnb": GaussianNB()})
+                .hyper("model", "max_iter", {"i-60": 60, "i-200": 200})
+                .hyper("model", "max_depth", {"d-4": 4, "d-8": 8})
+                .hyper("model", "var_smoothing",
+                       {"v-1e-9": 1e-9, "v-1e-6": 1e-6}))
+    return _ml_entry(
+        "label-column-leak",
+        "the label itself rode along as a feature; at validation time the "
+        "column is a constant placeholder",
+        "leakage", variants, data,
+        culprits=[{"features": "with-label"}])
+
+
+def _join_typo_keys() -> CorpusEntry:
+    rng = np.random.default_rng(CORPUS_SEED + 13)
+    n = _N_TRAIN
+    labels = np.arange(n) % 2
+    true_keys = [f"row{i:03d}" for i in range(n)]
+    train_keys = [  # class-1 keys carry a one-character typo
+        key if label == 0 else "rpw" + key[3:]
+        for key, label in zip(true_keys, labels)]
+    g0 = np.where(labels == 1, 2.5, -2.5) + rng.normal(0, 0.8, n)
+    g1 = np.where(labels == 1, -2.0, 2.0) + rng.normal(0, 0.8, n)
+    valid_labels = rng.integers(0, 2, _N_VALID)
+    valid_g0 = np.where(valid_labels == 1, 2.5, -2.5) \
+        + rng.normal(0, 0.8, _N_VALID)
+    valid_g1 = np.where(valid_labels == 1, -2.0, 2.0) \
+        + rng.normal(0, 0.8, _N_VALID)
+    shared = {
+        "train_keys": train_keys,
+        "train_f0": rng.normal(0, 1, n),
+        "train_labels": labels,
+        "lookup_keys": true_keys,
+        "lookup_g0": g0, "lookup_g1": g1,
+        "valid_columns": [("f0", rng.normal(0, 1, _N_VALID)),
+                          ("g0", valid_g0), ("g1", valid_g1)],
+        "y_valid": valid_labels,
+        "models": {"logistic": LogisticRegression(),
+                   "knn": KNeighborsClassifier(),
+                   "tree": DecisionTreeClassifier()},
+        "hypers": {"model__n_neighbors": {"k-3": 3, "k-5": 5, "k-9": 9},
+                   "model__max_iter": {"i-60": 60, "i-200": 200}},
+    }
+    space = ConfigurationSpace([
+        Factor("join", {"exact": "exact", "fuzzy-1": "fuzzy-1"},
+               kind="stage"),
+        Factor("scale", {"standard": "standard", "minmax": "minmax"},
+               kind="stage"),
+        Factor("model", dict(shared["models"]), kind="stage"),
+        Factor("model__n_neighbors", shared["hypers"]["model__n_neighbors"],
+               kind="hyperparameter"),
+        Factor("model__max_iter", shared["hypers"]["model__max_iter"],
+               kind="hyperparameter"),
+    ])
+    return CorpusEntry(
+        name="join-typo-keys",
+        description="an exact join silently drops every typo'd class-1 key; "
+                    "training data collapses to one class",
+        bug_kind="plan", space=space, evaluator=evaluate_join_entry,
+        shared=shared, threshold=0.7,
+        culprits=[{"join": "exact"}])
+
+
+def _filter_starves_class() -> CorpusEntry:
+    rng = np.random.default_rng(CORPUS_SEED + 14)
+    n = _N_TRAIN + _N_VALID
+    y = rng.integers(0, 2, n)
+    f0 = np.where(y == 1, 3.0, 0.0) + rng.normal(0, 1.0, n)
+    n0 = rng.normal(0, 1.0, n)
+    n1 = rng.normal(0, 1.0, n)
+    shared = {
+        "train_columns": [("f0", f0[:_N_TRAIN]), ("n0", n0[:_N_TRAIN]),
+                          ("n1", n1[:_N_TRAIN]), ("label", y[:_N_TRAIN])],
+        "valid_columns": [("f0", f0[_N_TRAIN:]), ("n0", n0[_N_TRAIN:]),
+                          ("n1", n1[_N_TRAIN:])],
+        "y_valid": y[_N_TRAIN:],
+        "models": {"logistic": LogisticRegression(),
+                   "knn": KNeighborsClassifier(),
+                   "tree": DecisionTreeClassifier()},
+        "hypers": {"model__n_neighbors": {"k-3": 3, "k-5": 5, "k-9": 9},
+                   "model__max_iter": {"i-60": 60, "i-200": 200}},
+    }
+    space = ConfigurationSpace([
+        Factor("filter", {"all": "all", "tight": "tight"}, kind="stage"),
+        Factor("scale", {"standard": "standard", "minmax": "minmax"},
+               kind="stage"),
+        Factor("model", dict(shared["models"]), kind="stage"),
+        Factor("model__n_neighbors", shared["hypers"]["model__n_neighbors"],
+               kind="hyperparameter"),
+        Factor("model__max_iter", shared["hypers"]["model__max_iter"],
+               kind="hyperparameter"),
+    ])
+    return CorpusEntry(
+        name="filter-starves-class",
+        description="an over-tight row filter keeps almost no class-0 "
+                    "training rows",
+        bug_kind="plan", space=space, evaluator=evaluate_filter_entry,
+        shared=shared, threshold=0.72,
+        culprits=[{"filter": "tight"}])
+
+
+def _project_typo_columns() -> CorpusEntry:
+    rng = np.random.default_rng(CORPUS_SEED + 15)
+    n = _N_TRAIN + _N_VALID
+    y = rng.integers(0, 2, n)
+    f0 = np.where(y == 1, 2.2, -2.2) + rng.normal(0, 1.0, n)
+    f1 = np.where(y == 1, -1.8, 1.8) + rng.normal(0, 1.0, n)
+    n0 = rng.normal(0, 1.0, n)
+    n1 = rng.normal(0, 1.0, n)
+    shared = {
+        "train_columns": [("f0", f0[:_N_TRAIN]), ("f1", f1[:_N_TRAIN]),
+                          ("n0", n0[:_N_TRAIN]), ("n1", n1[:_N_TRAIN]),
+                          ("label", y[:_N_TRAIN])],
+        "valid_columns": [("f0", f0[_N_TRAIN:]), ("f1", f1[_N_TRAIN:]),
+                          ("n0", n0[_N_TRAIN:]), ("n1", n1[_N_TRAIN:])],
+        "y_valid": y[_N_TRAIN:],
+        "models": {"logistic": LogisticRegression(),
+                   "knn": KNeighborsClassifier(),
+                   "tree": DecisionTreeClassifier()},
+        "hypers": {"model__n_neighbors": {"k-3": 3, "k-5": 5, "k-9": 9},
+                   "model__max_iter": {"i-60": 60, "i-200": 200}},
+    }
+    space = ConfigurationSpace([
+        Factor("project", {"signal": "signal", "noise-only": "noise-only"},
+               kind="stage"),
+        Factor("scale", {"standard": "standard", "minmax": "minmax"},
+               kind="stage"),
+        Factor("model", dict(shared["models"]), kind="stage"),
+        Factor("model__n_neighbors", shared["hypers"]["model__n_neighbors"],
+               kind="hyperparameter"),
+        Factor("model__max_iter", shared["hypers"]["model__max_iter"],
+               kind="hyperparameter"),
+    ])
+    return CorpusEntry(
+        name="project-typo-columns",
+        description="a typo'd projection keeps only the noise columns",
+        bug_kind="plan", space=space, evaluator=evaluate_project_entry,
+        shared=shared, threshold=0.7,
+        culprits=[{"project": "noise-only"}])
+
+
+def _sentinel_fill_impute() -> CorpusEntry:
+    data = _blob_data(CORPUS_SEED + 16, n_features=2, spread=5.0)
+    rng = np.random.default_rng(CORPUS_SEED + 16)
+    noise = rng.normal(0, 1.0, (_N_TRAIN + _N_VALID, 1))
+    data["X_train"] = np.hstack([data["X_train"], noise[:_N_TRAIN]])
+    data["X_valid"] = np.hstack([data["X_valid"],
+                                 noise[_N_TRAIN:_N_TRAIN + _N_VALID]])
+    for key in ("X_train", "X_valid"):
+        X = data[key].copy()
+        # each row loses exactly one of its two informative features
+        # with probability 0.7 — plenty of signal left for honest fills
+        hit = rng.random(len(X)) < 0.7
+        which = rng.integers(0, 2, len(X))
+        X[hit, which[hit]] = np.nan
+        data[key] = X
+    variants = (PipelineVariants()
+                .step("impute",
+                      {"mean": SimpleImputer(strategy="mean"),
+                       "median": SimpleImputer(strategy="median"),
+                       "sentinel": SimpleImputer(strategy="constant",
+                                                 fill_value=-999.0)})
+                .step("scale", {"standard": StandardScaler(),
+                                "minmax": MinMaxScaler()})
+                .step("model", {"logistic": LogisticRegression(),
+                                "svc": LinearSVC()})
+                .hyper("model", "C", {"c-1": 1.0, "c-10": 10.0})
+                .hyper("model", "max_iter", {"i-100": 100, "i-300": 300}))
+    return _ml_entry(
+        "sentinel-fill-impute",
+        "a -999 sentinel fill owns the column statistics, so scaling "
+        "crushes the honest values into a hair's width of range",
+        "imputation", variants, data,
+        culprits=[{"impute": "sentinel"}])
+
+
+_BUILDERS = [
+    _knn_all_neighbors,
+    _stumps_on_band,
+    _linear_on_rings,
+    _log_after_scale,
+    _onehot_on_continuous,
+    _dropped_imputer,
+    _leaky_feature,
+    _unscaled_knn,
+    _nominal_codes,
+    _diagonal_classes_gnb,
+    _over_regularized_linear,
+    _label_column_leak,
+    _join_typo_keys,
+    _filter_starves_class,
+    _project_typo_columns,
+    _sentinel_fill_impute,
+]
+
+
+def load_corpus() -> list[CorpusEntry]:
+    """Build every corpus entry (deterministic, ~16 broken pipelines)."""
+    return [build() for build in _BUILDERS]

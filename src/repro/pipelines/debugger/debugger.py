@@ -1,0 +1,343 @@
+"""The :class:`PipelineDebugger`: screen, execute, isolate, propose.
+
+One ``run()`` performs the whole BugDoc/Maro loop over a
+:class:`~repro.pipelines.debugger.space.ConfigurationSpace`:
+
+1. **screen** — evaluate a strength-2 covering array (every pair of
+   factor levels appears at least once) instead of the exhaustive grid;
+2. **execute** — each round is one ``Runtime.map_cached`` batch, so
+   variants run in parallel, repeats are memoized, and scores are
+   bit-identical across serial/thread/process backends;
+3. **isolate** — delta-debug every failing screen configuration against
+   its nearest passing neighbour down to a minimal failure-inducing
+   assignment, then aggregate identical assignments into ranked
+   :class:`RootCause`\\ s;
+4. **propose** — per root-cause factor, a :class:`Remediation` naming
+   the action (swap stage / re-range hyperparameter / reorder steps)
+   and the best *observed passing* alternative level.
+
+Counters (``debugger.rounds``, ``debugger.configs_evaluated``,
+``debugger.configs_pruned``, ``debugger.cache_hits``) and runlog events
+(``debugger.round``, ``debugger.report``) flow through the standard
+:mod:`repro.observe` observer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.exceptions import ValidationError
+from repro.observe.observer import resolve_observer
+from repro.runtime.cache import fingerprint
+from repro.runtime.runtime import Runtime, resolve_runtime
+from repro.pipelines.debugger.search import minimize_failure
+from repro.pipelines.debugger.space import (
+    ConfigurationSpace,
+    pairwise_covering_array,
+)
+
+__all__ = ["Verdict", "Remediation", "RootCause", "DebugReport",
+           "PipelineDebugger"]
+
+#: Factor kind -> the remediation verb (Maro's action vocabulary).
+_ACTIONS = {"stage": "swap", "hyperparameter": "re-range",
+            "order": "reorder"}
+
+
+@dataclass
+class Verdict:
+    """One evaluated configuration: its score and pass/fail verdict."""
+
+    config: dict
+    score: float
+    failed: bool
+
+    def jsonable(self) -> dict:
+        return {"config": dict(self.config), "score": self.score,
+                "failed": self.failed}
+
+
+@dataclass
+class Remediation:
+    """A proposed fix for one factor of a root cause."""
+
+    factor: str
+    kind: str          # stage | hyperparameter | order
+    action: str        # swap | re-range | reorder
+    from_level: str
+    to_level: str | None       # best observed passing alternative
+    observed_score: float | None
+
+    def describe(self) -> str:
+        if self.to_level is None:
+            return (f"{self.action} {self.factor!r} away from "
+                    f"{self.from_level!r} (no passing alternative observed)")
+        return (f"{self.action} {self.factor!r}: {self.from_level!r} -> "
+                f"{self.to_level!r} (observed score "
+                f"{self.observed_score:.3f})")
+
+    def jsonable(self) -> dict:
+        return {"factor": self.factor, "kind": self.kind,
+                "action": self.action, "from_level": self.from_level,
+                "to_level": self.to_level,
+                "observed_score": self.observed_score}
+
+
+@dataclass
+class RootCause:
+    """A minimal failure-inducing assignment plus its evidence."""
+
+    assignment: dict           # factor name -> failing level
+    support: int               # failing screen configs minimizing to this
+    worst_score: float         # worst supporting score
+    remediations: list = field(default_factory=list)
+
+    @property
+    def factors(self) -> list:
+        return list(self.assignment)
+
+    def describe(self) -> str:
+        parts = ", ".join(f"{k}={v!r}" for k, v in self.assignment.items())
+        return (f"{{{parts}}} (support={self.support}, "
+                f"worst score {self.worst_score:.3f})")
+
+    def jsonable(self) -> dict:
+        return {"assignment": dict(self.assignment), "support": self.support,
+                "worst_score": self.worst_score,
+                "remediations": [r.jsonable() for r in self.remediations]}
+
+
+@dataclass
+class DebugReport:
+    """Everything one :meth:`PipelineDebugger.run` learned."""
+
+    name: str
+    grid_size: int
+    threshold: float
+    verdicts: list             # screen-round Verdicts
+    root_causes: list          # ranked RootCauses
+    configs_evaluated: int     # unique configurations actually scored
+    rounds: int                # batched evaluation rounds
+    all_failing: bool = False  # no passing config found -> nothing isolated
+
+    @property
+    def fraction_of_grid(self) -> float:
+        return self.configs_evaluated / self.grid_size
+
+    @property
+    def stage_sets(self) -> list:
+        """The isolated factor set per root cause (ranked)."""
+        return [frozenset(cause.assignment) for cause in self.root_causes]
+
+    @property
+    def n_failing(self) -> int:
+        return sum(1 for v in self.verdicts if v.failed)
+
+    def summary(self) -> str:
+        lines = [
+            f"debug report: {self.name}",
+            f"  grid {self.grid_size} configs; evaluated "
+            f"{self.configs_evaluated} ({self.fraction_of_grid:.0%}) "
+            f"in {self.rounds} rounds",
+            f"  screen: {self.n_failing}/{len(self.verdicts)} variants "
+            f"failed (threshold {self.threshold})",
+        ]
+        if self.all_failing:
+            lines.append("  every screened variant failed — no passing "
+                         "reference, nothing isolated")
+        for rank, cause in enumerate(self.root_causes, start=1):
+            lines.append(f"  #{rank} {cause.describe()}")
+            for remedy in cause.remediations:
+                lines.append(f"      -> {remedy.describe()}")
+        if not self.root_causes and not self.all_failing:
+            lines.append("  no failing configurations — nothing to debug")
+        return "\n".join(lines)
+
+    def jsonable(self) -> dict:
+        return {
+            "name": self.name,
+            "grid_size": self.grid_size,
+            "threshold": self.threshold,
+            "configs_evaluated": self.configs_evaluated,
+            "fraction_of_grid": self.fraction_of_grid,
+            "rounds": self.rounds,
+            "all_failing": self.all_failing,
+            "verdicts": [v.jsonable() for v in self.verdicts],
+            "root_causes": [c.jsonable() for c in self.root_causes],
+        }
+
+
+class PipelineDebugger:
+    """Configuration-space debugger over a user-supplied evaluator.
+
+    Parameters
+    ----------
+    space:
+        The :class:`ConfigurationSpace` of pipeline choices.
+    evaluator:
+        ``evaluator(shared, config) -> float`` — a **module-level**
+        function (the process backend pickles it). Crashing variants
+        should map to a sentinel below ``threshold`` (see
+        :data:`~repro.pipelines.debugger.variants.FAILED_SCORE`).
+    shared:
+        Picklable context broadcast to every evaluation (data arrays,
+        a :class:`~repro.pipelines.debugger.variants.PipelineVariants`).
+    threshold:
+        Scores strictly below this fail.
+    runtime:
+        A shared :class:`~repro.runtime.Runtime` (or backend name).
+        Defaults to a private serial runtime with a fresh
+        fingerprint cache, so repeated probes are free.
+    observer / seed / name:
+        Observability handle; covering-array seed; report label (also
+        part of the cache key, so two debuggers with the same space but
+        different names do not collide).
+    """
+
+    def __init__(self, space: ConfigurationSpace, evaluator, *, shared=None,
+                 threshold: float = 0.5, runtime=None, observer=None,
+                 seed: int = 0, name: str = "pipeline"):
+        if not isinstance(space, ConfigurationSpace):
+            raise ValidationError(
+                "space must be a ConfigurationSpace, got "
+                f"{type(space).__name__}")
+        self.space = space
+        self.evaluator = evaluator
+        self.shared = shared
+        self.threshold = float(threshold)
+        self.runtime = (resolve_runtime(runtime)
+                        or Runtime(backend="serial", cache=True))
+        self.observer = resolve_observer(observer)
+        self.seed = seed
+        self.name = name
+        self._space_fp = space.fingerprint()
+        self._scores: dict[tuple, float] = {}
+        self._rounds = 0
+
+    # ------------------------------------------------------------------
+    def is_failure(self, score: float) -> bool:
+        return float(score) < self.threshold
+
+    def _cache_key(self, config: dict) -> str:
+        return fingerprint("pipelines.debugger", self.name, self._space_fp,
+                           self.space.key(config))
+
+    def _evaluate_batch(self, configs: list, phase: str) -> list:
+        configs = list(configs)
+        self._rounds += 1
+        scores = self.runtime.map_cached(
+            self.evaluator, configs, key_fn=self._cache_key,
+            shared=self.shared, stage=f"debugger.{phase}")
+        scores = [float(s) for s in scores]
+        fresh = 0
+        for config, score in zip(configs, scores):
+            key = self.space.key(config)
+            if key not in self._scores:
+                fresh += 1
+            self._scores[key] = score
+        if self.observer.enabled:
+            self.observer.count("debugger.rounds")
+            self.observer.count("debugger.configs_evaluated", fresh)
+            self.observer.event("debugger.round", debugger=self.name,
+                                phase=phase, round=self._rounds,
+                                configs=len(configs), new_configs=fresh)
+        return scores
+
+    # ------------------------------------------------------------------
+    def _nearest_passing(self, config: dict, passing: list) -> Verdict:
+        """Closest passing verdict by Hamming distance over factors
+        (ties broken by screening order — deterministic)."""
+        names = self.space.factor_names
+        best, best_distance = None, None
+        for verdict in passing:
+            distance = sum(1 for n in names
+                           if verdict.config[n] != config[n])
+            if best is None or distance < best_distance:
+                best, best_distance = verdict, distance
+        return best
+
+    def _aggregate(self, minimal: list) -> list:
+        """Group identical minimal assignments into ranked RootCauses."""
+        order = {name: i for i, name in enumerate(self.space.factor_names)}
+        grouped: dict[tuple, dict] = {}
+        for assignment, verdict in minimal:
+            key = tuple(sorted(assignment.items(),
+                               key=lambda kv: order[kv[0]]))
+            slot = grouped.setdefault(
+                key, {"assignment": dict(key), "support": 0,
+                      "worst": float("inf")})
+            slot["support"] += 1
+            slot["worst"] = min(slot["worst"], verdict.score)
+        causes = [RootCause(assignment=slot["assignment"],
+                            support=slot["support"],
+                            worst_score=slot["worst"])
+                  for slot in grouped.values()]
+        causes.sort(key=lambda c: (-c.support, c.worst_score,
+                                   tuple(order[n] for n in c.assignment)))
+        return causes
+
+    def _remediations(self, cause: RootCause) -> list:
+        remedies = []
+        for factor_name, bad_level in cause.assignment.items():
+            factor = self.space[factor_name]
+            best_level, best_score = None, None
+            for key, score in self._scores.items():
+                level = dict(key)[factor_name]
+                if level == bad_level or self.is_failure(score):
+                    continue
+                if best_score is None or score > best_score:
+                    best_level, best_score = level, score
+            remedies.append(Remediation(
+                factor=factor_name, kind=factor.kind,
+                action=_ACTIONS[factor.kind], from_level=bad_level,
+                to_level=best_level, observed_score=best_score))
+        return remedies
+
+    # ------------------------------------------------------------------
+    def run(self) -> DebugReport:
+        """Screen, isolate, and propose; returns the ranked report."""
+        cache = self.runtime.cache
+        hits_before = cache.stats.hits if cache is not None else 0
+        rows = pairwise_covering_array(self.space, seed=self.seed)
+        scores = self._evaluate_batch(rows, "screen")
+        verdicts = [Verdict(config=row, score=score,
+                            failed=self.is_failure(score))
+                    for row, score in zip(rows, scores)]
+        failing = [v for v in verdicts if v.failed]
+        passing = [v for v in verdicts if not v.failed]
+
+        minimal = []
+        for verdict in failing:
+            if not passing:
+                break
+            reference = self._nearest_passing(verdict.config, passing)
+            assignment = minimize_failure(
+                self.space, verdict.config, reference.config,
+                lambda configs: self._evaluate_batch(configs, "minimize"),
+                self.is_failure)
+            minimal.append((assignment, verdict))
+
+        causes = self._aggregate(minimal)
+        for cause in causes:
+            cause.remediations = self._remediations(cause)
+
+        report = DebugReport(
+            name=self.name, grid_size=self.space.grid_size,
+            threshold=self.threshold, verdicts=verdicts, root_causes=causes,
+            configs_evaluated=len(self._scores), rounds=self._rounds,
+            all_failing=bool(failing) and not passing)
+        if self.observer.enabled:
+            pruned = max(0, self.space.grid_size - len(self._scores))
+            self.observer.count("debugger.configs_pruned", pruned)
+            if cache is not None:
+                self.observer.count("debugger.cache_hits",
+                                    cache.stats.hits - hits_before)
+            self.observer.event(
+                "debugger.report", debugger=self.name,
+                grid_size=report.grid_size,
+                configs_evaluated=report.configs_evaluated,
+                fraction_of_grid=report.fraction_of_grid,
+                rounds=report.rounds, n_failing=report.n_failing,
+                n_root_causes=len(report.root_causes),
+                all_failing=report.all_failing)
+        return report

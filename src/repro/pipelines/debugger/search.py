@@ -1,0 +1,105 @@
+"""BugDoc-style adaptive group testing over configuration deltas.
+
+Given one *failing* configuration and one *passing* configuration, the
+factors on which they differ form the suspect set. Classic delta
+debugging (``ddmin``) shrinks that set to a *minimal failure-inducing*
+one: applying just those factors' failing levels onto the passing
+configuration still breaks the pipeline, and no proper subset does
+(1-minimality).
+
+Each outer iteration proposes every chunk and every chunk-complement at
+once, so the debugger evaluates them as one batched
+:meth:`~repro.runtime.Runtime.map` round instead of one pipeline run
+per probe. All tie-breaks are first-wins over deterministic orderings,
+so the minimization is bit-reproducible across backends.
+"""
+
+from __future__ import annotations
+
+from repro.core.exceptions import ValidationError
+
+__all__ = ["minimize_failure"]
+
+
+def _apply(passing: dict, failing: dict, subset) -> dict:
+    """The passing configuration with ``subset``'s failing levels applied."""
+    config = dict(passing)
+    for name in subset:
+        config[name] = failing[name]
+    return config
+
+
+def _partition(items: list, n: int) -> list[list]:
+    """Split ``items`` into ``n`` contiguous, non-empty chunks."""
+    n = min(n, len(items))
+    size, extra = divmod(len(items), n)
+    chunks, start = [], 0
+    for i in range(n):
+        end = start + size + (1 if i < extra else 0)
+        chunks.append(items[start:end])
+        start = end
+    return chunks
+
+
+def minimize_failure(space, failing: dict, passing: dict, evaluate_batch,
+                     is_failure) -> dict:
+    """Minimal failure-inducing factor assignment (ddmin, batched rounds).
+
+    Parameters
+    ----------
+    space:
+        The :class:`~repro.pipelines.debugger.space.ConfigurationSpace`
+        both configurations live in (defines the factor order).
+    failing / passing:
+        Complete configurations; ``failing`` must actually fail and
+        ``passing`` must actually pass under the caller's oracle.
+    evaluate_batch:
+        ``evaluate_batch(configs) -> list[float]`` — scores a batch of
+        configurations (the debugger routes this through
+        ``Runtime.map_cached`` so probes are parallel and memoized).
+    is_failure:
+        ``is_failure(score) -> bool`` verdict for one score.
+
+    Returns
+    -------
+    dict
+        ``{factor_name: failing_level}`` for the minimized set, in the
+        space's factor order. Applying it to ``passing`` fails; removing
+        any single entry passes (1-minimal).
+    """
+    space.validate(failing)
+    space.validate(passing)
+    order = {name: i for i, name in enumerate(space.factor_names)}
+    delta = sorted((n for n in space.factor_names
+                    if failing[n] != passing[n]), key=order.__getitem__)
+    if not delta:
+        raise ValidationError(
+            "failing and passing configurations are identical — "
+            "nothing to minimize")
+
+    current = delta
+    n = 2
+    while len(current) >= 2:
+        chunks = _partition(current, n)
+        candidates = list(chunks)
+        if len(chunks) > 2:
+            for i in range(len(chunks)):
+                complement = [x for j, chunk in enumerate(chunks)
+                              for x in chunk if j != i]
+                candidates.append(complement)
+        scores = evaluate_batch(
+            [_apply(passing, failing, subset) for subset in candidates])
+        reduced = None
+        for subset, score in zip(candidates, scores):
+            if is_failure(score):
+                reduced = subset
+                break
+        if reduced is not None:
+            was_chunk = len(reduced) <= len(current) // n + 1
+            current = sorted(reduced, key=order.__getitem__)
+            n = 2 if was_chunk else max(n - 1, 2)
+        else:
+            if n >= len(current):
+                break
+            n = min(2 * n, len(current))
+    return {name: failing[name] for name in current}

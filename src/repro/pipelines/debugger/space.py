@@ -1,0 +1,228 @@
+"""Discrete configuration spaces and pairwise covering arrays.
+
+A pipeline's debuggable choices are modelled as ordered
+:class:`Factor`\\ s, each with a small named set of *levels* (stage
+alternatives, hyperparameter settings, step orderings). A
+*configuration* assigns every factor one level name; the cross product
+of all levels is the exhaustive grid the debugger must *not* have to
+evaluate.
+
+:func:`pairwise_covering_array` generates the screening design: a
+deterministic greedy (AETG-style) strength-2 covering array — every
+pair of levels from every pair of factors appears in at least one
+generated configuration. For the corpus spaces this is 10–20 variants
+where the grid has 50–250, which is what makes configuration debugging
+cheaper than a sweep.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from itertools import combinations, product
+
+import numpy as np
+
+from repro.core.exceptions import ValidationError
+from repro.runtime.cache import fingerprint
+
+__all__ = ["Factor", "ConfigurationSpace", "pairwise_covering_array"]
+
+#: Factor kinds drive the remediation verb: swap / re-range / reorder.
+FACTOR_KINDS = ("stage", "hyperparameter", "order")
+
+
+@dataclass
+class Factor:
+    """One discrete configuration dimension.
+
+    Parameters
+    ----------
+    name:
+        Unique factor name (``"model"``, ``"model__n_neighbors"``,
+        ``"order"``).
+    levels:
+        Mapping of level name -> level value. Values are opaque to the
+        search; they only need to be picklable (estimators, numbers,
+        orderings) so variants can be built inside process workers.
+    kind:
+        ``"stage"`` | ``"hyperparameter"`` | ``"order"`` — what a
+        remediation for this factor proposes.
+    """
+
+    name: str
+    levels: dict = field(default_factory=dict)
+    kind: str = "stage"
+
+    def __post_init__(self):
+        if not self.name:
+            raise ValidationError("factor name must be non-empty")
+        if not self.levels:
+            raise ValidationError(f"factor {self.name!r} needs >= 1 level")
+        if self.kind not in FACTOR_KINDS:
+            raise ValidationError(
+                f"factor kind must be one of {FACTOR_KINDS}, "
+                f"got {self.kind!r}")
+        self.levels = dict(self.levels)
+
+    @property
+    def level_names(self) -> list[str]:
+        return list(self.levels)
+
+    def __len__(self) -> int:
+        return len(self.levels)
+
+
+class ConfigurationSpace:
+    """An ordered set of :class:`Factor`\\ s (duplicate names rejected).
+
+    Configurations are plain ``{factor_name: level_name}`` dicts; the
+    space canonicalizes them to hashable keys, enumerates the grid,
+    and fingerprints itself for the runtime cache.
+    """
+
+    def __init__(self, factors: list[Factor]):
+        if not factors:
+            raise ValidationError("a configuration space needs >= 1 factor")
+        names = [f.name for f in factors]
+        if len(set(names)) != len(names):
+            raise ValidationError(f"duplicate factor names in {names}")
+        self.factors = list(factors)
+        self._by_name = {f.name: f for f in factors}
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.factors)
+
+    def __getitem__(self, name: str) -> Factor:
+        if name not in self._by_name:
+            raise ValidationError(
+                f"no factor named {name!r}; have {list(self._by_name)}")
+        return self._by_name[name]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._by_name
+
+    @property
+    def factor_names(self) -> list[str]:
+        return [f.name for f in self.factors]
+
+    @property
+    def grid_size(self) -> int:
+        size = 1
+        for factor in self.factors:
+            size *= len(factor)
+        return size
+
+    # ------------------------------------------------------------------
+    def validate(self, config: dict) -> dict:
+        """Check a configuration assigns every factor a known level."""
+        missing = [f.name for f in self.factors if f.name not in config]
+        if missing:
+            raise ValidationError(f"configuration misses factors {missing}")
+        unknown = [k for k in config if k not in self._by_name]
+        if unknown:
+            raise ValidationError(f"configuration names unknown factors "
+                                  f"{unknown}")
+        for factor in self.factors:
+            if config[factor.name] not in factor.levels:
+                raise ValidationError(
+                    f"factor {factor.name!r} has no level "
+                    f"{config[factor.name]!r}; have {factor.level_names}")
+        return config
+
+    def key(self, config: dict) -> tuple:
+        """Canonical hashable identity (factor order of the space)."""
+        return tuple((f.name, config[f.name]) for f in self.factors)
+
+    def values(self, config: dict) -> dict:
+        """Resolve level names to their values."""
+        return {f.name: f.levels[config[f.name]] for f in self.factors}
+
+    def enumerate(self):
+        """Yield every configuration in deterministic grid order."""
+        names = self.factor_names
+        level_lists = [self._by_name[n].level_names for n in names]
+        for combo in product(*level_lists):
+            yield dict(zip(names, combo))
+
+    def fingerprint(self) -> str:
+        """Stable identity of the space (names, level names + values)."""
+        parts = []
+        for factor in self.factors:
+            parts.append((factor.name, factor.kind,
+                          tuple(factor.level_names),
+                          tuple(factor.levels[n]
+                                for n in factor.level_names)))
+        return fingerprint("pipelines.debugger.space", tuple(parts))
+
+
+def _all_pairs(space: ConfigurationSpace) -> set:
+    pairs = set()
+    for (i, a), (j, b) in combinations(enumerate(space.factors), 2):
+        for la in a.level_names:
+            for lb in b.level_names:
+                pairs.add(((i, la), (j, lb)))
+    return pairs
+
+
+def _ordered_pair(i: int, li: str, j: int, lj: str) -> tuple:
+    return ((i, li), (j, lj)) if i < j else ((j, lj), (i, li))
+
+
+def pairwise_covering_array(space: ConfigurationSpace, *, seed: int = 0,
+                            candidates_per_row: int = 12) -> list[dict]:
+    """A strength-2 covering array over ``space`` (deterministic).
+
+    Greedy AETG-style construction. Each row is the best of
+    ``candidates_per_row`` candidates; every candidate is *seeded* with
+    one still-uncovered pair (so a row always makes progress — pure
+    greedy tie-breaking can otherwise starve corner pairs forever) and
+    then filled factor-by-factor in a seeded random order, picking the
+    level that covers the most uncovered pairs (ties broken by a seeded
+    shuffle). Determinism comes entirely from the seeded generator, so
+    every backend and every session screens the identical variant set.
+
+    A single-factor space degenerates to one row per level.
+    """
+    factors = space.factors
+    if len(factors) == 1:
+        return [{factors[0].name: level}
+                for level in factors[0].level_names]
+    rng = np.random.default_rng(seed)
+    uncovered = _all_pairs(space)
+    rows: list[dict] = []
+    while uncovered:
+        seeds = sorted(uncovered)
+        best_assign = None
+        best_gain = -1
+        for candidate in range(candidates_per_row):
+            (i, li), (j, lj) = seeds[candidate % len(seeds)]
+            assign: dict[int, str] = {i: li, j: lj}
+            order = [int(k) for k in rng.permutation(len(factors))
+                     if int(k) not in assign]
+            for idx in order:
+                factor = factors[idx]
+                levels = factor.level_names
+                shuffled = [levels[int(t)]
+                            for t in rng.permutation(len(levels))]
+                best_level, best_level_gain = None, -1
+                for level in shuffled:
+                    gain = sum(
+                        1 for other, olevel in assign.items()
+                        if _ordered_pair(idx, level, other, olevel)
+                        in uncovered)
+                    if gain > best_level_gain:
+                        best_level, best_level_gain = level, gain
+                assign[idx] = best_level
+            covered = {pair for pair in uncovered
+                       if assign[pair[0][0]] == pair[0][1]
+                       and assign[pair[1][0]] == pair[1][1]}
+            if len(covered) > best_gain:
+                best_gain = len(covered)
+                best_assign = assign
+        rows.append({factors[i].name: level
+                     for i, level in sorted(best_assign.items())})
+        uncovered -= {pair for pair in uncovered
+                      if best_assign[pair[0][0]] == pair[0][1]
+                      and best_assign[pair[1][0]] == pair[1][1]}
+    return rows

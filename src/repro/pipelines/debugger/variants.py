@@ -1,0 +1,144 @@
+"""Declarative pipeline-variant builders and the batched evaluator.
+
+:class:`PipelineVariants` turns "this pipeline, but with these choices
+open" into a :class:`~repro.pipelines.debugger.space.ConfigurationSpace`
+plus a ``build(config)`` that materializes one concrete
+:class:`repro.ml.Pipeline` per configuration:
+
+- ``step(name, alternatives)`` — a stage slot; a ``None`` alternative
+  means *omit the step* (BugDoc's "is this stage even needed?");
+- ``hyper(step, param, levels)`` — a hyperparameter factor named
+  ``step__param``, applied only when the chosen alternative actually
+  has that parameter;
+- ``orderings(levels)`` — named permutations of the step sequence
+  (the classic scale-before-impute family of bugs).
+
+:func:`evaluate_ml_variant` is the matching evaluator: a **module-level
+function** with the runtime's ``fn(shared, task)`` signature, so it
+pickles for the process backend. Estimator levels are cloned before
+every fit — levels are shared prototypes and must never accumulate
+fitted state. Any exception or non-finite score maps to the
+:data:`FAILED_SCORE` sentinel, which keeps crashes and silent NaNs in
+the same verdict domain as low scores.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.exceptions import ValidationError
+from repro.ml import accuracy_score, clone
+from repro.ml.compose import Pipeline
+from repro.pipelines.debugger.space import ConfigurationSpace, Factor
+
+__all__ = ["FAILED_SCORE", "PipelineVariants", "evaluate_ml_variant"]
+
+#: Score assigned to variants that crash or score non-finite. Sits below
+#: every legitimate metric used here (accuracy in [0, 1], negated errors
+#: bounded by the corpus data), so "crashed" always reads as "failed".
+FAILED_SCORE = -1.0
+
+
+class PipelineVariants:
+    """A pipeline template with open stage / hyperparameter / order slots."""
+
+    def __init__(self):
+        self._steps: list[tuple[str, dict]] = []
+        self._hypers: list[tuple[str, str, dict]] = []
+        self._orderings: dict | None = None
+
+    # -- declaration -------------------------------------------------------
+    def step(self, name: str, alternatives: dict) -> "PipelineVariants":
+        """Declare a stage slot. ``alternatives`` maps level name ->
+        estimator prototype (or ``None`` to omit the step)."""
+        if any(name == existing for existing, _ in self._steps):
+            raise ValidationError(f"step {name!r} declared twice")
+        if "__" in name:
+            raise ValidationError(
+                f"step name {name!r} must not contain '__' "
+                "(reserved for hyperparameter factors)")
+        self._steps.append((name, dict(alternatives)))
+        return self
+
+    def hyper(self, step: str, param: str, levels: dict) -> "PipelineVariants":
+        """Declare a hyperparameter factor ``step__param``. The level
+        value is applied via ``set_params`` when the chosen alternative
+        for ``step`` exposes ``param`` — and silently skipped otherwise,
+        so one hyper factor can span heterogeneous alternatives."""
+        if not any(step == existing for existing, _ in self._steps):
+            raise ValidationError(
+                f"hyper({step!r}, {param!r}): no such step; declare "
+                "step() first")
+        self._hypers.append((step, param, dict(levels)))
+        return self
+
+    def orderings(self, levels: dict) -> "PipelineVariants":
+        """Declare an ``order`` factor. Each level is a sequence of step
+        names — a permutation of every declared step."""
+        expected = {name for name, _ in self._steps}
+        for level, sequence in levels.items():
+            if set(sequence) != expected or len(sequence) != len(expected):
+                raise ValidationError(
+                    f"ordering {level!r} must permute {sorted(expected)}, "
+                    f"got {list(sequence)}")
+        self._orderings = {level: tuple(seq) for level, seq in levels.items()}
+        return self
+
+    # -- materialization ---------------------------------------------------
+    def space(self) -> ConfigurationSpace:
+        """The configuration space spanned by the declared slots."""
+        factors = [Factor(name, alternatives, kind="stage")
+                   for name, alternatives in self._steps]
+        factors += [Factor(f"{step}__{param}", levels, kind="hyperparameter")
+                    for step, param, levels in self._hypers]
+        if self._orderings is not None:
+            factors.append(Factor("order", self._orderings, kind="order"))
+        return ConfigurationSpace(factors)
+
+    def build(self, config: dict) -> Pipeline:
+        """One concrete :class:`~repro.ml.Pipeline` for ``config``.
+
+        Estimators are cloned from their prototypes, so building (and
+        fitting) a variant never mutates the declared levels.
+        """
+        space = self.space()
+        space.validate(config)
+        values = space.values(config)
+        chosen: dict[str, object] = {}
+        for name, _ in self._steps:
+            prototype = values[name]
+            if prototype is not None:
+                chosen[name] = clone(prototype)
+        for step, param, _ in self._hypers:
+            value = values[f"{step}__{param}"]
+            estimator = chosen.get(step)
+            if estimator is not None and param in estimator.get_params():
+                estimator.set_params(**{param: clone(value)})
+        order = (values["order"] if self._orderings is not None
+                 else [name for name, _ in self._steps])
+        steps = [(name, chosen[name]) for name in order if name in chosen]
+        if not steps:
+            raise ValidationError(
+                f"configuration {config} omits every step")
+        return Pipeline(steps)
+
+
+def evaluate_ml_variant(shared: dict, config: dict) -> float:
+    """Fit-and-score one configuration (runtime ``fn(shared, task)``).
+
+    ``shared`` needs ``variants`` (:class:`PipelineVariants`),
+    ``X_train``/``y_train``/``X_valid``/``y_valid`` arrays, and an
+    optional ``metric(y_true, y_pred)`` (default accuracy). Crashes and
+    non-finite scores collapse to :data:`FAILED_SCORE`.
+    """
+    metric = shared.get("metric") or accuracy_score
+    try:
+        model = shared["variants"].build(config)
+        model.fit(shared["X_train"], shared["y_train"])
+        score = float(metric(shared["y_valid"],
+                             model.predict(shared["X_valid"])))
+    except Exception:
+        return FAILED_SCORE
+    if not np.isfinite(score):
+        return FAILED_SCORE
+    return score

@@ -134,14 +134,49 @@ class WhatIfAnalysis:
         return {"score": score, "baseline": self.baseline_score,
                 "delta": score - self.baseline_score}
 
-    def drop_rows_scenario(self, source: str, row_ids) -> dict:
-        """Convenience intervention: delete rows from one source."""
+    def _check_row_ids(self, source: str, row_ids) -> None:
+        frame = self.sources[source]
+        ids = np.asarray(np.atleast_1d(row_ids), dtype=np.int64)
+        present = np.isin(ids, frame.row_ids)
+        if not present.all():
+            missing = sorted(int(i) for i in np.unique(ids[~present]))
+            raise ValidationError(
+                f"scenario names row ids absent from source {source!r}: "
+                f"{missing} — a typo'd intervention would otherwise "
+                "silently report delta == 0.0 (pass strict=False to drop "
+                "the ids that do exist)"
+            )
+
+    def drop_rows_scenario(self, source: str, row_ids, *,
+                           strict: bool = True) -> dict:
+        """Convenience intervention: delete rows from one source.
+
+        Strict by default: a row id that does not exist in the source
+        raises :class:`ValidationError` instead of silently no-opping
+        (which would report a meaningless ``delta == 0.0``).
+        """
+        if strict:
+            self._check_row_ids(source, row_ids)
         return self.run_scenario(
             {source: self.sources[source].drop_rows(row_ids)}
         )
 
     def patch_cells_scenario(self, source: str, row_ids, column: str,
-                             values) -> dict:
-        """Convenience intervention: overwrite cells in one source."""
-        patched = self.sources[source].set_values(row_ids, column, values)
+                             values, *, strict: bool = True) -> dict:
+        """Convenience intervention: overwrite cells in one source.
+
+        Strict by default, like :meth:`drop_rows_scenario`; with
+        ``strict=False`` unknown ids are skipped (their values too).
+        """
+        frame = self.sources[source]
+        if strict:
+            self._check_row_ids(source, row_ids)
+        else:
+            ids = np.asarray(np.atleast_1d(row_ids), dtype=np.int64)
+            present = np.isin(ids, frame.row_ids)
+            if not present.all():
+                if not np.isscalar(values) and not isinstance(values, str):
+                    values = [v for v, ok in zip(values, present) if ok]
+                row_ids = ids[present]
+        patched = frame.set_values(row_ids, column, values)
         return self.run_scenario({source: patched})

@@ -24,6 +24,10 @@ from repro.runtime.progress import StageTimer, _Stopwatch
 
 _LIVE_RUNTIMES: "weakref.WeakSet[Runtime]" = weakref.WeakSet()
 
+#: Placeholder marking a key claimed by an in-batch duplicate while its
+#: one evaluation is still pending (see :meth:`Runtime.map_cached`).
+_PENDING = object()
+
 #: FaultEvent.kind -> the observer counter it increments.
 _FAULT_COUNTERS = {
     "retry": "executor.retries",
@@ -150,6 +154,43 @@ class Runtime:
                     fn, tasks, shared=shared, chunk_size=self.chunk_size,
                     progress=self.progress, cancel=self.cancel, stage=stage,
                     faults=self.faults, fault_hook=fault_hook)
+
+    def map_cached(self, fn, tasks, *, key_fn, shared=None,
+                   stage: str = "map") -> list:
+        """:meth:`map` with per-task fingerprint memoization.
+
+        ``key_fn(task)`` names each task in the attached
+        :class:`FingerprintCache`; cached tasks are answered without
+        touching the executor, duplicate keys within one batch are
+        evaluated once, and only the remaining unique misses fan out.
+        Results come back in task order, bitwise-identical whether they
+        were computed or replayed — this is the variant-batching
+        primitive the pipeline-configuration debugger builds its rounds
+        on. Without a cache it degrades to plain :meth:`map`.
+        """
+        tasks = list(tasks)
+        if self.cache is None:
+            return self.map(fn, tasks, shared=shared, stage=stage)
+        keys = [key_fn(task) for task in tasks]
+        results: dict[str, float] = {}
+        pending: list = []
+        pending_keys: list[str] = []
+        for key, task in zip(keys, tasks):
+            if key in results:
+                continue
+            value = self.cache.get(key)
+            if value is not None:
+                results[key] = value
+            else:
+                results[key] = _PENDING
+                pending.append(task)
+                pending_keys.append(key)
+        if pending:
+            computed = self.map(fn, pending, shared=shared, stage=stage)
+            for key, value in zip(pending_keys, computed):
+                self.cache.put(key, value)
+                results[key] = value
+        return [results[key] for key in keys]
 
     def stats(self) -> dict:
         """Snapshot: backend, workers, cache counters, fault counters,

@@ -84,7 +84,7 @@ class Job:
         self.spec = spec
         self.anytime = anytime
         self.seq = seq  # admission order; the queue's FIFO tiebreaker
-        self.not_before = 0.0  # earliest dispatch time (lease backoff)
+        self.not_before = 0.0  # earliest dispatch (monotonic; lease backoff)
         self._lock = threading.Lock()
         self._done = threading.Event()
         self._state = JobState.PENDING

@@ -175,11 +175,13 @@ class JobQueue:
             self.observer.count("serve.queue.rejected")
 
     # -- lease-backoff parking ---------------------------------------------
-    def park(self, job: Job, *, until: float) -> None:
-        """Hold a job out of dispatch until ``until`` (epoch seconds) —
-        used when its lease is still held by another live worker."""
+    def park(self, job: Job, *, delay: float) -> None:
+        """Hold a job out of dispatch for ``delay`` seconds — used when
+        its lease is still held by another live worker. The deadline
+        lives on the monotonic clock so a wall-clock step can neither
+        release a parked job early nor strand it."""
         with self._cond:
-            job.not_before = until
+            job.not_before = time.monotonic() + max(0.0, delay)
             self._parked.append(job)
             self._cond.notify()
 
@@ -206,7 +208,7 @@ class JobQueue:
         deadline = None if timeout is None else time.monotonic() + timeout
         with self._cond:
             while True:
-                self._unpark_ready(time.time())
+                self._unpark_ready(time.monotonic())
                 lane = self._pick_lane()
                 if lane is not None:
                     _, _, job = heapq.heappop(lane.heap)
@@ -250,7 +252,7 @@ class JobQueue:
             waits.append(deadline - time.monotonic())
         if self._parked:
             earliest = min(job.not_before for job in self._parked)
-            waits.append(max(0.0, earliest - time.time()) + 1e-3)
+            waits.append(max(0.0, earliest - time.monotonic()) + 1e-3)
         return min(waits) if waits else None
 
     def task_done(self, tenant: str) -> None:

@@ -305,12 +305,13 @@ class Server:
         lease = self._leases.acquire(job_id)
         if lease is None:
             # Held by another live owner: park until its lease can have
-            # expired, then try again. Not a terminal state.
+            # expired, then try again. Not a terminal state. The wait is
+            # the lease manager's monotonic observation window, never
+            # arithmetic on the record's wall-clock fields.
             held = self._leases.peek(job_id) or {}
-            until = float(held.get("expires_at", time.time()
-                                   + self._leases.ttl)) + 0.01
             self._queue.task_done(job.spec.tenant)
-            self._queue.park(job, until=until)
+            self._queue.park(job, delay=self._leases.retry_after(job_id)
+                             + 0.01)
             if self.observer.enabled:
                 self.observer.event("job.lease_wait", job_id=job_id,
                                     holder=held.get("owner"))

@@ -58,6 +58,21 @@ class TestRowOperations:
         assert len(result) == 4
         assert target not in result.row_ids
 
+    def test_drop_rows_tolerates_unknown_ids_by_default(self, small_frame):
+        result = small_frame.drop_rows([small_frame.row_ids[0], 10**9])
+        assert len(result) == len(small_frame) - 1
+
+    def test_drop_rows_strict_rejects_unknown_ids(self, small_frame):
+        bogus = 10**9
+        with pytest.raises(ValidationError) as exc:
+            small_frame.drop_rows([small_frame.row_ids[0], bogus],
+                                  strict=True)
+        assert str(bogus) in str(exc.value)
+
+    def test_drop_rows_strict_accepts_known_ids(self, small_frame):
+        result = small_frame.drop_rows(small_frame.row_ids[:2], strict=True)
+        assert len(result) == len(small_frame) - 2
+
     def test_positions_of_roundtrip(self, small_frame):
         ids = small_frame.row_ids[[3, 1]]
         np.testing.assert_array_equal(small_frame.positions_of(ids), [3, 1])

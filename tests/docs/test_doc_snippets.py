@@ -137,3 +137,9 @@ def test_dataframe_md_snippets(sandbox_cwd):
     # The data-layer contract doc is self-contained: no seeded context.
     n_blocks = run_document(DOCS_DIR / "DATAFRAME.md", {})
     assert n_blocks >= 9
+
+
+def test_pipeline_debugger_md_snippets(sandbox_cwd):
+    # Self-contained: declares its own variants, data, and corpus entry.
+    n_blocks = run_document(DOCS_DIR / "PIPELINE_DEBUGGER.md", {})
+    assert n_blocks >= 6

@@ -1,0 +1,62 @@
+"""Verdicts are bit-identical across backends, with or without caching.
+
+The debugger's batched rounds go through ``Runtime.map_cached``; every
+evaluator and predicate in the corpus is module-level, so the process
+backend can pickle the work.  A debug run must produce hex-identical
+scores and the same ranked root causes no matter which backend executes
+it and whether a fingerprint cache memoizes the probes.
+"""
+
+import pytest
+
+from repro.pipelines.debugger import load_corpus
+from repro.runtime import Runtime
+
+# one ml-variant entry and one relational-plan entry keep this fast
+# while covering both evaluator families
+ENTRY_NAMES = ["stumps-on-band", "join-typo-keys"]
+ENTRIES = {entry.name: entry for entry in load_corpus()
+           if entry.name in ENTRY_NAMES}
+
+
+def _signature(report):
+    """Everything observable about a run, scores down to the bit."""
+    return {
+        "verdicts": [(tuple(sorted(v.config.items())),
+                      float(v.score).hex(), v.failed)
+                     for v in report.verdicts],
+        "causes": [(tuple(sorted(c.assignment.items())), c.support,
+                    float(c.worst_score).hex())
+                   for c in report.root_causes],
+        "remedies": [[(r.factor, r.action, r.from_level, r.to_level)
+                      for r in c.remediations]
+                     for c in report.root_causes],
+        "evaluated": report.configs_evaluated,
+    }
+
+
+def _run(name, backend, cache):
+    with Runtime(backend=backend, cache=cache) as runtime:
+        return ENTRIES[name].debugger(runtime=runtime).run()
+
+
+@pytest.fixture(scope="module")
+def references():
+    return {name: _signature(_run(name, "serial", True))
+            for name in ENTRY_NAMES}
+
+
+@pytest.mark.parametrize("name", ENTRY_NAMES)
+@pytest.mark.parametrize("backend", ["serial", "thread", "process"])
+def test_backend_matches_serial_reference(name, backend, references):
+    assert _signature(_run(name, backend, True)) == references[name]
+
+
+@pytest.mark.parametrize("name", ENTRY_NAMES)
+def test_uncached_run_matches_cached_reference(name, references):
+    assert _signature(_run(name, "serial", False)) == references[name]
+
+
+@pytest.mark.parametrize("name", ENTRY_NAMES)
+def test_repeated_runs_are_identical(name, references):
+    assert _signature(_run(name, "serial", True)) == references[name]

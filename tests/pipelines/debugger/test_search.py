@@ -1,0 +1,101 @@
+"""ddmin minimization: correctness, 1-minimality, batched rounds."""
+
+import pytest
+
+from repro.core.exceptions import ValidationError
+from repro.pipelines.debugger import (
+    ConfigurationSpace,
+    Factor,
+    minimize_failure,
+)
+
+
+def _space(n_factors):
+    return ConfigurationSpace([
+        Factor(f"f{i}", {"good": 0, "bad": 1}) for i in range(n_factors)])
+
+
+class _Oracle:
+    """Fails iff every factor in ``bug`` is set to its failing level.
+
+    Records each evaluate_batch call so tests can assert the probes are
+    batched rather than issued one configuration at a time.
+    """
+
+    def __init__(self, bug):
+        self.bug = bug
+        self.batches = []
+
+    def evaluate_batch(self, configs):
+        self.batches.append(len(configs))
+        return [0.0 if all(c[name] == "bad" for name in self.bug) else 1.0
+                for c in configs]
+
+    @staticmethod
+    def is_failure(score):
+        return score < 0.5
+
+
+def _run(n_factors, bug, failing_names=None):
+    space = _space(n_factors)
+    failing_names = set(space.factor_names if failing_names is None
+                        else failing_names)
+    failing = {n: "bad" if n in failing_names else "good"
+               for n in space.factor_names}
+    passing = {n: "good" for n in space.factor_names}
+    oracle = _Oracle(bug)
+    minimal = minimize_failure(space, failing, passing,
+                               oracle.evaluate_batch, oracle.is_failure)
+    return space, oracle, minimal
+
+
+def test_isolates_single_factor_bug():
+    _, _, minimal = _run(6, bug={"f3"})
+    assert minimal == {"f3": "bad"}
+
+
+def test_isolates_interaction_bug():
+    _, _, minimal = _run(8, bug={"f1", "f5"})
+    assert minimal == {"f1": "bad", "f5": "bad"}
+
+
+def test_result_is_one_minimal():
+    space, oracle, minimal = _run(7, bug={"f0", "f4", "f6"})
+    assert set(minimal) == {"f0", "f4", "f6"}
+    passing = {n: "good" for n in space.factor_names}
+    # the full assignment fails; dropping any single entry passes
+    full = dict(passing, **minimal)
+    assert oracle.is_failure(oracle.evaluate_batch([full])[0])
+    for name in minimal:
+        probe = dict(full)
+        probe[name] = "good"
+        assert not oracle.is_failure(oracle.evaluate_batch([probe])[0])
+
+
+def test_delta_restricted_to_differing_factors():
+    # factors already agreeing with the passing reference never show up
+    _, _, minimal = _run(6, bug={"f2"}, failing_names={"f2", "f4"})
+    assert minimal == {"f2": "bad"}
+
+
+def test_probes_are_batched_rounds():
+    _, oracle, _ = _run(12, bug={"f3", "f7"})
+    # every outer ddmin iteration submits its chunk and complement
+    # probes as ONE batch, so rounds stay far below total probes
+    assert all(batch >= 2 for batch in oracle.batches)
+    assert len(oracle.batches) <= 10
+    assert sum(oracle.batches) > len(oracle.batches)
+
+
+def test_identical_configurations_raise():
+    space = _space(3)
+    config = {n: "good" for n in space.factor_names}
+    oracle = _Oracle({"f0"})
+    with pytest.raises(ValidationError, match="identical"):
+        minimize_failure(space, config, dict(config),
+                         oracle.evaluate_batch, oracle.is_failure)
+
+
+def test_deterministic_minimization():
+    runs = [_run(9, bug={"f2", "f6"})[2] for _ in range(3)]
+    assert runs[0] == runs[1] == runs[2]

@@ -1,0 +1,128 @@
+"""Configuration spaces and the strength-2 covering array."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.exceptions import ValidationError
+from repro.pipelines.debugger import (
+    ConfigurationSpace,
+    Factor,
+    pairwise_covering_array,
+)
+
+
+def _space(*level_counts):
+    return ConfigurationSpace([
+        Factor(f"f{i}", {f"l{j}": j for j in range(count)})
+        for i, count in enumerate(level_counts)])
+
+
+def _covered_pairs(space, rows):
+    names = space.factor_names
+    covered = set()
+    for row in rows:
+        for i in range(len(names)):
+            for j in range(i + 1, len(names)):
+                covered.add(((i, row[names[i]]), (j, row[names[j]])))
+    return covered
+
+
+def _all_pairs(space):
+    pairs = set()
+    factors = space.factors
+    for i in range(len(factors)):
+        for j in range(i + 1, len(factors)):
+            for la in factors[i].level_names:
+                for lb in factors[j].level_names:
+                    pairs.add(((i, la), (j, lb)))
+    return pairs
+
+
+class TestFactor:
+    def test_rejects_empty_levels(self):
+        with pytest.raises(ValidationError, match="level"):
+            Factor("f", {})
+
+    def test_rejects_empty_name(self):
+        with pytest.raises(ValidationError, match="non-empty"):
+            Factor("", {"a": 1})
+
+    def test_rejects_unknown_kind(self):
+        with pytest.raises(ValidationError, match="kind"):
+            Factor("f", {"a": 1}, kind="knob")
+
+
+class TestConfigurationSpace:
+    def test_rejects_duplicate_factor_names(self):
+        with pytest.raises(ValidationError, match="duplicate"):
+            ConfigurationSpace([Factor("f", {"a": 1}),
+                                Factor("f", {"b": 2})])
+
+    def test_grid_size_and_enumerate(self):
+        space = _space(2, 3, 2)
+        assert space.grid_size == 12
+        grid = list(space.enumerate())
+        assert len(grid) == 12
+        assert len({space.key(c) for c in grid}) == 12
+
+    def test_validate_flags_missing_and_unknown(self):
+        space = _space(2, 2)
+        with pytest.raises(ValidationError, match="misses"):
+            space.validate({"f0": "l0"})
+        with pytest.raises(ValidationError, match="unknown"):
+            space.validate({"f0": "l0", "f1": "l1", "f9": "l0"})
+        with pytest.raises(ValidationError, match="no level"):
+            space.validate({"f0": "l0", "f1": "nope"})
+
+    def test_values_resolves_levels(self):
+        space = _space(2, 2)
+        assert space.values({"f0": "l1", "f1": "l0"}) == {"f0": 1, "f1": 0}
+
+    def test_fingerprint_tracks_level_values(self):
+        a = ConfigurationSpace([Factor("f", {"x": 1, "y": 2})])
+        b = ConfigurationSpace([Factor("f", {"x": 1, "y": 3})])
+        assert a.fingerprint() != b.fingerprint()
+        assert a.fingerprint() == ConfigurationSpace(
+            [Factor("f", {"x": 1, "y": 2})]).fingerprint()
+
+
+class TestCoveringArray:
+    def test_single_factor_degenerates_to_levels(self):
+        space = _space(3)
+        rows = pairwise_covering_array(space)
+        assert [r["f0"] for r in rows] == ["l0", "l1", "l2"]
+
+    def test_two_by_two_covers_every_corner(self):
+        # The regression case: pure greedy first-wins tie-breaking can
+        # starve the (l1, l1) corner pair forever.
+        space = _space(2, 2)
+        rows = pairwise_covering_array(space)
+        assert _covered_pairs(space, rows) == _all_pairs(space)
+        assert len(rows) == 4
+
+    def test_strength_two_on_mixed_levels(self):
+        space = _space(3, 2, 4, 2, 3)
+        rows = pairwise_covering_array(space, seed=5)
+        assert _covered_pairs(space, rows) >= _all_pairs(space)
+        for row in rows:
+            space.validate(row)
+        # the whole point: far fewer rows than the 144-config grid
+        assert len(rows) < space.grid_size / 3
+
+    def test_deterministic_for_a_seed(self):
+        space = _space(3, 3, 2, 2)
+        assert (pairwise_covering_array(space, seed=7)
+                == pairwise_covering_array(space, seed=7))
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.lists(st.integers(min_value=1, max_value=4),
+                    min_size=2, max_size=5),
+           st.integers(min_value=0, max_value=2 ** 16))
+    def test_strength_two_property(self, level_counts, seed):
+        space = _space(*level_counts)
+        rows = pairwise_covering_array(space, seed=seed)
+        for row in rows:
+            space.validate(row)
+        assert _covered_pairs(space, rows) >= _all_pairs(space)
+        assert len(rows) <= space.grid_size

@@ -1,0 +1,124 @@
+"""PipelineVariants: declarative slots -> spaces -> concrete Pipelines."""
+
+import numpy as np
+import pytest
+
+from repro.core.exceptions import ValidationError
+from repro.datasets import make_blobs
+from repro.ml import (
+    KNeighborsClassifier,
+    LogisticRegression,
+    MinMaxScaler,
+    StandardScaler,
+)
+from repro.pipelines.debugger import (
+    FAILED_SCORE,
+    PipelineVariants,
+    evaluate_ml_variant,
+)
+
+
+def _variants():
+    return (PipelineVariants()
+            .step("scale", {"standard": StandardScaler(),
+                            "minmax": MinMaxScaler(),
+                            "none": None})
+            .step("model", {"knn": KNeighborsClassifier(),
+                            "logistic": LogisticRegression()})
+            .hyper("model", "n_neighbors", {"k-3": 3, "k-5": 5}))
+
+
+def _data():
+    X, y = make_blobs(80, n_features=3, centers=2, seed=3)
+    return {"X_train": X[:60], "y_train": y[:60],
+            "X_valid": X[60:], "y_valid": y[60:]}
+
+
+def test_space_spans_declared_slots():
+    space = _variants().space()
+    assert space.factor_names == ["scale", "model", "model__n_neighbors"]
+    assert space.grid_size == 12
+    assert space["model__n_neighbors"].kind == "hyperparameter"
+
+
+def test_build_applies_hyper_only_when_param_exists():
+    variants = _variants()
+    knn = variants.build({"scale": "standard", "model": "knn",
+                          "model__n_neighbors": "k-5"})
+    assert knn.steps[-1][1].n_neighbors == 5
+    logistic = variants.build({"scale": "standard", "model": "logistic",
+                               "model__n_neighbors": "k-5"})
+    assert not hasattr(logistic.steps[-1][1], "n_neighbors")
+
+
+def test_none_alternative_omits_the_step():
+    pipeline = _variants().build({"scale": "none", "model": "knn",
+                                  "model__n_neighbors": "k-3"})
+    assert [name for name, _ in pipeline.steps] == ["model"]
+
+
+def test_build_clones_prototypes():
+    variants = _variants()
+    data = _data()
+    config = {"scale": "standard", "model": "knn",
+              "model__n_neighbors": "k-3"}
+    variants.build(config).fit(data["X_train"], data["y_train"])
+    # the declared prototype never accumulates fitted state
+    fresh = variants.build(config)
+    assert not hasattr(fresh.steps[0][1], "mean_")
+
+
+def test_step_name_cannot_contain_dunder():
+    with pytest.raises(ValidationError, match="__"):
+        PipelineVariants().step("my__step", {"a": None})
+
+
+def test_hyper_requires_declared_step():
+    with pytest.raises(ValidationError, match="no such step"):
+        PipelineVariants().hyper("model", "C", {"c-1": 1.0})
+
+
+def test_orderings_must_permute_every_step():
+    variants = _variants()
+    with pytest.raises(ValidationError, match="permute"):
+        variants.orderings({"only-model": ("model",)})
+    variants.orderings({"scale-first": ("scale", "model"),
+                        "model-first": ("model", "scale")})
+    config = {"scale": "standard", "model": "knn",
+              "model__n_neighbors": "k-3", "order": "model-first"}
+    assert [name for name, _ in variants.build(config).steps] \
+        == ["model", "scale"]
+
+
+def test_all_steps_omitted_raises():
+    variants = PipelineVariants().step("scale", {"none": None})
+    with pytest.raises(ValidationError, match="omits every step"):
+        variants.build({"scale": "none"})
+
+
+def test_evaluate_scores_a_working_variant():
+    shared = {"variants": _variants(), **_data()}
+    score = evaluate_ml_variant(shared, {"scale": "standard", "model": "knn",
+                                         "model__n_neighbors": "k-3"})
+    assert 0.0 <= score <= 1.0
+    assert score > 0.8
+
+
+def test_evaluate_maps_crash_to_failed_score():
+    variants = (PipelineVariants()
+                .step("model", {"knn": KNeighborsClassifier()})
+                .hyper("model", "n_neighbors", {"k-huge": 10_000}))
+    shared = {"variants": variants, **_data()}
+    score = evaluate_ml_variant(shared, {"model": "knn",
+                                         "model__n_neighbors": "k-huge"})
+    assert score == FAILED_SCORE
+
+
+def test_evaluate_maps_nan_metric_to_failed_score():
+    def nan_metric(y_true, y_pred):
+        return float("nan")
+
+    shared = {"variants": _variants(), **_data(), "metric": nan_metric}
+    score = evaluate_ml_variant(shared, {"scale": "standard", "model": "knn",
+                                         "model__n_neighbors": "k-3"})
+    assert score == FAILED_SCORE

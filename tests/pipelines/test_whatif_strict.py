@@ -1,0 +1,146 @@
+"""Regressions for the silent-no-op and no-op-delta what-if bugs.
+
+Two distinct failure modes of the same symptom (``delta == 0.0``):
+
+- a typo'd row id used to be silently ignored by ``drop_rows``, so an
+  intervention that touched nothing reported "no effect" — scenarios
+  are now strict by default;
+- a genuinely empty intervention must report ``delta == 0.0``
+  *exactly*, for every estimator — which requires clone/refit to be
+  bit-deterministic (including ``seed=<Generator>`` hyperparameters,
+  which clones used to share state with).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.exceptions import ValidationError
+from repro.dataframe import DataFrame
+from repro.datasets import make_blobs
+from repro.ml import (
+    ColumnTransformer,
+    DecisionTreeClassifier,
+    GaussianNB,
+    KNeighborsClassifier,
+    LinearRegression,
+    LinearSVC,
+    LogisticRegression,
+    Pipeline,
+    RandomForestClassifier,
+    StandardScaler,
+    clone,
+)
+from repro.pipelines import DataPipeline, WhatIfAnalysis, source
+
+N_FEATURES = 4
+
+
+def _frame(X, y):
+    data = {f"f{j}": X[:, j] for j in range(X.shape[1])}
+    data["label"] = y
+    return DataFrame(data)
+
+
+@pytest.fixture(scope="module")
+def blob_world():
+    X, y = make_blobs(140, n_features=N_FEATURES, centers=2, seed=7)
+    return {"train": _frame(X[:100], y[:100]),
+            "valid": _frame(X[100:], y[100:])}
+
+
+def _plan():
+    encoder = ColumnTransformer([
+        ("num", StandardScaler(), [f"f{j}" for j in range(N_FEATURES)]),
+    ])
+    return source("train_df").encode(encoder, label="label")
+
+
+def _analysis(blob_world, model, metric=None):
+    kwargs = {} if metric is None else {"metric": metric}
+    return WhatIfAnalysis(DataPipeline(_plan()), {"train_df": blob_world["train"]},
+                          model, blob_world["valid"], **kwargs)
+
+
+class TestStrictScenarios:
+    def test_typoed_drop_ids_raise(self, blob_world):
+        analysis = _analysis(blob_world, LogisticRegression(max_iter=30))
+        bogus = int(blob_world["train"].row_ids.max()) + 999
+        with pytest.raises(ValidationError) as exc:
+            analysis.drop_rows_scenario("train_df", [bogus])
+        assert str(bogus) in str(exc.value)
+
+    def test_mixed_known_and_unknown_ids_raise(self, blob_world):
+        analysis = _analysis(blob_world, LogisticRegression(max_iter=30))
+        known = blob_world["train"].row_ids[:2].tolist()
+        with pytest.raises(ValidationError):
+            analysis.drop_rows_scenario("train_df", known + [10**9])
+
+    def test_non_strict_drop_keeps_old_tolerance(self, blob_world):
+        analysis = _analysis(blob_world, LogisticRegression(max_iter=30))
+        outcome = analysis.drop_rows_scenario("train_df", [10**9],
+                                              strict=False)
+        assert outcome["delta"] == 0.0  # nothing dropped, honest no-op
+
+    def test_typoed_patch_ids_raise(self, blob_world):
+        analysis = _analysis(blob_world, LogisticRegression(max_iter=30))
+        with pytest.raises(ValidationError):
+            analysis.patch_cells_scenario("train_df", [10**9], "f0", [1.0])
+
+    def test_non_strict_patch_skips_unknown_ids(self, blob_world):
+        analysis = _analysis(blob_world, LogisticRegression(max_iter=30))
+        known = int(blob_world["train"].row_ids[0])
+        outcome = analysis.patch_cells_scenario(
+            "train_df", [known, 10**9], "f0", [123.0, 456.0], strict=False)
+        assert "delta" in outcome
+
+
+ESTIMATORS = [
+    LogisticRegression(max_iter=40),
+    LinearSVC(max_iter=40),
+    KNeighborsClassifier(n_neighbors=3),
+    DecisionTreeClassifier(max_depth=4),
+    RandomForestClassifier(n_estimators=8, max_depth=4, seed=3),
+    GaussianNB(),
+    Pipeline([("sc", StandardScaler()),
+              ("lr", LogisticRegression(max_iter=40))]),
+]
+
+
+class TestNoOpScenarioIsExact:
+    @pytest.mark.parametrize(
+        "model", ESTIMATORS, ids=lambda m: type(m).__name__)
+    def test_empty_replacements_give_exactly_zero_delta(self, blob_world,
+                                                        model):
+        analysis = _analysis(blob_world, model)
+        outcome = analysis.run_scenario({})
+        assert outcome["delta"] == 0.0
+        assert outcome["score"].hex() == analysis.baseline_score.hex()
+
+    def test_regressor_with_mse_metric(self, blob_world):
+        def neg_mse(y_true, y_pred):
+            diff = np.asarray(y_true, dtype=float) - np.asarray(y_pred,
+                                                                dtype=float)
+            return -float(np.mean(diff * diff))
+
+        analysis = _analysis(blob_world, LinearRegression(), metric=neg_mse)
+        assert analysis.run_scenario({})["delta"] == 0.0
+
+    def test_generator_seeded_forest_is_refit_deterministic(self, blob_world):
+        model = RandomForestClassifier(n_estimators=8, max_depth=4,
+                                       seed=np.random.default_rng(11))
+        analysis = _analysis(blob_world, model)
+        for _ in range(3):  # every refit must replay the identical stream
+            assert analysis.run_scenario({})["delta"] == 0.0
+
+
+class TestCloneGeneratorIsolation:
+    def test_clones_do_not_share_generator_state(self):
+        rng = np.random.default_rng(5)
+        model = RandomForestClassifier(n_estimators=4, seed=rng)
+        a, b = clone(model), clone(model)
+        assert a.seed is not rng and b.seed is not rng
+        assert a.seed.bit_generator.state == b.seed.bit_generator.state
+        X, y = make_blobs(60, n_features=3, centers=2, seed=1)
+        preds_a = clone(model).fit(X, y).predict(X)
+        preds_b = clone(model).fit(X, y).predict(X)
+        np.testing.assert_array_equal(preds_a, preds_b)

@@ -1,0 +1,68 @@
+"""Tests for Runtime.map_cached — the variant-batching primitive."""
+
+import numpy as np
+import pytest
+
+from repro.runtime import BACKENDS, FingerprintCache, Runtime, fingerprint
+
+CALLS = []
+
+
+def _square(shared, task):
+    # Module-level so the process backend can pickle it. ``CALLS`` only
+    # records in-process (serial backend) invocations, which is what the
+    # dedup/caching assertions below run on.
+    CALLS.append(task)
+    return float(task) ** 2 + shared
+
+
+def _key(task):
+    return fingerprint("map_cached-test", task)
+
+
+class TestMapCached:
+    def test_results_match_plain_map(self):
+        with Runtime(cache=True) as rt:
+            cached = rt.map_cached(_square, [3, 1, 2], key_fn=_key, shared=0.5)
+        with Runtime() as rt:
+            plain = rt.map(_square, [3, 1, 2], shared=0.5)
+        assert cached == plain
+
+    def test_repeated_keys_evaluate_once(self):
+        CALLS.clear()
+        with Runtime(cache=True) as rt:
+            out = rt.map_cached(_square, [4, 4, 4, 2], key_fn=_key, shared=0.0)
+        assert out == [16.0, 16.0, 16.0, 4.0]
+        assert sorted(CALLS) == [2, 4]
+
+    def test_second_batch_is_free(self):
+        cache = FingerprintCache()
+        CALLS.clear()
+        with Runtime(cache=cache) as rt:
+            rt.map_cached(_square, [1, 2, 3], key_fn=_key, shared=0.0)
+            first = list(CALLS)
+            rt.map_cached(_square, [3, 2, 1, 5], key_fn=_key, shared=0.0)
+        assert sorted(first) == [1, 2, 3]
+        assert sorted(CALLS) == [1, 2, 3, 5]  # only the new task ran
+        assert cache.stats.hits >= 3
+
+    def test_zero_valued_results_still_cache(self):
+        CALLS.clear()
+        with Runtime(cache=True) as rt:
+            assert rt.map_cached(_square, [0], key_fn=_key, shared=0.0) == [0.0]
+            assert rt.map_cached(_square, [0], key_fn=_key, shared=0.0) == [0.0]
+        assert CALLS == [0]
+
+    def test_without_cache_degrades_to_map(self):
+        with Runtime() as rt:
+            out = rt.map_cached(_square, [2, 2], key_fn=_key, shared=0.0)
+        assert out == [4.0, 4.0]
+
+    @pytest.mark.parametrize("backend", sorted(BACKENDS))
+    def test_bitwise_identical_across_backends(self, backend):
+        tasks = list(np.linspace(0.1, 2.3, 9)) * 2
+        with Runtime(backend="serial", cache=True) as rt:
+            want = rt.map_cached(_square, tasks, key_fn=_key, shared=1.0)
+        with Runtime(backend=backend, max_workers=2, cache=True) as rt:
+            got = rt.map_cached(_square, tasks, key_fn=_key, shared=1.0)
+        assert [float(v).hex() for v in got] == [float(v).hex() for v in want]

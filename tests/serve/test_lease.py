@@ -47,35 +47,106 @@ class TestAcquire:
             LeaseManager(tmp_path, ttl=0.0)
 
 
+def adopt(adopter, job_id, *, ttl):
+    """Adoption is two-phase: the first acquire only starts the
+    adopter's monotonic observation window; once the holder's record
+    has gone unrenewed for a full ttl, the next acquire takes it."""
+    assert adopter.acquire(job_id) is None  # starts the window
+    time.sleep(ttl + 0.05)
+    return adopter.acquire(job_id)
+
+
 class TestExpiryAndAdoption:
-    def test_expired_lease_is_adopted(self, tmp_path):
+    def test_unrenewed_lease_is_adopted(self, tmp_path):
         victim = manager(tmp_path, "victim", ttl=0.2)
         lease = victim.acquire("job-a")
         assert lease is not None
-        time.sleep(0.25)
         adopter = manager(tmp_path, "adopter", ttl=0.2)
-        taken = adopter.acquire("job-a")
+        taken = adopt(adopter, "job-a", ttl=0.2)
         assert taken is not None
         assert taken.adopted and taken.epoch == lease.epoch + 1
         assert taken.owner == "adopter"
 
+    def test_renewed_lease_resets_the_observation_window(self, tmp_path):
+        victim = manager(tmp_path, "victim", ttl=0.3)
+        lease = victim.acquire("job-a")
+        adopter = manager(tmp_path, "adopter", ttl=0.3)
+        assert adopter.acquire("job-a") is None  # window starts
+        time.sleep(0.2)  # owner alive: renew inside the second half
+        victim.heartbeat(lease)
+        time.sleep(0.2)  # 0.4s since first sight, but record changed
+        assert adopter.acquire("job-a") is None
+        assert adopter.retry_after("job-a") > 0.0
+
+    def test_retry_after_counts_down_to_adoptability(self, tmp_path):
+        victim = manager(tmp_path, "victim", ttl=0.2)
+        victim.acquire("job-a")
+        adopter = manager(tmp_path, "adopter", ttl=0.2)
+        first = adopter.retry_after("job-a")  # starts the window
+        assert 0.0 < first <= 0.2
+        time.sleep(0.25)
+        assert adopter.retry_after("job-a") == 0.0
+        assert adopter.acquire("job-a").adopted
+
     def test_superseded_owner_gets_lease_lost_on_heartbeat(self, tmp_path):
         victim = manager(tmp_path, "victim", ttl=0.2)
         lease = victim.acquire("job-a")
-        time.sleep(0.25)
-        manager(tmp_path, "adopter", ttl=0.2).acquire("job-a")
+        assert adopt(manager(tmp_path, "adopter", ttl=0.2), "job-a",
+                     ttl=0.2) is not None
+        lease.deadline_mono = 0.0  # force the renewal write path
         with pytest.raises(LeaseLost):
             victim.heartbeat(lease)
 
     def test_superseded_release_is_a_noop(self, tmp_path):
         victim = manager(tmp_path, "victim", ttl=0.2)
         lease = victim.acquire("job-a")
-        time.sleep(0.25)
         adopter = manager(tmp_path, "adopter", ttl=60.0)
-        adopter.acquire("job-a")
+        assert adopt(adopter, "job-a", ttl=0.2) is not None
         victim.release(lease, state="failed")  # must not clobber
         record = victim.peek("job-a")
         assert record["owner"] == "adopter" and record["state"] == "running"
+
+
+class TestClockJumps:
+    """Liveness must ride the monotonic clock: NTP steps to the wall
+    clock change display fields only (the regression behind this suite:
+    a forward wall jump used to expire a live lease instantly)."""
+
+    def test_forward_wall_jump_does_not_expire_a_live_lease(
+            self, tmp_path, monkeypatch):
+        from repro.serve import lease as lease_mod
+
+        victim = manager(tmp_path, "victim", ttl=30.0)
+        victim.acquire("job-a")
+        real_time = time.time
+        monkeypatch.setattr(lease_mod.time, "time",
+                            lambda: real_time() + 3600.0)
+        adopter = manager(tmp_path, "adopter", ttl=30.0)
+        # Wall clock says the lease expired an hour ago; the adopter's
+        # monotonic observation window says the owner may be alive.
+        assert adopter.acquire("job-a") is None
+        assert adopter.retry_after("job-a") > 0.0
+
+    def test_backward_wall_jump_does_not_block_renewal(
+            self, tmp_path, monkeypatch):
+        from repro.serve import lease as lease_mod
+
+        leases = manager(tmp_path, "w1", ttl=0.3)
+        lease = leases.acquire("job-a")
+        real_time = time.time
+        monkeypatch.setattr(lease_mod.time, "time",
+                            lambda: real_time() - 3600.0)
+        time.sleep(0.2)  # monotonic aging into the renewal half
+        renewed = leases.heartbeat(lease)
+        assert renewed.renewals == 1
+        assert renewed.remaining() > 0.2  # extended on the monotonic clock
+
+    def test_wall_fields_stay_for_provenance(self, tmp_path):
+        leases = manager(tmp_path, "w1", ttl=30.0)
+        lease = leases.acquire("job-a")
+        record = leases.peek("job-a")
+        assert record["expires_at"] == pytest.approx(lease.expires_at)
+        assert record["ttl"] == 30.0 and record["renewals"] == 0
 
 
 class TestHeartbeat:

@@ -136,9 +136,26 @@ class TestParkAndRemove:
         queue.push(job)
         assert queue.pop(timeout=1.0) is job
         queue.task_done("a")
-        queue.park(job, until=time.time() + 0.15)
+        queue.park(job, delay=0.15)
         assert queue.pop(timeout=0.05) is None
         assert queue.pop(timeout=2.0) is job
+
+    def test_parked_deadline_ignores_wall_clock_jumps(self, monkeypatch):
+        from repro.serve import queue as queue_mod
+
+        queue = JobQueue()
+        job = make_job("a")
+        queue.push(job)
+        assert queue.pop(timeout=1.0) is job
+        queue.task_done("a")
+        queue.park(job, delay=60.0)
+        # A forward wall-clock step used to unpark lease-backoff jobs
+        # immediately; the deadline now lives on the monotonic clock.
+        real_time = time.time
+        monkeypatch.setattr(queue_mod.time, "time",
+                            lambda: real_time() + 3600.0)
+        assert queue.pop(timeout=0.2) is None
+        assert queue.remove(job) is True
 
     def test_remove_pending_and_parked(self):
         queue = JobQueue()
@@ -148,7 +165,7 @@ class TestParkAndRemove:
         assert queue.remove(first) is True
         assert queue.pop(timeout=1.0) is second
         queue.task_done("a")
-        queue.park(second, until=time.time() + 60)
+        queue.park(second, delay=60)
         assert queue.remove(second) is True
         assert queue.remove(second) is False
         assert queue.idle()
