@@ -226,11 +226,31 @@ class IterativeCleaner:
                                 observer=self.observer,
                                 resume_from=self.resume_from)
 
-    def run(self, dirty_frame: DataFrame, X_valid, y_valid, *,
-            n_rounds: int) -> CleaningResult:
-        """Execute the loop; returns the quality trajectory."""
+    def run(self, dirty_frame, X_valid, y_valid, *,
+            n_rounds: int, reader: dict | None = None) -> CleaningResult:
+        """Execute the loop; returns the quality trajectory.
+
+        ``dirty_frame`` is a :class:`~repro.dataframe.DataFrame` — or a
+        spilled one: a :class:`repro.data.ShardedDataset` (or its path)
+        written by :meth:`~repro.dataframe.DataFrame.to_shards` /
+        :func:`repro.data.frame_to_shards`. A spilled frame is streamed
+        back in through the fault-tolerant reading service (``reader=``
+        takes :class:`~repro.data.ShardReader` kwargs); since the spill
+        round trip is bitwise lossless, the cleaning trajectory —
+        scores, cleaned row ids, checkpoint identity — is hex-identical
+        to the in-memory run, with or without reader faults on the way.
+        """
         if n_rounds < 1:
             raise ValidationError("n_rounds must be >= 1")
+        if not isinstance(dirty_frame, DataFrame):
+            from repro.data.frame_io import frame_from_shards
+            dirty_frame = frame_from_shards(dirty_frame,
+                                            observer=self.observer,
+                                            **(reader or {}))
+        elif reader is not None:
+            raise ValidationError(
+                "reader= only applies when dirty_frame is a sharded "
+                "dataset (path or ShardedDataset)")
         rng = ensure_rng(self.seed)
         obs = self.observer
         result = CleaningResult()

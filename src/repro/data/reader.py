@@ -1,0 +1,455 @@
+"""The fault-tolerant prefetching reading service.
+
+:class:`ShardReader` streams a :class:`~repro.data.ShardedDataset` shard
+by shard, in manifest order, while a pool of prefetch worker threads
+reads ahead — modeled on the torchdata ``dataloader2`` reading-service
+protocol: shards are assigned **round-robin** to workers (worker ``w``
+owns every shard with ``index % workers == w``), each worker feeds a
+**bounded queue** (backpressure: a slow consumer stalls the readers, it
+never balloons memory), and the service supports ``pause()`` /
+``resume()`` plus ``snapshot()`` / ``restore`` of the read position.
+
+Robustness is the contract, not an afterthought:
+
+- Per-shard read failures (IO errors, checksum mismatches) are retried
+  with the same :class:`~repro.runtime.FaultPolicy` vocabulary the
+  executors speak — bounded retries, deterministic linear backoff.
+- A **crashed worker thread** is detected by the consumer, counted, and
+  replaced by a fresh worker assigned exactly the shards the dead one
+  had not delivered — deterministic resubmission, so the stream's
+  content is identical with or without the crash.
+- A worker **stuck** past the policy's per-shard timeout is abandoned
+  (threads cannot be interrupted) and its lane resubmitted the same way.
+- A shard that stays **corrupt** after retries follows the
+  ``on_corrupt`` policy: ``"raise"`` propagates a
+  :class:`~repro.data.ShardCorruptionError`; ``"quarantine"`` first
+  tries to heal the primary from the dataset's ``mirror/`` replica
+  (stream content unchanged — bit-identical), else moves the damaged
+  file into ``quarantine/`` and skips that shard, recording it in
+  :attr:`ShardReader.quarantined`.
+
+Every incident feeds ``repro.observe``: ``data.*`` counters
+(``read_retries`` / ``worker_crashes`` / ``read_timeouts`` /
+``quarantined_shards`` / ``shards_healed``) plus per-incident
+``reader.fault`` and per-snapshot ``reader.snapshot`` runlog events.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.exceptions import ValidationError
+from repro.data.shards import ShardCorruptionError, resolve_dataset
+from repro.observe.observer import resolve_observer
+from repro.runtime.faults import TaskError, resolve_fault_policy
+
+__all__ = ["ShardBatch", "ShardReader", "read_arrays"]
+
+#: Corrupt-shard policies: propagate, or quarantine (heal from mirror
+#: when possible, else skip the shard and record it).
+CORRUPT_MODES = ("raise", "quarantine")
+
+#: Seconds between consumer liveness polls while waiting on a lane.
+_POLL = 0.05
+
+#: Snapshot payload version (see :meth:`ShardReader.snapshot`).
+READER_SNAPSHOT_SCHEMA = 1
+
+
+@dataclass(frozen=True)
+class ShardBatch:
+    """One delivered shard: global index, row offset, decoded arrays."""
+
+    index: int
+    offset: int
+    rows: int
+    arrays: dict
+
+    def __getitem__(self, name: str) -> np.ndarray:
+        return self.arrays[name]
+
+
+@dataclass
+class _Lane:
+    """One worker slot: its thread, bounded queue, and remaining work."""
+
+    worker: int
+    pending: list[int]
+    queue: "queue.Queue" = field(default_factory=queue.Queue)
+    thread: threading.Thread | None = None
+
+
+class ShardReader:
+    """Multi-worker prefetch iterator over a sharded dataset.
+
+    Parameters
+    ----------
+    dataset:
+        :class:`~repro.data.ShardedDataset` or dataset directory path.
+    workers:
+        Prefetch worker threads; shards are assigned round-robin by
+        ``index % workers``, so the assignment (and therefore recovery)
+        is deterministic for a given worker count.
+    prefetch:
+        Bounded queue depth *per worker* — at most ``workers *
+        (prefetch + 1)`` shards are resident at once (one may be
+        in-flight inside each worker), whatever the dataset size.
+    faults:
+        :class:`~repro.runtime.FaultPolicy` (or dict / ``None``)
+        governing per-shard read retries, backoff, the per-shard
+        timeout, and ``max_worker_crashes`` — the bound on worker
+        respawns per iteration pass.
+    on_corrupt:
+        ``"raise"`` (default) or ``"quarantine"`` — see the module
+        docstring.
+    start:
+        First shard index to deliver (the snapshot-restore entry point;
+        see :meth:`from_snapshot`).
+    observer:
+        Optional :class:`repro.observe.Observer`.
+    load_fn:
+        Read-path override ``load_fn(dataset, index) -> arrays dict``;
+        defaults to checksum-verified :meth:`ShardedDataset.load_shard`.
+        The fault-injection seam the robustness suite drives.
+
+    Iterating yields :class:`ShardBatch` in manifest order regardless of
+    worker count or fault history. The reader is single-pass: iterate
+    once, then build a fresh reader (or restore from a snapshot).
+    """
+
+    def __init__(self, dataset, *, workers: int = 2, prefetch: int = 2,
+                 faults=None, on_corrupt: str = "raise", start: int = 0,
+                 observer=None, load_fn=None):
+        self.dataset = resolve_dataset(dataset, observer=observer)
+        if workers < 1:
+            raise ValidationError("workers must be >= 1")
+        if prefetch < 1:
+            raise ValidationError("prefetch must be >= 1")
+        if on_corrupt not in CORRUPT_MODES:
+            raise ValidationError(
+                f"on_corrupt must be one of {CORRUPT_MODES} — got "
+                f"{on_corrupt!r}")
+        if not 0 <= start <= self.dataset.n_shards:
+            raise ValidationError(
+                f"start shard {start} out of range "
+                f"[0, {self.dataset.n_shards}]")
+        self.workers = workers
+        self.prefetch = prefetch
+        self.faults = resolve_fault_policy(faults)
+        self.on_corrupt = on_corrupt
+        self.observer = resolve_observer(observer)
+        self._load_fn = load_fn
+        self._position = start
+        self.quarantined: list[int] = []
+        self._lanes: list[_Lane] = []
+        self._started = False
+        self._stop = threading.Event()
+        self._paused = threading.Event()
+        self._crashes = 0
+        self._start_time = time.monotonic()
+
+    # -- snapshot / restore ------------------------------------------------
+    def snapshot(self) -> dict:
+        """Serializable read position: the next shard to deliver plus the
+        quarantine record. Feed the dict into a checkpoint payload and
+        rebuild with :meth:`from_snapshot` to resume the stream exactly
+        where it stopped."""
+        state = {"schema": READER_SNAPSHOT_SCHEMA,
+                 "next_index": int(self._position),
+                 "quarantined": [int(i) for i in self.quarantined]}
+        if self.observer.enabled:
+            self.observer.event("reader.snapshot",
+                                next_index=state["next_index"],
+                                quarantined=len(state["quarantined"]),
+                                n_shards=self.dataset.n_shards)
+        return state
+
+    @classmethod
+    def from_snapshot(cls, dataset, state: dict, **kwargs) -> "ShardReader":
+        """Rebuild a reader positioned at a :meth:`snapshot`'s state."""
+        if not isinstance(state, dict) \
+                or state.get("schema") != READER_SNAPSHOT_SCHEMA:
+            raise ValidationError(
+                "not a reader snapshot (missing/unknown schema); pass the "
+                "dict ShardReader.snapshot() returned")
+        reader = cls(dataset, start=int(state["next_index"]), **kwargs)
+        reader.quarantined = [int(i) for i in state.get("quarantined", [])]
+        return reader
+
+    # -- pause / resume ----------------------------------------------------
+    def pause(self) -> None:
+        """Suspend prefetching: workers finish their in-flight shard and
+        then block before the next read (the torchdata reading-service
+        pause verb — used around phase boundaries and snapshots)."""
+        self._paused.set()
+
+    def resume(self) -> None:
+        """Undo :meth:`pause`; workers continue their shard lists."""
+        self._paused.clear()
+
+    @property
+    def paused(self) -> bool:
+        return self._paused.is_set()
+
+    # -- worker machinery --------------------------------------------------
+    def _load(self, index: int) -> dict:
+        if self._load_fn is not None:
+            return self._load_fn(self.dataset, index)
+        return self.dataset.load_shard(index, observer=self.observer)
+
+    def _lane_pending(self, worker: int, start: int) -> list[int]:
+        return [index for index in range(start, self.dataset.n_shards)
+                if index % self.workers == worker]
+
+    def _spawn(self, lane: _Lane) -> None:
+        lane.queue = queue.Queue(maxsize=self.prefetch)
+        lane.thread = threading.Thread(
+            target=self._worker_loop, args=(lane,),
+            name=f"shard-reader-{lane.worker}", daemon=True)
+        lane.thread.start()
+
+    def _worker_loop(self, lane: _Lane) -> None:
+        # NOTE: only Exception is caught below. A BaseException — the
+        # crash-injection seam, or a real interpreter-level failure —
+        # kills the thread, which is exactly the "worker crash" the
+        # consumer detects and recovers from.
+        policy = self.faults
+        for index in lane.pending:
+            while self._paused.is_set() and not self._stop.is_set():
+                time.sleep(_POLL)
+            if self._stop.is_set():
+                return
+            attempt = 0
+            while True:
+                try:
+                    arrays = self._load(index)
+                except Exception as error:
+                    attempt += 1
+                    if attempt > policy.retries:
+                        kind = "corrupt" \
+                            if isinstance(error, ShardCorruptionError) \
+                            else "error"
+                        self._put(lane, (kind, index, error))
+                        break
+                    self._record_fault("retry", index, attempt, error)
+                    if policy.backoff > 0:
+                        time.sleep(policy.backoff * attempt)
+                else:
+                    self._put(lane, ("ok", index, arrays))
+                    break
+        self._put(lane, ("done", lane.worker, None))
+
+    def _put(self, lane: _Lane, item) -> None:
+        while not self._stop.is_set():
+            try:
+                lane.queue.put(item, timeout=_POLL)
+                return
+            except queue.Full:
+                continue
+
+    def _record_fault(self, kind: str, index: int, attempt: int,
+                      error) -> None:
+        if not self.observer.enabled:
+            return
+        counter = {"retry": "data.read_retries",
+                   "worker_crash": "data.worker_crashes",
+                   "timeout": "data.read_timeouts",
+                   "quarantine": "data.quarantined_shards",
+                   "corrupt_healed": "data.shards_healed"}[kind]
+        self.observer.count(counter)
+        self.observer.event("reader.fault", fault=kind, shard=index,
+                            attempt=attempt, error=repr(error),
+                            elapsed=time.monotonic() - self._start_time)
+
+    # -- consumer ----------------------------------------------------------
+    def start(self) -> None:
+        """Spawn the worker pool (implicit on first iteration)."""
+        if self._started:
+            return
+        self._started = True
+        self._start_time = time.monotonic()
+        self._lanes = []
+        for worker in range(self.workers):
+            lane = _Lane(worker=worker,
+                         pending=self._lane_pending(worker, self._position))
+            self._spawn(lane)
+            self._lanes.append(lane)
+
+    def _recover_lane(self, lane: _Lane, from_index: int, kind: str,
+                      error) -> None:
+        """Replace a dead/stuck worker; resubmit only its undelivered
+        shards. Bounded by the policy's ``max_worker_crashes``."""
+        self._crashes += 1
+        self._record_fault(kind, from_index, self._crashes, error)
+        if self._crashes > self.faults.max_worker_crashes:
+            self.close()
+            raise TaskError(stage="data.read", chunk_index=from_index,
+                            backend="reader", attempts=self._crashes,
+                            cause=error)
+        lane.pending = [index for index in lane.pending
+                        if index >= from_index]
+        self._spawn(lane)
+
+    def __iter__(self):
+        self.start()
+        n_shards = self.dataset.n_shards
+        offset = self.dataset.row_offset(self._position)
+        index = self._position
+        while index < n_shards:
+            lane = self._lanes[index % self.workers]
+            item = self._next_item(lane, index)
+            kind, _, payload = item
+            if kind == "ok":
+                rows = self.dataset.shards[index].rows
+                batch = ShardBatch(index=index, offset=offset, rows=rows,
+                                   arrays=payload)
+                self._position = index + 1
+                offset += rows
+                index += 1
+                yield batch
+            elif kind == "corrupt" and self.on_corrupt == "quarantine":
+                self._handle_quarantine(index, payload)
+                if index not in self.quarantined:
+                    # healed from the mirror: deliver the shard inline
+                    rows = self.dataset.shards[index].rows
+                    batch = ShardBatch(
+                        index=index, offset=offset, rows=rows,
+                        arrays=self.dataset.load_shard(
+                            index, observer=self.observer))
+                    self._position = index + 1
+                    offset += rows
+                    index += 1
+                    yield batch
+                else:
+                    offset += self.dataset.shards[index].rows
+                    self._position = index + 1
+                    index += 1
+            else:  # "corrupt" under raise-policy, or a hard read error
+                self.close()
+                if isinstance(payload, ShardCorruptionError):
+                    raise payload
+                raise TaskError(stage="data.read", chunk_index=index,
+                                backend="reader",
+                                attempts=self.faults.retries + 1,
+                                cause=payload)
+        self.close()
+
+    def _next_item(self, lane: _Lane, index: int):
+        """Wait for shard ``index`` on its lane, policing liveness: a
+        dead worker thread or one stuck past the policy timeout gets its
+        lane resubmitted (deterministically) and the wait continues."""
+        waited = 0.0
+        while True:
+            if self._stop.is_set():
+                raise ValidationError("reader is closed")
+            try:
+                item = lane.queue.get(timeout=_POLL)
+            except queue.Empty:
+                if self._paused.is_set():
+                    waited = 0.0  # a paused stream is not a stuck stream
+                    continue
+                waited += _POLL
+                if lane.thread is not None and not lane.thread.is_alive():
+                    self._recover_lane(
+                        lane, index, "worker_crash",
+                        RuntimeError(f"reader worker {lane.worker} died "
+                                     f"before delivering shard {index}"))
+                    waited = 0.0
+                    continue
+                if self.faults.timeout is not None \
+                        and waited >= self.faults.timeout:
+                    self._recover_lane(
+                        lane, index, "timeout",
+                        TimeoutError(f"shard {index} exceeded the "
+                                     f"{self.faults.timeout}s read timeout"))
+                    waited = 0.0
+                continue
+            kind = item[0]
+            if kind == "done":
+                # The lane finished its list without delivering `index`:
+                # only possible after a crash consumed the tail marker's
+                # predecessor — treat like a crash and resubmit.
+                self._recover_lane(
+                    lane, index, "worker_crash",
+                    RuntimeError(f"reader worker {lane.worker} finished "
+                                 f"without delivering shard {index}"))
+                waited = 0.0
+                continue
+            if item[1] != index:
+                # Stale delivery from an abandoned (timed-out) thread
+                # whose replacement already re-read this shard.
+                continue
+            return item
+
+    def _handle_quarantine(self, index: int, error) -> None:
+        if self.dataset.heal_from_mirror(index):
+            self._record_fault("corrupt_healed", index, 0, error)
+            return
+        self.dataset.quarantine_shard(index)
+        self.quarantined.append(index)
+        self._record_fault("quarantine", index, 0, error)
+
+    def read_all(self) -> dict[str, np.ndarray]:
+        """Stream every remaining shard and concatenate per array name.
+
+        The concatenation is bit-identical to the arrays the dataset was
+        written from (quarantined shards excepted — under the
+        ``"raise"`` policy it is *always* bit-identical or an error).
+        """
+        parts: dict[str, list] = {name: []
+                                  for name in self.dataset.array_names}
+        for batch in self:
+            for name in parts:
+                parts[name].append(batch.arrays[name])
+        out: dict[str, np.ndarray] = {}
+        for name, chunks in parts.items():
+            if not chunks:
+                raise ValidationError(
+                    "no shards were delivered (all quarantined?)")
+            out[name] = np.concatenate(chunks)
+        return out
+
+    # -- lifecycle ---------------------------------------------------------
+    def close(self) -> None:
+        """Stop the workers and drain the queues. Idempotent."""
+        self._stop.set()
+        for lane in self._lanes:
+            while True:
+                try:
+                    lane.queue.get_nowait()
+                except queue.Empty:
+                    break
+        for lane in self._lanes:
+            if lane.thread is not None:
+                lane.thread.join(timeout=1.0)
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        self.close()
+        return False
+
+    def __repr__(self) -> str:
+        return (f"ShardReader({str(self.dataset.path)!r}, "
+                f"workers={self.workers}, prefetch={self.prefetch}, "
+                f"position={self._position}/{self.dataset.n_shards})")
+
+
+def read_arrays(dataset, *, observer=None, **reader_kwargs
+                ) -> dict[str, np.ndarray]:
+    """Load a sharded dataset back into memory through the reading
+    service; returns ``{array_name: concatenated array}``.
+
+    This is the out-of-core loops' assembly path: faults permitted by
+    the reader's policy (worker crashes, retried reads, mirror-healed
+    corruption) never change a byte of the result.
+    """
+    dataset = resolve_dataset(dataset, observer=observer)
+    with ShardReader(dataset, observer=observer, **reader_kwargs) as reader:
+        return reader.read_all()

@@ -168,6 +168,27 @@ class DataFrame:
     def to_records(self) -> list[dict]:
         return list(self.iter_rows())
 
+    def to_shards(self, path, *, rows_per_shard: int, mirror: bool = False,
+                  observer=None):
+        """Spill the frame to an on-disk sharded dataset (see
+        :func:`repro.data.frame_to_shards`); the round trip through
+        :meth:`from_shards` is bitwise lossless. ``mirror=True`` keeps a
+        verified replica of every shard for corruption healing."""
+        from repro.data.frame_io import frame_to_shards
+        return frame_to_shards(self, path, rows_per_shard=rows_per_shard,
+                               mirror=mirror, observer=observer)
+
+    @classmethod
+    def from_shards(cls, dataset, *, observer=None, **reader_kwargs
+                    ) -> "DataFrame":
+        """Load a spilled frame back through the fault-tolerant reading
+        service (see :func:`repro.data.frame_from_shards`);
+        ``reader_kwargs`` are :class:`repro.data.ShardReader` knobs
+        (``workers``, ``faults``, ``on_corrupt`` ...)."""
+        from repro.data.frame_io import frame_from_shards
+        return frame_from_shards(dataset, observer=observer,
+                                 **reader_kwargs)
+
     def null_counts(self) -> dict[str, int]:
         return {name: col.null_count() for name, col in self._columns.items()}
 

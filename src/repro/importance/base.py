@@ -218,6 +218,33 @@ class Utility:
         self._kernel_announced = False
         self._base_fingerprint: str | None = None
 
+    @classmethod
+    def from_sharded(cls, model, train, X_valid, y_valid, *,
+                     features: str = "X", label: str = "y",
+                     reader: dict | None = None, observer=None, **kwargs):
+        """Build a utility whose player pool lives in a sharded dataset.
+
+        ``train`` is a :class:`repro.data.ShardedDataset` (or its
+        directory path) holding the ``features``/``label`` arrays. The
+        pool is streamed in through the fault-tolerant reading service —
+        pass ``reader={"workers": ..., "faults": ..., "on_corrupt":
+        ...}`` to control it — and, because shard reads are bit-exact,
+        every downstream score (and every coalition fingerprint) is
+        hex-identical to a utility built on the in-memory arrays, on
+        every backend, with or without reader faults along the way.
+        Remaining ``**kwargs`` go to the regular constructor.
+        """
+        from repro.data import read_arrays, resolve_dataset
+        dataset = resolve_dataset(train, observer=observer)
+        arrays = read_arrays(dataset, observer=observer, **(reader or {}))
+        for name in (features, label):
+            if name not in arrays:
+                raise ValidationError(
+                    f"sharded dataset {dataset.path} has no array named "
+                    f"{name!r}; have {dataset.array_names}")
+        return cls(model, arrays[features], arrays[label],
+                   X_valid, y_valid, **kwargs)
+
     # -- lifecycle ---------------------------------------------------------
     def close(self) -> None:
         """Release the worker pool of a runtime this utility built for

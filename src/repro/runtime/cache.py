@@ -113,6 +113,7 @@ class CacheStats:
     puts: int = 0
     evictions: int = 0
     disk_corrupt: int = 0
+    disk_put_errors: int = 0
 
     @property
     def hits(self) -> int:
@@ -130,7 +131,9 @@ class CacheStats:
         return {"memory_hits": self.memory_hits, "disk_hits": self.disk_hits,
                 "misses": self.misses, "puts": self.puts,
                 "evictions": self.evictions,
-                "disk_corrupt": self.disk_corrupt, "hit_rate": self.hit_rate}
+                "disk_corrupt": self.disk_corrupt,
+                "disk_put_errors": self.disk_put_errors,
+                "hit_rate": self.hit_rate}
 
 
 # Registry of live caches so benchmark harnesses can print a global
@@ -149,6 +152,7 @@ def aggregate_cache_stats() -> dict:
         total.puts += stats.puts
         total.evictions += stats.evictions
         total.disk_corrupt += stats.disk_corrupt
+        total.disk_put_errors += stats.disk_put_errors
     return total.as_dict()
 
 
@@ -162,6 +166,13 @@ class FingerprintCache:
     disk_dir:
         Directory for the persistent tier; created on demand. ``None``
         disables the disk tier.
+
+    The disk tier is strictly best-effort: a put that fails with any
+    ``OSError`` (disk full, permissions, vanished mount) is counted in
+    ``stats.disk_put_errors`` and the value stays memory-cached; after
+    several consecutive failures the tier is switched off for the rest
+    of the process (:attr:`disk_degraded`) instead of hammering a full
+    disk from inside the hot loop. Reads keep working either way.
     """
 
     def __init__(self, max_items: int = 100_000,
@@ -173,6 +184,8 @@ class FingerprintCache:
         self._memory: OrderedDict[str, float] = OrderedDict()
         self._lock = threading.Lock()
         self._journals: list[list] = []
+        self._disk_put_failures = 0
+        self._disk_degraded = False
         self.stats = CacheStats()
         _LIVE_CACHES.add(self)
 
@@ -184,6 +197,12 @@ class FingerprintCache:
         """Keys currently resident in the memory tier (LRU order)."""
         with self._lock:
             return list(self._memory.keys())
+
+    @property
+    def disk_degraded(self) -> bool:
+        """True once repeated put failures switched the disk tier off
+        (the cache keeps running memory-only)."""
+        return self._disk_degraded
 
     # -- put journals ------------------------------------------------------
     def start_journal(self) -> list:
@@ -241,22 +260,40 @@ class FingerprintCache:
             pass
         return _CORRUPT
 
+    # Consecutive put failures before the disk tier is switched off for
+    # the rest of the process (a full or read-only disk won't recover by
+    # itself, and each further attempt costs a syscall round trip).
+    _DISK_DEGRADE_AFTER = 3
+
     def _disk_write(self, key: str, value: float) -> None:
-        if self.disk_dir is None:
+        if self.disk_dir is None or self._disk_degraded:
             return
-        path = self._disk_path(key)
-        path.parent.mkdir(parents=True, exist_ok=True)
-        # Atomic publish: readers never observe a half-written entry.
-        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        # Best-effort tier: an ENOSPC/EACCES/... anywhere in the publish
+        # sequence (mkdir included) must degrade the cache to
+        # memory-only, never crash the run mid-loop.
+        tmp = None
         try:
+            path = self._disk_path(key)
+            path.parent.mkdir(parents=True, exist_ok=True)
+            # Atomic publish: readers never observe a half-written entry.
+            fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
             with os.fdopen(fd, "w", encoding="ascii") as handle:
                 handle.write(float(value).hex())
             os.replace(tmp, path)
         except OSError:
-            try:
-                os.unlink(tmp)
-            except OSError:
-                pass
+            if tmp is not None:
+                try:
+                    os.unlink(tmp)
+                except OSError:
+                    pass
+            with self._lock:
+                self.stats.disk_put_errors += 1
+                self._disk_put_failures += 1
+                if self._disk_put_failures >= self._DISK_DEGRADE_AFTER:
+                    self._disk_degraded = True
+        else:
+            with self._lock:
+                self._disk_put_failures = 0
 
     # -- public API --------------------------------------------------------
     def get(self, key: str):

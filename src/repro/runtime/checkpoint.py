@@ -73,6 +73,11 @@ CHECKPOINT_SCHEMA = 1
 _RECORD_PREFIX = "ckpt-"
 _RECORD_SUFFIX = ".json"
 
+#: Sentinel: a record file listed but gone by read time — a concurrent
+#: worker pruned it. Distinct from ``None`` (corrupt) so shared-store
+#: races never inflate the ``checkpoint.corrupt_records`` counter.
+_VANISHED = object()
+
 
 @dataclass(frozen=True)
 class CheckpointRecord:
@@ -224,18 +229,26 @@ class CheckpointStore:
             os.close(dir_fd)
 
     def _prune(self) -> None:
+        # Two resuming workers may share one store; whoever prunes
+        # second finds the stale record already gone. missing_ok (plus
+        # the OSError net for everything else) makes that a no-op
+        # instead of a crash.
         paths = self.record_paths()
         for stale in paths[:-self.keep] if self.keep else paths:
             try:
-                stale.unlink()
+                stale.unlink(missing_ok=True)
             except OSError:
                 pass
 
     # -- read --------------------------------------------------------------
     def _load(self, path: Path) -> CheckpointRecord | None:
-        """Decode and verify one record file; ``None`` when corrupt."""
+        """Decode and verify one record file; ``None`` when corrupt,
+        :data:`_VANISHED` when the file disappeared between listing and
+        reading (a concurrent worker's prune — not corruption)."""
         try:
             envelope = json.loads(path.read_text(encoding="utf-8"))
+        except FileNotFoundError:
+            return _VANISHED
         except (OSError, ValueError):
             return None
         if not isinstance(envelope, dict) \
@@ -270,6 +283,8 @@ class CheckpointStore:
             else resolve_observer(observer)
         for path in reversed(self.record_paths()):
             record = self._load(path)
+            if record is _VANISHED:
+                continue  # concurrently pruned, not corrupt
             if record is None:
                 if observer.enabled:
                     observer.count("checkpoint.corrupt_records")

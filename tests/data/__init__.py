@@ -1,0 +1,1 @@
+"""Tests for repro.data: sharded datasets and the reading service."""

@@ -1,0 +1,174 @@
+"""Tests for streaming transforms and out-of-core error injection."""
+
+import numpy as np
+import pytest
+
+from repro.core.exceptions import ValidationError
+from repro.data import (
+    ShardedDataset,
+    inject_label_errors_sharded,
+    inject_missing_sharded,
+    read_arrays,
+    transform_shards,
+    write_shards,
+)
+from repro.runtime import CheckpointStore
+
+
+@pytest.fixture()
+def dataset(tmp_path, rng):
+    X = rng.normal(size=(40, 3))
+    y = rng.integers(0, 3, size=40)
+    return write_shards(tmp_path / "in", {"X": X, "y": y}, rows_per_shard=9)
+
+
+def double(index, arrays, rng):
+    return {"X": arrays["X"] * 2, "y": arrays["y"]}, {"shard": index}
+
+
+class TestTransformShards:
+    def test_transform_applies_fn_per_shard(self, tmp_path, dataset):
+        out, sides = transform_shards(dataset, tmp_path / "out", double)
+        assert sides == [{"shard": i} for i in range(dataset.n_shards)]
+        original = read_arrays(dataset)
+        result = read_arrays(out)
+        assert result["X"].tobytes() == (original["X"] * 2).tobytes()
+        assert result["y"].tobytes() == original["y"].tobytes()
+        assert out.meta["transform"] == "double"
+
+    def test_seeded_transform_is_deterministic(self, tmp_path, dataset):
+        def jitter(index, arrays, rng):
+            return {"X": arrays["X"] + rng.normal(size=arrays["X"].shape),
+                    "y": arrays["y"]}, None
+
+        a, _ = transform_shards(dataset, tmp_path / "a", jitter, seed=7)
+        b, _ = transform_shards(dataset, tmp_path / "b", jitter, seed=7,
+                                workers=4, prefetch=1)
+        for i in range(a.n_shards):
+            assert a.shards[i].sha256 == b.shards[i].sha256
+
+    def test_resume_after_interrupt_is_byte_identical(self, tmp_path,
+                                                      dataset):
+        reference, ref_sides = transform_shards(
+            dataset, tmp_path / "ref", double, seed=3)
+
+        calls = {"n": 0}
+
+        def dying(index, arrays, rng):
+            calls["n"] += 1
+            if calls["n"] > 2:
+                raise RuntimeError("simulated crash")
+            return double(index, arrays, rng)
+
+        dying.__name__ = "double"  # same checkpoint identity as `double`
+        store = tmp_path / "ckpt"
+        with pytest.raises(RuntimeError):
+            transform_shards(dataset, tmp_path / "out", dying, seed=3,
+                             checkpoint=CheckpointStore(store), workers=1)
+
+        out, sides = transform_shards(
+            dataset, tmp_path / "out", double, seed=3,
+            checkpoint=CheckpointStore(store), resume_from=store)
+        assert sides == ref_sides
+        for i in range(reference.n_shards):
+            assert out.shard_path(i).read_bytes() == \
+                reference.shard_path(i).read_bytes()
+
+    def test_params_change_invalidates_checkpoint_identity(self, tmp_path,
+                                                           dataset):
+        store = tmp_path / "ckpt"
+        transform_shards(dataset, tmp_path / "a", double,
+                         params={"fraction": 0.1},
+                         checkpoint=CheckpointStore(store))
+        # Same fn name, different params: resuming into a
+        # differently-parameterized pass must fail loudly, not silently
+        # continue from the other job's progress.
+        with pytest.raises(ValidationError, match="identity"):
+            transform_shards(dataset, tmp_path / "b", double,
+                             params={"fraction": 0.2},
+                             checkpoint=CheckpointStore(store),
+                             resume_from=store)
+
+
+class TestLabelInjection:
+    def test_flips_expected_rows(self, tmp_path, dataset):
+        out, flipped = inject_label_errors_sharded(
+            dataset, tmp_path / "noisy", fraction=0.2, seed=11)
+        clean = read_arrays(dataset)
+        noisy = read_arrays(out)
+        changed = np.flatnonzero(clean["y"] != noisy["y"])
+        assert changed.tolist() == flipped.tolist()
+        assert len(flipped) == sum(
+            int(round(0.2 * info.rows)) for info in dataset.shards)
+        # features untouched
+        assert noisy["X"].tobytes() == clean["X"].tobytes()
+
+    def test_deterministic_across_worker_counts(self, tmp_path, dataset):
+        a, fa = inject_label_errors_sharded(dataset, tmp_path / "a",
+                                            fraction=0.15, seed=5, workers=1)
+        b, fb = inject_label_errors_sharded(dataset, tmp_path / "b",
+                                            fraction=0.15, seed=5, workers=4)
+        assert fa.tolist() == fb.tolist()
+        for i in range(a.n_shards):
+            assert a.shards[i].sha256 == b.shards[i].sha256
+
+    def test_flip_targets_drawn_from_global_classes(self, tmp_path):
+        # All of class 2 lives in the last shard; earlier shards must
+        # still be able to flip *to* it.
+        y = np.array([0] * 10 + [1] * 10 + [2] * 10)
+        X = np.zeros((30, 2))
+        dataset = write_shards(tmp_path / "in", {"X": X, "y": y},
+                               rows_per_shard=10)
+        out, flipped = inject_label_errors_sharded(
+            dataset, tmp_path / "noisy", fraction=0.5, seed=0)
+        noisy = read_arrays(out)["y"]
+        assert set(np.unique(noisy)) <= {0, 1, 2}
+        assert len(flipped) == 15
+
+    def test_single_class_rejected(self, tmp_path):
+        dataset = write_shards(tmp_path / "in",
+                               {"X": np.zeros((8, 1)),
+                                "y": np.zeros(8, dtype=int)},
+                               rows_per_shard=4)
+        with pytest.raises(ValidationError, match="two classes"):
+            inject_label_errors_sharded(dataset, tmp_path / "out")
+
+
+class TestMissingInjection:
+    def test_holes_expected_cells(self, tmp_path, dataset):
+        out, cells = inject_missing_sharded(
+            dataset, tmp_path / "holey", fraction=0.25, seed=4)
+        clean = read_arrays(dataset)
+        holey = read_arrays(out)
+        rows, cols = np.nonzero(np.isnan(holey["X"]))
+        observed = sorted(zip(rows.tolist(), cols.tolist()))
+        assert observed == [tuple(c) for c in cells.tolist()]
+        # untouched cells are bit-identical
+        mask = np.isnan(holey["X"])
+        assert holey["X"][~mask].tobytes() == clean["X"][~mask].tobytes()
+        assert holey["y"].tobytes() == clean["y"].tobytes()
+
+    def test_deterministic_and_accepts_dataset_path(self, tmp_path, dataset):
+        a, ca = inject_missing_sharded(dataset, tmp_path / "a",
+                                       fraction=0.1, seed=2)
+        # a plain path (str) must resolve to the same dataset
+        b, cb = inject_missing_sharded(str(dataset.path), tmp_path / "b",
+                                       fraction=0.1, seed=2, workers=3)
+        assert ca.tolist() == cb.tolist()
+        for i in range(a.n_shards):
+            assert a.shards[i].sha256 == b.shards[i].sha256
+
+    def test_fraction_validated(self, tmp_path, dataset):
+        with pytest.raises(ValidationError):
+            inject_missing_sharded(dataset, tmp_path / "out", fraction=1.5)
+
+
+class TestOutputDatasets:
+    def test_outputs_are_valid_datasets(self, tmp_path, dataset):
+        out, _ = inject_label_errors_sharded(dataset, tmp_path / "noisy",
+                                             seed=0)
+        reopened = ShardedDataset(out.path)
+        assert reopened.verify_all() == []
+        assert reopened.meta["inject"] == "label_errors"
+        assert [s.rows for s in reopened.shards] == \
+            [s.rows for s in dataset.shards]

@@ -139,6 +139,12 @@ def test_dataframe_md_snippets(sandbox_cwd):
     assert n_blocks >= 9
 
 
+def test_data_md_snippets(sandbox_cwd):
+    # Self-contained: builds its own arrays and shard directories.
+    n_blocks = run_document(DOCS_DIR / "DATA.md", {})
+    assert n_blocks >= 9
+
+
 def test_pipeline_debugger_md_snippets(sandbox_cwd):
     # Self-contained: declares its own variants, data, and corpus entry.
     n_blocks = run_document(DOCS_DIR / "PIPELINE_DEBUGGER.md", {})

@@ -161,3 +161,58 @@ class TestDiskTier:
         assert journal == [(fingerprint("during"), 0.2)]
         assert sorted(cache.keys()) == sorted(
             fingerprint(tag) for tag in ("before", "during", "after"))
+
+
+class TestDiskPutDegradation:
+    """The disk tier is best-effort: put failures (ENOSPC, permissions,
+    vanished mount) must never crash the hot loop — they degrade the
+    cache to memory-only, counted in ``disk_put_errors``."""
+
+    def test_put_failure_degrades_to_memory_only(self, tmp_path):
+        # disk_dir nested under a regular *file*: every mkdir fails with
+        # ENOTDIR, the same OSError family as a full disk.
+        blocker = tmp_path / "blocker"
+        blocker.write_text("not a directory")
+        cache = FingerprintCache(disk_dir=blocker / "cache")
+        keys = [fingerprint("degrade", i) for i in range(6)]
+        for i, key in enumerate(keys):  # must not raise
+            cache.put(key, float(i))
+        assert cache.stats.disk_put_errors == cache._DISK_DEGRADE_AFTER
+        assert cache.disk_degraded
+        # the memory tier kept every value
+        for i, key in enumerate(keys):
+            assert cache.get(key) == float(i)
+        assert cache.stats.as_dict()["disk_put_errors"] == \
+            cache._DISK_DEGRADE_AFTER
+
+    def test_transient_failure_does_not_degrade(self, tmp_path,
+                                                monkeypatch):
+        cache = FingerprintCache(disk_dir=tmp_path)
+        real_replace = os.replace
+        boom = {"left": 2}
+
+        def flaky_replace(src, dst):
+            if boom["left"] > 0:
+                boom["left"] -= 1
+                raise OSError(28, "No space left on device")
+            return real_replace(src, dst)
+
+        monkeypatch.setattr(os, "replace", flaky_replace)
+        for i in range(5):
+            cache.put(fingerprint("transient", i), float(i))
+        assert cache.stats.disk_put_errors == 2
+        # two failures < the degrade threshold, and the later successes
+        # reset the consecutive counter: the tier stays on
+        assert not cache.disk_degraded
+        cache.clear_memory()
+        assert cache.get(fingerprint("transient", 4)) == 4.0
+        assert cache.stats.disk_hits == 1
+
+    def test_aggregate_includes_disk_put_errors(self, tmp_path):
+        from repro.runtime.cache import aggregate_cache_stats
+        blocker = tmp_path / "f"
+        blocker.write_text("x")
+        cache = FingerprintCache(disk_dir=blocker / "nested")
+        cache.put(fingerprint("agg"), 1.0)
+        totals = aggregate_cache_stats()
+        assert totals["disk_put_errors"] >= 1

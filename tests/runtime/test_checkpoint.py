@@ -533,3 +533,46 @@ class TestKillAndResume:
         resumed = json.loads(out.read_text())
         assert resumed["scores"] == ref["scores"]
         assert resumed["calls"] == ref["calls"]
+
+
+class TestSharedStoreConcurrency:
+    """Two resuming workers sharing one store must never crash each
+    other: keep-N pruning tolerates already-deleted records, and a file
+    that vanishes between listing and reading is skipped silently (it
+    was pruned, not corrupted)."""
+
+    def test_vanished_record_is_not_corrupt(self, tmp_path):
+        store = CheckpointStore(tmp_path, keep=5)
+        for i in range(3):
+            store.write("demo", {"completed": i})
+        reader = CheckpointStore(tmp_path, keep=5)
+        newest = reader.record_paths()[-1]
+        newest.unlink()  # concurrent worker pruned it under us
+        observer = Observer(run_id="shared")
+        record = reader.load_latest("demo", observer=observer)
+        assert record is not None
+        assert record.payload["completed"] == 1
+        metrics = observer.as_dict()["metrics"]
+        assert "checkpoint.corrupt_records" not in metrics
+
+    def test_prune_tolerates_missing_files(self, tmp_path):
+        store = CheckpointStore(tmp_path, keep=1)
+        for i in range(4):
+            store.write("demo", {"completed": i})
+        # empty the directory behind the store's back, then write: the
+        # prune pass finds nothing to delete and must not raise
+        for path in store.record_paths():
+            path.unlink()
+        store.write("demo", {"completed": 99})
+        assert store.load_latest("demo").payload["completed"] == 99
+
+    def test_two_stores_interleaved_writes(self, tmp_path):
+        """Interleaved write+prune from two store handles over one
+        directory: both survive, and the newest record wins."""
+        a = CheckpointStore(tmp_path, keep=2)
+        b = CheckpointStore(tmp_path, keep=2)
+        for i in range(10):
+            (a if i % 2 == 0 else b).write("demo", {"completed": i})
+        assert a.load_latest("demo").payload["completed"] == 9
+        assert b.load_latest("demo").payload["completed"] == 9
+        assert len(a.record_paths()) <= 3
